@@ -1,0 +1,460 @@
+//! The back-pressure baseline algorithm (the authors' SIGMETRICS 2006
+//! scheme, as described in §6 of the paper).
+//!
+//! Each node maintains local buffers per commodity and a potential
+//! function of buffer levels. Every iteration, using only the *previous*
+//! round's buffer levels of itself and its neighbors (one `O(1)`
+//! message exchange), each node spends its resource budget greedily on
+//! the (commodity, out-edge) transfers that reduce the total potential
+//! fastest; sources throttle injection by local buffer level
+//! ([`crate::policy::AdmissionPolicy`]); sinks drain.
+//!
+//! The algorithm runs on the same [`ExtendedNetwork`] as the gradient
+//! algorithm (bandwidth nodes make link buffers ordinary node buffers)
+//! but ignores the dummy nodes — back-pressure does admission control
+//! locally, not via difference links.
+
+use crate::policy::AdmissionPolicy;
+use crate::potential::Potential;
+use spn_graph::{EdgeId, NodeId};
+use spn_model::gains::gains_from_betas;
+use spn_model::{CommodityId, Problem};
+use spn_transform::{EdgeKind, ExtendedNetwork};
+use std::collections::VecDeque;
+
+/// Tunables of the back-pressure baseline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BackPressureConfig {
+    /// The queue potential.
+    pub potential: Potential,
+    /// The source admission policy.
+    pub policy: AdmissionPolicy,
+    /// Window (rounds) over which delivery rates are averaged.
+    pub window: usize,
+    /// Per-candidate transfer limit. `None` is the max-weight rule:
+    /// every positive-weight transfer may use all remaining budget.
+    /// `Some(κ)` is the potential-descent rule of the SIGMETRICS'06
+    /// scheme: a transfer moves at most `κ·weight` input units per
+    /// round, so motion is proportional to the potential gradient and
+    /// convergence is smooth but slow — the regime in which the paper
+    /// observes ~10⁵ iterations to 95%.
+    pub transfer_gain: Option<f64>,
+}
+
+impl Default for BackPressureConfig {
+    /// Quadratic potential, linear admission with `v = 50`, 500-round
+    /// window.
+    fn default() -> Self {
+        BackPressureConfig {
+            potential: Potential::Quadratic,
+            policy: AdmissionPolicy::default(),
+            window: 500,
+            transfer_gain: None,
+        }
+    }
+}
+
+/// A solution snapshot of the baseline, comparable with the gradient
+/// algorithm's report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BackPressureReport {
+    /// Rounds performed so far.
+    pub iterations: usize,
+    /// Utility of the windowed goodput rates.
+    pub utility: f64,
+    /// Windowed injection rate per commodity (source units).
+    pub admitted: Vec<f64>,
+    /// Windowed goodput per commodity, converted back to *source
+    /// units* via the commodity gain so it is directly comparable with
+    /// the gradient algorithm's admitted rates.
+    pub delivered: Vec<f64>,
+    /// Total buffered data across all queues (a stability indicator).
+    pub total_queued: f64,
+    /// Largest single queue.
+    pub max_queue: f64,
+}
+
+/// The back-pressure algorithm state.
+#[derive(Clone, Debug)]
+pub struct BackPressure {
+    ext: ExtendedNetwork,
+    config: BackPressureConfig,
+    /// `queue[j][v]` — buffered commodity-`j` data at node `v` (in
+    /// node-`v` input units).
+    queue: Vec<Vec<f64>>,
+    /// `gain[j][v]` — commodity gain `g_j(v)` used to express queues in
+    /// source units: the potential is `Σ ψ(q_v / g_v)`, which makes a
+    /// transfer neutral exactly when the *scaled* queues are equal.
+    /// Without this normalization, expanding hops (`β > 1`) would
+    /// require geometrically decaying raw queues and throttle flow.
+    gain: Vec<Vec<f64>>,
+    /// Per-commodity candidate `(edge, weight-independent data)` lists.
+    candidates: Vec<Vec<(CommodityId, EdgeId)>>,
+    /// Ring buffers of recent per-round deliveries (sink units).
+    delivered_window: Vec<VecDeque<f64>>,
+    /// Ring buffers of recent per-round injections.
+    admitted_window: Vec<VecDeque<f64>>,
+    /// Cumulative delivered data (sink units).
+    cumulative_delivered: Vec<f64>,
+    iterations: usize,
+}
+
+impl BackPressure {
+    /// Builds the baseline for a validated problem.
+    #[must_use]
+    pub fn new(problem: &Problem, config: BackPressureConfig) -> Self {
+        Self::from_extended(ExtendedNetwork::build(problem), config)
+    }
+
+    /// Builds the baseline over an already-transformed network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.window` is zero.
+    #[must_use]
+    pub fn from_extended(ext: ExtendedNetwork, config: BackPressureConfig) -> Self {
+        assert!(config.window > 0, "window must be positive");
+        let v_count = ext.graph().node_count();
+        let j_count = ext.num_commodities();
+        let queue = vec![vec![0.0; v_count]; j_count];
+
+        // Commodity gains from each source over non-dummy edges.
+        let mut gain = Vec::with_capacity(j_count);
+        for j in ext.commodity_ids() {
+            let in_overlay: Vec<bool> = ext
+                .graph()
+                .edges()
+                .map(|l| ext.in_commodity(j, l) && is_real(&ext, l))
+                .collect();
+            let beta: Vec<f64> = ext.graph().edges().map(|l| ext.beta(j, l)).collect();
+            let gains = gains_from_betas(
+                ext.graph(),
+                j,
+                ext.commodity(j).source(),
+                &in_overlay,
+                &beta,
+            )
+            .expect("extended commodity subgraph is a DAG with consistent gains");
+            gain.push(gains);
+        }
+
+        // Per-node transfer candidates (static): real commodity edges.
+        let mut candidates = vec![Vec::new(); v_count];
+        for j in ext.commodity_ids() {
+            for v in ext.graph().nodes() {
+                for l in ext.commodity_out_edges(j, v) {
+                    if is_real(&ext, l) {
+                        candidates[v.index()].push((j, l));
+                    }
+                }
+            }
+        }
+
+        BackPressure {
+            config,
+            queue,
+            gain,
+            candidates,
+            delivered_window: vec![VecDeque::with_capacity(config.window); j_count],
+            admitted_window: vec![VecDeque::with_capacity(config.window); j_count],
+            cumulative_delivered: vec![0.0; j_count],
+            iterations: 0,
+            ext,
+        }
+    }
+
+    /// Performs one round: snapshot-based greedy transfers at every
+    /// node, source injection, sink drain.
+    pub fn step(&mut self) {
+        let snapshot = self.queue.clone();
+        let g = self.ext.graph();
+
+        // Greedy potential-reducing transfers, all nodes in parallel
+        // against the snapshot.
+        for v in g.nodes() {
+            let cap = self.ext.capacity(v);
+            if cap.is_infinite() {
+                continue; // dummy sources hold no buffers
+            }
+            let mut weighted: Vec<(f64, CommodityId, EdgeId)> = self.candidates[v.index()]
+                .iter()
+                .filter_map(|&(j, l)| {
+                    let q_from = snapshot[j.index()][v.index()];
+                    if q_from <= 0.0 {
+                        return None;
+                    }
+                    let to = g.target(l);
+                    let q_to = snapshot[j.index()][to.index()];
+                    // scaled-queue (source-unit) weight; see `gain`
+                    let g_from = self.gain[j.index()][v.index()];
+                    let g_to = self.gain[j.index()][to.index()];
+                    let w = self.config.potential.transfer_weight(
+                        q_from / g_from,
+                        q_to / g_to,
+                        1.0,
+                        self.ext.cost(j, l) * g_from,
+                    );
+                    (w > 0.0).then_some((w, j, l))
+                })
+                .collect();
+            weighted.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+            let mut budget = cap.value();
+            // available queue per commodity (from the snapshot)
+            let mut avail: Vec<f64> =
+                (0..self.ext.num_commodities()).map(|ji| snapshot[ji][v.index()]).collect();
+            for (w, j, l) in weighted {
+                if budget <= 0.0 {
+                    break;
+                }
+                let cost = self.ext.cost(j, l);
+                let mut x = avail[j.index()].min(budget / cost);
+                if let Some(gain) = self.config.transfer_gain {
+                    x = x.min(gain * w);
+                }
+                if x <= 0.0 {
+                    continue;
+                }
+                avail[j.index()] -= x;
+                budget -= x * cost;
+                self.queue[j.index()][v.index()] -= x;
+                let to = g.target(l);
+                self.queue[j.index()][to.index()] += x * self.ext.beta(j, l);
+            }
+        }
+
+        // Injection and drain.
+        for j in self.ext.commodity_ids() {
+            let ji = j.index();
+            let c = self.ext.commodity(j);
+            let source = c.source();
+            let injected = self.config.policy.admit(c.max_rate, snapshot[ji][source.index()]);
+            self.queue[ji][source.index()] += injected;
+            push_window(&mut self.admitted_window[ji], injected, self.config.window);
+
+            let sink = c.sink();
+            let drained = self.queue[ji][sink.index()];
+            self.queue[ji][sink.index()] = 0.0;
+            self.cumulative_delivered[ji] += drained;
+            push_window(&mut self.delivered_window[ji], drained, self.config.window);
+        }
+        self.iterations += 1;
+    }
+
+    /// Runs `rounds` steps and returns the final report.
+    pub fn run(&mut self, rounds: usize) -> BackPressureReport {
+        for _ in 0..rounds {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Current solution snapshot.
+    #[must_use]
+    pub fn report(&self) -> BackPressureReport {
+        let j_count = self.ext.num_commodities();
+        let mut admitted = Vec::with_capacity(j_count);
+        let mut delivered = Vec::with_capacity(j_count);
+        for j in self.ext.commodity_ids() {
+            let ji = j.index();
+            admitted.push(window_mean(&self.admitted_window[ji]));
+            let sink = self.ext.commodity(j).sink();
+            delivered.push(window_mean(&self.delivered_window[ji]) / self.gain[ji][sink.index()]);
+        }
+        let utility: f64 = self
+            .ext
+            .commodity_ids()
+            .zip(&delivered)
+            .map(|(j, &d)| self.ext.commodity(j).utility.value(d))
+            .sum();
+        let total_queued: f64 = self.queue.iter().flatten().sum();
+        let max_queue = self.queue.iter().flatten().copied().fold(0.0, f64::max);
+        BackPressureReport {
+            iterations: self.iterations,
+            utility,
+            admitted,
+            delivered,
+            total_queued,
+            max_queue,
+        }
+    }
+
+    /// Cumulative goodput rate since round 0 (source units): total
+    /// delivered divided by elapsed rounds.
+    #[must_use]
+    pub fn cumulative_rate(&self, j: CommodityId) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            let sink = self.ext.commodity(j).sink();
+            self.cumulative_delivered[j.index()]
+                / self.gain[j.index()][sink.index()]
+                / self.iterations as f64
+        }
+    }
+
+    /// Current buffer level of commodity `j` at extended node `v`.
+    #[must_use]
+    pub fn queue(&self, j: CommodityId, v: NodeId) -> f64 {
+        self.queue[j.index()][v.index()]
+    }
+
+    /// The extended network the baseline runs on.
+    #[must_use]
+    pub fn extended(&self) -> &ExtendedNetwork {
+        &self.ext
+    }
+
+    /// Rounds performed so far.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+fn is_real(ext: &ExtendedNetwork, l: EdgeId) -> bool {
+    matches!(ext.edge_kind(l), EdgeKind::Ingress(_) | EdgeKind::Egress(_))
+}
+
+fn push_window(w: &mut VecDeque<f64>, value: f64, cap: usize) {
+    if w.len() == cap {
+        w.pop_front();
+    }
+    w.push_back(value);
+}
+
+fn window_mean(w: &VecDeque<f64>) -> f64 {
+    if w.is_empty() {
+        0.0
+    } else {
+        w.iter().sum::<f64>() / w.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_model::builder::ProblemBuilder;
+    use spn_model::UtilityFn;
+
+    /// s → x → t, ample rates, bottleneck x (cap 10, c = 2 ⇒ 5 units).
+    fn bottleneck() -> Problem {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(100.0);
+        let x = b.server(10.0);
+        let t = b.server(100.0);
+        let e1 = b.link(s, x, 100.0);
+        let e2 = b.link(x, t, 100.0);
+        let j = b.commodity(s, t, 20.0, UtilityFn::throughput());
+        b.uses(j, e1, 1.0, 1.0).uses(j, e2, 2.0, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn drains_toward_bottleneck_capacity() {
+        let p = bottleneck();
+        let mut bp = BackPressure::new(&p, BackPressureConfig::default());
+        let r = bp.run(5000);
+        // bottleneck admits at most 5 units/round
+        assert!(r.delivered[0] > 3.5, "delivered {}", r.delivered[0]);
+        assert!(r.delivered[0] <= 5.0 + 1e-6);
+        assert!(r.utility > 0.0);
+    }
+
+    #[test]
+    fn queues_stay_bounded_with_admission_control() {
+        let p = bottleneck();
+        let mut bp = BackPressure::new(&p, BackPressureConfig::default());
+        bp.run(3000);
+        let q1 = bp.report().total_queued;
+        bp.run(3000);
+        let q2 = bp.report().total_queued;
+        // bounded: no sustained growth
+        assert!(q2 < q1 * 1.5 + 100.0, "queues grow: {q1} -> {q2}");
+    }
+
+    #[test]
+    fn always_policy_overflows_the_source() {
+        let p = bottleneck();
+        let cfg = BackPressureConfig { policy: AdmissionPolicy::Always, ..Default::default() };
+        let mut bp = BackPressure::new(&p, cfg);
+        let r = bp.run(2000);
+        // offered 20/round, serviceable 5/round ⇒ source queue explodes
+        assert!(r.max_queue > 1000.0, "max queue {}", r.max_queue);
+    }
+
+    #[test]
+    fn shrinkage_accounted_in_goodput() {
+        // β = 0.5 on the only edge: delivered sink units are half the
+        // source units; the report must convert back
+        let mut b = ProblemBuilder::new();
+        let s = b.server(100.0);
+        let t = b.server(100.0);
+        let e = b.link(s, t, 100.0);
+        let j = b.commodity(s, t, 4.0, UtilityFn::throughput());
+        b.uses(j, e, 1.0, 0.5);
+        let p = b.build().unwrap();
+        let mut bp = BackPressure::new(&p, BackPressureConfig::default());
+        let r = bp.run(4000);
+        assert!(
+            (r.delivered[0] - 4.0).abs() < 0.5,
+            "goodput in source units should approach λ = 4, got {}",
+            r.delivered[0]
+        );
+    }
+
+    #[test]
+    fn cumulative_rate_converges_slower_than_window() {
+        let p = bottleneck();
+        let mut bp = BackPressure::new(&p, BackPressureConfig::default());
+        bp.run(4000);
+        let windowed = bp.report().delivered[0];
+        let cumulative = bp.cumulative_rate(CommodityId::from_index(0));
+        // the cumulative average drags the empty-start transient
+        assert!(cumulative <= windowed + 1e-9);
+        assert!(cumulative > 0.0);
+    }
+
+    #[test]
+    fn report_before_any_round_is_zero() {
+        let p = bottleneck();
+        let bp = BackPressure::new(&p, BackPressureConfig::default());
+        let r = bp.report();
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.utility, 0.0);
+        assert_eq!(bp.cumulative_rate(CommodityId::from_index(0)), 0.0);
+    }
+
+    #[test]
+    fn two_commodities_share_a_node() {
+        let mut b = ProblemBuilder::new();
+        let s1 = b.server(100.0);
+        let s2 = b.server(100.0);
+        let x = b.server(10.0);
+        let t1 = b.server(100.0);
+        let t2 = b.server(100.0);
+        let e1 = b.link(s1, x, 100.0);
+        let e2 = b.link(s2, x, 100.0);
+        let e3 = b.link(x, t1, 100.0);
+        let e4 = b.link(x, t2, 100.0);
+        let j1 = b.commodity(s1, t1, 20.0, UtilityFn::throughput());
+        let j2 = b.commodity(s2, t2, 20.0, UtilityFn::throughput());
+        b.uses(j1, e1, 1.0, 1.0).uses(j1, e3, 1.0, 1.0);
+        b.uses(j2, e2, 1.0, 1.0).uses(j2, e4, 1.0, 1.0);
+        let p = b.build().unwrap();
+        let mut bp = BackPressure::new(&p, BackPressureConfig::default());
+        let r = bp.run(6000);
+        // x forwards at most 10 units/round total; shares roughly evenly
+        let total = r.delivered[0] + r.delivered[1];
+        assert!(total > 7.0 && total <= 10.0 + 1e-6, "total {total}");
+        assert!((r.delivered[0] - r.delivered[1]).abs() < 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let p = bottleneck();
+        let cfg = BackPressureConfig { window: 0, ..Default::default() };
+        let _ = BackPressure::new(&p, cfg);
+    }
+}

@@ -1,0 +1,39 @@
+//! The back-pressure baseline: the authors' earlier SIGMETRICS 2006
+//! algorithm that the paper's §6 compares against.
+//!
+//! "Each node maintains local input and output buffers for each
+//! commodity. Each node also maintains a potential function … at each
+//! iteration, a node only needs to know the buffer levels at its
+//! neighboring nodes. It then uses this information to determine the
+//! appropriate resource allocation that reduces the potential at that
+//! node by the greatest amount."
+//!
+//! The crate implements exactly that local-control loop
+//! ([`BackPressure`]) over the same extended network as the gradient
+//! algorithm, with pluggable queue potentials ([`potential::Potential`])
+//! and source admission policies ([`policy::AdmissionPolicy`]). Its
+//! `O(1)`-messages-per-iteration / slow-convergence profile is the
+//! second curve of Figure 4.
+//!
+//! # Example
+//!
+//! ```
+//! use spn_baseline::{BackPressure, BackPressureConfig};
+//! use spn_model::random::RandomInstance;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let inst = RandomInstance::builder().nodes(15).commodities(2).seed(3).build()?;
+//! let mut bp = BackPressure::new(&inst.problem, BackPressureConfig::default());
+//! let report = bp.run(2000);
+//! assert!(report.utility >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod algorithm;
+pub mod policy;
+pub mod potential;
+
+pub use algorithm::{BackPressure, BackPressureConfig, BackPressureReport};
+pub use policy::AdmissionPolicy;
+pub use potential::Potential;

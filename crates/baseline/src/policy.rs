@@ -1,0 +1,82 @@
+//! Source admission policies for the back-pressure baseline.
+//!
+//! Back-pressure has no dummy nodes: each source decides locally how
+//! much of the offered load `λ_j` to inject, based only on its own
+//! buffer level. The buffer scale `v` plays the classical role of the
+//! utility/backlog tradeoff parameter: larger `v` admits closer to the
+//! optimum but converges more slowly (queues must grow to signal
+//! congestion).
+
+use serde::{Deserialize, Serialize};
+
+/// How a source throttles injection as its local buffer grows.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Inject the full `λ_j` whenever the buffer is below `v`, nothing
+    /// above it (bang-bang).
+    Threshold {
+        /// Buffer level at which injection stops.
+        v: f64,
+    },
+    /// Inject `λ_j · max(0, 1 − q/v)` — linear backoff, smoother
+    /// convergence than the threshold.
+    Linear {
+        /// Buffer level at which injection reaches zero.
+        v: f64,
+    },
+    /// Always inject `λ_j` (no admission control; queues at overloaded
+    /// sources then grow without bound — used to demonstrate *why*
+    /// admission control is needed).
+    Always,
+}
+
+impl AdmissionPolicy {
+    /// Injection rate for offered load `lambda` at buffer level `q`.
+    #[must_use]
+    pub fn admit(&self, lambda: f64, q: f64) -> f64 {
+        match *self {
+            AdmissionPolicy::Threshold { v } => {
+                if q < v {
+                    lambda
+                } else {
+                    0.0
+                }
+            }
+            AdmissionPolicy::Linear { v } => lambda * (1.0 - q / v).max(0.0),
+            AdmissionPolicy::Always => lambda,
+        }
+    }
+}
+
+impl Default for AdmissionPolicy {
+    /// Linear backoff with buffer scale 50.
+    fn default() -> Self {
+        AdmissionPolicy::Linear { v: 50.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_bang_bang() {
+        let p = AdmissionPolicy::Threshold { v: 10.0 };
+        assert_eq!(p.admit(4.0, 9.9), 4.0);
+        assert_eq!(p.admit(4.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn linear_backs_off() {
+        let p = AdmissionPolicy::Linear { v: 10.0 };
+        assert_eq!(p.admit(4.0, 0.0), 4.0);
+        assert_eq!(p.admit(4.0, 5.0), 2.0);
+        assert_eq!(p.admit(4.0, 10.0), 0.0);
+        assert_eq!(p.admit(4.0, 20.0), 0.0);
+    }
+
+    #[test]
+    fn always_admits_everything() {
+        assert_eq!(AdmissionPolicy::Always.admit(4.0, 1e9), 4.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the back-pressure baseline.
+
+use proptest::prelude::*;
+use spn_baseline::{AdmissionPolicy, BackPressure, BackPressureConfig, Potential};
+use spn_model::random::RandomInstance;
+use spn_model::Problem;
+use spn_solver::arcflow::solve_linear_utility;
+
+fn instance(seed: u64) -> Problem {
+    RandomInstance::builder()
+        .nodes(14)
+        .commodities(2)
+        .seed(seed)
+        .build()
+        .expect("valid instance")
+        .problem
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Goodput never exceeds the LP optimum (the baseline cannot beat
+    /// the capacity region) and never goes negative; queues are finite.
+    #[test]
+    fn goodput_respects_the_capacity_region(seed in 0u64..40, rounds in 200usize..1500) {
+        let p = instance(seed);
+        let optimum = solve_linear_utility(&p).unwrap().objective;
+        let mut bp = BackPressure::new(&p, BackPressureConfig::default());
+        let r = bp.run(rounds);
+        prop_assert!(r.utility >= 0.0);
+        // windowed rates can transiently overshoot slightly when queues
+        // flush, but never by much
+        prop_assert!(r.utility <= 1.2 * optimum + 1.0, "utility {} > optimum {optimum}", r.utility);
+        prop_assert!(r.total_queued.is_finite());
+        for &d in &r.delivered {
+            prop_assert!(d >= 0.0);
+        }
+    }
+
+    /// Two identically configured runs are bit-identical (the baseline
+    /// is deterministic: no RNG anywhere).
+    #[test]
+    fn runs_are_deterministic(seed in 0u64..30) {
+        let p = instance(seed);
+        let mut a = BackPressure::new(&p, BackPressureConfig::default());
+        let mut b = BackPressure::new(&p, BackPressureConfig::default());
+        a.run(400);
+        b.run(400);
+        prop_assert_eq!(a.report().utility.to_bits(), b.report().utility.to_bits());
+        prop_assert_eq!(a.report().total_queued.to_bits(), b.report().total_queued.to_bits());
+    }
+
+    /// Queues never go negative under any potential/policy combination.
+    #[test]
+    fn queues_stay_nonnegative(
+        seed in 0u64..20,
+        exponential in proptest::bool::ANY,
+        threshold in proptest::bool::ANY,
+    ) {
+        let p = instance(seed);
+        let cfg = BackPressureConfig {
+            potential: if exponential {
+                Potential::Exponential { alpha: 0.05 }
+            } else {
+                Potential::Quadratic
+            },
+            policy: if threshold {
+                AdmissionPolicy::Threshold { v: 30.0 }
+            } else {
+                AdmissionPolicy::Linear { v: 50.0 }
+            },
+            ..BackPressureConfig::default()
+        };
+        let mut bp = BackPressure::new(&p, cfg);
+        bp.run(600);
+        let ext = bp.extended().clone();
+        for j in ext.commodity_ids() {
+            for v in ext.graph().nodes() {
+                prop_assert!(bp.queue(j, v) >= -1e-9, "negative queue at {v}");
+            }
+        }
+    }
+
+    /// The potential-descent mode (transfer_gain) is never faster than
+    /// max-weight in delivered volume at equal rounds.
+    #[test]
+    fn potential_descent_is_slower_or_equal(seed in 0u64..20) {
+        let p = instance(seed);
+        let rounds = 800;
+        let mut maxw = BackPressure::new(&p, BackPressureConfig::default());
+        let mut descent = BackPressure::new(
+            &p,
+            BackPressureConfig { transfer_gain: Some(0.01), ..BackPressureConfig::default() },
+        );
+        maxw.run(rounds);
+        descent.run(rounds);
+        let jw: f64 = maxw.report().delivered.iter().sum();
+        let jd: f64 = descent.report().delivered.iter().sum();
+        prop_assert!(jd <= jw + 0.3 * jw.max(1.0), "descent {jd} outran max-weight {jw}");
+    }
+}

@@ -1,0 +1,26 @@
+//! B3 — cost of one flow-balance evaluation (eq. (3)–(5)), the inner
+//! loop of every gradient iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spn_bench::small_instance;
+use spn_core::flows::compute_flows;
+use spn_core::{GradientAlgorithm, GradientConfig};
+use std::hint::black_box;
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_propagation");
+    for &nodes in &[20usize, 40, 80, 160] {
+        let problem = small_instance(1, nodes, 3);
+        let mut alg = GradientAlgorithm::new(&problem, GradientConfig::default()).unwrap();
+        alg.run(50);
+        let ext = alg.extended().clone();
+        let routing = alg.routing().clone();
+        group.bench_with_input(BenchmarkId::new("compute_flows", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(compute_flows(&ext, &routing).f_node[0]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

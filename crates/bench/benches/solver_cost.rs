@@ -1,0 +1,23 @@
+//! B2 — centralized LP solve time vs instance size (the cost of the
+//! Figure 4 reference line, and the reason a centralized re-solve per
+//! change is unattractive compared to the distributed algorithm).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spn_bench::small_instance;
+use spn_solver::arcflow::solve_linear_utility;
+use std::hint::black_box;
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_cost");
+    group.sample_size(10);
+    for &nodes in &[20usize, 40, 60] {
+        let problem = small_instance(1, nodes, 3);
+        group.bench_with_input(BenchmarkId::new("simplex", nodes), &problem, |b, p| {
+            b.iter(|| black_box(solve_linear_utility(p).unwrap().objective));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

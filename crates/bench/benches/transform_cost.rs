@@ -1,0 +1,28 @@
+//! B4 — cost of the §3 transformations (bandwidth + dummy nodes) and of
+//! random instance generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spn_bench::small_instance;
+use spn_model::random::RandomInstance;
+use spn_transform::ExtendedNetwork;
+use std::hint::black_box;
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform_cost");
+    for &nodes in &[20usize, 40, 80, 160] {
+        let problem = small_instance(1, nodes, 3);
+        group.bench_with_input(BenchmarkId::new("extend", nodes), &problem, |b, p| {
+            b.iter(|| black_box(ExtendedNetwork::build(p).graph().edge_count()));
+        });
+        group.bench_with_input(BenchmarkId::new("generate", nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let inst = RandomInstance::builder().nodes(n).commodities(3).seed(1).build();
+                black_box(inst.unwrap().problem.graph().edge_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

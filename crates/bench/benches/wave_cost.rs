@@ -1,0 +1,31 @@
+//! B5 — cost of the two message-level protocol waves (the per-iteration
+//! communication workload of §5) vs network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spn_bench::small_instance;
+use spn_core::{GradientAlgorithm, GradientConfig};
+use spn_sim::waves::{forecast_wave, marginal_wave};
+use std::hint::black_box;
+
+fn bench_waves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wave_cost");
+    for &nodes in &[20usize, 40, 80] {
+        let problem = small_instance(1, nodes, 3);
+        let mut alg = GradientAlgorithm::new(&problem, GradientConfig::default()).unwrap();
+        alg.run(50);
+        let ext = alg.extended().clone();
+        let cost = *alg.cost_model();
+        let routing = alg.routing().clone();
+        let state = alg.flows().clone();
+        group.bench_with_input(BenchmarkId::new("marginal_wave", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(marginal_wave(&ext, &cost, &routing, &state).1.messages));
+        });
+        group.bench_with_input(BenchmarkId::new("forecast_wave", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(forecast_wave(&ext, &routing).1.messages));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_waves);
+criterion_main!(benches);

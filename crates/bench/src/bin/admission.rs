@@ -1,0 +1,45 @@
+//! **E6 — admission control under overload** (§1: "The rates at which
+//! data arrive can be bursty and unpredictable, which can create a load
+//! that exceeds the system capacity during times of stress.")
+//!
+//! All offered loads λ_j are scaled by `k`; the joint mechanism must
+//! admit everything when the system is underloaded and throttle to the
+//! capacity region when overloaded, tracking the LP optimum throughout.
+//!
+//! Rows: k, per-commodity admitted fraction `a_j/λ_j`, total utility,
+//! LP optimum, achieved fraction, max utilization.
+//!
+//! Usage: `admission [seed] [iters]`
+
+use spn_bench::{lp_optimum, paper_instance};
+use spn_core::{GradientAlgorithm, GradientConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(12_000);
+
+    let base = paper_instance(seed);
+    println!("# admission: seed={seed} iters={iters}");
+    println!("k\tadmit_frac_j0\tadmit_frac_j1\tadmit_frac_j2\tutility\tlp_opt\tfrac\tmax_util");
+    for k in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let problem = base.scale_demand(k);
+        let optimum = lp_optimum(&problem);
+        let mut alg = GradientAlgorithm::new(&problem, GradientConfig::default()).expect("valid");
+        let report = alg.run(iters);
+        let fracs: Vec<f64> = problem
+            .commodity_ids()
+            .map(|j| report.admitted[j.index()] / problem.commodity(j).max_rate)
+            .collect();
+        println!(
+            "{k}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
+            fracs[0],
+            fracs[1],
+            fracs[2],
+            report.utility,
+            optimum,
+            report.utility / optimum,
+            report.max_utilization
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! **E1b — back-pressure buffer-scale sweep** (supporting Figure 4):
+//! the baseline's buffer scale `v` trades asymptotic optimality for
+//! convergence speed and buffer occupancy. Small `v` converges in
+//! thousands of rounds but far from the optimum; the `v` needed to get
+//! within 95% makes it orders of magnitude slower than the gradient
+//! algorithm — the regime Figure 4 shows.
+//!
+//! Rows: v, iterations to 90%/95% (windowed utility), final fraction of
+//! the LP optimum, total buffered data at the end.
+//!
+//! Usage: `bp_v_sweep [seed] [iters]`
+
+use spn_baseline::{AdmissionPolicy, BackPressure, BackPressureConfig};
+use spn_bench::{fmt_opt, lp_optimum, paper_instance};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(200_000);
+
+    let problem = paper_instance(seed).scale_demand(3.0); // overloaded, as in fig4
+    let optimum = lp_optimum(&problem);
+    println!("# bp_v_sweep: seed={seed} iters={iters} optimum={optimum:.6} transfer_gain=0.01");
+    println!("v\tit90\tit95\tfinal_frac\ttotal_queued");
+    for v in [1000.0, 5000.0, 20_000.0, 50_000.0, 200_000.0] {
+        let cfg = BackPressureConfig {
+            policy: AdmissionPolicy::Linear { v },
+            window: 2000,
+            transfer_gain: Some(0.01),
+            ..BackPressureConfig::default()
+        };
+        let mut bp = BackPressure::new(&problem, cfg);
+        let mut it90 = None;
+        let mut it95 = None;
+        for i in 0..iters {
+            bp.step();
+            let u = bp.report().utility;
+            if it90.is_none() && u >= 0.90 * optimum {
+                it90 = Some(i + 1);
+            }
+            if it95.is_none() && u >= 0.95 * optimum {
+                it95 = Some(i + 1);
+            }
+        }
+        let r = bp.report();
+        println!(
+            "{v}\t{}\t{}\t{:.4}\t{:.0}",
+            fmt_opt(it90),
+            fmt_opt(it95),
+            r.utility / optimum,
+            r.total_queued
+        );
+    }
+}

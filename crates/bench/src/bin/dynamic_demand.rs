@@ -1,0 +1,57 @@
+//! **E11 (extension) — tracking changing demands.**
+//!
+//! §1 motivates the whole problem with bursty, unpredictable input
+//! rates, and §3 argues penalty headroom helps "better accommodate
+//! changing demands". Here the offered loads λ_j alternate between a
+//! demand-limited calm phase (×0.05) and a capacity-limited burst phase
+//! (×1) every `period` iterations;
+//! the running algorithm must re-throttle admission each time. For
+//! each phase change we report the re-convergence lag (iterations to
+//! reach 95% of that phase's LP optimum).
+//!
+//! Usage: `dynamic_demand [seed] [period] [phases]`
+
+use spn_bench::{fmt_opt, lp_optimum, paper_instance};
+use spn_core::{GradientAlgorithm, GradientConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let period: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6000);
+    let phases: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    let base = paper_instance(seed);
+    let calm = base.scale_demand(0.05); // demand-limited
+    let burst = base.scale_demand(1.0); // capacity-limited
+    let opt_calm = lp_optimum(&calm);
+    let opt_burst = lp_optimum(&burst);
+    println!("# dynamic_demand: seed={seed} period={period} phases={phases}");
+    println!("# lp_optimum: calm\t{opt_calm:.4}\tburst\t{opt_burst:.4}");
+
+    let mut alg = GradientAlgorithm::new(&calm, GradientConfig::default()).expect("valid");
+    println!("phase\tload\ttarget\tlag95_iters\tend_frac\tend_max_util");
+    for phase in 0..phases {
+        let bursting = phase % 2 == 1;
+        let target = if bursting { opt_burst } else { opt_calm };
+        // switch the offered loads of the *running* algorithm
+        for j in base.commodity_ids() {
+            let lambda = base.commodity(j).max_rate * if bursting { 1.0 } else { 0.05 };
+            alg.extended_mut().set_max_rate(j, lambda);
+        }
+        let mut lag = None;
+        for i in 0..period {
+            alg.step();
+            if lag.is_none() && alg.report().utility >= 0.95 * target {
+                lag = Some(i + 1);
+            }
+        }
+        let r = alg.report();
+        println!(
+            "{phase}\t{}\t{target:.4}\t{}\t{:.4}\t{:.4}",
+            if bursting { "burst(x1.0)" } else { "calm(x0.05)" },
+            fmt_opt(lag),
+            r.utility / target,
+            r.max_utilization
+        );
+    }
+}

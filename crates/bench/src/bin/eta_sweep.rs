@@ -1,0 +1,37 @@
+//! **E2 — scale factor η sweep** (§6 prose: "With a small η, the
+//! algorithm will eventually converge to the optimum but at a slow
+//! rate … it is possible to choose a η much larger to expedite the
+//! convergence, e.g. in hundreds of iterations. … As η increases, the
+//! speed of convergence increases but the danger of no convergence
+//! increases.")
+//!
+//! Rows: η, iterations to 90%/95% of the LP optimum, final fraction of
+//! optimum, worst dip (instability indicator), max utilization.
+//!
+//! Usage: `eta_sweep [seed] [iters]`
+
+use spn_bench::{fmt_opt, lp_optimum, paper_instance, run_gradient};
+use spn_core::GradientConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(12_000);
+
+    let problem = paper_instance(seed).scale_demand(3.0); // overloaded, as in fig4
+    let optimum = lp_optimum(&problem);
+    println!("# eta_sweep: seed={seed} iters={iters} optimum={optimum:.6}");
+    println!("eta\tit90\tit95\tfinal_frac\tmax_dip\tmax_utilization");
+    for eta in [0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64] {
+        let cfg = GradientConfig { eta, ..GradientConfig::default() };
+        let s = run_gradient(&problem, cfg, iters, optimum);
+        println!(
+            "{eta}\t{}\t{}\t{:.4}\t{:.4}\t{:.4}",
+            fmt_opt(s.it90),
+            fmt_opt(s.it95),
+            s.final_utility / optimum,
+            s.max_dip,
+            s.max_utilization
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! **E9 (extension) — shadow prices: centralized duals vs distributed
+//! marginals.**
+//!
+//! The LP's capacity duals (shadow prices) say how much one extra unit
+//! of each resource would raise the optimum. At the distributed
+//! algorithm's equilibrium, the same economic quantity appears as the
+//! local congestion price `ε·D'(f_i) + W'(f_i)` each node computes from
+//! purely local state. This experiment quantifies how well the
+//! distributed prices recover the centralized ones — the shadow-price
+//! interpretation behind Kelly-style network utility maximization that
+//! the paper builds on (its reference 13, Kelly et al.).
+//!
+//! Output: per-node table (binding nodes only) and the Pearson
+//! correlation over all nodes.
+//!
+//! Usage: `shadow_prices [seed] [iters]`
+
+use spn_bench::paper_instance;
+use spn_core::{GradientAlgorithm, GradientConfig};
+use spn_solver::arcflow::solve_linear_utility_with_prices;
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+    cov / (va.sqrt() * vb.sqrt()).max(1e-30)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20_000);
+
+    let problem = paper_instance(seed).scale_demand(3.0);
+    let (optimum, prices) = solve_linear_utility_with_prices(&problem).expect("linear instance");
+
+    let mut alg = GradientAlgorithm::new(&problem, GradientConfig::default()).expect("valid");
+    alg.run(iters);
+    let cost = alg.cost_model();
+    let ext = alg.extended();
+
+    // distributed congestion price per *physical node*: the marginal
+    // resource cost the node advertises at equilibrium
+    let mut lp_prices = Vec::new();
+    let mut dist_prices = Vec::new();
+    println!("# shadow_prices: seed={seed} iters={iters} lp_optimum={:.4}", optimum.objective);
+    println!("node\tutilization\tlp_shadow_price\tdistributed_price");
+    for v in problem.graph().nodes() {
+        let load = alg.flows().node_usage(v);
+        let cap = ext.capacity(v);
+        let dist = cost.epsilon * cost.penalty.derivative(cap, load) + cost.wall_derivative(cap, load);
+        let lp = prices.node[v.index()];
+        lp_prices.push(lp);
+        dist_prices.push(dist);
+        if lp > 1e-6 || dist > 1e-3 {
+            println!("{}\t{:.4}\t{:.6}\t{:.6}", v.index(), cap.utilization(load), lp, dist);
+        }
+    }
+    // same comparison for links (their bandwidth nodes in the extended
+    // graph have ids N + e)
+    let n = problem.graph().node_count();
+    println!("link\tutilization\tlp_shadow_price\tdistributed_price");
+    for e in problem.graph().edges() {
+        let bw = spn_graph::NodeId::from_index(n + e.index());
+        let load = alg.flows().node_usage(bw);
+        let cap = ext.capacity(bw);
+        let dist =
+            cost.epsilon * cost.penalty.derivative(cap, load) + cost.wall_derivative(cap, load);
+        let lp = prices.link[e.index()];
+        lp_prices.push(lp);
+        dist_prices.push(dist);
+        if lp > 1e-6 || dist > 1e-3 {
+            println!("{}\t{:.4}\t{:.6}\t{:.6}", e.index(), cap.utilization(load), lp, dist);
+        }
+    }
+    println!("# pearson_correlation\t{:.4}", pearson(&lp_prices, &dist_prices));
+    let binding_lp = lp_prices.iter().filter(|&&p| p > 1e-6).count();
+    let binding_dist = dist_prices.iter().filter(|&&p| p > 1e-3).count();
+    println!("# binding_nodes: lp\t{binding_lp}\tdistributed\t{binding_dist}");
+    println!(
+        "# admission_prices(lp)\t{:?}",
+        prices.admission.iter().map(|p| (p * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,54 @@
+//! **E7 — shrinkage/expansion regimes** (§2: "Each unit of commodity j
+//! input produces β units of output after processing … Thus flow
+//! conservation may not hold in the processing stage.")
+//!
+//! The gain spread controls how strongly β deviates from 1
+//! (`β = g_k/g_i` with `g ~ U[lo, hi]`): `[1,1]` recovers a classical
+//! conserved-flow multicommodity network, the paper's `[1,10]` mixes
+//! shrinkage and expansion up to 10×. For each regime the distributed
+//! algorithm must track the LP optimum.
+//!
+//! Rows: gain range, LP optimum, gradient final, fraction, max β, min β.
+//!
+//! Usage: `shrinkage [seed] [iters]`
+
+use spn_bench::lp_optimum;
+use spn_core::{GradientAlgorithm, GradientConfig};
+use spn_model::random::{RandomInstance, RandomInstanceConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(12_000);
+
+    println!("# shrinkage: seed={seed} iters={iters} (40 nodes, 3 commodities)");
+    println!("gain_range\tlp_opt\tgradient\tfrac\tbeta_min\tbeta_max");
+    for (lo, hi) in [(1.0, 1.0), (1.0, 2.0), (1.0, 5.0), (1.0, 10.0), (1.0, 25.0)] {
+        let problem = RandomInstance::generate(RandomInstanceConfig {
+            seed,
+            gain: lo..=hi,
+            ..RandomInstanceConfig::default()
+        })
+        .expect("valid instance")
+        .problem;
+        let (mut beta_min, mut beta_max) = (f64::INFINITY, 0.0f64);
+        for j in problem.commodity_ids() {
+            for e in problem.overlay_edges(j) {
+                let beta = problem.params(j, e).expect("overlay edge").beta;
+                beta_min = beta_min.min(beta);
+                beta_max = beta_max.max(beta);
+            }
+        }
+        let optimum = lp_optimum(&problem);
+        let mut alg = GradientAlgorithm::new(&problem, GradientConfig::default()).expect("valid");
+        let report = alg.run(iters);
+        println!(
+            "[{lo},{hi}]\t{:.4}\t{:.4}\t{:.4}\t{:.3}\t{:.3}",
+            optimum,
+            report.utility,
+            report.utility / optimum,
+            beta_min,
+            beta_max
+        );
+    }
+}

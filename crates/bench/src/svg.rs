@@ -1,0 +1,311 @@
+//! A minimal SVG line-chart renderer (no dependencies) so experiments
+//! can regenerate the paper's figures as actual images.
+//!
+//! Supports exactly what Figure 4 needs: multiple named series, an
+//! optional logarithmic x-axis, a horizontal reference line, axis ticks
+//! and a legend. Colors follow a fixed readable palette.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    /// Title rendered above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Logarithmic x-axis (Figure 4's iteration axis).
+    pub log_x: bool,
+    /// Optional horizontal reference line (the optimal throughput).
+    pub reference: Option<(String, f64)>,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 760.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 48.0;
+const MARGIN_B: f64 = 56.0;
+const PALETTE: [&str; 6] = ["#c0392b", "#27ae60", "#2980b9", "#8e44ad", "#d68910", "#16a085"];
+
+impl Chart {
+    /// Renders the chart as a standalone SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series contains a finite point, or if `log_x` is set
+    /// and any x ≤ 0.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let tx = |x: f64| -> f64 {
+            if self.log_x {
+                assert!(x > 0.0, "log axis requires positive x, got {x}");
+                x.log10()
+            } else {
+                x
+            }
+        };
+        // data bounds
+        let mut x_min = f64::INFINITY;
+        let mut x_max = f64::NEG_INFINITY;
+        let mut y_min: f64 = 0.0;
+        let mut y_max = f64::NEG_INFINITY;
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if x.is_finite() && y.is_finite() {
+                    x_min = x_min.min(tx(x));
+                    x_max = x_max.max(tx(x));
+                    y_min = y_min.min(y);
+                    y_max = y_max.max(y);
+                }
+            }
+        }
+        if let Some((_, r)) = &self.reference {
+            y_max = y_max.max(*r);
+        }
+        assert!(x_min.is_finite() && y_max.is_finite(), "no finite points to plot");
+        if (x_max - x_min).abs() < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+        y_max *= 1.05;
+
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let px = |x: f64| MARGIN_L + (tx(x) - x_min) / (x_max - x_min) * plot_w;
+        let py = |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="24" text-anchor="middle" font-size="16">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+        // axes
+        let _ = write!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+        );
+        // x ticks
+        let x_ticks: Vec<f64> = if self.log_x {
+            let lo = x_min.floor() as i32;
+            let hi = x_max.ceil() as i32;
+            (lo..=hi).map(|e| 10f64.powi(e)).collect()
+        } else {
+            (0..=5).map(|i| x_min + (x_max - x_min) * f64::from(i) / 5.0).collect()
+        };
+        for t in x_ticks {
+            let x = px(t);
+            if !(MARGIN_L - 1.0..=WIDTH - MARGIN_R + 1.0).contains(&x) {
+                continue;
+            }
+            let _ = write!(
+                svg,
+                r##"<line x1="{x}" y1="{}" x2="{x}" y2="{}" stroke="#ccc"/>"##,
+                MARGIN_T,
+                MARGIN_T + plot_h
+            );
+            let label = if self.log_x { format_pow10(t) } else { format!("{t:.0}") };
+            let _ = write!(
+                svg,
+                r#"<text x="{x}" y="{}" text-anchor="middle" font-size="11">{label}</text>"#,
+                MARGIN_T + plot_h + 16.0
+            );
+        }
+        // y ticks
+        for i in 0..=5 {
+            let v = y_min + (y_max - y_min) * f64::from(i) / 5.0;
+            let y = py(v);
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{y}" x2="{}" y2="{y}" stroke="#eee"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="end" font-size="11">{v:.1}</text>"#,
+                MARGIN_L - 6.0,
+                y + 4.0
+            );
+        }
+        // axis labels
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-size="13">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" font-size="13" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+        // reference line
+        if let Some((label, value)) = &self.reference {
+            let y = py(*value);
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{y}" x2="{}" y2="{y}" stroke="#333" stroke-dasharray="6 4"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="end" font-size="11">{}</text>"#,
+                MARGIN_L + plot_w - 4.0,
+                y - 4.0,
+                escape(label)
+            );
+        }
+        // series
+        for (idx, s) in self.series.iter().enumerate() {
+            let color = PALETTE[idx % PALETTE.len()];
+            let mut path = String::new();
+            for (i, &(x, y)) in s.points.iter().filter(|(x, y)| x.is_finite() && y.is_finite()).enumerate()
+            {
+                let cmd = if i == 0 { 'M' } else { 'L' };
+                let _ = write!(path, "{cmd}{:.1},{:.1} ", px(x), py(y));
+            }
+            let _ = write!(
+                svg,
+                r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>"#
+            );
+            // legend
+            let ly = MARGIN_T + 16.0 + idx as f64 * 18.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="3"/>"#,
+                MARGIN_L + 12.0,
+                MARGIN_L + 40.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" font-size="12">{}</text>"#,
+                MARGIN_L + 46.0,
+                ly + 4.0,
+                escape(&s.label)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn format_pow10(v: f64) -> String {
+    let e = v.log10().round() as i32;
+    match e {
+        0 => "1".into(),
+        1 => "10".into(),
+        2 => "100".into(),
+        3 => "1000".into(),
+        _ => format!("1e{e}"),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        Chart {
+            title: "Figure 4".into(),
+            x_label: "Number of Iterations (log scale)".into(),
+            y_label: "Cumulative System Utility".into(),
+            log_x: true,
+            reference: Some(("optimal".into(), 12.87)),
+            series: vec![
+                Series {
+                    label: "Gradient-based".into(),
+                    points: vec![(1.0, 0.1), (10.0, 1.0), (100.0, 6.0), (1000.0, 12.0)],
+                },
+                Series {
+                    label: "Back-pressure".into(),
+                    points: vec![(1.0, 0.0), (100.0, 0.5), (10_000.0, 8.0), (100_000.0, 12.5)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("Gradient-based"));
+        assert!(svg.contains("Back-pressure"));
+        assert!(svg.contains("optimal"));
+        assert!(svg.contains("stroke-dasharray")); // reference line
+        // two series paths + legend lines
+        assert!(svg.matches("<path").count() >= 2);
+    }
+
+    #[test]
+    fn log_ticks_cover_decades() {
+        let svg = chart().render();
+        for tick in ["10", "100", "1000"] {
+            assert!(svg.contains(&format!(">{tick}</text>")), "missing tick {tick}");
+        }
+    }
+
+    #[test]
+    fn linear_axis_works() {
+        let mut c = chart();
+        c.log_x = false;
+        let svg = c.render();
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    #[should_panic(expected = "log axis requires positive x")]
+    fn log_axis_rejects_nonpositive_x() {
+        let mut c = chart();
+        c.series[0].points.push((0.0, 1.0));
+        let _ = c.render();
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite points")]
+    fn empty_chart_panics() {
+        let c = Chart {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            log_x: false,
+            reference: None,
+            series: vec![],
+        };
+        let _ = c.render();
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut c = chart();
+        c.title = "a<b&c".into();
+        let svg = c.render();
+        assert!(svg.contains("a&lt;b&amp;c"));
+    }
+}

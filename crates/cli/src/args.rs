@@ -1,0 +1,184 @@
+//! A small dependency-free argument parser for the `spn` binary.
+//!
+//! Grammar: `spn <command> [positional]… [--flag value | --switch]…`.
+//! Kept deliberately tiny — the CLI has a handful of commands, and the
+//! workspace policy avoids dependencies that the reproduction does not
+//! need (see DESIGN.md).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: the command word, positional operands, and
+/// `--key value` / `--switch` options.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The first word after the program name.
+    pub command: String,
+    /// Operands that do not start with `--`.
+    pub positional: Vec<String>,
+    /// `--key value` pairs; bare switches map to an empty string.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Argument errors with user-facing messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No command word was given.
+    MissingCommand,
+    /// An option was given twice.
+    DuplicateOption(String),
+    /// A required option is absent.
+    MissingOption(&'static str),
+    /// An option value failed to parse.
+    BadValue {
+        /// The option name.
+        option: String,
+        /// The unparseable text.
+        value: String,
+    },
+    /// A required positional operand is absent.
+    MissingPositional(&'static str),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given (try `spn help`)"),
+            ArgError::DuplicateOption(o) => write!(f, "option --{o} given more than once"),
+            ArgError::MissingOption(o) => write!(f, "missing required option --{o}"),
+            ArgError::BadValue { option, value } => {
+                write!(f, "cannot parse --{option} value {value:?}")
+            }
+            ArgError::MissingPositional(p) => write!(f, "missing required operand <{p}>"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// Every `--key` consumes the next token as its value unless the
+    /// next token is another option or the end of input, in which case
+    /// it is a bare switch.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::MissingCommand`] or [`ArgError::DuplicateOption`].
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        let mut it = args.into_iter().peekable();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut parsed = ParsedArgs { command, ..Default::default() };
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
+                if parsed.options.insert(key.to_string(), value).is_some() {
+                    return Err(ArgError::DuplicateOption(key.to_string()));
+                }
+            } else {
+                parsed.positional.push(tok);
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// A required positional operand.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::MissingPositional`] when absent.
+    pub fn positional(&self, index: usize, name: &'static str) -> Result<&str, ArgError> {
+        self.positional
+            .get(index)
+            .map(String::as_str)
+            .ok_or(ArgError::MissingPositional(name))
+    }
+
+    /// An optional typed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::BadValue`] when present but unparseable.
+    pub fn opt<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                option: key.to_string(),
+                value: raw.clone(),
+            }),
+        }
+    }
+
+    /// Whether a bare switch (or any value) was given.
+    #[must_use]
+    pub fn switch(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<ParsedArgs, ArgError> {
+        ParsedArgs::parse(tokens.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn parses_command_positionals_and_options() {
+        let p = parse(&["gradient", "inst.json", "--iters", "500", "--quiet"]).unwrap();
+        assert_eq!(p.command, "gradient");
+        assert_eq!(p.positional, vec!["inst.json"]);
+        assert_eq!(p.opt("iters", 0usize).unwrap(), 500);
+        assert!(p.switch("quiet"));
+        assert!(!p.switch("verbose"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let p = parse(&["generate"]).unwrap();
+        assert_eq!(p.opt("nodes", 40usize).unwrap(), 40);
+        assert_eq!(p.opt("eta", 0.04f64).unwrap(), 0.04);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_values() {
+        assert_eq!(
+            parse(&["x", "--a", "1", "--a", "2"]).unwrap_err(),
+            ArgError::DuplicateOption("a".into())
+        );
+        let p = parse(&["x", "--n", "abc"]).unwrap();
+        assert!(matches!(p.opt("n", 0usize), Err(ArgError::BadValue { .. })));
+    }
+
+    #[test]
+    fn missing_command_and_positional() {
+        assert_eq!(parse(&[]).unwrap_err(), ArgError::MissingCommand);
+        let p = parse(&["solve"]).unwrap();
+        assert!(matches!(p.positional(0, "manifest"), Err(ArgError::MissingPositional(_))));
+    }
+
+    #[test]
+    fn switch_followed_by_option() {
+        let p = parse(&["x", "--quiet", "--n", "3"]).unwrap();
+        assert!(p.switch("quiet"));
+        assert_eq!(p.opt("n", 0usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            ArgError::MissingCommand,
+            ArgError::DuplicateOption("x".into()),
+            ArgError::MissingOption("y"),
+            ArgError::BadValue { option: "n".into(), value: "zz".into() },
+            ArgError::MissingPositional("manifest"),
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Library backing the `spn` command-line tool.
+//!
+//! The binary is a thin shell around [`commands::run`]; keeping the
+//! logic here lets the test suite drive every command against captured
+//! output without spawning processes.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, ParsedArgs};
+pub use commands::{help_text, run, CliError};

@@ -1,0 +1,20 @@
+//! `spn` — generate, inspect, solve, and run stream processing network
+//! instances from JSON manifests. See `spn help`.
+
+use spn_cli::{help_text, run, ParsedArgs};
+
+fn main() {
+    let parsed = match ParsedArgs::parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", help_text());
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = run(&parsed, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

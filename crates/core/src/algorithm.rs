@@ -1,0 +1,587 @@
+//! The complete distributed gradient-based algorithm (§5) as a
+//! synchronous in-process driver.
+//!
+//! Each [`GradientAlgorithm::step`] performs exactly one iteration of
+//! the paper's protocol stack:
+//!
+//! 1. **Flow forecast** (eqs. (3)–(5)): node traffic `t` and resource
+//!    usage `f` under the current routing decision;
+//! 2. **Marginal-cost wave** (eq. (9)): `∂A/∂r_i(j)` swept upstream from
+//!    each sink, with the blocking tags of eq. (18) piggybacked;
+//! 3. **Routing update Γ** (eqs. (14)–(17)): every node shifts mass
+//!    from expensive links to its best link.
+//!
+//! Resource allocation needs no extra step in the fluid model: a node's
+//! optimal local allocation under forecasted flows *is* `c^j_il·t_i(j)·φ_il(j)`
+//! per (commodity, out-edge) — reported via [`Report::node_allocations`].
+//!
+//! The message-level version of the same iteration — where the waves are
+//! explicit messages with per-hop latency — lives in the `spn-sim`
+//! crate and produces bit-identical routing tables (tested there).
+
+use crate::blocked::{compute_tags, BlockedTags};
+use crate::cost::CostModel;
+use crate::flows::{compute_flows, FlowState};
+use crate::gamma::{apply_gamma, GammaStats};
+use crate::marginals::{compute_marginals, Marginals};
+use crate::routing::RoutingTable;
+use spn_graph::NodeId;
+use spn_model::{Penalty, Problem};
+use spn_transform::view::{physical_loads, PhysicalLoads};
+use spn_transform::ExtendedNetwork;
+use std::fmt;
+
+/// Tunables of the gradient algorithm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GradientConfig {
+    /// The Γ scale factor `η`. Small values guarantee convergence but
+    /// slowly; the paper's Figure 4 uses `0.04` and notes that "in
+    /// practice, it is possible to choose a much larger η … e.g. in
+    /// hundreds of iterations".
+    pub eta: f64,
+    /// The penalty weight `ε` (`0.2` in §6).
+    pub epsilon: f64,
+    /// The per-node capacity penalty family `D_i`.
+    pub penalty: Penalty,
+    /// Whether to compute blocked sets (eq. (18)). The paper's commodity
+    /// subgraphs are DAGs, where loops cannot form; disabling this is an
+    /// ablation, not a correctness risk (see DESIGN.md).
+    pub use_blocked_sets: bool,
+    /// Traffic below this is treated as zero in eq. (16)'s division.
+    pub traffic_floor: f64,
+    /// Rate limit on opening idle paths: eq. (16)'s divisor `t_i(j)` is
+    /// floored at `opening_fraction · λ_j`. Gallager's literal
+    /// convention (route everything to the best link when `t_i(j) = 0`)
+    /// corresponds to `0.0` and is violently unstable in capacitated
+    /// networks — an idle low-capacity path looks free, attracts a full
+    /// reroute in one step, and the barrier then crashes admission (see
+    /// the E2 stability experiment).
+    pub opening_fraction: f64,
+    /// Upper bound on any single routing-fraction shift `Δ_ik(j)` per
+    /// iteration. Near a capacity barrier the marginal excess is
+    /// unbounded and eq. (16) saturates at the full fraction — a
+    /// one-step total reroute that floods the alternative path and
+    /// oscillates. `1.0` disables the cap (the paper's literal rule).
+    pub shift_cap: f64,
+    /// Utilization fraction beyond which the ε-independent capacity
+    /// wall activates (see [`CostModel`]).
+    pub wall_threshold: f64,
+    /// Wall scale `K`; `0.0` disables the wall (the paper's literal
+    /// objective `A = Y + ε·D`).
+    pub wall_strength: f64,
+    /// Multiplicative ε-annealing factor applied every
+    /// [`GradientConfig::epsilon_interval`] iterations (interior-point
+    /// continuation: the relaxed optimum approaches the true optimum as
+    /// ε → 0, so shrinking ε after the routing has settled closes the
+    /// relaxation gap). `1.0` disables annealing (the paper keeps ε
+    /// fixed).
+    pub epsilon_factor: f64,
+    /// Iterations between ε-annealing steps.
+    pub epsilon_interval: usize,
+    /// Annealing floor: ε never drops below this.
+    pub epsilon_min: f64,
+}
+
+impl Default for GradientConfig {
+    /// The paper's `η = 0.04` with the stabilized penalty stack this
+    /// crate recommends: the capacity-normalized barrier
+    /// (`D(z) = Cz/(C−z)`, knee 0.98) at `ε = 0.002`, the soft capacity
+    /// wall, a 0.1 shift cap and rate-limited path opening. The paper's
+    /// literal setup (`ε = 0.2`, `D(z) = 1/(C−z)`, no wall, no caps) is
+    /// reproducible by overriding `epsilon`, `penalty`, `wall_strength`,
+    /// `shift_cap` and `opening_fraction`; the E2 experiment measures
+    /// what each stabilizer contributes.
+    fn default() -> Self {
+        GradientConfig {
+            eta: 0.04,
+            epsilon: 5e-4,
+            penalty: Penalty::new(spn_model::PenaltyKind::ScaledReciprocal, 0.98)
+                .expect("valid knee"),
+            use_blocked_sets: true,
+            traffic_floor: 1e-12,
+            opening_fraction: 0.05,
+            shift_cap: 0.02,
+            wall_threshold: 0.95,
+            wall_strength: 4.0,
+            epsilon_factor: 1.0,
+            epsilon_interval: 1500,
+            epsilon_min: 2e-5,
+        }
+    }
+}
+
+/// Configuration errors for [`GradientAlgorithm::new`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `η` must be finite and positive.
+    BadEta(f64),
+    /// `ε` must be finite and positive.
+    BadEpsilon(f64),
+    /// The traffic floor must be finite and non-negative.
+    BadTrafficFloor(f64),
+    /// The opening fraction must be finite and non-negative.
+    BadOpeningFraction(f64),
+    /// The shift cap must be finite and positive.
+    BadShiftCap(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadEta(v) => write!(f, "eta must be finite and positive, got {v}"),
+            ConfigError::BadEpsilon(v) => {
+                write!(f, "epsilon must be finite and positive, got {v}")
+            }
+            ConfigError::BadTrafficFloor(v) => {
+                write!(f, "traffic floor must be finite and non-negative, got {v}")
+            }
+            ConfigError::BadOpeningFraction(v) => {
+                write!(f, "opening fraction must be finite and non-negative, got {v}")
+            }
+            ConfigError::BadShiftCap(v) => {
+                write!(f, "shift cap must be finite and positive, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Statistics of one iteration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepStats {
+    /// Cost `A = Y + ε·D` *before* the routing update.
+    pub cost_before: f64,
+    /// Routing-mass movement of the Γ application.
+    pub gamma: GammaStats,
+}
+
+/// A solution snapshot mapped back to problem terms.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Iterations performed so far.
+    pub iterations: usize,
+    /// Overall system utility `Σ_j U_j(a_j)`.
+    pub utility: f64,
+    /// The relaxed cost `A = Y + ε·D` (what the algorithm minimizes).
+    pub cost: f64,
+    /// Admitted rate `a_j` per commodity.
+    pub admitted: Vec<f64>,
+    /// Data rate delivered at each commodity's sink.
+    pub delivered: Vec<f64>,
+    /// Physical node/link resource usage.
+    pub loads: PhysicalLoads,
+    /// Highest node or link utilization (fraction of capacity).
+    pub max_utilization: f64,
+}
+
+impl Report {
+    /// Per-(commodity, out-edge) resource allocation at a node: how much
+    /// of the node's budget the local optimization assigns to each
+    /// processing task, given this snapshot's flows.
+    #[must_use]
+    pub fn node_allocations(
+        alg: &GradientAlgorithm,
+        node: NodeId,
+    ) -> Vec<(spn_model::CommodityId, spn_graph::EdgeId, f64)> {
+        let ext = alg.extended();
+        let state = alg.flows();
+        let mut out = Vec::new();
+        for j in ext.commodity_ids() {
+            for l in ext.commodity_out_edges(j, node) {
+                let alloc = state.traffic(j, node)
+                    * alg.routing().fraction(j, l)
+                    * ext.cost(j, l);
+                if alloc > 0.0 {
+                    out.push((j, l, alloc));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The distributed gradient-based algorithm over an extended network.
+#[derive(Clone, Debug)]
+pub struct GradientAlgorithm {
+    ext: ExtendedNetwork,
+    cost: CostModel,
+    config: GradientConfig,
+    routing: RoutingTable,
+    state: FlowState,
+    marginals: Marginals,
+    iterations: usize,
+}
+
+impl GradientAlgorithm {
+    /// Builds the algorithm for a validated problem: applies the §3
+    /// transformations and installs the fully-rejecting initial routing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for non-positive `η`/`ε` or a negative
+    /// traffic floor.
+    pub fn new(problem: &Problem, config: GradientConfig) -> Result<Self, ConfigError> {
+        Self::from_extended(ExtendedNetwork::build(problem), config)
+    }
+
+    /// Builds the algorithm over an already-transformed network (shared
+    /// with the simulator and with experiment code that mutates
+    /// capacities).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid tunables.
+    pub fn from_extended(
+        ext: ExtendedNetwork,
+        config: GradientConfig,
+    ) -> Result<Self, ConfigError> {
+        if !(config.eta.is_finite() && config.eta > 0.0) {
+            return Err(ConfigError::BadEta(config.eta));
+        }
+        if !(config.epsilon.is_finite() && config.epsilon > 0.0) {
+            return Err(ConfigError::BadEpsilon(config.epsilon));
+        }
+        if !(config.traffic_floor.is_finite() && config.traffic_floor >= 0.0) {
+            return Err(ConfigError::BadTrafficFloor(config.traffic_floor));
+        }
+        if !(config.opening_fraction.is_finite() && config.opening_fraction >= 0.0) {
+            return Err(ConfigError::BadOpeningFraction(config.opening_fraction));
+        }
+        if !(config.shift_cap.is_finite() && config.shift_cap > 0.0) {
+            return Err(ConfigError::BadShiftCap(config.shift_cap));
+        }
+        let cost = CostModel {
+            penalty: config.penalty,
+            epsilon: config.epsilon,
+            wall_threshold: config.wall_threshold,
+            wall_strength: config.wall_strength,
+        };
+        let routing = RoutingTable::initial(&ext);
+        let state = compute_flows(&ext, &routing);
+        let marginals = compute_marginals(&ext, &cost, &routing, &state);
+        Ok(GradientAlgorithm { ext, cost, config, routing, state, marginals, iterations: 0 })
+    }
+
+    /// Performs one full protocol iteration; returns its statistics.
+    pub fn step(&mut self) -> StepStats {
+        let cost_before = self.cost.total_cost(&self.ext, &self.state);
+        let tags = if self.config.use_blocked_sets {
+            compute_tags(
+                &self.ext,
+                &self.cost,
+                &self.routing,
+                &self.state,
+                &self.marginals,
+                self.config.eta,
+                self.config.traffic_floor,
+            )
+        } else {
+            BlockedTags::none(&self.ext)
+        };
+        let gamma = apply_gamma(
+            &self.ext,
+            &self.cost,
+            &mut self.routing,
+            &self.state,
+            &self.marginals,
+            &tags,
+            self.config.eta,
+            self.config.traffic_floor,
+            self.config.opening_fraction,
+            self.config.shift_cap,
+        );
+        // Forecast flows for the new decision and refresh marginals so
+        // the next iteration (and external reports) see consistent
+        // state.
+        self.state = compute_flows(&self.ext, &self.routing);
+        self.iterations += 1;
+        // ε-annealing schedule (no-op when epsilon_factor == 1.0).
+        if self.config.epsilon_factor < 1.0
+            && self.iterations.is_multiple_of(self.config.epsilon_interval)
+            && self.cost.epsilon > self.config.epsilon_min
+        {
+            self.cost.epsilon =
+                (self.cost.epsilon * self.config.epsilon_factor).max(self.config.epsilon_min);
+        }
+        self.marginals = compute_marginals(&self.ext, &self.cost, &self.routing, &self.state);
+        StepStats { cost_before, gamma }
+    }
+
+    /// Runs `iterations` steps, returning the final report.
+    pub fn run(&mut self, iterations: usize) -> Report {
+        for _ in 0..iterations {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Runs until the per-step total routing shift drops below
+    /// `shift_tolerance` or `max_iterations` is hit; returns the number
+    /// of iterations performed by this call.
+    pub fn run_until_stable(&mut self, shift_tolerance: f64, max_iterations: usize) -> usize {
+        for done in 0..max_iterations {
+            let stats = self.step();
+            if stats.gamma.total_shift < shift_tolerance {
+                return done + 1;
+            }
+        }
+        max_iterations
+    }
+
+    /// Current solution snapshot in problem terms.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        let admitted: Vec<f64> =
+            self.ext.commodity_ids().map(|j| self.state.admitted(&self.ext, j)).collect();
+        let delivered: Vec<f64> =
+            self.ext.commodity_ids().map(|j| self.state.delivered(&self.ext, j)).collect();
+        let utility: f64 = self
+            .ext
+            .commodity_ids()
+            .zip(&admitted)
+            .map(|(j, &a)| self.ext.commodity(j).utility.value(a))
+            .sum();
+        let loads = physical_loads(&self.ext, &self.state.f_node);
+        let max_utilization = self
+            .ext
+            .graph()
+            .nodes()
+            .map(|v| self.ext.capacity(v).utilization(self.state.node_usage(v)))
+            .fold(0.0, f64::max);
+        Report {
+            iterations: self.iterations,
+            utility,
+            cost: self.cost.total_cost(&self.ext, &self.state),
+            admitted,
+            delivered,
+            loads,
+            max_utilization,
+        }
+    }
+
+    /// The extended network the algorithm runs on.
+    #[must_use]
+    pub fn extended(&self) -> &ExtendedNetwork {
+        &self.ext
+    }
+
+    /// Mutable access to the extended network, for dynamic-demand and
+    /// failure experiments (`set_max_rate`, `set_capacity`). Flows and
+    /// marginals refresh on the next [`GradientAlgorithm::step`].
+    pub fn extended_mut(&mut self) -> &mut ExtendedNetwork {
+        &mut self.ext
+    }
+
+    /// The current routing decision.
+    #[must_use]
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// The current flow state (consistent with [`Self::routing`]).
+    #[must_use]
+    pub fn flows(&self) -> &FlowState {
+        &self.state
+    }
+
+    /// The current marginal costs.
+    #[must_use]
+    pub fn marginals(&self) -> &Marginals {
+        &self.marginals
+    }
+
+    /// The cost model in effect.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &GradientConfig {
+        &self.config
+    }
+
+    /// Iterations performed so far.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Overwrites the routing decision (used by failure-injection
+    /// experiments to apply local repairs) and recomputes flows and
+    /// marginals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new table fails [`RoutingTable::validate`].
+    pub fn install_routing(&mut self, routing: RoutingTable) {
+        routing.validate(&self.ext).expect("installed routing must be valid");
+        self.routing = routing;
+        self.state = compute_flows(&self.ext, &self.routing);
+        self.marginals = compute_marginals(&self.ext, &self.cost, &self.routing, &self.state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_model::builder::ProblemBuilder;
+    use spn_model::{CommodityId, UtilityFn};
+
+    /// s → x → t; capacity allows ~5 units through (x: cap 10, c=2).
+    fn bottleneck_problem() -> Problem {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(100.0);
+        let x = b.server(10.0);
+        let t = b.server(100.0);
+        let e1 = b.link(s, x, 100.0);
+        let e2 = b.link(x, t, 100.0);
+        let j = b.commodity(s, t, 20.0, UtilityFn::throughput());
+        b.uses(j, e1, 1.0, 1.0).uses(j, e2, 2.0, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let p = bottleneck_problem();
+        let bad_eta = GradientConfig { eta: 0.0, ..GradientConfig::default() };
+        assert!(matches!(GradientAlgorithm::new(&p, bad_eta), Err(ConfigError::BadEta(_))));
+        let bad_eps = GradientConfig { epsilon: -1.0, ..GradientConfig::default() };
+        assert!(matches!(GradientAlgorithm::new(&p, bad_eps), Err(ConfigError::BadEpsilon(_))));
+        let bad_floor = GradientConfig { traffic_floor: f64::NAN, ..GradientConfig::default() };
+        assert!(matches!(
+            GradientAlgorithm::new(&p, bad_floor),
+            Err(ConfigError::BadTrafficFloor(_))
+        ));
+        assert!(!format!("{}", ConfigError::BadEta(0.0)).is_empty());
+    }
+
+    #[test]
+    fn starts_fully_rejecting() {
+        let p = bottleneck_problem();
+        let alg = GradientAlgorithm::new(&p, GradientConfig::default()).unwrap();
+        let r = alg.report();
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.utility, 0.0);
+        assert_eq!(r.admitted, vec![0.0]);
+        assert_eq!(r.max_utilization, 0.0);
+    }
+
+    #[test]
+    fn admission_grows_and_respects_capacity() {
+        let p = bottleneck_problem();
+        let cfg = GradientConfig { eta: 0.5, ..GradientConfig::default() };
+        let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
+        let r = alg.run(800);
+        // the x bottleneck admits at most 10/2 = 5 units
+        assert!(r.admitted[0] > 3.5, "admitted {} too low", r.admitted[0]);
+        assert!(r.admitted[0] <= 5.0 + 1e-6, "admitted {} exceeds capacity", r.admitted[0]);
+        assert!(r.max_utilization <= 1.0 + 1e-9);
+        assert!(r.utility > 0.0);
+        alg.routing().validate(alg.extended()).unwrap();
+        assert!(alg.routing().is_loop_free(alg.extended()));
+    }
+
+    #[test]
+    fn utility_is_near_monotone() {
+        let p = bottleneck_problem();
+        // larger ε smooths the barrier; with the default ε = 5e-4 and a
+        // large η the equilibrium is a benign ±shift_cap limit cycle
+        let cfg =
+            GradientConfig { eta: 0.2, epsilon: 0.002, ..GradientConfig::default() };
+        let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
+        let mut last = 0.0;
+        let mut max_drop: f64 = 0.0;
+        for _ in 0..400 {
+            alg.step();
+            let u = alg.report().utility;
+            max_drop = max_drop.max(last - u);
+            last = u;
+        }
+        assert!(max_drop < 0.05, "utility dropped by {max_drop}");
+    }
+
+    #[test]
+    fn unconstrained_problem_admits_everything() {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(1e6);
+        let t = b.server(1e6);
+        let e = b.link(s, t, 1e6);
+        let j = b.commodity(s, t, 5.0, UtilityFn::throughput());
+        b.uses(j, e, 1.0, 1.0);
+        let p = b.build().unwrap();
+        let cfg = GradientConfig { eta: 0.5, ..GradientConfig::default() };
+        let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
+        let r = alg.run(500);
+        assert!(r.admitted[0] > 4.9, "admitted {} of 5", r.admitted[0]);
+        assert!((r.delivered[0] - r.admitted[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_until_stable_terminates() {
+        let p = bottleneck_problem();
+        let cfg =
+            GradientConfig { eta: 0.3, epsilon: 0.002, ..GradientConfig::default() };
+        let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
+        let used = alg.run_until_stable(1e-10, 20_000);
+        assert!(used < 20_000, "did not stabilize");
+        let r = alg.report();
+        assert!(r.admitted[0] > 3.0);
+    }
+
+    #[test]
+    fn step_stats_reflect_progress() {
+        let p = bottleneck_problem();
+        let mut alg = GradientAlgorithm::new(&p, GradientConfig::default()).unwrap();
+        let s1 = alg.step();
+        assert!(s1.gamma.rows > 0);
+        // initial cost = full utility loss = λ = 20
+        assert!((s1.cost_before - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_allocations_decompose_node_usage() {
+        let p = bottleneck_problem();
+        let cfg = GradientConfig { eta: 0.5, ..GradientConfig::default() };
+        let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
+        alg.run(300);
+        let x = spn_graph::NodeId::from_index(1);
+        let allocs = Report::node_allocations(&alg, x);
+        let total: f64 = allocs.iter().map(|&(_, _, a)| a).sum();
+        assert!((total - alg.flows().node_usage(x)).abs() < 1e-9);
+        assert!(!allocs.is_empty());
+        assert_eq!(allocs[0].0, CommodityId::from_index(0));
+    }
+
+    #[test]
+    fn blocked_sets_do_not_change_dag_fixed_point() {
+        let p = bottleneck_problem();
+        let with = GradientConfig { eta: 0.3, ..GradientConfig::default() };
+        let without =
+            GradientConfig { eta: 0.3, use_blocked_sets: false, ..GradientConfig::default() };
+        let mut a = GradientAlgorithm::new(&p, with).unwrap();
+        let mut b = GradientAlgorithm::new(&p, without).unwrap();
+        let ra = a.run(2000);
+        let rb = b.run(2000);
+        assert!(
+            (ra.utility - rb.utility).abs() < 1e-3,
+            "blocked sets changed the DAG fixed point: {} vs {}",
+            ra.utility,
+            rb.utility
+        );
+    }
+
+    #[test]
+    fn install_routing_resets_state() {
+        let p = bottleneck_problem();
+        let mut alg = GradientAlgorithm::new(&p, GradientConfig::default()).unwrap();
+        alg.run(50);
+        let fresh = RoutingTable::initial(alg.extended());
+        alg.install_routing(fresh);
+        let r = alg.report();
+        assert_eq!(r.admitted, vec![0.0]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Blocked sets `B_i(j)` for loop-freedom (§5, eq. (18)).
+//!
+//! A node `k` is *blocked* relative to destination `j` if some routing
+//! path from `k` to `j` contains an **improper sticky link** `(l, m)`:
+//! one with positive fraction routed toward non-decreasing marginal cost
+//! (`φ_lm(j) > 0` and `∂A/∂r_l(j) ≤ ∂A/∂r_m(j)`) that this iteration's
+//! update cannot close (eq. (18)). Nodes learn this through a tag
+//! piggybacked on the marginal-cost broadcast: a node tags its value if
+//! it has such a link or if any positive-fraction downstream neighbor's
+//! value arrived tagged. The blocked set `B_i(j)` then contains the
+//! out-neighbors `k` of `i` with `φ_ik(j) = 0` whose broadcast was
+//! tagged — and the Γ update may not move mass onto them.
+//!
+//! In Gallager's general setting this is what prevents routing loops.
+//! In this system the per-commodity extended subgraphs are DAGs, so
+//! loops are impossible regardless; we implement the mechanism faithfully
+//! (it also shapes trajectories by delaying mass shifts toward congested
+//! regions) and expose a switch to disable it for ablation (experiment
+//! code compares both).
+
+use crate::cost::CostModel;
+use crate::flows::FlowState;
+use crate::marginals::Marginals;
+use crate::routing::RoutingTable;
+use spn_graph::NodeId;
+use spn_model::CommodityId;
+use spn_transform::ExtendedNetwork;
+
+/// Per-commodity tag vectors: `tagged[j][v]` means node `v`'s broadcast
+/// for destination `j` carried the blocking tag.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockedTags {
+    tagged: Vec<Vec<bool>>,
+}
+
+impl BlockedTags {
+    /// A tag set that blocks nothing (used when the mechanism is
+    /// disabled).
+    #[must_use]
+    pub fn none(ext: &ExtendedNetwork) -> Self {
+        BlockedTags { tagged: vec![vec![false; ext.graph().node_count()]; ext.num_commodities()] }
+    }
+
+    /// Builds a tag set from raw per-commodity vectors (crate-internal:
+    /// used by tests and by the simulator, which computes tags from
+    /// received messages).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn from_raw(tagged: Vec<Vec<bool>>) -> Self {
+        BlockedTags { tagged }
+    }
+
+    /// Whether node `v`'s broadcast for destination `j` was tagged.
+    #[must_use]
+    pub fn is_tagged(&self, j: CommodityId, v: NodeId) -> bool {
+        self.tagged[j.index()][v.index()]
+    }
+
+    /// Whether the Γ update at node `i` may *not* move mass onto the
+    /// edge toward `k`: true exactly when `k ∈ B_i(j)`, i.e. `k` is
+    /// tagged and the current fraction is zero.
+    #[must_use]
+    pub fn is_blocked(
+        &self,
+        routing: &RoutingTable,
+        j: CommodityId,
+        l: spn_graph::EdgeId,
+        ext: &ExtendedNetwork,
+    ) -> bool {
+        routing.fraction(j, l) == 0.0 && self.is_tagged(j, ext.graph().target(l))
+    }
+}
+
+/// Computes the blocking tags for every commodity (one reverse sweep per
+/// commodity, mirroring the §5 broadcast protocol).
+///
+/// `eta` is the Γ scale factor and `traffic_floor` the threshold below
+/// which a node's traffic is treated as zero (eq. (18) divides by
+/// `t_l(j)`; with no traffic the update can close any link instantly, so
+/// the link is never sticky).
+#[must_use]
+pub fn compute_tags(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    routing: &RoutingTable,
+    state: &FlowState,
+    marginals: &Marginals,
+    eta: f64,
+    traffic_floor: f64,
+) -> BlockedTags {
+    let v_count = ext.graph().node_count();
+    let mut tagged = vec![vec![false; v_count]; ext.num_commodities()];
+    for j in ext.commodity_ids() {
+        let ji = j.index();
+        for &v in ext.topo_order(j).iter().rev() {
+            let mut tag = false;
+            let t_v = state.traffic(j, v);
+            let dv = marginals.node(j, v);
+            for l in ext.commodity_out_edges(j, v) {
+                let phi = routing.fraction(j, l);
+                if phi <= 0.0 {
+                    continue;
+                }
+                let head = ext.graph().target(l);
+                // inherited tag travels every positive-fraction link
+                if tagged[ji][head.index()] {
+                    tag = true;
+                    break;
+                }
+                // improper link: routes toward non-decreasing marginal
+                let dm = marginals.node(j, head);
+                if dv <= dm && t_v > traffic_floor {
+                    // sticky (eq. (18)): this iteration cannot close it
+                    let excess = marginals.edge(ext, cost, state, j, l) - dv;
+                    if phi >= eta * excess / t_v {
+                        tag = true;
+                        break;
+                    }
+                }
+            }
+            tagged[ji][v.index()] = tag;
+        }
+    }
+    BlockedTags { tagged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::compute_flows;
+    use crate::marginals::compute_marginals;
+    use spn_model::builder::ProblemBuilder;
+    use spn_model::{Penalty, UtilityFn};
+
+    fn cm() -> CostModel {
+        CostModel::new(Penalty::default(), 0.2)
+    }
+
+    fn diamond() -> ExtendedNetwork {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(30.0);
+        let x = b.server(5.0); // tight
+        let y = b.server(40.0);
+        let t = b.server(30.0);
+        let e_sx = b.link(s, x, 15.0);
+        let e_sy = b.link(s, y, 25.0);
+        let e_xt = b.link(x, t, 15.0);
+        let e_yt = b.link(y, t, 25.0);
+        let j = b.commodity(s, t, 6.0, UtilityFn::throughput());
+        b.uses(j, e_sx, 2.0, 1.0)
+            .uses(j, e_sy, 1.5, 1.0)
+            .uses(j, e_xt, 1.0, 1.0)
+            .uses(j, e_yt, 2.5, 1.0);
+        ExtendedNetwork::build(&b.build().unwrap())
+    }
+
+    #[test]
+    fn none_blocks_nothing() {
+        let ext = diamond();
+        let tags = BlockedTags::none(&ext);
+        let j = CommodityId::from_index(0);
+        for v in ext.graph().nodes() {
+            assert!(!tags.is_tagged(j, v));
+        }
+    }
+
+    #[test]
+    fn zero_load_network_is_untagged() {
+        // full rejection: all marginals inside the network are tiny and
+        // decrease strictly toward the sink, no improper links
+        let ext = diamond();
+        let rt = RoutingTable::initial(&ext);
+        let fs = compute_flows(&ext, &rt);
+        let m = compute_marginals(&ext, &cm(), &rt, &fs);
+        let tags = compute_tags(&ext, &cm(), &rt, &fs, &m, 0.04, 1e-12);
+        let j = CommodityId::from_index(0);
+        for v in ext.graph().nodes() {
+            assert!(!tags.is_tagged(j, v), "{v} tagged in an idle network");
+        }
+    }
+
+    #[test]
+    fn tags_propagate_upstream_of_improper_links() {
+        // force an improper link: route everything through the tight
+        // node x, creating a steep marginal at x while the alternative
+        // at s is flat. Then the s→x link routes toward a *higher*
+        // marginal and (with large eta excess) is sticky.
+        let ext = diamond();
+        let j = CommodityId::from_index(0);
+        let mut rt = RoutingTable::initial(&ext);
+        rt.set_row(
+            &ext,
+            j,
+            ext.dummy_source(j),
+            &[(ext.input_edge(j), 1.0), (ext.difference_edge(j), 0.0)],
+        );
+        let s = ext.commodity(j).source();
+        let outs: Vec<_> = ext.commodity_out_edges(j, s).collect();
+        // all mass toward x (outs[0] is the s→bw(sx) ingress)
+        rt.set_row(&ext, j, s, &[(outs[0], 1.0), (outs[1], 0.0)]);
+        let fs = compute_flows(&ext, &rt);
+        let m = compute_marginals(&ext, &cm(), &rt, &fs);
+        // an artificial marginal inversion: make the bw node of s→x look
+        // worse than its own downstream. Rather than fabricating, check
+        // the mechanism on whatever the real marginals are: if any
+        // improper sticky link exists, its upstream nodes must be tagged.
+        let tags = compute_tags(&ext, &cm(), &rt, &fs, &m, 1e6, 1e-12);
+        // with an enormous eta the stickiness condition (18) is hard to
+        // satisfy, so this may or may not tag; with eta → 0 every
+        // improper link is sticky:
+        let tags_small = compute_tags(&ext, &cm(), &rt, &fs, &m, 1e-12, 1e-12);
+        let any_improper = ext.graph().nodes().any(|v| {
+            ext.commodity_out_edges(j, v).any(|l| {
+                rt.fraction(j, l) > 0.0
+                    && m.node(j, v) <= m.node(j, ext.graph().target(l))
+                    && v != ext.commodity(j).sink()
+            })
+        });
+        if any_improper {
+            assert!(
+                ext.graph().nodes().any(|v| tags_small.is_tagged(j, v)),
+                "improper link exists but nothing tagged at eta→0"
+            );
+        }
+        // sanity: tag sets shrink (weakly) as eta grows
+        for v in ext.graph().nodes() {
+            if tags.is_tagged(j, v) {
+                assert!(tags_small.is_tagged(j, v));
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_requires_zero_fraction() {
+        let ext = diamond();
+        let j = CommodityId::from_index(0);
+        let rt = RoutingTable::initial(&ext);
+        let mut tags = BlockedTags::none(&ext);
+        // tag everything; only φ=0 edges become blocked
+        for row in &mut tags.tagged {
+            row.iter_mut().for_each(|b| *b = true);
+        }
+        for v in ext.graph().nodes() {
+            for l in ext.commodity_out_edges(j, v) {
+                let blocked = tags.is_blocked(&rt, j, l, &ext);
+                assert_eq!(blocked, rt.fraction(j, l) == 0.0);
+            }
+        }
+    }
+}

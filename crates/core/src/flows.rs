@@ -1,0 +1,302 @@
+//! Flow balance and resource usage (eqs. (3)–(5)).
+//!
+//! Given a routing decision `φ` and the fixed offered loads `r` (each
+//! dummy source receives `λ_j`), the node traffic rates solve
+//!
+//! ```text
+//! t_i(j) = r_i(j) + Σ_l t_l(j) φ_li(j) β^j_li          (3)
+//! ```
+//!
+//! which we evaluate in one pass over the commodity's topological order
+//! (the positive-`φ` subgraph of a commodity is always a sub-DAG of its
+//! extended subgraph). Resource usage then follows
+//!
+//! ```text
+//! f_ik = Σ_j t_i(j) φ_ik(j) c^j_ik                     (4)
+//! f_i  = Σ_{(i,k)} f_ik                                 (5)
+//! ```
+//!
+//! (eq. (4) is printed with `t_l` in the paper — a typo for `t_i`, as in
+//! Gallager's original formulation that the paper generalizes).
+
+use crate::routing::RoutingTable;
+use spn_graph::{EdgeId, NodeId};
+use spn_model::CommodityId;
+use spn_transform::ExtendedNetwork;
+
+/// Traffic and resource-usage rates induced by a routing decision.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowState {
+    /// `t[j][v]` — commodity-`j` traffic rate at extended node `v`
+    /// (in node-`v` input units), eq. (3).
+    pub t: Vec<Vec<f64>>,
+    /// `x[j][l]` — commodity-`j` input flow routed over extended edge
+    /// `l`: `t_i(j)·φ_il(j)` (input units of the tail node).
+    pub x: Vec<Vec<f64>>,
+    /// `f_edge[l]` — total resource usage rate on edge `l` across all
+    /// commodities, eq. (4).
+    pub f_edge: Vec<f64>,
+    /// `f_node[v]` — total resource usage rate at node `v`, eq. (5).
+    pub f_node: Vec<f64>,
+}
+
+impl FlowState {
+    /// Commodity-`j` traffic rate at `v`.
+    #[must_use]
+    pub fn traffic(&self, j: CommodityId, v: NodeId) -> f64 {
+        self.t[j.index()][v.index()]
+    }
+
+    /// Commodity-`j` input flow over edge `l`.
+    #[must_use]
+    pub fn edge_flow(&self, j: CommodityId, l: EdgeId) -> f64 {
+        self.x[j.index()][l.index()]
+    }
+
+    /// Total resource usage on edge `l` (all commodities).
+    #[must_use]
+    pub fn edge_usage(&self, l: EdgeId) -> f64 {
+        self.f_edge[l.index()]
+    }
+
+    /// Total resource usage at node `v`.
+    #[must_use]
+    pub fn node_usage(&self, v: NodeId) -> f64 {
+        self.f_node[v.index()]
+    }
+
+    /// Admitted rate `a_j`: the flow on the dummy input link.
+    #[must_use]
+    pub fn admitted(&self, ext: &ExtendedNetwork, j: CommodityId) -> f64 {
+        self.edge_flow(j, ext.input_edge(j))
+    }
+
+    /// Rejected rate `λ_j − a_j`: the flow on the dummy difference link.
+    #[must_use]
+    pub fn rejected(&self, ext: &ExtendedNetwork, j: CommodityId) -> f64 {
+        self.edge_flow(j, ext.difference_edge(j))
+    }
+
+    /// Data rate of *real* (non-rejected) commodity-`j` traffic arriving
+    /// at the sink. By Property 1 this equals `a_j · g_j(sink)`.
+    #[must_use]
+    pub fn delivered(&self, ext: &ExtendedNetwork, j: CommodityId) -> f64 {
+        let sink = ext.commodity(j).sink();
+        let diff = ext.difference_edge(j);
+        ext.commodity_in_edges(j, sink)
+            .filter(|&l| l != diff)
+            .map(|l| self.edge_flow(j, l) * ext.beta(j, l))
+            .sum()
+    }
+}
+
+/// Evaluates eqs. (3)–(5) for the given routing decision.
+///
+/// The offered load is the paper's `r`: commodity `j` arrives at its
+/// dummy source at the fixed rate `λ_j` (eq. (2)); all other external
+/// inputs are zero.
+#[must_use]
+pub fn compute_flows(ext: &ExtendedNetwork, routing: &RoutingTable) -> FlowState {
+    let v_count = ext.graph().node_count();
+    let l_count = ext.graph().edge_count();
+    let j_count = ext.num_commodities();
+    let mut t = vec![vec![0.0; v_count]; j_count];
+    let mut x = vec![vec![0.0; l_count]; j_count];
+    let mut f_edge = vec![0.0; l_count];
+    let mut f_node = vec![0.0; v_count];
+
+    for j in ext.commodity_ids() {
+        let ji = j.index();
+        t[ji][ext.dummy_source(j).index()] = ext.commodity(j).max_rate;
+        for &v in ext.topo_order(j) {
+            let tv = t[ji][v.index()];
+            if tv == 0.0 {
+                continue;
+            }
+            for l in ext.commodity_out_edges(j, v) {
+                let phi = routing.fraction(j, l);
+                if phi == 0.0 {
+                    continue;
+                }
+                let flow = tv * phi;
+                x[ji][l.index()] = flow;
+                let usage = flow * ext.cost(j, l);
+                f_edge[l.index()] += usage;
+                f_node[v.index()] += usage;
+                t[ji][ext.graph().target(l).index()] += flow * ext.beta(j, l);
+            }
+        }
+    }
+    FlowState { t, x, f_edge, f_node }
+}
+
+/// Maximum absolute flow-balance residual of eq. (3) over all
+/// commodities and nodes — a verification helper used by tests and
+/// debug assertions (`compute_flows` satisfies it by construction; the
+/// solver's outputs are checked against the same residual).
+#[must_use]
+pub fn balance_residual(ext: &ExtendedNetwork, routing: &RoutingTable, state: &FlowState) -> f64 {
+    let mut worst: f64 = 0.0;
+    for j in ext.commodity_ids() {
+        let ji = j.index();
+        for v in ext.graph().nodes() {
+            if v == ext.commodity(j).sink() {
+                continue;
+            }
+            let r = if v == ext.dummy_source(j) { ext.commodity(j).max_rate } else { 0.0 };
+            let inflow: f64 = ext
+                .commodity_in_edges(j, v)
+                .map(|l| {
+                    let tail = ext.graph().source(l);
+                    state.t[ji][tail.index()] * routing.fraction(j, l) * ext.beta(j, l)
+                })
+                .sum();
+            let residual = (state.t[ji][v.index()] - r - inflow).abs();
+            worst = worst.max(residual);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_model::builder::ProblemBuilder;
+    use spn_model::UtilityFn;
+    use spn_transform::ExtendedNetwork;
+
+    /// s → x → t with β = 0.5 then 2.0, costs 2 and 3.
+    fn chain_ext() -> ExtendedNetwork {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(100.0);
+        let x = b.server(100.0);
+        let t = b.server(100.0);
+        let e1 = b.link(s, x, 50.0);
+        let e2 = b.link(x, t, 50.0);
+        let j = b.commodity(s, t, 8.0, UtilityFn::throughput());
+        b.uses(j, e1, 2.0, 0.5).uses(j, e2, 3.0, 2.0);
+        ExtendedNetwork::build(&b.build().unwrap())
+    }
+
+    fn fully_admitting(ext: &ExtendedNetwork) -> RoutingTable {
+        let mut rt = RoutingTable::initial(ext);
+        for j in ext.commodity_ids() {
+            let dummy = ext.dummy_source(j);
+            rt.set_row(ext, j, dummy, &[(ext.input_edge(j), 1.0), (ext.difference_edge(j), 0.0)]);
+        }
+        rt
+    }
+
+    #[test]
+    fn shrinkage_propagates_through_chain() {
+        let ext = chain_ext();
+        let rt = fully_admitting(&ext);
+        let fs = compute_flows(&ext, &rt);
+        let j = CommodityId::from_index(0);
+        let s = ext.commodity(j).source();
+        let sink = ext.commodity(j).sink();
+        // a = λ = 8; at x: 8·0.5 = 4; at sink: 4·2 = 8
+        assert!((fs.admitted(&ext, j) - 8.0).abs() < 1e-12);
+        assert!((fs.traffic(j, s) - 8.0).abs() < 1e-12);
+        assert!((fs.traffic(j, sink) - 8.0).abs() < 1e-12);
+        assert!((fs.delivered(&ext, j) - 8.0).abs() < 1e-12);
+        assert_eq!(fs.rejected(&ext, j), 0.0);
+    }
+
+    #[test]
+    fn resource_usage_charges_the_tail() {
+        let ext = chain_ext();
+        let rt = fully_admitting(&ext);
+        let fs = compute_flows(&ext, &rt);
+        let j = CommodityId::from_index(0);
+        let s = ext.commodity(j).source();
+        // source spends c=2 per unit on 8 units = 16
+        assert!((fs.node_usage(s) - 16.0).abs() < 1e-12);
+        // first bandwidth node carries 8·0.5 = 4 units at c=1
+        let bw0 = spn_graph::NodeId::from_index(3);
+        assert!((fs.node_usage(bw0) - 4.0).abs() < 1e-12);
+        // middle server x processes 4 units at c=3 = 12
+        let x = spn_graph::NodeId::from_index(1);
+        assert!((fs.node_usage(x) - 12.0).abs() < 1e-12);
+        // sink spends nothing
+        assert_eq!(fs.node_usage(ext.commodity(j).sink()), 0.0);
+    }
+
+    #[test]
+    fn full_rejection_loads_nothing() {
+        let ext = chain_ext();
+        let rt = RoutingTable::initial(&ext);
+        let fs = compute_flows(&ext, &rt);
+        let j = CommodityId::from_index(0);
+        assert_eq!(fs.admitted(&ext, j), 0.0);
+        assert!((fs.rejected(&ext, j) - 8.0).abs() < 1e-12);
+        assert_eq!(fs.delivered(&ext, j), 0.0);
+        // only the dummy node consumes (virtual) resource
+        for v in ext.graph().nodes() {
+            if v != ext.dummy_source(j) {
+                assert_eq!(fs.node_usage(v), 0.0, "node {v} loaded");
+            }
+        }
+    }
+
+    #[test]
+    fn split_routing_balances() {
+        // diamond with a 60/40 split
+        let mut b = ProblemBuilder::new();
+        let s = b.server(100.0);
+        let x = b.server(100.0);
+        let y = b.server(100.0);
+        let t = b.server(100.0);
+        let e_sx = b.link(s, x, 50.0);
+        let e_sy = b.link(s, y, 50.0);
+        let e_xt = b.link(x, t, 50.0);
+        let e_yt = b.link(y, t, 50.0);
+        let j = b.commodity(s, t, 10.0, UtilityFn::throughput());
+        b.uses(j, e_sx, 1.0, 1.0)
+            .uses(j, e_sy, 1.0, 1.0)
+            .uses(j, e_xt, 1.0, 1.0)
+            .uses(j, e_yt, 1.0, 1.0);
+        let ext = ExtendedNetwork::build(&b.build().unwrap());
+        let mut rt = fully_admitting(&ext);
+        let j = CommodityId::from_index(0);
+        let src = ext.commodity(j).source();
+        let outs: Vec<_> = ext.commodity_out_edges(j, src).collect();
+        rt.set_row(&ext, j, src, &[(outs[0], 0.6), (outs[1], 0.4)]);
+        let fs = compute_flows(&ext, &rt);
+        assert!((fs.delivered(&ext, j) - 10.0).abs() < 1e-9);
+        assert!(balance_residual(&ext, &rt, &fs) < 1e-9);
+        // x and y see the split
+        let xv = spn_graph::NodeId::from_index(1);
+        let yv = spn_graph::NodeId::from_index(2);
+        assert!((fs.traffic(j, xv) - 6.0).abs() < 1e-9);
+        assert!((fs.traffic(j, yv) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balance_residual_flags_corruption() {
+        let ext = chain_ext();
+        let rt = fully_admitting(&ext);
+        let mut fs = compute_flows(&ext, &rt);
+        assert!(balance_residual(&ext, &rt, &fs) < 1e-12);
+        fs.t[0][1] += 1.0;
+        assert!(balance_residual(&ext, &rt, &fs) > 0.5);
+    }
+
+    #[test]
+    fn partial_admission() {
+        let ext = chain_ext();
+        let mut rt = RoutingTable::initial(&ext);
+        let j = CommodityId::from_index(0);
+        let dummy = ext.dummy_source(j);
+        rt.set_row(
+            &ext,
+            j,
+            dummy,
+            &[(ext.input_edge(j), 0.25), (ext.difference_edge(j), 0.75)],
+        );
+        let fs = compute_flows(&ext, &rt);
+        assert!((fs.admitted(&ext, j) - 2.0).abs() < 1e-12);
+        assert!((fs.rejected(&ext, j) - 6.0).abs() < 1e-12);
+        assert!((fs.delivered(&ext, j) - 2.0).abs() < 1e-12);
+    }
+}

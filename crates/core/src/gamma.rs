@@ -1,0 +1,365 @@
+//! The routing update Γ (§5, eqs. (14)–(17)).
+//!
+//! Each iteration, every node `i` and destination `j` shifts routing
+//! mass away from links whose marginal cost
+//! `a_ik(j) = m_ik(j) − min_m m_im(j)` exceeds the best link's, by
+//!
+//! ```text
+//! Δ_ik(j) = min( φ_ik(j), η·a_ik(j) / t_i(j) )        (16)
+//! ```
+//!
+//! and adds the collected mass to the best link (eq. (17)). Blocked
+//! links (eq. (14)) keep `φ = 0`. The reduction is inversely
+//! proportional to `t_i(j)` because the induced link-traffic change is
+//! `Δ_ik(j)·t_i(j)`; when `t_i(j) = 0` the fraction can move freely, so
+//! (following Gallager's convention) the node routes everything to the
+//! current best link.
+
+use crate::blocked::BlockedTags;
+use crate::cost::CostModel;
+use crate::flows::FlowState;
+use crate::marginals::Marginals;
+use crate::routing::RoutingTable;
+use spn_graph::{EdgeId, NodeId};
+use spn_model::CommodityId;
+use spn_transform::ExtendedNetwork;
+
+/// Outcome statistics of one Γ application.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GammaStats {
+    /// Largest single fraction shift `Δ_ik(j)` applied.
+    pub max_shift: f64,
+    /// Total mass moved across all nodes and commodities.
+    pub total_shift: f64,
+    /// Number of (node, commodity) rows updated.
+    pub rows: usize,
+}
+
+/// Computes the new routing row for one `(commodity, router)` pair
+/// without applying it. Returns `(new_row, max_shift, total_shift)`.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
+#[must_use]
+pub fn gamma_row(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    routing: &RoutingTable,
+    state: &FlowState,
+    marginals: &Marginals,
+    tags: &BlockedTags,
+    eta: f64,
+    traffic_floor: f64,
+    opening_floor: f64,
+    shift_cap: f64,
+    j: CommodityId,
+    i: NodeId,
+) -> (Vec<(EdgeId, f64)>, f64, f64) {
+    let edges: Vec<EdgeId> = ext.commodity_out_edges(j, i).collect();
+    debug_assert!(!edges.is_empty(), "gamma_row called on a non-router");
+    if edges.len() == 1 {
+        return (vec![(edges[0], 1.0)], 0.0, 0.0);
+    }
+
+    let m: Vec<f64> = edges
+        .iter()
+        .map(|&l| marginals.edge(ext, cost, state, j, l))
+        .collect();
+    let blocked: Vec<bool> = edges.iter().map(|&l| tags.is_blocked(routing, j, l, ext)).collect();
+
+    // Best (minimum-marginal) unblocked link; k(i, j) in the paper.
+    // At least one link is unblocked: blocked links have φ = 0 and the
+    // row sums to one.
+    let best = edges
+        .iter()
+        .enumerate()
+        .filter(|&(idx, _)| !blocked[idx])
+        .min_by(|a, b| m[a.0].total_cmp(&m[b.0]))
+        .map(|(idx, _)| idx)
+        .expect("at least one unblocked out-edge");
+
+    // Gallager's convention routes everything to the best link when
+    // t_i(j) = 0 (the fraction is then free to move without changing
+    // any link traffic). Taken literally this is violently unstable in
+    // capacitated networks: an idle low-capacity path advertises a tiny
+    // marginal, the instant full reroute floods it, and the barrier
+    // explosion then crashes admission. We instead rate-limit the
+    // opening by flooring the divisor at `opening_floor` (a small
+    // fraction of λ_j, see GradientConfig::opening_fraction); with a
+    // floor of zero the literal snap behaviour is restored.
+    let t_raw = state.traffic(j, i);
+    let t_i = t_raw.max(opening_floor);
+    if t_i <= traffic_floor {
+        // No traffic and no floor: route everything to the best link.
+        let old_best = routing.fraction(j, edges[best]);
+        let shift = 1.0 - old_best;
+        let row = edges
+            .iter()
+            .enumerate()
+            .map(|(idx, &l)| (l, if idx == best { 1.0 } else { 0.0 }))
+            .collect();
+        return (row, shift, shift);
+    }
+
+    let m_min = m[best];
+    let mut collected = 0.0;
+    let mut max_shift: f64 = 0.0;
+    let mut row = Vec::with_capacity(edges.len());
+    for (idx, &l) in edges.iter().enumerate() {
+        if idx == best {
+            continue;
+        }
+        if blocked[idx] {
+            row.push((l, 0.0)); // eq. (14)
+            continue;
+        }
+        let phi = routing.fraction(j, l);
+        let a = (m[idx] - m_min).max(0.0);
+        // eq. (16), with the per-iteration movement additionally capped
+        // at `shift_cap`: near a barrier the marginal excess `a` is
+        // unbounded, and an uncapped Δ saturates at φ — a one-step full
+        // reroute that floods the alternative path and oscillates.
+        let delta = phi.min(eta * a / t_i).min(shift_cap);
+        collected += delta;
+        max_shift = max_shift.max(delta);
+        row.push((l, phi - delta)); // eq. (17), k ≠ k(i,j)
+    }
+    row.push((edges[best], routing.fraction(j, edges[best]) + collected));
+    (row, max_shift, collected)
+}
+
+/// Applies Γ to every `(commodity, router)` pair, mutating `routing` in
+/// place. All rows are computed against the *pre-update* marginals and
+/// flows, matching the synchronous protocol of §5.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
+pub fn apply_gamma(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    routing: &mut RoutingTable,
+    state: &FlowState,
+    marginals: &Marginals,
+    tags: &BlockedTags,
+    eta: f64,
+    traffic_floor: f64,
+    opening_fraction: f64,
+    shift_cap: f64,
+) -> GammaStats {
+    apply_gamma_selective(
+        ext,
+        cost,
+        routing,
+        state,
+        marginals,
+        tags,
+        eta,
+        traffic_floor,
+        opening_fraction,
+        shift_cap,
+        |_, _| true,
+    )
+}
+
+/// Like [`apply_gamma`] but only the `(commodity, router)` pairs
+/// accepted by `participates` update their rows; everyone else keeps
+/// their previous decision.
+///
+/// This models *asynchronous* operation, where an iteration's update
+/// round reaches only part of the network (nodes busy, messages
+/// delayed). The `spn-sim` crate builds its partial-participation
+/// schedules on top of this.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
+pub fn apply_gamma_selective<F>(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    routing: &mut RoutingTable,
+    state: &FlowState,
+    marginals: &Marginals,
+    tags: &BlockedTags,
+    eta: f64,
+    traffic_floor: f64,
+    opening_fraction: f64,
+    shift_cap: f64,
+    mut participates: F,
+) -> GammaStats
+where
+    F: FnMut(CommodityId, NodeId) -> bool,
+{
+    let mut stats = GammaStats::default();
+    for j in ext.commodity_ids() {
+        let opening_floor = opening_fraction * ext.commodity(j).max_rate;
+        let routers: Vec<NodeId> = routing.routers(ext, j).collect();
+        for i in routers {
+            if !participates(j, i) {
+                continue;
+            }
+            let (row, max_shift, total) = gamma_row(
+                ext, cost, routing, state, marginals, tags, eta, traffic_floor, opening_floor,
+                shift_cap, j, i,
+            );
+            routing.set_row(ext, j, i, &row);
+            stats.max_shift = stats.max_shift.max(max_shift);
+            stats.total_shift += total;
+            stats.rows += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::compute_flows;
+    use crate::marginals::compute_marginals;
+    use spn_model::builder::ProblemBuilder;
+    use spn_model::{Penalty, UtilityFn};
+
+    fn cm() -> CostModel {
+        CostModel::new(Penalty::default(), 0.2)
+    }
+
+    /// Diamond where the y-path is much cheaper than the x-path.
+    fn lopsided() -> ExtendedNetwork {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(100.0);
+        let x = b.server(3.0); // tiny capacity ⇒ expensive path
+        let y = b.server(100.0);
+        let t = b.server(100.0);
+        let e_sx = b.link(s, x, 50.0);
+        let e_sy = b.link(s, y, 50.0);
+        let e_xt = b.link(x, t, 50.0);
+        let e_yt = b.link(y, t, 50.0);
+        let j = b.commodity(s, t, 10.0, UtilityFn::throughput());
+        b.uses(j, e_sx, 1.0, 1.0)
+            .uses(j, e_sy, 1.0, 1.0)
+            .uses(j, e_xt, 1.0, 1.0)
+            .uses(j, e_yt, 1.0, 1.0);
+        ExtendedNetwork::build(&b.build().unwrap())
+    }
+
+    fn mid_admission(ext: &ExtendedNetwork) -> RoutingTable {
+        let j = CommodityId::from_index(0);
+        let mut rt = RoutingTable::initial(ext);
+        rt.set_row(
+            ext,
+            j,
+            ext.dummy_source(j),
+            &[(ext.input_edge(j), 0.3), (ext.difference_edge(j), 0.7)],
+        );
+        let s = ext.commodity(j).source();
+        let outs: Vec<_> = ext.commodity_out_edges(j, s).collect();
+        rt.set_row(ext, j, s, &[(outs[0], 0.5), (outs[1], 0.5)]);
+        rt
+    }
+
+    #[test]
+    fn gamma_moves_mass_toward_cheaper_link() {
+        let ext = lopsided();
+        let j = CommodityId::from_index(0);
+        let mut rt = mid_admission(&ext);
+        let s = ext.commodity(j).source();
+        let outs: Vec<_> = ext.commodity_out_edges(j, s).collect();
+        let fs = compute_flows(&ext, &rt);
+        let m = compute_marginals(&ext, &cm(), &rt, &fs);
+        let tags = BlockedTags::none(&ext);
+        let before_y = rt.fraction(j, outs[1]);
+        apply_gamma(&ext, &cm(), &mut rt, &fs, &m, &tags, 0.5, 1e-12, 0.0, 1.0);
+        rt.validate(&ext).unwrap();
+        // the y-path (outs[1], through the big server) should gain mass
+        assert!(
+            rt.fraction(j, outs[1]) > before_y,
+            "expected mass to shift toward the cheap path"
+        );
+    }
+
+    #[test]
+    fn gamma_never_increases_cost_for_small_eta() {
+        let ext = lopsided();
+        let mut rt = mid_admission(&ext);
+        let cost = cm();
+        for _ in 0..20 {
+            let fs = compute_flows(&ext, &rt);
+            let before = cost.total_cost(&ext, &fs);
+            let m = compute_marginals(&ext, &cost, &rt, &fs);
+            let tags = BlockedTags::none(&ext);
+            apply_gamma(&ext, &cost, &mut rt, &fs, &m, &tags, 0.005, 1e-12, 0.0, 1.0);
+            let fs2 = compute_flows(&ext, &rt);
+            let after = cost.total_cost(&ext, &fs2);
+            assert!(
+                after <= before + 1e-9,
+                "cost increased with tiny eta: {before} -> {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_traffic_routes_all_to_best() {
+        let ext = lopsided();
+        let j = CommodityId::from_index(0);
+        let mut rt = RoutingTable::initial(&ext); // zero interior traffic
+        let fs = compute_flows(&ext, &rt);
+        let m = compute_marginals(&ext, &cm(), &rt, &fs);
+        let tags = BlockedTags::none(&ext);
+        apply_gamma(&ext, &cm(), &mut rt, &fs, &m, &tags, 0.04, 1e-12, 0.0, 1.0);
+        rt.validate(&ext).unwrap();
+        let s = ext.commodity(j).source();
+        let fractions: Vec<f64> = ext
+            .commodity_out_edges(j, s)
+            .map(|l| rt.fraction(j, l))
+            .collect();
+        // all-or-nothing at the unloaded source
+        assert!(fractions.iter().any(|&f| (f - 1.0).abs() < 1e-12));
+        assert_eq!(fractions.iter().filter(|&&f| f > 0.0).count(), 1);
+    }
+
+    #[test]
+    fn single_out_edge_is_identity() {
+        let ext = lopsided();
+        let j = CommodityId::from_index(0);
+        let rt = mid_admission(&ext);
+        let fs = compute_flows(&ext, &rt);
+        let m = compute_marginals(&ext, &cm(), &rt, &fs);
+        let tags = BlockedTags::none(&ext);
+        // bandwidth nodes have exactly one commodity out-edge
+        let bw = spn_graph::NodeId::from_index(4); // first bandwidth node
+        let (row, max_s, tot) = gamma_row(
+            &ext, &cm(), &rt, &fs, &m, &tags, 0.04, 1e-12, 0.0, 1.0, j, bw,
+        );
+        assert_eq!(row.len(), 1);
+        assert_eq!(row[0].1, 1.0);
+        assert_eq!(max_s, 0.0);
+        assert_eq!(tot, 0.0);
+    }
+
+    #[test]
+    fn blocked_links_stay_closed() {
+        let ext = lopsided();
+        let j = CommodityId::from_index(0);
+        let mut rt = mid_admission(&ext);
+        let s = ext.commodity(j).source();
+        let outs: Vec<_> = ext.commodity_out_edges(j, s).collect();
+        // close outs[1], then block its head
+        rt.set_row(&ext, j, s, &[(outs[0], 1.0), (outs[1], 0.0)]);
+        let fs = compute_flows(&ext, &rt);
+        let m = compute_marginals(&ext, &cm(), &rt, &fs);
+        // hand-tag the head of outs[1]
+        let head = ext.graph().target(outs[1]);
+        let mut raw = vec![vec![false; ext.graph().node_count()]; ext.num_commodities()];
+        raw[j.index()][head.index()] = true;
+        let tags = BlockedTags::from_raw(raw);
+        apply_gamma(&ext, &cm(), &mut rt, &fs, &m, &tags, 10.0, 1e-12, 0.0, 1.0);
+        assert_eq!(rt.fraction(j, outs[1]), 0.0, "blocked link reopened");
+        rt.validate(&ext).unwrap();
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let ext = lopsided();
+        let mut rt = mid_admission(&ext);
+        let fs = compute_flows(&ext, &rt);
+        let m = compute_marginals(&ext, &cm(), &rt, &fs);
+        let tags = BlockedTags::none(&ext);
+        let stats = apply_gamma(&ext, &cm(), &mut rt, &fs, &m, &tags, 0.5, 1e-12, 0.0, 1.0);
+        assert!(stats.rows > 0);
+        assert!(stats.total_shift > 0.0);
+        assert!(stats.max_shift > 0.0);
+        assert!(stats.max_shift <= stats.total_shift + 1e-15);
+    }
+}

@@ -1,0 +1,161 @@
+//! Convergence tracking helpers shared by experiments.
+
+/// Records a per-iteration utility series and answers the questions the
+/// paper's evaluation asks of it (iterations to a fraction of the
+/// optimum, monotonicity).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ConvergenceTracker {
+    utilities: Vec<f64>,
+}
+
+impl ConvergenceTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one iteration's utility.
+    pub fn record(&mut self, utility: f64) {
+        self.utilities.push(utility);
+    }
+
+    /// The recorded series.
+    #[must_use]
+    pub fn utilities(&self) -> &[f64] {
+        &self.utilities
+    }
+
+    /// Number of recorded iterations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.utilities.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.utilities.is_empty()
+    }
+
+    /// The last recorded utility, or `0.0` before the first record.
+    #[must_use]
+    pub fn last(&self) -> f64 {
+        self.utilities.last().copied().unwrap_or(0.0)
+    }
+
+    /// First iteration (0-based) whose utility reaches
+    /// `fraction · target`, or `None` if never reached. With
+    /// `fraction = 0.95` this is the paper's "within 95% of optimal"
+    /// metric.
+    #[must_use]
+    pub fn iterations_to(&self, target: f64, fraction: f64) -> Option<usize> {
+        let threshold = target * fraction;
+        self.utilities.iter().position(|&u| u >= threshold)
+    }
+
+    /// `true` if the series never drops by more than `tolerance` (the
+    /// paper observes "the total throughput improves monotonically").
+    #[must_use]
+    pub fn is_monotone(&self, tolerance: f64) -> bool {
+        self.utilities.windows(2).all(|w| w[1] >= w[0] - tolerance)
+    }
+
+    /// Largest single-step decrease in the series (0.0 if monotone).
+    #[must_use]
+    pub fn max_drop(&self) -> f64 {
+        self.utilities
+            .windows(2)
+            .map(|w| (w[0] - w[1]).max(0.0))
+            .fold(0.0, f64::max)
+    }
+
+    /// Downsamples to at most `points` values on a logarithmic iteration
+    /// axis (like Figure 4's log-scale x-axis): returns
+    /// `(iteration, utility)` pairs including the first and last.
+    #[must_use]
+    pub fn log_samples(&self, points: usize) -> Vec<(usize, f64)> {
+        let n = self.utilities.len();
+        if n == 0 || points == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(points);
+        let mut last_idx = usize::MAX;
+        for p in 0..points {
+            let frac = p as f64 / (points.saturating_sub(1).max(1)) as f64;
+            let idx = ((n as f64).powf(frac) - 1.0).round() as usize;
+            let idx = idx.min(n - 1);
+            if idx != last_idx {
+                out.push((idx, self.utilities[idx]));
+                last_idx = idx;
+            }
+        }
+        if out.last().map(|&(i, _)| i) != Some(n - 1) {
+            out.push((n - 1, self.utilities[n - 1]));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let mut t = ConvergenceTracker::new();
+        assert!(t.is_empty());
+        assert_eq!(t.last(), 0.0);
+        for u in [0.0, 1.0, 2.0, 3.5, 3.5] {
+            t.record(u);
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.last(), 3.5);
+        assert_eq!(t.utilities()[2], 2.0);
+    }
+
+    #[test]
+    fn iterations_to_fraction() {
+        let mut t = ConvergenceTracker::new();
+        for u in [0.0, 2.0, 3.0, 3.8, 3.9, 4.0] {
+            t.record(u);
+        }
+        assert_eq!(t.iterations_to(4.0, 0.95), Some(3));
+        assert_eq!(t.iterations_to(4.0, 0.5), Some(1));
+        assert_eq!(t.iterations_to(10.0, 0.95), None);
+    }
+
+    #[test]
+    fn monotonicity() {
+        let mut t = ConvergenceTracker::new();
+        for u in [0.0, 1.0, 2.0, 1.999_999_9, 3.0] {
+            t.record(u);
+        }
+        assert!(t.is_monotone(1e-6));
+        assert!(!t.is_monotone(1e-9));
+        assert!(t.max_drop() > 0.0 && t.max_drop() < 1e-6);
+    }
+
+    #[test]
+    fn log_samples_cover_endpoints() {
+        let mut t = ConvergenceTracker::new();
+        for i in 0..1000 {
+            t.record(i as f64);
+        }
+        let s = t.log_samples(20);
+        assert!(s.len() <= 21);
+        assert_eq!(s.first().unwrap().0, 0);
+        assert_eq!(s.last().unwrap().0, 999);
+        // strictly increasing iteration indices
+        assert!(s.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn log_samples_handle_tiny_series() {
+        let mut t = ConvergenceTracker::new();
+        t.record(1.0);
+        let s = t.log_samples(10);
+        assert_eq!(s, vec![(0, 1.0)]);
+        assert!(ConvergenceTracker::new().log_samples(10).is_empty());
+    }
+}

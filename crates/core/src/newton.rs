@@ -1,0 +1,343 @@
+//! Second-derivative (Newton-scaled) step rule.
+//!
+//! Gallager's minimum-delay paper — which §5 generalizes — observes that
+//! a well-chosen step should scale with the objective's *curvature*: a
+//! fixed `η` is too timid where the cost surface is flat and too bold
+//! where it is steep. The Bertsekas–Gafni–Gallager refinement divides
+//! the fraction shift by an upper estimate of `∂²A/∂φ²`, which
+//! propagates upstream exactly like the marginal costs:
+//!
+//! ```text
+//! H_i(j) = Σ_k φ_ik(j) [ (c^j_ik)²·A''_ik + (β^j_ik)²·H_k(j) ]
+//! Δ_ik(j) = min( φ_ik, η·a_ik(j) / (t_i(j) · max(κ_ik, floor)) )
+//! κ_ik    = (c^j_ik)²·A''_ik + (β^j_ik)²·H_k(j)
+//! ```
+//!
+//! with `A''` the per-edge cost curvature (penalty `ε·D'' + wall W''`,
+//! or `−U''(λ−f)` on difference links). [`NewtonGradient`] drives the
+//! same protocol as [`crate::GradientAlgorithm`] with this step rule;
+//! the `newton_ablation` experiment compares the two.
+
+use crate::blocked::{compute_tags, BlockedTags};
+use crate::cost::CostModel;
+use crate::flows::{compute_flows, FlowState};
+use crate::marginals::{compute_marginals, Marginals};
+use crate::routing::RoutingTable;
+use crate::{ConfigError, GradientConfig};
+use spn_graph::{EdgeId, NodeId};
+use spn_model::{CommodityId, Problem};
+use spn_transform::{EdgeKind, ExtendedNetwork};
+
+/// Per-edge cost curvature `A''_l` (second derivative of the node cost
+/// in the edge's resource usage).
+fn edge_curvature(ext: &ExtendedNetwork, cost: &CostModel, state: &FlowState, l: EdgeId) -> f64 {
+    match ext.edge_kind(l) {
+        EdgeKind::DummyDifference(j) => {
+            let c = ext.commodity(j);
+            let rejected = state.edge_usage(l).clamp(0.0, c.max_rate);
+            -c.utility.second_derivative(c.max_rate - rejected)
+        }
+        _ => {
+            let tail = ext.graph().source(l);
+            let cap = ext.capacity(tail);
+            let load = state.node_usage(tail);
+            cost.epsilon * cost.penalty.second_derivative(cap, load)
+                + wall_second_derivative(cost, cap, load)
+        }
+    }
+}
+
+fn wall_second_derivative(cost: &CostModel, c: spn_model::Capacity, z: f64) -> f64 {
+    if cost.wall_strength == 0.0 || c.is_infinite() {
+        return 0.0;
+    }
+    let cap = c.value();
+    let theta = cost.wall_threshold;
+    let s = (z / cap - theta) / (1.0 - theta);
+    if s <= 0.0 {
+        0.0
+    } else {
+        2.0 * cost.wall_strength * s / (cap * (1.0 - theta))
+    }
+}
+
+/// Per-commodity per-node curvature estimates `H_i(j)`, computed by the
+/// same upstream sweep as the marginal costs.
+#[must_use]
+pub fn compute_curvatures(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    routing: &RoutingTable,
+    state: &FlowState,
+) -> Vec<Vec<f64>> {
+    let v_count = ext.graph().node_count();
+    let mut h = vec![vec![0.0; v_count]; ext.num_commodities()];
+    for j in ext.commodity_ids() {
+        let ji = j.index();
+        let sink = ext.commodity(j).sink();
+        for &v in ext.topo_order(j).iter().rev() {
+            if v == sink {
+                continue;
+            }
+            let mut acc = 0.0;
+            for l in ext.commodity_out_edges(j, v) {
+                let phi = routing.fraction(j, l);
+                if phi == 0.0 {
+                    continue;
+                }
+                let head = ext.graph().target(l);
+                let c = ext.cost(j, l);
+                let b = ext.beta(j, l);
+                acc += phi
+                    * (c * c * edge_curvature(ext, cost, state, l)
+                        + b * b * h[ji][head.index()]);
+            }
+            h[ji][v.index()] = acc;
+        }
+    }
+    h
+}
+
+/// The gradient algorithm with the Newton-scaled step rule.
+#[derive(Clone, Debug)]
+pub struct NewtonGradient {
+    ext: ExtendedNetwork,
+    cost: CostModel,
+    config: GradientConfig,
+    /// Curvature floor: steps are never scaled by less than this (flat
+    /// regions would otherwise produce unbounded moves).
+    curvature_floor: f64,
+    routing: RoutingTable,
+    state: FlowState,
+    iterations: usize,
+}
+
+impl NewtonGradient {
+    /// Builds the Newton-scaled driver. `config.eta` plays the role of a
+    /// (dimensionless) damping factor; `1.0` is the pure Newton step.
+    ///
+    /// # Errors
+    ///
+    /// Same configuration errors as [`crate::GradientAlgorithm`].
+    pub fn new(
+        problem: &Problem,
+        config: GradientConfig,
+        curvature_floor: f64,
+    ) -> Result<Self, ConfigError> {
+        let ext = ExtendedNetwork::build(problem);
+        crate::GradientAlgorithm::from_extended(ext.clone(), config)?;
+        let cost = CostModel {
+            penalty: config.penalty,
+            epsilon: config.epsilon,
+            wall_threshold: config.wall_threshold,
+            wall_strength: config.wall_strength,
+        };
+        let routing = RoutingTable::initial(&ext);
+        let state = compute_flows(&ext, &routing);
+        Ok(NewtonGradient {
+            cost,
+            config,
+            curvature_floor: curvature_floor.max(1e-12),
+            routing,
+            state,
+            iterations: 0,
+            ext,
+        })
+    }
+
+    /// One Newton-scaled iteration.
+    pub fn step(&mut self) {
+        let marginals = compute_marginals(&self.ext, &self.cost, &self.routing, &self.state);
+        let curvatures = compute_curvatures(&self.ext, &self.cost, &self.routing, &self.state);
+        let tags = if self.config.use_blocked_sets {
+            compute_tags(
+                &self.ext,
+                &self.cost,
+                &self.routing,
+                &self.state,
+                &marginals,
+                self.config.eta,
+                self.config.traffic_floor,
+            )
+        } else {
+            BlockedTags::none(&self.ext)
+        };
+        for j in self.ext.commodity_ids() {
+            let opening_floor = self.config.opening_fraction * self.ext.commodity(j).max_rate;
+            let routers: Vec<NodeId> = self.routing.routers(&self.ext, j).collect();
+            for i in routers {
+                let row = self.newton_row(
+                    &marginals,
+                    &curvatures,
+                    &tags,
+                    opening_floor,
+                    j,
+                    i,
+                );
+                self.routing.set_row(&self.ext, j, i, &row);
+            }
+        }
+        self.state = compute_flows(&self.ext, &self.routing);
+        self.iterations += 1;
+    }
+
+    fn newton_row(
+        &self,
+        marginals: &Marginals,
+        curvatures: &[Vec<f64>],
+        tags: &BlockedTags,
+        opening_floor: f64,
+        j: CommodityId,
+        i: NodeId,
+    ) -> Vec<(EdgeId, f64)> {
+        let ext = &self.ext;
+        let edges: Vec<EdgeId> = ext.commodity_out_edges(j, i).collect();
+        if edges.len() == 1 {
+            return vec![(edges[0], 1.0)];
+        }
+        let m: Vec<f64> = edges
+            .iter()
+            .map(|&l| marginals.edge(ext, &self.cost, &self.state, j, l))
+            .collect();
+        let blocked: Vec<bool> =
+            edges.iter().map(|&l| tags.is_blocked(&self.routing, j, l, ext)).collect();
+        let best = edges
+            .iter()
+            .enumerate()
+            .filter(|&(idx, _)| !blocked[idx])
+            .min_by(|a, b| m[a.0].total_cmp(&m[b.0]))
+            .map(|(idx, _)| idx)
+            .expect("at least one unblocked out-edge");
+        let t_i = self.state.traffic(j, i).max(opening_floor);
+        if t_i <= self.config.traffic_floor {
+            return edges
+                .iter()
+                .enumerate()
+                .map(|(idx, &l)| (l, if idx == best { 1.0 } else { 0.0 }))
+                .collect();
+        }
+        let m_min = m[best];
+        let mut collected = 0.0;
+        let mut row = Vec::with_capacity(edges.len());
+        for (idx, &l) in edges.iter().enumerate() {
+            if idx == best {
+                continue;
+            }
+            if blocked[idx] {
+                row.push((l, 0.0));
+                continue;
+            }
+            let phi = self.routing.fraction(j, l);
+            let a = (m[idx] - m_min).max(0.0);
+            // curvature along this link (edge + downstream estimate)
+            let head = ext.graph().target(l);
+            let c = ext.cost(j, l);
+            let b = ext.beta(j, l);
+            let kappa = (c * c * edge_curvature(ext, &self.cost, &self.state, l)
+                + b * b * curvatures[j.index()][head.index()])
+            .max(self.curvature_floor);
+            let delta = phi
+                .min(self.config.eta * a / (t_i * kappa))
+                .min(self.config.shift_cap);
+            collected += delta;
+            row.push((l, phi - delta));
+        }
+        row.push((edges[best], self.routing.fraction(j, edges[best]) + collected));
+        row
+    }
+
+    /// Current overall utility.
+    #[must_use]
+    pub fn utility(&self) -> f64 {
+        self.ext
+            .commodity_ids()
+            .map(|j| self.ext.commodity(j).utility.value(self.state.admitted(&self.ext, j)))
+            .sum()
+    }
+
+    /// Iterations elapsed.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The routing decision.
+    #[must_use]
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// The extended network.
+    #[must_use]
+    pub fn extended(&self) -> &ExtendedNetwork {
+        &self.ext
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_model::random::RandomInstance;
+
+    fn instance() -> Problem {
+        RandomInstance::builder().nodes(16).commodities(2).seed(4).build().unwrap().problem
+    }
+
+    #[test]
+    fn curvatures_are_nonnegative_and_zero_at_sink() {
+        let p = instance();
+        let mut alg = crate::GradientAlgorithm::new(&p, GradientConfig::default()).unwrap();
+        alg.run(100);
+        let h = compute_curvatures(alg.extended(), alg.cost_model(), alg.routing(), alg.flows());
+        for j in alg.extended().commodity_ids() {
+            for v in alg.extended().graph().nodes() {
+                assert!(h[j.index()][v.index()] >= 0.0);
+            }
+            assert_eq!(h[j.index()][alg.extended().commodity(j).sink().index()], 0.0);
+        }
+    }
+
+    #[test]
+    fn newton_converges_and_stays_valid() {
+        let p = instance();
+        let cfg = GradientConfig { eta: 0.5, ..GradientConfig::default() };
+        let mut alg = NewtonGradient::new(&p, cfg, 1e-6).unwrap();
+        for _ in 0..2000 {
+            alg.step();
+        }
+        alg.routing().validate(alg.extended()).unwrap();
+        assert!(alg.utility() > 0.0);
+    }
+
+    #[test]
+    fn newton_tracks_fixed_eta_quality() {
+        let p = instance();
+        let mut fixed =
+            crate::GradientAlgorithm::new(&p, GradientConfig::default()).unwrap();
+        let newton_cfg = GradientConfig { eta: 0.5, ..GradientConfig::default() };
+        let mut newton = NewtonGradient::new(&p, newton_cfg, 1e-6).unwrap();
+        let fixed_final = fixed.run(6000).utility;
+        for _ in 0..6000 {
+            newton.step();
+        }
+        assert!(
+            newton.utility() > 0.85 * fixed_final,
+            "newton {} vs fixed {fixed_final}",
+            newton.utility()
+        );
+    }
+
+    #[test]
+    fn curvature_floor_guards_flat_regions() {
+        let p = instance();
+        let cfg = GradientConfig::default();
+        // tiny floor with flat (linear-utility, idle) regions must not
+        // produce NaNs or invalid rows
+        let mut alg = NewtonGradient::new(&p, cfg, 1e-12).unwrap();
+        for _ in 0..50 {
+            alg.step();
+        }
+        alg.routing().validate(alg.extended()).unwrap();
+        assert!(alg.utility().is_finite());
+    }
+}

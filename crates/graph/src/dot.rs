@@ -1,0 +1,87 @@
+//! Graphviz (`.dot`) export for debugging instances and transformations.
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz `digraph` syntax.
+///
+/// `node_label` and `edge_label` supply the display strings; return an
+/// empty string for the default (the id itself for nodes, no label for
+/// edges).
+///
+/// ```
+/// use spn_graph::{DiGraph, dot::to_dot};
+/// let mut g = DiGraph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// g.add_edge(a, b);
+/// let dot = to_dot(&g, |_| String::new(), |_| String::new());
+/// assert!(dot.contains("n0 -> n1"));
+/// ```
+pub fn to_dot<FN, FE>(graph: &DiGraph, mut node_label: FN, mut edge_label: FE) -> String
+where
+    FN: FnMut(NodeId) -> String,
+    FE: FnMut(EdgeId) -> String,
+{
+    let mut out = String::from("digraph spn {\n  rankdir=LR;\n");
+    for v in graph.nodes() {
+        let label = node_label(v);
+        if label.is_empty() {
+            let _ = writeln!(out, "  {v};");
+        } else {
+            let _ = writeln!(out, "  {v} [label=\"{}\"];", escape(&label));
+        }
+    }
+    for e in graph.edges() {
+        let (s, t) = graph.endpoints(e);
+        let label = edge_label(e);
+        if label.is_empty() {
+            let _ = writeln!(out, "  {s} -> {t};");
+        } else {
+            let _ = writeln!(out, "  {s} -> {t} [label=\"{}\"];", escape(&label));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        let dot = to_dot(&g, |v| format!("srv{}", v.index()), |_| "c=2".into());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 [label=\"srv0\"]"));
+        assert!(dot.contains("n0 -> n1 [label=\"c=2\"]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let mut g = DiGraph::new();
+        g.add_node();
+        let dot = to_dot(&g, |_| "a\"b".into(), |_| String::new());
+        assert!(dot.contains("a\\\"b"));
+    }
+
+    #[test]
+    fn empty_labels_use_defaults() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        let dot = to_dot(&g, |_| String::new(), |_| String::new());
+        assert!(dot.contains("  n0;\n"));
+        assert!(dot.contains("  n0 -> n1;\n"));
+    }
+}

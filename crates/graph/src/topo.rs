@@ -1,0 +1,206 @@
+//! Topological ordering and cycle detection.
+//!
+//! The paper requires per-commodity subgraphs to be DAGs, and the
+//! distributed algorithm maintains *loop-free* routing variable sets; both
+//! properties are checked with the filtered variants in this module, which
+//! restrict attention to the subgraph selected by an edge predicate
+//! without copying the graph.
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error returned when a (sub)graph expected to be acyclic contains a
+/// directed cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    /// A node that lies on some directed cycle of the offending subgraph.
+    pub node_in_cycle: NodeId,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph contains a directed cycle through {}", self.node_in_cycle)
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Computes a topological order of all nodes.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the graph contains a directed cycle.
+///
+/// ```
+/// use spn_graph::{DiGraph, topo::topological_order};
+/// let mut g = DiGraph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// g.add_edge(a, b);
+/// assert_eq!(topological_order(&g).unwrap(), vec![a, b]);
+/// ```
+pub fn topological_order(graph: &DiGraph) -> Result<Vec<NodeId>, CycleError> {
+    topological_order_filtered(graph, |_| true)
+}
+
+/// Computes a topological order of all nodes considering only edges for
+/// which `edge_filter` returns `true`.
+///
+/// Nodes untouched by any selected edge still appear in the output (they
+/// are order-free). This is the primitive used to order a commodity's
+/// routing DAG: the filter keeps exactly the edges with positive routing
+/// fraction for that commodity.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the selected subgraph contains a directed
+/// cycle.
+pub fn topological_order_filtered<F>(
+    graph: &DiGraph,
+    mut edge_filter: F,
+) -> Result<Vec<NodeId>, CycleError>
+where
+    F: FnMut(EdgeId) -> bool,
+{
+    let n = graph.node_count();
+    let mut in_deg = vec![0usize; n];
+    let mut selected = vec![false; graph.edge_count()];
+    for e in graph.edges() {
+        if edge_filter(e) {
+            selected[e.index()] = true;
+            in_deg[graph.target(e).index()] += 1;
+        }
+    }
+    let mut queue: VecDeque<NodeId> = graph.nodes().filter(|v| in_deg[v.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &e in graph.out_edges(v) {
+            if selected[e.index()] {
+                let t = graph.target(e);
+                in_deg[t.index()] -= 1;
+                if in_deg[t.index()] == 0 {
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let node_in_cycle = graph
+            .nodes()
+            .find(|v| in_deg[v.index()] > 0)
+            .expect("some node must have remaining in-degree");
+        Err(CycleError { node_in_cycle })
+    }
+}
+
+/// Returns `true` if the whole graph is acyclic.
+#[must_use]
+pub fn is_acyclic(graph: &DiGraph) -> bool {
+    topological_order(graph).is_ok()
+}
+
+/// Returns `true` if the subgraph selected by `edge_filter` is acyclic.
+pub fn is_acyclic_filtered<F>(graph: &DiGraph, edge_filter: F) -> bool
+where
+    F: FnMut(EdgeId) -> bool,
+{
+    topological_order_filtered(graph, edge_filter).is_ok()
+}
+
+/// Verifies that `order` is a valid topological order of the subgraph
+/// selected by `edge_filter`.
+///
+/// Used by tests and by debug assertions in the protocol drivers.
+pub fn is_valid_topological_order<F>(graph: &DiGraph, order: &[NodeId], mut edge_filter: F) -> bool
+where
+    F: FnMut(EdgeId) -> bool,
+{
+    if order.len() != graph.node_count() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; graph.node_count()];
+    for (i, &v) in order.iter().enumerate() {
+        if pos[v.index()] != usize::MAX {
+            return false; // duplicate
+        }
+        pos[v.index()] = i;
+    }
+    graph
+        .edges()
+        .filter(|&e| edge_filter(e))
+        .all(|e| pos[graph.source(e).index()] < pos[graph.target(e).index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_a_dag() {
+        let mut g = DiGraph::new();
+        let n = g.add_nodes(5);
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[0], n[2]);
+        g.add_edge(n[1], n[3]);
+        g.add_edge(n[2], n[3]);
+        g.add_edge(n[3], n[4]);
+        let order = topological_order(&g).unwrap();
+        assert!(is_valid_topological_order(&g, &order, |_| true));
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut g = DiGraph::new();
+        let n = g.add_nodes(3);
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[2]);
+        g.add_edge(n[2], n[0]);
+        let err = topological_order(&g).unwrap_err();
+        assert!(err.node_in_cycle.index() < 3);
+        assert!(!is_acyclic(&g));
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn filter_can_break_a_cycle() {
+        let mut g = DiGraph::new();
+        let n = g.add_nodes(3);
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[2]);
+        let back = g.add_edge(n[2], n[0]);
+        assert!(!is_acyclic(&g));
+        assert!(is_acyclic_filtered(&g, |e| e != back));
+        let order = topological_order_filtered(&g, |e| e != back).unwrap();
+        assert_eq!(order, vec![n[0], n[1], n[2]]);
+    }
+
+    #[test]
+    fn isolated_nodes_appear_in_order() {
+        let mut g = DiGraph::new();
+        let _ = g.add_nodes(4);
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g = DiGraph::new();
+        assert!(is_acyclic(&g));
+        assert!(topological_order(&g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn validator_rejects_bad_orders() {
+        let mut g = DiGraph::new();
+        let n = g.add_nodes(2);
+        g.add_edge(n[0], n[1]);
+        assert!(!is_valid_topological_order(&g, &[n[1], n[0]], |_| true));
+        assert!(!is_valid_topological_order(&g, &[n[0]], |_| true));
+        assert!(!is_valid_topological_order(&g, &[n[0], n[0]], |_| true));
+        assert!(is_valid_topological_order(&g, &[n[0], n[1]], |_| true));
+    }
+}

@@ -1,0 +1,249 @@
+//! Ergonomic incremental construction of [`Problem`]s.
+
+use crate::capacity::Capacity;
+use crate::commodity::{Commodity, CommodityId};
+use crate::error::ModelError;
+use crate::gains::betas_from_gains;
+use crate::problem::{EdgeParams, Problem};
+use crate::utility::UtilityFn;
+use spn_graph::{DiGraph, EdgeId, NodeId};
+
+/// One deferred gains-based overlay declaration:
+/// `(commodity, per-node gains, (edge, cost) pairs)`.
+type GainEntry = (CommodityId, Vec<f64>, Vec<(EdgeId, f64)>);
+
+/// Builder for [`Problem`] instances.
+///
+/// The builder accumulates servers, links, commodities and overlay
+/// entries, and defers all validation to [`ProblemBuilder::build`]
+/// (which delegates to `Problem::from_parts`).
+///
+/// ```
+/// use spn_model::builder::ProblemBuilder;
+/// use spn_model::UtilityFn;
+///
+/// # fn main() -> Result<(), spn_model::ModelError> {
+/// let mut b = ProblemBuilder::new();
+/// let s = b.server(10.0);
+/// let m = b.server(8.0);
+/// let t = b.server(8.0);
+/// let e1 = b.link(s, m, 5.0);
+/// let e2 = b.link(m, t, 5.0);
+/// let j = b.commodity(s, t, 4.0, UtilityFn::throughput());
+/// b.uses(j, e1, 2.0, 0.5); // cost 2, shrinks by half
+/// b.uses(j, e2, 1.0, 1.0);
+/// let problem = b.build()?;
+/// assert_eq!(problem.num_commodities(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProblemBuilder {
+    graph: DiGraph,
+    node_capacity: Vec<Capacity>,
+    edge_bandwidth: Vec<Capacity>,
+    commodities: Vec<Commodity>,
+    entries: Vec<(CommodityId, EdgeId, EdgeParams)>,
+    gain_entries: Vec<GainEntry>,
+}
+
+impl ProblemBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a processing server with computing capacity `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not finite and positive; budgets are
+    /// construction-time constants, so failing fast beats threading a
+    /// `Result` through every call site.
+    pub fn server(&mut self, capacity: f64) -> NodeId {
+        let c = Capacity::finite(capacity)
+            .unwrap_or_else(|| panic!("server capacity must be positive and finite: {capacity}"));
+        let id = self.graph.add_node();
+        self.node_capacity.push(c);
+        id
+    }
+
+    /// Adds a directed link with the given bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is not finite and positive, or if the
+    /// endpoints are invalid (see [`DiGraph::add_edge`]).
+    pub fn link(&mut self, src: NodeId, dst: NodeId, bandwidth: f64) -> EdgeId {
+        let b = Capacity::finite(bandwidth)
+            .unwrap_or_else(|| panic!("link bandwidth must be positive and finite: {bandwidth}"));
+        let id = self.graph.add_edge(src, dst);
+        self.edge_bandwidth.push(b);
+        id
+    }
+
+    /// Declares a commodity entering at `source`, consumed at `sink`,
+    /// generated at up to `max_rate`, valued by `utility`.
+    pub fn commodity(
+        &mut self,
+        source: NodeId,
+        sink: NodeId,
+        max_rate: f64,
+        utility: UtilityFn,
+    ) -> CommodityId {
+        let id = CommodityId::from_index(self.commodities.len());
+        self.commodities.push(Commodity::new(source, sink, max_rate, utility));
+        id
+    }
+
+    /// Declares that commodity `j` may use `edge`, spending `cost`
+    /// compute per input unit and emitting `beta` output units per input
+    /// unit.
+    pub fn uses(&mut self, j: CommodityId, edge: EdgeId, cost: f64, beta: f64) -> &mut Self {
+        self.entries.push((j, edge, EdgeParams::new(cost, beta)));
+        self
+    }
+
+    /// Declares commodity `j`'s overlay from per-node gains (the paper's
+    /// evaluation style): each `(edge, cost)` pair gets
+    /// `β = g[target]/g[source]`, which satisfies Property 1 by
+    /// construction.
+    ///
+    /// `gains` must have one entry per node added *so far*; call this
+    /// after the topology is complete.
+    pub fn uses_with_gains(
+        &mut self,
+        j: CommodityId,
+        gains: Vec<f64>,
+        edges: Vec<(EdgeId, f64)>,
+    ) -> &mut Self {
+        self.gain_entries.push((j, gains, edges));
+        self
+    }
+
+    /// Nodes added so far.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Edges added so far.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Validates and builds the problem.
+    ///
+    /// # Errors
+    ///
+    /// See [`Problem::from_parts`].
+    pub fn build(self) -> Result<Problem, ModelError> {
+        let mut overlay: Vec<Vec<Option<EdgeParams>>> =
+            vec![vec![None; self.graph.edge_count()]; self.commodities.len()];
+        for (j, e, p) in self.entries {
+            overlay[j.index()][e.index()] = Some(p);
+        }
+        for (j, gains, edges) in self.gain_entries {
+            let mut in_overlay = vec![false; self.graph.edge_count()];
+            for &(e, _) in &edges {
+                in_overlay[e.index()] = true;
+            }
+            if gains.len() != self.graph.node_count() {
+                return Err(ModelError::ShapeMismatch {
+                    what: "per-node gains",
+                    expected: self.graph.node_count(),
+                    actual: gains.len(),
+                });
+            }
+            let betas = betas_from_gains(&self.graph, &in_overlay, &gains);
+            for (e, cost) in edges {
+                overlay[j.index()][e.index()] = Some(EdgeParams::new(cost, betas[e.index()]));
+            }
+        }
+        Problem::from_parts(
+            self.graph,
+            self.node_capacity,
+            self.edge_bandwidth,
+            self.commodities,
+            overlay,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_chain() {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(10.0);
+        let t = b.server(10.0);
+        let e = b.link(s, t, 3.0);
+        let j = b.commodity(s, t, 2.0, UtilityFn::throughput());
+        b.uses(j, e, 1.5, 0.8);
+        let p = b.build().unwrap();
+        assert_eq!(p.params(j, e).unwrap(), EdgeParams::new(1.5, 0.8));
+    }
+
+    #[test]
+    fn gains_based_overlay_satisfies_property1() {
+        let mut b = ProblemBuilder::new();
+        let n: Vec<NodeId> = (0..4).map(|_| b.server(10.0)).collect();
+        let e0 = b.link(n[0], n[1], 9.0);
+        let e1 = b.link(n[1], n[3], 9.0);
+        let e2 = b.link(n[0], n[2], 9.0);
+        let e3 = b.link(n[2], n[3], 9.0);
+        let j = b.commodity(n[0], n[3], 2.0, UtilityFn::throughput());
+        b.uses_with_gains(
+            j,
+            vec![1.0, 3.0, 5.0, 7.5],
+            vec![(e0, 1.0), (e1, 1.0), (e2, 1.0), (e3, 1.0)],
+        );
+        let p = b.build().unwrap();
+        assert!((p.params(j, e0).unwrap().beta - 3.0).abs() < 1e-12);
+        assert!((p.params(j, e3).unwrap().beta - 1.5).abs() < 1e-12);
+        assert!((p.gain(j, n[3]) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gains_shape_checked() {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(1.0);
+        let t = b.server(1.0);
+        let e = b.link(s, t, 1.0);
+        let j = b.commodity(s, t, 1.0, UtilityFn::throughput());
+        b.uses_with_gains(j, vec![1.0], vec![(e, 1.0)]);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::ShapeMismatch { what: "per-node gains", .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn bad_server_capacity_panics() {
+        ProblemBuilder::new().server(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn bad_bandwidth_panics() {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(1.0);
+        let t = b.server(1.0);
+        b.link(s, t, f64::NAN);
+    }
+
+    #[test]
+    fn counters() {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(1.0);
+        let t = b.server(1.0);
+        b.link(s, t, 1.0);
+        assert_eq!(b.node_count(), 2);
+        assert_eq!(b.edge_count(), 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Resource capacities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A non-negative resource budget: a node's computing power `C_u`, a
+/// link's bandwidth `B_ik`, or the unconstrained budget of a dummy node.
+///
+/// `Capacity` is a thin wrapper over `f64` that rules out negative and
+/// NaN budgets at construction time, and makes the *infinite* budget of
+/// the paper's dummy nodes (`C_{s̄_j} = +∞`) an explicit, queryable state
+/// rather than a magic float.
+///
+/// ```
+/// use spn_model::Capacity;
+/// let c = Capacity::finite(42.0).unwrap();
+/// assert_eq!(c.value(), 42.0);
+/// assert!(!c.is_infinite());
+/// assert!(Capacity::INFINITE.is_infinite());
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Capacity(f64);
+
+impl Capacity {
+    /// The unconstrained budget of a dummy node.
+    pub const INFINITE: Capacity = Capacity(f64::INFINITY);
+
+    /// Creates a finite capacity.
+    ///
+    /// Returns `None` if `value` is not strictly positive and finite —
+    /// the model has no use for zero-capacity resources (a node that can
+    /// process nothing simply has no outgoing edges).
+    #[must_use]
+    pub fn finite(value: f64) -> Option<Self> {
+        (value.is_finite() && value > 0.0).then_some(Capacity(value))
+    }
+
+    /// The raw budget (possibly `f64::INFINITY`).
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` for the dummy-node budget.
+    #[must_use]
+    pub fn is_infinite(self) -> bool {
+        self.0.is_infinite()
+    }
+
+    /// Fraction of this capacity used by load `z`, or `0.0` when the
+    /// capacity is infinite.
+    #[must_use]
+    pub fn utilization(self, z: f64) -> f64 {
+        if self.is_infinite() {
+            0.0
+        } else {
+            z / self.0
+        }
+    }
+
+    /// Remaining headroom `C − z`; `f64::INFINITY` for dummy nodes.
+    #[must_use]
+    pub fn headroom(self, z: f64) -> f64 {
+        self.0 - z
+    }
+}
+
+impl fmt::Debug for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "Capacity(∞)")
+        } else {
+            write!(f, "Capacity({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_rejects_bad_values() {
+        assert!(Capacity::finite(1.5).is_some());
+        assert!(Capacity::finite(0.0).is_none());
+        assert!(Capacity::finite(-3.0).is_none());
+        assert!(Capacity::finite(f64::NAN).is_none());
+        assert!(Capacity::finite(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn utilization_and_headroom() {
+        let c = Capacity::finite(10.0).unwrap();
+        assert_eq!(c.utilization(2.5), 0.25);
+        assert_eq!(c.headroom(2.5), 7.5);
+        assert_eq!(Capacity::INFINITE.utilization(1e12), 0.0);
+        assert!(Capacity::INFINITE.headroom(1e12).is_infinite());
+    }
+
+    #[test]
+    fn formatting() {
+        let c = Capacity::finite(3.0).unwrap();
+        assert_eq!(format!("{c}"), "3");
+        assert_eq!(format!("{c:?}"), "Capacity(3)");
+        assert_eq!(format!("{}", Capacity::INFINITE), "∞");
+        assert_eq!(format!("{:?}", Capacity::INFINITE), "Capacity(∞)");
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Capacity::finite(1.0).unwrap();
+        let b = Capacity::finite(2.0).unwrap();
+        assert!(a < b);
+        assert!(b < Capacity::INFINITE);
+    }
+}

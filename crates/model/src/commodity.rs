@@ -1,0 +1,145 @@
+//! Commodities: the streams the system processes.
+
+use crate::utility::UtilityFn;
+use serde::{Deserialize, Serialize};
+use spn_graph::NodeId;
+use std::fmt;
+
+/// Dense identifier of a commodity (the paper's index `j = 1..J`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct CommodityId(pub u32);
+
+impl CommodityId {
+    /// Creates a commodity id from a raw index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        CommodityId(u32::try_from(index).expect("commodity index exceeds u32 range"))
+    }
+
+    /// Returns the dense index of this commodity.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CommodityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+impl fmt::Display for CommodityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// One stream: where it enters, where its results go, how fast data can
+/// arrive, and how valuable delivered data is.
+///
+/// The commodity's processing pipeline — which physical edges it may use
+/// and with what cost/shrinkage — lives in
+/// [`Problem`](crate::problem::Problem) as a per-(commodity, edge)
+/// overlay, because edge parameters are shared state between commodities
+/// and the graph.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Commodity {
+    /// Source node `s_j` where the stream enters the network.
+    pub source: NodeIdRepr,
+    /// Sink node where the fully processed stream is consumed. Sinks
+    /// only receive data — they never process.
+    pub sink: NodeIdRepr,
+    /// Maximum generation rate `λ_j` of the source.
+    pub max_rate: f64,
+    /// Concave increasing utility `U_j` of the admitted rate.
+    pub utility: UtilityFn,
+}
+
+/// Serde-friendly mirror of [`spn_graph::NodeId`].
+///
+/// The graph crate is deliberately serde-free; commodities store node
+/// references as raw indices and convert at the API boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeIdRepr(pub u32);
+
+impl NodeIdRepr {
+    /// The graph-side id this repr refers to.
+    #[must_use]
+    pub fn node(self) -> NodeId {
+        NodeId::from_index(self.0 as usize)
+    }
+}
+
+impl From<NodeId> for NodeIdRepr {
+    fn from(n: NodeId) -> Self {
+        NodeIdRepr(u32::try_from(n.index()).expect("node index exceeds u32 range"))
+    }
+}
+
+impl fmt::Debug for NodeIdRepr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl Commodity {
+    /// Creates a commodity.
+    #[must_use]
+    pub fn new(source: NodeId, sink: NodeId, max_rate: f64, utility: UtilityFn) -> Self {
+        Commodity {
+            source: source.into(),
+            sink: sink.into(),
+            max_rate,
+            utility,
+        }
+    }
+
+    /// Source node `s_j`.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source.node()
+    }
+
+    /// Sink node.
+    #[must_use]
+    pub fn sink(&self) -> NodeId {
+        self.sink.node()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trip() {
+        let j = CommodityId::from_index(3);
+        assert_eq!(j.index(), 3);
+        assert_eq!(format!("{j}"), "j3");
+        assert_eq!(format!("{j:?}"), "j3");
+    }
+
+    #[test]
+    fn node_repr_round_trip() {
+        let n = NodeId::from_index(17);
+        let r: NodeIdRepr = n.into();
+        assert_eq!(r.node(), n);
+        assert_eq!(format!("{r:?}"), "n17");
+    }
+
+    #[test]
+    fn commodity_accessors() {
+        let c = Commodity::new(
+            NodeId::from_index(0),
+            NodeId::from_index(5),
+            12.5,
+            UtilityFn::throughput(),
+        );
+        assert_eq!(c.source().index(), 0);
+        assert_eq!(c.sink().index(), 5);
+        assert_eq!(c.max_rate, 12.5);
+    }
+}

@@ -1,0 +1,41 @@
+//! The stream processing system model of the paper's §2.
+//!
+//! A [`problem::Problem`] bundles everything the paper's
+//! formulation takes as *given*:
+//!
+//! * a physical network: a [`spn_graph::DiGraph`] with per-node computing
+//!   capacities `C_u` and per-link bandwidths `B_ik` ([`capacity`]);
+//! * `J` commodities ([`commodity`]), each with a source, a sink, a
+//!   maximum input rate `λ_j`, a concave increasing utility `U_j`
+//!   ([`utility`]), and a DAG overlay of the physical graph describing
+//!   the commodity's processing pipeline;
+//! * per-(commodity, edge) processing parameters: the resource
+//!   consumption `c^j_ik` and the shrinkage factor `β^j_ik`
+//!   ([`problem::EdgeParams`]), with the paper's **Property 1**
+//!   (path-invariance of `β` products) validated via per-node gains
+//!   ([`gains`]);
+//! * convex capacity penalties `D_i` ([`penalty`]) used by the
+//!   barrier-relaxed objective `A = Y + ε·D`.
+//!
+//! [`random`] generates seeded instances with exactly the distributions
+//! of the paper's evaluation (§6), and [`spec`] provides a serde-friendly
+//! exchange format so experiment manifests are reproducible byte-for-byte.
+
+pub mod builder;
+pub mod capacity;
+pub mod commodity;
+pub mod error;
+pub mod figures;
+pub mod gains;
+pub mod penalty;
+pub mod problem;
+pub mod random;
+pub mod spec;
+pub mod utility;
+
+pub use capacity::Capacity;
+pub use commodity::{Commodity, CommodityId};
+pub use error::ModelError;
+pub use penalty::{Penalty, PenaltyKind};
+pub use problem::{EdgeParams, Problem};
+pub use utility::UtilityFn;

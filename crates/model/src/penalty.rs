@@ -1,0 +1,291 @@
+//! Convex capacity penalty functions `D_i(z)`.
+//!
+//! §3 of the paper moves the per-node capacity constraints into the
+//! objective through convex increasing penalties with
+//! `lim_{z→C_i} D_i(z) → ∞`, giving the relaxed cost `A = Y + ε·D`. The
+//! reference form named in the paper is the reciprocal barrier
+//! `D_i(z) = 1/(C_i − z)`.
+//!
+//! A pure barrier is undefined past the capacity, but the iterative
+//! algorithm can transiently *forecast* loads slightly above `C_i` before
+//! the gradient pushes them back. Following standard practice we
+//! therefore extend each barrier beyond a configurable *knee*
+//! `θ·C_i` with the second-order Taylor polynomial of the barrier at the
+//! knee: the extension is still convex, increasing and `C²`-smooth at the
+//! junction, and grows fast enough (quadratically, with the barrier's
+//! curvature at the knee) that iterates are immediately repelled.
+
+use crate::capacity::Capacity;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The analytic family of a penalty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PenaltyKind {
+    /// `D(z) = 1/(C − z) − 1/C` — the paper's reference penalty,
+    /// normalized so `D(0) = 0` (the constant does not affect gradients
+    /// but keeps reported costs interpretable).
+    ///
+    /// Its derivative `1/(C−z)²` scales like `1/C²`, so one `ε` cannot
+    /// fit heterogeneous capacities (a `C = 2` node is repelled at 40%
+    /// utilization while a `C = 100` node overshoots its capacity). Use
+    /// [`PenaltyKind::ScaledReciprocal`] when capacities span orders of
+    /// magnitude, as in the paper's `U[1, 100]` evaluation setup.
+    Reciprocal,
+    /// `D(z) = C·z/(C − z)` — the capacity-normalized reciprocal
+    /// barrier. Its derivative is `1/(1 − u)²` where `u = z/C` is the
+    /// *utilization*, so the marginal penalty at a given utilization is
+    /// identical for every capacity: one `ε` produces the same
+    /// equilibrium utilization at a `C = 2` node and a `C = 100` node.
+    ScaledReciprocal,
+    /// `D(z) = −ln(1 − z/C)` — the classic logarithmic barrier; softer
+    /// than the reciprocal away from capacity.
+    LogBarrier,
+}
+
+/// A capacity penalty: a [`PenaltyKind`] plus the knee fraction at which
+/// the barrier switches to its quadratic extension.
+///
+/// ```
+/// use spn_model::{Capacity, Penalty};
+/// let p = Penalty::default();
+/// let c = Capacity::finite(10.0).unwrap();
+/// assert_eq!(p.value(c, 0.0), 0.0);
+/// assert!(p.value(c, 9.0) > p.value(c, 5.0));
+/// // defined (and steep) even past the capacity:
+/// assert!(p.value(c, 11.0).is_finite());
+/// assert!(p.value(c, 11.0) > p.value(c, 9.9));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Penalty {
+    kind: PenaltyKind,
+    knee: f64,
+}
+
+impl Default for Penalty {
+    /// The paper's reciprocal penalty with the knee at 98% utilization.
+    fn default() -> Self {
+        Penalty { kind: PenaltyKind::Reciprocal, knee: 0.98 }
+    }
+}
+
+impl Penalty {
+    /// Creates a penalty with the given knee fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message unless `0 < knee < 1`.
+    pub fn new(kind: PenaltyKind, knee: f64) -> Result<Self, String> {
+        if knee.is_finite() && knee > 0.0 && knee < 1.0 {
+            Ok(Penalty { kind, knee })
+        } else {
+            Err(format!("knee must lie strictly between 0 and 1, got {knee}"))
+        }
+    }
+
+    /// The analytic family.
+    #[must_use]
+    pub fn kind(&self) -> PenaltyKind {
+        self.kind
+    }
+
+    /// The knee fraction `θ`.
+    #[must_use]
+    pub fn knee(&self) -> f64 {
+        self.knee
+    }
+
+    /// Barrier value, derivative and second derivative at load `z` for a
+    /// *finite* capacity `c`, ignoring the knee extension.
+    fn raw(&self, c: f64, z: f64) -> (f64, f64, f64) {
+        let h = c - z;
+        match self.kind {
+            PenaltyKind::Reciprocal => (1.0 / h - 1.0 / c, 1.0 / (h * h), 2.0 / (h * h * h)),
+            PenaltyKind::ScaledReciprocal => {
+                (c * z / h, c * c / (h * h), 2.0 * c * c / (h * h * h))
+            }
+            PenaltyKind::LogBarrier => (-(h / c).ln(), 1.0 / h, 1.0 / (h * h)),
+        }
+    }
+
+    /// Penalty `D(z)` of running load `z ≥ 0` on a resource of capacity
+    /// `c`. Zero for infinite capacities (dummy nodes).
+    #[must_use]
+    pub fn value(&self, c: Capacity, z: f64) -> f64 {
+        if c.is_infinite() {
+            return 0.0;
+        }
+        let cap = c.value();
+        let kz = self.knee * cap;
+        if z <= kz {
+            self.raw(cap, z).0
+        } else {
+            let (v, d, dd) = self.raw(cap, kz);
+            let t = z - kz;
+            v + d * t + 0.5 * dd * t * t
+        }
+    }
+
+    /// Marginal penalty `D'(z)`. Zero for infinite capacities.
+    #[must_use]
+    pub fn derivative(&self, c: Capacity, z: f64) -> f64 {
+        if c.is_infinite() {
+            return 0.0;
+        }
+        let cap = c.value();
+        let kz = self.knee * cap;
+        if z <= kz {
+            self.raw(cap, z).1
+        } else {
+            let (_, d, dd) = self.raw(cap, kz);
+            d + dd * (z - kz)
+        }
+    }
+
+    /// Penalty curvature `D''(z)` (constant beyond the knee, where the
+    /// extension is quadratic). Zero for infinite capacities. Used by
+    /// the Newton-scaled step rule.
+    #[must_use]
+    pub fn second_derivative(&self, c: Capacity, z: f64) -> f64 {
+        if c.is_infinite() {
+            return 0.0;
+        }
+        let cap = c.value();
+        let kz = self.knee * cap;
+        self.raw(cap, z.min(kz)).2
+    }
+}
+
+impl fmt::Display for Penalty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            PenaltyKind::Reciprocal => write!(f, "1/(C−z), knee {}", self.knee),
+            PenaltyKind::ScaledReciprocal => write!(f, "Cz/(C−z), knee {}", self.knee),
+            PenaltyKind::LogBarrier => write!(f, "−ln(1−z/C), knee {}", self.knee),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both() -> Vec<Penalty> {
+        vec![
+            Penalty::new(PenaltyKind::Reciprocal, 0.98).unwrap(),
+            Penalty::new(PenaltyKind::ScaledReciprocal, 0.98).unwrap(),
+            Penalty::new(PenaltyKind::LogBarrier, 0.95).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn zero_at_origin() {
+        let c = Capacity::finite(25.0).unwrap();
+        for p in both() {
+            assert!(p.value(c, 0.0).abs() < 1e-12, "{p}");
+        }
+    }
+
+    #[test]
+    fn convex_and_increasing() {
+        let c = Capacity::finite(10.0).unwrap();
+        for p in both() {
+            let mut prev_v = p.value(c, 0.0);
+            let mut prev_d = p.derivative(c, 0.0);
+            // sweep well past capacity to cover the extension region
+            for i in 1..=150 {
+                let z = i as f64 * 0.1;
+                let v = p.value(c, z);
+                let d = p.derivative(c, z);
+                assert!(v >= prev_v, "{p} value decreased at {z}");
+                assert!(d >= prev_d - 1e-12, "{p} derivative decreased at {z}");
+                assert!(v.is_finite() && d.is_finite());
+                prev_v = v;
+                prev_d = d;
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let c = Capacity::finite(10.0).unwrap();
+        let h = 1e-6;
+        for p in both() {
+            for i in 0..130 {
+                let z = i as f64 * 0.09;
+                let fd = (p.value(c, z + h) - p.value(c, z - h)) / (2.0 * h);
+                let an = p.derivative(c, z);
+                assert!(
+                    (fd - an).abs() < 1e-4 * (1.0 + an.abs()),
+                    "{p} at z={z}: analytic {an} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_at_knee() {
+        let c = Capacity::finite(10.0).unwrap();
+        for p in both() {
+            let kz = p.knee() * 10.0;
+            let eps = 1e-9;
+            let dv = (p.value(c, kz + eps) - p.value(c, kz - eps)).abs();
+            let dd = (p.derivative(c, kz + eps) - p.derivative(c, kz - eps)).abs();
+            let v_scale = p.value(c, kz).abs().max(1.0);
+            let d_scale = p.derivative(c, kz).abs().max(1.0);
+            assert!(dv < 1e-6 * v_scale, "{p} value jump at knee: {dv}");
+            assert!(dd < 1e-4 * d_scale, "{p} derivative jump at knee: {dd}");
+        }
+    }
+
+    #[test]
+    fn infinite_capacity_is_free() {
+        for p in both() {
+            assert_eq!(p.value(Capacity::INFINITE, 1e9), 0.0);
+            assert_eq!(p.derivative(Capacity::INFINITE, 1e9), 0.0);
+        }
+    }
+
+    #[test]
+    fn reciprocal_matches_paper_form() {
+        // D(z) = 1/(C−z) − 1/C below the knee
+        let p = Penalty::default();
+        let c = Capacity::finite(8.0).unwrap();
+        let z = 3.0;
+        assert!((p.value(c, z) - (1.0 / 5.0 - 1.0 / 8.0)).abs() < 1e-12);
+        assert!((p.derivative(c, z) - 1.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knee_validation() {
+        assert!(Penalty::new(PenaltyKind::Reciprocal, 0.5).is_ok());
+        assert!(Penalty::new(PenaltyKind::Reciprocal, 0.0).is_err());
+        assert!(Penalty::new(PenaltyKind::Reciprocal, 1.0).is_err());
+        assert!(Penalty::new(PenaltyKind::Reciprocal, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn scaled_reciprocal_is_capacity_invariant() {
+        // marginal penalty at a fixed utilization is the same for any C
+        let p = Penalty::new(PenaltyKind::ScaledReciprocal, 0.98).unwrap();
+        for u in [0.1, 0.5, 0.9, 0.95] {
+            let small = Capacity::finite(2.0).unwrap();
+            let large = Capacity::finite(100.0).unwrap();
+            let d_small = p.derivative(small, 2.0 * u);
+            let d_large = p.derivative(large, 100.0 * u);
+            assert!(
+                (d_small - d_large).abs() < 1e-9 * d_small.abs(),
+                "u={u}: {d_small} vs {d_large}"
+            );
+            let expected = 1.0 / ((1.0 - u) * (1.0 - u));
+            assert!((d_small - expected).abs() < 1e-9 * expected);
+        }
+    }
+
+    #[test]
+    fn steeper_near_capacity() {
+        let p = Penalty::default();
+        let c = Capacity::finite(100.0).unwrap();
+        assert!(p.derivative(c, 95.0) > 10.0 * p.derivative(c, 50.0));
+    }
+}

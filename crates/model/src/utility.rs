@@ -1,0 +1,338 @@
+//! Concave increasing utility functions `U_j(a_j)`.
+//!
+//! The paper assumes each commodity's utility is concave and increasing
+//! in the admitted rate `a_j`, "reflecting the decreasing marginal
+//! returns of receiving more data". The distributed algorithm only ever
+//! consumes the *derivative* `U'` — it appears as the marginal cost of
+//! the dummy difference link (`Y'(x) = U'(λ_j − x)`, eq. (11)) — so every
+//! variant implements both [`UtilityFn::value`] and
+//! [`UtilityFn::derivative`] analytically.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A concave, increasing utility of the admitted rate.
+///
+/// All variants satisfy `U(0) = 0`, `U' ≥ 0` and `U'` non-increasing,
+/// which [`UtilityFn::validate`] checks structurally (parameter signs)
+/// and the crate's property tests check numerically.
+///
+/// ```
+/// use spn_model::UtilityFn;
+/// let u = UtilityFn::log(2.0);
+/// assert_eq!(u.value(0.0), 0.0);
+/// assert!(u.derivative(1.0) > u.derivative(5.0)); // diminishing returns
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum UtilityFn {
+    /// `U(a) = w·a` — utility *is* throughput; the paper's evaluation
+    /// (§6: "the system utility is taken to be the total throughput")
+    /// uses this with `w = 1`.
+    Linear {
+        /// Marginal value `w > 0` of one unit of delivered data.
+        weight: f64,
+    },
+    /// `U(a) = w·ln(1 + a/s)` — proportional fairness; `s` sets the rate
+    /// scale at which returns start to diminish.
+    Log {
+        /// Overall scale `w > 0`.
+        weight: f64,
+        /// Rate scale `s > 0` (the "knee" of the curve).
+        scale: f64,
+    },
+    /// `U(a) = w·(√(a + s) − √s)` — a 1/2-fair utility; the shift `s`
+    /// keeps `U'(0) = w/(2√s)` finite so the algorithm's marginal costs
+    /// stay bounded.
+    Sqrt {
+        /// Overall scale `w > 0`.
+        weight: f64,
+        /// Derivative-bounding shift `s > 0`.
+        shift: f64,
+    },
+    /// α-fair utility `U(a) = w·((a+s)^{1−α} − s^{1−α})/(1−α)` for
+    /// `α ≠ 1` (use [`UtilityFn::Log`] for `α = 1`). `α → 0` recovers
+    /// linear, larger `α` is more fairness-biased.
+    AlphaFair {
+        /// Overall scale `w > 0`.
+        weight: f64,
+        /// Fairness exponent `α > 0`, `α ≠ 1`.
+        alpha: f64,
+        /// Derivative-bounding shift `s > 0`.
+        shift: f64,
+    },
+    /// `U(a) = w·min(a, cap)` — linear value up to a satiation cap, zero
+    /// marginal value beyond it (concave but not strictly; the algorithm
+    /// follows the right-derivative at the kink).
+    CappedLinear {
+        /// Marginal value `w > 0` below the cap.
+        weight: f64,
+        /// Satiation rate `cap > 0`.
+        cap: f64,
+    },
+}
+
+impl UtilityFn {
+    /// Unit-weight linear utility (pure throughput).
+    #[must_use]
+    pub fn throughput() -> Self {
+        UtilityFn::Linear { weight: 1.0 }
+    }
+
+    /// Log utility with unit scale: `w·ln(1 + a)`.
+    #[must_use]
+    pub fn log(weight: f64) -> Self {
+        UtilityFn::Log { weight, scale: 1.0 }
+    }
+
+    /// Square-root utility with the default derivative-bounding shift.
+    #[must_use]
+    pub fn sqrt(weight: f64) -> Self {
+        UtilityFn::Sqrt { weight, shift: 1e-2 }
+    }
+
+    /// Utility of admitting rate `a ≥ 0`.
+    #[must_use]
+    pub fn value(&self, a: f64) -> f64 {
+        debug_assert!(a >= -1e-9, "utility evaluated at negative rate {a}");
+        let a = a.max(0.0);
+        match *self {
+            UtilityFn::Linear { weight } => weight * a,
+            UtilityFn::Log { weight, scale } => weight * (1.0 + a / scale).ln(),
+            UtilityFn::Sqrt { weight, shift } => weight * ((a + shift).sqrt() - shift.sqrt()),
+            UtilityFn::AlphaFair { weight, alpha, shift } => {
+                let p = 1.0 - alpha;
+                weight * ((a + shift).powf(p) - shift.powf(p)) / p
+            }
+            UtilityFn::CappedLinear { weight, cap } => weight * a.min(cap),
+        }
+    }
+
+    /// Marginal utility `U'(a)` (right-derivative at kinks).
+    #[must_use]
+    pub fn derivative(&self, a: f64) -> f64 {
+        let a = a.max(0.0);
+        match *self {
+            UtilityFn::Linear { weight } => weight,
+            UtilityFn::Log { weight, scale } => weight / (scale + a),
+            UtilityFn::Sqrt { weight, shift } => weight / (2.0 * (a + shift).sqrt()),
+            UtilityFn::AlphaFair { weight, alpha, shift } => weight * (a + shift).powf(-alpha),
+            UtilityFn::CappedLinear { weight, cap } => {
+                if a < cap {
+                    weight
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Curvature `U''(a) ≤ 0` (zero at and beyond kinks). The
+    /// Newton-scaled step rule uses `−U''` as the difference link's
+    /// cost curvature.
+    #[must_use]
+    pub fn second_derivative(&self, a: f64) -> f64 {
+        let a = a.max(0.0);
+        match *self {
+            UtilityFn::Linear { .. } | UtilityFn::CappedLinear { .. } => 0.0,
+            UtilityFn::Log { weight, scale } => -weight / ((scale + a) * (scale + a)),
+            UtilityFn::Sqrt { weight, shift } => -weight / (4.0 * (a + shift).powf(1.5)),
+            UtilityFn::AlphaFair { weight, alpha, shift } => {
+                -weight * alpha * (a + shift).powf(-alpha - 1.0)
+            }
+        }
+    }
+
+    /// Checks the parameter-sign conditions under which the variant is
+    /// concave and increasing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        fn pos(name: &str, v: f64) -> Result<(), String> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{name} must be finite and positive, got {v}"))
+            }
+        }
+        match *self {
+            UtilityFn::Linear { weight } => pos("weight", weight),
+            UtilityFn::Log { weight, scale } => {
+                pos("weight", weight)?;
+                pos("scale", scale)
+            }
+            UtilityFn::Sqrt { weight, shift } => {
+                pos("weight", weight)?;
+                pos("shift", shift)
+            }
+            UtilityFn::AlphaFair { weight, alpha, shift } => {
+                pos("weight", weight)?;
+                pos("alpha", alpha)?;
+                pos("shift", shift)?;
+                if (alpha - 1.0).abs() < 1e-12 {
+                    Err("alpha = 1 is the log utility; use UtilityFn::Log".to_string())
+                } else {
+                    Ok(())
+                }
+            }
+            UtilityFn::CappedLinear { weight, cap } => {
+                pos("weight", weight)?;
+                pos("cap", cap)
+            }
+        }
+    }
+}
+
+impl fmt::Display for UtilityFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            UtilityFn::Linear { weight } => write!(f, "{weight}·a"),
+            UtilityFn::Log { weight, scale } => write!(f, "{weight}·ln(1+a/{scale})"),
+            UtilityFn::Sqrt { weight, shift } => write!(f, "{weight}·(√(a+{shift})−√{shift})"),
+            UtilityFn::AlphaFair { weight, alpha, .. } => write!(f, "{weight}·α-fair(α={alpha})"),
+            UtilityFn::CappedLinear { weight, cap } => write!(f, "{weight}·min(a,{cap})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<UtilityFn> {
+        vec![
+            UtilityFn::Linear { weight: 2.0 },
+            UtilityFn::Log { weight: 3.0, scale: 0.5 },
+            UtilityFn::Sqrt { weight: 1.5, shift: 0.01 },
+            UtilityFn::AlphaFair { weight: 1.0, alpha: 2.0, shift: 0.1 },
+            UtilityFn::AlphaFair { weight: 1.0, alpha: 0.5, shift: 0.1 },
+            UtilityFn::CappedLinear { weight: 2.0, cap: 4.0 },
+        ]
+    }
+
+    #[test]
+    fn zero_at_origin() {
+        for u in all_variants() {
+            assert!(u.value(0.0).abs() < 1e-12, "{u} not zero at origin");
+        }
+    }
+
+    #[test]
+    fn increasing() {
+        for u in all_variants() {
+            let mut prev = u.value(0.0);
+            for i in 1..=50 {
+                let a = i as f64 * 0.3;
+                let v = u.value(a);
+                assert!(v >= prev - 1e-12, "{u} not increasing at {a}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn concave_derivative_nonincreasing() {
+        for u in all_variants() {
+            let mut prev = u.derivative(0.0);
+            for i in 1..=50 {
+                let a = i as f64 * 0.3;
+                let d = u.derivative(a);
+                assert!(d <= prev + 1e-12, "{u} derivative increases at {a}");
+                assert!(d >= 0.0);
+                prev = d;
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for u in all_variants() {
+            for i in 0..20 {
+                let a = 0.05 + i as f64 * 0.37;
+                if matches!(u, UtilityFn::CappedLinear { cap, .. } if (a - cap).abs() < 0.1) {
+                    continue; // kink
+                }
+                let fd = (u.value(a + h) - u.value(a - h)) / (2.0 * h);
+                let an = u.derivative(a);
+                assert!(
+                    (fd - an).abs() < 1e-4 * (1.0 + an.abs()),
+                    "{u}: d/da at {a}: analytic {an} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn second_derivative_matches_finite_difference() {
+        let h = 1e-5;
+        for u in all_variants() {
+            for i in 1..15 {
+                let a = 0.3 + i as f64 * 0.4;
+                if matches!(u, UtilityFn::CappedLinear { cap, .. } if (a - cap).abs() < 0.5) {
+                    continue;
+                }
+                let fd = (u.derivative(a + h) - u.derivative(a - h)) / (2.0 * h);
+                let an = u.second_derivative(a);
+                assert!(
+                    (fd - an).abs() < 1e-3 * (1.0 + an.abs()),
+                    "{u} at {a}: analytic {an} vs fd {fd}"
+                );
+                assert!(an <= 1e-12, "{u} not concave at {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_is_throughput() {
+        let u = UtilityFn::throughput();
+        assert_eq!(u.value(7.25), 7.25);
+        assert_eq!(u.derivative(100.0), 1.0);
+    }
+
+    #[test]
+    fn capped_linear_kink() {
+        let u = UtilityFn::CappedLinear { weight: 2.0, cap: 3.0 };
+        assert_eq!(u.value(2.0), 4.0);
+        assert_eq!(u.value(5.0), 6.0);
+        assert_eq!(u.derivative(2.9), 2.0);
+        assert_eq!(u.derivative(3.0), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        for u in all_variants() {
+            assert!(u.validate().is_ok(), "{u}");
+        }
+        assert!(UtilityFn::Linear { weight: 0.0 }.validate().is_err());
+        assert!(UtilityFn::Linear { weight: -1.0 }.validate().is_err());
+        assert!(UtilityFn::Log { weight: 1.0, scale: 0.0 }.validate().is_err());
+        assert!(UtilityFn::AlphaFair { weight: 1.0, alpha: 1.0, shift: 0.1 }
+            .validate()
+            .is_err());
+        assert!(UtilityFn::Sqrt { weight: 1.0, shift: f64::NAN }.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for u in all_variants() {
+            let json = serde_json_like(&u);
+            assert!(!json.is_empty());
+        }
+    }
+
+    // serde_json is not a dependency; exercise Serialize via the
+    // `serde_test`-style token stream is overkill — round-trip through
+    // the Debug representation instead and reserve true serde round-trips
+    // for the spec module tests (which use a hand-rolled encoder).
+    fn serde_json_like(u: &UtilityFn) -> String {
+        format!("{u:?}")
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(format!("{}", UtilityFn::throughput()), "1·a");
+        assert!(format!("{}", UtilityFn::log(2.0)).contains("ln"));
+    }
+}

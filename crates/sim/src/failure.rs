@@ -1,0 +1,181 @@
+//! Failure injection and recovery measurement.
+//!
+//! §3 of the paper motivates penalty headroom with: "such remaining
+//! capacity could be used to better accommodate changing demands, or for
+//! faster recovery in the case of node or link failures." This module
+//! implements the failure model used by experiment E8: a node or link's
+//! capacity collapses to (nearly) zero, the barrier then repels all
+//! flow from it, and the running algorithm reroutes with no structural
+//! change — recovery time is how many iterations the utility needs to
+//! climb back.
+
+use crate::gradient_sim::GradientSim;
+use spn_graph::{EdgeId, NodeId};
+use spn_model::Capacity;
+use spn_transform::NodeKind;
+
+/// Capacity assigned to failed resources (must stay positive: the
+/// barrier needs a finite budget to be defined).
+pub const FAILED_CAPACITY: f64 = 1e-3;
+
+/// Collapses a physical node's computing capacity.
+///
+/// # Panics
+///
+/// Panics if `node` does not identify a physical processing node of the
+/// simulated network.
+pub fn fail_node(sim: &mut GradientSim, node: NodeId) {
+    assert!(
+        matches!(sim.extended().node_kind(node), NodeKind::Processing(_)),
+        "fail_node expects a physical processing node"
+    );
+    sim.extended_mut()
+        .set_capacity(node, Capacity::finite(FAILED_CAPACITY).expect("positive"));
+}
+
+/// Collapses a physical link's bandwidth (its bandwidth node's budget).
+///
+/// # Panics
+///
+/// Panics if `edge` is not a physical edge of the simulated network.
+pub fn fail_link(sim: &mut GradientSim, edge: EdgeId) {
+    let bw = bandwidth_node(sim, edge);
+    sim.extended_mut()
+        .set_capacity(bw, Capacity::finite(FAILED_CAPACITY).expect("positive"));
+}
+
+/// Restores a previously failed node to the given capacity.
+///
+/// # Panics
+///
+/// Panics if `capacity` is not positive and finite.
+pub fn restore_node(sim: &mut GradientSim, node: NodeId, capacity: f64) {
+    sim.extended_mut()
+        .set_capacity(node, Capacity::finite(capacity).expect("valid capacity"));
+}
+
+/// Runs the simulation until utility recovers to `fraction` of
+/// `reference_utility` or `max_iterations` elapse; returns the number of
+/// iterations used, or `None` if recovery was not reached.
+pub fn measure_recovery(
+    sim: &mut GradientSim,
+    reference_utility: f64,
+    fraction: f64,
+    max_iterations: usize,
+) -> Option<usize> {
+    let target = reference_utility * fraction;
+    for i in 0..max_iterations {
+        sim.step();
+        if sim.utility() >= target {
+            return Some(i + 1);
+        }
+    }
+    None
+}
+
+fn bandwidth_node(sim: &GradientSim, edge: EdgeId) -> NodeId {
+    let ext = sim.extended();
+    ext.graph()
+        .nodes()
+        .find(|&v| matches!(ext.node_kind(v), NodeKind::Bandwidth(e) if e == edge))
+        .expect("edge has a bandwidth node")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_core::GradientConfig;
+    use spn_model::builder::ProblemBuilder;
+    use spn_model::{Problem, UtilityFn};
+
+    /// Diamond with two disjoint relays so one can fail.
+    fn diamond() -> Problem {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(100.0);
+        let x = b.server(50.0);
+        let y = b.server(50.0);
+        let t = b.server(100.0);
+        let e_sx = b.link(s, x, 50.0);
+        let e_sy = b.link(s, y, 50.0);
+        let e_xt = b.link(x, t, 50.0);
+        let e_yt = b.link(y, t, 50.0);
+        let j = b.commodity(s, t, 20.0, UtilityFn::throughput());
+        b.uses(j, e_sx, 1.0, 1.0)
+            .uses(j, e_sy, 1.0, 1.0)
+            .uses(j, e_xt, 1.0, 1.0)
+            .uses(j, e_yt, 1.0, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn node_failure_then_recovery() {
+        let p = diamond();
+        let cfg = GradientConfig { eta: 0.3, ..GradientConfig::default() };
+        let mut sim = GradientSim::new(&p, cfg).unwrap();
+        for _ in 0..500 {
+            sim.step();
+        }
+        let before = sim.utility();
+        assert!(before > 10.0, "pre-failure utility {before}");
+        fail_node(&mut sim, spn_graph::NodeId::from_index(1)); // x
+        // give the barrier time to repel the flow off the dead node
+        for _ in 0..3000 {
+            sim.step();
+        }
+        // all flow now goes through y (only the equilibrium trickle,
+        // bounded by the collapsed capacity, may remain on x)
+        assert!(
+            sim.flows().node_usage(spn_graph::NodeId::from_index(1)) < 0.1,
+            "dead node still carries {}",
+            sim.flows().node_usage(spn_graph::NodeId::from_index(1))
+        );
+        assert!(sim.flows().node_usage(spn_graph::NodeId::from_index(2)) > 1.0);
+        // y alone can carry the full demand, so utility recovers fully
+        assert!(
+            sim.utility() > 0.9 * before,
+            "utility after reroute {} vs before {before}",
+            sim.utility()
+        );
+    }
+
+    #[test]
+    fn link_failure_reroutes() {
+        let p = diamond();
+        let cfg = GradientConfig { eta: 0.3, ..GradientConfig::default() };
+        let mut sim = GradientSim::new(&p, cfg).unwrap();
+        for _ in 0..500 {
+            sim.step();
+        }
+        let before = sim.utility();
+        fail_link(&mut sim, spn_graph::EdgeId::from_index(0)); // s→x
+        for _ in 0..3000 {
+            sim.step();
+        }
+        // the bandwidth node of the failed link carries only a trickle
+        let bw = spn_graph::NodeId::from_index(4); // first bandwidth node
+        assert!(sim.flows().node_usage(bw) < 0.1, "failed link carries {}", sim.flows().node_usage(bw));
+        assert!(sim.utility() > 0.9 * before);
+    }
+
+    #[test]
+    fn restore_brings_capacity_back() {
+        let p = diamond();
+        let cfg = GradientConfig { eta: 0.3, ..GradientConfig::default() };
+        let mut sim = GradientSim::new(&p, cfg).unwrap();
+        fail_node(&mut sim, spn_graph::NodeId::from_index(1));
+        restore_node(&mut sim, spn_graph::NodeId::from_index(1), 50.0);
+        assert_eq!(
+            sim.extended().capacity(spn_graph::NodeId::from_index(1)).value(),
+            50.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "physical processing node")]
+    fn failing_a_dummy_panics() {
+        let p = diamond();
+        let mut sim = GradientSim::new(&p, GradientConfig::default()).unwrap();
+        let dummy = sim.extended().dummy_source(spn_model::CommodityId::from_index(0));
+        fail_node(&mut sim, dummy);
+    }
+}

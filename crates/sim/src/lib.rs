@@ -1,0 +1,38 @@
+//! Round-based message-level simulator of the distributed protocols.
+//!
+//! `spn-core` runs the gradient algorithm as synchronous in-process
+//! sweeps. This crate executes the *same* iteration as the paper
+//! describes it operationally — per-node protocol state, messages
+//! delivered one hop per round — and accounts for the communication:
+//!
+//! * [`waves`] — the marginal-cost wave (upstream) and flow-forecast
+//!   wave (downstream) with per-round scheduling and message counters;
+//! * [`gradient_sim::GradientSim`] — the full iteration (waves + local
+//!   Γ update), state-equivalent to [`spn_core::GradientAlgorithm`]
+//!   up to floating-point summation order;
+//! * [`bp_sim::BackPressureSim`] — the baseline with its `O(1)`-round,
+//!   fixed-message-count accounting;
+//! * [`failure`] — capacity-collapse failure injection and recovery
+//!   measurement (experiment E8);
+//! * [`async_updates`] — partial-participation schedules modelling
+//!   asynchronous deployments (experiment E10);
+//! * [`packet`] — discrete-time queued execution of a converged fluid
+//!   solution under bursty arrivals (experiment E14: the fluid model is
+//!   implementable, and penalty headroom buys bounded queues).
+//!
+//! Together these regenerate the paper's §6 message-cost discussion:
+//! a gradient iteration costs `O(L)` rounds (`L` = longest pipeline
+//! path) while a back-pressure iteration costs `O(1)` (experiment E4).
+
+pub mod async_updates;
+pub mod bp_sim;
+pub mod failure;
+pub mod gradient_sim;
+pub mod packet;
+pub mod waves;
+
+pub use async_updates::{AsyncGradient, Schedule};
+pub use bp_sim::BackPressureSim;
+pub use packet::{PacketConfig, PacketSim};
+pub use gradient_sim::{GradientSim, IterationStats};
+pub use waves::WaveOutcome;

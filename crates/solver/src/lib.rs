@@ -1,0 +1,38 @@
+//! Centralized optimization substrate: the "optimization solver" that
+//! produces the paper's optimal-throughput reference line (Figure 4).
+//!
+//! * [`lp`] — a from-scratch dense two-phase primal simplex solver with
+//!   Bland's anti-cycling rule;
+//! * [`arcflow`] — the LP encoding of the shrinkage multicommodity flow
+//!   problem (flow balance per eq. (7), node capacities, link
+//!   bandwidths, admission bounds) and the exact solver for linear
+//!   utilities;
+//! * [`piecewise`] — certified sandwich bounds (secant lower / tangent
+//!   upper) for strictly concave utilities;
+//! * [`solution`] — solutions in problem terms with independent
+//!   feasibility verification.
+//!
+//! # Example
+//!
+//! ```
+//! use spn_model::random::RandomInstance;
+//! use spn_solver::arcflow::solve_linear_utility;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let inst = RandomInstance::builder().nodes(15).commodities(2).seed(1).build()?;
+//! let optimum = solve_linear_utility(&inst.problem)?;
+//! assert!(optimum.max_violation(&inst.problem) < 1e-6);
+//! println!("optimal total throughput: {}", optimum.objective);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod arcflow;
+pub mod lp;
+pub mod piecewise;
+pub mod solution;
+
+pub use arcflow::{solve_linear_utility, SolveError};
+pub use lp::{LinearProgram, LpFailure, LpSolution};
+pub use piecewise::{sandwich, solve_concave, Bound};
+pub use solution::OptimalSolution;

@@ -1,0 +1,209 @@
+//! Concave utilities via piecewise-linear LP sandwich bounds.
+//!
+//! A concave increasing `U_j` is approximated two ways on a uniform
+//! breakpoint grid `0 = b_0 < … < b_K = λ_j`:
+//!
+//! * **Secant (inner)** — chords between consecutive breakpoints
+//!   *under*-estimate `U_j`, and because concavity makes the chord
+//!   slopes decreasing, the LP fills segments in order; the resulting
+//!   optimum is achievable, i.e. a **lower bound** on the true optimum.
+//! * **Tangent (outer)** — tangent lines at the breakpoints
+//!   *over*-estimate `U_j` (an epigraph cut per breakpoint); the LP
+//!   optimum is an **upper bound**.
+//!
+//! Together they *sandwich* the true concave optimum: a certified
+//! bracket used to validate the distributed algorithm on non-linear
+//! utilities (experiment E5). For linear utilities both bounds are
+//! exact and coincide with [`crate::arcflow::solve_linear_utility`].
+
+use crate::arcflow::{encode, SolveError};
+use crate::solution::OptimalSolution;
+use spn_model::Problem;
+
+/// Which side of the sandwich to compute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// Secant chords: achievable objective, lower bound.
+    Lower,
+    /// Tangent cuts: relaxed objective, upper bound.
+    Upper,
+}
+
+/// Solves the concave-utility problem to the chosen piecewise-linear
+/// bound with `segments ≥ 1` pieces per commodity.
+///
+/// The returned [`OptimalSolution::objective`] is the bound value; the
+/// flows and admissions are the corresponding optimizer (feasible for
+/// the original problem in both cases — only the *objective* differs
+/// between bounds).
+///
+/// # Errors
+///
+/// [`SolveError::Lp`] if the LP solver fails (not expected for valid
+/// problems).
+///
+/// # Panics
+///
+/// Panics if `segments == 0`.
+pub fn solve_concave(
+    problem: &Problem,
+    segments: usize,
+    bound: Bound,
+) -> Result<OptimalSolution, SolveError> {
+    assert!(segments > 0, "need at least one segment");
+    let (mut lp, enc) = encode(problem);
+
+    match bound {
+        Bound::Lower => {
+            // a_j = Σ_k s_{j,k}, 0 ≤ s_{j,k} ≤ b_{k+1} − b_k, objective
+            // slope = chord slope.
+            for j in problem.commodity_ids() {
+                let c = problem.commodity(j);
+                let lambda = c.max_rate;
+                let width = lambda / segments as f64;
+                let base = lp.num_vars();
+                // grow the variable space
+                lp.objective.extend(std::iter::repeat_n(0.0, segments));
+                let mut sum_coeffs: Vec<(usize, f64)> = vec![(enc.admission_col(j), -1.0)];
+                for k in 0..segments {
+                    let col = base + k;
+                    let b0 = width * k as f64;
+                    let b1 = width * (k + 1) as f64;
+                    let slope = (c.utility.value(b1) - c.utility.value(b0)) / width;
+                    lp.set_objective(col, slope);
+                    lp.less_equal(vec![(col, 1.0)], width);
+                    sum_coeffs.push((col, 1.0));
+                }
+                lp.equal(sum_coeffs, 0.0);
+            }
+        }
+        Bound::Upper => {
+            // u_j ≤ U(b_k) + U'(b_k)(a_j − b_k) for each breakpoint,
+            // maximize Σ u_j.
+            for j in problem.commodity_ids() {
+                let c = problem.commodity(j);
+                let lambda = c.max_rate;
+                let u_col = lp.num_vars();
+                lp.objective.push(1.0);
+                for k in 0..=segments {
+                    let b = lambda * k as f64 / segments as f64;
+                    let slope = c.utility.derivative(b);
+                    // u − slope·a ≤ U(b) − slope·b
+                    lp.less_equal(
+                        vec![(u_col, 1.0), (enc.admission_col(j), -slope)],
+                        c.utility.value(b) - slope * b,
+                    );
+                }
+            }
+        }
+    }
+
+    let sol = crate::lp::solve(&lp)?;
+    Ok(enc.extract(problem, sol.objective, &sol.x))
+}
+
+/// Convenience: both bounds at once, `(lower, upper)`.
+///
+/// # Errors
+///
+/// See [`solve_concave`].
+pub fn sandwich(
+    problem: &Problem,
+    segments: usize,
+) -> Result<(OptimalSolution, OptimalSolution), SolveError> {
+    Ok((
+        solve_concave(problem, segments, Bound::Lower)?,
+        solve_concave(problem, segments, Bound::Upper)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_model::builder::ProblemBuilder;
+    use spn_model::UtilityFn;
+
+    fn problem_with(utility: UtilityFn, lambda: f64, cap: f64) -> Problem {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(cap);
+        let t = b.server(1e6);
+        let e = b.link(s, t, 1e6);
+        let j = b.commodity(s, t, lambda, utility);
+        b.uses(j, e, 1.0, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn linear_utility_bounds_are_exact() {
+        let p = problem_with(UtilityFn::throughput(), 8.0, 5.0);
+        let (lo, hi) = sandwich(&p, 4).unwrap();
+        assert!((lo.objective - 5.0).abs() < 1e-6);
+        assert!((hi.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sandwich_brackets_log_utility() {
+        // single link, ample capacity: optimum admits λ, utility ln(1+λ)
+        let p = problem_with(UtilityFn::log(1.0), 6.0, 100.0);
+        let truth = (1.0 + 6.0f64).ln();
+        let (lo, hi) = sandwich(&p, 8).unwrap();
+        assert!(lo.objective <= truth + 1e-6, "lower {} > truth {truth}", lo.objective);
+        assert!(hi.objective >= truth - 1e-6, "upper {} < truth {truth}", hi.objective);
+        assert!(hi.objective - lo.objective < 0.1);
+    }
+
+    #[test]
+    fn refinement_tightens_the_bracket() {
+        let p = problem_with(UtilityFn::log(1.0), 6.0, 100.0);
+        let (lo2, hi2) = sandwich(&p, 2).unwrap();
+        let (lo16, hi16) = sandwich(&p, 16).unwrap();
+        assert!(lo16.objective >= lo2.objective - 1e-9);
+        assert!(hi16.objective <= hi2.objective + 1e-9);
+        assert!(hi16.objective - lo16.objective < (hi2.objective - lo2.objective) * 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn capacity_constrained_concave() {
+        // capacity 3 caps admission; utility = ln(1+3)
+        let p = problem_with(UtilityFn::log(1.0), 10.0, 3.0);
+        let truth = (1.0 + 3.0f64).ln();
+        let (lo, hi) = sandwich(&p, 20).unwrap();
+        assert!((lo.objective - truth).abs() < 0.01, "lo {}", lo.objective);
+        assert!((hi.objective - truth).abs() < 0.01, "hi {}", hi.objective);
+        assert!(lo.max_violation(&p) < 1e-6);
+        assert!(hi.max_violation(&p) < 1e-6);
+    }
+
+    #[test]
+    fn concave_fairness_splits_shared_capacity() {
+        // two commodities share capacity 10 through a common relay with
+        // identical log utilities: fair split 5/5 beats 10/0
+        let mut b = ProblemBuilder::new();
+        let s1 = b.server(1e4);
+        let s2 = b.server(1e4);
+        let x = b.server(10.0);
+        let t1 = b.server(1e4);
+        let t2 = b.server(1e4);
+        let e1 = b.link(s1, x, 1e4);
+        let e2 = b.link(s2, x, 1e4);
+        let e3 = b.link(x, t1, 1e4);
+        let e4 = b.link(x, t2, 1e4);
+        let j1 = b.commodity(s1, t1, 100.0, UtilityFn::log(1.0));
+        let j2 = b.commodity(s2, t2, 100.0, UtilityFn::log(1.0));
+        b.uses(j1, e1, 1.0, 1.0).uses(j1, e3, 1.0, 1.0);
+        b.uses(j2, e2, 1.0, 1.0).uses(j2, e4, 1.0, 1.0);
+        let p = b.build().unwrap();
+        let lo = solve_concave(&p, 40, Bound::Lower).unwrap();
+        // the relay x pays 1 unit per admitted unit on its outgoing
+        // edges, so 10 admitted units total; log fairness says 5 each
+        assert!((lo.admitted[0] - 5.0).abs() < 0.3, "a1 {}", lo.admitted[0]);
+        assert!((lo.admitted[1] - 5.0).abs() < 0.3, "a2 {}", lo.admitted[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_panics() {
+        let p = problem_with(UtilityFn::log(1.0), 1.0, 1.0);
+        let _ = solve_concave(&p, 0, Bound::Lower);
+    }
+}

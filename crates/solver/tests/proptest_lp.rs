@@ -1,0 +1,122 @@
+//! Property-based tests for the simplex solver and the arc-flow
+//! encoding.
+
+use proptest::prelude::*;
+use spn_model::random::RandomInstance;
+use spn_solver::lp::{solve, LinearProgram, LpFailure};
+use spn_solver::arcflow::solve_linear_utility;
+use spn_solver::piecewise::{sandwich, solve_concave, Bound};
+use spn_model::UtilityFn;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All-≤ programs with non-negative rhs always contain x = 0, so
+    /// they are never infeasible, and any optimum must be feasible and
+    /// consistent.
+    #[test]
+    fn bounded_programs_solve_feasibly(
+        n in 1usize..6,
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0.0..3.0f64, 6), 0.1..20.0f64),
+            1..8,
+        ),
+        obj in proptest::collection::vec(-2.0..2.0f64, 6),
+    ) {
+        let mut lp = LinearProgram::new(n);
+        for (v, &c) in obj.iter().take(n).enumerate() {
+            lp.set_objective(v, c);
+        }
+        for (coeffs, rhs) in rows {
+            let sparse: Vec<(usize, f64)> =
+                coeffs.iter().take(n).enumerate().map(|(v, &c)| (v, c)).collect();
+            lp.less_equal(sparse, rhs);
+        }
+        match solve(&lp) {
+            Ok(s) => {
+                prop_assert!(lp.max_violation(&s.x) < 1e-6);
+                prop_assert!(s.x.iter().all(|&v| v >= -1e-9));
+                prop_assert!((lp.objective_value(&s.x) - s.objective).abs() < 1e-6);
+                // optimal ≥ value at origin (0 is feasible)
+                prop_assert!(s.objective >= -1e-9_f64.max(0.0) - 1e-9);
+            }
+            Err(LpFailure::Unbounded) => {
+                // needs a variable with positive objective and no
+                // binding constraint — possible when all its
+                // coefficients are ~0; acceptable
+            }
+            Err(LpFailure::Infeasible) => {
+                prop_assert!(false, "x = 0 is feasible; infeasible is impossible");
+            }
+        }
+    }
+
+    /// The arc-flow optimum is feasible, demand-bounded, and invariant
+    /// under capacity scaling ≥ 1 only in the weak sense (non-decreasing).
+    #[test]
+    fn arcflow_optimum_is_feasible_and_monotone(seed in 0u64..40) {
+        let problem = RandomInstance::builder()
+            .nodes(14)
+            .commodities(2)
+            .seed(seed)
+            .build()
+            .unwrap()
+            .problem;
+        let sol = solve_linear_utility(&problem).unwrap();
+        prop_assert!(sol.max_violation(&problem) < 1e-6);
+        prop_assert!(sol.objective <= problem.total_demand() + 1e-6);
+        // doubling capacities can only help
+        let doubled = problem.scale_capacities(2.0);
+        let sol2 = solve_linear_utility(&doubled).unwrap();
+        prop_assert!(sol2.objective >= sol.objective - 1e-6);
+        // doubling demand can only help
+        let more = problem.scale_demand(2.0);
+        let sol3 = solve_linear_utility(&more).unwrap();
+        prop_assert!(sol3.objective >= sol.objective - 1e-6);
+    }
+
+    /// Sandwich bounds really bracket: lower ≤ upper, both feasible, and
+    /// refinement tightens monotonically.
+    #[test]
+    fn sandwich_brackets_and_tightens(seed in 0u64..20) {
+        let mut problem = RandomInstance::builder()
+            .nodes(12)
+            .commodities(2)
+            .seed(seed)
+            .build()
+            .unwrap()
+            .problem;
+        for j in problem.commodity_ids().collect::<Vec<_>>() {
+            problem = problem.with_utility(j, UtilityFn::log(1.0));
+        }
+        let (lo4, hi4) = sandwich(&problem, 4).unwrap();
+        let (lo16, hi16) = sandwich(&problem, 16).unwrap();
+        prop_assert!(lo4.objective <= hi4.objective + 1e-6);
+        prop_assert!(lo16.objective <= hi16.objective + 1e-6);
+        prop_assert!(lo16.objective >= lo4.objective - 1e-6);
+        prop_assert!(hi16.objective <= hi4.objective + 1e-6);
+        prop_assert!(lo16.max_violation(&problem) < 1e-6);
+        prop_assert!(hi16.max_violation(&problem) < 1e-6);
+        // the true utility of the lower optimizer lies inside the bracket
+        let achieved = lo16.true_utility(&problem);
+        prop_assert!(achieved <= hi16.objective + 1e-6);
+        prop_assert!(achieved >= lo16.objective - 1e-6);
+    }
+
+    /// For linear utilities the piecewise machinery is exact.
+    #[test]
+    fn piecewise_is_exact_for_linear(seed in 0u64..20, segments in 1usize..6) {
+        let problem = RandomInstance::builder()
+            .nodes(12)
+            .commodities(2)
+            .seed(seed)
+            .build()
+            .unwrap()
+            .problem;
+        let exact = solve_linear_utility(&problem).unwrap().objective;
+        let lo = solve_concave(&problem, segments, Bound::Lower).unwrap().objective;
+        let hi = solve_concave(&problem, segments, Bound::Upper).unwrap().objective;
+        prop_assert!((lo - exact).abs() < 1e-6 * (1.0 + exact));
+        prop_assert!((hi - exact).abs() < 1e-6 * (1.0 + exact));
+    }
+}

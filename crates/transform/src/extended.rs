@@ -1,0 +1,492 @@
+//! The extended graph `G' = (V, L)` with unified per-node resources.
+
+use spn_graph::topo::topological_order_filtered;
+use spn_graph::{DiGraph, EdgeId, NodeId};
+use spn_model::{Capacity, Commodity, CommodityId, Problem};
+
+/// What an extended-graph node represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A physical processing node (or sink), keeping its original id.
+    Processing(NodeId),
+    /// The bandwidth node `n_ik` inserted into physical edge `(i, k)`.
+    Bandwidth(EdgeId),
+    /// The dummy source `s̄_j` of a commodity.
+    DummySource(CommodityId),
+}
+
+/// What an extended-graph edge represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// `(i, n_ik)` — the processing half of physical edge `(i, k)`;
+    /// carries that edge's `(c^j, β^j)`.
+    Ingress(EdgeId),
+    /// `(n_ik, k)` — the transfer half; one unit of bandwidth moves one
+    /// unit of flow (`c = 1`, `β = 1`).
+    Egress(EdgeId),
+    /// `(s̄_j, s_j)` — admitted traffic `a_j` enters the network here.
+    DummyInput(CommodityId),
+    /// `(s̄_j, sink_j)` — rejected traffic `λ_j − a_j`, charged the
+    /// utility loss `Y_j`.
+    DummyDifference(CommodityId),
+}
+
+/// The transformed network: one resource constraint per node, admission
+/// control folded into routing.
+///
+/// Identifiers are laid out deterministically so results can be mapped
+/// back to the physical instance (see [`crate::view`]):
+///
+/// * extended node `v < N` is physical node `v`;
+/// * extended node `N + e` is the bandwidth node of physical edge `e`;
+/// * extended node `N + M + j` is the dummy source of commodity `j`;
+/// * extended edges `2e` / `2e + 1` are the ingress/egress halves of
+///   physical edge `e`, and `2M + 2j` / `2M + 2j + 1` are commodity
+///   `j`'s dummy input / dummy difference links.
+#[derive(Clone, Debug)]
+pub struct ExtendedNetwork {
+    graph: DiGraph,
+    node_kind: Vec<NodeKind>,
+    edge_kind: Vec<EdgeKind>,
+    capacity: Vec<Capacity>,
+    /// `in_commodity[j][l]` — extended edge `l` usable by commodity `j`.
+    in_commodity: Vec<Vec<bool>>,
+    /// `cost[j][l]` — resource consumed at the edge's tail per unit of
+    /// commodity-`j` flow (1.0 outside the commodity; never read there).
+    cost: Vec<Vec<f64>>,
+    /// `beta[j][l]` — output per input unit across the edge.
+    beta: Vec<Vec<f64>>,
+    dummy_source: Vec<NodeId>,
+    input_edge: Vec<EdgeId>,
+    difference_edge: Vec<EdgeId>,
+    commodities: Vec<Commodity>,
+    /// Per-commodity topological order of the *extended* subgraph.
+    topo: Vec<Vec<NodeId>>,
+    physical_nodes: usize,
+    physical_edges: usize,
+}
+
+impl ExtendedNetwork {
+    /// Builds the extended network from a validated [`Problem`].
+    #[must_use]
+    pub fn build(problem: &Problem) -> Self {
+        let pg = problem.graph();
+        let n = pg.node_count();
+        let m = pg.edge_count();
+        let j_count = problem.num_commodities();
+
+        let mut graph = DiGraph::with_capacity(n + m + j_count, 2 * m + 2 * j_count);
+        let mut node_kind = Vec::with_capacity(n + m + j_count);
+        let mut capacity = Vec::with_capacity(n + m + j_count);
+
+        // Physical nodes keep their ids.
+        for v in pg.nodes() {
+            let id = graph.add_node();
+            debug_assert_eq!(id, v);
+            node_kind.push(NodeKind::Processing(v));
+            capacity.push(problem.node_capacity(v));
+        }
+        // Bandwidth nodes.
+        for e in pg.edges() {
+            let id = graph.add_node();
+            debug_assert_eq!(id.index(), n + e.index());
+            node_kind.push(NodeKind::Bandwidth(e));
+            capacity.push(problem.edge_bandwidth(e));
+        }
+        // Dummy sources.
+        let mut dummy_source = Vec::with_capacity(j_count);
+        for j in problem.commodity_ids() {
+            let id = graph.add_node();
+            debug_assert_eq!(id.index(), n + m + j.index());
+            node_kind.push(NodeKind::DummySource(j));
+            capacity.push(Capacity::INFINITE);
+            dummy_source.push(id);
+        }
+
+        // Split every physical edge through its bandwidth node.
+        let mut edge_kind = Vec::with_capacity(2 * m + 2 * j_count);
+        for e in pg.edges() {
+            let (src, dst) = pg.endpoints(e);
+            let bw = NodeId::from_index(n + e.index());
+            let ingress = graph.add_edge(src, bw);
+            debug_assert_eq!(ingress.index(), 2 * e.index());
+            edge_kind.push(EdgeKind::Ingress(e));
+            let egress = graph.add_edge(bw, dst);
+            debug_assert_eq!(egress.index(), 2 * e.index() + 1);
+            edge_kind.push(EdgeKind::Egress(e));
+        }
+        // Dummy links.
+        let mut input_edge = Vec::with_capacity(j_count);
+        let mut difference_edge = Vec::with_capacity(j_count);
+        for j in problem.commodity_ids() {
+            let c = problem.commodity(j);
+            let input = graph.add_edge(dummy_source[j.index()], c.source());
+            edge_kind.push(EdgeKind::DummyInput(j));
+            input_edge.push(input);
+            let diff = graph.add_edge(dummy_source[j.index()], c.sink());
+            edge_kind.push(EdgeKind::DummyDifference(j));
+            difference_edge.push(diff);
+        }
+
+        // Per-commodity parameters on extended edges.
+        let l_count = graph.edge_count();
+        let mut in_commodity = vec![vec![false; l_count]; j_count];
+        let mut cost = vec![vec![1.0; l_count]; j_count];
+        let mut beta = vec![vec![1.0; l_count]; j_count];
+        for j in problem.commodity_ids() {
+            let ji = j.index();
+            for e in pg.edges() {
+                if let Some(p) = problem.params(j, e) {
+                    let ingress = 2 * e.index();
+                    let egress = 2 * e.index() + 1;
+                    in_commodity[ji][ingress] = true;
+                    cost[ji][ingress] = p.cost;
+                    beta[ji][ingress] = p.beta;
+                    in_commodity[ji][egress] = true;
+                    // egress: one unit of bandwidth per unit of flow,
+                    // flow conserved.
+                }
+            }
+            in_commodity[ji][input_edge[ji].index()] = true;
+            in_commodity[ji][difference_edge[ji].index()] = true;
+        }
+
+        // Per-commodity topological orders (dummy source first, then
+        // the commodity DAG threaded through bandwidth nodes).
+        let topo = (0..j_count)
+            .map(|ji| {
+                topological_order_filtered(&graph, |l| in_commodity[ji][l.index()])
+                    .expect("commodity extended subgraph is a DAG for validated problems")
+            })
+            .collect();
+
+        ExtendedNetwork {
+            graph,
+            node_kind,
+            edge_kind,
+            capacity,
+            in_commodity,
+            cost,
+            beta,
+            dummy_source,
+            input_edge,
+            difference_edge,
+            commodities: problem.commodities().to_vec(),
+            topo,
+            physical_nodes: n,
+            physical_edges: m,
+        }
+    }
+
+    /// The extended graph `G' = (V, L)`.
+    #[must_use]
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// What extended node `v` represents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an extended-graph node.
+    #[must_use]
+    pub fn node_kind(&self, v: NodeId) -> NodeKind {
+        self.node_kind[v.index()]
+    }
+
+    /// What extended edge `l` represents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not an extended-graph edge.
+    #[must_use]
+    pub fn edge_kind(&self, l: EdgeId) -> EdgeKind {
+        self.edge_kind[l.index()]
+    }
+
+    /// Resource budget of extended node `v` (infinite for dummies).
+    #[must_use]
+    pub fn capacity(&self, v: NodeId) -> Capacity {
+        self.capacity[v.index()]
+    }
+
+    /// Number of commodities.
+    #[must_use]
+    pub fn num_commodities(&self) -> usize {
+        self.commodities.len()
+    }
+
+    /// Commodity ids.
+    pub fn commodity_ids(&self) -> impl ExactSizeIterator<Item = CommodityId> {
+        (0..self.commodities.len()).map(CommodityId::from_index)
+    }
+
+    /// The commodity descriptor (rate `λ_j`, utility, endpoints).
+    #[must_use]
+    pub fn commodity(&self, j: CommodityId) -> &Commodity {
+        &self.commodities[j.index()]
+    }
+
+    /// The dummy source `s̄_j`.
+    #[must_use]
+    pub fn dummy_source(&self, j: CommodityId) -> NodeId {
+        self.dummy_source[j.index()]
+    }
+
+    /// The dummy input link `(s̄_j, s_j)`.
+    #[must_use]
+    pub fn input_edge(&self, j: CommodityId) -> EdgeId {
+        self.input_edge[j.index()]
+    }
+
+    /// The dummy difference link `(s̄_j, sink_j)`.
+    #[must_use]
+    pub fn difference_edge(&self, j: CommodityId) -> EdgeId {
+        self.difference_edge[j.index()]
+    }
+
+    /// `true` if commodity `j` may route over extended edge `l`.
+    #[must_use]
+    pub fn in_commodity(&self, j: CommodityId, l: EdgeId) -> bool {
+        self.in_commodity[j.index()][l.index()]
+    }
+
+    /// Resource consumed at the tail node per unit of commodity-`j` flow
+    /// over `l`. Meaningful only when [`Self::in_commodity`] holds.
+    #[must_use]
+    pub fn cost(&self, j: CommodityId, l: EdgeId) -> f64 {
+        self.cost[j.index()][l.index()]
+    }
+
+    /// Output per input unit for commodity `j` across `l`. Meaningful
+    /// only when [`Self::in_commodity`] holds.
+    #[must_use]
+    pub fn beta(&self, j: CommodityId, l: EdgeId) -> f64 {
+        self.beta[j.index()][l.index()]
+    }
+
+    /// Outgoing extended edges of `v` usable by commodity `j`.
+    pub fn commodity_out_edges(
+        &self,
+        j: CommodityId,
+        v: NodeId,
+    ) -> impl Iterator<Item = EdgeId> + '_ {
+        let row = &self.in_commodity[j.index()];
+        self.graph.out_edges(v).iter().copied().filter(move |l| row[l.index()])
+    }
+
+    /// Incoming extended edges of `v` usable by commodity `j`.
+    pub fn commodity_in_edges(
+        &self,
+        j: CommodityId,
+        v: NodeId,
+    ) -> impl Iterator<Item = EdgeId> + '_ {
+        let row = &self.in_commodity[j.index()];
+        self.graph.in_edges(v).iter().copied().filter(move |l| row[l.index()])
+    }
+
+    /// Topological order of the extended graph restricted to commodity
+    /// `j`'s edges (all nodes appear; foreign nodes are order-free).
+    #[must_use]
+    pub fn topo_order(&self, j: CommodityId) -> &[NodeId] {
+        &self.topo[j.index()]
+    }
+
+    /// Number of physical nodes `N` (extended ids `< N` are physical).
+    #[must_use]
+    pub fn physical_nodes(&self) -> usize {
+        self.physical_nodes
+    }
+
+    /// Number of physical edges `M`.
+    #[must_use]
+    pub fn physical_edges(&self) -> usize {
+        self.physical_edges
+    }
+
+    /// Overrides a commodity's maximum input rate `λ_j`.
+    ///
+    /// This is the dynamic-demand hook (§3 motivates penalty headroom
+    /// with "better accommodate changing demands"): the dummy source's
+    /// offered load changes and the running algorithm re-balances
+    /// admission and routing with no structural change.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `max_rate` is finite and positive.
+    pub fn set_max_rate(&mut self, j: CommodityId, max_rate: f64) {
+        assert!(
+            max_rate.is_finite() && max_rate > 0.0,
+            "max rate must be finite and positive, got {max_rate}"
+        );
+        self.commodities[j.index()].max_rate = max_rate;
+    }
+
+    /// Overrides the resource budget of extended node `v`.
+    ///
+    /// This is the failure-injection hook used by `spn-sim` (§3 of the
+    /// paper motivates penalty headroom with "faster recovery in the
+    /// case of node or link failures"): collapsing a node's capacity to
+    /// a small value makes the barrier repel all flow from it, and the
+    /// distributed algorithm reroutes without any structural change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is a dummy source (their capacity is structurally
+    /// infinite) or not a node of this network.
+    pub fn set_capacity(&mut self, v: NodeId, capacity: Capacity) {
+        assert!(
+            !matches!(self.node_kind(v), NodeKind::DummySource(_)),
+            "dummy sources are unconstrained by construction"
+        );
+        self.capacity[v.index()] = capacity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_model::builder::ProblemBuilder;
+    use spn_model::random::RandomInstance;
+    use spn_model::UtilityFn;
+
+    fn chain() -> Problem {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(10.0);
+        let x = b.server(20.0);
+        let t = b.server(10.0);
+        let e1 = b.link(s, x, 5.0);
+        let e2 = b.link(x, t, 7.0);
+        let j = b.commodity(s, t, 4.0, UtilityFn::throughput());
+        b.uses(j, e1, 2.0, 0.5);
+        b.uses(j, e2, 3.0, 2.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_match_paper_formula() {
+        // "an original graph G with N nodes, M edges and J commodities
+        //  produces a new graph G' with N+M+J nodes, 2M+2J edges"
+        let p = chain();
+        let ext = ExtendedNetwork::build(&p);
+        assert_eq!(ext.graph().node_count(), 3 + 2 + 1);
+        assert_eq!(ext.graph().edge_count(), 2 * 2 + 2); // 2M + 2J
+
+        let inst = RandomInstance::builder().seed(4).build().unwrap();
+        let p = inst.problem;
+        let (n, m, j) = (p.graph().node_count(), p.graph().edge_count(), p.num_commodities());
+        let ext = ExtendedNetwork::build(&p);
+        assert_eq!(ext.graph().node_count(), n + m + j);
+        assert_eq!(ext.graph().edge_count(), 2 * m + 2 * j);
+    }
+
+    #[test]
+    fn id_layout_is_deterministic() {
+        let p = chain();
+        let ext = ExtendedNetwork::build(&p);
+        let j = CommodityId::from_index(0);
+        // node 0..3 physical, 3..5 bandwidth, 5 dummy
+        assert_eq!(ext.node_kind(NodeId::from_index(0)), NodeKind::Processing(NodeId::from_index(0)));
+        assert_eq!(ext.node_kind(NodeId::from_index(3)), NodeKind::Bandwidth(EdgeId::from_index(0)));
+        assert_eq!(ext.node_kind(NodeId::from_index(5)), NodeKind::DummySource(j));
+        assert_eq!(ext.dummy_source(j), NodeId::from_index(5));
+        // edges 0..4 splits, 4 dummy input, 5 difference
+        assert_eq!(ext.edge_kind(EdgeId::from_index(0)), EdgeKind::Ingress(EdgeId::from_index(0)));
+        assert_eq!(ext.edge_kind(EdgeId::from_index(1)), EdgeKind::Egress(EdgeId::from_index(0)));
+        assert_eq!(ext.edge_kind(ext.input_edge(j)), EdgeKind::DummyInput(j));
+        assert_eq!(ext.edge_kind(ext.difference_edge(j)), EdgeKind::DummyDifference(j));
+    }
+
+    #[test]
+    fn parameters_transfer_per_paper() {
+        // c(i, n_ik) = c_ik, β(i, n_ik) = β_ik; c(n_ik, k) = 1, β = 1
+        let p = chain();
+        let ext = ExtendedNetwork::build(&p);
+        let j = CommodityId::from_index(0);
+        let ingress0 = EdgeId::from_index(0);
+        let egress0 = EdgeId::from_index(1);
+        assert_eq!(ext.cost(j, ingress0), 2.0);
+        assert_eq!(ext.beta(j, ingress0), 0.5);
+        assert_eq!(ext.cost(j, egress0), 1.0);
+        assert_eq!(ext.beta(j, egress0), 1.0);
+        let ingress1 = EdgeId::from_index(2);
+        assert_eq!(ext.cost(j, ingress1), 3.0);
+        assert_eq!(ext.beta(j, ingress1), 2.0);
+    }
+
+    #[test]
+    fn capacities_transfer() {
+        let p = chain();
+        let ext = ExtendedNetwork::build(&p);
+        assert_eq!(ext.capacity(NodeId::from_index(0)).value(), 10.0);
+        // bandwidth node of first link has B = 5
+        assert_eq!(ext.capacity(NodeId::from_index(3)).value(), 5.0);
+        assert!(ext.capacity(NodeId::from_index(5)).is_infinite());
+    }
+
+    #[test]
+    fn dummy_links_connect_correctly() {
+        let p = chain();
+        let ext = ExtendedNetwork::build(&p);
+        let j = CommodityId::from_index(0);
+        let g = ext.graph();
+        let (a, b) = g.endpoints(ext.input_edge(j));
+        assert_eq!(a, ext.dummy_source(j));
+        assert_eq!(b, ext.commodity(j).source());
+        let (a, b) = g.endpoints(ext.difference_edge(j));
+        assert_eq!(a, ext.dummy_source(j));
+        assert_eq!(b, ext.commodity(j).sink());
+    }
+
+    #[test]
+    fn commodity_edge_iterators() {
+        let p = chain();
+        let ext = ExtendedNetwork::build(&p);
+        let j = CommodityId::from_index(0);
+        let dummy = ext.dummy_source(j);
+        let out: Vec<EdgeId> = ext.commodity_out_edges(j, dummy).collect();
+        assert_eq!(out.len(), 2);
+        let sink = ext.commodity(j).sink();
+        let into: Vec<EdgeId> = ext.commodity_in_edges(j, sink).collect();
+        // egress of second link + difference link
+        assert_eq!(into.len(), 2);
+    }
+
+    #[test]
+    fn topo_order_starts_feasibly() {
+        let p = chain();
+        let ext = ExtendedNetwork::build(&p);
+        let j = CommodityId::from_index(0);
+        let order = ext.topo_order(j);
+        assert_eq!(order.len(), ext.graph().node_count());
+        let pos = |v: NodeId| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(ext.dummy_source(j)) < pos(ext.commodity(j).source()));
+        assert!(pos(ext.commodity(j).source()) < pos(ext.commodity(j).sink()));
+    }
+
+    #[test]
+    fn shared_edges_keep_per_commodity_parameters() {
+        let mut b = ProblemBuilder::new();
+        let s1 = b.server(10.0);
+        let s2 = b.server(10.0);
+        let x = b.server(10.0);
+        let t1 = b.server(10.0);
+        let t2 = b.server(10.0);
+        let e_in1 = b.link(s1, x, 5.0);
+        let e_in2 = b.link(s2, x, 5.0);
+        let e_out1 = b.link(x, t1, 5.0);
+        let e_out2 = b.link(x, t2, 5.0);
+        let j1 = b.commodity(s1, t1, 2.0, UtilityFn::throughput());
+        let j2 = b.commodity(s2, t2, 2.0, UtilityFn::throughput());
+        b.uses(j1, e_in1, 1.0, 1.0).uses(j1, e_out1, 2.0, 0.5);
+        b.uses(j2, e_in2, 1.5, 2.0).uses(j2, e_out2, 2.5, 1.0);
+        let p = b.build().unwrap();
+        let ext = ExtendedNetwork::build(&p);
+        // j1 cannot use j2's edges
+        assert!(ext.in_commodity(j1, EdgeId::from_index(0)));
+        assert!(!ext.in_commodity(j1, EdgeId::from_index(2)));
+        assert!(ext.in_commodity(j2, EdgeId::from_index(2)));
+        assert_eq!(ext.cost(j2, EdgeId::from_index(2)), 1.5);
+        assert_eq!(ext.beta(j2, EdgeId::from_index(2)), 2.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Mapping extended-graph results back to the physical instance.
+
+use crate::extended::{ExtendedNetwork, NodeKind};
+use spn_graph::{EdgeId, NodeId};
+
+/// Per-physical-resource usage extracted from extended per-node loads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhysicalLoads {
+    /// Computing power in use at each physical node.
+    pub node_usage: Vec<f64>,
+    /// Bandwidth in use on each physical link.
+    pub link_usage: Vec<f64>,
+}
+
+/// Splits an extended per-node load vector (`f_i` from the algorithm)
+/// into physical node usage and physical link usage; dummy-source loads
+/// are dropped (they consume no real resource).
+///
+/// # Panics
+///
+/// Panics if `loads.len()` differs from the extended node count.
+#[must_use]
+pub fn physical_loads(ext: &ExtendedNetwork, loads: &[f64]) -> PhysicalLoads {
+    assert_eq!(loads.len(), ext.graph().node_count());
+    let mut node_usage = vec![0.0; ext.physical_nodes()];
+    let mut link_usage = vec![0.0; ext.physical_edges()];
+    for v in ext.graph().nodes() {
+        match ext.node_kind(v) {
+            NodeKind::Processing(p) => node_usage[p.index()] = loads[v.index()],
+            NodeKind::Bandwidth(e) => link_usage[e.index()] = loads[v.index()],
+            NodeKind::DummySource(_) => {}
+        }
+    }
+    PhysicalLoads { node_usage, link_usage }
+}
+
+/// Human-readable label for an extended node (for DOT dumps and logs).
+#[must_use]
+pub fn node_label(ext: &ExtendedNetwork, v: NodeId) -> String {
+    match ext.node_kind(v) {
+        NodeKind::Processing(p) => format!("srv{}", p.index()),
+        NodeKind::Bandwidth(e) => format!("bw{}", e.index()),
+        NodeKind::DummySource(j) => format!("dummy{}", j.index()),
+    }
+}
+
+/// Human-readable label for an extended edge.
+#[must_use]
+pub fn edge_label(ext: &ExtendedNetwork, l: EdgeId) -> String {
+    match ext.edge_kind(l) {
+        crate::EdgeKind::Ingress(e) => format!("in{}", e.index()),
+        crate::EdgeKind::Egress(e) => format!("out{}", e.index()),
+        crate::EdgeKind::DummyInput(j) => format!("admit{}", j.index()),
+        crate::EdgeKind::DummyDifference(j) => format!("reject{}", j.index()),
+    }
+}
+
+/// Renders the extended network as Graphviz DOT with readable labels.
+#[must_use]
+pub fn to_dot(ext: &ExtendedNetwork) -> String {
+    spn_graph::dot::to_dot(ext.graph(), |v| node_label(ext, v), |l| edge_label(ext, l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_model::builder::ProblemBuilder;
+    use spn_model::UtilityFn;
+
+    fn ext() -> ExtendedNetwork {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(10.0);
+        let t = b.server(10.0);
+        let e = b.link(s, t, 5.0);
+        let j = b.commodity(s, t, 4.0, UtilityFn::throughput());
+        b.uses(j, e, 2.0, 1.0);
+        ExtendedNetwork::build(&b.build().unwrap())
+    }
+
+    #[test]
+    fn loads_map_back() {
+        let ext = ext();
+        // nodes: 0,1 physical; 2 bandwidth; 3 dummy
+        let loads = vec![6.0, 0.0, 3.0, 4.0];
+        let pl = physical_loads(&ext, &loads);
+        assert_eq!(pl.node_usage, vec![6.0, 0.0]);
+        assert_eq!(pl.link_usage, vec![3.0]);
+    }
+
+    #[test]
+    fn labels_are_distinct_and_typed() {
+        let ext = ext();
+        assert_eq!(node_label(&ext, NodeId::from_index(0)), "srv0");
+        assert_eq!(node_label(&ext, NodeId::from_index(2)), "bw0");
+        assert_eq!(node_label(&ext, NodeId::from_index(3)), "dummy0");
+        assert_eq!(edge_label(&ext, EdgeId::from_index(0)), "in0");
+        assert_eq!(edge_label(&ext, EdgeId::from_index(1)), "out0");
+        assert_eq!(edge_label(&ext, EdgeId::from_index(2)), "admit0");
+        assert_eq!(edge_label(&ext, EdgeId::from_index(3)), "reject0");
+    }
+
+    #[test]
+    fn dot_renders() {
+        let dot = to_dot(&ext());
+        assert!(dot.contains("srv0"));
+        assert!(dot.contains("reject0"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the §3 transformations.
+
+use proptest::prelude::*;
+use spn_model::random::RandomInstance;
+use spn_transform::{EdgeKind, ExtendedNetwork, NodeKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The paper's count formula holds on every instance:
+    /// `N + M + J` nodes, `2M + 2J` edges.
+    #[test]
+    fn count_formula_holds(seed in 0u64..200, nodes in 10usize..26, commodities in 1usize..4) {
+        prop_assume!(nodes >= commodities * 2 + 5);
+        let Ok(inst) = RandomInstance::builder()
+            .nodes(nodes)
+            .commodities(commodities)
+            .seed(seed)
+            .build()
+        else {
+            return Ok(()); // infeasible generator budget, covered elsewhere
+        };
+        let p = inst.problem;
+        let (n, m, j) = (p.graph().node_count(), p.graph().edge_count(), p.num_commodities());
+        let ext = ExtendedNetwork::build(&p);
+        prop_assert_eq!(ext.graph().node_count(), n + m + j);
+        prop_assert_eq!(ext.graph().edge_count(), 2 * m + 2 * j);
+    }
+
+    /// Every extended node/edge classifies consistently and parameters
+    /// transfer per the paper's construction.
+    #[test]
+    fn classification_and_parameters(seed in 0u64..100) {
+        let inst = RandomInstance::builder().nodes(16).commodities(2).seed(seed).build().unwrap();
+        let p = inst.problem;
+        let ext = ExtendedNetwork::build(&p);
+        let g = ext.graph();
+        for l in g.edges() {
+            match ext.edge_kind(l) {
+                EdgeKind::Ingress(e) => {
+                    // tail is the physical source, head is the bandwidth node
+                    prop_assert_eq!(g.source(l), p.graph().source(e));
+                    prop_assert!(matches!(ext.node_kind(g.target(l)), NodeKind::Bandwidth(be) if be == e));
+                    for j in p.commodity_ids() {
+                        if let Some(params) = p.params(j, e) {
+                            prop_assert!(ext.in_commodity(j, l));
+                            prop_assert_eq!(ext.cost(j, l), params.cost);
+                            prop_assert_eq!(ext.beta(j, l), params.beta);
+                        } else {
+                            prop_assert!(!ext.in_commodity(j, l));
+                        }
+                    }
+                }
+                EdgeKind::Egress(e) => {
+                    prop_assert_eq!(g.target(l), p.graph().target(e));
+                    for j in p.commodity_ids() {
+                        if ext.in_commodity(j, l) {
+                            // transfer: one bandwidth unit per unit, conserved
+                            prop_assert_eq!(ext.cost(j, l), 1.0);
+                            prop_assert_eq!(ext.beta(j, l), 1.0);
+                        }
+                    }
+                }
+                EdgeKind::DummyInput(j) => {
+                    prop_assert_eq!(g.source(l), ext.dummy_source(j));
+                    prop_assert_eq!(g.target(l), ext.commodity(j).source());
+                }
+                EdgeKind::DummyDifference(j) => {
+                    prop_assert_eq!(g.source(l), ext.dummy_source(j));
+                    prop_assert_eq!(g.target(l), ext.commodity(j).sink());
+                }
+            }
+        }
+        // capacities transfer; dummies unconstrained
+        for v in g.nodes() {
+            match ext.node_kind(v) {
+                NodeKind::Processing(pv) => {
+                    prop_assert_eq!(ext.capacity(v).value(), p.node_capacity(pv).value());
+                }
+                NodeKind::Bandwidth(e) => {
+                    prop_assert_eq!(ext.capacity(v).value(), p.edge_bandwidth(e).value());
+                }
+                NodeKind::DummySource(_) => prop_assert!(ext.capacity(v).is_infinite()),
+            }
+        }
+    }
+
+    /// Per-commodity extended subgraphs are DAGs with valid topological
+    /// orders, and the dummy source precedes everything it can reach.
+    #[test]
+    fn extended_subgraphs_are_ordered_dags(seed in 0u64..100) {
+        let inst = RandomInstance::builder().nodes(16).commodities(2).seed(seed).build().unwrap();
+        let ext = ExtendedNetwork::build(&inst.problem);
+        for j in ext.commodity_ids() {
+            let order = ext.topo_order(j);
+            prop_assert!(spn_graph::topo::is_valid_topological_order(
+                ext.graph(),
+                order,
+                |l| ext.in_commodity(j, l)
+            ));
+            let pos = |v: spn_graph::NodeId| order.iter().position(|&x| x == v).unwrap();
+            prop_assert!(pos(ext.dummy_source(j)) < pos(ext.commodity(j).sink()));
+        }
+    }
+}

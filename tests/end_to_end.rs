@@ -1,0 +1,220 @@
+//! End-to-end integration tests spanning all crates: the distributed
+//! algorithm against the centralized optimum on instances from tiny
+//! hand-built networks up to the paper's evaluation scale.
+
+use spn::baseline::{AdmissionPolicy, BackPressure, BackPressureConfig};
+use spn::core::{GradientAlgorithm, GradientConfig};
+use spn::model::builder::ProblemBuilder;
+use spn::model::random::RandomInstance;
+use spn::model::{CommodityId, UtilityFn};
+use spn::solver::arcflow::solve_linear_utility;
+use spn::solver::piecewise::sandwich;
+
+/// On a trivially-solvable chain, the gradient admission converges to
+/// the exact bottleneck value.
+#[test]
+fn gradient_matches_lp_on_chain() {
+    let mut b = ProblemBuilder::new();
+    let s = b.server(100.0);
+    let x = b.server(10.0); // bottleneck: 10/2 = 5 units
+    let t = b.server(100.0);
+    let e1 = b.link(s, x, 100.0);
+    let e2 = b.link(x, t, 100.0);
+    let j = b.commodity(s, t, 20.0, UtilityFn::throughput());
+    b.uses(j, e1, 1.0, 1.0).uses(j, e2, 2.0, 1.0);
+    let problem = b.build().unwrap();
+
+    let opt = solve_linear_utility(&problem).unwrap();
+    assert!((opt.objective - 5.0).abs() < 1e-6);
+
+    let cfg = GradientConfig { eta: 0.3, ..GradientConfig::default() };
+    let mut alg = GradientAlgorithm::new(&problem, cfg).unwrap();
+    let report = alg.run(4000);
+    assert!(
+        report.utility > 0.93 * opt.objective,
+        "gradient reached {} of {}",
+        report.utility,
+        opt.objective
+    );
+    assert!(report.max_utilization <= 1.0 + 1e-9);
+}
+
+/// Figure-4 scale: 40 nodes, 3 commodities, overloaded ×3. The gradient
+/// reaches ≥90% of the LP optimum within 20k iterations without
+/// violating any capacity, and it hits 95% within a few thousand
+/// iterations (the paper's "about 1000" regime).
+#[test]
+fn gradient_tracks_lp_at_paper_scale() {
+    let problem = RandomInstance::builder().seed(1).build().unwrap().problem.scale_demand(3.0);
+    let opt = solve_linear_utility(&problem).unwrap();
+    let mut alg = GradientAlgorithm::new(&problem, GradientConfig::default()).unwrap();
+    let mut it95 = None;
+    for i in 0..20_000 {
+        alg.step();
+        if it95.is_none() && alg.report().utility >= 0.95 * opt.objective {
+            it95 = Some(i + 1);
+        }
+    }
+    let report = alg.report();
+    assert!(
+        report.utility > 0.90 * opt.objective,
+        "only {} of {}",
+        report.utility,
+        opt.objective
+    );
+    assert!(report.max_utilization <= 1.0 + 1e-6, "capacity violated: {}", report.max_utilization);
+    let it95 = it95.expect("should reach 95%");
+    assert!(
+        (200..6000).contains(&it95),
+        "iterations-to-95% {it95} outside the paper's regime"
+    );
+}
+
+/// Back-pressure converges to a comparable utility but needs orders of
+/// magnitude more iterations — the Figure 4 contrast.
+#[test]
+fn back_pressure_is_much_slower_than_gradient() {
+    let problem = RandomInstance::builder().seed(1).build().unwrap().problem.scale_demand(3.0);
+    let opt = solve_linear_utility(&problem).unwrap();
+
+    let mut grad = GradientAlgorithm::new(&problem, GradientConfig::default()).unwrap();
+    let mut grad_it95 = None;
+    for i in 0..20_000 {
+        grad.step();
+        if grad.report().utility >= 0.95 * opt.objective {
+            grad_it95 = Some(i + 1);
+            break;
+        }
+    }
+    let grad_it95 = grad_it95.expect("gradient reaches 95%");
+
+    let bp_cfg = BackPressureConfig {
+        policy: AdmissionPolicy::Linear { v: 50_000.0 },
+        window: 2000,
+        transfer_gain: Some(0.01),
+        ..BackPressureConfig::default()
+    };
+    let mut bp = BackPressure::new(&problem, bp_cfg);
+    let mut bp_it95 = None;
+    for i in 0..200_000 {
+        bp.step();
+        if bp.report().utility >= 0.95 * opt.objective {
+            bp_it95 = Some(i + 1);
+            break;
+        }
+    }
+    let bp_it95 = bp_it95.expect("back-pressure eventually reaches 95%");
+    assert!(
+        bp_it95 > 20 * grad_it95,
+        "expected ≥20× separation, got gradient {grad_it95} vs bp {bp_it95}"
+    );
+}
+
+/// Admission control: in underload everything is admitted; in overload
+/// the admitted rates respect both λ and the capacity region.
+#[test]
+fn admission_control_tracks_load() {
+    let base = RandomInstance::builder().nodes(24).commodities(2).seed(9).build().unwrap().problem;
+
+    // Underload: shrink demand until the LP is demand-limited.
+    let under = base.scale_demand(0.05);
+    let opt_under = solve_linear_utility(&under).unwrap();
+    if (opt_under.objective - under.total_demand()).abs() < 1e-6 {
+        let mut alg = GradientAlgorithm::new(&under, GradientConfig::default()).unwrap();
+        let r = alg.run(8000);
+        assert!(
+            r.utility > 0.95 * under.total_demand(),
+            "underloaded system should admit nearly everything: {} of {}",
+            r.utility,
+            under.total_demand()
+        );
+    }
+
+    // Overload: admitted strictly less than offered, no capacity violation.
+    let over = base.scale_demand(10.0);
+    let opt_over = solve_linear_utility(&over).unwrap();
+    let mut alg = GradientAlgorithm::new(&over, GradientConfig::default()).unwrap();
+    let r = alg.run(8000);
+    assert!(r.utility < 0.9 * over.total_demand(), "overload must shed load");
+    assert!(r.utility > 0.75 * opt_over.objective);
+    assert!(r.max_utilization <= 1.0 + 1e-6);
+}
+
+/// Concave utilities: the distributed solution lands inside (or within
+/// tolerance of) the certified sandwich bracket.
+#[test]
+fn concave_solution_respects_certified_bounds() {
+    let mut problem =
+        RandomInstance::builder().nodes(18).commodities(2).seed(4).build().unwrap().problem;
+    for j in problem.commodity_ids().collect::<Vec<_>>() {
+        problem = problem.with_utility(j, UtilityFn::log(5.0));
+    }
+    let (lower, upper) = sandwich(&problem, 40).unwrap();
+    assert!(lower.objective <= upper.objective + 1e-9);
+
+    let mut alg = GradientAlgorithm::new(&problem, GradientConfig::default()).unwrap();
+    let r = alg.run(12_000);
+    assert!(
+        r.utility <= upper.objective + 1e-6,
+        "distributed {} exceeds certified upper bound {}",
+        r.utility,
+        upper.objective
+    );
+    assert!(
+        r.utility >= 0.85 * lower.objective,
+        "distributed {} too far below achievable {}",
+        r.utility,
+        lower.objective
+    );
+}
+
+/// The shrinkage chain: delivered = admitted × g(sink) end-to-end, for
+/// a gain far from 1.
+#[test]
+fn shrinkage_accounting_is_exact_end_to_end() {
+    let mut b = ProblemBuilder::new();
+    let s = b.server(50.0);
+    let m = b.server(50.0);
+    let t = b.server(50.0);
+    let e1 = b.link(s, m, 50.0);
+    let e2 = b.link(m, t, 50.0);
+    let j = b.commodity(s, t, 5.0, UtilityFn::throughput());
+    b.uses(j, e1, 1.0, 0.25).uses(j, e2, 1.0, 8.0); // net gain 2.0
+    let problem = b.build().unwrap();
+    assert!((problem.gain(CommodityId::from_index(0), problem.commodity(CommodityId::from_index(0)).sink()) - 2.0).abs() < 1e-12);
+
+    let cfg = GradientConfig { eta: 0.3, ..GradientConfig::default() };
+    let mut alg = GradientAlgorithm::new(&problem, cfg).unwrap();
+    let r = alg.run(3000);
+    assert!(r.admitted[0] > 4.0, "admitted {}", r.admitted[0]);
+    assert!(
+        (r.delivered[0] - 2.0 * r.admitted[0]).abs() < 1e-6,
+        "delivered {} ≠ 2 × admitted {}",
+        r.delivered[0],
+        r.admitted[0]
+    );
+}
+
+/// The paper's own Figure 1 example: two streams contending for the
+/// shared 3→5 link and servers 3/5. The joint mechanism splits the
+/// shared resources and tracks the LP optimum.
+#[test]
+fn figure1_contention_resolves_near_optimally() {
+    use spn::model::figures::{figure1, Figure1Config};
+    let problem = figure1(Figure1Config { max_rate: 40.0, ..Figure1Config::default() }).unwrap();
+    let opt = solve_linear_utility(&problem).unwrap();
+    assert!(opt.objective > 0.0);
+
+    let cfg = GradientConfig { eta: 0.2, ..GradientConfig::default() };
+    let mut alg = GradientAlgorithm::new(&problem, cfg).unwrap();
+    let r = alg.run(8000);
+    assert!(
+        r.utility > 0.90 * opt.objective,
+        "figure 1: reached {} of {}",
+        r.utility,
+        opt.objective
+    );
+    assert!(r.max_utilization <= 1.0 + 1e-9);
+    // both streams make progress despite the shared bottleneck
+    assert!(r.admitted.iter().all(|&a| a > 0.5), "admitted {:?}", r.admitted);
+}

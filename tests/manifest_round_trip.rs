@@ -1,0 +1,43 @@
+//! Experiment manifests: a problem serialized to JSON and reloaded
+//! yields byte-identical behavior from both the solver and the
+//! distributed algorithm (reproducibility across processes).
+
+use spn::core::{GradientAlgorithm, GradientConfig};
+use spn::model::random::RandomInstance;
+use spn::model::spec::ProblemSpec;
+use spn::solver::arcflow::solve_linear_utility;
+
+#[test]
+fn reloaded_manifest_reproduces_results_exactly() {
+    let original = RandomInstance::builder().nodes(20).commodities(2).seed(33).build().unwrap().problem;
+    let json = ProblemSpec::from(&original).to_json().unwrap();
+    let reloaded = ProblemSpec::from_json(&json).unwrap().into_problem().unwrap();
+
+    // LP optima agree to the bit (identical arithmetic on identical data)
+    let a = solve_linear_utility(&original).unwrap();
+    let b = solve_linear_utility(&reloaded).unwrap();
+    assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+
+    // gradient trajectories agree to the bit
+    let mut x = GradientAlgorithm::new(&original, GradientConfig::default()).unwrap();
+    let mut y = GradientAlgorithm::new(&reloaded, GradientConfig::default()).unwrap();
+    for _ in 0..200 {
+        x.step();
+        y.step();
+    }
+    assert_eq!(x.report().utility.to_bits(), y.report().utility.to_bits());
+    assert_eq!(x.report().admitted.len(), y.report().admitted.len());
+    for (p, q) in x.report().admitted.iter().zip(&y.report().admitted) {
+        assert_eq!(p.to_bits(), q.to_bits());
+    }
+}
+
+#[test]
+fn manifest_survives_double_round_trip() {
+    let problem = RandomInstance::builder().nodes(16).commodities(3).seed(7).build().unwrap().problem;
+    let spec1 = ProblemSpec::from(&problem);
+    let json1 = spec1.to_json().unwrap();
+    let spec2 = ProblemSpec::from_json(&json1).unwrap();
+    let json2 = spec2.to_json().unwrap();
+    assert_eq!(json1, json2, "JSON encoding must be a fixed point");
+}

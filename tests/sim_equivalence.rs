@@ -1,0 +1,84 @@
+//! Integration tests for the message-level simulator: trajectory
+//! equivalence with the in-process driver, and the §6 message-cost
+//! claims.
+
+use spn::baseline::BackPressureConfig;
+use spn::core::{GradientAlgorithm, GradientConfig};
+use spn::model::random::{RandomInstance, RandomInstanceConfig};
+use spn::sim::{BackPressureSim, GradientSim};
+
+/// The simulator and the in-process driver produce the same utility
+/// trajectory on the paper-scale instance.
+#[test]
+fn sim_equals_core_at_paper_scale() {
+    let problem = RandomInstance::builder().seed(2).build().unwrap().problem;
+    let cfg = GradientConfig::default();
+    let mut sim = GradientSim::new(&problem, cfg).unwrap();
+    let mut alg = GradientAlgorithm::new(&problem, cfg).unwrap();
+    for i in 0..300 {
+        sim.step();
+        alg.step();
+        let (a, b) = (sim.utility(), alg.report().utility);
+        assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "iter {i}: {a} vs {b}");
+    }
+}
+
+/// Gradient rounds grow linearly with pipeline depth (`O(L)`), while
+/// back-pressure stays at one round (`O(1)`): the paper's message-cost
+/// contrast.
+#[test]
+fn gradient_rounds_scale_with_depth_bp_does_not() {
+    let build = |depth: usize| {
+        RandomInstance::generate(RandomInstanceConfig {
+            nodes: 40,
+            commodities: 2,
+            seed: 11,
+            stages: depth..=depth,
+            width: 2..=2,
+            ..RandomInstanceConfig::default()
+        })
+        .unwrap()
+        .problem
+    };
+    let mut grad_rounds = Vec::new();
+    for depth in [3usize, 6, 12] {
+        let problem = build(depth);
+        let mut sim = GradientSim::new(&problem, GradientConfig::default()).unwrap();
+        let mut stats = Default::default();
+        for _ in 0..3 {
+            stats = sim.step();
+        }
+        grad_rounds.push(stats.rounds());
+
+        let bp = BackPressureSim::new(&problem, BackPressureConfig::default());
+        assert_eq!(bp.rounds_per_iteration(), 1);
+        assert!(bp.messages_per_iteration() > 0);
+    }
+    assert!(
+        grad_rounds[2] > grad_rounds[0] + 8,
+        "rounds should grow with depth: {grad_rounds:?}"
+    );
+    // roughly linear: quadrupling depth should not even triple... it
+    // should scale by about the depth ratio (each stage adds a
+    // bandwidth-node hop too)
+    let ratio = grad_rounds[2] as f64 / grad_rounds[0] as f64;
+    assert!((1.5..6.0).contains(&ratio), "scaling ratio {ratio}");
+}
+
+/// Message counts per gradient iteration are topology-determined and
+/// stable over time; totals accumulate correctly.
+#[test]
+fn message_totals_accumulate() {
+    let problem = RandomInstance::builder().nodes(20).commodities(2).seed(6).build().unwrap().problem;
+    let mut sim = GradientSim::new(&problem, GradientConfig::default()).unwrap();
+    let mut sum_msgs = 0;
+    let mut sum_rounds = 0;
+    for _ in 0..10 {
+        let s = sim.step();
+        sum_msgs += s.messages();
+        sum_rounds += s.rounds();
+    }
+    assert_eq!(sim.total_messages(), sum_msgs);
+    assert_eq!(sim.total_rounds(), sum_rounds);
+    assert_eq!(sim.iterations(), 10);
+}
