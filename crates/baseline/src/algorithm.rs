@@ -201,8 +201,9 @@ impl BackPressure {
 
             let mut budget = cap.value();
             // available queue per commodity (from the snapshot)
-            let mut avail: Vec<f64> =
-                (0..self.ext.num_commodities()).map(|ji| snapshot[ji][v.index()]).collect();
+            let mut avail: Vec<f64> = (0..self.ext.num_commodities())
+                .map(|ji| snapshot[ji][v.index()])
+                .collect();
             for (w, j, l) in weighted {
                 if budget <= 0.0 {
                     break;
@@ -228,7 +229,10 @@ impl BackPressure {
             let ji = j.index();
             let c = self.ext.commodity(j);
             let source = c.source();
-            let injected = self.config.policy.admit(c.max_rate, snapshot[ji][source.index()]);
+            let injected = self
+                .config
+                .policy
+                .admit(c.max_rate, snapshot[ji][source.index()]);
             self.queue[ji][source.index()] += injected;
             push_window(&mut self.admitted_window[ji], injected, self.config.window);
 
@@ -376,7 +380,10 @@ mod tests {
     #[test]
     fn always_policy_overflows_the_source() {
         let p = bottleneck();
-        let cfg = BackPressureConfig { policy: AdmissionPolicy::Always, ..Default::default() };
+        let cfg = BackPressureConfig {
+            policy: AdmissionPolicy::Always,
+            ..Default::default()
+        };
         let mut bp = BackPressure::new(&p, cfg);
         let r = bp.run(2000);
         // offered 20/round, serviceable 5/round ⇒ source queue explodes
@@ -454,7 +461,10 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_panics() {
         let p = bottleneck();
-        let cfg = BackPressureConfig { window: 0, ..Default::default() };
+        let cfg = BackPressureConfig {
+            window: 0,
+            ..Default::default()
+        };
         let _ = BackPressure::new(&p, cfg);
     }
 }

@@ -16,7 +16,7 @@ fn bench_flows(c: &mut Criterion) {
         let ext = alg.extended().clone();
         let routing = alg.routing().clone();
         group.bench_with_input(BenchmarkId::new("compute_flows", nodes), &nodes, |b, _| {
-            b.iter(|| black_box(compute_flows(&ext, &routing).f_node[0]));
+            b.iter(|| black_box(compute_flows(&ext, &routing).node_usages()[0]));
         });
     }
     group.finish();

@@ -1,6 +1,8 @@
 //! B1 — per-iteration CPU cost of the gradient algorithm vs the
-//! back-pressure baseline as the network grows. The paper argues about
-//! *message* cost per iteration; this bench adds the compute side.
+//! back-pressure baseline as the *commodity count* grows (the axis the
+//! per-commodity iteration core scales along; `bench_core` covers the
+//! node axis). The paper argues about *message* cost per iteration;
+//! this bench adds the compute side.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spn_baseline::{BackPressure, BackPressureConfig};
@@ -10,21 +12,33 @@ use std::hint::black_box;
 
 fn bench_iterations(c: &mut Criterion) {
     let mut group = c.benchmark_group("iteration_cost");
-    for &nodes in &[20usize, 40, 80] {
-        let problem = small_instance(1, nodes, 3);
-        group.bench_with_input(BenchmarkId::new("gradient", nodes), &problem, |b, p| {
-            let mut alg = GradientAlgorithm::new(p, GradientConfig::default()).unwrap();
-            alg.run(50); // steady state
-            b.iter(|| black_box(alg.step()));
-        });
-        group.bench_with_input(BenchmarkId::new("back_pressure", nodes), &problem, |b, p| {
-            let mut bp = BackPressure::new(p, BackPressureConfig::default());
-            bp.run(50);
-            b.iter(|| {
-                bp.step();
-                black_box(bp.iterations())
-            });
-        });
+    for &commodities in &[3usize, 8, 16] {
+        let problem = small_instance(1, 40, commodities);
+        group.bench_with_input(
+            BenchmarkId::new("gradient", commodities),
+            &problem,
+            |b, p| {
+                let cfg = GradientConfig {
+                    threads: 1,
+                    ..GradientConfig::default()
+                };
+                let mut alg = GradientAlgorithm::new(p, cfg).unwrap();
+                alg.run(50); // steady state
+                b.iter(|| black_box(alg.step()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("back_pressure", commodities),
+            &problem,
+            |b, p| {
+                let mut bp = BackPressure::new(p, BackPressureConfig::default());
+                bp.run(50);
+                b.iter(|| {
+                    bp.step();
+                    black_box(bp.iterations())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -16,7 +16,11 @@ fn bench_transform(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("generate", nodes), &nodes, |b, &n| {
             b.iter(|| {
-                let inst = RandomInstance::builder().nodes(n).commodities(3).seed(1).build();
+                let inst = RandomInstance::builder()
+                    .nodes(n)
+                    .commodities(3)
+                    .seed(1)
+                    .build();
                 black_box(inst.unwrap().problem.graph().edge_count())
             });
         });

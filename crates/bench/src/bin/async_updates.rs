@@ -33,7 +33,12 @@ fn run(
             it95_updates = Some(alg.updates_applied());
         }
     }
-    (it95_iters, it95_updates, alg.utility(), alg.updates_applied())
+    (
+        it95_iters,
+        it95_updates,
+        alg.utility(),
+        alg.updates_applied(),
+    )
 }
 
 fn main() {
@@ -47,9 +52,27 @@ fn main() {
     println!("schedule\tit95_iters\tit95_updates\tfinal_frac\ttotal_updates");
     let schedules: Vec<(String, Schedule)> = vec![
         ("sync".into(), Schedule::Synchronous),
-        ("random_p0.5".into(), Schedule::Random { fraction: 0.5, seed: 7 }),
-        ("random_p0.25".into(), Schedule::Random { fraction: 0.25, seed: 7 }),
-        ("random_p0.1".into(), Schedule::Random { fraction: 0.1, seed: 7 }),
+        (
+            "random_p0.5".into(),
+            Schedule::Random {
+                fraction: 0.5,
+                seed: 7,
+            },
+        ),
+        (
+            "random_p0.25".into(),
+            Schedule::Random {
+                fraction: 0.25,
+                seed: 7,
+            },
+        ),
+        (
+            "random_p0.1".into(),
+            Schedule::Random {
+                fraction: 0.1,
+                seed: 7,
+            },
+        ),
         ("round_robin_4".into(), Schedule::RoundRobin { period: 4 }),
     ];
     for (name, schedule) in schedules {

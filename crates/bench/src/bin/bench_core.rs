@@ -1,0 +1,113 @@
+//! Core iteration-throughput baseline: measures steady-state
+//! `GradientAlgorithm::step()` rates (iterations/second) on the paper
+//! instance and scaled instances, at `threads = 1` and at the machine's
+//! available parallelism, and writes the results (with the pre-refactor
+//! serial baseline embedded for the speedup column) to
+//! `BENCH_core.json` in the current directory.
+//!
+//! Run via `scripts/bench.sh` (release build) from the repository root.
+
+use spn_bench::small_instance;
+use spn_core::{GradientAlgorithm, GradientConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// `(nodes, commodities, seed-serial iterations/sec)` — the baseline
+/// column was measured on the pre-workspace code (per-step Vec
+/// allocation, filter-scan adjacency) on this container, release build.
+const CASES: &[(usize, usize, f64)] = &[
+    (40, 3, 73_342.2),
+    (80, 8, 18_364.9),
+    (160, 16, 5_588.9),
+    (400, 32, 1_242.9),
+];
+
+const WARMUP_ITERS: usize = 50;
+const MIN_MEASURE_SECS: f64 = 0.5;
+const BATCH: usize = 16;
+/// Timed windows per configuration; the reported rate is the best one
+/// (throughput benches take the max — slow windows measure scheduler
+/// noise, not the code).
+const REPEATS: usize = 3;
+
+fn iterations_per_sec(nodes: usize, commodities: usize, threads: usize) -> f64 {
+    let problem = small_instance(1, nodes, commodities);
+    let cfg = GradientConfig {
+        threads,
+        ..GradientConfig::default()
+    };
+    let mut alg = GradientAlgorithm::new(&problem, cfg).expect("valid config");
+    for _ in 0..WARMUP_ITERS {
+        alg.step();
+    }
+    let mut best = 0.0f64;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let mut iters = 0usize;
+        let rate = loop {
+            for _ in 0..BATCH {
+                alg.step();
+            }
+            iters += BATCH;
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= MIN_MEASURE_SECS {
+                break iters as f64 / elapsed;
+            }
+        };
+        best = best.max(rate);
+    }
+    best
+}
+
+fn main() {
+    let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // Always measure the scoped-thread path, even on a single-core box
+    // (it must not regress there either).
+    let thread_counts: Vec<usize> = if parallelism > 1 {
+        vec![1, parallelism]
+    } else {
+        vec![1, 2]
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"core_iteration_throughput\",");
+    let _ = writeln!(json, "  \"available_parallelism\": {parallelism},");
+    let _ = writeln!(json, "  \"warmup_iterations\": {WARMUP_ITERS},");
+    let _ = writeln!(json, "  \"min_measure_seconds\": {MIN_MEASURE_SECS},");
+    let _ = writeln!(json, "  \"repeats_best_of\": {REPEATS},");
+    json.push_str("  \"cases\": [\n");
+
+    println!("# nodes\tcommodities\tthreads\titers_per_sec\tseed_serial\tspeedup_vs_seed");
+    for (ci, &(nodes, commodities, seed_rate)) in CASES.iter().enumerate() {
+        let mut thread_results = Vec::new();
+        for &threads in &thread_counts {
+            let rate = iterations_per_sec(nodes, commodities, threads);
+            println!(
+                "{nodes}\t{commodities}\t{threads}\t{rate:.1}\t{seed_rate:.1}\t{:.2}",
+                rate / seed_rate
+            );
+            thread_results.push((threads, rate));
+        }
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"nodes\": {nodes},");
+        let _ = writeln!(json, "      \"commodities\": {commodities},");
+        let _ = writeln!(json, "      \"seed_serial_iters_per_sec\": {seed_rate:.1},");
+        for &(threads, rate) in &thread_results {
+            // the speedup field always follows, so every line takes a comma
+            let _ = writeln!(json, "      \"iters_per_sec_t{threads}\": {rate:.1},");
+        }
+        let serial_rate = thread_results[0].1;
+        let _ = writeln!(
+            json,
+            "      \"speedup_vs_seed\": {:.3}",
+            serial_rate / seed_rate
+        );
+        let comma = if ci + 1 < CASES.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");
+    eprintln!("wrote BENCH_core.json");
+}

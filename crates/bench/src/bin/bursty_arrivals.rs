@@ -42,13 +42,21 @@ fn main() {
 
     let base = paper_instance(seed).scale_demand(3.0);
     let optimum = lp_optimum(&base);
-    let means: Vec<f64> =
-        base.commodity_ids().map(|j| base.commodity(j).max_rate).collect();
+    let means: Vec<f64> = base
+        .commodity_ids()
+        .map(|j| base.commodity(j).max_rate)
+        .collect();
     println!("# bursty_arrivals: seed={seed} iters={iters} mean_load_optimum={optimum:.4}");
     println!("amplitude\ttau\tmean_frac\tworst_frac\tviolation_iters");
 
-    let cases: [(f64, f64); 6] =
-        [(0.0, 1.0), (0.5, 1.0), (0.5, 100.0), (0.5, 1000.0), (0.5, 10_000.0), (0.75, 1000.0)];
+    let cases: [(f64, f64); 6] = [
+        (0.0, 1.0),
+        (0.5, 1.0),
+        (0.5, 100.0),
+        (0.5, 1000.0),
+        (0.5, 10_000.0),
+        (0.75, 1000.0),
+    ];
     for (amplitude, tau) in cases {
         // AR(1): n_t = ρ·n_{t−1} + √(1−ρ²)·ξ_t, ρ = exp(−1/τ)
         let rho: f64 = (-1.0 / tau).exp();
@@ -63,7 +71,8 @@ fn main() {
             for (ji, &mean) in means.iter().enumerate() {
                 ou[ji] = rho * ou[ji] + fresh * noise(seed, i, ji);
                 let lambda = mean * (1.0 + amplitude * ou[ji].clamp(-1.0, 1.0)).max(0.05);
-                alg.extended_mut().set_max_rate(CommodityId::from_index(ji), lambda);
+                alg.extended_mut()
+                    .set_max_rate(CommodityId::from_index(ji), lambda);
             }
             alg.step();
             if i >= warmup {

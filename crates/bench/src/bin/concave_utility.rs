@@ -22,12 +22,21 @@ fn main() {
 
     let mut problem = paper_instance(seed);
     for j in problem.commodity_ids().collect::<Vec<_>>() {
-        problem = problem.with_utility(j, UtilityFn::Log { weight: 10.0, scale: 1.0 });
+        problem = problem.with_utility(
+            j,
+            UtilityFn::Log {
+                weight: 10.0,
+                scale: 1.0,
+            },
+        );
     }
 
     let (lower, upper) = sandwich(&problem, 60).expect("solvable");
     println!("# concave_utility: seed={seed} utility=10*ln(1+a) segments=60");
-    println!("# certified_bracket\t[{:.6}, {:.6}]", lower.objective, upper.objective);
+    println!(
+        "# certified_bracket\t[{:.6}, {:.6}]",
+        lower.objective, upper.objective
+    );
 
     let mut alg = GradientAlgorithm::new(&problem, GradientConfig::default()).expect("valid");
     let report = alg.run(iters);

@@ -48,7 +48,11 @@ fn main() {
         let r = alg.report();
         println!(
             "{phase}\t{}\t{target:.4}\t{}\t{:.4}\t{:.4}",
-            if bursting { "burst(x1.0)" } else { "calm(x0.05)" },
+            if bursting {
+                "burst(x1.0)"
+            } else {
+                "calm(x0.05)"
+            },
             fmt_opt(lag),
             r.utility / target,
             r.max_utilization

@@ -26,7 +26,10 @@ fn main() {
     println!("# eps_sweep: seed={seed} iters={iters} optimum={optimum:.6}");
     println!("epsilon\tit95\tfinal_frac\theadroom\tmax_dip");
     for epsilon in [0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0005] {
-        let cfg = GradientConfig { epsilon, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            epsilon,
+            ..GradientConfig::default()
+        };
         let s = run_gradient(&problem, cfg, iters, optimum);
         println!(
             "{epsilon}\t{}\t{:.4}\t{:.4}\t{:.4}",

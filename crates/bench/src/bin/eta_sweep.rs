@@ -23,7 +23,10 @@ fn main() {
     println!("# eta_sweep: seed={seed} iters={iters} optimum={optimum:.6}");
     println!("eta\tit90\tit95\tfinal_frac\tmax_dip\tmax_utilization");
     for eta in [0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64] {
-        let cfg = GradientConfig { eta, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            eta,
+            ..GradientConfig::default()
+        };
         let s = run_gradient(&problem, cfg, iters, optimum);
         println!(
             "{eta}\t{}\t{}\t{:.4}\t{:.4}\t{:.4}",

@@ -37,7 +37,10 @@ fn main() {
     println!("epsilon\tpre_frac\theadroom\tvictim\ttrough_frac\trecover95_iters\toutage_iters\tpost_frac_of_pre\tpost_frac_of_post_opt");
 
     for epsilon in [0.02, 0.005, 0.002, 0.0005] {
-        let cfg = GradientConfig { epsilon, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            epsilon,
+            ..GradientConfig::default()
+        };
         let mut sim = GradientSim::new(&problem, cfg).expect("valid config");
         for _ in 0..iters {
             sim.step();
@@ -63,17 +66,23 @@ fn main() {
             .nodes()
             .filter(|&v| {
                 matches!(ext.node_kind(v), NodeKind::Processing(_))
-                    && ext.commodity_ids().all(|j| {
-                        v != ext.commodity(j).source() && v != ext.commodity(j).sink()
-                    })
+                    && ext
+                        .commodity_ids()
+                        .all(|j| v != ext.commodity(j).source() && v != ext.commodity(j).sink())
             })
-            .max_by(|&a, &b| sim.flows().node_usage(a).total_cmp(&sim.flows().node_usage(b)))
+            .max_by(|&a, &b| {
+                sim.flows()
+                    .node_usage(a)
+                    .total_cmp(&sim.flows().node_usage(b))
+            })
             .expect("instance has intermediate nodes");
         sim.extended_mut()
             .set_capacity(victim, Capacity::finite(FAILED_CAPACITY).expect("positive"));
         // post-failure LP reference
-        let failed_problem = problem
-            .with_node_capacity(victim_physical(victim), Capacity::finite(FAILED_CAPACITY).expect("positive"));
+        let failed_problem = problem.with_node_capacity(
+            victim_physical(victim),
+            Capacity::finite(FAILED_CAPACITY).expect("positive"),
+        );
         let post_optimum = lp_optimum(&failed_problem);
 
         // run past the disturbance and record the utility trajectory

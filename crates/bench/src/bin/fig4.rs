@@ -127,7 +127,10 @@ fn main() {
             },
             spn_bench::svg::Series {
                 label: "Back-pressure algorithm (windowed)".into(),
-                points: ticks.iter().map(|&t| (t as f64, bp_windowed[t - 1])).collect(),
+                points: ticks
+                    .iter()
+                    .map(|&t| (t as f64, bp_windowed[t - 1]))
+                    .collect(),
             },
         ],
     };

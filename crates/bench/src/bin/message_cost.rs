@@ -16,7 +16,10 @@ use spn_core::GradientConfig;
 use spn_sim::{BackPressureSim, GradientSim};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     println!("# message_cost: seed={seed} commodities=2 width=2");
     println!("depth\tgradient_rounds\tgradient_msgs\tbp_rounds\tbp_msgs");
     for depth in [2usize, 4, 6, 8, 10, 12, 16] {

@@ -32,7 +32,10 @@ fn main() {
     println!("rule\tit90\tit95\tfinal_frac\tmax_util");
 
     for eta in [0.02, 0.04, 0.08] {
-        let cfg = GradientConfig { eta, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            eta,
+            ..GradientConfig::default()
+        };
         let mut alg = GradientAlgorithm::new(&problem, cfg).expect("valid");
         let (mut it90, mut it95) = (None, None);
         for i in 0..iters {
@@ -55,8 +58,17 @@ fn main() {
         );
     }
 
-    for (damping, floor) in [(0.1, 1e-6), (0.3, 1e-6), (0.3, 1e-3), (0.3, 1e-2), (1.0, 1e-3)] {
-        let cfg = GradientConfig { eta: damping, ..GradientConfig::default() };
+    for (damping, floor) in [
+        (0.1, 1e-6),
+        (0.3, 1e-6),
+        (0.3, 1e-3),
+        (0.3, 1e-2),
+        (1.0, 1e-3),
+    ] {
+        let cfg = GradientConfig {
+            eta: damping,
+            ..GradientConfig::default()
+        };
         let mut alg = NewtonGradient::new(&problem, cfg, floor).expect("valid");
         let (mut it90, mut it95) = (None, None);
         for i in 0..iters {

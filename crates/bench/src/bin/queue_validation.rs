@@ -27,7 +27,10 @@ fn main() {
     println!("epsilon\tmax_util\tgoodput_fidelity\ttotal_queued\tbacklog_delay_ticks");
 
     for epsilon in [0.01, 0.002, 0.0005] {
-        let cfg = GradientConfig { epsilon, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            epsilon,
+            ..GradientConfig::default()
+        };
         let mut alg = GradientAlgorithm::new(&problem, cfg).expect("valid");
         let report = alg.run(15_000);
 
@@ -35,7 +38,11 @@ fn main() {
             alg.extended().clone(),
             alg.routing(),
             alg.flows(),
-            PacketConfig { amplitude: 0.3, correlation: 50.0, seed },
+            PacketConfig {
+                amplitude: 0.3,
+                correlation: 50.0,
+                seed,
+            },
         );
         sim.run(ticks);
 

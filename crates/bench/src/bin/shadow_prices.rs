@@ -46,17 +46,27 @@ fn main() {
     // resource cost the node advertises at equilibrium
     let mut lp_prices = Vec::new();
     let mut dist_prices = Vec::new();
-    println!("# shadow_prices: seed={seed} iters={iters} lp_optimum={:.4}", optimum.objective);
+    println!(
+        "# shadow_prices: seed={seed} iters={iters} lp_optimum={:.4}",
+        optimum.objective
+    );
     println!("node\tutilization\tlp_shadow_price\tdistributed_price");
     for v in problem.graph().nodes() {
         let load = alg.flows().node_usage(v);
         let cap = ext.capacity(v);
-        let dist = cost.epsilon * cost.penalty.derivative(cap, load) + cost.wall_derivative(cap, load);
+        let dist =
+            cost.epsilon * cost.penalty.derivative(cap, load) + cost.wall_derivative(cap, load);
         let lp = prices.node[v.index()];
         lp_prices.push(lp);
         dist_prices.push(dist);
         if lp > 1e-6 || dist > 1e-3 {
-            println!("{}\t{:.4}\t{:.6}\t{:.6}", v.index(), cap.utilization(load), lp, dist);
+            println!(
+                "{}\t{:.4}\t{:.6}\t{:.6}",
+                v.index(),
+                cap.utilization(load),
+                lp,
+                dist
+            );
         }
     }
     // same comparison for links (their bandwidth nodes in the extended
@@ -73,15 +83,28 @@ fn main() {
         lp_prices.push(lp);
         dist_prices.push(dist);
         if lp > 1e-6 || dist > 1e-3 {
-            println!("{}\t{:.4}\t{:.6}\t{:.6}", e.index(), cap.utilization(load), lp, dist);
+            println!(
+                "{}\t{:.4}\t{:.6}\t{:.6}",
+                e.index(),
+                cap.utilization(load),
+                lp,
+                dist
+            );
         }
     }
-    println!("# pearson_correlation\t{:.4}", pearson(&lp_prices, &dist_prices));
+    println!(
+        "# pearson_correlation\t{:.4}",
+        pearson(&lp_prices, &dist_prices)
+    );
     let binding_lp = lp_prices.iter().filter(|&&p| p > 1e-6).count();
     let binding_dist = dist_prices.iter().filter(|&&p| p > 1e-3).count();
     println!("# binding_nodes: lp\t{binding_lp}\tdistributed\t{binding_dist}");
     println!(
         "# admission_prices(lp)\t{:?}",
-        prices.admission.iter().map(|p| (p * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+        prices
+            .admission
+            .iter()
+            .map(|p| (p * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
     );
 }

@@ -61,7 +61,9 @@ pub fn layered_instance(seed: u64, depth: usize, commodities: usize) -> Problem 
 /// Panics if the instance's utilities are not linear.
 #[must_use]
 pub fn lp_optimum(problem: &Problem) -> f64 {
-    solve_linear_utility(problem).expect("linear-utility instance solves").objective
+    solve_linear_utility(problem)
+        .expect("linear-utility instance solves")
+        .objective
 }
 
 /// Result of tracking one algorithm run against a reference optimum.
@@ -173,7 +175,10 @@ mod tests {
         let opt = lp_optimum(&p);
         let s = run_gradient(
             &p,
-            GradientConfig { eta: 0.3, ..GradientConfig::default() },
+            GradientConfig {
+                eta: 0.3,
+                ..GradientConfig::default()
+            },
             2000,
             opt,
         );

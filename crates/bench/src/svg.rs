@@ -39,7 +39,9 @@ const MARGIN_L: f64 = 64.0;
 const MARGIN_R: f64 = 24.0;
 const MARGIN_T: f64 = 48.0;
 const MARGIN_B: f64 = 56.0;
-const PALETTE: [&str; 6] = ["#c0392b", "#27ae60", "#2980b9", "#8e44ad", "#d68910", "#16a085"];
+const PALETTE: [&str; 6] = [
+    "#c0392b", "#27ae60", "#2980b9", "#8e44ad", "#d68910", "#16a085",
+];
 
 impl Chart {
     /// Renders the chart as a standalone SVG document.
@@ -76,7 +78,10 @@ impl Chart {
         if let Some((_, r)) = &self.reference {
             y_max = y_max.max(*r);
         }
-        assert!(x_min.is_finite() && y_max.is_finite(), "no finite points to plot");
+        assert!(
+            x_min.is_finite() && y_max.is_finite(),
+            "no finite points to plot"
+        );
         if (x_max - x_min).abs() < 1e-12 {
             x_max = x_min + 1.0;
         }
@@ -92,7 +97,10 @@ impl Chart {
             svg,
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
         );
-        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
         let _ = write!(
             svg,
             r#"<text x="{}" y="24" text-anchor="middle" font-size="16">{}</text>"#,
@@ -110,7 +118,9 @@ impl Chart {
             let hi = x_max.ceil() as i32;
             (lo..=hi).map(|e| 10f64.powi(e)).collect()
         } else {
-            (0..=5).map(|i| x_min + (x_max - x_min) * f64::from(i) / 5.0).collect()
+            (0..=5)
+                .map(|i| x_min + (x_max - x_min) * f64::from(i) / 5.0)
+                .collect()
         };
         for t in x_ticks {
             let x = px(t);
@@ -123,7 +133,11 @@ impl Chart {
                 MARGIN_T,
                 MARGIN_T + plot_h
             );
-            let label = if self.log_x { format_pow10(t) } else { format!("{t:.0}") };
+            let label = if self.log_x {
+                format_pow10(t)
+            } else {
+                format!("{t:.0}")
+            };
             let _ = write!(
                 svg,
                 r#"<text x="{x}" y="{}" text-anchor="middle" font-size="11">{label}</text>"#,
@@ -181,7 +195,11 @@ impl Chart {
         for (idx, s) in self.series.iter().enumerate() {
             let color = PALETTE[idx % PALETTE.len()];
             let mut path = String::new();
-            for (i, &(x, y)) in s.points.iter().filter(|(x, y)| x.is_finite() && y.is_finite()).enumerate()
+            for (i, &(x, y)) in s
+                .points
+                .iter()
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .enumerate()
             {
                 let cmd = if i == 0 { 'M' } else { 'L' };
                 let _ = write!(path, "{cmd}{:.1},{:.1} ", px(x), py(y));
@@ -223,7 +241,9 @@ fn format_pow10(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -259,7 +279,7 @@ mod tests {
         assert!(svg.contains("Back-pressure"));
         assert!(svg.contains("optimal"));
         assert!(svg.contains("stroke-dasharray")); // reference line
-        // two series paths + legend lines
+                                                   // two series paths + legend lines
         assert!(svg.matches("<path").count() >= 2);
     }
 
@@ -267,7 +287,10 @@ mod tests {
     fn log_ticks_cover_decades() {
         let svg = chart().render();
         for tick in ["10", "100", "1000"] {
-            assert!(svg.contains(&format!(">{tick}</text>")), "missing tick {tick}");
+            assert!(
+                svg.contains(&format!(">{tick}</text>")),
+                "missing tick {tick}"
+            );
         }
     }
 

@@ -69,7 +69,10 @@ impl ParsedArgs {
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
         let mut it = args.into_iter().peekable();
         let command = it.next().ok_or(ArgError::MissingCommand)?;
-        let mut parsed = ParsedArgs { command, ..Default::default() };
+        let mut parsed = ParsedArgs {
+            command,
+            ..Default::default()
+        };
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
                 let value = match it.peek() {
@@ -159,7 +162,10 @@ mod tests {
     fn missing_command_and_positional() {
         assert_eq!(parse(&[]).unwrap_err(), ArgError::MissingCommand);
         let p = parse(&["solve"]).unwrap();
-        assert!(matches!(p.positional(0, "manifest"), Err(ArgError::MissingPositional(_))));
+        assert!(matches!(
+            p.positional(0, "manifest"),
+            Err(ArgError::MissingPositional(_))
+        ));
     }
 
     #[test]
@@ -175,7 +181,10 @@ mod tests {
             ArgError::MissingCommand,
             ArgError::DuplicateOption("x".into()),
             ArgError::MissingOption("y"),
-            ArgError::BadValue { option: "n".into(), value: "zz".into() },
+            ArgError::BadValue {
+                option: "n".into(),
+                value: "zz".into(),
+            },
             ArgError::MissingPositional("manifest"),
         ] {
             assert!(!format!("{e}").is_empty());

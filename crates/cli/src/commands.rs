@@ -7,9 +7,9 @@ use spn_core::{GradientAlgorithm, GradientConfig};
 use spn_model::random::RandomInstance;
 use spn_model::spec::ProblemSpec;
 use spn_model::Problem;
+use spn_sim::{PacketConfig, PacketSim};
 use spn_solver::arcflow::solve_linear_utility_with_prices;
 use spn_solver::piecewise::sandwich;
-use spn_sim::{PacketConfig, PacketSim};
 use spn_transform::ExtendedNetwork;
 use std::fmt;
 use std::io::Write;
@@ -136,7 +136,10 @@ fn generate(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     match args.options.get("out") {
         Some(path) if !path.is_empty() => {
             std::fs::write(path, &json)?;
-            writeln!(out, "wrote {path} ({nodes} nodes, {commodities} commodities, seed {seed})")?;
+            writeln!(
+                out,
+                "wrote {path} ({nodes} nodes, {commodities} commodities, seed {seed})"
+            )?;
         }
         _ => writeln!(out, "{json}")?,
     }
@@ -186,24 +189,48 @@ fn solve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         let (sol, prices) = solve_linear_utility_with_prices(&problem)?;
         writeln!(out, "optimal_utility\t{:.6}", sol.objective)?;
         for j in problem.commodity_ids() {
-            writeln!(out, "admitted\t{}\t{:.6}", j.index(), sol.admitted[j.index()])?;
+            writeln!(
+                out,
+                "admitted\t{}\t{:.6}",
+                j.index(),
+                sol.admitted[j.index()]
+            )?;
         }
         for v in problem.graph().nodes() {
             if prices.node[v.index()] > 1e-9 {
-                writeln!(out, "node_shadow_price\tn{}\t{:.6}", v.index(), prices.node[v.index()])?;
+                writeln!(
+                    out,
+                    "node_shadow_price\tn{}\t{:.6}",
+                    v.index(),
+                    prices.node[v.index()]
+                )?;
             }
         }
         for e in problem.graph().edges() {
             if prices.link[e.index()] > 1e-9 {
-                writeln!(out, "link_shadow_price\te{}\t{:.6}", e.index(), prices.link[e.index()])?;
+                writeln!(
+                    out,
+                    "link_shadow_price\te{}\t{:.6}",
+                    e.index(),
+                    prices.link[e.index()]
+                )?;
             }
         }
     } else {
         let segments = args.opt("segments", 40usize)?;
         let (lower, upper) = sandwich(&problem, segments)?;
-        writeln!(out, "optimal_utility_bracket\t[{:.6}, {:.6}]", lower.objective, upper.objective)?;
+        writeln!(
+            out,
+            "optimal_utility_bracket\t[{:.6}, {:.6}]",
+            lower.objective, upper.objective
+        )?;
         for j in problem.commodity_ids() {
-            writeln!(out, "admitted_lower\t{}\t{:.6}", j.index(), lower.admitted[j.index()])?;
+            writeln!(
+                out,
+                "admitted_lower\t{}\t{:.6}",
+                j.index(),
+                lower.admitted[j.index()]
+            )?;
         }
     }
     Ok(())
@@ -304,8 +331,11 @@ fn compare(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         bp_report.utility,
         bp_report.utility / optimum
     )?;
-    writeln!(out, "
-per-commodity admitted (gradient) / goodput (back-pressure):")?;
+    writeln!(
+        out,
+        "
+per-commodity admitted (gradient) / goodput (back-pressure):"
+    )?;
     for j in problem.commodity_ids() {
         writeln!(
             out,
@@ -330,7 +360,10 @@ fn packet(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         alg.extended().clone(),
         alg.routing(),
         alg.flows(),
-        PacketConfig { amplitude, ..PacketConfig::default() },
+        PacketConfig {
+            amplitude,
+            ..PacketConfig::default()
+        },
     );
     sim.run(ticks);
     writeln!(out, "fluid_utility	{:.4}", report.utility)?;
@@ -380,8 +413,12 @@ mod tests {
         let dir = std::env::temp_dir().join("spn-cli-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("inst-{nodes}-{seed}-{}.json", std::process::id()));
-        let inst =
-            RandomInstance::builder().nodes(nodes).commodities(2).seed(seed).build().unwrap();
+        let inst = RandomInstance::builder()
+            .nodes(nodes)
+            .commodities(2)
+            .seed(seed)
+            .build()
+            .unwrap();
         std::fs::write(&path, ProblemSpec::from(&inst.problem).to_json().unwrap()).unwrap();
         path
     }
@@ -389,9 +426,16 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let out = run_tokens(&["help"]).unwrap();
-        for cmd in
-            ["generate", "info", "solve", "gradient", "backpressure", "dot", "compare", "packet"]
-        {
+        for cmd in [
+            "generate",
+            "info",
+            "solve",
+            "gradient",
+            "backpressure",
+            "dot",
+            "compare",
+            "packet",
+        ] {
             assert!(out.contains(cmd), "help missing {cmd}");
         }
     }
@@ -432,9 +476,15 @@ mod tests {
     #[test]
     fn gradient_runs_and_reports() {
         let path = temp_manifest(14, 7);
-        let out =
-            run_tokens(&["gradient", path.to_str().unwrap(), "--iters", "200", "--eta", "0.3"])
-                .unwrap();
+        let out = run_tokens(&[
+            "gradient",
+            path.to_str().unwrap(),
+            "--iters",
+            "200",
+            "--eta",
+            "0.3",
+        ])
+        .unwrap();
         assert!(out.contains("iterations\t200"));
         assert!(out.contains("utility\t"));
     }

@@ -19,12 +19,13 @@
 //! explicit messages with per-hop latency — lives in the `spn-sim`
 //! crate and produces bit-identical routing tables (tested there).
 
-use crate::blocked::{compute_tags, BlockedTags};
+use crate::blocked::{compute_tags_into, BlockedTags};
 use crate::cost::CostModel;
-use crate::flows::{compute_flows, FlowState};
-use crate::gamma::{apply_gamma, GammaStats};
-use crate::marginals::{compute_marginals, Marginals};
+use crate::flows::{compute_flows_into, FlowState};
+use crate::gamma::{apply_gamma_ws, GammaStats};
+use crate::marginals::{compute_marginals_into, Marginals};
 use crate::routing::RoutingTable;
+use crate::workspace::IterationWorkspace;
 use spn_graph::NodeId;
 use spn_model::{Penalty, Problem};
 use spn_transform::view::{physical_loads, PhysicalLoads};
@@ -80,6 +81,13 @@ pub struct GradientConfig {
     pub epsilon_interval: usize,
     /// Annealing floor: ε never drops below this.
     pub epsilon_min: f64,
+    /// Worker threads for the per-commodity passes (flows, marginals,
+    /// tags, Γ). `0` resolves to [`std::thread::available_parallelism`];
+    /// `1` forces the serial (zero-allocation) path. Results are
+    /// bit-identical for every value (ARCHITECTURE invariant 9): each
+    /// commodity owns its rows and all cross-commodity reductions run in
+    /// fixed commodity order.
+    pub threads: usize,
 }
 
 impl Default for GradientConfig {
@@ -106,6 +114,7 @@ impl Default for GradientConfig {
             epsilon_factor: 1.0,
             epsilon_interval: 1500,
             epsilon_min: 2e-5,
+            threads: 0,
         }
     }
 }
@@ -137,7 +146,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "traffic floor must be finite and non-negative, got {v}")
             }
             ConfigError::BadOpeningFraction(v) => {
-                write!(f, "opening fraction must be finite and non-negative, got {v}")
+                write!(
+                    f,
+                    "opening fraction must be finite and non-negative, got {v}"
+                )
             }
             ConfigError::BadShiftCap(v) => {
                 write!(f, "shift cap must be finite and positive, got {v}")
@@ -190,9 +202,7 @@ impl Report {
         let mut out = Vec::new();
         for j in ext.commodity_ids() {
             for l in ext.commodity_out_edges(j, node) {
-                let alloc = state.traffic(j, node)
-                    * alg.routing().fraction(j, l)
-                    * ext.cost(j, l);
+                let alloc = state.traffic(j, node) * alg.routing().fraction(j, l) * ext.cost(j, l);
                 if alloc > 0.0 {
                     out.push((j, l, alloc));
                 }
@@ -212,6 +222,13 @@ pub struct GradientAlgorithm {
     state: FlowState,
     marginals: Marginals,
     iterations: usize,
+    /// Resolved worker count (`config.threads`, with `0` replaced by the
+    /// machine's available parallelism at construction).
+    threads: usize,
+    /// Reusable scratch: per-commodity usage partials and Γ lanes.
+    workspace: IterationWorkspace,
+    /// Reusable blocking-tag buffer (eq. (18)).
+    tags: BlockedTags,
 }
 
 impl GradientAlgorithm {
@@ -258,17 +275,42 @@ impl GradientAlgorithm {
             wall_threshold: config.wall_threshold,
             wall_strength: config.wall_strength,
         };
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            config.threads
+        };
         let routing = RoutingTable::initial(&ext);
-        let state = compute_flows(&ext, &routing);
-        let marginals = compute_marginals(&ext, &cost, &routing, &state);
-        Ok(GradientAlgorithm { ext, cost, config, routing, state, marginals, iterations: 0 })
+        let mut workspace = IterationWorkspace::new(&ext);
+        let mut state = FlowState::zeros(&ext);
+        compute_flows_into(&ext, &routing, &mut state, &mut workspace, threads);
+        let mut marginals = Marginals::zeros(&ext);
+        compute_marginals_into(&ext, &cost, &routing, &state, &mut marginals, threads);
+        let tags = BlockedTags::none(&ext);
+        Ok(GradientAlgorithm {
+            ext,
+            cost,
+            config,
+            routing,
+            state,
+            marginals,
+            iterations: 0,
+            threads,
+            workspace,
+            tags,
+        })
     }
 
     /// Performs one full protocol iteration; returns its statistics.
+    ///
+    /// Heap-allocation-free in steady state when the resolved thread
+    /// count is 1: every pass reads and writes the preallocated
+    /// buffers owned by `self` (verified by the workspace's counting
+    /// allocator test).
     pub fn step(&mut self) -> StepStats {
         let cost_before = self.cost.total_cost(&self.ext, &self.state);
-        let tags = if self.config.use_blocked_sets {
-            compute_tags(
+        if self.config.use_blocked_sets {
+            compute_tags_into(
                 &self.ext,
                 &self.cost,
                 &self.routing,
@@ -276,26 +318,36 @@ impl GradientAlgorithm {
                 &self.marginals,
                 self.config.eta,
                 self.config.traffic_floor,
-            )
+                &mut self.tags,
+                self.threads,
+            );
         } else {
-            BlockedTags::none(&self.ext)
-        };
-        let gamma = apply_gamma(
+            self.tags.reset(&self.ext);
+        }
+        let gamma = apply_gamma_ws(
             &self.ext,
             &self.cost,
             &mut self.routing,
             &self.state,
             &self.marginals,
-            &tags,
+            &self.tags,
             self.config.eta,
             self.config.traffic_floor,
             self.config.opening_fraction,
             self.config.shift_cap,
+            &mut self.workspace,
+            self.threads,
         );
         // Forecast flows for the new decision and refresh marginals so
         // the next iteration (and external reports) see consistent
         // state.
-        self.state = compute_flows(&self.ext, &self.routing);
+        compute_flows_into(
+            &self.ext,
+            &self.routing,
+            &mut self.state,
+            &mut self.workspace,
+            self.threads,
+        );
         self.iterations += 1;
         // ε-annealing schedule (no-op when epsilon_factor == 1.0).
         if self.config.epsilon_factor < 1.0
@@ -305,7 +357,14 @@ impl GradientAlgorithm {
             self.cost.epsilon =
                 (self.cost.epsilon * self.config.epsilon_factor).max(self.config.epsilon_min);
         }
-        self.marginals = compute_marginals(&self.ext, &self.cost, &self.routing, &self.state);
+        compute_marginals_into(
+            &self.ext,
+            &self.cost,
+            &self.routing,
+            &self.state,
+            &mut self.marginals,
+            self.threads,
+        );
         StepStats { cost_before, gamma }
     }
 
@@ -333,17 +392,23 @@ impl GradientAlgorithm {
     /// Current solution snapshot in problem terms.
     #[must_use]
     pub fn report(&self) -> Report {
-        let admitted: Vec<f64> =
-            self.ext.commodity_ids().map(|j| self.state.admitted(&self.ext, j)).collect();
-        let delivered: Vec<f64> =
-            self.ext.commodity_ids().map(|j| self.state.delivered(&self.ext, j)).collect();
+        let admitted: Vec<f64> = self
+            .ext
+            .commodity_ids()
+            .map(|j| self.state.admitted(&self.ext, j))
+            .collect();
+        let delivered: Vec<f64> = self
+            .ext
+            .commodity_ids()
+            .map(|j| self.state.delivered(&self.ext, j))
+            .collect();
         let utility: f64 = self
             .ext
             .commodity_ids()
             .zip(&admitted)
             .map(|(j, &a)| self.ext.commodity(j).utility.value(a))
             .sum();
-        let loads = physical_loads(&self.ext, &self.state.f_node);
+        let loads = physical_loads(&self.ext, self.state.node_usages());
         let max_utilization = self
             .ext
             .graph()
@@ -418,10 +483,25 @@ impl GradientAlgorithm {
     ///
     /// Panics if the new table fails [`RoutingTable::validate`].
     pub fn install_routing(&mut self, routing: RoutingTable) {
-        routing.validate(&self.ext).expect("installed routing must be valid");
+        routing
+            .validate(&self.ext)
+            .expect("installed routing must be valid");
         self.routing = routing;
-        self.state = compute_flows(&self.ext, &self.routing);
-        self.marginals = compute_marginals(&self.ext, &self.cost, &self.routing, &self.state);
+        compute_flows_into(
+            &self.ext,
+            &self.routing,
+            &mut self.state,
+            &mut self.workspace,
+            self.threads,
+        );
+        compute_marginals_into(
+            &self.ext,
+            &self.cost,
+            &self.routing,
+            &self.state,
+            &mut self.marginals,
+            self.threads,
+        );
     }
 }
 
@@ -447,11 +527,26 @@ mod tests {
     #[test]
     fn config_validation() {
         let p = bottleneck_problem();
-        let bad_eta = GradientConfig { eta: 0.0, ..GradientConfig::default() };
-        assert!(matches!(GradientAlgorithm::new(&p, bad_eta), Err(ConfigError::BadEta(_))));
-        let bad_eps = GradientConfig { epsilon: -1.0, ..GradientConfig::default() };
-        assert!(matches!(GradientAlgorithm::new(&p, bad_eps), Err(ConfigError::BadEpsilon(_))));
-        let bad_floor = GradientConfig { traffic_floor: f64::NAN, ..GradientConfig::default() };
+        let bad_eta = GradientConfig {
+            eta: 0.0,
+            ..GradientConfig::default()
+        };
+        assert!(matches!(
+            GradientAlgorithm::new(&p, bad_eta),
+            Err(ConfigError::BadEta(_))
+        ));
+        let bad_eps = GradientConfig {
+            epsilon: -1.0,
+            ..GradientConfig::default()
+        };
+        assert!(matches!(
+            GradientAlgorithm::new(&p, bad_eps),
+            Err(ConfigError::BadEpsilon(_))
+        ));
+        let bad_floor = GradientConfig {
+            traffic_floor: f64::NAN,
+            ..GradientConfig::default()
+        };
         assert!(matches!(
             GradientAlgorithm::new(&p, bad_floor),
             Err(ConfigError::BadTrafficFloor(_))
@@ -473,12 +568,19 @@ mod tests {
     #[test]
     fn admission_grows_and_respects_capacity() {
         let p = bottleneck_problem();
-        let cfg = GradientConfig { eta: 0.5, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            eta: 0.5,
+            ..GradientConfig::default()
+        };
         let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
         let r = alg.run(800);
         // the x bottleneck admits at most 10/2 = 5 units
         assert!(r.admitted[0] > 3.5, "admitted {} too low", r.admitted[0]);
-        assert!(r.admitted[0] <= 5.0 + 1e-6, "admitted {} exceeds capacity", r.admitted[0]);
+        assert!(
+            r.admitted[0] <= 5.0 + 1e-6,
+            "admitted {} exceeds capacity",
+            r.admitted[0]
+        );
         assert!(r.max_utilization <= 1.0 + 1e-9);
         assert!(r.utility > 0.0);
         alg.routing().validate(alg.extended()).unwrap();
@@ -490,8 +592,11 @@ mod tests {
         let p = bottleneck_problem();
         // larger ε smooths the barrier; with the default ε = 5e-4 and a
         // large η the equilibrium is a benign ±shift_cap limit cycle
-        let cfg =
-            GradientConfig { eta: 0.2, epsilon: 0.002, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            eta: 0.2,
+            epsilon: 0.002,
+            ..GradientConfig::default()
+        };
         let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
         let mut last = 0.0;
         let mut max_drop: f64 = 0.0;
@@ -513,7 +618,10 @@ mod tests {
         let j = b.commodity(s, t, 5.0, UtilityFn::throughput());
         b.uses(j, e, 1.0, 1.0);
         let p = b.build().unwrap();
-        let cfg = GradientConfig { eta: 0.5, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            eta: 0.5,
+            ..GradientConfig::default()
+        };
         let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
         let r = alg.run(500);
         assert!(r.admitted[0] > 4.9, "admitted {} of 5", r.admitted[0]);
@@ -523,8 +631,11 @@ mod tests {
     #[test]
     fn run_until_stable_terminates() {
         let p = bottleneck_problem();
-        let cfg =
-            GradientConfig { eta: 0.3, epsilon: 0.002, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            eta: 0.3,
+            epsilon: 0.002,
+            ..GradientConfig::default()
+        };
         let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
         let used = alg.run_until_stable(1e-10, 20_000);
         assert!(used < 20_000, "did not stabilize");
@@ -545,7 +656,10 @@ mod tests {
     #[test]
     fn report_allocations_decompose_node_usage() {
         let p = bottleneck_problem();
-        let cfg = GradientConfig { eta: 0.5, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            eta: 0.5,
+            ..GradientConfig::default()
+        };
         let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
         alg.run(300);
         let x = spn_graph::NodeId::from_index(1);
@@ -559,9 +673,15 @@ mod tests {
     #[test]
     fn blocked_sets_do_not_change_dag_fixed_point() {
         let p = bottleneck_problem();
-        let with = GradientConfig { eta: 0.3, ..GradientConfig::default() };
-        let without =
-            GradientConfig { eta: 0.3, use_blocked_sets: false, ..GradientConfig::default() };
+        let with = GradientConfig {
+            eta: 0.3,
+            ..GradientConfig::default()
+        };
+        let without = GradientConfig {
+            eta: 0.3,
+            use_blocked_sets: false,
+            ..GradientConfig::default()
+        };
         let mut a = GradientAlgorithm::new(&p, with).unwrap();
         let mut b = GradientAlgorithm::new(&p, without).unwrap();
         let ra = a.run(2000);

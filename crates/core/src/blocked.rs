@@ -17,20 +17,28 @@
 //! (it also shapes trajectories by delaying mass shifts toward congested
 //! regions) and expose a switch to disable it for ablation (experiment
 //! code compares both).
+//!
+//! [`compute_tags_into`] reuses the caller's tag buffer (no heap
+//! allocation once warm) and can run the independent per-commodity
+//! sweeps on scoped threads; [`compute_tags`] is the allocating
+//! wrapper. Rows are disjoint, so results are identical for any thread
+//! count.
 
 use crate::cost::CostModel;
 use crate::flows::FlowState;
 use crate::marginals::Marginals;
 use crate::routing::RoutingTable;
+use crate::workspace::run_commodity_tasks;
 use spn_graph::NodeId;
 use spn_model::CommodityId;
 use spn_transform::ExtendedNetwork;
 
-/// Per-commodity tag vectors: `tagged[j][v]` means node `v`'s broadcast
-/// for destination `j` carried the blocking tag.
+/// Per-commodity tag vectors, stored flat (`tagged[j·V + v]`): node
+/// `v`'s broadcast for destination `j` carried the blocking tag.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BlockedTags {
-    tagged: Vec<Vec<bool>>,
+    tagged: Vec<bool>,
+    v_count: usize,
 }
 
 impl BlockedTags {
@@ -38,22 +46,45 @@ impl BlockedTags {
     /// disabled).
     #[must_use]
     pub fn none(ext: &ExtendedNetwork) -> Self {
-        BlockedTags { tagged: vec![vec![false; ext.graph().node_count()]; ext.num_commodities()] }
+        let v_count = ext.graph().node_count();
+        BlockedTags {
+            tagged: vec![false; ext.num_commodities() * v_count],
+            v_count,
+        }
     }
 
     /// Builds a tag set from raw per-commodity vectors (crate-internal:
     /// used by tests and by the simulator, which computes tags from
     /// received messages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-commodity rows have unequal lengths.
     #[doc(hidden)]
     #[must_use]
-    pub fn from_raw(tagged: Vec<Vec<bool>>) -> Self {
-        BlockedTags { tagged }
+    pub fn from_raw(rows: Vec<Vec<bool>>) -> Self {
+        let v_count = rows.first().map_or(0, Vec::len);
+        let mut tagged = Vec::with_capacity(rows.len() * v_count);
+        for row in &rows {
+            assert_eq!(row.len(), v_count, "tag row length mismatch");
+            tagged.extend_from_slice(row);
+        }
+        BlockedTags { tagged, v_count }
+    }
+
+    /// Resizes the buffer for `ext` and clears every tag — the
+    /// allocation-free equivalent of [`BlockedTags::none`] once warm.
+    pub fn reset(&mut self, ext: &ExtendedNetwork) {
+        self.v_count = ext.graph().node_count();
+        self.tagged.clear();
+        self.tagged
+            .resize(ext.num_commodities() * self.v_count, false);
     }
 
     /// Whether node `v`'s broadcast for destination `j` was tagged.
     #[must_use]
     pub fn is_tagged(&self, j: CommodityId, v: NodeId) -> bool {
-        self.tagged[j.index()][v.index()]
+        self.tagged[j.index() * self.v_count + v.index()]
     }
 
     /// Whether the Γ update at node `i` may *not* move mass onto the
@@ -71,8 +102,106 @@ impl BlockedTags {
     }
 }
 
-/// Computes the blocking tags for every commodity (one reverse sweep per
-/// commodity, mirroring the §5 broadcast protocol).
+/// One commodity's reverse tag sweep (caller-cleared row). `phi` is the
+/// commodity's fraction row, indexed directly in the inner loop.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
+fn tag_sweep(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    phi: &[f64],
+    state: &FlowState,
+    marginals: &Marginals,
+    eta: f64,
+    traffic_floor: f64,
+    j: CommodityId,
+    tagged: &mut [bool],
+) {
+    for &v in ext.topo_order(j).iter().rev() {
+        let mut tag = false;
+        let t_v = state.traffic(j, v);
+        let dv = marginals.node(j, v);
+        for &l in ext.commodity_out_slice(j, v) {
+            let phi = phi[l.index()];
+            if phi <= 0.0 {
+                continue;
+            }
+            let head = ext.graph().target(l);
+            // inherited tag travels every positive-fraction link
+            if tagged[head.index()] {
+                tag = true;
+                break;
+            }
+            // improper link: routes toward non-decreasing marginal
+            let dm = marginals.node(j, head);
+            if dv <= dm && t_v > traffic_floor {
+                // sticky (eq. (18)): this iteration cannot close it
+                let excess = marginals.edge(ext, cost, state, j, l) - dv;
+                if phi >= eta * excess / t_v {
+                    tag = true;
+                    break;
+                }
+            }
+        }
+        tagged[v.index()] = tag;
+    }
+}
+
+/// Computes the blocking tags for every commodity into a caller-owned
+/// tag set (one reverse sweep per commodity, mirroring the §5 broadcast
+/// protocol). `threads == 1` is the allocation-free serial path;
+/// `threads > 1` fans the sweeps out over scoped threads.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
+pub fn compute_tags_into(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    routing: &RoutingTable,
+    state: &FlowState,
+    marginals: &Marginals,
+    eta: f64,
+    traffic_floor: f64,
+    out: &mut BlockedTags,
+    threads: usize,
+) {
+    out.reset(ext);
+    let v_count = out.v_count;
+    let j_count = ext.num_commodities();
+    let rows = out.tagged.chunks_mut(v_count.max(1));
+    if threads <= 1 || j_count <= 1 {
+        for (ji, row) in rows.enumerate() {
+            let j = CommodityId::from_index(ji);
+            tag_sweep(
+                ext,
+                cost,
+                routing.row(j),
+                state,
+                marginals,
+                eta,
+                traffic_floor,
+                j,
+                row,
+            );
+        }
+    } else {
+        let tasks: Vec<_> = rows.enumerate().collect();
+        run_commodity_tasks(threads, tasks, |(ji, row)| {
+            let j = CommodityId::from_index(ji);
+            tag_sweep(
+                ext,
+                cost,
+                routing.row(j),
+                state,
+                marginals,
+                eta,
+                traffic_floor,
+                j,
+                row,
+            );
+        });
+    }
+}
+
+/// Computes the blocking tags for every commodity (allocating wrapper
+/// over [`compute_tags_into`]).
 ///
 /// `eta` is the Γ scale factor and `traffic_floor` the threshold below
 /// which a node's traffic is treated as zero (eq. (18) divides by
@@ -88,40 +217,19 @@ pub fn compute_tags(
     eta: f64,
     traffic_floor: f64,
 ) -> BlockedTags {
-    let v_count = ext.graph().node_count();
-    let mut tagged = vec![vec![false; v_count]; ext.num_commodities()];
-    for j in ext.commodity_ids() {
-        let ji = j.index();
-        for &v in ext.topo_order(j).iter().rev() {
-            let mut tag = false;
-            let t_v = state.traffic(j, v);
-            let dv = marginals.node(j, v);
-            for l in ext.commodity_out_edges(j, v) {
-                let phi = routing.fraction(j, l);
-                if phi <= 0.0 {
-                    continue;
-                }
-                let head = ext.graph().target(l);
-                // inherited tag travels every positive-fraction link
-                if tagged[ji][head.index()] {
-                    tag = true;
-                    break;
-                }
-                // improper link: routes toward non-decreasing marginal
-                let dm = marginals.node(j, head);
-                if dv <= dm && t_v > traffic_floor {
-                    // sticky (eq. (18)): this iteration cannot close it
-                    let excess = marginals.edge(ext, cost, state, j, l) - dv;
-                    if phi >= eta * excess / t_v {
-                        tag = true;
-                        break;
-                    }
-                }
-            }
-            tagged[ji][v.index()] = tag;
-        }
-    }
-    BlockedTags { tagged }
+    let mut out = BlockedTags::none(ext);
+    compute_tags_into(
+        ext,
+        cost,
+        routing,
+        state,
+        marginals,
+        eta,
+        traffic_floor,
+        &mut out,
+        1,
+    );
+    out
 }
 
 #[cfg(test)]
@@ -237,14 +345,43 @@ mod tests {
         let rt = RoutingTable::initial(&ext);
         let mut tags = BlockedTags::none(&ext);
         // tag everything; only φ=0 edges become blocked
-        for row in &mut tags.tagged {
-            row.iter_mut().for_each(|b| *b = true);
-        }
+        tags.tagged.iter_mut().for_each(|b| *b = true);
         for v in ext.graph().nodes() {
             for l in ext.commodity_out_edges(j, v) {
                 let blocked = tags.is_blocked(&rt, j, l, &ext);
                 assert_eq!(blocked, rt.fraction(j, l) == 0.0);
             }
+        }
+    }
+
+    #[test]
+    fn into_variant_matches_fresh_for_any_thread_count() {
+        let ext = diamond();
+        let j = CommodityId::from_index(0);
+        let mut rt = RoutingTable::initial(&ext);
+        rt.set_row(
+            &ext,
+            j,
+            ext.dummy_source(j),
+            &[(ext.input_edge(j), 1.0), (ext.difference_edge(j), 0.0)],
+        );
+        let fs = compute_flows(&ext, &rt);
+        let m = compute_marginals(&ext, &cm(), &rt, &fs);
+        let reference = compute_tags(&ext, &cm(), &rt, &fs, &m, 1e-12, 1e-12);
+        let mut reused = BlockedTags::none(&ext);
+        for threads in [1, 4] {
+            compute_tags_into(
+                &ext,
+                &cm(),
+                &rt,
+                &fs,
+                &m,
+                1e-12,
+                1e-12,
+                &mut reused,
+                threads,
+            );
+            assert_eq!(reused, reference);
         }
     }
 }

@@ -37,7 +37,12 @@ impl CostModel {
     /// before `u = 1`, gentle enough not to create a new cliff.
     #[must_use]
     pub fn new(penalty: Penalty, epsilon: f64) -> Self {
-        CostModel { penalty, epsilon, wall_threshold: 0.95, wall_strength: 4.0 }
+        CostModel {
+            penalty,
+            epsilon,
+            wall_threshold: 0.95,
+            wall_strength: 4.0,
+        }
     }
 
     /// Wall penalty value at load `z` on capacity `c`.
@@ -132,8 +137,7 @@ impl CostModel {
                 let tail = ext.graph().source(l);
                 let cap = ext.capacity(tail);
                 let load = state.node_usage(tail);
-                self.epsilon * self.penalty.derivative(cap, load)
-                    + self.wall_derivative(cap, load)
+                self.epsilon * self.penalty.derivative(cap, load) + self.wall_derivative(cap, load)
             }
         }
     }
@@ -151,8 +155,7 @@ impl CostModel {
         l: EdgeId,
         downstream_marginal: f64,
     ) -> f64 {
-        self.edge_partial(ext, state, l) * ext.cost(j, l)
-            + ext.beta(j, l) * downstream_marginal
+        self.edge_partial(ext, state, l) * ext.cost(j, l) + ext.beta(j, l) * downstream_marginal
     }
 }
 
@@ -202,7 +205,10 @@ mod tests {
         assert!((cm.utility_loss(&ext, &fs) - 2.0).abs() < 1e-12);
         assert!(cm.penalty_cost(&ext, &fs) > 0.0);
         let total = cm.total_cost(&ext, &fs);
-        assert!(total > 2.0 && total < 4.0, "cost {total} should improve on rejection");
+        assert!(
+            total > 2.0 && total < 4.0,
+            "cost {total} should improve on rejection"
+        );
     }
 
     #[test]
@@ -267,7 +273,10 @@ mod tests {
             let z = 10.0 * theta + i as f64 * 0.05;
             let v = cm.wall_value(c, z);
             let d = cm.wall_derivative(c, z);
-            assert!(v >= prev_v && d >= prev_d, "wall not convex increasing at {z}");
+            assert!(
+                v >= prev_v && d >= prev_d,
+                "wall not convex increasing at {z}"
+            );
             prev_v = v;
             prev_d = d;
         }
@@ -284,7 +293,10 @@ mod tests {
             let z = 6.3 + i as f64 * 0.05; // spans the threshold
             let fd = (cm.wall_value(c, z + h) - cm.wall_value(c, z - h)) / (2.0 * h);
             let an = cm.wall_derivative(c, z);
-            assert!((fd - an).abs() < 1e-4 * (1.0 + an.abs()), "z={z}: {an} vs {fd}");
+            assert!(
+                (fd - an).abs() < 1e-4 * (1.0 + an.abs()),
+                "z={z}: {an} vs {fd}"
+            );
         }
     }
 
@@ -319,7 +331,10 @@ mod tests {
                 &ext,
                 CommodityId::from_index(0),
                 ext.dummy_source(CommodityId::from_index(0)),
-                &[(ext.input_edge(CommodityId::from_index(0)), 0.9), (diff, 0.1)],
+                &[
+                    (ext.input_edge(CommodityId::from_index(0)), 0.9),
+                    (diff, 0.1),
+                ],
             );
             rt
         };

@@ -18,39 +18,119 @@
 //!
 //! (eq. (4) is printed with `t_l` in the paper — a typo for `t_i`, as in
 //! Gallager's original formulation that the paper generalizes).
+//!
+//! Two entry points evaluate the equations: [`compute_flows`] allocates
+//! a fresh [`FlowState`], while [`compute_flows_into`] reuses the
+//! caller's state and an [`IterationWorkspace`] so the steady-state
+//! iteration performs no heap allocation, and can fan the independent
+//! per-commodity sweeps out over threads. Both produce bit-identical
+//! results for any thread count: each commodity accumulates its own
+//! `f_edge`/`f_node` partial rows, and the partials are reduced in
+//! ascending commodity order on the calling thread.
 
 use crate::routing::RoutingTable;
+use crate::workspace::IterationWorkspace;
 use spn_graph::{EdgeId, NodeId};
 use spn_model::CommodityId;
 use spn_transform::ExtendedNetwork;
 
 /// Traffic and resource-usage rates induced by a routing decision.
+///
+/// Buffers are flat and row-major (`[commodity][node-or-edge]`) so the
+/// per-commodity sweeps read and write contiguous memory and the
+/// iteration core can hand disjoint rows to worker threads.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FlowState {
-    /// `t[j][v]` — commodity-`j` traffic rate at extended node `v`
+    /// `t[j·V + v]` — commodity-`j` traffic rate at extended node `v`
     /// (in node-`v` input units), eq. (3).
-    pub t: Vec<Vec<f64>>,
-    /// `x[j][l]` — commodity-`j` input flow routed over extended edge
+    t: Vec<f64>,
+    /// `x[j·L + l]` — commodity-`j` input flow routed over extended edge
     /// `l`: `t_i(j)·φ_il(j)` (input units of the tail node).
-    pub x: Vec<Vec<f64>>,
+    x: Vec<f64>,
     /// `f_edge[l]` — total resource usage rate on edge `l` across all
     /// commodities, eq. (4).
-    pub f_edge: Vec<f64>,
+    f_edge: Vec<f64>,
     /// `f_node[v]` — total resource usage rate at node `v`, eq. (5).
-    pub f_node: Vec<f64>,
+    f_node: Vec<f64>,
+    v_count: usize,
+    l_count: usize,
 }
 
 impl FlowState {
+    /// An all-zero state sized for `ext`.
+    #[must_use]
+    pub fn zeros(ext: &ExtendedNetwork) -> Self {
+        let v_count = ext.graph().node_count();
+        let l_count = ext.graph().edge_count();
+        let j_count = ext.num_commodities();
+        FlowState {
+            t: vec![0.0; j_count * v_count],
+            x: vec![0.0; j_count * l_count],
+            f_edge: vec![0.0; l_count],
+            f_node: vec![0.0; v_count],
+            v_count,
+            l_count,
+        }
+    }
+
+    /// Builds a state from per-commodity nested rows (used by the
+    /// message-level simulator, which assembles the same quantities from
+    /// received forecasts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if row lengths are inconsistent.
+    #[must_use]
+    pub fn from_nested(t: &[Vec<f64>], x: &[Vec<f64>], f_edge: Vec<f64>, f_node: Vec<f64>) -> Self {
+        let v_count = f_node.len();
+        let l_count = f_edge.len();
+        assert_eq!(t.len(), x.len(), "t and x must have one row per commodity");
+        let mut flat_t = Vec::with_capacity(t.len() * v_count);
+        for row in t {
+            assert_eq!(row.len(), v_count, "traffic row length mismatch");
+            flat_t.extend_from_slice(row);
+        }
+        let mut flat_x = Vec::with_capacity(x.len() * l_count);
+        for row in x {
+            assert_eq!(row.len(), l_count, "edge-flow row length mismatch");
+            flat_x.extend_from_slice(row);
+        }
+        FlowState {
+            t: flat_t,
+            x: flat_x,
+            f_edge,
+            f_node,
+            v_count,
+            l_count,
+        }
+    }
+
+    /// Resizes (and zeroes) the buffers for `ext`. No-op allocation-wise
+    /// when the dimensions already match and only `fill` is needed.
+    pub(crate) fn reset(&mut self, ext: &ExtendedNetwork) {
+        self.v_count = ext.graph().node_count();
+        self.l_count = ext.graph().edge_count();
+        let j_count = ext.num_commodities();
+        self.t.clear();
+        self.t.resize(j_count * self.v_count, 0.0);
+        self.x.clear();
+        self.x.resize(j_count * self.l_count, 0.0);
+        self.f_edge.clear();
+        self.f_edge.resize(self.l_count, 0.0);
+        self.f_node.clear();
+        self.f_node.resize(self.v_count, 0.0);
+    }
+
     /// Commodity-`j` traffic rate at `v`.
     #[must_use]
     pub fn traffic(&self, j: CommodityId, v: NodeId) -> f64 {
-        self.t[j.index()][v.index()]
+        self.t[j.index() * self.v_count + v.index()]
     }
 
     /// Commodity-`j` input flow over edge `l`.
     #[must_use]
     pub fn edge_flow(&self, j: CommodityId, l: EdgeId) -> f64 {
-        self.x[j.index()][l.index()]
+        self.x[j.index() * self.l_count + l.index()]
     }
 
     /// Total resource usage on edge `l` (all commodities).
@@ -63,6 +143,19 @@ impl FlowState {
     #[must_use]
     pub fn node_usage(&self, v: NodeId) -> f64 {
         self.f_node[v.index()]
+    }
+
+    /// The full per-node usage vector `f` (extended node order).
+    #[must_use]
+    pub fn node_usages(&self) -> &[f64] {
+        &self.f_node
+    }
+
+    /// Mutable access to one traffic entry — a corruption hook for tests
+    /// that verify the balance residual flags inconsistent states.
+    #[doc(hidden)]
+    pub fn traffic_mut(&mut self, j: CommodityId, v: NodeId) -> &mut f64 {
+        &mut self.t[j.index() * self.v_count + v.index()]
     }
 
     /// Admitted rate `a_j`: the flow on the dummy input link.
@@ -90,68 +183,145 @@ impl FlowState {
     }
 }
 
+/// One commodity's forward sweep of eqs. (3)–(5): fills the traffic row
+/// `t`, the edge-flow row `x`, and the commodity's *partial* resource
+/// usage rows. `phi` is the commodity's fraction row (indexed once per
+/// edge — the routing table's nested lookup is too hot here). All rows
+/// are caller-zeroed and disjoint per commodity, so the sweeps for
+/// different commodities can run on different threads.
+fn flow_sweep(
+    ext: &ExtendedNetwork,
+    phi: &[f64],
+    j: CommodityId,
+    t: &mut [f64],
+    x: &mut [f64],
+    f_edge: &mut [f64],
+    f_node: &mut [f64],
+) {
+    t[ext.dummy_source(j).index()] = ext.commodity(j).max_rate;
+    for &v in ext.topo_order(j) {
+        let tv = t[v.index()];
+        if tv == 0.0 {
+            continue;
+        }
+        for &l in ext.commodity_out_slice(j, v) {
+            let phi = phi[l.index()];
+            if phi == 0.0 {
+                continue;
+            }
+            let flow = tv * phi;
+            x[l.index()] = flow;
+            let usage = flow * ext.cost(j, l);
+            f_edge[l.index()] += usage;
+            f_node[v.index()] += usage;
+            t[ext.graph().target(l).index()] += flow * ext.beta(j, l);
+        }
+    }
+}
+
+/// Evaluates eqs. (3)–(5) into caller-owned buffers.
+///
+/// `threads == 1` runs the per-commodity sweeps serially with no heap
+/// allocation; `threads > 1` fans them out over a scoped thread pool.
+/// Results are bit-identical either way: every commodity writes its own
+/// rows, and the per-commodity `f_edge`/`f_node` partials are reduced in
+/// ascending commodity order on the calling thread (each partial entry
+/// is a complete per-commodity sum, so the reduction order is the only
+/// order there is).
+pub fn compute_flows_into(
+    ext: &ExtendedNetwork,
+    routing: &RoutingTable,
+    state: &mut FlowState,
+    ws: &mut IterationWorkspace,
+    threads: usize,
+) {
+    state.reset(ext);
+    ws.ensure(ext);
+    let v_count = state.v_count;
+    let l_count = state.l_count;
+    let j_count = ext.num_commodities();
+    ws.f_edge_part.fill(0.0);
+    ws.f_node_part.fill(0.0);
+
+    {
+        let t_rows = state.t.chunks_mut(v_count.max(1));
+        let x_rows = state.x.chunks_mut(l_count.max(1));
+        let fe_rows = ws.f_edge_part.chunks_mut(l_count.max(1));
+        let fn_rows = ws.f_node_part.chunks_mut(v_count.max(1));
+        if threads <= 1 || j_count <= 1 {
+            for (ji, ((t, x), (fe, fnode))) in
+                t_rows.zip(x_rows).zip(fe_rows.zip(fn_rows)).enumerate()
+            {
+                let j = CommodityId::from_index(ji);
+                flow_sweep(ext, routing.row(j), j, t, x, fe, fnode);
+            }
+        } else {
+            let tasks: Vec<_> = t_rows
+                .zip(x_rows)
+                .zip(fe_rows.zip(fn_rows))
+                .enumerate()
+                .map(|(ji, ((t, x), (fe, fnode)))| (ji, t, x, fe, fnode))
+                .collect();
+            crate::workspace::run_commodity_tasks(threads, tasks, |(ji, t, x, fe, fnode)| {
+                let j = CommodityId::from_index(ji);
+                flow_sweep(ext, routing.row(j), j, t, x, fe, fnode);
+            });
+        }
+    }
+
+    for ji in 0..j_count {
+        let fe = &ws.f_edge_part[ji * l_count..(ji + 1) * l_count];
+        for (acc, &p) in state.f_edge.iter_mut().zip(fe) {
+            *acc += p;
+        }
+        let fnode = &ws.f_node_part[ji * v_count..(ji + 1) * v_count];
+        for (acc, &p) in state.f_node.iter_mut().zip(fnode) {
+            *acc += p;
+        }
+    }
+}
+
 /// Evaluates eqs. (3)–(5) for the given routing decision.
 ///
 /// The offered load is the paper's `r`: commodity `j` arrives at its
 /// dummy source at the fixed rate `λ_j` (eq. (2)); all other external
-/// inputs are zero.
+/// inputs are zero. Allocating convenience wrapper over
+/// [`compute_flows_into`].
 #[must_use]
 pub fn compute_flows(ext: &ExtendedNetwork, routing: &RoutingTable) -> FlowState {
-    let v_count = ext.graph().node_count();
-    let l_count = ext.graph().edge_count();
-    let j_count = ext.num_commodities();
-    let mut t = vec![vec![0.0; v_count]; j_count];
-    let mut x = vec![vec![0.0; l_count]; j_count];
-    let mut f_edge = vec![0.0; l_count];
-    let mut f_node = vec![0.0; v_count];
-
-    for j in ext.commodity_ids() {
-        let ji = j.index();
-        t[ji][ext.dummy_source(j).index()] = ext.commodity(j).max_rate;
-        for &v in ext.topo_order(j) {
-            let tv = t[ji][v.index()];
-            if tv == 0.0 {
-                continue;
-            }
-            for l in ext.commodity_out_edges(j, v) {
-                let phi = routing.fraction(j, l);
-                if phi == 0.0 {
-                    continue;
-                }
-                let flow = tv * phi;
-                x[ji][l.index()] = flow;
-                let usage = flow * ext.cost(j, l);
-                f_edge[l.index()] += usage;
-                f_node[v.index()] += usage;
-                t[ji][ext.graph().target(l).index()] += flow * ext.beta(j, l);
-            }
-        }
-    }
-    FlowState { t, x, f_edge, f_node }
+    let mut state = FlowState::zeros(ext);
+    let mut ws = IterationWorkspace::new(ext);
+    compute_flows_into(ext, routing, &mut state, &mut ws, 1);
+    state
 }
 
 /// Maximum absolute flow-balance residual of eq. (3) over all
 /// commodities and nodes — a verification helper used by tests and
 /// debug assertions (`compute_flows` satisfies it by construction; the
-/// solver's outputs are checked against the same residual).
+/// solver's outputs are checked against the same residual). Pure
+/// iterator reductions: no per-call collections.
 #[must_use]
 pub fn balance_residual(ext: &ExtendedNetwork, routing: &RoutingTable, state: &FlowState) -> f64 {
     let mut worst: f64 = 0.0;
     for j in ext.commodity_ids() {
-        let ji = j.index();
         for v in ext.graph().nodes() {
             if v == ext.commodity(j).sink() {
                 continue;
             }
-            let r = if v == ext.dummy_source(j) { ext.commodity(j).max_rate } else { 0.0 };
+            let r = if v == ext.dummy_source(j) {
+                ext.commodity(j).max_rate
+            } else {
+                0.0
+            };
             let inflow: f64 = ext
-                .commodity_in_edges(j, v)
-                .map(|l| {
+                .commodity_in_slice(j, v)
+                .iter()
+                .map(|&l| {
                     let tail = ext.graph().source(l);
-                    state.t[ji][tail.index()] * routing.fraction(j, l) * ext.beta(j, l)
+                    state.traffic(j, tail) * routing.fraction(j, l) * ext.beta(j, l)
                 })
                 .sum();
-            let residual = (state.t[ji][v.index()] - r - inflow).abs();
+            let residual = (state.traffic(j, v) - r - inflow).abs();
             worst = worst.max(residual);
         }
     }
@@ -182,7 +352,12 @@ mod tests {
         let mut rt = RoutingTable::initial(ext);
         for j in ext.commodity_ids() {
             let dummy = ext.dummy_source(j);
-            rt.set_row(ext, j, dummy, &[(ext.input_edge(j), 1.0), (ext.difference_edge(j), 0.0)]);
+            rt.set_row(
+                ext,
+                j,
+                dummy,
+                &[(ext.input_edge(j), 1.0), (ext.difference_edge(j), 0.0)],
+            );
         }
         rt
     }
@@ -278,8 +453,24 @@ mod tests {
         let rt = fully_admitting(&ext);
         let mut fs = compute_flows(&ext, &rt);
         assert!(balance_residual(&ext, &rt, &fs) < 1e-12);
-        fs.t[0][1] += 1.0;
+        *fs.traffic_mut(CommodityId::from_index(0), spn_graph::NodeId::from_index(1)) += 1.0;
         assert!(balance_residual(&ext, &rt, &fs) > 0.5);
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers_bit_identically() {
+        let ext = chain_ext();
+        let rt = fully_admitting(&ext);
+        let reference = compute_flows(&ext, &rt);
+        let mut state = FlowState::zeros(&ext);
+        let mut ws = IterationWorkspace::new(&ext);
+        for _ in 0..3 {
+            compute_flows_into(&ext, &rt, &mut state, &mut ws, 1);
+            assert_eq!(state, reference);
+        }
+        // a scoped-parallel pass over the same buffers matches exactly
+        compute_flows_into(&ext, &rt, &mut state, &mut ws, 4);
+        assert_eq!(state, reference);
     }
 
     #[test]

@@ -14,12 +14,25 @@
 //! `Δ_ik(j)·t_i(j)`; when `t_i(j) = 0` the fraction can move freely, so
 //! (following Gallager's convention) the node routes everything to the
 //! current best link.
+//!
+//! All entry points share one row computation ([`gamma_row_into`],
+//! private) so their numerics are identical: [`apply_gamma_ws`] is the
+//! zero-allocation, optionally-parallel path driven by
+//! [`GradientAlgorithm`](crate::GradientAlgorithm);
+//! [`apply_gamma_selective`] is the serial path the message-level
+//! simulator schedules partial updates through; [`gamma_row`] exposes a
+//! single row for inspection. A commodity only ever reads and writes
+//! its own fraction row, so the per-commodity updates are independent
+//! and `apply_gamma_ws` produces bit-identical tables for every thread
+//! count (Γ statistics are likewise accumulated per commodity and
+//! reduced in ascending commodity order).
 
 use crate::blocked::BlockedTags;
 use crate::cost::CostModel;
 use crate::flows::FlowState;
 use crate::marginals::Marginals;
-use crate::routing::RoutingTable;
+use crate::routing::{apply_row, RoutingTable};
+use crate::workspace::{run_commodity_tasks, GammaLane, IterationWorkspace};
 use spn_graph::{EdgeId, NodeId};
 use spn_model::CommodityId;
 use spn_transform::ExtendedNetwork;
@@ -33,6 +46,102 @@ pub struct GammaStats {
     pub total_shift: f64,
     /// Number of (node, commodity) rows updated.
     pub rows: usize,
+}
+
+/// Computes the new routing row for one `(commodity, router)` pair into
+/// `lane.row` (unapplied) and returns `(max_shift, total_shift)`.
+///
+/// `phi` is the commodity-`j` fraction row — the only part of the
+/// routing table Γ reads, which is what makes the per-commodity updates
+/// thread-independent. The single numeric source of truth for every Γ
+/// entry point.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
+fn gamma_row_into(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    phi: &[f64],
+    state: &FlowState,
+    marginals: &Marginals,
+    tags: &BlockedTags,
+    eta: f64,
+    traffic_floor: f64,
+    opening_floor: f64,
+    shift_cap: f64,
+    j: CommodityId,
+    i: NodeId,
+    lane: &mut GammaLane,
+) -> (f64, f64) {
+    let edges = ext.commodity_out_slice(j, i);
+    debug_assert!(!edges.is_empty(), "gamma_row called on a non-router");
+    lane.row.clear();
+    if edges.len() == 1 {
+        lane.row.push((edges[0], 1.0));
+        return (0.0, 0.0);
+    }
+
+    lane.m.clear();
+    lane.blocked.clear();
+    for &l in edges {
+        lane.m.push(marginals.edge(ext, cost, state, j, l));
+        // eq. (14): blocked ⇔ φ = 0 and the head's broadcast was tagged
+        lane.blocked
+            .push(phi[l.index()] == 0.0 && tags.is_tagged(j, ext.graph().target(l)));
+    }
+
+    // Best (minimum-marginal) unblocked link; k(i, j) in the paper.
+    // At least one link is unblocked: blocked links have φ = 0 and the
+    // row sums to one.
+    let best = (0..edges.len())
+        .filter(|&idx| !lane.blocked[idx])
+        .min_by(|&a, &b| lane.m[a].total_cmp(&lane.m[b]))
+        .expect("at least one unblocked out-edge");
+
+    // Gallager's convention routes everything to the best link when
+    // t_i(j) = 0 (the fraction is then free to move without changing
+    // any link traffic). Taken literally this is violently unstable in
+    // capacitated networks: an idle low-capacity path advertises a tiny
+    // marginal, the instant full reroute floods it, and the barrier
+    // explosion then crashes admission. We instead rate-limit the
+    // opening by flooring the divisor at `opening_floor` (a small
+    // fraction of λ_j, see GradientConfig::opening_fraction); with a
+    // floor of zero the literal snap behaviour is restored.
+    let t_raw = state.traffic(j, i);
+    let t_i = t_raw.max(opening_floor);
+    if t_i <= traffic_floor {
+        // No traffic and no floor: route everything to the best link.
+        let old_best = phi[edges[best].index()];
+        let shift = 1.0 - old_best;
+        for (idx, &l) in edges.iter().enumerate() {
+            lane.row.push((l, if idx == best { 1.0 } else { 0.0 }));
+        }
+        return (shift, shift);
+    }
+
+    let m_min = lane.m[best];
+    let mut collected = 0.0;
+    let mut max_shift: f64 = 0.0;
+    for (idx, &l) in edges.iter().enumerate() {
+        if idx == best {
+            continue;
+        }
+        if lane.blocked[idx] {
+            lane.row.push((l, 0.0)); // eq. (14)
+            continue;
+        }
+        let f = phi[l.index()];
+        let a = (lane.m[idx] - m_min).max(0.0);
+        // eq. (16), with the per-iteration movement additionally capped
+        // at `shift_cap`: near a barrier the marginal excess `a` is
+        // unbounded, and an uncapped Δ saturates at φ — a one-step full
+        // reroute that floods the alternative path and oscillates.
+        let delta = f.min(eta * a / t_i).min(shift_cap);
+        collected += delta;
+        max_shift = max_shift.max(delta);
+        lane.row.push((l, f - delta)); // eq. (17), k ≠ k(i,j)
+    }
+    lane.row
+        .push((edges[best], phi[edges[best].index()] + collected));
+    (max_shift, collected)
 }
 
 /// Computes the new routing row for one `(commodity, router)` pair
@@ -53,77 +162,146 @@ pub fn gamma_row(
     j: CommodityId,
     i: NodeId,
 ) -> (Vec<(EdgeId, f64)>, f64, f64) {
-    let edges: Vec<EdgeId> = ext.commodity_out_edges(j, i).collect();
-    debug_assert!(!edges.is_empty(), "gamma_row called on a non-router");
-    if edges.len() == 1 {
-        return (vec![(edges[0], 1.0)], 0.0, 0.0);
+    let mut lane = GammaLane::default();
+    let (max_shift, total) = gamma_row_into(
+        ext,
+        cost,
+        routing.row(j),
+        state,
+        marginals,
+        tags,
+        eta,
+        traffic_floor,
+        opening_floor,
+        shift_cap,
+        j,
+        i,
+        &mut lane,
+    );
+    (lane.row, max_shift, total)
+}
+
+/// One commodity's full Γ pass over its routers, applied in place to
+/// its fraction row. Statistics land in `stat` (`max_shift`,
+/// `total_shift`, `rows`) for the caller's ordered reduction.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
+fn gamma_commodity(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    state: &FlowState,
+    marginals: &Marginals,
+    tags: &BlockedTags,
+    eta: f64,
+    traffic_floor: f64,
+    opening_fraction: f64,
+    shift_cap: f64,
+    j: CommodityId,
+    phi: &mut [f64],
+    lane: &mut GammaLane,
+    stat: &mut (f64, f64, usize),
+) {
+    *stat = (0.0, 0.0, 0);
+    let opening_floor = opening_fraction * ext.commodity(j).max_rate;
+    for &i in ext.commodity_routers(j) {
+        let (max_shift, total) = gamma_row_into(
+            ext,
+            cost,
+            phi,
+            state,
+            marginals,
+            tags,
+            eta,
+            traffic_floor,
+            opening_floor,
+            shift_cap,
+            j,
+            i,
+            lane,
+        );
+        apply_row(phi, ext, j, i, &lane.row);
+        stat.0 = stat.0.max(max_shift);
+        stat.1 += total;
+        stat.2 += 1;
     }
+}
 
-    let m: Vec<f64> = edges
-        .iter()
-        .map(|&l| marginals.edge(ext, cost, state, j, l))
-        .collect();
-    let blocked: Vec<bool> = edges.iter().map(|&l| tags.is_blocked(routing, j, l, ext)).collect();
-
-    // Best (minimum-marginal) unblocked link; k(i, j) in the paper.
-    // At least one link is unblocked: blocked links have φ = 0 and the
-    // row sums to one.
-    let best = edges
-        .iter()
-        .enumerate()
-        .filter(|&(idx, _)| !blocked[idx])
-        .min_by(|a, b| m[a.0].total_cmp(&m[b.0]))
-        .map(|(idx, _)| idx)
-        .expect("at least one unblocked out-edge");
-
-    // Gallager's convention routes everything to the best link when
-    // t_i(j) = 0 (the fraction is then free to move without changing
-    // any link traffic). Taken literally this is violently unstable in
-    // capacitated networks: an idle low-capacity path advertises a tiny
-    // marginal, the instant full reroute floods it, and the barrier
-    // explosion then crashes admission. We instead rate-limit the
-    // opening by flooring the divisor at `opening_floor` (a small
-    // fraction of λ_j, see GradientConfig::opening_fraction); with a
-    // floor of zero the literal snap behaviour is restored.
-    let t_raw = state.traffic(j, i);
-    let t_i = t_raw.max(opening_floor);
-    if t_i <= traffic_floor {
-        // No traffic and no floor: route everything to the best link.
-        let old_best = routing.fraction(j, edges[best]);
-        let shift = 1.0 - old_best;
-        let row = edges
-            .iter()
-            .enumerate()
-            .map(|(idx, &l)| (l, if idx == best { 1.0 } else { 0.0 }))
-            .collect();
-        return (row, shift, shift);
-    }
-
-    let m_min = m[best];
-    let mut collected = 0.0;
-    let mut max_shift: f64 = 0.0;
-    let mut row = Vec::with_capacity(edges.len());
-    for (idx, &l) in edges.iter().enumerate() {
-        if idx == best {
-            continue;
+/// Applies Γ to every `(commodity, router)` pair through the reusable
+/// workspace: no heap allocation at `threads == 1`, per-commodity
+/// fan-out over scoped threads at `threads > 1`, identical routing
+/// tables either way. All rows are computed against the *pre-update*
+/// marginals and flows, matching the synchronous protocol of §5.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
+pub fn apply_gamma_ws(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    routing: &mut RoutingTable,
+    state: &FlowState,
+    marginals: &Marginals,
+    tags: &BlockedTags,
+    eta: f64,
+    traffic_floor: f64,
+    opening_fraction: f64,
+    shift_cap: f64,
+    ws: &mut IterationWorkspace,
+    threads: usize,
+) -> GammaStats {
+    ws.ensure(ext);
+    let j_count = ext.num_commodities();
+    {
+        let rows = routing.rows_mut();
+        let items = rows
+            .iter_mut()
+            .zip(&mut ws.lanes)
+            .zip(&mut ws.stats)
+            .enumerate();
+        if threads <= 1 || j_count <= 1 {
+            for (ji, ((phi, lane), stat)) in items {
+                gamma_commodity(
+                    ext,
+                    cost,
+                    state,
+                    marginals,
+                    tags,
+                    eta,
+                    traffic_floor,
+                    opening_fraction,
+                    shift_cap,
+                    CommodityId::from_index(ji),
+                    phi,
+                    lane,
+                    stat,
+                );
+            }
+        } else {
+            let tasks: Vec<_> = items
+                .map(|(ji, ((phi, lane), stat))| (ji, phi, lane, stat))
+                .collect();
+            run_commodity_tasks(threads, tasks, |(ji, phi, lane, stat)| {
+                gamma_commodity(
+                    ext,
+                    cost,
+                    state,
+                    marginals,
+                    tags,
+                    eta,
+                    traffic_floor,
+                    opening_fraction,
+                    shift_cap,
+                    CommodityId::from_index(ji),
+                    phi,
+                    lane,
+                    stat,
+                );
+            });
         }
-        if blocked[idx] {
-            row.push((l, 0.0)); // eq. (14)
-            continue;
-        }
-        let phi = routing.fraction(j, l);
-        let a = (m[idx] - m_min).max(0.0);
-        // eq. (16), with the per-iteration movement additionally capped
-        // at `shift_cap`: near a barrier the marginal excess `a` is
-        // unbounded, and an uncapped Δ saturates at φ — a one-step full
-        // reroute that floods the alternative path and oscillates.
-        let delta = phi.min(eta * a / t_i).min(shift_cap);
-        collected += delta;
-        max_shift = max_shift.max(delta);
-        row.push((l, phi - delta)); // eq. (17), k ≠ k(i,j)
     }
-    row.push((edges[best], routing.fraction(j, edges[best]) + collected));
-    (row, max_shift, collected)
+    let mut stats = GammaStats::default();
+    for &(max_shift, total, rows) in &ws.stats {
+        stats.max_shift = stats.max_shift.max(max_shift);
+        stats.total_shift += total;
+        stats.rows += rows;
+    }
+    stats
 }
 
 /// Applies Γ to every `(commodity, router)` pair, mutating `routing` in
@@ -183,18 +361,29 @@ where
     F: FnMut(CommodityId, NodeId) -> bool,
 {
     let mut stats = GammaStats::default();
+    let mut lane = GammaLane::default();
     for j in ext.commodity_ids() {
         let opening_floor = opening_fraction * ext.commodity(j).max_rate;
-        let routers: Vec<NodeId> = routing.routers(ext, j).collect();
-        for i in routers {
+        for &i in ext.commodity_routers(j) {
             if !participates(j, i) {
                 continue;
             }
-            let (row, max_shift, total) = gamma_row(
-                ext, cost, routing, state, marginals, tags, eta, traffic_floor, opening_floor,
-                shift_cap, j, i,
+            let (max_shift, total) = gamma_row_into(
+                ext,
+                cost,
+                routing.row(j),
+                state,
+                marginals,
+                tags,
+                eta,
+                traffic_floor,
+                opening_floor,
+                shift_cap,
+                j,
+                i,
+                &mut lane,
             );
-            routing.set_row(ext, j, i, &row);
+            routing.set_row(ext, j, i, &lane.row);
             stats.max_shift = stats.max_shift.max(max_shift);
             stats.total_shift += total;
             stats.rows += 1;
@@ -320,7 +509,18 @@ mod tests {
         // bandwidth nodes have exactly one commodity out-edge
         let bw = spn_graph::NodeId::from_index(4); // first bandwidth node
         let (row, max_s, tot) = gamma_row(
-            &ext, &cm(), &rt, &fs, &m, &tags, 0.04, 1e-12, 0.0, 1.0, j, bw,
+            &ext,
+            &cm(),
+            &rt,
+            &fs,
+            &m,
+            &tags,
+            0.04,
+            1e-12,
+            0.0,
+            1.0,
+            j,
+            bw,
         );
         assert_eq!(row.len(), 1);
         assert_eq!(row[0].1, 1.0);
@@ -361,5 +561,46 @@ mod tests {
         assert!(stats.total_shift > 0.0);
         assert!(stats.max_shift > 0.0);
         assert!(stats.max_shift <= stats.total_shift + 1e-15);
+    }
+
+    #[test]
+    fn ws_path_matches_selective_bitwise() {
+        let ext = lopsided();
+        let fs_rt = mid_admission(&ext);
+        let fs = compute_flows(&ext, &fs_rt);
+        let m = compute_marginals(&ext, &cm(), &fs_rt, &fs);
+        let tags = BlockedTags::none(&ext);
+        let mut reference = fs_rt.clone();
+        apply_gamma(
+            &ext,
+            &cm(),
+            &mut reference,
+            &fs,
+            &m,
+            &tags,
+            0.5,
+            1e-12,
+            0.05,
+            0.02,
+        );
+        let mut ws = IterationWorkspace::new(&ext);
+        for threads in [1, 4] {
+            let mut rt = fs_rt.clone();
+            apply_gamma_ws(
+                &ext,
+                &cm(),
+                &mut rt,
+                &fs,
+                &m,
+                &tags,
+                0.5,
+                1e-12,
+                0.05,
+                0.02,
+                &mut ws,
+                threads,
+            );
+            assert_eq!(rt, reference, "ws path diverged at threads={threads}");
+        }
     }
 }

@@ -48,6 +48,7 @@ pub mod marginals;
 pub mod metrics;
 pub mod newton;
 pub mod routing;
+pub mod workspace;
 
 pub use algorithm::{ConfigError, GradientAlgorithm, GradientConfig, Report, StepStats};
 pub use cost::CostModel;
@@ -55,3 +56,4 @@ pub use flows::FlowState;
 pub use marginals::Marginals;
 pub use newton::NewtonGradient;
 pub use routing::RoutingTable;
+pub use workspace::IterationWorkspace;

@@ -11,34 +11,69 @@
 //! its own; here (the synchronous in-process driver) that wave is one
 //! sweep over the commodity's reverse topological order. The
 //! message-level version of the same computation lives in `spn-sim`.
+//!
+//! [`compute_marginals_into`] reuses the caller's buffer (no heap
+//! allocation once warm) and can run the independent per-commodity
+//! sweeps on scoped threads; [`compute_marginals`] is the allocating
+//! convenience wrapper. Each commodity writes only its own row, so the
+//! result is bit-identical for any thread count.
 
 use crate::cost::CostModel;
 use crate::flows::FlowState;
 use crate::routing::RoutingTable;
+use crate::workspace::run_commodity_tasks;
 use spn_graph::{EdgeId, NodeId};
 use spn_model::CommodityId;
 use spn_transform::ExtendedNetwork;
 
-/// Per-commodity, per-node marginal costs `∂A/∂r_i(j)`.
+/// Per-commodity, per-node marginal costs `∂A/∂r_i(j)`, stored as one
+/// flat row-major buffer (`d[j·V + v]`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Marginals {
-    /// `d[j][v] = ∂A/∂r_v(j)`.
-    d: Vec<Vec<f64>>,
+    d: Vec<f64>,
+    v_count: usize,
 }
 
 impl Marginals {
+    /// An all-zero marginal set sized for `ext`.
+    #[must_use]
+    pub fn zeros(ext: &ExtendedNetwork) -> Self {
+        let v_count = ext.graph().node_count();
+        Marginals {
+            d: vec![0.0; ext.num_commodities() * v_count],
+            v_count,
+        }
+    }
+
     /// Builds marginals from raw per-commodity per-node values (used by
     /// the message-level simulator, which computes the same quantities
     /// from received broadcasts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-commodity rows have unequal lengths.
     #[must_use]
-    pub fn from_raw(d: Vec<Vec<f64>>) -> Self {
-        Marginals { d }
+    pub fn from_raw(rows: Vec<Vec<f64>>) -> Self {
+        let v_count = rows.first().map_or(0, Vec::len);
+        let mut d = Vec::with_capacity(rows.len() * v_count);
+        for row in &rows {
+            assert_eq!(row.len(), v_count, "marginal row length mismatch");
+            d.extend_from_slice(row);
+        }
+        Marginals { d, v_count }
+    }
+
+    /// Resizes (and zeroes) the buffer for `ext`.
+    pub(crate) fn reset(&mut self, ext: &ExtendedNetwork) {
+        self.v_count = ext.graph().node_count();
+        self.d.clear();
+        self.d.resize(ext.num_commodities() * self.v_count, 0.0);
     }
 
     /// `∂A/∂r_v(j)`.
     #[must_use]
     pub fn node(&self, j: CommodityId, v: NodeId) -> f64 {
-        self.d[j.index()][v.index()]
+        self.d[j.index() * self.v_count + v.index()]
     }
 
     /// The bracketed per-link marginal of eqs. (9)/(10) for edge
@@ -58,8 +93,68 @@ impl Marginals {
     }
 }
 
+/// One commodity's reverse sweep of eq. (9), writing its row `d`
+/// (caller-zeroed; the sink entry stays 0 by convention). `phi` is the
+/// commodity's fraction row, indexed directly in the inner loop.
+fn marginal_sweep(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    phi: &[f64],
+    state: &FlowState,
+    j: CommodityId,
+    d: &mut [f64],
+) {
+    let sink = ext.commodity(j).sink();
+    for &v in ext.topo_order(j).iter().rev() {
+        if v == sink {
+            continue; // stays 0
+        }
+        let mut acc = 0.0;
+        for &l in ext.commodity_out_slice(j, v) {
+            let phi = phi[l.index()];
+            if phi == 0.0 {
+                continue;
+            }
+            let head = ext.graph().target(l);
+            acc += phi * cost.edge_marginal(ext, state, j, l, d[head.index()]);
+        }
+        d[v.index()] = acc;
+    }
+}
+
+/// Runs the marginal-cost wave for every commodity into a caller-owned
+/// buffer. `threads == 1` is the allocation-free serial path;
+/// `threads > 1` fans the per-commodity sweeps out over scoped threads
+/// (rows are disjoint, so results are identical either way).
+pub fn compute_marginals_into(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    routing: &RoutingTable,
+    state: &FlowState,
+    out: &mut Marginals,
+    threads: usize,
+) {
+    out.reset(ext);
+    let v_count = out.v_count;
+    let j_count = ext.num_commodities();
+    let rows = out.d.chunks_mut(v_count.max(1));
+    if threads <= 1 || j_count <= 1 {
+        for (ji, d) in rows.enumerate() {
+            let j = CommodityId::from_index(ji);
+            marginal_sweep(ext, cost, routing.row(j), state, j, d);
+        }
+    } else {
+        let tasks: Vec<_> = rows.enumerate().collect();
+        run_commodity_tasks(threads, tasks, |(ji, d)| {
+            let j = CommodityId::from_index(ji);
+            marginal_sweep(ext, cost, routing.row(j), state, j, d);
+        });
+    }
+}
+
 /// Runs the marginal-cost wave for every commodity (eq. (9), sink
-/// convention `∂A/∂r_j(j) = 0`).
+/// convention `∂A/∂r_j(j) = 0`). Allocating wrapper over
+/// [`compute_marginals_into`].
 #[must_use]
 pub fn compute_marginals(
     ext: &ExtendedNetwork,
@@ -67,28 +162,9 @@ pub fn compute_marginals(
     routing: &RoutingTable,
     state: &FlowState,
 ) -> Marginals {
-    let v_count = ext.graph().node_count();
-    let mut d = vec![vec![0.0; v_count]; ext.num_commodities()];
-    for j in ext.commodity_ids() {
-        let ji = j.index();
-        let sink = ext.commodity(j).sink();
-        for &v in ext.topo_order(j).iter().rev() {
-            if v == sink {
-                continue; // stays 0
-            }
-            let mut acc = 0.0;
-            for l in ext.commodity_out_edges(j, v) {
-                let phi = routing.fraction(j, l);
-                if phi == 0.0 {
-                    continue;
-                }
-                let head = ext.graph().target(l);
-                acc += phi * cost.edge_marginal(ext, state, j, l, d[ji][head.index()]);
-            }
-            d[ji][v.index()] = acc;
-        }
-    }
-    Marginals { d }
+    let mut out = Marginals::zeros(ext);
+    compute_marginals_into(ext, cost, routing, state, &mut out, 1);
+    out
 }
 
 /// Numerically verifies eq. (9) at one node by finite differences:
@@ -138,7 +214,7 @@ pub fn finite_difference_marginal(
                 }
             }
         }
-        let state = FlowState { t, x, f_edge, f_node };
+        let state = FlowState::from_nested(&t, &x, f_edge, f_node);
         cost.total_cost(ext, &state)
     };
     (eval(h) - eval(-h)) / (2.0 * h)
@@ -278,6 +354,20 @@ mod tests {
             let em = m.edge(&ext, &cost, &fs, j, l);
             assert!(em.is_finite());
             assert!(em >= 0.0);
+        }
+    }
+
+    #[test]
+    fn into_variant_matches_fresh_for_any_thread_count() {
+        let ext = diamond();
+        let rt = admitting_split(&ext);
+        let fs = compute_flows(&ext, &rt);
+        let cost = cm();
+        let reference = compute_marginals(&ext, &cost, &rt, &fs);
+        let mut reused = Marginals::zeros(&ext);
+        for threads in [1, 4] {
+            compute_marginals_into(&ext, &cost, &rt, &fs, &mut reused, threads);
+            assert_eq!(reused, reference);
         }
     }
 }

@@ -89,8 +89,7 @@ pub fn compute_curvatures(
                 let c = ext.cost(j, l);
                 let b = ext.beta(j, l);
                 acc += phi
-                    * (c * c * edge_curvature(ext, cost, state, l)
-                        + b * b * h[ji][head.index()]);
+                    * (c * c * edge_curvature(ext, cost, state, l) + b * b * h[ji][head.index()]);
             }
             h[ji][v.index()] = acc;
         }
@@ -166,14 +165,7 @@ impl NewtonGradient {
             let opening_floor = self.config.opening_fraction * self.ext.commodity(j).max_rate;
             let routers: Vec<NodeId> = self.routing.routers(&self.ext, j).collect();
             for i in routers {
-                let row = self.newton_row(
-                    &marginals,
-                    &curvatures,
-                    &tags,
-                    opening_floor,
-                    j,
-                    i,
-                );
+                let row = self.newton_row(&marginals, &curvatures, &tags, opening_floor, j, i);
                 self.routing.set_row(&self.ext, j, i, &row);
             }
         }
@@ -199,8 +191,10 @@ impl NewtonGradient {
             .iter()
             .map(|&l| marginals.edge(ext, &self.cost, &self.state, j, l))
             .collect();
-        let blocked: Vec<bool> =
-            edges.iter().map(|&l| tags.is_blocked(&self.routing, j, l, ext)).collect();
+        let blocked: Vec<bool> = edges
+            .iter()
+            .map(|&l| tags.is_blocked(&self.routing, j, l, ext))
+            .collect();
         let best = edges
             .iter()
             .enumerate()
@@ -242,7 +236,10 @@ impl NewtonGradient {
             collected += delta;
             row.push((l, phi - delta));
         }
-        row.push((edges[best], self.routing.fraction(j, edges[best]) + collected));
+        row.push((
+            edges[best],
+            self.routing.fraction(j, edges[best]) + collected,
+        ));
         row
     }
 
@@ -251,7 +248,12 @@ impl NewtonGradient {
     pub fn utility(&self) -> f64 {
         self.ext
             .commodity_ids()
-            .map(|j| self.ext.commodity(j).utility.value(self.state.admitted(&self.ext, j)))
+            .map(|j| {
+                self.ext
+                    .commodity(j)
+                    .utility
+                    .value(self.state.admitted(&self.ext, j))
+            })
             .sum()
     }
 
@@ -280,7 +282,13 @@ mod tests {
     use spn_model::random::RandomInstance;
 
     fn instance() -> Problem {
-        RandomInstance::builder().nodes(16).commodities(2).seed(4).build().unwrap().problem
+        RandomInstance::builder()
+            .nodes(16)
+            .commodities(2)
+            .seed(4)
+            .build()
+            .unwrap()
+            .problem
     }
 
     #[test]
@@ -293,14 +301,20 @@ mod tests {
             for v in alg.extended().graph().nodes() {
                 assert!(h[j.index()][v.index()] >= 0.0);
             }
-            assert_eq!(h[j.index()][alg.extended().commodity(j).sink().index()], 0.0);
+            assert_eq!(
+                h[j.index()][alg.extended().commodity(j).sink().index()],
+                0.0
+            );
         }
     }
 
     #[test]
     fn newton_converges_and_stays_valid() {
         let p = instance();
-        let cfg = GradientConfig { eta: 0.5, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            eta: 0.5,
+            ..GradientConfig::default()
+        };
         let mut alg = NewtonGradient::new(&p, cfg, 1e-6).unwrap();
         for _ in 0..2000 {
             alg.step();
@@ -312,9 +326,11 @@ mod tests {
     #[test]
     fn newton_tracks_fixed_eta_quality() {
         let p = instance();
-        let mut fixed =
-            crate::GradientAlgorithm::new(&p, GradientConfig::default()).unwrap();
-        let newton_cfg = GradientConfig { eta: 0.5, ..GradientConfig::default() };
+        let mut fixed = crate::GradientAlgorithm::new(&p, GradientConfig::default()).unwrap();
+        let newton_cfg = GradientConfig {
+            eta: 0.5,
+            ..GradientConfig::default()
+        };
         let mut newton = NewtonGradient::new(&p, newton_cfg, 1e-6).unwrap();
         let fixed_final = fixed.run(6000).utility;
         for _ in 0..6000 {

@@ -79,33 +79,38 @@ impl RoutingTable {
     ///
     /// Panics if the total mass is not positive (a router must forward
     /// somewhere).
-    pub fn set_row(&mut self, ext: &ExtendedNetwork, j: CommodityId, v: NodeId, row: &[(EdgeId, f64)]) {
-        let mut total = 0.0;
-        for &(_, f) in row {
-            debug_assert!(f > -FRACTION_TOLERANCE, "fraction {f} significantly negative");
-            total += f.max(0.0);
-        }
-        assert!(total > 0.0, "router {v} for {j} must keep positive total mass");
-        for l in ext.commodity_out_edges(j, v).collect::<Vec<_>>() {
-            self.phi[j.index()][l.index()] = 0.0;
-        }
-        for &(l, f) in row {
-            self.phi[j.index()][l.index()] = f.max(0.0) / total;
-        }
+    pub fn set_row(
+        &mut self,
+        ext: &ExtendedNetwork,
+        j: CommodityId,
+        v: NodeId,
+        row: &[(EdgeId, f64)],
+    ) {
+        apply_row(&mut self.phi[j.index()], ext, j, v, row);
     }
 
     /// Nodes that must carry a full unit of routing mass for commodity
     /// `j`: every non-sink node with at least one commodity-`j`
-    /// out-edge (the dummy source included).
+    /// out-edge (the dummy source included). Delegates to the extended
+    /// network's precomputed router list.
     pub fn routers<'a>(
         &'a self,
         ext: &'a ExtendedNetwork,
         j: CommodityId,
     ) -> impl Iterator<Item = NodeId> + 'a {
-        let sink = ext.commodity(j).sink();
-        ext.graph()
-            .nodes()
-            .filter(move |&v| v != sink && ext.commodity_out_edges(j, v).next().is_some())
+        ext.commodity_routers(j).iter().copied()
+    }
+
+    /// The commodity-`j` fraction row, indexed by extended edge.
+    pub(crate) fn row(&self, j: CommodityId) -> &[f64] {
+        &self.phi[j.index()]
+    }
+
+    /// All per-commodity fraction rows, in commodity order — each row is
+    /// independent, which lets the Γ update hand disjoint rows to worker
+    /// threads.
+    pub(crate) fn rows_mut(&mut self) -> &mut [Vec<f64>] {
+        &mut self.phi
     }
 
     /// Checks structural validity: fractions within `[0, 1]`, zero off
@@ -128,7 +133,10 @@ impl RoutingTable {
                 }
             }
             for v in self.routers(ext, j) {
-                let sum: f64 = ext.commodity_out_edges(j, v).map(|l| self.fraction(j, l)).sum();
+                let sum: f64 = ext
+                    .commodity_out_edges(j, v)
+                    .map(|l| self.fraction(j, l))
+                    .sum();
                 if (sum - 1.0).abs() > FRACTION_TOLERANCE {
                     return Err(format!("{j}: router {v} fractions sum to {sum}"));
                 }
@@ -143,9 +151,7 @@ impl RoutingTable {
     #[must_use]
     pub fn is_loop_free(&self, ext: &ExtendedNetwork) -> bool {
         ext.commodity_ids().all(|j| {
-            !spn_graph::scc::has_nontrivial_scc_filtered(ext.graph(), |l| {
-                self.fraction(j, l) > 0.0
-            })
+            !spn_graph::scc::has_nontrivial_scc_filtered(ext.graph(), |l| self.fraction(j, l) > 0.0)
         })
     }
 
@@ -154,6 +160,42 @@ impl RoutingTable {
     #[must_use]
     pub fn admitted_fraction(&self, ext: &ExtendedNetwork, j: CommodityId) -> f64 {
         self.fraction(j, ext.input_edge(j))
+    }
+}
+
+/// Row-slice form of [`RoutingTable::set_row`]: normalizes `row` to sum
+/// to one (clamping tiny negatives) and writes it over node `v`'s
+/// commodity-`j` out-edges in `phi`, zeroing the rest of that node's
+/// out-edges first. Shared with the Γ update, whose parallel path holds
+/// one commodity row per worker. Allocation-free.
+///
+/// # Panics
+///
+/// Panics if the total mass is not positive.
+pub(crate) fn apply_row(
+    phi: &mut [f64],
+    ext: &ExtendedNetwork,
+    j: CommodityId,
+    v: NodeId,
+    row: &[(EdgeId, f64)],
+) {
+    let mut total = 0.0;
+    for &(_, f) in row {
+        debug_assert!(
+            f > -FRACTION_TOLERANCE,
+            "fraction {f} significantly negative"
+        );
+        total += f.max(0.0);
+    }
+    assert!(
+        total > 0.0,
+        "router {v} for {j} must keep positive total mass"
+    );
+    for &l in ext.commodity_out_slice(j, v) {
+        phi[l.index()] = 0.0;
+    }
+    for &(l, f) in row {
+        phi[l.index()] = f.max(0.0) / total;
     }
 }
 

@@ -1,0 +1,228 @@
+//! Reusable scratch buffers and the scoped-thread fan-out for the
+//! zero-allocation iteration core.
+//!
+//! [`GradientAlgorithm`](crate::GradientAlgorithm) owns one
+//! [`IterationWorkspace`] and threads it through
+//! [`compute_flows_into`](crate::flows::compute_flows_into) and
+//! [`apply_gamma_ws`](crate::gamma::apply_gamma_ws) every step, so the
+//! steady-state iteration performs no heap allocation: all
+//! per-commodity partial rows and Γ scratch lanes live here and are
+//! resized (a no-op once warm) rather than rebuilt.
+//!
+//! The same buffers carve the work into disjoint per-commodity rows,
+//! which is what lets the flow/marginal/tag/Γ passes fan out over
+//! [`std::thread::scope`] without locks — each worker owns its
+//! commodity's rows outright, and all cross-commodity reductions happen
+//! afterwards on the calling thread in fixed commodity order, keeping
+//! results bit-identical for every thread count (ARCHITECTURE
+//! invariant 9).
+
+use spn_graph::EdgeId;
+use spn_transform::ExtendedNetwork;
+
+/// Per-commodity scratch for one Γ row computation (eqs. (14)–(17)):
+/// the per-out-edge marginals, blocked flags, and the staged new row.
+/// Capacities are reserved for the commodity-maximum out-degree by
+/// [`IterationWorkspace::ensure`], so pushes never allocate in steady
+/// state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct GammaLane {
+    /// Per-link marginal `m_ik(j)` for each out-edge, in CSR order.
+    pub(crate) m: Vec<f64>,
+    /// Whether each out-edge is blocked (eq. (14)), in CSR order.
+    pub(crate) blocked: Vec<bool>,
+    /// The staged replacement row, `(edge, unnormalized fraction)`.
+    pub(crate) row: Vec<(EdgeId, f64)>,
+}
+
+impl GammaLane {
+    fn reserve(&mut self, degree: usize) {
+        self.m.clear();
+        self.m.reserve(degree);
+        self.blocked.clear();
+        self.blocked.reserve(degree);
+        self.row.clear();
+        self.row.reserve(degree);
+    }
+}
+
+/// Preallocated scratch buffers reused across iterations.
+///
+/// Sized by [`IterationWorkspace::ensure`] for a particular
+/// [`ExtendedNetwork`]; re-`ensure`-ing for a differently-sized network
+/// resizes and clears everything, so a workspace can be shared across
+/// problems without ever observing stale data. Re-`ensure`-ing for the
+/// *same* shape is a constant-time no-op — every pass that uses a buffer
+/// resets it at the point of use (the flow pass zero-fills its partial
+/// rows, the Γ pass clears each lane and stat slot before writing), so
+/// `ensure` never needs to touch warm buffers.
+#[derive(Clone, Debug, Default)]
+pub struct IterationWorkspace {
+    /// `[j·L + l]` — commodity-`j` partial of the edge usage `f_ik`.
+    pub(crate) f_edge_part: Vec<f64>,
+    /// `[j·V + v]` — commodity-`j` partial of the node usage `f_i`.
+    pub(crate) f_node_part: Vec<f64>,
+    /// One Γ scratch lane per commodity (workers get one each).
+    pub(crate) lanes: Vec<GammaLane>,
+    /// Per-commodity Γ statistics `(max_shift, total_shift, rows)`,
+    /// reduced in ascending commodity order after the fan-out.
+    pub(crate) stats: Vec<(f64, f64, usize)>,
+    /// Shape `(j_count, v_count, l_count, max_degree)` the buffers are
+    /// currently sized for — the fast-path key of `ensure`.
+    sized_for: Option<(usize, usize, usize, usize)>,
+}
+
+impl IterationWorkspace {
+    /// A workspace sized (and zeroed) for `ext`.
+    #[must_use]
+    pub fn new(ext: &ExtendedNetwork) -> Self {
+        let mut ws = IterationWorkspace::default();
+        ws.ensure(ext);
+        ws
+    }
+
+    /// Resizes and clears every buffer for `ext`. Allocation-free once
+    /// the workspace has seen a network at least this large, and a
+    /// constant-time no-op when the shape matches the previous call
+    /// (steady state calls this twice per iteration).
+    pub fn ensure(&mut self, ext: &ExtendedNetwork) {
+        let v_count = ext.graph().node_count();
+        let l_count = ext.graph().edge_count();
+        let j_count = ext.num_commodities();
+        let max_degree = ext
+            .commodity_ids()
+            .map(|j| ext.max_out_degree(j))
+            .max()
+            .unwrap_or(0);
+        let shape = (j_count, v_count, l_count, max_degree);
+        if self.sized_for == Some(shape) {
+            return;
+        }
+        self.f_edge_part.clear();
+        self.f_edge_part.resize(j_count * l_count, 0.0);
+        self.f_node_part.clear();
+        self.f_node_part.resize(j_count * v_count, 0.0);
+        if self.lanes.len() != j_count {
+            self.lanes.resize_with(j_count, GammaLane::default);
+        }
+        for lane in &mut self.lanes {
+            lane.reserve(max_degree);
+        }
+        self.stats.clear();
+        self.stats.resize(j_count, (0.0, 0.0, 0));
+        self.sized_for = Some(shape);
+    }
+}
+
+/// Runs `tasks` (one per commodity, already holding disjoint `&mut`
+/// rows) across `threads` scoped workers in contiguous chunks.
+///
+/// Only reached when `threads > 1`; the serial paths never call this,
+/// so the zero-allocation guarantee of the single-threaded step is
+/// unaffected by the spawn/chunk allocations here. Output order never
+/// matters: tasks write disjoint buffers and every reduction runs
+/// afterwards on the caller in fixed commodity order.
+pub(crate) fn run_commodity_tasks<T, F>(threads: usize, mut tasks: Vec<T>, work: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let n = tasks.len();
+    if n == 0 {
+        return;
+    }
+    let workers = threads.min(n).max(1);
+    let chunk_size = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let work = &work;
+        while !tasks.is_empty() {
+            let tail = tasks.split_off(chunk_size.min(tasks.len()));
+            let chunk = std::mem::replace(&mut tasks, tail);
+            scope.spawn(move || {
+                for task in chunk {
+                    work(task);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_model::random::RandomInstance;
+
+    #[test]
+    fn ensure_is_idempotent_and_resizes() {
+        let small = ExtendedNetwork::build(
+            &RandomInstance::builder()
+                .nodes(10)
+                .commodities(2)
+                .seed(3)
+                .build()
+                .unwrap()
+                .problem,
+        );
+        let large = ExtendedNetwork::build(
+            &RandomInstance::builder()
+                .nodes(30)
+                .commodities(4)
+                .seed(3)
+                .build()
+                .unwrap()
+                .problem,
+        );
+        let mut ws = IterationWorkspace::new(&small);
+        ws.f_edge_part.fill(7.0); // poison
+        ws.ensure(&large);
+        assert_eq!(
+            ws.f_edge_part.len(),
+            large.num_commodities() * large.graph().edge_count()
+        );
+        assert!(
+            ws.f_edge_part.iter().all(|&x| x == 0.0),
+            "stale data survived ensure"
+        );
+        assert_eq!(ws.lanes.len(), large.num_commodities());
+        ws.ensure(&small);
+        assert_eq!(ws.lanes.len(), small.num_commodities());
+        assert!(ws.f_node_part.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn ensure_same_shape_is_a_no_op() {
+        let ext = ExtendedNetwork::build(
+            &RandomInstance::builder()
+                .nodes(10)
+                .commodities(2)
+                .seed(3)
+                .build()
+                .unwrap()
+                .problem,
+        );
+        let mut ws = IterationWorkspace::new(&ext);
+        ws.f_edge_part.fill(7.0);
+        ws.ensure(&ext);
+        // same shape: buffers untouched (each pass resets what it uses)
+        assert!(
+            ws.f_edge_part.iter().all(|&x| x == 7.0),
+            "fast path rewrote a warm buffer"
+        );
+    }
+
+    #[test]
+    fn run_commodity_tasks_covers_every_task() {
+        let mut hits = [0u8; 13];
+        let tasks: Vec<(usize, &mut u8)> = hits.iter_mut().enumerate().collect();
+        run_commodity_tasks(4, tasks, |(i, slot)| {
+            *slot = u8::try_from(i % 251).unwrap() + 1;
+        });
+        for (i, &h) in hits.iter().enumerate() {
+            assert_eq!(
+                h,
+                u8::try_from(i).unwrap() + 1,
+                "task {i} not run exactly once"
+            );
+        }
+    }
+}

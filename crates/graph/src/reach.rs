@@ -86,9 +86,7 @@ where
     let nodes = on_path_nodes(graph, src, dst, &mut edge_filter);
     graph
         .edges()
-        .map(|e| {
-            edge_filter(e) && nodes[graph.source(e).index()] && nodes[graph.target(e).index()]
-        })
+        .map(|e| edge_filter(e) && nodes[graph.source(e).index()] && nodes[graph.target(e).index()])
         .collect()
 }
 

@@ -20,7 +20,11 @@ pub struct CycleError {
 
 impl fmt::Display for CycleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "graph contains a directed cycle through {}", self.node_in_cycle)
+        write!(
+            f,
+            "graph contains a directed cycle through {}",
+            self.node_in_cycle
+        )
     }
 }
 

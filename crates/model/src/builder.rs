@@ -93,7 +93,8 @@ impl ProblemBuilder {
         utility: UtilityFn,
     ) -> CommodityId {
         let id = CommodityId::from_index(self.commodities.len());
-        self.commodities.push(Commodity::new(source, sink, max_rate, utility));
+        self.commodities
+            .push(Commodity::new(source, sink, max_rate, utility));
         id
     }
 
@@ -218,7 +219,10 @@ mod tests {
         b.uses_with_gains(j, vec![1.0], vec![(e, 1.0)]);
         assert!(matches!(
             b.build().unwrap_err(),
-            ModelError::ShapeMismatch { what: "per-node gains", .. }
+            ModelError::ShapeMismatch {
+                what: "per-node gains",
+                ..
+            }
         ));
     }
 

@@ -112,7 +112,11 @@ impl fmt::Display for ModelError {
             ModelError::BadBandwidth { edge } => {
                 write!(f, "edge {edge} has an invalid bandwidth")
             }
-            ModelError::ShapeMismatch { what, expected, actual } => {
+            ModelError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => {
                 write!(f, "{what}: expected length {expected}, got {actual}")
             }
             ModelError::BadMaxRate { commodity } => {
@@ -125,18 +129,32 @@ impl fmt::Display for ModelError {
                 write!(f, "commodity {commodity} has identical source and sink")
             }
             ModelError::BadEdgeParams { commodity, edge } => {
-                write!(f, "commodity {commodity} has invalid parameters on edge {edge}")
+                write!(
+                    f,
+                    "commodity {commodity} has invalid parameters on edge {edge}"
+                )
             }
             ModelError::CommodityCycle { commodity, node } => {
-                write!(f, "commodity {commodity} subgraph has a cycle through {node}")
+                write!(
+                    f,
+                    "commodity {commodity} subgraph has a cycle through {node}"
+                )
             }
             ModelError::SinkUnreachable { commodity } => {
-                write!(f, "commodity {commodity} cannot reach its sink from its source")
+                write!(
+                    f,
+                    "commodity {commodity} cannot reach its sink from its source"
+                )
             }
             ModelError::SinkProcesses { commodity } => {
                 write!(f, "commodity {commodity} sink has outgoing overlay edges")
             }
-            ModelError::InconsistentShrinkage { commodity, edge, expected_gain, actual_gain } => {
+            ModelError::InconsistentShrinkage {
+                commodity,
+                edge,
+                expected_gain,
+                actual_gain,
+            } => {
                 write!(
                     f,
                     "commodity {commodity} violates Property 1 at edge {edge}: \
@@ -164,12 +182,26 @@ mod tests {
         let errs = vec![
             ModelError::EmptyGraph,
             ModelError::NoCommodities,
-            ModelError::BadNodeCapacity { node: NodeId::from_index(1) },
-            ModelError::BadBandwidth { edge: EdgeId::from_index(2) },
-            ModelError::ShapeMismatch { what: "capacities", expected: 3, actual: 4 },
-            ModelError::BadMaxRate { commodity: CommodityId::from_index(0) },
-            ModelError::DegenerateCommodity { commodity: CommodityId::from_index(0) },
-            ModelError::SinkUnreachable { commodity: CommodityId::from_index(1) },
+            ModelError::BadNodeCapacity {
+                node: NodeId::from_index(1),
+            },
+            ModelError::BadBandwidth {
+                edge: EdgeId::from_index(2),
+            },
+            ModelError::ShapeMismatch {
+                what: "capacities",
+                expected: 3,
+                actual: 4,
+            },
+            ModelError::BadMaxRate {
+                commodity: CommodityId::from_index(0),
+            },
+            ModelError::DegenerateCommodity {
+                commodity: CommodityId::from_index(0),
+            },
+            ModelError::SinkUnreachable {
+                commodity: CommodityId::from_index(1),
+            },
         ];
         let mut seen = std::collections::HashSet::new();
         for e in errs {

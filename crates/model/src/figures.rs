@@ -59,10 +59,13 @@ pub const FIGURE1_SERVERS: usize = 8;
 pub fn figure1(config: Figure1Config) -> Result<Problem, ModelError> {
     let mut b = ProblemBuilder::new();
     // servers 1..=8 (indices 0..=7), then the two sinks
-    let srv: Vec<_> = (0..FIGURE1_SERVERS).map(|_| b.server(config.server_capacity)).collect();
+    let srv: Vec<_> = (0..FIGURE1_SERVERS)
+        .map(|_| b.server(config.server_capacity))
+        .collect();
     let sink1 = b.server(config.server_capacity);
     let sink2 = b.server(config.server_capacity);
-    let link = |b: &mut ProblemBuilder, a: usize, c: usize| b.link(srv[a], srv[c], config.link_bandwidth);
+    let link =
+        |b: &mut ProblemBuilder, a: usize, c: usize| b.link(srv[a], srv[c], config.link_bandwidth);
 
     // Stream S1 edges (solid in the figure): A→B, B→C, C→D, D→sink1.
     let e12 = link(&mut b, 0, 1);

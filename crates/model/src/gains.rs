@@ -52,8 +52,12 @@ pub fn gains_from_betas(
 ) -> Result<Vec<f64>, ModelError> {
     debug_assert_eq!(in_overlay.len(), graph.edge_count());
     debug_assert_eq!(beta.len(), graph.edge_count());
-    let order = topological_order_filtered(graph, |e| in_overlay[e.index()])
-        .map_err(|cycle| ModelError::CommodityCycle { commodity, node: cycle.node_in_cycle })?;
+    let order = topological_order_filtered(graph, |e| in_overlay[e.index()]).map_err(|cycle| {
+        ModelError::CommodityCycle {
+            commodity,
+            node: cycle.node_in_cycle,
+        }
+    })?;
 
     let mut gain: Vec<Option<f64>> = vec![None; graph.node_count()];
     gain[source.index()] = Some(1.0);
@@ -176,7 +180,9 @@ mod tests {
         assert_eq!(beta, vec![2.0, 3.0, 4.0, 1.5]);
         let re = gains_from_betas(&g, CommodityId::from_index(0), n[0], &overlay, &beta).unwrap();
         assert_eq!(re, gains);
-        assert!(property1_holds_by_enumeration(&g, n[0], &overlay, &beta, 100));
+        assert!(property1_holds_by_enumeration(
+            &g, n[0], &overlay, &beta, 100
+        ));
     }
 
     #[test]
@@ -188,7 +194,9 @@ mod tests {
         let err =
             gains_from_betas(&g, CommodityId::from_index(0), n[0], &overlay, &beta).unwrap_err();
         assert!(matches!(err, ModelError::InconsistentShrinkage { .. }));
-        assert!(!property1_holds_by_enumeration(&g, n[0], &overlay, &beta, 100));
+        assert!(!property1_holds_by_enumeration(
+            &g, n[0], &overlay, &beta, 100
+        ));
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub struct Penalty {
 impl Default for Penalty {
     /// The paper's reciprocal penalty with the knee at 98% utilization.
     fn default() -> Self {
-        Penalty { kind: PenaltyKind::Reciprocal, knee: 0.98 }
+        Penalty {
+            kind: PenaltyKind::Reciprocal,
+            knee: 0.98,
+        }
     }
 }
 
@@ -79,7 +82,9 @@ impl Penalty {
         if knee.is_finite() && knee > 0.0 && knee < 1.0 {
             Ok(Penalty { kind, knee })
         } else {
-            Err(format!("knee must lie strictly between 0 and 1, got {knee}"))
+            Err(format!(
+                "knee must lie strictly between 0 and 1, got {knee}"
+            ))
         }
     }
 

@@ -130,7 +130,10 @@ impl Problem {
             commodity
                 .utility
                 .validate()
-                .map_err(|reason| ModelError::BadUtility { commodity: j, reason })?;
+                .map_err(|reason| ModelError::BadUtility {
+                    commodity: j,
+                    reason,
+                })?;
             if commodity.source() == commodity.sink() {
                 return Err(ModelError::DegenerateCommodity { commodity: j });
             }
@@ -140,7 +143,10 @@ impl Problem {
             for e in graph.edges() {
                 if let Some(p) = overlay[ji][e.index()] {
                     if !p.is_valid() {
-                        return Err(ModelError::BadEdgeParams { commodity: j, edge: e });
+                        return Err(ModelError::BadEdgeParams {
+                            commodity: j,
+                            edge: e,
+                        });
                     }
                     in_overlay[e.index()] = true;
                     beta[e.index()] = p.beta;
@@ -164,12 +170,22 @@ impl Problem {
                 .edges()
                 .find(|&e| in_overlay[e.index()] && !useful[e.index()])
             {
-                return Err(ModelError::DisconnectedOverlayEdge { commodity: j, edge: e });
+                return Err(ModelError::DisconnectedOverlayEdge {
+                    commodity: j,
+                    edge: e,
+                });
             }
             gains.push(g);
         }
 
-        Ok(Problem { graph, node_capacity, edge_bandwidth, commodities, overlay, gains })
+        Ok(Problem {
+            graph,
+            node_capacity,
+            edge_bandwidth,
+            commodities,
+            overlay,
+            gains,
+        })
     }
 
     /// Removes overlay edges that lie on no source→sink path, in place
@@ -348,7 +364,10 @@ mod tests {
         g.add_edge(s, t);
         Problem::from_parts(
             g,
-            vec![Capacity::finite(10.0).unwrap(), Capacity::finite(10.0).unwrap()],
+            vec![
+                Capacity::finite(10.0).unwrap(),
+                Capacity::finite(10.0).unwrap(),
+            ],
             vec![Capacity::finite(5.0).unwrap()],
             vec![Commodity::new(s, t, 4.0, UtilityFn::throughput())],
             vec![vec![Some(EdgeParams::new(2.0, 0.5))]],
@@ -411,7 +430,13 @@ mod tests {
             vec![vec![Some(EdgeParams::new(1.0, 1.0))]],
         )
         .unwrap_err();
-        assert!(matches!(err, ModelError::ShapeMismatch { what: "node capacities", .. }));
+        assert!(matches!(
+            err,
+            ModelError::ShapeMismatch {
+                what: "node capacities",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -565,6 +590,9 @@ mod tests {
         let p3 = p.scale_demand(3.0);
         assert_eq!(p3.total_demand(), 12.0);
         let p4 = p.with_utility(CommodityId::from_index(0), UtilityFn::log(2.0));
-        assert_eq!(p4.commodity(CommodityId::from_index(0)).utility, UtilityFn::log(2.0));
+        assert_eq!(
+            p4.commodity(CommodityId::from_index(0)).utility,
+            UtilityFn::log(2.0)
+        );
     }
 }

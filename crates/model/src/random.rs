@@ -96,7 +96,9 @@ impl RandomInstance {
     /// Starts a builder with the paper's default configuration.
     #[must_use]
     pub fn builder() -> RandomInstanceBuilder {
-        RandomInstanceBuilder { config: RandomInstanceConfig::default() }
+        RandomInstanceBuilder {
+            config: RandomInstanceConfig::default(),
+        }
     }
 
     /// Generates an instance from an explicit configuration.
@@ -243,8 +245,7 @@ fn generate_problem(cfg: &RandomInstanceConfig) -> Result<Problem, ModelError> {
         // one task per commodity → the overlay is a DAG). Depth and
         // width adapt to the available pool: a requested range is capped
         // so the remaining stages can still get their minimum width.
-        let mut candidates: Vec<NodeId> =
-            pool.iter().copied().filter(|&n| n != source).collect();
+        let mut candidates: Vec<NodeId> = pool.iter().copied().filter(|&n| n != source).collect();
         candidates.shuffle(&mut rng);
         let min_w = *cfg.width.start();
         let max_depth = 1 + candidates.len() / min_w;
@@ -264,7 +265,9 @@ fn generate_problem(cfg: &RandomInstanceConfig) -> Result<Problem, ModelError> {
         layers.push(vec![sink]);
 
         // Gains per node for this commodity.
-        let gains: Vec<f64> = (0..cfg.nodes).map(|_| sample(&mut rng, &cfg.gain)).collect();
+        let gains: Vec<f64> = (0..cfg.nodes)
+            .map(|_| sample(&mut rng, &cfg.gain))
+            .collect();
 
         // Connect consecutive layers: guarantee every node has a
         // forward edge and every next-layer node a backward edge, then
@@ -290,7 +293,9 @@ fn generate_problem(cfg: &RandomInstanceConfig) -> Result<Problem, ModelError> {
                 }
             }
             for (x, y) in chosen {
-                let e = *edge_ids.entry((x, y)).or_insert_with(|| graph.add_edge(x, y));
+                let e = *edge_ids
+                    .entry((x, y))
+                    .or_insert_with(|| graph.add_edge(x, y));
                 let beta = gains[y.index()] / gains[x.index()];
                 let cost = sample(&mut rng, &cfg.cost);
                 overlay_raw[ji].push((e, EdgeParams::new(cost, beta)));
@@ -308,8 +313,7 @@ fn generate_problem(cfg: &RandomInstanceConfig) -> Result<Problem, ModelError> {
         .map(|_| Capacity::finite(sample(&mut rng, &cfg.link_bandwidth)).expect("range positive"))
         .collect();
 
-    let mut overlay: Vec<Vec<Option<EdgeParams>>> =
-        vec![vec![None; graph.edge_count()]; j_count];
+    let mut overlay: Vec<Vec<Option<EdgeParams>>> = vec![vec![None; graph.edge_count()]; j_count];
     for (ji, entries) in overlay_raw.into_iter().enumerate() {
         for (e, p) in entries {
             overlay[ji][e.index()] = Some(p);
@@ -365,7 +369,10 @@ mod tests {
         let a = RandomInstance::builder().seed(7).build().unwrap();
         let b = RandomInstance::builder().seed(7).build().unwrap();
         let c = RandomInstance::builder().seed(8).build().unwrap();
-        assert_eq!(a.problem.graph().edge_count(), b.problem.graph().edge_count());
+        assert_eq!(
+            a.problem.graph().edge_count(),
+            b.problem.graph().edge_count()
+        );
         assert_eq!(
             a.problem.commodity(CommodityId::from_index(0)).max_rate,
             b.problem.commodity(CommodityId::from_index(0)).max_rate,

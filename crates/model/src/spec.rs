@@ -114,15 +114,19 @@ impl ProblemSpec {
                     actual: (e.src.max(e.dst)) as usize,
                 });
             }
-            graph.add_edge(NodeId::from_index(e.src as usize), NodeId::from_index(e.dst as usize));
+            graph.add_edge(
+                NodeId::from_index(e.src as usize),
+                NodeId::from_index(e.dst as usize),
+            );
         }
         let node_capacity: Vec<Capacity> = self
             .node_capacities
             .iter()
             .enumerate()
             .map(|(i, &c)| {
-                Capacity::finite(c)
-                    .ok_or(ModelError::BadNodeCapacity { node: NodeId::from_index(i) })
+                Capacity::finite(c).ok_or(ModelError::BadNodeCapacity {
+                    node: NodeId::from_index(i),
+                })
             })
             .collect::<Result<_, _>>()?;
         let edge_bandwidth: Vec<Capacity> = self
@@ -130,8 +134,9 @@ impl ProblemSpec {
             .iter()
             .enumerate()
             .map(|(i, e)| {
-                Capacity::finite(e.bandwidth)
-                    .ok_or(ModelError::BadBandwidth { edge: EdgeId::from_index(i) })
+                Capacity::finite(e.bandwidth).ok_or(ModelError::BadBandwidth {
+                    edge: EdgeId::from_index(i),
+                })
             })
             .collect::<Result<_, _>>()?;
         let mut commodities = Vec::with_capacity(self.commodities.len());
@@ -217,7 +222,12 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_everything() {
-        let inst = RandomInstance::builder().nodes(16).commodities(2).seed(11).build().unwrap();
+        let inst = RandomInstance::builder()
+            .nodes(16)
+            .commodities(2)
+            .seed(11)
+            .build()
+            .unwrap();
         let spec = ProblemSpec::from(&inst.problem);
         let json = spec.to_json().unwrap();
         let back = ProblemSpec::from_json(&json).unwrap();
@@ -236,12 +246,19 @@ mod tests {
     fn rejects_out_of_range_indices() {
         let spec = ProblemSpec {
             node_capacities: vec![1.0, 1.0],
-            edges: vec![EdgeSpec { src: 0, dst: 5, bandwidth: 1.0 }],
+            edges: vec![EdgeSpec {
+                src: 0,
+                dst: 5,
+                bandwidth: 1.0,
+            }],
             commodities: vec![],
         };
         assert!(matches!(
             spec.into_problem(),
-            Err(ModelError::ShapeMismatch { what: "edge endpoint index", .. })
+            Err(ModelError::ShapeMismatch {
+                what: "edge endpoint index",
+                ..
+            })
         ));
     }
 
@@ -249,24 +266,40 @@ mod tests {
     fn rejects_bad_overlay_index() {
         let spec = ProblemSpec {
             node_capacities: vec![1.0, 1.0],
-            edges: vec![EdgeSpec { src: 0, dst: 1, bandwidth: 1.0 }],
+            edges: vec![EdgeSpec {
+                src: 0,
+                dst: 1,
+                bandwidth: 1.0,
+            }],
             commodities: vec![CommoditySpec {
                 source: 0,
                 sink: 1,
                 max_rate: 1.0,
                 utility: UtilityFn::throughput(),
-                overlay: vec![OverlayEdgeSpec { edge: 9, cost: 1.0, beta: 1.0 }],
+                overlay: vec![OverlayEdgeSpec {
+                    edge: 9,
+                    cost: 1.0,
+                    beta: 1.0,
+                }],
             }],
         };
         assert!(matches!(
             spec.into_problem(),
-            Err(ModelError::ShapeMismatch { what: "overlay edge index", .. })
+            Err(ModelError::ShapeMismatch {
+                what: "overlay edge index",
+                ..
+            })
         ));
     }
 
     #[test]
     fn json_is_human_readable() {
-        let inst = RandomInstance::builder().nodes(12).commodities(1).seed(2).build().unwrap();
+        let inst = RandomInstance::builder()
+            .nodes(12)
+            .commodities(1)
+            .seed(2)
+            .build()
+            .unwrap();
         let json = ProblemSpec::from(&inst.problem).to_json().unwrap();
         assert!(json.contains("node_capacities"));
         assert!(json.contains("max_rate"));

@@ -87,7 +87,10 @@ impl UtilityFn {
     /// Square-root utility with the default derivative-bounding shift.
     #[must_use]
     pub fn sqrt(weight: f64) -> Self {
-        UtilityFn::Sqrt { weight, shift: 1e-2 }
+        UtilityFn::Sqrt {
+            weight,
+            shift: 1e-2,
+        }
     }
 
     /// Utility of admitting rate `a ≥ 0`.
@@ -99,7 +102,11 @@ impl UtilityFn {
             UtilityFn::Linear { weight } => weight * a,
             UtilityFn::Log { weight, scale } => weight * (1.0 + a / scale).ln(),
             UtilityFn::Sqrt { weight, shift } => weight * ((a + shift).sqrt() - shift.sqrt()),
-            UtilityFn::AlphaFair { weight, alpha, shift } => {
+            UtilityFn::AlphaFair {
+                weight,
+                alpha,
+                shift,
+            } => {
                 let p = 1.0 - alpha;
                 weight * ((a + shift).powf(p) - shift.powf(p)) / p
             }
@@ -115,7 +122,11 @@ impl UtilityFn {
             UtilityFn::Linear { weight } => weight,
             UtilityFn::Log { weight, scale } => weight / (scale + a),
             UtilityFn::Sqrt { weight, shift } => weight / (2.0 * (a + shift).sqrt()),
-            UtilityFn::AlphaFair { weight, alpha, shift } => weight * (a + shift).powf(-alpha),
+            UtilityFn::AlphaFair {
+                weight,
+                alpha,
+                shift,
+            } => weight * (a + shift).powf(-alpha),
             UtilityFn::CappedLinear { weight, cap } => {
                 if a < cap {
                     weight
@@ -136,9 +147,11 @@ impl UtilityFn {
             UtilityFn::Linear { .. } | UtilityFn::CappedLinear { .. } => 0.0,
             UtilityFn::Log { weight, scale } => -weight / ((scale + a) * (scale + a)),
             UtilityFn::Sqrt { weight, shift } => -weight / (4.0 * (a + shift).powf(1.5)),
-            UtilityFn::AlphaFair { weight, alpha, shift } => {
-                -weight * alpha * (a + shift).powf(-alpha - 1.0)
-            }
+            UtilityFn::AlphaFair {
+                weight,
+                alpha,
+                shift,
+            } => -weight * alpha * (a + shift).powf(-alpha - 1.0),
         }
     }
 
@@ -166,7 +179,11 @@ impl UtilityFn {
                 pos("weight", weight)?;
                 pos("shift", shift)
             }
-            UtilityFn::AlphaFair { weight, alpha, shift } => {
+            UtilityFn::AlphaFair {
+                weight,
+                alpha,
+                shift,
+            } => {
                 pos("weight", weight)?;
                 pos("alpha", alpha)?;
                 pos("shift", shift)?;
@@ -203,11 +220,28 @@ mod tests {
     fn all_variants() -> Vec<UtilityFn> {
         vec![
             UtilityFn::Linear { weight: 2.0 },
-            UtilityFn::Log { weight: 3.0, scale: 0.5 },
-            UtilityFn::Sqrt { weight: 1.5, shift: 0.01 },
-            UtilityFn::AlphaFair { weight: 1.0, alpha: 2.0, shift: 0.1 },
-            UtilityFn::AlphaFair { weight: 1.0, alpha: 0.5, shift: 0.1 },
-            UtilityFn::CappedLinear { weight: 2.0, cap: 4.0 },
+            UtilityFn::Log {
+                weight: 3.0,
+                scale: 0.5,
+            },
+            UtilityFn::Sqrt {
+                weight: 1.5,
+                shift: 0.01,
+            },
+            UtilityFn::AlphaFair {
+                weight: 1.0,
+                alpha: 2.0,
+                shift: 0.1,
+            },
+            UtilityFn::AlphaFair {
+                weight: 1.0,
+                alpha: 0.5,
+                shift: 0.1,
+            },
+            UtilityFn::CappedLinear {
+                weight: 2.0,
+                cap: 4.0,
+            },
         ]
     }
 
@@ -293,7 +327,10 @@ mod tests {
 
     #[test]
     fn capped_linear_kink() {
-        let u = UtilityFn::CappedLinear { weight: 2.0, cap: 3.0 };
+        let u = UtilityFn::CappedLinear {
+            weight: 2.0,
+            cap: 3.0,
+        };
         assert_eq!(u.value(2.0), 4.0);
         assert_eq!(u.value(5.0), 6.0);
         assert_eq!(u.derivative(2.9), 2.0);
@@ -307,11 +344,25 @@ mod tests {
         }
         assert!(UtilityFn::Linear { weight: 0.0 }.validate().is_err());
         assert!(UtilityFn::Linear { weight: -1.0 }.validate().is_err());
-        assert!(UtilityFn::Log { weight: 1.0, scale: 0.0 }.validate().is_err());
-        assert!(UtilityFn::AlphaFair { weight: 1.0, alpha: 1.0, shift: 0.1 }
-            .validate()
-            .is_err());
-        assert!(UtilityFn::Sqrt { weight: 1.0, shift: f64::NAN }.validate().is_err());
+        assert!(UtilityFn::Log {
+            weight: 1.0,
+            scale: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(UtilityFn::AlphaFair {
+            weight: 1.0,
+            alpha: 1.0,
+            shift: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(UtilityFn::Sqrt {
+            weight: 1.0,
+            shift: f64::NAN
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

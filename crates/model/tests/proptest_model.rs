@@ -2,21 +2,25 @@
 //! Property 1, and the random instance generator.
 
 use proptest::prelude::*;
-use spn_model::gains::{
-    betas_from_gains, gains_from_betas, property1_holds_by_enumeration,
-};
+use spn_graph::DiGraph;
+use spn_model::gains::{betas_from_gains, gains_from_betas, property1_holds_by_enumeration};
 use spn_model::random::RandomInstance;
 use spn_model::{Capacity, CommodityId, Penalty, PenaltyKind, UtilityFn};
-use spn_graph::DiGraph;
 
 fn arb_utility() -> impl Strategy<Value = UtilityFn> {
     prop_oneof![
         (0.1..10.0f64).prop_map(|weight| UtilityFn::Linear { weight }),
         (0.1..10.0f64, 0.1..5.0f64).prop_map(|(weight, scale)| UtilityFn::Log { weight, scale }),
         (0.1..10.0f64, 0.01..1.0f64).prop_map(|(weight, shift)| UtilityFn::Sqrt { weight, shift }),
-        (0.1..5.0f64, 1.2..4.0f64, 0.05..1.0f64)
-            .prop_map(|(weight, alpha, shift)| UtilityFn::AlphaFair { weight, alpha, shift }),
-        (0.1..10.0f64, 0.5..20.0f64).prop_map(|(weight, cap)| UtilityFn::CappedLinear { weight, cap }),
+        (0.1..5.0f64, 1.2..4.0f64, 0.05..1.0f64).prop_map(|(weight, alpha, shift)| {
+            UtilityFn::AlphaFair {
+                weight,
+                alpha,
+                shift,
+            }
+        }),
+        (0.1..10.0f64, 0.5..20.0f64)
+            .prop_map(|(weight, cap)| UtilityFn::CappedLinear { weight, cap }),
     ]
 }
 

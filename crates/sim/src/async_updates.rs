@@ -161,7 +161,10 @@ impl AsyncGradient {
         self.ext
             .commodity_ids()
             .map(|j| {
-                self.ext.commodity(j).utility.value(self.state.admitted(&self.ext, j))
+                self.ext
+                    .commodity(j)
+                    .utility
+                    .value(self.state.admitted(&self.ext, j))
             })
             .sum()
     }
@@ -200,7 +203,13 @@ mod tests {
     use spn_model::random::RandomInstance;
 
     fn instance() -> Problem {
-        RandomInstance::builder().nodes(16).commodities(2).seed(4).build().unwrap().problem
+        RandomInstance::builder()
+            .nodes(16)
+            .commodities(2)
+            .seed(4)
+            .build()
+            .unwrap()
+            .problem
     }
 
     #[test]
@@ -219,10 +228,20 @@ mod tests {
     #[test]
     fn partial_participation_still_converges() {
         let p = instance();
-        let cfg = GradientConfig { eta: 0.2, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            eta: 0.2,
+            ..GradientConfig::default()
+        };
         let mut sync = AsyncGradient::new(&p, cfg, Schedule::Synchronous).unwrap();
-        let mut partial =
-            AsyncGradient::new(&p, cfg, Schedule::Random { fraction: 0.3, seed: 9 }).unwrap();
+        let mut partial = AsyncGradient::new(
+            &p,
+            cfg,
+            Schedule::Random {
+                fraction: 0.3,
+                seed: 9,
+            },
+        )
+        .unwrap();
         for _ in 0..3000 {
             sync.step();
         }
@@ -240,8 +259,15 @@ mod tests {
     fn participation_rate_matches_fraction() {
         let p = instance();
         let cfg = GradientConfig::default();
-        let mut alg =
-            AsyncGradient::new(&p, cfg, Schedule::Random { fraction: 0.25, seed: 1 }).unwrap();
+        let mut alg = AsyncGradient::new(
+            &p,
+            cfg,
+            Schedule::Random {
+                fraction: 0.25,
+                seed: 1,
+            },
+        )
+        .unwrap();
         let mut sync = AsyncGradient::new(&p, cfg, Schedule::Synchronous).unwrap();
         for _ in 0..400 {
             alg.step();
@@ -254,7 +280,10 @@ mod tests {
     #[test]
     fn round_robin_covers_everyone() {
         let p = instance();
-        let cfg = GradientConfig { eta: 0.2, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            eta: 0.2,
+            ..GradientConfig::default()
+        };
         let mut alg = AsyncGradient::new(&p, cfg, Schedule::RoundRobin { period: 4 }).unwrap();
         for _ in 0..2000 {
             alg.step();
@@ -271,7 +300,10 @@ mod tests {
 
     #[test]
     fn schedules_are_deterministic() {
-        let s = Schedule::Random { fraction: 0.5, seed: 3 };
+        let s = Schedule::Random {
+            fraction: 0.5,
+            seed: 3,
+        };
         let a = s.participates(10, CommodityId::from_index(1), NodeId::from_index(2));
         let b = s.participates(10, CommodityId::from_index(1), NodeId::from_index(2));
         assert_eq!(a, b);

@@ -23,7 +23,10 @@ impl BackPressureSim {
     pub fn new(problem: &Problem, config: BackPressureConfig) -> Self {
         let bp = BackPressure::new(problem, config);
         let messages_per_iteration = count_messages(bp.extended());
-        BackPressureSim { bp, messages_per_iteration }
+        BackPressureSim {
+            bp,
+            messages_per_iteration,
+        }
     }
 
     /// Runs one round; back-pressure always costs one synchronous round
@@ -81,7 +84,12 @@ mod tests {
 
     #[test]
     fn message_count_is_topology_constant() {
-        let inst = RandomInstance::builder().nodes(20).commodities(2).seed(3).build().unwrap();
+        let inst = RandomInstance::builder()
+            .nodes(20)
+            .commodities(2)
+            .seed(3)
+            .build()
+            .unwrap();
         let mut sim = BackPressureSim::new(&inst.problem, BackPressureConfig::default());
         let m = sim.messages_per_iteration();
         assert!(m > 0);

@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn node_failure_then_recovery() {
         let p = diamond();
-        let cfg = GradientConfig { eta: 0.3, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            eta: 0.3,
+            ..GradientConfig::default()
+        };
         let mut sim = GradientSim::new(&p, cfg).unwrap();
         for _ in 0..500 {
             sim.step();
@@ -118,7 +121,7 @@ mod tests {
         let before = sim.utility();
         assert!(before > 10.0, "pre-failure utility {before}");
         fail_node(&mut sim, spn_graph::NodeId::from_index(1)); // x
-        // give the barrier time to repel the flow off the dead node
+                                                               // give the barrier time to repel the flow off the dead node
         for _ in 0..3000 {
             sim.step();
         }
@@ -141,7 +144,10 @@ mod tests {
     #[test]
     fn link_failure_reroutes() {
         let p = diamond();
-        let cfg = GradientConfig { eta: 0.3, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            eta: 0.3,
+            ..GradientConfig::default()
+        };
         let mut sim = GradientSim::new(&p, cfg).unwrap();
         for _ in 0..500 {
             sim.step();
@@ -153,19 +159,28 @@ mod tests {
         }
         // the bandwidth node of the failed link carries only a trickle
         let bw = spn_graph::NodeId::from_index(4); // first bandwidth node
-        assert!(sim.flows().node_usage(bw) < 0.1, "failed link carries {}", sim.flows().node_usage(bw));
+        assert!(
+            sim.flows().node_usage(bw) < 0.1,
+            "failed link carries {}",
+            sim.flows().node_usage(bw)
+        );
         assert!(sim.utility() > 0.9 * before);
     }
 
     #[test]
     fn restore_brings_capacity_back() {
         let p = diamond();
-        let cfg = GradientConfig { eta: 0.3, ..GradientConfig::default() };
+        let cfg = GradientConfig {
+            eta: 0.3,
+            ..GradientConfig::default()
+        };
         let mut sim = GradientSim::new(&p, cfg).unwrap();
         fail_node(&mut sim, spn_graph::NodeId::from_index(1));
         restore_node(&mut sim, spn_graph::NodeId::from_index(1), 50.0);
         assert_eq!(
-            sim.extended().capacity(spn_graph::NodeId::from_index(1)).value(),
+            sim.extended()
+                .capacity(spn_graph::NodeId::from_index(1))
+                .value(),
             50.0
         );
     }
@@ -175,7 +190,9 @@ mod tests {
     fn failing_a_dummy_panics() {
         let p = diamond();
         let mut sim = GradientSim::new(&p, GradientConfig::default()).unwrap();
-        let dummy = sim.extended().dummy_source(spn_model::CommodityId::from_index(0));
+        let dummy = sim
+            .extended()
+            .dummy_source(spn_model::CommodityId::from_index(0));
         fail_node(&mut sim, dummy);
     }
 }

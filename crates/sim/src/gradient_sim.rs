@@ -206,7 +206,12 @@ mod tests {
 
     #[test]
     fn sim_tracks_in_process_driver() {
-        let inst = RandomInstance::builder().nodes(18).commodities(2).seed(5).build().unwrap();
+        let inst = RandomInstance::builder()
+            .nodes(18)
+            .commodities(2)
+            .seed(5)
+            .build()
+            .unwrap();
         let cfg = GradientConfig::default();
         let mut sim = GradientSim::new(&inst.problem, cfg).unwrap();
         let mut alg = GradientAlgorithm::new(&inst.problem, cfg).unwrap();
@@ -232,7 +237,12 @@ mod tests {
 
     #[test]
     fn message_counts_are_stable_per_iteration() {
-        let inst = RandomInstance::builder().nodes(18).commodities(2).seed(7).build().unwrap();
+        let inst = RandomInstance::builder()
+            .nodes(18)
+            .commodities(2)
+            .seed(7)
+            .build()
+            .unwrap();
         let mut sim = GradientSim::new(&inst.problem, GradientConfig::default()).unwrap();
         let s1 = sim.step();
         // marginal wave broadcasts on every commodity adjacency
@@ -249,8 +259,16 @@ mod tests {
     fn failure_injection_reroutes() {
         use spn_model::Capacity;
         // diamond: kill one branch mid-run, utility recovers
-        let inst = RandomInstance::builder().nodes(20).commodities(1).seed(2).build().unwrap();
-        let cfg = GradientConfig { eta: 0.3, ..GradientConfig::default() };
+        let inst = RandomInstance::builder()
+            .nodes(20)
+            .commodities(1)
+            .seed(2)
+            .build()
+            .unwrap();
+        let cfg = GradientConfig {
+            eta: 0.3,
+            ..GradientConfig::default()
+        };
         let mut sim = GradientSim::new(&inst.problem, cfg).unwrap();
         for _ in 0..600 {
             sim.step();
@@ -269,9 +287,14 @@ mod tests {
                             && v != sim.extended().commodity(j).sink()
                     })
             })
-            .max_by(|&a, &b| sim.flows().node_usage(a).total_cmp(&sim.flows().node_usage(b)))
+            .max_by(|&a, &b| {
+                sim.flows()
+                    .node_usage(a)
+                    .total_cmp(&sim.flows().node_usage(b))
+            })
             .unwrap();
-        sim.extended_mut().set_capacity(victim, Capacity::finite(1e-3).unwrap());
+        sim.extended_mut()
+            .set_capacity(victim, Capacity::finite(1e-3).unwrap());
         for _ in 0..2000 {
             sim.step();
         }

@@ -33,6 +33,6 @@ pub mod waves;
 
 pub use async_updates::{AsyncGradient, Schedule};
 pub use bp_sim::BackPressureSim;
-pub use packet::{PacketConfig, PacketSim};
 pub use gradient_sim::{GradientSim, IterationStats};
+pub use packet::{PacketConfig, PacketSim};
 pub use waves::WaveOutcome;

@@ -39,7 +39,11 @@ pub struct PacketConfig {
 impl Default for PacketConfig {
     /// 30% bursts with a 50-tick correlation time.
     fn default() -> Self {
-        PacketConfig { amplitude: 0.3, correlation: 50.0, seed: 1 }
+        PacketConfig {
+            amplitude: 0.3,
+            correlation: 50.0,
+            seed: 1,
+        }
     }
 }
 
@@ -133,8 +137,10 @@ impl PacketSim {
                 }
             }
         }
-        let admitted: Vec<f64> =
-            ext.commodity_ids().map(|j| flows.admitted(&ext, j)).collect();
+        let admitted: Vec<f64> = ext
+            .commodity_ids()
+            .map(|j| flows.admitted(&ext, j))
+            .collect();
         let sink_gain: Vec<f64> = ext
             .commodity_ids()
             .map(|j| {
@@ -307,7 +313,13 @@ mod tests {
     #[test]
     fn smooth_arrivals_deliver_the_fluid_rates() {
         let alg = converged(3);
-        let mut sim = sim_from(&alg, PacketConfig { amplitude: 0.0, ..Default::default() });
+        let mut sim = sim_from(
+            &alg,
+            PacketConfig {
+                amplitude: 0.0,
+                ..Default::default()
+            },
+        );
         sim.run(5000);
         let r = alg.report();
         for j in alg.extended().commodity_ids() {
@@ -323,7 +335,13 @@ mod tests {
     #[test]
     fn bursty_arrivals_keep_queues_bounded() {
         let alg = converged(3);
-        let mut sim = sim_from(&alg, PacketConfig { amplitude: 0.3, ..Default::default() });
+        let mut sim = sim_from(
+            &alg,
+            PacketConfig {
+                amplitude: 0.3,
+                ..Default::default()
+            },
+        );
         sim.run(10_000);
         let q1 = sim.total_queued();
         sim.run(10_000);
@@ -348,7 +366,13 @@ mod tests {
     #[test]
     fn delay_estimate_is_finite_and_positive_under_bursts() {
         let alg = converged(5);
-        let mut sim = sim_from(&alg, PacketConfig { amplitude: 0.5, ..Default::default() });
+        let mut sim = sim_from(
+            &alg,
+            PacketConfig {
+                amplitude: 0.5,
+                ..Default::default()
+            },
+        );
         sim.run(8000);
         let d = sim.backlog_delay();
         assert!(d.is_finite());
@@ -361,7 +385,10 @@ mod tests {
     fn zero_ticks_reports_zero() {
         let alg = converged(3);
         let sim = sim_from(&alg, PacketConfig::default());
-        assert_eq!(sim.delivered_rate(spn_model::CommodityId::from_index(0)), 0.0);
+        assert_eq!(
+            sim.delivered_rate(spn_model::CommodityId::from_index(0)),
+            0.0
+        );
         assert_eq!(sim.total_queued(), 0.0);
     }
 }

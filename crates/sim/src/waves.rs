@@ -85,8 +85,7 @@ pub fn marginal_wave(
                             continue;
                         }
                         let head = ext.graph().target(l);
-                        acc += phi
-                            * cost.edge_marginal(ext, state, j, l, values[ji][head.index()]);
+                        acc += phi * cost.edge_marginal(ext, state, j, l, values[ji][head.index()]);
                     }
                 }
                 values[ji][v.index()] = acc;
@@ -178,7 +177,7 @@ pub fn forecast_wave(ext: &ExtendedNetwork, routing: &RoutingTable) -> (FlowStat
         debug_assert!(pending.iter().all(|&p| p == 0), "forecast wave deadlocked");
         outcome.merge_parallel(wave);
     }
-    (FlowState { t, x, f_edge, f_node }, outcome)
+    (FlowState::from_nested(&t, &x, f_edge, f_node), outcome)
 }
 
 /// Converts raw marginal values into the core crate's [`Marginals`].
@@ -196,7 +195,12 @@ mod tests {
     use spn_model::random::RandomInstance;
 
     fn setup(seed: u64) -> (ExtendedNetwork, CostModel, RoutingTable) {
-        let inst = RandomInstance::builder().nodes(20).commodities(2).seed(seed).build().unwrap();
+        let inst = RandomInstance::builder()
+            .nodes(20)
+            .commodities(2)
+            .seed(seed)
+            .build()
+            .unwrap();
         let mut alg = GradientAlgorithm::new(&inst.problem, GradientConfig::default()).unwrap();
         alg.run(50); // non-trivial routing state
         let ext = alg.extended().clone();
@@ -270,12 +274,8 @@ mod tests {
             .unwrap();
         let rounds = |p: &spn_model::Problem| {
             let alg = GradientAlgorithm::new(p, GradientConfig::default()).unwrap();
-            let (_, o) = marginal_wave(
-                alg.extended(),
-                alg.cost_model(),
-                alg.routing(),
-                alg.flows(),
-            );
+            let (_, o) =
+                marginal_wave(alg.extended(), alg.cost_model(), alg.routing(), alg.flows());
             o.rounds
         };
         assert!(

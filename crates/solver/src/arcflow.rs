@@ -119,8 +119,7 @@ impl ArcFlowEncoding {
     #[must_use]
     pub fn extract(&self, problem: &Problem, objective: f64, x: &[f64]) -> OptimalSolution {
         let g = problem.graph();
-        let admitted: Vec<f64> =
-            self.a_col.iter().map(|&col| x[col].max(0.0)).collect();
+        let admitted: Vec<f64> = self.a_col.iter().map(|&col| x[col].max(0.0)).collect();
         let mut edge_flow = vec![vec![0.0; g.edge_count()]; problem.num_commodities()];
         for j in problem.commodity_ids() {
             for e in g.edges() {
@@ -140,7 +139,13 @@ impl ArcFlowEncoding {
                 }
             }
         }
-        OptimalSolution { objective, admitted, edge_flow, node_usage, link_usage }
+        OptimalSolution {
+            objective,
+            admitted,
+            edge_flow,
+            node_usage,
+            link_usage,
+        }
     }
 }
 
@@ -163,7 +168,12 @@ pub fn encode(problem: &Problem) -> (LinearProgram, ArcFlowEncoding) {
     let num_vars = next + j_count;
     let mut lp = LinearProgram::new(num_vars);
     let mut rows: Vec<RowKind> = Vec::new();
-    let enc_probe = ArcFlowEncoding { x_col, a_col, num_vars, rows: Vec::new() };
+    let enc_probe = ArcFlowEncoding {
+        x_col,
+        a_col,
+        num_vars,
+        rows: Vec::new(),
+    };
     let enc = &enc_probe;
 
     // Balance constraints.
@@ -230,8 +240,21 @@ pub fn encode(problem: &Problem) -> (LinearProgram, ArcFlowEncoding) {
         }
     }
 
-    let ArcFlowEncoding { x_col, a_col, num_vars, .. } = enc_probe;
-    (lp, ArcFlowEncoding { x_col, a_col, num_vars, rows })
+    let ArcFlowEncoding {
+        x_col,
+        a_col,
+        num_vars,
+        ..
+    } = enc_probe;
+    (
+        lp,
+        ArcFlowEncoding {
+            x_col,
+            a_col,
+            num_vars,
+            rows,
+        },
+    )
 }
 
 /// Why a centralized solve failed.
@@ -254,7 +277,10 @@ impl fmt::Display for SolveError {
         match self {
             SolveError::Lp(e) => write!(f, "lp solve failed: {e}"),
             SolveError::NotLinear { commodity } => {
-                write!(f, "commodity {commodity} has a non-linear utility; use piecewise")
+                write!(
+                    f,
+                    "commodity {commodity} has a non-linear utility; use piecewise"
+                )
             }
         }
     }
@@ -327,7 +353,11 @@ mod tests {
         b.uses(j, e1, 1.0, 1.0).uses(j, e2, 2.0, 1.0);
         let p = b.build().unwrap();
         let sol = solve_linear_utility(&p).unwrap();
-        assert!((sol.objective - 5.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 5.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert!(sol.max_violation(&p) < 1e-6);
     }
 
@@ -379,7 +409,11 @@ mod tests {
             .uses(j, e_yt, 1.0, 1.0);
         let p = b.build().unwrap();
         let sol = solve_linear_utility(&p).unwrap();
-        assert!((sol.objective - 10.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 10.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert!(sol.max_violation(&p) < 1e-6);
     }
 
@@ -406,7 +440,11 @@ mod tests {
         // resource is charged at each edge's tail, so the shared relay x
         // pays 1 unit per admitted unit (its outgoing edge); its 10
         // units go entirely to the weight-5 commodity: objective 50
-        assert!((sol.objective - 50.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 50.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert!(sol.admitted[0] > 9.9 && sol.admitted[1] < 0.1);
     }
 

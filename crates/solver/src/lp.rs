@@ -51,7 +51,10 @@ impl LinearProgram {
     /// objective.
     #[must_use]
     pub fn new(vars: usize) -> Self {
-        LinearProgram { objective: vec![0.0; vars], constraints: Vec::new() }
+        LinearProgram {
+            objective: vec![0.0; vars],
+            constraints: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -86,11 +89,19 @@ impl LinearProgram {
 
     fn push(&mut self, coeffs: Vec<(usize, f64)>, relation: Relation, rhs: f64) {
         for &(v, c) in &coeffs {
-            assert!(v < self.num_vars(), "constraint references variable {v} of {}", self.num_vars());
+            assert!(
+                v < self.num_vars(),
+                "constraint references variable {v} of {}",
+                self.num_vars()
+            );
             assert!(c.is_finite(), "non-finite coefficient {c}");
         }
         assert!(rhs.is_finite(), "non-finite rhs {rhs}");
-        self.constraints.push(Constraint { coeffs, relation, rhs });
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
     }
 
     /// Evaluates the objective at a point.
@@ -332,9 +343,17 @@ pub fn solve(lp: &LinearProgram) -> Result<LpSolution, LpFailure> {
             }
         };
         let flipped = lp.constraints[i].rhs < 0.0;
-        duals[i] = if flipped { -sign * z[col] } else { sign * z[col] };
+        duals[i] = if flipped {
+            -sign * z[col]
+        } else {
+            sign * z[col]
+        };
     }
-    Ok(LpSolution { objective, x, duals })
+    Ok(LpSolution {
+        objective,
+        x,
+        duals,
+    })
 }
 
 /// Runs primal simplex (maximization) on a tableau already in basic
@@ -377,8 +396,7 @@ fn run_simplex(
             if row[enter] > TOL {
                 let ratio = row[cols] / row[enter];
                 let better = ratio < best - TOL
-                    || (ratio < best + TOL
-                        && leave.is_some_and(|l| basis[i] < basis[l]));
+                    || (ratio < best + TOL && leave.is_some_and(|l| basis[i] < basis[l]));
                 if better {
                     best = ratio;
                     leave = Some(i);
@@ -653,8 +671,7 @@ mod tests {
                 lp.set_objective(v, next() * 2.0 - 0.5);
             }
             for _ in 0..m {
-                let coeffs: Vec<(usize, f64)> =
-                    (0..n).map(|v| (v, next() * 2.0)).collect();
+                let coeffs: Vec<(usize, f64)> = (0..n).map(|v| (v, next() * 2.0)).collect();
                 lp.less_equal(coeffs, next() * 10.0 + 0.1);
             }
             match solve(&lp) {

@@ -147,8 +147,16 @@ mod tests {
         let p = problem_with(UtilityFn::log(1.0), 6.0, 100.0);
         let truth = (1.0 + 6.0f64).ln();
         let (lo, hi) = sandwich(&p, 8).unwrap();
-        assert!(lo.objective <= truth + 1e-6, "lower {} > truth {truth}", lo.objective);
-        assert!(hi.objective >= truth - 1e-6, "upper {} < truth {truth}", hi.objective);
+        assert!(
+            lo.objective <= truth + 1e-6,
+            "lower {} > truth {truth}",
+            lo.objective
+        );
+        assert!(
+            hi.objective >= truth - 1e-6,
+            "upper {} < truth {truth}",
+            hi.objective
+        );
         assert!(hi.objective - lo.objective < 0.1);
     }
 

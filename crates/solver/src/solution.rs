@@ -67,7 +67,9 @@ impl OptimalSolution {
             let usage: f64 = problem
                 .commodity_ids()
                 .filter_map(|j| {
-                    problem.params(j, e).map(|p| p.beta * self.edge_flow[j.index()][e.index()])
+                    problem
+                        .params(j, e)
+                        .map(|p| p.beta * self.edge_flow[j.index()][e.index()])
                 })
                 .sum();
             worst = worst.max(usage - problem.edge_bandwidth(e).value());
@@ -89,10 +91,16 @@ impl OptimalSolution {
                     .in_edges(v)
                     .iter()
                     .filter_map(|&e| {
-                        problem.params(j, e).map(|p| p.beta * self.edge_flow[j.index()][e.index()])
+                        problem
+                            .params(j, e)
+                            .map(|p| p.beta * self.edge_flow[j.index()][e.index()])
                     })
                     .sum();
-                let r = if v == c.source() { self.admitted[j.index()] } else { 0.0 };
+                let r = if v == c.source() {
+                    self.admitted[j.index()]
+                } else {
+                    0.0
+                };
                 worst = worst.max((outflow - inflow - r).abs());
             }
         }
@@ -146,7 +154,10 @@ mod tests {
         let s = feasible_solution();
         assert!(s.max_violation(&p) < 1e-12);
         assert_eq!(s.true_utility(&p), 4.0);
-        assert_eq!(s.flow(CommodityId::from_index(0), spn_graph::EdgeId::from_index(0)), 4.0);
+        assert_eq!(
+            s.flow(CommodityId::from_index(0), spn_graph::EdgeId::from_index(0)),
+            4.0
+        );
         assert!((s.node_utilization(&p, NodeId::from_index(0)) - 0.8).abs() < 1e-12);
     }
 

@@ -3,10 +3,10 @@
 
 use proptest::prelude::*;
 use spn_model::random::RandomInstance;
-use spn_solver::lp::{solve, LinearProgram, LpFailure};
-use spn_solver::arcflow::solve_linear_utility;
-use spn_solver::piecewise::{sandwich, solve_concave, Bound};
 use spn_model::UtilityFn;
+use spn_solver::arcflow::solve_linear_utility;
+use spn_solver::lp::{solve, LinearProgram, LpFailure};
+use spn_solver::piecewise::{sandwich, solve_concave, Bound};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

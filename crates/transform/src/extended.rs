@@ -31,6 +31,66 @@ pub enum EdgeKind {
     DummyDifference(CommodityId),
 }
 
+/// Per-commodity adjacency in compressed sparse row form, built once at
+/// construction so the hot iteration loops read contiguous edge slices
+/// instead of filtering the full adjacency through the membership row.
+#[derive(Clone, Debug)]
+struct CommodityAdjacency {
+    /// Commodity out-edges of every node, concatenated in ascending
+    /// node order; each node's segment keeps the graph's adjacency
+    /// order (so iteration order matches the filtered scan it replaces).
+    out_edges: Vec<EdgeId>,
+    /// `out_start[v]..out_start[v + 1]` indexes `out_edges` for node `v`.
+    out_start: Vec<u32>,
+    /// Commodity in-edges, same layout as `out_edges`.
+    in_edges: Vec<EdgeId>,
+    /// Segment offsets into `in_edges`.
+    in_start: Vec<u32>,
+    /// Non-sink nodes with at least one commodity out-edge, ascending.
+    routers: Vec<NodeId>,
+}
+
+impl CommodityAdjacency {
+    fn build(graph: &DiGraph, in_commodity: &[bool], sink: NodeId) -> Self {
+        let v_count = graph.node_count();
+        let mut out_edges = Vec::new();
+        let mut out_start = Vec::with_capacity(v_count + 1);
+        let mut in_edges = Vec::new();
+        let mut in_start = Vec::with_capacity(v_count + 1);
+        let mut routers = Vec::new();
+        for v in graph.nodes() {
+            out_start.push(out_edges.len() as u32);
+            out_edges.extend(
+                graph
+                    .out_edges(v)
+                    .iter()
+                    .copied()
+                    .filter(|l| in_commodity[l.index()]),
+            );
+            if v != sink && out_edges.len() as u32 > *out_start.last().expect("pushed above") {
+                routers.push(v);
+            }
+            in_start.push(in_edges.len() as u32);
+            in_edges.extend(
+                graph
+                    .in_edges(v)
+                    .iter()
+                    .copied()
+                    .filter(|l| in_commodity[l.index()]),
+            );
+        }
+        out_start.push(out_edges.len() as u32);
+        in_start.push(in_edges.len() as u32);
+        CommodityAdjacency {
+            out_edges,
+            out_start,
+            in_edges,
+            in_start,
+            routers,
+        }
+    }
+}
+
 /// The transformed network: one resource constraint per node, admission
 /// control folded into routing.
 ///
@@ -62,6 +122,8 @@ pub struct ExtendedNetwork {
     commodities: Vec<Commodity>,
     /// Per-commodity topological order of the *extended* subgraph.
     topo: Vec<Vec<NodeId>>,
+    /// Per-commodity CSR adjacency (see [`CommodityAdjacency`]).
+    adjacency: Vec<CommodityAdjacency>,
     physical_nodes: usize,
     physical_edges: usize,
 }
@@ -160,6 +222,17 @@ impl ExtendedNetwork {
             })
             .collect();
 
+        let adjacency = problem
+            .commodity_ids()
+            .map(|j| {
+                CommodityAdjacency::build(
+                    &graph,
+                    &in_commodity[j.index()],
+                    problem.commodity(j).sink(),
+                )
+            })
+            .collect();
+
         ExtendedNetwork {
             graph,
             node_kind,
@@ -173,6 +246,7 @@ impl ExtendedNetwork {
             difference_edge,
             commodities: problem.commodities().to_vec(),
             topo,
+            adjacency,
             physical_nodes: n,
             physical_edges: m,
         }
@@ -265,14 +339,48 @@ impl ExtendedNetwork {
         self.beta[j.index()][l.index()]
     }
 
+    /// Outgoing extended edges of `v` usable by commodity `j`, as a
+    /// contiguous precomputed slice (same order as the graph adjacency).
+    #[must_use]
+    pub fn commodity_out_slice(&self, j: CommodityId, v: NodeId) -> &[EdgeId] {
+        let adj = &self.adjacency[j.index()];
+        &adj.out_edges[adj.out_start[v.index()] as usize..adj.out_start[v.index() + 1] as usize]
+    }
+
+    /// Incoming extended edges of `v` usable by commodity `j`, as a
+    /// contiguous precomputed slice.
+    #[must_use]
+    pub fn commodity_in_slice(&self, j: CommodityId, v: NodeId) -> &[EdgeId] {
+        let adj = &self.adjacency[j.index()];
+        &adj.in_edges[adj.in_start[v.index()] as usize..adj.in_start[v.index() + 1] as usize]
+    }
+
+    /// Non-sink nodes with at least one commodity-`j` out-edge (the
+    /// nodes that must carry a full unit of routing mass), ascending.
+    #[must_use]
+    pub fn commodity_routers(&self, j: CommodityId) -> &[NodeId] {
+        &self.adjacency[j.index()].routers
+    }
+
+    /// Largest commodity-`j` out-degree over all nodes (sizing hint for
+    /// per-row scratch buffers).
+    #[must_use]
+    pub fn max_out_degree(&self, j: CommodityId) -> usize {
+        let adj = &self.adjacency[j.index()];
+        adj.out_start
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Outgoing extended edges of `v` usable by commodity `j`.
     pub fn commodity_out_edges(
         &self,
         j: CommodityId,
         v: NodeId,
     ) -> impl Iterator<Item = EdgeId> + '_ {
-        let row = &self.in_commodity[j.index()];
-        self.graph.out_edges(v).iter().copied().filter(move |l| row[l.index()])
+        self.commodity_out_slice(j, v).iter().copied()
     }
 
     /// Incoming extended edges of `v` usable by commodity `j`.
@@ -281,8 +389,7 @@ impl ExtendedNetwork {
         j: CommodityId,
         v: NodeId,
     ) -> impl Iterator<Item = EdgeId> + '_ {
-        let row = &self.in_commodity[j.index()];
-        self.graph.in_edges(v).iter().copied().filter(move |l| row[l.index()])
+        self.commodity_in_slice(j, v).iter().copied()
     }
 
     /// Topological order of the extended graph restricted to commodity
@@ -374,7 +481,11 @@ mod tests {
 
         let inst = RandomInstance::builder().seed(4).build().unwrap();
         let p = inst.problem;
-        let (n, m, j) = (p.graph().node_count(), p.graph().edge_count(), p.num_commodities());
+        let (n, m, j) = (
+            p.graph().node_count(),
+            p.graph().edge_count(),
+            p.num_commodities(),
+        );
         let ext = ExtendedNetwork::build(&p);
         assert_eq!(ext.graph().node_count(), n + m + j);
         assert_eq!(ext.graph().edge_count(), 2 * m + 2 * j);
@@ -386,15 +497,33 @@ mod tests {
         let ext = ExtendedNetwork::build(&p);
         let j = CommodityId::from_index(0);
         // node 0..3 physical, 3..5 bandwidth, 5 dummy
-        assert_eq!(ext.node_kind(NodeId::from_index(0)), NodeKind::Processing(NodeId::from_index(0)));
-        assert_eq!(ext.node_kind(NodeId::from_index(3)), NodeKind::Bandwidth(EdgeId::from_index(0)));
-        assert_eq!(ext.node_kind(NodeId::from_index(5)), NodeKind::DummySource(j));
+        assert_eq!(
+            ext.node_kind(NodeId::from_index(0)),
+            NodeKind::Processing(NodeId::from_index(0))
+        );
+        assert_eq!(
+            ext.node_kind(NodeId::from_index(3)),
+            NodeKind::Bandwidth(EdgeId::from_index(0))
+        );
+        assert_eq!(
+            ext.node_kind(NodeId::from_index(5)),
+            NodeKind::DummySource(j)
+        );
         assert_eq!(ext.dummy_source(j), NodeId::from_index(5));
         // edges 0..4 splits, 4 dummy input, 5 difference
-        assert_eq!(ext.edge_kind(EdgeId::from_index(0)), EdgeKind::Ingress(EdgeId::from_index(0)));
-        assert_eq!(ext.edge_kind(EdgeId::from_index(1)), EdgeKind::Egress(EdgeId::from_index(0)));
+        assert_eq!(
+            ext.edge_kind(EdgeId::from_index(0)),
+            EdgeKind::Ingress(EdgeId::from_index(0))
+        );
+        assert_eq!(
+            ext.edge_kind(EdgeId::from_index(1)),
+            EdgeKind::Egress(EdgeId::from_index(0))
+        );
         assert_eq!(ext.edge_kind(ext.input_edge(j)), EdgeKind::DummyInput(j));
-        assert_eq!(ext.edge_kind(ext.difference_edge(j)), EdgeKind::DummyDifference(j));
+        assert_eq!(
+            ext.edge_kind(ext.difference_edge(j)),
+            EdgeKind::DummyDifference(j)
+        );
     }
 
     #[test]
@@ -450,6 +579,56 @@ mod tests {
         let into: Vec<EdgeId> = ext.commodity_in_edges(j, sink).collect();
         // egress of second link + difference link
         assert_eq!(into.len(), 2);
+    }
+
+    #[test]
+    fn csr_matches_membership_filter() {
+        let inst = RandomInstance::builder()
+            .seed(9)
+            .commodities(3)
+            .build()
+            .unwrap();
+        let ext = ExtendedNetwork::build(&inst.problem);
+        for j in ext.commodity_ids() {
+            let mut expected_routers = Vec::new();
+            for v in ext.graph().nodes() {
+                let out: Vec<EdgeId> = ext
+                    .graph()
+                    .out_edges(v)
+                    .iter()
+                    .copied()
+                    .filter(|&l| ext.in_commodity(j, l))
+                    .collect();
+                assert_eq!(
+                    ext.commodity_out_slice(j, v),
+                    &out[..],
+                    "out slice of {v} for {j}"
+                );
+                let into: Vec<EdgeId> = ext
+                    .graph()
+                    .in_edges(v)
+                    .iter()
+                    .copied()
+                    .filter(|&l| ext.in_commodity(j, l))
+                    .collect();
+                assert_eq!(
+                    ext.commodity_in_slice(j, v),
+                    &into[..],
+                    "in slice of {v} for {j}"
+                );
+                if v != ext.commodity(j).sink() && !out.is_empty() {
+                    expected_routers.push(v);
+                }
+            }
+            assert_eq!(ext.commodity_routers(j), &expected_routers[..]);
+            let max_deg = ext
+                .graph()
+                .nodes()
+                .map(|v| ext.commodity_out_slice(j, v).len())
+                .max()
+                .unwrap();
+            assert_eq!(ext.max_out_degree(j), max_deg);
+        }
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub fn physical_loads(ext: &ExtendedNetwork, loads: &[f64]) -> PhysicalLoads {
             NodeKind::DummySource(_) => {}
         }
     }
-    PhysicalLoads { node_usage, link_usage }
+    PhysicalLoads {
+        node_usage,
+        link_usage,
+    }
 }
 
 /// Human-readable label for an extended node (for DOT dumps and logs).

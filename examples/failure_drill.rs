@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .commodity_ids()
                     .all(|j| v != ext.commodity(j).source() && v != ext.commodity(j).sink())
         })
-        .max_by(|&a, &b| sim.flows().node_usage(a).total_cmp(&sim.flows().node_usage(b)))
+        .max_by(|&a, &b| {
+            sim.flows()
+                .node_usage(a)
+                .total_cmp(&sim.flows().node_usage(b))
+        })
         .expect("network has intermediate servers");
     let victim_load = sim.flows().node_usage(victim);
     println!("\nfailing server {victim} (load {victim_load:.2}) ...");

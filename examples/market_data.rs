@@ -20,13 +20,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .nodes(24)
         .commodities(3)
         .seed(12)
-        .utility(UtilityFn::Log { weight: 10.0, scale: 1.0 })
+        .utility(UtilityFn::Log {
+            weight: 10.0,
+            scale: 1.0,
+        })
         .max_rate(40.0..=80.0)
         .build()?
         .problem;
     // The FX desk pays for priority: double weight.
     let fx = spn::model::CommodityId::from_index(2);
-    problem = problem.with_utility(fx, UtilityFn::Log { weight: 20.0, scale: 1.0 });
+    problem = problem.with_utility(
+        fx,
+        UtilityFn::Log {
+            weight: 20.0,
+            scale: 1.0,
+        },
+    );
 
     // Certified bracket on the true concave optimum.
     let (lower, upper) = sandwich(&problem, 60)?;
@@ -44,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\nper-desk admissions (log utility ⇒ nobody starves):");
-    for (j, name) in problem.commodity_ids().zip(["equities", "futures", "fx(2x)"]) {
+    for (j, name) in problem
+        .commodity_ids()
+        .zip(["equities", "futures", "fx(2x)"])
+    {
         println!(
             "  {name:<9} λ {:>6.1}   admitted {:>7.3}   centralized {:>7.3}",
             problem.commodity(j).max_rate,

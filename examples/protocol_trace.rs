@@ -30,11 +30,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .uses(j, e_pt, 1.5, 1.0);
     let problem = b.build()?;
 
-    let mut sim = GradientSim::new(&problem, GradientConfig { eta: 0.3, ..Default::default() })?;
+    let mut sim = GradientSim::new(
+        &problem,
+        GradientConfig {
+            eta: 0.3,
+            ..Default::default()
+        },
+    )?;
     let ext = sim.extended().clone();
     let j = CommodityId::from_index(0);
 
-    println!("extended network ({} nodes, {} edges):", ext.graph().node_count(), ext.graph().edge_count());
+    println!(
+        "extended network ({} nodes, {} edges):",
+        ext.graph().node_count(),
+        ext.graph().edge_count()
+    );
     for l in ext.graph().edges() {
         let (a, bb) = ext.graph().endpoints(l);
         println!(
@@ -46,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\niter  rounds msgs   admitted  phi(admit) phi(cheap) phi(pricey)");
-    let s_outs: Vec<_> = ext.commodity_out_edges(j, ext.commodity(j).source()).collect();
+    let s_outs: Vec<_> = ext
+        .commodity_out_edges(j, ext.commodity(j).source())
+        .collect();
     for i in 0..12 {
         let stats = sim.step();
         let rt = sim.routing();

@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Centralized reference: the LP optimum of the joint admission,
     // routing, and allocation problem.
     let optimum = solve_linear_utility(&problem)?;
-    println!("centralized optimum: admit {:.3} units/s", optimum.objective);
+    println!(
+        "centralized optimum: admit {:.3} units/s",
+        optimum.objective
+    );
 
     // The distributed algorithm starts fully rejecting and grows
     // admission as the gradient discovers capacity.

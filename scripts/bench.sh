@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Builds (release) and runs the core iteration-throughput benchmark.
+# Writes BENCH_core.json to the repository root; TSV results on stdout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release -p spn-bench --bin bench_core
+exec ./target/release/bench_core

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints as errors, every test.
+# Run from anywhere; always operates on the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q

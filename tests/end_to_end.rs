@@ -27,7 +27,10 @@ fn gradient_matches_lp_on_chain() {
     let opt = solve_linear_utility(&problem).unwrap();
     assert!((opt.objective - 5.0).abs() < 1e-6);
 
-    let cfg = GradientConfig { eta: 0.3, ..GradientConfig::default() };
+    let cfg = GradientConfig {
+        eta: 0.3,
+        ..GradientConfig::default()
+    };
     let mut alg = GradientAlgorithm::new(&problem, cfg).unwrap();
     let report = alg.run(4000);
     assert!(
@@ -45,7 +48,12 @@ fn gradient_matches_lp_on_chain() {
 /// iterations (the paper's "about 1000" regime).
 #[test]
 fn gradient_tracks_lp_at_paper_scale() {
-    let problem = RandomInstance::builder().seed(1).build().unwrap().problem.scale_demand(3.0);
+    let problem = RandomInstance::builder()
+        .seed(1)
+        .build()
+        .unwrap()
+        .problem
+        .scale_demand(3.0);
     let opt = solve_linear_utility(&problem).unwrap();
     let mut alg = GradientAlgorithm::new(&problem, GradientConfig::default()).unwrap();
     let mut it95 = None;
@@ -62,7 +70,11 @@ fn gradient_tracks_lp_at_paper_scale() {
         report.utility,
         opt.objective
     );
-    assert!(report.max_utilization <= 1.0 + 1e-6, "capacity violated: {}", report.max_utilization);
+    assert!(
+        report.max_utilization <= 1.0 + 1e-6,
+        "capacity violated: {}",
+        report.max_utilization
+    );
     let it95 = it95.expect("should reach 95%");
     assert!(
         (200..6000).contains(&it95),
@@ -74,7 +86,12 @@ fn gradient_tracks_lp_at_paper_scale() {
 /// magnitude more iterations — the Figure 4 contrast.
 #[test]
 fn back_pressure_is_much_slower_than_gradient() {
-    let problem = RandomInstance::builder().seed(1).build().unwrap().problem.scale_demand(3.0);
+    let problem = RandomInstance::builder()
+        .seed(1)
+        .build()
+        .unwrap()
+        .problem
+        .scale_demand(3.0);
     let opt = solve_linear_utility(&problem).unwrap();
 
     let mut grad = GradientAlgorithm::new(&problem, GradientConfig::default()).unwrap();
@@ -114,7 +131,13 @@ fn back_pressure_is_much_slower_than_gradient() {
 /// the admitted rates respect both λ and the capacity region.
 #[test]
 fn admission_control_tracks_load() {
-    let base = RandomInstance::builder().nodes(24).commodities(2).seed(9).build().unwrap().problem;
+    let base = RandomInstance::builder()
+        .nodes(24)
+        .commodities(2)
+        .seed(9)
+        .build()
+        .unwrap()
+        .problem;
 
     // Underload: shrink demand until the LP is demand-limited.
     let under = base.scale_demand(0.05);
@@ -135,7 +158,10 @@ fn admission_control_tracks_load() {
     let opt_over = solve_linear_utility(&over).unwrap();
     let mut alg = GradientAlgorithm::new(&over, GradientConfig::default()).unwrap();
     let r = alg.run(8000);
-    assert!(r.utility < 0.9 * over.total_demand(), "overload must shed load");
+    assert!(
+        r.utility < 0.9 * over.total_demand(),
+        "overload must shed load"
+    );
     assert!(r.utility > 0.75 * opt_over.objective);
     assert!(r.max_utilization <= 1.0 + 1e-6);
 }
@@ -144,8 +170,13 @@ fn admission_control_tracks_load() {
 /// tolerance of) the certified sandwich bracket.
 #[test]
 fn concave_solution_respects_certified_bounds() {
-    let mut problem =
-        RandomInstance::builder().nodes(18).commodities(2).seed(4).build().unwrap().problem;
+    let mut problem = RandomInstance::builder()
+        .nodes(18)
+        .commodities(2)
+        .seed(4)
+        .build()
+        .unwrap()
+        .problem;
     for j in problem.commodity_ids().collect::<Vec<_>>() {
         problem = problem.with_utility(j, UtilityFn::log(5.0));
     }
@@ -181,9 +212,19 @@ fn shrinkage_accounting_is_exact_end_to_end() {
     let j = b.commodity(s, t, 5.0, UtilityFn::throughput());
     b.uses(j, e1, 1.0, 0.25).uses(j, e2, 1.0, 8.0); // net gain 2.0
     let problem = b.build().unwrap();
-    assert!((problem.gain(CommodityId::from_index(0), problem.commodity(CommodityId::from_index(0)).sink()) - 2.0).abs() < 1e-12);
+    assert!(
+        (problem.gain(
+            CommodityId::from_index(0),
+            problem.commodity(CommodityId::from_index(0)).sink()
+        ) - 2.0)
+            .abs()
+            < 1e-12
+    );
 
-    let cfg = GradientConfig { eta: 0.3, ..GradientConfig::default() };
+    let cfg = GradientConfig {
+        eta: 0.3,
+        ..GradientConfig::default()
+    };
     let mut alg = GradientAlgorithm::new(&problem, cfg).unwrap();
     let r = alg.run(3000);
     assert!(r.admitted[0] > 4.0, "admitted {}", r.admitted[0]);
@@ -201,11 +242,18 @@ fn shrinkage_accounting_is_exact_end_to_end() {
 #[test]
 fn figure1_contention_resolves_near_optimally() {
     use spn::model::figures::{figure1, Figure1Config};
-    let problem = figure1(Figure1Config { max_rate: 40.0, ..Figure1Config::default() }).unwrap();
+    let problem = figure1(Figure1Config {
+        max_rate: 40.0,
+        ..Figure1Config::default()
+    })
+    .unwrap();
     let opt = solve_linear_utility(&problem).unwrap();
     assert!(opt.objective > 0.0);
 
-    let cfg = GradientConfig { eta: 0.2, ..GradientConfig::default() };
+    let cfg = GradientConfig {
+        eta: 0.2,
+        ..GradientConfig::default()
+    };
     let mut alg = GradientAlgorithm::new(&problem, cfg).unwrap();
     let r = alg.run(8000);
     assert!(
@@ -216,5 +264,9 @@ fn figure1_contention_resolves_near_optimally() {
     );
     assert!(r.max_utilization <= 1.0 + 1e-9);
     // both streams make progress despite the shared bottleneck
-    assert!(r.admitted.iter().all(|&a| a > 0.5), "admitted {:?}", r.admitted);
+    assert!(
+        r.admitted.iter().all(|&a| a > 0.5),
+        "admitted {:?}",
+        r.admitted
+    );
 }

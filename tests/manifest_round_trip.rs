@@ -9,9 +9,18 @@ use spn::solver::arcflow::solve_linear_utility;
 
 #[test]
 fn reloaded_manifest_reproduces_results_exactly() {
-    let original = RandomInstance::builder().nodes(20).commodities(2).seed(33).build().unwrap().problem;
+    let original = RandomInstance::builder()
+        .nodes(20)
+        .commodities(2)
+        .seed(33)
+        .build()
+        .unwrap()
+        .problem;
     let json = ProblemSpec::from(&original).to_json().unwrap();
-    let reloaded = ProblemSpec::from_json(&json).unwrap().into_problem().unwrap();
+    let reloaded = ProblemSpec::from_json(&json)
+        .unwrap()
+        .into_problem()
+        .unwrap();
 
     // LP optima agree to the bit (identical arithmetic on identical data)
     let a = solve_linear_utility(&original).unwrap();
@@ -34,7 +43,13 @@ fn reloaded_manifest_reproduces_results_exactly() {
 
 #[test]
 fn manifest_survives_double_round_trip() {
-    let problem = RandomInstance::builder().nodes(16).commodities(3).seed(7).build().unwrap().problem;
+    let problem = RandomInstance::builder()
+        .nodes(16)
+        .commodities(3)
+        .seed(7)
+        .build()
+        .unwrap()
+        .problem;
     let spec1 = ProblemSpec::from(&problem);
     let json1 = spec1.to_json().unwrap();
     let spec2 = ProblemSpec::from_json(&json1).unwrap();

@@ -19,7 +19,10 @@ fn sim_equals_core_at_paper_scale() {
         sim.step();
         alg.step();
         let (a, b) = (sim.utility(), alg.report().utility);
-        assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "iter {i}: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-6 * (1.0 + b.abs()),
+            "iter {i}: {a} vs {b}"
+        );
     }
 }
 
@@ -69,7 +72,13 @@ fn gradient_rounds_scale_with_depth_bp_does_not() {
 /// stable over time; totals accumulate correctly.
 #[test]
 fn message_totals_accumulate() {
-    let problem = RandomInstance::builder().nodes(20).commodities(2).seed(6).build().unwrap().problem;
+    let problem = RandomInstance::builder()
+        .nodes(20)
+        .commodities(2)
+        .seed(6)
+        .build()
+        .unwrap()
+        .problem;
     let mut sim = GradientSim::new(&problem, GradientConfig::default()).unwrap();
     let mut sum_msgs = 0;
     let mut sum_rounds = 0;

@@ -1,0 +1,208 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness surface the
+//! workspace's benches use, backed by a plain wall-clock measurement
+//! loop: warm up briefly, then run batches until a minimum measurement
+//! time is reached and report mean time per iteration. No statistics,
+//! plots, or baselines — those need the real crate; this one exists so
+//! `cargo bench` keeps working without a registry.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The benchmark manager handed to every group function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_benchmark(&name, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measured batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labeled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark; nothing to do).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label made of a function name and a parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The measurement driver passed to benchmark closures.
+pub struct Bencher {
+    /// Total time spent inside the routine across all measured calls.
+    elapsed: Duration,
+    /// Number of measured calls of the routine.
+    iterations: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly and records mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up: run for ~100 ms to reach steady state
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(100) {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        // choose a batch size so one batch is ~1 ms, then measure
+        // sample_size batches (bounded to ~2 s total)
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let batch = ((1_000_000 / per_iter.max(1)) as u64).max(1);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iterations += batch;
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.elapsed = total;
+        self.iterations = iterations;
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 0,
+        sample_size,
+    };
+    f(&mut b);
+    if b.iterations == 0 {
+        println!("{label}: no measurement (Bencher::iter was not called)");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iterations as f64;
+    let (value, unit) = if ns_per_iter >= 1_000_000.0 {
+        (ns_per_iter / 1_000_000.0, "ms")
+    } else if ns_per_iter >= 1_000.0 {
+        (ns_per_iter / 1_000.0, "µs")
+    } else {
+        (ns_per_iter, "ns")
+    };
+    println!(
+        "{label}: {value:.3} {unit}/iter ({} iterations)",
+        b.iterations
+    );
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(2)
+            .bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats_as_path() {
+        assert_eq!(BenchmarkId::new("f", 42).to_string(), "f/42");
+    }
+}

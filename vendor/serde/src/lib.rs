@@ -1,0 +1,293 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable from this build environment, so the
+//! workspace vendors a deliberately small serialization framework with
+//! the same *spelling* as serde — `Serialize`/`Deserialize` traits, a
+//! derive macro, `#[serde(transparent)]` — but a much simpler model:
+//! every value serializes into an owned [`Value`] tree, and formats
+//! (here: `serde_json`) render and parse that tree.
+//!
+//! The derive supports exactly the shapes this workspace uses: structs
+//! with named fields, tuple newtypes marked `#[serde(transparent)]`,
+//! and enums with unit and struct variants (externally tagged, like
+//! real serde).
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically-typed serialized value.
+///
+/// Maps preserve insertion order so that renderings are deterministic
+/// and round-trips are textually stable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number; integers are exact up to 2^53.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The number payload, if this is a [`Value::Num`].
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Value::Bool`].
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is a [`Value::Seq`].
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The entry list, if this is a [`Value::Map`].
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] tree does not match the target type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with a custom message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion of a value into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction of a value from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from `value`, reporting shape mismatches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `value` does not have the shape the
+    /// target type expects.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up a required field in a map's entries.
+///
+/// # Errors
+///
+/// Returns [`DeError`] if the key is absent.
+pub fn map_field<'a>(entries: &'a [(String, Value)], key: &str) -> Result<&'a Value, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{key}`")))
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::custom(format!("expected number, found {}", value.kind())))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::custom(format!("expected bool, found {}", value.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::custom(format!("expected string, found {}", value.kind())))
+    }
+}
+
+macro_rules! int_value {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // every integer this workspace serializes fits in f64's
+                // 53-bit exact range; guard it so overflow cannot pass
+                // silently
+                let n = *self as f64;
+                debug_assert_eq!(n as $t, *self, "integer not exactly representable");
+                Value::Num(n)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value.as_f64().ok_or_else(|| {
+                    DeError::custom(format!("expected integer, found {}", value.kind()))
+                })?;
+                if n.fract() != 0.0 || n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(DeError::custom(format!(
+                        "number {n} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+int_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_seq()
+            .ok_or_else(|| DeError::custom(format!("expected sequence, found {}", value.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        let v: Vec<f64> = vec![1.0, 2.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn shape_mismatches_error() {
+        assert!(f64::from_value(&Value::Str("x".into())).is_err());
+        assert!(u32::from_value(&Value::Num(1.5)).is_err());
+        assert!(u8::from_value(&Value::Num(300.0)).is_err());
+        assert!(Vec::<f64>::from_value(&Value::Num(1.0)).is_err());
+    }
+
+    #[test]
+    fn map_field_reports_missing_keys() {
+        let entries = vec![("a".to_string(), Value::Num(1.0))];
+        assert!(map_field(&entries, "a").is_ok());
+        let err = map_field(&entries, "b").unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+    }
+}

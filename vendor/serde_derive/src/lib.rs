@@ -1,0 +1,443 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (the registry is unreachable): the
+//! input item is parsed directly from the `proc_macro::TokenStream` and
+//! the generated impls are assembled as source text. Supported shapes —
+//! the only ones this workspace derives:
+//!
+//! * structs with named fields,
+//! * single-field tuple structs marked `#[serde(transparent)]`,
+//! * enums whose variants are units or have named fields
+//!   (externally tagged, like real serde).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Derives `serde::Serialize` for the supported item shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives `serde::Deserialize` for the supported item shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TransparentNewtype {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match dir {
+                Direction::Serialize => gen_serialize(&item),
+                Direction::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("generated impl must be valid Rust")
+        }
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error invocation must parse"),
+    }
+}
+
+/// True if this `#[...]` attribute body is `serde(transparent)`.
+fn is_transparent_attr(body: &TokenStream) -> bool {
+    let mut tokens = body.clone().into_iter();
+    match (tokens.next(), tokens.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) => {
+            name.to_string() == "serde"
+                && args
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "transparent"))
+        }
+        _ => false,
+    }
+}
+
+/// Splits a token list at top-level commas, tracking `<...>` nesting so
+/// commas inside generic arguments do not split (parens/brackets/braces
+/// already arrive pre-grouped).
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Strips leading attributes and visibility from a token chunk,
+/// reporting whether a `#[serde(transparent)]` was among the attributes.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> (usize, bool) {
+    let mut i = 0;
+    let mut transparent = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        transparent |= is_transparent_attr(&g.stream());
+                        i += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) and friends
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, transparent)
+}
+
+/// Extracts the field name from one named-field chunk
+/// (`[attrs] [vis] name : Type`).
+fn field_name(chunk: &[TokenTree]) -> Result<String, String> {
+    let (start, _) = strip_attrs_and_vis(chunk);
+    match (chunk.get(start), chunk.get(start + 1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Punct(colon))) if colon.as_char() == ':' => {
+            Ok(name.to_string())
+        }
+        _ => Err("serde stand-in derive: could not parse field name".to_string()),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, transparent) = strip_attrs_and_vis(&tokens);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => {
+            return Err(format!(
+                "serde stand-in derive: expected struct/enum, found {other:?}"
+            ))
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde stand-in derive: expected item name, found {other:?}"
+            ))
+        }
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err("serde stand-in derive: generic items are not supported".to_string());
+        }
+        other => {
+            return Err(format!(
+                "serde stand-in derive: expected item body, found {other:?}"
+            ))
+        }
+    };
+    let chunks = split_commas(body.stream().into_iter().collect());
+    if kind == "struct" {
+        match body.delimiter() {
+            Delimiter::Brace => {
+                if transparent {
+                    return Err(
+                        "serde stand-in derive: #[serde(transparent)] requires a tuple newtype"
+                            .to_string(),
+                    );
+                }
+                let fields = chunks
+                    .iter()
+                    .map(|c| field_name(c))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Item::NamedStruct { name, fields })
+            }
+            Delimiter::Parenthesis => {
+                if !transparent || chunks.len() != 1 {
+                    return Err("serde stand-in derive: tuple structs must be single-field \
+                         #[serde(transparent)] newtypes"
+                        .to_string());
+                }
+                Ok(Item::TransparentNewtype { name })
+            }
+            _ => Err("serde stand-in derive: unsupported struct body".to_string()),
+        }
+    } else {
+        let mut variants = Vec::new();
+        for chunk in &chunks {
+            let (start, _) = strip_attrs_and_vis(chunk);
+            let vname = match chunk.get(start) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => {
+                    return Err(format!(
+                        "serde stand-in derive: expected variant name, found {other:?}"
+                    ))
+                }
+            };
+            let fields = match chunk.get(start + 1) {
+                None => None,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Some(
+                    split_commas(g.stream().into_iter().collect())
+                        .iter()
+                        .map(|c| field_name(c))
+                        .collect::<Result<Vec<_>, _>>()?,
+                ),
+                Some(other) => {
+                    return Err(format!(
+                        "serde stand-in derive: unsupported variant shape at {other:?} \
+                         (tuple variants are not supported)"
+                    ))
+                }
+            };
+            variants.push(Variant {
+                name: vname,
+                fields,
+            });
+        }
+        Ok(Item::Enum { name, variants })
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut entries = String::new();
+            for f in fields {
+                write!(
+                    entries,
+                    "(::std::string::String::from({f:?}), serde::Serialize::to_value(&self.{f})),"
+                )
+                .unwrap();
+            }
+            write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+            .unwrap();
+        }
+        Item::TransparentNewtype { name } => {
+            write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Serialize::to_value(&self.0)\n\
+                     }}\n\
+                 }}"
+            )
+            .unwrap();
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => write!(
+                        arms,
+                        "{name}::{vname} => \
+                         serde::Value::Str(::std::string::String::from({vname:?})),"
+                    )
+                    .unwrap(),
+                    Some(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut entries = String::new();
+                        for f in fields {
+                            write!(
+                                entries,
+                                "(::std::string::String::from({f:?}), \
+                                 serde::Serialize::to_value({f})),"
+                            )
+                            .unwrap();
+                        }
+                        write!(
+                            arms,
+                            "{name}::{vname} {{ {bindings} }} => serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({vname:?}),\
+                                 serde::Value::Map(::std::vec![{entries}])\
+                             )]),"
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                write!(
+                    inits,
+                    "{f}: serde::Deserialize::from_value(serde::map_field(__m, {f:?})?)?,"
+                )
+                .unwrap();
+            }
+            write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &serde::Value) \
+                         -> ::std::result::Result<Self, serde::DeError> {{\n\
+                         let __m = __value.as_map().ok_or_else(|| serde::DeError::custom(\
+                             ::std::format!(\"expected map for {name}, found {{}}\", __value.kind())\
+                         ))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+            .unwrap();
+        }
+        Item::TransparentNewtype { name } => {
+            write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &serde::Value) \
+                         -> ::std::result::Result<Self, serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name}(serde::Deserialize::from_value(__value)?))\n\
+                     }}\n\
+                 }}"
+            )
+            .unwrap();
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => write!(
+                        unit_arms,
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                    )
+                    .unwrap(),
+                    Some(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            write!(
+                                inits,
+                                "{f}: serde::Deserialize::from_value(\
+                                     serde::map_field(__fm, {f:?})?)?,"
+                            )
+                            .unwrap();
+                        }
+                        write!(
+                            map_arms,
+                            "{vname:?} => {{\n\
+                                 let __fm = __inner.as_map().ok_or_else(|| \
+                                     serde::DeError::custom(\
+                                         \"expected map for variant {vname} of {name}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                             }}"
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &serde::Value) \
+                         -> ::std::result::Result<Self, serde::DeError> {{\n\
+                         if let serde::Value::Str(__s) = __value {{\n\
+                             return match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => ::std::result::Result::Err(serde::DeError::custom(\
+                                     ::std::format!(\
+                                         \"unknown variant `{{}}` of {name}\", __other))),\n\
+                             }};\n\
+                         }}\n\
+                         let __m = __value.as_map().ok_or_else(|| serde::DeError::custom(\
+                             ::std::format!(\
+                                 \"expected map or string for {name}, found {{}}\", \
+                                 __value.kind())))?;\n\
+                         if __m.len() != 1 {{\n\
+                             return ::std::result::Result::Err(serde::DeError::custom(\
+                                 \"expected single-key map for enum {name}\"));\n\
+                         }}\n\
+                         let (__tag, __inner) = (&__m[0].0, &__m[0].1);\n\
+                         let _ = __inner;\n\
+                         match __tag.as_str() {{\n\
+                             {map_arms}\n\
+                             __other => ::std::result::Result::Err(serde::DeError::custom(\
+                                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+            .unwrap();
+        }
+    }
+    out
+}
