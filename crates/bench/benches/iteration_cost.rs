@@ -3,6 +3,13 @@
 //! per-commodity iteration core scales along; `bench_core` covers the
 //! node axis). The paper argues about *message* cost per iteration;
 //! this bench adds the compute side.
+//!
+//! Each algorithm instance is constructed (and warmed to steady state)
+//! **once, outside the bench closure**, then reused across every
+//! Criterion sample: construction builds the persistent worker pool and
+//! spawns its threads, and rebuilding per sample would fold that setup
+//! cost — and the cold-start workspace growth — into the measured
+//! steady-state iteration time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spn_baseline::{BackPressure, BackPressureConfig};
@@ -14,29 +21,32 @@ fn bench_iterations(c: &mut Criterion) {
     let mut group = c.benchmark_group("iteration_cost");
     for &commodities in &[3usize, 8, 16] {
         let problem = small_instance(1, 40, commodities);
-        group.bench_with_input(
-            BenchmarkId::new("gradient", commodities),
-            &problem,
-            |b, p| {
-                let cfg = GradientConfig {
-                    threads: 1,
-                    ..GradientConfig::default()
-                };
-                let mut alg = GradientAlgorithm::new(p, cfg).unwrap();
-                alg.run(50); // steady state
-                b.iter(|| black_box(alg.step()));
-            },
-        );
+
+        for threads in [1usize, 2] {
+            let cfg = GradientConfig {
+                threads,
+                ..GradientConfig::default()
+            };
+            // One algorithm (and one pool) for the whole benchmark:
+            // steady-state iteration cost, not setup.
+            let mut alg = GradientAlgorithm::new(&problem, cfg).unwrap();
+            alg.run(50); // steady state
+            let name = format!("gradient_t{threads}");
+            group.bench_with_input(BenchmarkId::new(name, commodities), &problem, |b, _p| {
+                b.iter(|| black_box(alg.step()))
+            });
+        }
+
+        let mut bp = BackPressure::new(&problem, BackPressureConfig::default());
+        bp.run(50);
         group.bench_with_input(
             BenchmarkId::new("back_pressure", commodities),
             &problem,
-            |b, p| {
-                let mut bp = BackPressure::new(p, BackPressureConfig::default());
-                bp.run(50);
+            |b, _p| {
                 b.iter(|| {
                     bp.step();
                     black_box(bp.iterations())
-                });
+                })
             },
         );
     }

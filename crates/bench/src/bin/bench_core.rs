@@ -1,9 +1,19 @@
 //! Core iteration-throughput baseline: measures steady-state
 //! `GradientAlgorithm::step()` rates (iterations/second) on the paper
-//! instance and scaled instances, at `threads = 1` and at the machine's
-//! available parallelism, and writes the results (with the pre-refactor
-//! serial baseline embedded for the speedup column) to
+//! instance and scaled instances across a thread sweep
+//! (`threads ∈ {1, 2, 4, auto}`), and writes the results (with the
+//! pre-refactor serial baseline embedded for the speedup column) to
 //! `BENCH_core.json` in the current directory.
+//!
+//! On a host where `available_parallelism() == 1` the parallel columns
+//! measure pool overhead, not speedup; the run warns to stderr and tags
+//! the JSON with `"degraded": true` so the perf trajectory isn't
+//! polluted by single-core CI hosts.
+//!
+//! `bench_core --smoke` runs a fast subset (short measurement windows,
+//! no JSON write) and exits non-zero if the `threads = 2` pooled path
+//! falls more than 10% below serial on a multi-core host — the CI guard
+//! against reintroducing per-step thread churn.
 //!
 //! Run via `scripts/bench.sh` (release build) from the repository root.
 
@@ -22,26 +32,45 @@ const CASES: &[(usize, usize, f64)] = &[
     (400, 32, 1_242.9),
 ];
 
-const WARMUP_ITERS: usize = 50;
-const MIN_MEASURE_SECS: f64 = 0.5;
-const BATCH: usize = 16;
+/// Explicit thread counts swept per case; `auto` (`threads = 0`) is
+/// measured separately because its resolution is case-dependent.
+const THREAD_SWEEP: &[usize] = &[1, 2, 4];
+
+struct Timing {
+    warmup_iters: usize,
+    min_measure_secs: f64,
+    repeats: usize,
+}
+
 /// Timed windows per configuration; the reported rate is the best one
 /// (throughput benches take the max — slow windows measure scheduler
 /// noise, not the code).
-const REPEATS: usize = 3;
+const FULL: Timing = Timing {
+    warmup_iters: 50,
+    min_measure_secs: 0.5,
+    repeats: 3,
+};
 
-fn iterations_per_sec(nodes: usize, commodities: usize, threads: usize) -> f64 {
+const SMOKE: Timing = Timing {
+    warmup_iters: 20,
+    min_measure_secs: 0.05,
+    repeats: 2,
+};
+
+const BATCH: usize = 16;
+
+fn iterations_per_sec(nodes: usize, commodities: usize, threads: usize, timing: &Timing) -> f64 {
     let problem = small_instance(1, nodes, commodities);
     let cfg = GradientConfig {
         threads,
         ..GradientConfig::default()
     };
     let mut alg = GradientAlgorithm::new(&problem, cfg).expect("valid config");
-    for _ in 0..WARMUP_ITERS {
+    for _ in 0..timing.warmup_iters {
         alg.step();
     }
     let mut best = 0.0f64;
-    for _ in 0..REPEATS {
+    for _ in 0..timing.repeats {
         let start = Instant::now();
         let mut iters = 0usize;
         let rate = loop {
@@ -50,7 +79,7 @@ fn iterations_per_sec(nodes: usize, commodities: usize, threads: usize) -> f64 {
             }
             iters += BATCH;
             let elapsed = start.elapsed().as_secs_f64();
-            if elapsed >= MIN_MEASURE_SECS {
+            if elapsed >= timing.min_measure_secs {
                 break iters as f64 / elapsed;
             }
         };
@@ -59,44 +88,112 @@ fn iterations_per_sec(nodes: usize, commodities: usize, threads: usize) -> f64 {
     best
 }
 
+/// What `threads = 0` resolves to for a given case (capped at the
+/// commodity count, floor 1).
+fn auto_threads(nodes: usize, commodities: usize) -> usize {
+    let problem = small_instance(1, nodes, commodities);
+    GradientAlgorithm::new(&problem, GradientConfig::default())
+        .expect("valid config")
+        .resolved_threads()
+}
+
+fn smoke(parallelism: usize) {
+    let degraded = parallelism <= 1;
+    if degraded {
+        eprintln!(
+            "bench_core --smoke: available_parallelism is 1; \
+             reporting rates but skipping the t2-vs-t1 assertion"
+        );
+    }
+    let mut failed = false;
+    // The two smallest cases: the per-iteration work is tiniest there,
+    // so pool-overhead regressions show up loudest.
+    println!("# smoke\tnodes\tcommodities\tt1\tt2\tt2/t1");
+    for &(nodes, commodities, _) in &CASES[..2] {
+        let t1 = iterations_per_sec(nodes, commodities, 1, &SMOKE);
+        let t2 = iterations_per_sec(nodes, commodities, 2, &SMOKE);
+        let ratio = t2 / t1;
+        println!("smoke\t{nodes}\t{commodities}\t{t1:.1}\t{t2:.1}\t{ratio:.2}");
+        if !degraded && ratio < 0.9 {
+            eprintln!(
+                "FAIL: threads=2 is {:.0}% of serial at {nodes} nodes / \
+                 {commodities} commodities (floor is 90%)",
+                ratio * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("bench_core --smoke: ok");
+}
+
 fn main() {
     let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    // Always measure the scoped-thread path, even on a single-core box
-    // (it must not regress there either).
-    let thread_counts: Vec<usize> = if parallelism > 1 {
-        vec![1, parallelism]
-    } else {
-        vec![1, 2]
-    };
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke(parallelism);
+        return;
+    }
+
+    let degraded = parallelism <= 1;
+    if degraded {
+        eprintln!(
+            "warning: available_parallelism is 1 — the t2/t4/auto columns \
+             measure pool overhead on a single core, not parallel speedup; \
+             BENCH_core.json will carry \"degraded\": true"
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"core_iteration_throughput\",");
     let _ = writeln!(json, "  \"available_parallelism\": {parallelism},");
-    let _ = writeln!(json, "  \"warmup_iterations\": {WARMUP_ITERS},");
-    let _ = writeln!(json, "  \"min_measure_seconds\": {MIN_MEASURE_SECS},");
-    let _ = writeln!(json, "  \"repeats_best_of\": {REPEATS},");
+    let _ = writeln!(json, "  \"degraded\": {degraded},");
+    let _ = writeln!(json, "  \"warmup_iterations\": {},", FULL.warmup_iters);
+    let _ = writeln!(
+        json,
+        "  \"min_measure_seconds\": {},",
+        FULL.min_measure_secs
+    );
+    let _ = writeln!(json, "  \"repeats_best_of\": {},", FULL.repeats);
     json.push_str("  \"cases\": [\n");
 
     println!("# nodes\tcommodities\tthreads\titers_per_sec\tseed_serial\tspeedup_vs_seed");
     for (ci, &(nodes, commodities, seed_rate)) in CASES.iter().enumerate() {
+        let auto = auto_threads(nodes, commodities);
         let mut thread_results = Vec::new();
-        for &threads in &thread_counts {
-            let rate = iterations_per_sec(nodes, commodities, threads);
+        for &threads in THREAD_SWEEP {
+            let rate = iterations_per_sec(nodes, commodities, threads, &FULL);
             println!(
                 "{nodes}\t{commodities}\t{threads}\t{rate:.1}\t{seed_rate:.1}\t{:.2}",
                 rate / seed_rate
             );
             thread_results.push((threads, rate));
         }
+        // auto (`threads = 0`): reuse the sweep measurement when it
+        // resolved to a swept count, otherwise measure it.
+        let auto_rate = thread_results
+            .iter()
+            .find(|&&(t, _)| t == auto)
+            .map_or_else(
+                || iterations_per_sec(nodes, commodities, 0, &FULL),
+                |&(_, r)| r,
+            );
+        println!(
+            "{nodes}\t{commodities}\tauto({auto})\t{auto_rate:.1}\t{seed_rate:.1}\t{:.2}",
+            auto_rate / seed_rate
+        );
+
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"nodes\": {nodes},");
         let _ = writeln!(json, "      \"commodities\": {commodities},");
         let _ = writeln!(json, "      \"seed_serial_iters_per_sec\": {seed_rate:.1},");
         for &(threads, rate) in &thread_results {
-            // the speedup field always follows, so every line takes a comma
             let _ = writeln!(json, "      \"iters_per_sec_t{threads}\": {rate:.1},");
         }
+        let _ = writeln!(json, "      \"iters_per_sec_auto\": {auto_rate:.1},");
+        let _ = writeln!(json, "      \"auto_threads\": {auto},");
         let serial_rate = thread_results[0].1;
         let _ = writeln!(
             json,

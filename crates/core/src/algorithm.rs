@@ -24,7 +24,9 @@ use crate::cost::CostModel;
 use crate::flows::{compute_flows_into, FlowState};
 use crate::gamma::{apply_gamma_ws, GammaStats};
 use crate::marginals::{compute_marginals_into, Marginals};
+use crate::pool::WorkerPool;
 use crate::routing::RoutingTable;
+use crate::step::fused_step;
 use crate::workspace::IterationWorkspace;
 use spn_graph::NodeId;
 use spn_model::{Penalty, Problem};
@@ -81,12 +83,16 @@ pub struct GradientConfig {
     pub epsilon_interval: usize,
     /// Annealing floor: ε never drops below this.
     pub epsilon_min: f64,
-    /// Worker threads for the per-commodity passes (flows, marginals,
-    /// tags, Γ). `0` resolves to [`std::thread::available_parallelism`];
-    /// `1` forces the serial (zero-allocation) path. Results are
-    /// bit-identical for every value (ARCHITECTURE invariant 9): each
-    /// commodity owns its rows and all cross-commodity reductions run in
-    /// fixed commodity order.
+    /// Worker threads for the fused per-step passes (tags, Γ, flows,
+    /// marginals). `0` resolves to
+    /// [`std::thread::available_parallelism`] capped at the commodity
+    /// count (extra workers would idle in the per-commodity phases);
+    /// `1` forces the serial (zero-allocation, pool-free) path. Any
+    /// value > 1 runs over a persistent [`WorkerPool`] owned by the
+    /// algorithm — threads are spawned once at construction, parked
+    /// between steps, and joined on drop. Results are bit-identical for
+    /// every value (ARCHITECTURE invariant 9): each commodity owns its
+    /// rows and all cross-commodity reductions run in fixed order.
     pub threads: usize,
 }
 
@@ -212,8 +218,21 @@ impl Report {
     }
 }
 
+/// Resolves a requested thread count: `0` means "auto" — the machine's
+/// available parallelism, capped at the commodity count (the fused
+/// step's phases are per-commodity, so extra workers would only park).
+/// Explicit requests are honored as given (the Γ phase can still split
+/// a commodity across workers by router chunk).
+fn resolve_threads(requested: usize, available: usize, commodities: usize) -> usize {
+    if requested == 0 {
+        available.min(commodities.max(1)).max(1)
+    } else {
+        requested.max(1)
+    }
+}
+
 /// The distributed gradient-based algorithm over an extended network.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct GradientAlgorithm {
     ext: ExtendedNetwork,
     cost: CostModel,
@@ -222,13 +241,38 @@ pub struct GradientAlgorithm {
     state: FlowState,
     marginals: Marginals,
     iterations: usize,
-    /// Resolved worker count (`config.threads`, with `0` replaced by the
-    /// machine's available parallelism at construction).
+    /// Resolved worker count (see [`resolve_threads`]).
     threads: usize,
     /// Reusable scratch: per-commodity usage partials and Γ lanes.
     workspace: IterationWorkspace,
     /// Reusable blocking-tag buffer (eq. (18)).
     tags: BlockedTags,
+    /// Persistent worker pool (`Some` iff the resolved thread count is
+    /// above 1): spawned once, parked between steps, joined on drop.
+    pool: Option<WorkerPool>,
+}
+
+impl Clone for GradientAlgorithm {
+    /// Clones the full algorithm state; the clone gets its own fresh
+    /// worker pool of the same size (threads are not shareable).
+    fn clone(&self) -> Self {
+        GradientAlgorithm {
+            ext: self.ext.clone(),
+            cost: self.cost,
+            config: self.config,
+            routing: self.routing.clone(),
+            state: self.state.clone(),
+            marginals: self.marginals.clone(),
+            iterations: self.iterations,
+            threads: self.threads,
+            workspace: self.workspace.clone(),
+            tags: self.tags.clone(),
+            pool: self
+                .pool
+                .as_ref()
+                .map(|p| WorkerPool::new(p.participants())),
+        }
+    }
 }
 
 impl GradientAlgorithm {
@@ -275,17 +319,16 @@ impl GradientAlgorithm {
             wall_threshold: config.wall_threshold,
             wall_strength: config.wall_strength,
         };
-        let threads = if config.threads == 0 {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        } else {
-            config.threads
-        };
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let threads = resolve_threads(config.threads, available, ext.num_commodities());
+        let pool = (threads > 1).then(|| WorkerPool::new(threads));
         let routing = RoutingTable::initial(&ext);
         let mut workspace = IterationWorkspace::new(&ext);
+        workspace.ensure_workers(&ext, threads);
         let mut state = FlowState::zeros(&ext);
-        compute_flows_into(&ext, &routing, &mut state, &mut workspace, threads);
+        compute_flows_into(&ext, &routing, &mut state, &mut workspace, pool.as_ref());
         let mut marginals = Marginals::zeros(&ext);
-        compute_marginals_into(&ext, &cost, &routing, &state, &mut marginals, threads);
+        compute_marginals_into(&ext, &cost, &routing, &state, &mut marginals, pool.as_ref());
         let tags = BlockedTags::none(&ext);
         Ok(GradientAlgorithm {
             ext,
@@ -298,73 +341,96 @@ impl GradientAlgorithm {
             threads,
             workspace,
             tags,
+            pool,
         })
     }
 
     /// Performs one full protocol iteration; returns its statistics.
     ///
-    /// Heap-allocation-free in steady state when the resolved thread
-    /// count is 1: every pass reads and writes the preallocated
-    /// buffers owned by `self` (verified by the workspace's counting
-    /// allocator test).
+    /// Heap-allocation-free in steady state for every resolved thread
+    /// count: the serial path reads and writes the preallocated buffers
+    /// owned by `self`, and the pooled path additionally performs zero
+    /// thread spawns — one fused dispatch wakes the persistent workers,
+    /// carries each commodity through tags → Γ → flows, reduces the
+    /// usage totals in fixed commodity order, and sweeps the marginals
+    /// (both properties are pinned by tests).
     pub fn step(&mut self) -> StepStats {
         let cost_before = self.cost.total_cost(&self.ext, &self.state);
-        if self.config.use_blocked_sets {
-            compute_tags_into(
+        // ε-annealing schedule (no-op when epsilon_factor == 1.0),
+        // decided up front so the fused path can split its dispatch
+        // around the epsilon mutation.
+        let will_anneal = self.config.epsilon_factor < 1.0
+            && (self.iterations + 1).is_multiple_of(self.config.epsilon_interval)
+            && self.cost.epsilon > self.config.epsilon_min;
+        let anneal_to = will_anneal
+            .then(|| (self.cost.epsilon * self.config.epsilon_factor).max(self.config.epsilon_min));
+        let gamma = if let Some(pool) = &self.pool {
+            fused_step(
+                &self.ext,
+                &mut self.cost,
+                &self.config,
+                pool,
+                &mut self.routing,
+                &mut self.state,
+                &mut self.marginals,
+                &mut self.tags,
+                &mut self.workspace,
+                anneal_to,
+            )
+        } else {
+            if self.config.use_blocked_sets {
+                compute_tags_into(
+                    &self.ext,
+                    &self.cost,
+                    &self.routing,
+                    &self.state,
+                    &self.marginals,
+                    self.config.eta,
+                    self.config.traffic_floor,
+                    &mut self.tags,
+                    None,
+                );
+            } else {
+                self.tags.reset(&self.ext);
+            }
+            let gamma = apply_gamma_ws(
+                &self.ext,
+                &self.cost,
+                &mut self.routing,
+                &self.state,
+                &self.marginals,
+                &self.tags,
+                self.config.eta,
+                self.config.traffic_floor,
+                self.config.opening_fraction,
+                self.config.shift_cap,
+                &mut self.workspace,
+                None,
+            );
+            // Forecast flows for the new decision and refresh marginals
+            // so the next iteration (and external reports) see
+            // consistent state.
+            compute_flows_into(
+                &self.ext,
+                &self.routing,
+                &mut self.state,
+                &mut self.workspace,
+                None,
+            );
+            if let Some(eps) = anneal_to {
+                self.cost.epsilon = eps;
+            }
+            compute_marginals_into(
                 &self.ext,
                 &self.cost,
                 &self.routing,
                 &self.state,
-                &self.marginals,
-                self.config.eta,
-                self.config.traffic_floor,
-                &mut self.tags,
-                self.threads,
+                &mut self.marginals,
+                None,
             );
-        } else {
-            self.tags.reset(&self.ext);
-        }
-        let gamma = apply_gamma_ws(
-            &self.ext,
-            &self.cost,
-            &mut self.routing,
-            &self.state,
-            &self.marginals,
-            &self.tags,
-            self.config.eta,
-            self.config.traffic_floor,
-            self.config.opening_fraction,
-            self.config.shift_cap,
-            &mut self.workspace,
-            self.threads,
-        );
-        // Forecast flows for the new decision and refresh marginals so
-        // the next iteration (and external reports) see consistent
-        // state.
-        compute_flows_into(
-            &self.ext,
-            &self.routing,
-            &mut self.state,
-            &mut self.workspace,
-            self.threads,
-        );
+            gamma
+        };
         self.iterations += 1;
-        // ε-annealing schedule (no-op when epsilon_factor == 1.0).
-        if self.config.epsilon_factor < 1.0
-            && self.iterations.is_multiple_of(self.config.epsilon_interval)
-            && self.cost.epsilon > self.config.epsilon_min
-        {
-            self.cost.epsilon =
-                (self.cost.epsilon * self.config.epsilon_factor).max(self.config.epsilon_min);
-        }
-        compute_marginals_into(
-            &self.ext,
-            &self.cost,
-            &self.routing,
-            &self.state,
-            &mut self.marginals,
-            self.threads,
-        );
         StepStats { cost_before, gamma }
     }
 
@@ -475,6 +541,30 @@ impl GradientAlgorithm {
         self.iterations
     }
 
+    /// The resolved worker count in effect (≥ 1; `1` means the serial,
+    /// pool-free path).
+    #[must_use]
+    pub fn resolved_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Reconfigures the worker count mid-run: re-resolves `threads`
+    /// (`0` = auto, capped at the commodity count) and rebuilds or
+    /// drops the persistent pool accordingly. The trajectory is
+    /// unaffected — results are bit-identical for every thread count
+    /// (ARCHITECTURE invariant 9).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let resolved = resolve_threads(threads, available, self.ext.num_commodities());
+        if resolved == self.threads {
+            return;
+        }
+        self.threads = resolved;
+        self.pool = (resolved > 1).then(|| WorkerPool::new(resolved));
+        self.workspace.ensure_workers(&self.ext, resolved);
+    }
+
     /// Overwrites the routing decision (used by failure-injection
     /// experiments to apply local repairs) and recomputes flows and
     /// marginals.
@@ -492,7 +582,7 @@ impl GradientAlgorithm {
             &self.routing,
             &mut self.state,
             &mut self.workspace,
-            self.threads,
+            self.pool.as_ref(),
         );
         compute_marginals_into(
             &self.ext,
@@ -500,7 +590,7 @@ impl GradientAlgorithm {
             &self.routing,
             &self.state,
             &mut self.marginals,
-            self.threads,
+            self.pool.as_ref(),
         );
     }
 }
@@ -692,6 +782,56 @@ mod tests {
             ra.utility,
             rb.utility
         );
+    }
+
+    #[test]
+    fn thread_resolution_caps_auto_at_commodities() {
+        // auto: capped by both available parallelism and commodities
+        assert_eq!(resolve_threads(0, 8, 3), 3);
+        assert_eq!(resolve_threads(0, 2, 5), 2);
+        assert_eq!(resolve_threads(0, 8, 0), 1);
+        assert_eq!(resolve_threads(0, 1, 5), 1);
+        // explicit requests are honored (Γ still splits by chunk)
+        assert_eq!(resolve_threads(4, 1, 1), 4);
+        assert_eq!(resolve_threads(1, 8, 5), 1);
+    }
+
+    #[test]
+    fn set_threads_rebuilds_or_drops_the_pool() {
+        let p = bottleneck_problem();
+        let cfg = GradientConfig {
+            threads: 3,
+            ..GradientConfig::default()
+        };
+        let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
+        assert_eq!(alg.resolved_threads(), 3);
+        alg.step();
+        alg.set_threads(1);
+        assert_eq!(alg.resolved_threads(), 1);
+        alg.step();
+        alg.set_threads(2);
+        assert_eq!(alg.resolved_threads(), 2);
+        alg.step();
+        // auto on this problem: capped at 1 commodity ⇒ serial
+        alg.set_threads(0);
+        assert_eq!(alg.resolved_threads(), 1);
+        alg.step();
+    }
+
+    #[test]
+    fn clone_gets_its_own_pool_and_identical_trajectory() {
+        let p = bottleneck_problem();
+        let cfg = GradientConfig {
+            threads: 2,
+            ..GradientConfig::default()
+        };
+        let mut a = GradientAlgorithm::new(&p, cfg).unwrap();
+        a.run(10);
+        let mut b = a.clone();
+        let ra = a.run(25);
+        let rb = b.run(25);
+        assert_eq!(ra.utility.to_bits(), rb.utility.to_bits());
+        assert_eq!(a.routing(), b.routing());
     }
 
     #[test]

@@ -19,16 +19,18 @@
 //! code compares both).
 //!
 //! [`compute_tags_into`] reuses the caller's tag buffer (no heap
-//! allocation once warm) and can run the independent per-commodity
-//! sweeps on scoped threads; [`compute_tags`] is the allocating
-//! wrapper. Rows are disjoint, so results are identical for any thread
-//! count.
+//! allocation once warm) and can fan the independent per-commodity
+//! sweeps out over the persistent [`WorkerPool`](crate::pool::WorkerPool);
+//! [`compute_tags`] is the allocating wrapper. Rows are disjoint, so
+//! results are bit-identical for any thread count.
+
+#![allow(unsafe_code)] // disjoint-row fan-out over the worker pool
 
 use crate::cost::CostModel;
-use crate::flows::FlowState;
+use crate::flows::{FlowState, UsageView};
 use crate::marginals::Marginals;
+use crate::pool::{RowTable, WorkerPool};
 use crate::routing::RoutingTable;
-use crate::workspace::run_commodity_tasks;
 use spn_graph::NodeId;
 use spn_model::CommodityId;
 use spn_transform::ExtendedNetwork;
@@ -37,8 +39,8 @@ use spn_transform::ExtendedNetwork;
 /// `v`'s broadcast for destination `j` carried the blocking tag.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BlockedTags {
-    tagged: Vec<bool>,
-    v_count: usize,
+    pub(crate) tagged: Vec<bool>,
+    pub(crate) v_count: usize,
 }
 
 impl BlockedTags {
@@ -87,6 +89,11 @@ impl BlockedTags {
         self.tagged[j.index() * self.v_count + v.index()]
     }
 
+    /// Commodity-`j` tag row, indexed by extended node.
+    pub(crate) fn row(&self, j: CommodityId) -> &[bool] {
+        &self.tagged[j.index() * self.v_count..(j.index() + 1) * self.v_count]
+    }
+
     /// Whether the Γ update at node `i` may *not* move mass onto the
     /// edge toward `k`: true exactly when `k ∈ B_i(j)`, i.e. `k` is
     /// tagged and the current fraction is zero.
@@ -103,14 +110,18 @@ impl BlockedTags {
 }
 
 /// One commodity's reverse tag sweep (caller-cleared row). `phi` is the
-/// commodity's fraction row, indexed directly in the inner loop.
+/// commodity's fraction row, `t_row`/`d_row` its traffic and marginal
+/// rows, and `usage` the shared usage totals — the only cross-commodity
+/// data the sweep reads, which is what lets the fused pooled step run
+/// it concurrently with other commodities' sweeps.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
-fn tag_sweep(
+pub(crate) fn tag_sweep(
     ext: &ExtendedNetwork,
     cost: &CostModel,
     phi: &[f64],
-    state: &FlowState,
-    marginals: &Marginals,
+    t_row: &[f64],
+    usage: UsageView<'_>,
+    d_row: &[f64],
     eta: f64,
     traffic_floor: f64,
     j: CommodityId,
@@ -118,8 +129,8 @@ fn tag_sweep(
 ) {
     for &v in ext.topo_order(j).iter().rev() {
         let mut tag = false;
-        let t_v = state.traffic(j, v);
-        let dv = marginals.node(j, v);
+        let t_v = t_row[v.index()];
+        let dv = d_row[v.index()];
         for &l in ext.commodity_out_slice(j, v) {
             let phi = phi[l.index()];
             if phi <= 0.0 {
@@ -132,10 +143,10 @@ fn tag_sweep(
                 break;
             }
             // improper link: routes toward non-decreasing marginal
-            let dm = marginals.node(j, head);
+            let dm = d_row[head.index()];
             if dv <= dm && t_v > traffic_floor {
                 // sticky (eq. (18)): this iteration cannot close it
-                let excess = marginals.edge(ext, cost, state, j, l) - dv;
+                let excess = cost.edge_marginal_view(ext, usage, j, l, dm) - dv;
                 if phi >= eta * excess / t_v {
                     tag = true;
                     break;
@@ -148,8 +159,8 @@ fn tag_sweep(
 
 /// Computes the blocking tags for every commodity into a caller-owned
 /// tag set (one reverse sweep per commodity, mirroring the §5 broadcast
-/// protocol). `threads == 1` is the allocation-free serial path;
-/// `threads > 1` fans the sweeps out over scoped threads.
+/// protocol). `pool: None` is the serial path; `Some` fans the sweeps
+/// out over the persistent worker pool. Allocation-free once warm.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
 pub fn compute_tags_into(
     ext: &ExtendedNetwork,
@@ -160,43 +171,50 @@ pub fn compute_tags_into(
     eta: f64,
     traffic_floor: f64,
     out: &mut BlockedTags,
-    threads: usize,
+    pool: Option<&WorkerPool>,
 ) {
     out.reset(ext);
     let v_count = out.v_count;
     let j_count = ext.num_commodities();
-    let rows = out.tagged.chunks_mut(v_count.max(1));
-    if threads <= 1 || j_count <= 1 {
-        for (ji, row) in rows.enumerate() {
-            let j = CommodityId::from_index(ji);
-            tag_sweep(
-                ext,
-                cost,
-                routing.row(j),
-                state,
-                marginals,
-                eta,
-                traffic_floor,
-                j,
-                row,
-            );
+    match pool {
+        Some(pool) if pool.participants() > 1 && j_count > 1 => {
+            let tag_tab = RowTable::new(&mut out.tagged, v_count.max(1));
+            let usage = state.usage_view();
+            pool.run_tasks(j_count, |ji, _worker| {
+                let j = CommodityId::from_index(ji);
+                // SAFETY: task `ji` is the sole accessor of row `ji`.
+                let row = unsafe { tag_tab.row_mut(ji) };
+                tag_sweep(
+                    ext,
+                    cost,
+                    routing.row(j),
+                    state.t_row(j),
+                    usage,
+                    marginals.row(j),
+                    eta,
+                    traffic_floor,
+                    j,
+                    row,
+                );
+            });
         }
-    } else {
-        let tasks: Vec<_> = rows.enumerate().collect();
-        run_commodity_tasks(threads, tasks, |(ji, row)| {
-            let j = CommodityId::from_index(ji);
-            tag_sweep(
-                ext,
-                cost,
-                routing.row(j),
-                state,
-                marginals,
-                eta,
-                traffic_floor,
-                j,
-                row,
-            );
-        });
+        _ => {
+            for (ji, row) in out.tagged.chunks_mut(v_count.max(1)).enumerate() {
+                let j = CommodityId::from_index(ji);
+                tag_sweep(
+                    ext,
+                    cost,
+                    routing.row(j),
+                    state.t_row(j),
+                    state.usage_view(),
+                    marginals.row(j),
+                    eta,
+                    traffic_floor,
+                    j,
+                    row,
+                );
+            }
+        }
     }
 }
 
@@ -227,7 +245,7 @@ pub fn compute_tags(
         eta,
         traffic_floor,
         &mut out,
-        1,
+        None,
     );
     out
 }
@@ -369,18 +387,9 @@ mod tests {
         let m = compute_marginals(&ext, &cm(), &rt, &fs);
         let reference = compute_tags(&ext, &cm(), &rt, &fs, &m, 1e-12, 1e-12);
         let mut reused = BlockedTags::none(&ext);
-        for threads in [1, 4] {
-            compute_tags_into(
-                &ext,
-                &cm(),
-                &rt,
-                &fs,
-                &m,
-                1e-12,
-                1e-12,
-                &mut reused,
-                threads,
-            );
+        let pool = crate::pool::WorkerPool::new(4);
+        for pool in [None, Some(&pool)] {
+            compute_tags_into(&ext, &cm(), &rt, &fs, &m, 1e-12, 1e-12, &mut reused, pool);
             assert_eq!(reused, reference);
         }
     }

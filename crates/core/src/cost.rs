@@ -1,7 +1,7 @@
 //! The relaxed objective `A = Y + ε·D` and its partial derivatives
 //! w.r.t. edge resource usage (eq. (8) and eq. (11)).
 
-use crate::flows::FlowState;
+use crate::flows::{FlowState, UsageView};
 use spn_graph::EdgeId;
 use spn_model::{CommodityId, Penalty};
 use spn_transform::{EdgeKind, ExtendedNetwork};
@@ -127,16 +127,29 @@ impl CostModel {
     /// capacity is infinite).
     #[must_use]
     pub fn edge_partial(&self, ext: &ExtendedNetwork, state: &FlowState, l: EdgeId) -> f64 {
+        self.edge_partial_view(ext, state.usage_view(), l)
+    }
+
+    /// [`CostModel::edge_partial`] over a raw [`UsageView`] of the
+    /// usage totals — the form the pooled sweeps use, since a sweep
+    /// only ever reads its own commodity's rows plus these shared
+    /// totals (stable between the fused step's reduction barriers).
+    pub(crate) fn edge_partial_view(
+        &self,
+        ext: &ExtendedNetwork,
+        usage: UsageView<'_>,
+        l: EdgeId,
+    ) -> f64 {
         match ext.edge_kind(l) {
             EdgeKind::DummyDifference(j) => {
                 let c = ext.commodity(j);
-                let rejected = state.edge_usage(l).clamp(0.0, c.max_rate);
+                let rejected = usage.f_edge[l.index()].clamp(0.0, c.max_rate);
                 c.utility.derivative(c.max_rate - rejected)
             }
             _ => {
                 let tail = ext.graph().source(l);
                 let cap = ext.capacity(tail);
-                let load = state.node_usage(tail);
+                let load = usage.f_node[tail.index()];
                 self.epsilon * self.penalty.derivative(cap, load) + self.wall_derivative(cap, load)
             }
         }
@@ -155,7 +168,21 @@ impl CostModel {
         l: EdgeId,
         downstream_marginal: f64,
     ) -> f64 {
-        self.edge_partial(ext, state, l) * ext.cost(j, l) + ext.beta(j, l) * downstream_marginal
+        self.edge_marginal_view(ext, state.usage_view(), j, l, downstream_marginal)
+    }
+
+    /// [`CostModel::edge_marginal`] over a raw [`UsageView`] of the
+    /// usage totals (see [`CostModel::edge_partial_view`]).
+    pub(crate) fn edge_marginal_view(
+        &self,
+        ext: &ExtendedNetwork,
+        usage: UsageView<'_>,
+        j: CommodityId,
+        l: EdgeId,
+        downstream_marginal: f64,
+    ) -> f64 {
+        self.edge_partial_view(ext, usage, l) * ext.cost(j, l)
+            + ext.beta(j, l) * downstream_marginal
     }
 }
 

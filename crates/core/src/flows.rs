@@ -23,11 +23,15 @@
 //! a fresh [`FlowState`], while [`compute_flows_into`] reuses the
 //! caller's state and an [`IterationWorkspace`] so the steady-state
 //! iteration performs no heap allocation, and can fan the independent
-//! per-commodity sweeps out over threads. Both produce bit-identical
+//! per-commodity sweeps out over a persistent
+//! [`WorkerPool`](crate::pool::WorkerPool). Both produce bit-identical
 //! results for any thread count: each commodity accumulates its own
 //! `f_edge`/`f_node` partial rows, and the partials are reduced in
 //! ascending commodity order on the calling thread.
 
+#![allow(unsafe_code)] // disjoint-row fan-out over the worker pool
+
+use crate::pool::{RowTable, WorkerPool};
 use crate::routing::RoutingTable;
 use crate::workspace::IterationWorkspace;
 use spn_graph::{EdgeId, NodeId};
@@ -43,17 +47,30 @@ use spn_transform::ExtendedNetwork;
 pub struct FlowState {
     /// `t[j·V + v]` — commodity-`j` traffic rate at extended node `v`
     /// (in node-`v` input units), eq. (3).
-    t: Vec<f64>,
+    pub(crate) t: Vec<f64>,
     /// `x[j·L + l]` — commodity-`j` input flow routed over extended edge
     /// `l`: `t_i(j)·φ_il(j)` (input units of the tail node).
-    x: Vec<f64>,
+    pub(crate) x: Vec<f64>,
     /// `f_edge[l]` — total resource usage rate on edge `l` across all
     /// commodities, eq. (4).
-    f_edge: Vec<f64>,
+    pub(crate) f_edge: Vec<f64>,
     /// `f_node[v]` — total resource usage rate at node `v`, eq. (5).
-    f_node: Vec<f64>,
-    v_count: usize,
-    l_count: usize,
+    pub(crate) f_node: Vec<f64>,
+    pub(crate) v_count: usize,
+    pub(crate) l_count: usize,
+}
+
+/// Borrowed view of the cross-commodity usage totals `f_edge`/`f_node` —
+/// the only [`FlowState`] data the per-commodity sweeps share. The
+/// fused pooled step keeps these stable between its reduction barriers,
+/// so sweeps can hold this view while other commodities' rows are being
+/// written.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct UsageView<'a> {
+    /// Total resource usage per extended edge, eq. (4).
+    pub(crate) f_edge: &'a [f64],
+    /// Total resource usage per extended node, eq. (5).
+    pub(crate) f_node: &'a [f64],
 }
 
 impl FlowState {
@@ -151,6 +168,19 @@ impl FlowState {
         &self.f_node
     }
 
+    /// The shared usage totals as a [`UsageView`].
+    pub(crate) fn usage_view(&self) -> UsageView<'_> {
+        UsageView {
+            f_edge: &self.f_edge,
+            f_node: &self.f_node,
+        }
+    }
+
+    /// Commodity-`j` traffic row, indexed by extended node.
+    pub(crate) fn t_row(&self, j: CommodityId) -> &[f64] {
+        &self.t[j.index() * self.v_count..(j.index() + 1) * self.v_count]
+    }
+
     /// Mutable access to one traffic entry — a corruption hook for tests
     /// that verify the balance residual flags inconsistent states.
     #[doc(hidden)]
@@ -189,7 +219,7 @@ impl FlowState {
 /// edge — the routing table's nested lookup is too hot here). All rows
 /// are caller-zeroed and disjoint per commodity, so the sweeps for
 /// different commodities can run on different threads.
-fn flow_sweep(
+pub(crate) fn flow_sweep(
     ext: &ExtendedNetwork,
     phi: &[f64],
     j: CommodityId,
@@ -221,19 +251,19 @@ fn flow_sweep(
 
 /// Evaluates eqs. (3)–(5) into caller-owned buffers.
 ///
-/// `threads == 1` runs the per-commodity sweeps serially with no heap
-/// allocation; `threads > 1` fans them out over a scoped thread pool.
-/// Results are bit-identical either way: every commodity writes its own
-/// rows, and the per-commodity `f_edge`/`f_node` partials are reduced in
-/// ascending commodity order on the calling thread (each partial entry
-/// is a complete per-commodity sum, so the reduction order is the only
-/// order there is).
+/// `pool: None` runs the per-commodity sweeps serially; `Some` fans
+/// them out over the persistent worker pool. Both are allocation-free
+/// in steady state and bit-identical: every commodity writes its own
+/// rows, and the per-commodity `f_edge`/`f_node` partials are reduced
+/// in ascending commodity order on the calling thread (each partial
+/// entry is a complete per-commodity sum, so the reduction order is the
+/// only order there is).
 pub fn compute_flows_into(
     ext: &ExtendedNetwork,
     routing: &RoutingTable,
     state: &mut FlowState,
     ws: &mut IterationWorkspace,
-    threads: usize,
+    pool: Option<&WorkerPool>,
 ) {
     state.reset(ext);
     ws.ensure(ext);
@@ -243,29 +273,40 @@ pub fn compute_flows_into(
     ws.f_edge_part.fill(0.0);
     ws.f_node_part.fill(0.0);
 
-    {
-        let t_rows = state.t.chunks_mut(v_count.max(1));
-        let x_rows = state.x.chunks_mut(l_count.max(1));
-        let fe_rows = ws.f_edge_part.chunks_mut(l_count.max(1));
-        let fn_rows = ws.f_node_part.chunks_mut(v_count.max(1));
-        if threads <= 1 || j_count <= 1 {
+    match pool {
+        Some(pool) if pool.participants() > 1 && j_count > 1 => {
+            let t_tab = RowTable::new(&mut state.t, v_count.max(1));
+            let x_tab = RowTable::new(&mut state.x, l_count.max(1));
+            let fe_tab = RowTable::new(&mut ws.f_edge_part, l_count.max(1));
+            let fn_tab = RowTable::new(&mut ws.f_node_part, v_count.max(1));
+            pool.run_tasks(j_count, |ji, _worker| {
+                let j = CommodityId::from_index(ji);
+                // SAFETY: task `ji` is claimed exactly once and is the
+                // sole accessor of row `ji` of each table.
+                unsafe {
+                    flow_sweep(
+                        ext,
+                        routing.row(j),
+                        j,
+                        t_tab.row_mut(ji),
+                        x_tab.row_mut(ji),
+                        fe_tab.row_mut(ji),
+                        fn_tab.row_mut(ji),
+                    );
+                }
+            });
+        }
+        _ => {
+            let t_rows = state.t.chunks_mut(v_count.max(1));
+            let x_rows = state.x.chunks_mut(l_count.max(1));
+            let fe_rows = ws.f_edge_part.chunks_mut(l_count.max(1));
+            let fn_rows = ws.f_node_part.chunks_mut(v_count.max(1));
             for (ji, ((t, x), (fe, fnode))) in
                 t_rows.zip(x_rows).zip(fe_rows.zip(fn_rows)).enumerate()
             {
                 let j = CommodityId::from_index(ji);
                 flow_sweep(ext, routing.row(j), j, t, x, fe, fnode);
             }
-        } else {
-            let tasks: Vec<_> = t_rows
-                .zip(x_rows)
-                .zip(fe_rows.zip(fn_rows))
-                .enumerate()
-                .map(|(ji, ((t, x), (fe, fnode)))| (ji, t, x, fe, fnode))
-                .collect();
-            crate::workspace::run_commodity_tasks(threads, tasks, |(ji, t, x, fe, fnode)| {
-                let j = CommodityId::from_index(ji);
-                flow_sweep(ext, routing.row(j), j, t, x, fe, fnode);
-            });
         }
     }
 
@@ -291,7 +332,7 @@ pub fn compute_flows_into(
 pub fn compute_flows(ext: &ExtendedNetwork, routing: &RoutingTable) -> FlowState {
     let mut state = FlowState::zeros(ext);
     let mut ws = IterationWorkspace::new(ext);
-    compute_flows_into(ext, routing, &mut state, &mut ws, 1);
+    compute_flows_into(ext, routing, &mut state, &mut ws, None);
     state
 }
 
@@ -465,11 +506,12 @@ mod tests {
         let mut state = FlowState::zeros(&ext);
         let mut ws = IterationWorkspace::new(&ext);
         for _ in 0..3 {
-            compute_flows_into(&ext, &rt, &mut state, &mut ws, 1);
+            compute_flows_into(&ext, &rt, &mut state, &mut ws, None);
             assert_eq!(state, reference);
         }
-        // a scoped-parallel pass over the same buffers matches exactly
-        compute_flows_into(&ext, &rt, &mut state, &mut ws, 4);
+        // a pooled pass over the same buffers matches exactly
+        let pool = WorkerPool::new(4);
+        compute_flows_into(&ext, &rt, &mut state, &mut ws, Some(&pool));
         assert_eq!(state, reference);
     }
 

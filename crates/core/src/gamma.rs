@@ -17,22 +17,32 @@
 //!
 //! All entry points share one row computation ([`gamma_row_into`],
 //! private) so their numerics are identical: [`apply_gamma_ws`] is the
-//! zero-allocation, optionally-parallel path driven by
+//! zero-allocation, optionally-pooled path driven by
 //! [`GradientAlgorithm`](crate::GradientAlgorithm);
 //! [`apply_gamma_selective`] is the serial path the message-level
 //! simulator schedules partial updates through; [`gamma_row`] exposes a
 //! single row for inspection. A commodity only ever reads and writes
-//! its own fraction row, so the per-commodity updates are independent
-//! and `apply_gamma_ws` produces bit-identical tables for every thread
-//! count (Γ statistics are likewise accumulated per commodity and
-//! reduced in ascending commodity order).
+//! its own fraction row — and distinct routers touch disjoint sets of
+//! that row's entries (each edge has exactly one source) — so Γ work
+//! can be carved per commodity *or* per router chunk within a
+//! commodity, and `apply_gamma_ws` produces bit-identical tables for
+//! every thread count.
+//!
+//! Γ statistics are accumulated per fixed-size router chunk
+//! ([`GAMMA_CHUNK`] routers) on every path, serial included, and
+//! reduced in ascending global chunk order: chunk boundaries depend
+//! only on the instance, so [`GammaStats`] is bit-identical no matter
+//! how the chunks were scheduled.
+
+#![allow(unsafe_code)] // disjoint per-worker lanes and per-chunk stat slots
 
 use crate::blocked::BlockedTags;
 use crate::cost::CostModel;
-use crate::flows::FlowState;
+use crate::flows::{FlowState, UsageView};
 use crate::marginals::Marginals;
+use crate::pool::{PhiRow, PhiTable, SlotTable, WorkerPool};
 use crate::routing::{apply_row, RoutingTable};
-use crate::workspace::{run_commodity_tasks, GammaLane, IterationWorkspace};
+use crate::workspace::{GammaLane, IterationWorkspace, GAMMA_CHUNK};
 use spn_graph::{EdgeId, NodeId};
 use spn_model::CommodityId;
 use spn_transform::ExtendedNetwork;
@@ -48,30 +58,33 @@ pub struct GammaStats {
     pub rows: usize,
 }
 
-/// Computes the new routing row for one `(commodity, router)` pair into
-/// `lane.row` (unapplied) and returns `(max_shift, total_shift)`.
-///
-/// `phi` is the commodity-`j` fraction row — the only part of the
-/// routing table Γ reads, which is what makes the per-commodity updates
-/// thread-independent. The single numeric source of truth for every Γ
-/// entry point.
-#[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
-fn gamma_row_into(
-    ext: &ExtendedNetwork,
-    cost: &CostModel,
-    phi: &[f64],
-    state: &FlowState,
-    marginals: &Marginals,
-    tags: &BlockedTags,
-    eta: f64,
-    traffic_floor: f64,
-    opening_floor: f64,
-    shift_cap: f64,
-    j: CommodityId,
-    i: NodeId,
-    lane: &mut GammaLane,
-) -> (f64, f64) {
-    let edges = ext.commodity_out_slice(j, i);
+/// Everything a commodity-`j` Γ row computation reads: the commodity's
+/// own rows (fraction, traffic, marginal, tag), the shared usage
+/// totals, and the update parameters. `Copy`-cheap so tasks build one
+/// per commodity.
+#[derive(Clone, Copy)]
+pub(crate) struct GammaCtx<'a> {
+    pub(crate) ext: &'a ExtendedNetwork,
+    pub(crate) cost: &'a CostModel,
+    /// The commodity's fraction row (read and written; disjoint
+    /// per-router element sets keep concurrent chunk tasks sound).
+    pub(crate) phi: PhiRow<'a>,
+    pub(crate) t_row: &'a [f64],
+    pub(crate) usage: UsageView<'a>,
+    pub(crate) d_row: &'a [f64],
+    pub(crate) tag_row: &'a [bool],
+    pub(crate) eta: f64,
+    pub(crate) traffic_floor: f64,
+    pub(crate) opening_floor: f64,
+    pub(crate) shift_cap: f64,
+    pub(crate) j: CommodityId,
+}
+
+/// Computes the new routing row for router `i` into `lane.row`
+/// (unapplied) and returns `(max_shift, total_shift)`. Reads only
+/// `ctx`; the single numeric source of truth for every Γ entry point.
+fn gamma_row_into(ctx: &GammaCtx<'_>, i: NodeId, lane: &mut GammaLane) -> (f64, f64) {
+    let edges = ctx.ext.commodity_out_slice(ctx.j, i);
     debug_assert!(!edges.is_empty(), "gamma_row called on a non-router");
     lane.row.clear();
     if edges.len() == 1 {
@@ -82,10 +95,17 @@ fn gamma_row_into(
     lane.m.clear();
     lane.blocked.clear();
     for &l in edges {
-        lane.m.push(marginals.edge(ext, cost, state, j, l));
+        let head = ctx.ext.graph().target(l);
+        lane.m.push(ctx.cost.edge_marginal_view(
+            ctx.ext,
+            ctx.usage,
+            ctx.j,
+            l,
+            ctx.d_row[head.index()],
+        ));
         // eq. (14): blocked ⇔ φ = 0 and the head's broadcast was tagged
         lane.blocked
-            .push(phi[l.index()] == 0.0 && tags.is_tagged(j, ext.graph().target(l)));
+            .push(ctx.phi.get(l.index()) == 0.0 && ctx.tag_row[head.index()]);
     }
 
     // Best (minimum-marginal) unblocked link; k(i, j) in the paper.
@@ -105,11 +125,11 @@ fn gamma_row_into(
     // opening by flooring the divisor at `opening_floor` (a small
     // fraction of λ_j, see GradientConfig::opening_fraction); with a
     // floor of zero the literal snap behaviour is restored.
-    let t_raw = state.traffic(j, i);
-    let t_i = t_raw.max(opening_floor);
-    if t_i <= traffic_floor {
+    let t_raw = ctx.t_row[i.index()];
+    let t_i = t_raw.max(ctx.opening_floor);
+    if t_i <= ctx.traffic_floor {
         // No traffic and no floor: route everything to the best link.
-        let old_best = phi[edges[best].index()];
+        let old_best = ctx.phi.get(edges[best].index());
         let shift = 1.0 - old_best;
         for (idx, &l) in edges.iter().enumerate() {
             lane.row.push((l, if idx == best { 1.0 } else { 0.0 }));
@@ -128,24 +148,47 @@ fn gamma_row_into(
             lane.row.push((l, 0.0)); // eq. (14)
             continue;
         }
-        let f = phi[l.index()];
+        let f = ctx.phi.get(l.index());
         let a = (lane.m[idx] - m_min).max(0.0);
         // eq. (16), with the per-iteration movement additionally capped
         // at `shift_cap`: near a barrier the marginal excess `a` is
         // unbounded, and an uncapped Δ saturates at φ — a one-step full
         // reroute that floods the alternative path and oscillates.
-        let delta = f.min(eta * a / t_i).min(shift_cap);
+        let delta = f.min(ctx.eta * a / t_i).min(ctx.shift_cap);
         collected += delta;
         max_shift = max_shift.max(delta);
         lane.row.push((l, f - delta)); // eq. (17), k ≠ k(i,j)
     }
     lane.row
-        .push((edges[best], phi[edges[best].index()] + collected));
+        .push((edges[best], ctx.phi.get(edges[best].index()) + collected));
     (max_shift, collected)
+}
+
+/// Runs Γ over one chunk of routers — computing and applying each row,
+/// and accumulating the chunk's statistics into `stat` (cleared here).
+/// All rows of a chunk belong to one commodity; concurrent chunk tasks
+/// of the same commodity are sound because each router's computation
+/// reads and writes only its own out-edge entries of the shared
+/// [`PhiRow`].
+pub(crate) fn gamma_chunk(
+    ctx: &GammaCtx<'_>,
+    routers: &[NodeId],
+    lane: &mut GammaLane,
+    stat: &mut (f64, f64, usize),
+) {
+    *stat = (0.0, 0.0, 0);
+    for &i in routers {
+        let (max_shift, total) = gamma_row_into(ctx, i, lane);
+        apply_row(ctx.phi, ctx.ext, ctx.j, i, &lane.row);
+        stat.0 = stat.0.max(max_shift);
+        stat.1 += total;
+        stat.2 += 1;
+    }
 }
 
 /// Computes the new routing row for one `(commodity, router)` pair
 /// without applying it. Returns `(new_row, max_shift, total_shift)`.
+/// Allocating inspection path (clones the commodity's fraction row).
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
 #[must_use]
 pub fn gamma_row(
@@ -163,73 +206,31 @@ pub fn gamma_row(
     i: NodeId,
 ) -> (Vec<(EdgeId, f64)>, f64, f64) {
     let mut lane = GammaLane::default();
-    let (max_shift, total) = gamma_row_into(
+    let mut row_copy = routing.row(j).to_vec();
+    let ctx = GammaCtx {
         ext,
         cost,
-        routing.row(j),
-        state,
-        marginals,
-        tags,
+        phi: PhiRow::from_mut(&mut row_copy),
+        t_row: state.t_row(j),
+        usage: state.usage_view(),
+        d_row: marginals.row(j),
+        tag_row: tags.row(j),
         eta,
         traffic_floor,
         opening_floor,
         shift_cap,
         j,
-        i,
-        &mut lane,
-    );
+    };
+    let (max_shift, total) = gamma_row_into(&ctx, i, &mut lane);
     (lane.row, max_shift, total)
 }
 
-/// One commodity's full Γ pass over its routers, applied in place to
-/// its fraction row. Statistics land in `stat` (`max_shift`,
-/// `total_shift`, `rows`) for the caller's ordered reduction.
-#[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
-fn gamma_commodity(
-    ext: &ExtendedNetwork,
-    cost: &CostModel,
-    state: &FlowState,
-    marginals: &Marginals,
-    tags: &BlockedTags,
-    eta: f64,
-    traffic_floor: f64,
-    opening_fraction: f64,
-    shift_cap: f64,
-    j: CommodityId,
-    phi: &mut [f64],
-    lane: &mut GammaLane,
-    stat: &mut (f64, f64, usize),
-) {
-    *stat = (0.0, 0.0, 0);
-    let opening_floor = opening_fraction * ext.commodity(j).max_rate;
-    for &i in ext.commodity_routers(j) {
-        let (max_shift, total) = gamma_row_into(
-            ext,
-            cost,
-            phi,
-            state,
-            marginals,
-            tags,
-            eta,
-            traffic_floor,
-            opening_floor,
-            shift_cap,
-            j,
-            i,
-            lane,
-        );
-        apply_row(phi, ext, j, i, &lane.row);
-        stat.0 = stat.0.max(max_shift);
-        stat.1 += total;
-        stat.2 += 1;
-    }
-}
-
 /// Applies Γ to every `(commodity, router)` pair through the reusable
-/// workspace: no heap allocation at `threads == 1`, per-commodity
-/// fan-out over scoped threads at `threads > 1`, identical routing
-/// tables either way. All rows are computed against the *pre-update*
-/// marginals and flows, matching the synchronous protocol of §5.
+/// workspace: allocation-free in steady state, per-commodity fan-out
+/// over the persistent pool with `pool: Some`, bit-identical routing
+/// tables and statistics either way. All rows are computed against the
+/// *pre-update* marginals and flows, matching the synchronous protocol
+/// of §5.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
 pub fn apply_gamma_ws(
     ext: &ExtendedNetwork,
@@ -243,60 +244,80 @@ pub fn apply_gamma_ws(
     opening_fraction: f64,
     shift_cap: f64,
     ws: &mut IterationWorkspace,
-    threads: usize,
+    pool: Option<&WorkerPool>,
 ) -> GammaStats {
-    ws.ensure(ext);
+    match pool {
+        Some(pool) => ws.ensure_workers(ext, pool.participants()),
+        None => ws.ensure(ext),
+    }
     let j_count = ext.num_commodities();
-    {
-        let rows = routing.rows_mut();
-        let items = rows
-            .iter_mut()
-            .zip(&mut ws.lanes)
-            .zip(&mut ws.stats)
-            .enumerate();
-        if threads <= 1 || j_count <= 1 {
-            for (ji, ((phi, lane), stat)) in items {
-                gamma_commodity(
-                    ext,
-                    cost,
-                    state,
-                    marginals,
-                    tags,
-                    eta,
-                    traffic_floor,
-                    opening_fraction,
-                    shift_cap,
-                    CommodityId::from_index(ji),
-                    phi,
-                    lane,
-                    stat,
-                );
+    // One ctx per commodity; written out in both branches because the
+    // fraction row's lifetime differs (shared cell view vs. exclusive
+    // borrow), which a shared closure cannot express.
+    macro_rules! make_ctx {
+        ($ji:expr, $phi:expr) => {{
+            let j = CommodityId::from_index($ji);
+            GammaCtx {
+                ext,
+                cost,
+                phi: $phi,
+                t_row: state.t_row(j),
+                usage: state.usage_view(),
+                d_row: marginals.row(j),
+                tag_row: tags.row(j),
+                eta,
+                traffic_floor,
+                opening_floor: opening_fraction * ext.commodity(j).max_rate,
+                shift_cap,
+                j,
             }
-        } else {
-            let tasks: Vec<_> = items
-                .map(|(ji, ((phi, lane), stat))| (ji, phi, lane, stat))
-                .collect();
-            run_commodity_tasks(threads, tasks, |(ji, phi, lane, stat)| {
-                gamma_commodity(
-                    ext,
-                    cost,
-                    state,
-                    marginals,
-                    tags,
-                    eta,
-                    traffic_floor,
-                    opening_fraction,
-                    shift_cap,
-                    CommodityId::from_index(ji),
-                    phi,
-                    lane,
-                    stat,
-                );
-            });
+        }};
+    }
+    {
+        let parts = ws.parts();
+        match pool {
+            Some(pool) if pool.participants() > 1 && j_count > 1 => {
+                let l_count = routing.l_count();
+                let phi_tab = PhiTable::new(routing.flat_mut(), l_count);
+                let lanes = SlotTable::new(parts.lanes);
+                let stats = SlotTable::new(parts.stats);
+                let chunk_base = parts.chunk_base;
+                pool.run_tasks(j_count, |ji, worker| {
+                    let ctx = make_ctx!(ji, phi_tab.row(ji));
+                    // SAFETY: lane `worker` is exclusive to this
+                    // participant; the stat slots of commodity `ji` are
+                    // exclusive to this task.
+                    let lane = unsafe { lanes.slot_mut(worker) };
+                    let routers = ext.commodity_routers(ctx.j);
+                    for (c, chunk) in routers.chunks(GAMMA_CHUNK).enumerate() {
+                        let stat = unsafe { stats.slot_mut(chunk_base[ji] + c) };
+                        gamma_chunk(&ctx, chunk, lane, stat);
+                    }
+                });
+            }
+            _ => {
+                for ji in 0..j_count {
+                    let j = CommodityId::from_index(ji);
+                    let ctx = make_ctx!(ji, PhiRow::from_mut(routing.row_mut(j)));
+                    let routers = ext.commodity_routers(j);
+                    for (c, chunk) in routers.chunks(GAMMA_CHUNK).enumerate() {
+                        let stat = &mut parts.stats[parts.chunk_base[ji] + c];
+                        gamma_chunk(&ctx, chunk, &mut parts.lanes[0], stat);
+                    }
+                }
+            }
         }
     }
+    reduce_gamma_stats(ws, j_count)
+}
+
+/// Reduces the per-chunk Γ statistics in ascending global chunk order —
+/// the fixed order that makes [`GammaStats`] bit-identical across
+/// serial, per-commodity, and split-commodity schedules.
+pub(crate) fn reduce_gamma_stats(ws: &IterationWorkspace, j_count: usize) -> GammaStats {
+    let total_chunks = ws.chunk_base[j_count];
     let mut stats = GammaStats::default();
-    for &(max_shift, total, rows) in &ws.stats {
+    for &(max_shift, total, rows) in &ws.stats[..total_chunks] {
         stats.max_shift = stats.max_shift.max(max_shift);
         stats.total_shift += total;
         stats.rows += rows;
@@ -363,27 +384,26 @@ where
     let mut stats = GammaStats::default();
     let mut lane = GammaLane::default();
     for j in ext.commodity_ids() {
-        let opening_floor = opening_fraction * ext.commodity(j).max_rate;
+        let ctx = GammaCtx {
+            ext,
+            cost,
+            phi: PhiRow::from_mut(routing.row_mut(j)),
+            t_row: state.t_row(j),
+            usage: state.usage_view(),
+            d_row: marginals.row(j),
+            tag_row: tags.row(j),
+            eta,
+            traffic_floor,
+            opening_floor: opening_fraction * ext.commodity(j).max_rate,
+            shift_cap,
+            j,
+        };
         for &i in ext.commodity_routers(j) {
             if !participates(j, i) {
                 continue;
             }
-            let (max_shift, total) = gamma_row_into(
-                ext,
-                cost,
-                routing.row(j),
-                state,
-                marginals,
-                tags,
-                eta,
-                traffic_floor,
-                opening_floor,
-                shift_cap,
-                j,
-                i,
-                &mut lane,
-            );
-            routing.set_row(ext, j, i, &lane.row);
+            let (max_shift, total) = gamma_row_into(&ctx, i, &mut lane);
+            apply_row(ctx.phi, ext, j, i, &lane.row);
             stats.max_shift = stats.max_shift.max(max_shift);
             stats.total_shift += total;
             stats.rows += 1;
@@ -584,7 +604,8 @@ mod tests {
             0.02,
         );
         let mut ws = IterationWorkspace::new(&ext);
-        for threads in [1, 4] {
+        let pool = WorkerPool::new(4);
+        for pool in [None, Some(&pool)] {
             let mut rt = fs_rt.clone();
             apply_gamma_ws(
                 &ext,
@@ -598,9 +619,14 @@ mod tests {
                 0.05,
                 0.02,
                 &mut ws,
-                threads,
+                pool,
             );
-            assert_eq!(rt, reference, "ws path diverged at threads={threads}");
+            assert_eq!(
+                rt,
+                reference,
+                "ws path diverged (pooled: {})",
+                pool.is_some()
+            );
         }
     }
 }

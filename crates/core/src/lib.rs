@@ -47,7 +47,9 @@ pub mod gamma;
 pub mod marginals;
 pub mod metrics;
 pub mod newton;
+pub mod pool;
 pub mod routing;
+mod step;
 pub mod workspace;
 
 pub use algorithm::{ConfigError, GradientAlgorithm, GradientConfig, Report, StepStats};
@@ -55,5 +57,6 @@ pub use cost::CostModel;
 pub use flows::FlowState;
 pub use marginals::Marginals;
 pub use newton::NewtonGradient;
+pub use pool::WorkerPool;
 pub use routing::RoutingTable;
 pub use workspace::IterationWorkspace;

@@ -13,15 +13,18 @@
 //! message-level version of the same computation lives in `spn-sim`.
 //!
 //! [`compute_marginals_into`] reuses the caller's buffer (no heap
-//! allocation once warm) and can run the independent per-commodity
-//! sweeps on scoped threads; [`compute_marginals`] is the allocating
-//! convenience wrapper. Each commodity writes only its own row, so the
-//! result is bit-identical for any thread count.
+//! allocation once warm) and can fan the independent per-commodity
+//! sweeps out over the persistent [`WorkerPool`](crate::pool::WorkerPool);
+//! [`compute_marginals`] is the allocating convenience wrapper. Each
+//! commodity writes only its own row, so the result is bit-identical
+//! for any thread count.
+
+#![allow(unsafe_code)] // disjoint-row fan-out over the worker pool
 
 use crate::cost::CostModel;
-use crate::flows::FlowState;
+use crate::flows::{FlowState, UsageView};
+use crate::pool::{RowTable, WorkerPool};
 use crate::routing::RoutingTable;
-use crate::workspace::run_commodity_tasks;
 use spn_graph::{EdgeId, NodeId};
 use spn_model::CommodityId;
 use spn_transform::ExtendedNetwork;
@@ -30,8 +33,8 @@ use spn_transform::ExtendedNetwork;
 /// flat row-major buffer (`d[j·V + v]`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Marginals {
-    d: Vec<f64>,
-    v_count: usize,
+    pub(crate) d: Vec<f64>,
+    pub(crate) v_count: usize,
 }
 
 impl Marginals {
@@ -76,6 +79,11 @@ impl Marginals {
         self.d[j.index() * self.v_count + v.index()]
     }
 
+    /// Commodity-`j` marginal row, indexed by extended node.
+    pub(crate) fn row(&self, j: CommodityId) -> &[f64] {
+        &self.d[j.index() * self.v_count..(j.index() + 1) * self.v_count]
+    }
+
     /// The bracketed per-link marginal of eqs. (9)/(10) for edge
     /// `l = (i, k)`:
     /// `∂A_i/∂f_il · c^j_il + β^j_il · ∂A/∂r_k(j)`.
@@ -94,13 +102,16 @@ impl Marginals {
 }
 
 /// One commodity's reverse sweep of eq. (9), writing its row `d`
-/// (caller-zeroed; the sink entry stays 0 by convention). `phi` is the
-/// commodity's fraction row, indexed directly in the inner loop.
-fn marginal_sweep(
+/// (every non-sink reachable node is overwritten; the sink entry must
+/// arrive 0 and stays 0 by convention). `phi` is the commodity's
+/// fraction row and `usage` the shared usage totals — the only
+/// cross-commodity data the sweep reads, which is what lets the fused
+/// pooled step run it concurrently with other commodities' sweeps.
+pub(crate) fn marginal_sweep(
     ext: &ExtendedNetwork,
     cost: &CostModel,
     phi: &[f64],
-    state: &FlowState,
+    usage: UsageView<'_>,
     j: CommodityId,
     d: &mut [f64],
 ) {
@@ -116,39 +127,45 @@ fn marginal_sweep(
                 continue;
             }
             let head = ext.graph().target(l);
-            acc += phi * cost.edge_marginal(ext, state, j, l, d[head.index()]);
+            acc += phi * cost.edge_marginal_view(ext, usage, j, l, d[head.index()]);
         }
         d[v.index()] = acc;
     }
 }
 
 /// Runs the marginal-cost wave for every commodity into a caller-owned
-/// buffer. `threads == 1` is the allocation-free serial path;
-/// `threads > 1` fans the per-commodity sweeps out over scoped threads
-/// (rows are disjoint, so results are identical either way).
+/// buffer. `pool: None` is the serial path; `Some` fans the
+/// per-commodity sweeps out over the persistent worker pool (rows are
+/// disjoint, so results are bit-identical either way). Allocation-free
+/// once warm.
 pub fn compute_marginals_into(
     ext: &ExtendedNetwork,
     cost: &CostModel,
     routing: &RoutingTable,
     state: &FlowState,
     out: &mut Marginals,
-    threads: usize,
+    pool: Option<&WorkerPool>,
 ) {
     out.reset(ext);
     let v_count = out.v_count;
     let j_count = ext.num_commodities();
-    let rows = out.d.chunks_mut(v_count.max(1));
-    if threads <= 1 || j_count <= 1 {
-        for (ji, d) in rows.enumerate() {
-            let j = CommodityId::from_index(ji);
-            marginal_sweep(ext, cost, routing.row(j), state, j, d);
+    match pool {
+        Some(pool) if pool.participants() > 1 && j_count > 1 => {
+            let d_tab = RowTable::new(&mut out.d, v_count.max(1));
+            let usage = state.usage_view();
+            pool.run_tasks(j_count, |ji, _worker| {
+                let j = CommodityId::from_index(ji);
+                // SAFETY: task `ji` is the sole accessor of row `ji`.
+                let d = unsafe { d_tab.row_mut(ji) };
+                marginal_sweep(ext, cost, routing.row(j), usage, j, d);
+            });
         }
-    } else {
-        let tasks: Vec<_> = rows.enumerate().collect();
-        run_commodity_tasks(threads, tasks, |(ji, d)| {
-            let j = CommodityId::from_index(ji);
-            marginal_sweep(ext, cost, routing.row(j), state, j, d);
-        });
+        _ => {
+            for (ji, d) in out.d.chunks_mut(v_count.max(1)).enumerate() {
+                let j = CommodityId::from_index(ji);
+                marginal_sweep(ext, cost, routing.row(j), state.usage_view(), j, d);
+            }
+        }
     }
 }
 
@@ -163,7 +180,7 @@ pub fn compute_marginals(
     state: &FlowState,
 ) -> Marginals {
     let mut out = Marginals::zeros(ext);
-    compute_marginals_into(ext, cost, routing, state, &mut out, 1);
+    compute_marginals_into(ext, cost, routing, state, &mut out, None);
     out
 }
 
@@ -365,8 +382,9 @@ mod tests {
         let cost = cm();
         let reference = compute_marginals(&ext, &cost, &rt, &fs);
         let mut reused = Marginals::zeros(&ext);
-        for threads in [1, 4] {
-            compute_marginals_into(&ext, &cost, &rt, &fs, &mut reused, threads);
+        let pool = crate::pool::WorkerPool::new(4);
+        for pool in [None, Some(&pool)] {
+            compute_marginals_into(&ext, &cost, &rt, &fs, &mut reused, pool);
             assert_eq!(reused, reference);
         }
     }

@@ -1,0 +1,704 @@
+//! Persistent worker pool for the iteration core, plus the raw
+//! row-view types its fused step hands out to workers.
+//!
+//! PR 1 parallelized the per-commodity passes with [`std::thread::scope`],
+//! which spawns and joins fresh OS threads on **every pass of every
+//! step** — four spawn/join cycles per microsecond-scale iteration, a
+//! 20× slowdown instead of a speedup. [`WorkerPool`] fixes the model:
+//! threads are spawned once (when [`GradientAlgorithm`] resolves
+//! `threads > 1`), parked on a condvar between dispatches, and joined on
+//! [`Drop`].
+//!
+//! # Epoch protocol
+//!
+//! The pool state holds a monotonically increasing *epoch* and an
+//! optional job pointer under one mutex. [`WorkerPool::run_participants`]
+//! publishes the job, bumps the epoch, and notifies the `work` condvar;
+//! each parked worker wakes when it observes an epoch it has not yet
+//! executed, runs the job with its participant index, and decrements the
+//! `remaining` counter (notifying `done` at zero). The **caller
+//! participates as worker 0** — with `threads = N` the pool owns `N − 1`
+//! OS threads — and blocks on `done` until every worker has finished, so
+//! the borrowed job closure never outlives the dispatch (the stored
+//! pointer's `'static` lifetime is a transmute made sound by exactly
+//! this wait).
+//!
+//! # Poisoning instead of deadlock
+//!
+//! Every participant runs the job under `catch_unwind`. A panicking task
+//! poisons the pool *and* its phase barrier (waking any participants
+//! parked mid-phase), still decrements `remaining`, and the dispatching
+//! call re-raises with a clear message. Subsequent dispatches on a
+//! poisoned pool panic immediately instead of hanging a condvar.
+//!
+//! # Phase barrier
+//!
+//! The fused step (see `crate::step`) separates its phases with
+//! [`WorkerPool::phase_wait`] — a generation-counting barrier over all
+//! participants that shares the pool's poisoning, so a panic inside any
+//! phase cannot strand the others at the rendezvous.
+//!
+//! [`GradientAlgorithm`]: crate::GradientAlgorithm
+#![allow(unsafe_code)] // raw job pointer + disjoint-row views; contracts below
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Process-wide count of OS threads ever spawned by [`WorkerPool`]s.
+static TOTAL_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Total OS threads spawned by all [`WorkerPool`]s in this process so
+/// far. A diagnostic counter: tests pin that steady-state stepping
+/// never spawns (the pool is created once), by sampling this before and
+/// after a run.
+#[must_use]
+pub fn total_threads_spawned() -> u64 {
+    TOTAL_SPAWNED.load(Ordering::SeqCst)
+}
+
+/// The published job: a borrowed task closure with its lifetime erased.
+/// Sound because the dispatching call waits for `remaining == 0` before
+/// returning (see the module docs).
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are
+// fine) and the pointer is only dereferenced while the dispatching call
+// keeps the closure alive.
+unsafe impl Send for JobPtr {}
+
+struct PoolState {
+    job: Option<JobPtr>,
+    epoch: u64,
+    remaining: usize,
+    poisoned: bool,
+    shutdown: bool,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+/// A reusable, poisonable rendezvous for all pool participants.
+struct PhaseBarrier {
+    state: Mutex<BarrierState>,
+    cvar: Condvar,
+    participants: usize,
+}
+
+impl PhaseBarrier {
+    fn new(participants: usize) -> Self {
+        PhaseBarrier {
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cvar: Condvar::new(),
+            participants,
+        }
+    }
+
+    /// Blocks until all participants arrive (or the barrier is
+    /// poisoned, in which case every waiter panics out so the pool's
+    /// per-participant `catch_unwind` can unwind the whole dispatch).
+    fn wait(&self) {
+        let mut st = lock(&self.state);
+        if st.poisoned {
+            drop(st);
+            panic!("worker-pool phase barrier poisoned by a panicked task");
+        }
+        st.arrived += 1;
+        if st.arrived == self.participants {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            drop(st);
+            self.cvar.notify_all();
+            return;
+        }
+        let generation = st.generation;
+        while st.generation == generation && !st.poisoned {
+            st = self.cvar.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let poisoned = st.poisoned;
+        drop(st);
+        if poisoned {
+            panic!("worker-pool phase barrier poisoned by a panicked task");
+        }
+    }
+
+    fn poison(&self) {
+        let mut st = lock(&self.state);
+        st.poisoned = true;
+        drop(st);
+        self.cvar.notify_all();
+    }
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here between dispatches.
+    work: Condvar,
+    /// The dispatching caller parks here until `remaining == 0`.
+    done: Condvar,
+    barrier: PhaseBarrier,
+}
+
+/// Ignore std's mutex poisoning: the pool has its own poisoned flag
+/// with defined semantics, and lock-level poisoning (a panic while a
+/// guard was held) must not turn `Drop` into a second panic.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Decrements the live-worker counter even if the worker unwinds.
+struct LiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    if let Some(job) = st.job {
+                        seen_epoch = st.epoch;
+                        break job;
+                    }
+                }
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // SAFETY: the dispatching call keeps the closure alive until
+        // every worker has decremented `remaining` below.
+        let task = unsafe { &*job.0 };
+        let result = catch_unwind(AssertUnwindSafe(|| task(worker)));
+        let mut st = lock(&shared.state);
+        if result.is_err() {
+            st.poisoned = true;
+            // Wake anyone parked at a phase barrier inside the task so
+            // the dispatch unwinds instead of deadlocking.
+            shared.barrier.poison();
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            drop(st);
+            shared.done.notify_one();
+        }
+    }
+}
+
+/// A persistent pool of parked worker threads for the iteration core.
+///
+/// Created once per [`GradientAlgorithm`](crate::GradientAlgorithm)
+/// when the resolved thread count exceeds one; steady-state stepping
+/// performs **zero thread spawns and zero heap allocations** — a
+/// dispatch is one mutex-guarded epoch bump plus condvar wakes. Workers
+/// are joined on [`Drop`]. See the module docs for the epoch and
+/// poisoning protocols.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    live: Arc<AtomicUsize>,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` *participants*: the calling thread
+    /// plus `threads − 1` spawned workers (`threads ≤ 1` spawns
+    /// nothing and runs every dispatch inline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn a worker thread.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let participants = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                remaining: 0,
+                poisoned: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            barrier: PhaseBarrier::new(participants),
+        });
+        let live = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::with_capacity(participants - 1);
+        for worker in 1..participants {
+            let shared = Arc::clone(&shared);
+            let live = Arc::clone(&live);
+            live.fetch_add(1, Ordering::SeqCst);
+            TOTAL_SPAWNED.fetch_add(1, Ordering::SeqCst);
+            let handle = std::thread::Builder::new()
+                .name(format!("spn-pool-{worker}"))
+                .spawn(move || {
+                    let _guard = LiveGuard(&live);
+                    worker_loop(&shared, worker);
+                })
+                .expect("spawn worker-pool thread");
+            handles.push(handle);
+        }
+        WorkerPool {
+            shared,
+            handles,
+            live,
+        }
+    }
+
+    /// Number of participants: the spawned workers plus the calling
+    /// thread.
+    #[must_use]
+    pub fn participants(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Number of worker threads currently alive (spawned and not yet
+    /// exited). Used by lifecycle tests to verify that [`Drop`] joins
+    /// every worker.
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
+    }
+
+    /// Runs `task(w)` once on every participant `w` (the caller is
+    /// participant 0), returning when all are done. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a caller-side task panic; panics with a clear message
+    /// if any worker's task panicked or the pool was already poisoned.
+    pub(crate) fn run_participants(&self, task: &(dyn Fn(usize) + Sync)) {
+        if self.handles.is_empty() {
+            task(0);
+            return;
+        }
+        {
+            let mut st = lock(&self.shared.state);
+            assert!(
+                !st.poisoned,
+                "worker pool poisoned by an earlier panicked task"
+            );
+            debug_assert!(st.job.is_none() && st.remaining == 0);
+            // SAFETY: lifetime erasure only — we wait for
+            // `remaining == 0` below, so no worker dereferences the
+            // pointer after `task` goes out of scope.
+            let job: *const (dyn Fn(usize) + Sync) = unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync + '_),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(task as *const _)
+            };
+            st.job = Some(JobPtr(job));
+            st.epoch = st.epoch.wrapping_add(1);
+            st.remaining = self.handles.len();
+            drop(st);
+            self.shared.work.notify_all();
+        }
+        let caller = catch_unwind(AssertUnwindSafe(|| task(0)));
+        if caller.is_err() {
+            // Wake workers parked at a phase barrier inside the task.
+            self.shared.barrier.poison();
+        }
+        let mut st = lock(&self.shared.state);
+        while st.remaining > 0 {
+            st = self
+                .shared
+                .done
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        st.job = None;
+        if caller.is_err() {
+            st.poisoned = true;
+        }
+        let poisoned = st.poisoned;
+        drop(st);
+        match caller {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) => assert!(
+                !poisoned,
+                "a worker-pool task panicked; the pool is poisoned"
+            ),
+        }
+    }
+
+    /// Runs `work(task, worker)` for every `task` in `0..tasks`, with
+    /// tasks claimed dynamically by the participants (claim order is
+    /// nondeterministic; callers must keep task outputs disjoint and
+    /// reduce in a fixed order afterwards — ARCHITECTURE invariant 9).
+    /// Allocation-free; a drop-in replacement for the scoped fan-out
+    /// this pool retired.
+    ///
+    /// # Panics
+    ///
+    /// Propagates task panics as described on
+    /// [`WorkerPool::run_participants`].
+    pub fn run_tasks<F>(&self, tasks: usize, work: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if tasks == 0 {
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let driver = move |worker: usize| loop {
+            let task = next.fetch_add(1, Ordering::Relaxed);
+            if task >= tasks {
+                break;
+            }
+            work(task, worker);
+        };
+        self.run_participants(&driver);
+    }
+
+    /// Blocks the calling participant until **all** participants of the
+    /// current dispatch arrive. Only meaningful inside a task passed to
+    /// [`WorkerPool::run_participants`], and every participant must
+    /// execute the same sequence of waits.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on every waiter) if a participant panicked and poisoned
+    /// the barrier.
+    pub(crate) fn phase_wait(&self) {
+        self.shared.barrier.wait();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("participants", &self.participants())
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Disjoint-row views
+//
+// The fused step (crate::step) runs several logical passes inside one
+// pool dispatch, so Rust's borrow checker cannot see the ownership
+// schedule: commodity j's rows of every buffer belong to exactly one
+// task at a time, phases are separated by barriers, and the shared
+// usage totals are only written by participant 0 between barriers.
+// These views carry raw base pointers and conjure short-lived row
+// references inside tasks; each accessor documents the contract.
+// ---------------------------------------------------------------------
+
+/// A raw view of a flat row-major buffer that hands out disjoint rows
+/// to concurrent tasks.
+pub(crate) struct RowTable<'a, T> {
+    ptr: *mut T,
+    row_len: usize,
+    rows: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: rows of `T: Send` data may be handed to other threads; the
+// accessors' contracts keep concurrent access disjoint.
+unsafe impl<T: Send> Sync for RowTable<'_, T> {}
+unsafe impl<T: Send> Send for RowTable<'_, T> {}
+
+impl<'a, T> RowTable<'a, T> {
+    pub(crate) fn new(buf: &'a mut [T], row_len: usize) -> Self {
+        let rows = buf.len().checked_div(row_len).unwrap_or(0);
+        debug_assert_eq!(rows * row_len, buf.len(), "buffer not row-aligned");
+        RowTable {
+            ptr: buf.as_mut_ptr(),
+            row_len,
+            rows,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Exclusive access to row `r`.
+    ///
+    /// # Safety
+    ///
+    /// No other reference to row `r` (shared or exclusive) may exist
+    /// while the returned borrow is alive.
+    #[allow(clippy::mut_from_ref)] // the table is a capability, not the data
+    pub(crate) unsafe fn row_mut(&self, r: usize) -> &mut [T] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(r * self.row_len), self.row_len) }
+    }
+
+    /// Shared access to row `r`.
+    ///
+    /// # Safety
+    ///
+    /// No exclusive reference to row `r` may exist (and no writes to it
+    /// may happen) while the returned borrow is alive.
+    pub(crate) unsafe fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        unsafe { std::slice::from_raw_parts(self.ptr.add(r * self.row_len), self.row_len) }
+    }
+
+    /// Row length the table was built with.
+    pub(crate) fn row_len(&self) -> usize {
+        self.row_len
+    }
+
+    /// Shared access to the whole underlying buffer.
+    ///
+    /// # Safety
+    ///
+    /// No exclusive reference to any part of the buffer may exist (and
+    /// no writes may happen) while the returned borrow is alive.
+    pub(crate) unsafe fn as_slice(&self) -> &[T] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.rows * self.row_len) }
+    }
+}
+
+/// A raw view of a slice that hands out disjoint *elements* to
+/// concurrent tasks (Γ lanes per worker, Γ statistics per chunk).
+pub(crate) struct SlotTable<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: as for `RowTable` — disjointness is the accessors' contract.
+unsafe impl<T: Send> Sync for SlotTable<'_, T> {}
+unsafe impl<T: Send> Send for SlotTable<'_, T> {}
+
+impl<'a, T> SlotTable<'a, T> {
+    pub(crate) fn new(buf: &'a mut [T]) -> Self {
+        SlotTable {
+            ptr: buf.as_mut_ptr(),
+            len: buf.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Exclusive access to slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// No other reference to slot `i` may exist while the returned
+    /// borrow is alive.
+    #[allow(clippy::mut_from_ref)] // the table is a capability, not the data
+    pub(crate) unsafe fn slot_mut(&self, i: usize) -> &mut T {
+        assert!(i < self.len, "slot {i} out of range ({} slots)", self.len);
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// One commodity's routing-fraction row behind [`UnsafeCell`]s, so Γ
+/// chunk tasks for the *same* commodity can update disjoint routers
+/// concurrently (each router owns its out-edges, and every edge has
+/// exactly one source router).
+///
+/// Reads and writes are plain (non-atomic) cell accesses; the callers'
+/// contract — enforced by the Γ task layout — is that an element is
+/// never written by one task while another task touches it.
+#[derive(Clone, Copy)]
+pub(crate) struct PhiRow<'a> {
+    cells: &'a [UnsafeCell<f64>],
+}
+
+// SAFETY: `f64` is `Send`; disjoint-element access is the documented
+// contract of every constructor and of the Γ task layout.
+unsafe impl Sync for PhiRow<'_> {}
+unsafe impl Send for PhiRow<'_> {}
+
+impl<'a> PhiRow<'a> {
+    /// Wraps an exclusively borrowed row (always sound: exclusivity
+    /// subsumes the disjointness contract).
+    pub(crate) fn from_mut(row: &'a mut [f64]) -> Self {
+        // SAFETY: `UnsafeCell<f64>` has the same layout as `f64`, and
+        // the exclusive borrow guarantees no aliasing.
+        let cells = unsafe { &*(std::ptr::from_mut::<[f64]>(row) as *const [UnsafeCell<f64>]) };
+        PhiRow { cells }
+    }
+
+    pub(crate) fn get(self, i: usize) -> f64 {
+        // SAFETY: disjointness contract (no concurrent writer of `i`).
+        unsafe { *self.cells[i].get() }
+    }
+
+    pub(crate) fn set(self, i: usize, value: f64) {
+        // SAFETY: disjointness contract (sole accessor of `i`).
+        unsafe { *self.cells[i].get() = value }
+    }
+}
+
+/// The whole routing table (flat, row-major) as a grid of [`PhiRow`]s.
+pub(crate) struct PhiTable<'a> {
+    cells: &'a [UnsafeCell<f64>],
+    row_len: usize,
+}
+
+// SAFETY: as for `PhiRow`.
+unsafe impl Sync for PhiTable<'_> {}
+unsafe impl Send for PhiTable<'_> {}
+
+impl<'a> PhiTable<'a> {
+    pub(crate) fn new(buf: &'a mut [f64], row_len: usize) -> Self {
+        // SAFETY: layout-compatible cast under an exclusive borrow.
+        let cells = unsafe { &*(std::ptr::from_mut::<[f64]>(buf) as *const [UnsafeCell<f64>]) };
+        PhiTable { cells, row_len }
+    }
+
+    /// Commodity `ji`'s row, writable under the disjoint-element
+    /// contract.
+    pub(crate) fn row(&self, ji: usize) -> PhiRow<'a> {
+        PhiRow {
+            cells: &self.cells[ji * self.row_len..(ji + 1) * self.row_len],
+        }
+    }
+
+    /// Commodity `ji`'s row as a plain shared slice.
+    ///
+    /// # Safety
+    ///
+    /// No writes to row `ji` may happen while the returned borrow is
+    /// alive.
+    pub(crate) unsafe fn row_slice(&self, ji: usize) -> &'a [f64] {
+        let cells = &self.cells[ji * self.row_len..(ji + 1) * self.row_len];
+        // SAFETY: layout-compatible cast; the caller guarantees no
+        // concurrent writes.
+        unsafe { &*(std::ptr::from_ref::<[UnsafeCell<f64>]>(cells) as *const [f64]) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_tasks_covers_every_task() {
+        let pool = WorkerPool::new(4);
+        let mut hits = [0u8; 13];
+        {
+            let table = SlotTable::new(&mut hits);
+            pool.run_tasks(13, |task, _worker| {
+                // SAFETY: each task index is claimed exactly once.
+                let slot = unsafe { table.slot_mut(task) };
+                *slot = u8::try_from(task).unwrap() + 1;
+            });
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert_eq!(h, u8::try_from(i).unwrap() + 1, "task {i} not run once");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_dispatches() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run_tasks(7, |_t, _w| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 700);
+    }
+
+    #[test]
+    fn single_participant_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.participants(), 1);
+        let counter = AtomicUsize::new(0);
+        pool.run_tasks(5, |_t, worker| {
+            assert_eq!(worker, 0);
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool = WorkerPool::new(4);
+        let live = Arc::clone(&pool.live);
+        pool.run_tasks(16, |_t, _w| {});
+        assert_eq!(live.load(Ordering::SeqCst), 3);
+        drop(pool);
+        assert_eq!(live.load(Ordering::SeqCst), 0, "drop leaked workers");
+    }
+
+    #[test]
+    fn panicking_task_poisons_pool_without_deadlock() {
+        let pool = WorkerPool::new(4);
+        let first = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_tasks(8, |task, _w| {
+                assert!(task != 3, "injected task failure");
+            });
+        }));
+        assert!(first.is_err(), "task panic was swallowed");
+        // The pool is poisoned: the next dispatch fails fast with a
+        // clear message instead of hanging the condvar.
+        let second = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_tasks(1, |_t, _w| {});
+        }));
+        let payload = second.expect_err("poisoned pool accepted a dispatch");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(
+            message.contains("poisoned"),
+            "unclear poison message: {message:?}"
+        );
+        // Drop must still join cleanly.
+        drop(pool);
+    }
+
+    #[test]
+    fn phase_wait_synchronizes_all_participants() {
+        let pool = WorkerPool::new(4);
+        let before = AtomicUsize::new(0);
+        let after = AtomicUsize::new(0);
+        pool.run_participants(&|_w| {
+            before.fetch_add(1, Ordering::SeqCst);
+            pool.phase_wait();
+            // Every participant must have passed the barrier.
+            assert_eq!(before.load(Ordering::SeqCst), 4);
+            after.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(after.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn phi_row_reads_and_writes_elements() {
+        let mut row = vec![0.25, 0.75, 0.0];
+        let phi = PhiRow::from_mut(&mut row);
+        assert_eq!(phi.get(1), 0.75);
+        phi.set(2, 1.0);
+        assert_eq!(phi.get(2), 1.0);
+        let _ = phi;
+        assert_eq!(row, vec![0.25, 0.75, 1.0]);
+    }
+}

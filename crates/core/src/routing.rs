@@ -8,6 +8,7 @@
 //! source, the fraction on the dummy input link is the admitted share of
 //! `λ_j` and the fraction on the difference link is the rejected share.
 
+use crate::pool::PhiRow;
 use spn_graph::paths::hops_to;
 use spn_graph::{EdgeId, NodeId};
 use spn_model::CommodityId;
@@ -17,10 +18,17 @@ use spn_transform::ExtendedNetwork;
 pub const FRACTION_TOLERANCE: f64 = 1e-7;
 
 /// The routing decision `φ = {φ_ik(j)}` over an extended network.
+///
+/// Stored as one flat row-major buffer (`phi[j·L + l]`) so the pooled
+/// iteration can view it as disjoint per-commodity rows — and, when a
+/// commodity is split across workers, as disjoint per-router elements —
+/// without allocating or juggling nested borrows.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RoutingTable {
-    /// `phi[j][l]` — fraction for commodity `j` on extended edge `l`.
-    phi: Vec<Vec<f64>>,
+    /// `phi[j·L + l]` — fraction for commodity `j` on extended edge `l`.
+    phi: Vec<f64>,
+    /// Extended edge count `L` (the row stride).
+    l_count: usize,
 }
 
 impl RoutingTable {
@@ -35,8 +43,9 @@ impl RoutingTable {
     #[must_use]
     pub fn initial(ext: &ExtendedNetwork) -> Self {
         let l_count = ext.graph().edge_count();
-        let mut phi = vec![vec![0.0; l_count]; ext.num_commodities()];
+        let mut phi = vec![0.0; ext.num_commodities() * l_count];
         for j in ext.commodity_ids() {
+            let row = &mut phi[j.index() * l_count..(j.index() + 1) * l_count];
             let sink = ext.commodity(j).sink();
             let hops = hops_to(ext.graph(), sink, |l| ext.in_commodity(j, l));
             for v in ext.graph().nodes() {
@@ -44,7 +53,7 @@ impl RoutingTable {
                     continue;
                 }
                 if v == ext.dummy_source(j) {
-                    phi[j.index()][ext.difference_edge(j).index()] = 1.0;
+                    row[ext.difference_edge(j).index()] = 1.0;
                     continue;
                 }
                 // Route everything along the hop-shortest out-edge.
@@ -52,23 +61,23 @@ impl RoutingTable {
                     .commodity_out_edges(j, v)
                     .min_by_key(|&l| hops[ext.graph().target(l).index()].unwrap_or(usize::MAX));
                 if let Some(l) = best {
-                    phi[j.index()][l.index()] = 1.0;
+                    row[l.index()] = 1.0;
                 }
             }
         }
-        RoutingTable { phi }
+        RoutingTable { phi, l_count }
     }
 
     /// The fraction `φ_ik(j)` on extended edge `l`.
     #[must_use]
     pub fn fraction(&self, j: CommodityId, l: EdgeId) -> f64 {
-        self.phi[j.index()][l.index()]
+        self.phi[j.index() * self.l_count + l.index()]
     }
 
     /// Sets the fraction on an edge (no normalization; callers must keep
     /// router rows summing to one — see [`RoutingTable::set_row`]).
     pub fn set_fraction(&mut self, j: CommodityId, l: EdgeId, value: f64) {
-        self.phi[j.index()][l.index()] = value;
+        self.phi[j.index() * self.l_count + l.index()] = value;
     }
 
     /// Replaces all fractions at router `v` for commodity `j` with the
@@ -86,7 +95,7 @@ impl RoutingTable {
         v: NodeId,
         row: &[(EdgeId, f64)],
     ) {
-        apply_row(&mut self.phi[j.index()], ext, j, v, row);
+        apply_row(PhiRow::from_mut(self.row_mut(j)), ext, j, v, row);
     }
 
     /// Nodes that must carry a full unit of routing mass for commodity
@@ -103,14 +112,23 @@ impl RoutingTable {
 
     /// The commodity-`j` fraction row, indexed by extended edge.
     pub(crate) fn row(&self, j: CommodityId) -> &[f64] {
-        &self.phi[j.index()]
+        &self.phi[j.index() * self.l_count..(j.index() + 1) * self.l_count]
     }
 
-    /// All per-commodity fraction rows, in commodity order — each row is
-    /// independent, which lets the Γ update hand disjoint rows to worker
-    /// threads.
-    pub(crate) fn rows_mut(&mut self) -> &mut [Vec<f64>] {
+    /// Exclusive access to the commodity-`j` fraction row.
+    pub(crate) fn row_mut(&mut self, j: CommodityId) -> &mut [f64] {
+        &mut self.phi[j.index() * self.l_count..(j.index() + 1) * self.l_count]
+    }
+
+    /// The whole flat row-major buffer, for the pooled paths' disjoint
+    /// row/element views.
+    pub(crate) fn flat_mut(&mut self) -> &mut [f64] {
         &mut self.phi
+    }
+
+    /// The row stride (extended edge count `L`).
+    pub(crate) fn l_count(&self) -> usize {
+        self.l_count
     }
 
     /// Checks structural validity: fractions within `[0, 1]`, zero off
@@ -163,17 +181,20 @@ impl RoutingTable {
     }
 }
 
-/// Row-slice form of [`RoutingTable::set_row`]: normalizes `row` to sum
+/// Row-view form of [`RoutingTable::set_row`]: normalizes `row` to sum
 /// to one (clamping tiny negatives) and writes it over node `v`'s
 /// commodity-`j` out-edges in `phi`, zeroing the rest of that node's
-/// out-edges first. Shared with the Γ update, whose parallel path holds
-/// one commodity row per worker. Allocation-free.
+/// out-edges first. Shared with the Γ update, whose pooled path updates
+/// disjoint routers of one commodity row concurrently — every index
+/// touched here belongs to `v`'s out-edge set, which no other router's
+/// update overlaps (each edge has exactly one source), satisfying the
+/// [`PhiRow`] disjointness contract. Allocation-free.
 ///
 /// # Panics
 ///
 /// Panics if the total mass is not positive.
 pub(crate) fn apply_row(
-    phi: &mut [f64],
+    phi: PhiRow<'_>,
     ext: &ExtendedNetwork,
     j: CommodityId,
     v: NodeId,
@@ -192,10 +213,10 @@ pub(crate) fn apply_row(
         "router {v} for {j} must keep positive total mass"
     );
     for &l in ext.commodity_out_slice(j, v) {
-        phi[l.index()] = 0.0;
+        phi.set(l.index(), 0.0);
     }
     for &(l, f) in row {
-        phi[l.index()] = f.max(0.0) / total;
+        phi.set(l.index(), f.max(0.0) / total);
     }
 }
 

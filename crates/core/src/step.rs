@@ -1,0 +1,443 @@
+//! The fused pooled iteration: one worker-pool dispatch per step.
+//!
+//! The serial [`GradientAlgorithm::step`](crate::GradientAlgorithm::step)
+//! sequence — tags → Γ → flows → marginals — fans each pass out over
+//! commodities, but dispatching the pool four times per step pays four
+//! wake/sleep round-trips. This module fuses the passes into
+//! per-commodity *task chains* so each worker carries a commodity
+//! through every phase per wake, with barriers only where a
+//! cross-commodity reduction genuinely requires one.
+//!
+//! ## Why the chain is sound
+//!
+//! Per commodity `j`, the tag sweep, Γ update, and flow sweep read only
+//! `j`'s own rows (fraction, traffic, marginal, tag) plus the shared
+//! usage totals `f_edge`/`f_node` — and the totals are *stale by
+//! design*: the step's semantics evaluate tags, Γ, and the new flows
+//! against the previous iteration's usage. The totals are only
+//! rewritten at the reduction barrier, after every chain has finished
+//! reading them; the marginal phase then runs against the new totals.
+//! So the dependency structure per step is
+//!
+//! ```text
+//! phase A   (per commodity)  tags(j) → Γ(j) → flows(j)   [old totals]
+//! barrier   participant 0 reduces per-commodity usage partials
+//!           into f_edge/f_node, in ascending commodity order
+//! barrier
+//! phase B   (per commodity)  marginals(j)                [new totals]
+//! ```
+//!
+//! which is exactly two barriers per step (the serial step's data flow,
+//! minus three pool dispatches). When there are fewer commodities than
+//! participants, phase A instead runs tags / Γ / flows as separate
+//! sub-phases so the Γ work can additionally split *within* a commodity
+//! by router chunk ([`GAMMA_CHUNK`]) — distinct routers write disjoint
+//! entries of the commodity's fraction row, so chunk tasks share the
+//! row soundly through [`PhiTable`]'s per-element cells.
+//!
+//! ## Bit-identity (ARCHITECTURE invariant 9)
+//!
+//! Workers only ever compute rows they own; every cross-commodity
+//! reduction — the usage-partial merge and the Γ-statistics fold — runs
+//! in a fixed order (ascending commodity, ascending router chunk) no
+//! matter which worker produced the inputs. ε-annealing iterations
+//! split the step into two dispatches (the epsilon mutation must happen
+//! between flows and marginals, and the cost model is shared by every
+//! task), with the reduction done by the caller between them — the same
+//! helper, hence the same float-addition order, as participant 0 uses
+//! in the single-dispatch case.
+
+#![allow(unsafe_code)] // phase-protocol row ownership; contracts documented inline
+
+use crate::blocked::{tag_sweep, BlockedTags};
+use crate::cost::CostModel;
+use crate::flows::{flow_sweep, FlowState, UsageView};
+use crate::gamma::{gamma_chunk, reduce_gamma_stats, GammaCtx, GammaStats};
+use crate::marginals::{marginal_sweep, Marginals};
+use crate::pool::{PhiTable, RowTable, SlotTable, WorkerPool};
+use crate::routing::RoutingTable;
+use crate::workspace::{GammaLane, IterationWorkspace, GAMMA_CHUNK};
+use crate::GradientConfig;
+use spn_model::CommodityId;
+use spn_transform::ExtendedNetwork;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Claims indices `0..n` from a shared counter and runs `f` on each —
+/// the work-stealing loop every phase uses. Claim order is arbitrary;
+/// every consumer writes only what it owns, so order never matters.
+fn claim(counter: &AtomicUsize, n: usize, mut f: impl FnMut(usize)) {
+    loop {
+        let i = counter.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        f(i);
+    }
+}
+
+/// Adds the per-commodity usage partials into the totals, in ascending
+/// commodity order (edge partial then node partial per commodity) —
+/// the one float-addition order every path shares, so totals are
+/// bit-identical however the partials were produced.
+fn reduce_usage_totals(
+    fe_tot: &mut [f64],
+    fn_tot: &mut [f64],
+    fe_part: &[f64],
+    fn_part: &[f64],
+    l_count: usize,
+    v_count: usize,
+    j_count: usize,
+) {
+    fe_tot.fill(0.0);
+    fn_tot.fill(0.0);
+    for ji in 0..j_count {
+        let fe = &fe_part[ji * l_count..(ji + 1) * l_count];
+        for (acc, &p) in fe_tot.iter_mut().zip(fe) {
+            *acc += p;
+        }
+        let fnode = &fn_part[ji * v_count..(ji + 1) * v_count];
+        for (acc, &p) in fn_tot.iter_mut().zip(fnode) {
+            *acc += p;
+        }
+    }
+}
+
+/// Shared-view bundle one fused dispatch operates on. All tables are
+/// raw-pointer views over the algorithm's buffers; soundness rests on
+/// the phase protocol documented at module level (each task touches
+/// only rows/chunks it claimed, totals are written only between
+/// barriers).
+struct FusedViews<'a> {
+    ext: &'a ExtendedNetwork,
+    cost: &'a CostModel,
+    phi: PhiTable<'a>,
+    t: RowTable<'a, f64>,
+    x: RowTable<'a, f64>,
+    fe_part: RowTable<'a, f64>,
+    fn_part: RowTable<'a, f64>,
+    fe_tot: RowTable<'a, f64>,
+    fn_tot: RowTable<'a, f64>,
+    d: RowTable<'a, f64>,
+    tags: RowTable<'a, bool>,
+    lanes: SlotTable<'a, GammaLane>,
+    stats: SlotTable<'a, (f64, f64, usize)>,
+    chunk_base: &'a [usize],
+    j_count: usize,
+    eta: f64,
+    traffic_floor: f64,
+    opening_fraction: f64,
+    shift_cap: f64,
+    use_blocked_sets: bool,
+    /// Split phase A into tag / Γ-chunk / flow sub-phases (used when
+    /// commodities alone cannot occupy every participant).
+    split: bool,
+    c_a: AtomicUsize,
+    c_gamma: AtomicUsize,
+    c_flows: AtomicUsize,
+    c_marg: AtomicUsize,
+}
+
+impl FusedViews<'_> {
+    /// The usage totals as a view. Sound per the phase protocol: the
+    /// totals are never written while any task holds this view.
+    fn usage(&self) -> UsageView<'_> {
+        // SAFETY: rows 0 cover the whole single-row total buffers; no
+        // mutable access exists outside the reduction barrier.
+        unsafe {
+            UsageView {
+                f_edge: self.fe_tot.row(0),
+                f_node: self.fn_tot.row(0),
+            }
+        }
+    }
+
+    /// Phase-A tag task for commodity `ji`: clears and recomputes the
+    /// tag row (a cleared row *is* the result when blocked sets are
+    /// disabled).
+    fn tag_task(&self, ji: usize) {
+        let j = CommodityId::from_index(ji);
+        // SAFETY: this task is row `ji`'s sole writer in this phase.
+        let row = unsafe { self.tags.row_mut(ji) };
+        row.fill(false);
+        if !self.use_blocked_sets {
+            return;
+        }
+        // SAFETY: commodity `ji`'s fraction/traffic/marginal rows are
+        // not written during this phase (Γ and flows for `ji` run
+        // strictly after its tag task).
+        unsafe {
+            tag_sweep(
+                self.ext,
+                self.cost,
+                self.phi.row_slice(ji),
+                self.t.row(ji),
+                self.usage(),
+                self.d.row(ji),
+                self.eta,
+                self.traffic_floor,
+                j,
+                row,
+            );
+        }
+    }
+
+    /// The Γ context for commodity `ji` — valid only before the
+    /// commodity's flow task overwrites its traffic row.
+    fn gamma_ctx(&self, ji: usize) -> GammaCtx<'_> {
+        let j = CommodityId::from_index(ji);
+        // SAFETY: the traffic, marginal, and tag rows of `ji` are
+        // stable while Γ runs (flows for `ji` run strictly after).
+        unsafe {
+            GammaCtx {
+                ext: self.ext,
+                cost: self.cost,
+                phi: self.phi.row(ji),
+                t_row: self.t.row(ji),
+                usage: self.usage(),
+                d_row: self.d.row(ji),
+                tag_row: self.tags.row(ji),
+                eta: self.eta,
+                traffic_floor: self.traffic_floor,
+                opening_floor: self.opening_fraction * self.ext.commodity(j).max_rate,
+                shift_cap: self.shift_cap,
+                j,
+            }
+        }
+    }
+
+    /// Phase-A Γ task covering all of commodity `ji` (chain mode), with
+    /// statistics still recorded per router chunk so the final fold is
+    /// identical to split mode's.
+    fn gamma_commodity(&self, ji: usize, worker: usize) {
+        let ctx = self.gamma_ctx(ji);
+        // SAFETY: lane `worker` is exclusive to this participant; the
+        // stat slots of commodity `ji` are exclusive to this task.
+        let lane = unsafe { self.lanes.slot_mut(worker) };
+        let routers = self.ext.commodity_routers(ctx.j);
+        for (c, chunk) in routers.chunks(GAMMA_CHUNK).enumerate() {
+            let stat = unsafe { self.stats.slot_mut(self.chunk_base[ji] + c) };
+            gamma_chunk(&ctx, chunk, lane, stat);
+        }
+    }
+
+    /// Phase-A Γ task for one global router chunk (split mode). Chunk
+    /// tasks of the same commodity write disjoint fraction-row entries
+    /// (each router owns its out-edge set), shared via [`PhiRow`] cells.
+    ///
+    /// [`PhiRow`]: crate::pool::PhiRow
+    fn gamma_chunk_task(&self, ci: usize, worker: usize) {
+        let ji = self.chunk_base.partition_point(|&b| b <= ci) - 1;
+        let local = ci - self.chunk_base[ji];
+        let ctx = self.gamma_ctx(ji);
+        let routers = self.ext.commodity_routers(ctx.j);
+        let lo = local * GAMMA_CHUNK;
+        let hi = routers.len().min(lo + GAMMA_CHUNK);
+        // SAFETY: lane `worker` is exclusive to this participant; stat
+        // slot `ci` is exclusive to this task.
+        let lane = unsafe { self.lanes.slot_mut(worker) };
+        let stat = unsafe { self.stats.slot_mut(ci) };
+        gamma_chunk(&ctx, &routers[lo..hi], lane, stat);
+    }
+
+    /// Phase-A flow task for commodity `ji`: zeroes and recomputes the
+    /// traffic/edge-flow rows and the commodity's usage partials.
+    fn flow_task(&self, ji: usize) {
+        let j = CommodityId::from_index(ji);
+        // SAFETY: this task is the sole accessor of row `ji` of each
+        // table in this phase; Γ for `ji` has already finished (chain
+        // order or the preceding barrier), so reading the fraction row
+        // while no one writes it is sound.
+        unsafe {
+            let t = self.t.row_mut(ji);
+            let x = self.x.row_mut(ji);
+            let fe = self.fe_part.row_mut(ji);
+            let fnode = self.fn_part.row_mut(ji);
+            t.fill(0.0);
+            x.fill(0.0);
+            fe.fill(0.0);
+            fnode.fill(0.0);
+            flow_sweep(self.ext, self.phi.row_slice(ji), j, t, x, fe, fnode);
+        }
+    }
+
+    /// Everything before the reduction barrier, for participant `w`.
+    fn phase_a(&self, w: usize, pool: &WorkerPool) {
+        if self.split {
+            claim(&self.c_a, self.j_count, |ji| self.tag_task(ji));
+            pool.phase_wait();
+            let total_chunks = self.chunk_base[self.j_count];
+            claim(&self.c_gamma, total_chunks, |ci| {
+                self.gamma_chunk_task(ci, w)
+            });
+            pool.phase_wait();
+            claim(&self.c_flows, self.j_count, |ji| self.flow_task(ji));
+        } else {
+            claim(&self.c_a, self.j_count, |ji| {
+                self.tag_task(ji);
+                self.gamma_commodity(ji, w);
+                self.flow_task(ji);
+            });
+        }
+    }
+
+    /// The usage reduction (participant 0 only, between barriers).
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee no other participant accesses the totals
+    /// or partials concurrently (i.e. call only between phase barriers,
+    /// or after the dispatch returned).
+    unsafe fn reduce_totals(&self) {
+        let l_count = self.fe_tot.row_len();
+        let v_count = self.fn_tot.row_len();
+        // SAFETY: exclusive access per the caller contract; the partial
+        // tables are contiguous row-major buffers.
+        unsafe {
+            reduce_usage_totals(
+                self.fe_tot.row_mut(0),
+                self.fn_tot.row_mut(0),
+                self.fe_part.as_slice(),
+                self.fn_part.as_slice(),
+                l_count,
+                v_count,
+                self.j_count,
+            );
+        }
+    }
+
+    /// The marginal phase (after the reduction barrier).
+    fn phase_b(&self) {
+        claim(&self.c_marg, self.j_count, |ji| {
+            let j = CommodityId::from_index(ji);
+            // SAFETY: this task is row `ji`'s sole writer in this
+            // phase; fraction rows are read-only after phase A.
+            unsafe {
+                let row = self.d.row_mut(ji);
+                row.fill(0.0);
+                marginal_sweep(
+                    self.ext,
+                    self.cost,
+                    self.phi.row_slice(ji),
+                    self.usage(),
+                    j,
+                    row,
+                );
+            }
+        });
+    }
+}
+
+/// One full protocol iteration over the persistent pool: tags → Γ →
+/// flows → (ε-anneal) → marginals, in at most two dispatches (one when
+/// `anneal_to` is `None`). Returns the Γ statistics; bit-identical to
+/// the serial step for every participant count.
+#[allow(clippy::too_many_arguments)] // mirrors the algorithm's state fields
+pub(crate) fn fused_step(
+    ext: &ExtendedNetwork,
+    cost: &mut CostModel,
+    config: &GradientConfig,
+    pool: &WorkerPool,
+    routing: &mut RoutingTable,
+    state: &mut FlowState,
+    marginals: &mut Marginals,
+    tags: &mut BlockedTags,
+    ws: &mut IterationWorkspace,
+    anneal_to: Option<f64>,
+) -> GammaStats {
+    let v_count = ext.graph().node_count();
+    let l_count = ext.graph().edge_count();
+    let j_count = ext.num_commodities();
+    // Cold-path shape guards: the algorithm keeps these consistent, but
+    // a stale buffer after a network swap must resize, not corrupt.
+    if state.t.len() != j_count * v_count || state.x.len() != j_count * l_count {
+        state.reset(ext);
+    }
+    if marginals.d.len() != j_count * v_count {
+        marginals.reset(ext);
+    }
+    if tags.tagged.len() != j_count * v_count {
+        tags.reset(ext);
+    }
+    ws.ensure_workers(ext, pool.participants());
+    let split = j_count < pool.participants();
+
+    let build_and_run = |routing: &mut RoutingTable,
+                         state: &mut FlowState,
+                         marginals: &mut Marginals,
+                         tags: &mut BlockedTags,
+                         ws: &mut IterationWorkspace,
+                         cost: &CostModel,
+                         body: &dyn Fn(&FusedViews<'_>)| {
+        let parts = ws.parts();
+        let views = FusedViews {
+            ext,
+            cost,
+            phi: PhiTable::new(routing.flat_mut(), l_count.max(1)),
+            t: RowTable::new(&mut state.t, v_count.max(1)),
+            x: RowTable::new(&mut state.x, l_count.max(1)),
+            fe_part: RowTable::new(parts.f_edge_part, l_count.max(1)),
+            fn_part: RowTable::new(parts.f_node_part, v_count.max(1)),
+            fe_tot: RowTable::new(&mut state.f_edge, l_count.max(1)),
+            fn_tot: RowTable::new(&mut state.f_node, v_count.max(1)),
+            d: RowTable::new(&mut marginals.d, v_count.max(1)),
+            tags: RowTable::new(&mut tags.tagged, v_count.max(1)),
+            lanes: SlotTable::new(parts.lanes),
+            stats: SlotTable::new(parts.stats),
+            chunk_base: parts.chunk_base,
+            j_count,
+            eta: config.eta,
+            traffic_floor: config.traffic_floor,
+            opening_fraction: config.opening_fraction,
+            shift_cap: config.shift_cap,
+            use_blocked_sets: config.use_blocked_sets,
+            split,
+            c_a: AtomicUsize::new(0),
+            c_gamma: AtomicUsize::new(0),
+            c_flows: AtomicUsize::new(0),
+            c_marg: AtomicUsize::new(0),
+        };
+        body(&views);
+    };
+
+    if anneal_to.is_none() {
+        build_and_run(routing, state, marginals, tags, ws, cost, &|views| {
+            pool.run_participants(&|w| {
+                views.phase_a(w, pool);
+                pool.phase_wait();
+                if w == 0 {
+                    // SAFETY: between barriers; all other participants
+                    // are parked on the next phase_wait.
+                    unsafe { views.reduce_totals() }
+                }
+                pool.phase_wait();
+                views.phase_b();
+            });
+        });
+        return reduce_gamma_stats(ws, j_count);
+    }
+
+    // ε-annealing iteration: the epsilon mutation must land between
+    // flows and marginals, and every task shares the cost model — so
+    // split the step into two dispatches with a caller-side reduction
+    // (same helper as participant 0's, hence bit-identical totals).
+    build_and_run(routing, state, marginals, tags, ws, cost, &|views| {
+        pool.run_participants(&|w| views.phase_a(w, pool));
+    });
+    reduce_usage_totals(
+        &mut state.f_edge,
+        &mut state.f_node,
+        &ws.f_edge_part,
+        &ws.f_node_part,
+        l_count,
+        v_count,
+        j_count,
+    );
+    let stats = reduce_gamma_stats(ws, j_count);
+    if let Some(eps) = anneal_to {
+        cost.epsilon = eps;
+    }
+    build_and_run(routing, state, marginals, tags, ws, cost, &|views| {
+        pool.run_participants(&|_w| views.phase_b());
+    });
+    stats
+}

@@ -1,5 +1,4 @@
-//! Reusable scratch buffers and the scoped-thread fan-out for the
-//! zero-allocation iteration core.
+//! Reusable scratch buffers for the zero-allocation iteration core.
 //!
 //! [`GradientAlgorithm`](crate::GradientAlgorithm) owns one
 //! [`IterationWorkspace`] and threads it through
@@ -10,19 +9,30 @@
 //! resized (a no-op once warm) rather than rebuilt.
 //!
 //! The same buffers carve the work into disjoint per-commodity rows,
-//! which is what lets the flow/marginal/tag/Γ passes fan out over
-//! [`std::thread::scope`] without locks — each worker owns its
-//! commodity's rows outright, and all cross-commodity reductions happen
-//! afterwards on the calling thread in fixed commodity order, keeping
-//! results bit-identical for every thread count (ARCHITECTURE
-//! invariant 9).
+//! which is what lets the flow/marginal/tag/Γ passes fan out over the
+//! persistent [`WorkerPool`](crate::pool::WorkerPool) without locks —
+//! each task owns its commodity's rows outright, and all
+//! cross-commodity reductions happen afterwards in fixed commodity
+//! order, keeping results bit-identical for every thread count
+//! (ARCHITECTURE invariant 9).
+//!
+//! Γ statistics are accumulated per fixed-size *router chunk*
+//! ([`GAMMA_CHUNK`] routers per slot) rather than per commodity, on the
+//! serial path too: chunk boundaries depend only on the instance, so
+//! the ordered chunk reduction yields bit-identical
+//! [`GammaStats`](crate::gamma::GammaStats) whether a commodity was
+//! swept by one task or split across many.
 
 use spn_graph::EdgeId;
 use spn_transform::ExtendedNetwork;
 
-/// Per-commodity scratch for one Γ row computation (eqs. (14)–(17)):
-/// the per-out-edge marginals, blocked flags, and the staged new row.
-/// Capacities are reserved for the commodity-maximum out-degree by
+/// Number of routers whose Γ updates share one statistics slot (and one
+/// unit of splittable work when a commodity is divided across workers).
+pub(crate) const GAMMA_CHUNK: usize = 64;
+
+/// Per-task scratch for one Γ row computation (eqs. (14)–(17)): the
+/// per-out-edge marginals, blocked flags, and the staged new row.
+/// Capacities are reserved for the instance-maximum out-degree by
 /// [`IterationWorkspace::ensure`], so pushes never allocate in steady
 /// state.
 #[derive(Clone, Debug, Default)]
@@ -46,30 +56,51 @@ impl GammaLane {
     }
 }
 
+/// Mutable split-borrow of the workspace pieces the Γ pass and the
+/// fused step need simultaneously.
+pub(crate) struct WsParts<'a> {
+    /// `[j·L + l]` per-commodity edge-usage partials.
+    pub(crate) f_edge_part: &'a mut [f64],
+    /// `[j·V + v]` per-commodity node-usage partials.
+    pub(crate) f_node_part: &'a mut [f64],
+    /// One Γ scratch lane per pool participant.
+    pub(crate) lanes: &'a mut [GammaLane],
+    /// One Γ statistics slot per router chunk.
+    pub(crate) stats: &'a mut [(f64, f64, usize)],
+    /// Cumulative chunk counts per commodity (`len == j_count + 1`).
+    pub(crate) chunk_base: &'a [usize],
+}
+
 /// Preallocated scratch buffers reused across iterations.
 ///
 /// Sized by [`IterationWorkspace::ensure`] for a particular
 /// [`ExtendedNetwork`]; re-`ensure`-ing for a differently-sized network
 /// resizes and clears everything, so a workspace can be shared across
 /// problems without ever observing stale data. Re-`ensure`-ing for the
-/// *same* shape is a constant-time no-op — every pass that uses a buffer
+/// *same* shape is a cheap near-no-op — every pass that uses a buffer
 /// resets it at the point of use (the flow pass zero-fills its partial
 /// rows, the Γ pass clears each lane and stat slot before writing), so
-/// `ensure` never needs to touch warm buffers.
+/// `ensure` never touches warm buffers.
 #[derive(Clone, Debug, Default)]
 pub struct IterationWorkspace {
     /// `[j·L + l]` — commodity-`j` partial of the edge usage `f_ik`.
     pub(crate) f_edge_part: Vec<f64>,
     /// `[j·V + v]` — commodity-`j` partial of the node usage `f_i`.
     pub(crate) f_node_part: Vec<f64>,
-    /// One Γ scratch lane per commodity (workers get one each).
+    /// One Γ scratch lane per pool participant (serial paths use lane
+    /// 0; there is always at least one).
     pub(crate) lanes: Vec<GammaLane>,
-    /// Per-commodity Γ statistics `(max_shift, total_shift, rows)`,
-    /// reduced in ascending commodity order after the fan-out.
+    /// Per-router-chunk Γ statistics `(max_shift, total_shift, rows)`,
+    /// reduced in ascending global chunk order after each Γ pass.
     pub(crate) stats: Vec<(f64, f64, usize)>,
-    /// Shape `(j_count, v_count, l_count, max_degree)` the buffers are
-    /// currently sized for — the fast-path key of `ensure`.
-    sized_for: Option<(usize, usize, usize, usize)>,
+    /// `chunk_base[ji]` is the global index of commodity `ji`'s first
+    /// router chunk; `chunk_base[j_count]` is the total chunk count.
+    pub(crate) chunk_base: Vec<usize>,
+    /// Pool participants the lanes are sized for (≥ 1 once ensured).
+    workers: usize,
+    /// Shape `(j_count, v_count, l_count, max_degree, workers)` the
+    /// buffers are currently sized for — the fast-path key of `ensure`.
+    sized_for: Option<(usize, usize, usize, usize, usize)>,
 }
 
 impl IterationWorkspace {
@@ -81,20 +112,44 @@ impl IterationWorkspace {
         ws
     }
 
-    /// Resizes and clears every buffer for `ext`. Allocation-free once
-    /// the workspace has seen a network at least this large, and a
-    /// constant-time no-op when the shape matches the previous call
-    /// (steady state calls this twice per iteration).
+    /// Resizes and clears every buffer for `ext`, preserving the
+    /// participant count of the previous [`ensure_workers`] call.
+    /// Allocation-free once the workspace has seen a network at least
+    /// this large (steady state calls this twice per iteration).
+    ///
+    /// [`ensure_workers`]: IterationWorkspace::ensure_workers
     pub fn ensure(&mut self, ext: &ExtendedNetwork) {
+        self.ensure_workers(ext, self.workers.max(1));
+    }
+
+    /// As [`ensure`](IterationWorkspace::ensure), but also sizes the Γ
+    /// lanes for `workers` pool participants.
+    pub(crate) fn ensure_workers(&mut self, ext: &ExtendedNetwork, workers: usize) {
         let v_count = ext.graph().node_count();
         let l_count = ext.graph().edge_count();
         let j_count = ext.num_commodities();
+        let workers = workers.max(1);
         let max_degree = ext
             .commodity_ids()
             .map(|j| ext.max_out_degree(j))
             .max()
             .unwrap_or(0);
-        let shape = (j_count, v_count, l_count, max_degree);
+        // The chunk layout depends on per-commodity router counts,
+        // which the shape key below cannot capture, so recompute it on
+        // every call (allocation-free once warm, O(j_count)).
+        self.chunk_base.clear();
+        self.chunk_base.reserve(j_count + 1);
+        self.chunk_base.push(0);
+        let mut total_chunks = 0usize;
+        for j in ext.commodity_ids() {
+            total_chunks += ext.commodity_routers(j).len().div_ceil(GAMMA_CHUNK);
+            self.chunk_base.push(total_chunks);
+        }
+        if self.stats.len() != total_chunks {
+            self.stats.clear();
+            self.stats.resize(total_chunks, (0.0, 0.0, 0));
+        }
+        let shape = (j_count, v_count, l_count, max_degree, workers);
         if self.sized_for == Some(shape) {
             return;
         }
@@ -102,49 +157,28 @@ impl IterationWorkspace {
         self.f_edge_part.resize(j_count * l_count, 0.0);
         self.f_node_part.clear();
         self.f_node_part.resize(j_count * v_count, 0.0);
-        if self.lanes.len() != j_count {
-            self.lanes.resize_with(j_count, GammaLane::default);
+        if self.lanes.len() != workers {
+            self.lanes.resize_with(workers, GammaLane::default);
         }
         for lane in &mut self.lanes {
             lane.reserve(max_degree);
         }
-        self.stats.clear();
-        self.stats.resize(j_count, (0.0, 0.0, 0));
+        self.workers = workers;
         self.sized_for = Some(shape);
     }
-}
 
-/// Runs `tasks` (one per commodity, already holding disjoint `&mut`
-/// rows) across `threads` scoped workers in contiguous chunks.
-///
-/// Only reached when `threads > 1`; the serial paths never call this,
-/// so the zero-allocation guarantee of the single-threaded step is
-/// unaffected by the spawn/chunk allocations here. Output order never
-/// matters: tasks write disjoint buffers and every reduction runs
-/// afterwards on the caller in fixed commodity order.
-pub(crate) fn run_commodity_tasks<T, F>(threads: usize, mut tasks: Vec<T>, work: F)
-where
-    T: Send,
-    F: Fn(T) + Sync,
-{
-    let n = tasks.len();
-    if n == 0 {
-        return;
-    }
-    let workers = threads.min(n).max(1);
-    let chunk_size = n.div_ceil(workers);
-    std::thread::scope(|scope| {
-        let work = &work;
-        while !tasks.is_empty() {
-            let tail = tasks.split_off(chunk_size.min(tasks.len()));
-            let chunk = std::mem::replace(&mut tasks, tail);
-            scope.spawn(move || {
-                for task in chunk {
-                    work(task);
-                }
-            });
+    /// Splits the workspace into the disjoint pieces a Γ pass (or the
+    /// fused step) borrows simultaneously. Call after
+    /// [`ensure`](IterationWorkspace::ensure).
+    pub(crate) fn parts(&mut self) -> WsParts<'_> {
+        WsParts {
+            f_edge_part: &mut self.f_edge_part,
+            f_node_part: &mut self.f_node_part,
+            lanes: &mut self.lanes,
+            stats: &mut self.stats,
+            chunk_base: &self.chunk_base,
         }
-    });
+    }
 }
 
 #[cfg(test)]
@@ -183,9 +217,7 @@ mod tests {
             ws.f_edge_part.iter().all(|&x| x == 0.0),
             "stale data survived ensure"
         );
-        assert_eq!(ws.lanes.len(), large.num_commodities());
         ws.ensure(&small);
-        assert_eq!(ws.lanes.len(), small.num_commodities());
         assert!(ws.f_node_part.iter().all(|&x| x == 0.0));
     }
 
@@ -211,18 +243,44 @@ mod tests {
     }
 
     #[test]
-    fn run_commodity_tasks_covers_every_task() {
-        let mut hits = [0u8; 13];
-        let tasks: Vec<(usize, &mut u8)> = hits.iter_mut().enumerate().collect();
-        run_commodity_tasks(4, tasks, |(i, slot)| {
-            *slot = u8::try_from(i % 251).unwrap() + 1;
-        });
-        for (i, &h) in hits.iter().enumerate() {
-            assert_eq!(
-                h,
-                u8::try_from(i).unwrap() + 1,
-                "task {i} not run exactly once"
-            );
+    fn lanes_track_worker_count_not_commodities() {
+        let ext = ExtendedNetwork::build(
+            &RandomInstance::builder()
+                .nodes(30)
+                .commodities(4)
+                .seed(3)
+                .build()
+                .unwrap()
+                .problem,
+        );
+        let mut ws = IterationWorkspace::new(&ext);
+        assert_eq!(ws.lanes.len(), 1, "default workspace is single-lane");
+        ws.ensure_workers(&ext, 3);
+        assert_eq!(ws.lanes.len(), 3);
+        // plain ensure preserves the participant count
+        ws.ensure(&ext);
+        assert_eq!(ws.lanes.len(), 3);
+    }
+
+    #[test]
+    fn chunk_base_is_cumulative_and_covers_all_routers() {
+        let ext = ExtendedNetwork::build(
+            &RandomInstance::builder()
+                .nodes(30)
+                .commodities(4)
+                .seed(3)
+                .build()
+                .unwrap()
+                .problem,
+        );
+        let ws = IterationWorkspace::new(&ext);
+        let j_count = ext.num_commodities();
+        assert_eq!(ws.chunk_base.len(), j_count + 1);
+        assert_eq!(ws.chunk_base[0], 0);
+        for (ji, j) in ext.commodity_ids().enumerate() {
+            let chunks = ws.chunk_base[ji + 1] - ws.chunk_base[ji];
+            assert_eq!(chunks, ext.commodity_routers(j).len().div_ceil(GAMMA_CHUNK));
         }
+        assert_eq!(ws.stats.len(), ws.chunk_base[j_count]);
     }
 }

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# The full local gate: formatting, lints as errors, every test.
+# The full local gate: formatting, lints as errors, every test, and a
+# bench smoke run (catches pooled-path throughput regressions: on a
+# multi-core host, threads=2 more than 10% below serial fails).
 # Run from anywhere; always operates on the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+cargo run --release -q -p spn-bench --bin bench_core -- --smoke

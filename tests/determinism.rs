@@ -64,8 +64,52 @@ fn parallel_step_is_bit_identical_to_serial() {
     }
 }
 
+/// Reconfiguring the worker count mid-run (rebuilding or dropping the
+/// persistent pool between steps) must not perturb the trajectory: a
+/// run that hops between pooled thread counts {2, 4}, the serial path,
+/// and auto stays bit-identical to a pure serial run.
+#[test]
+fn midrun_thread_reconfiguration_stays_identical() {
+    let problem = RandomInstance::builder()
+        .nodes(30)
+        .commodities(5)
+        .seed(11)
+        .build()
+        .unwrap()
+        .problem;
+    let serial = GradientConfig {
+        threads: 1,
+        ..GradientConfig::default()
+    };
+    let pooled = GradientConfig {
+        threads: 2,
+        ..GradientConfig::default()
+    };
+    let mut a = GradientAlgorithm::new(&problem, serial).unwrap();
+    let mut b = GradientAlgorithm::new(&problem, pooled).unwrap();
+    // threads=0 resolves to min(available_parallelism, 5 commodities)
+    for (phase, threads) in [(0usize, 4usize), (1, 1), (2, 3), (3, 0), (4, 2)] {
+        for _ in 0..40 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(
+            a.routing(),
+            b.routing(),
+            "routing diverged after phase {phase} at {} threads",
+            b.resolved_threads()
+        );
+        b.set_threads(threads);
+    }
+    assert_eq!(a.flows(), b.flows(), "flow state diverged");
+    assert_eq!(a.marginals(), b.marginals(), "marginals diverged");
+    let (ra, rb) = (a.report(), b.report());
+    assert_eq!(ra.utility.to_bits(), rb.utility.to_bits());
+}
+
 /// Odd thread counts that don't divide the commodity count exercise the
-/// uneven chunking of the scoped fan-out.
+/// uneven chunking of the pooled fan-out (including router-chunk
+/// splitting when threads exceed commodities).
 #[test]
 fn uneven_thread_chunking_stays_identical() {
     let problem = RandomInstance::builder()

@@ -1,0 +1,71 @@
+//! Lifecycle of the persistent worker pool behind `GradientAlgorithm`:
+//! workers are spawned exactly once at construction, *never* during
+//! stepping (the headline fix over the spawn-per-pass fan-out), and are
+//! all joined when the algorithm is dropped.
+//!
+//! One test function on purpose: `spn::core::pool::total_threads_spawned`
+//! is a process-global counter, and a concurrently running test that
+//! builds its own pool would alias into the measured window.
+
+use spn::core::pool::total_threads_spawned;
+use spn::core::{GradientAlgorithm, GradientConfig, WorkerPool};
+use spn::model::random::RandomInstance;
+use std::time::{Duration, Instant};
+
+#[test]
+fn steady_state_stepping_never_spawns_and_drop_joins() {
+    let problem = RandomInstance::builder()
+        .nodes(30)
+        .commodities(5)
+        .seed(11)
+        .build()
+        .unwrap()
+        .problem;
+    let cfg = GradientConfig {
+        threads: 3,
+        ..GradientConfig::default()
+    };
+    let mut alg = GradientAlgorithm::new(&problem, cfg).unwrap();
+    assert_eq!(alg.resolved_threads(), 3);
+
+    // 3 participants = the caller + 2 spawned workers, all at
+    // construction time.
+    let after_build = total_threads_spawned();
+
+    for _ in 0..1_000 {
+        alg.step();
+    }
+    assert_eq!(
+        total_threads_spawned(),
+        after_build,
+        "stepping spawned threads; the pool must be persistent"
+    );
+    assert!(alg.report().utility > 0.0);
+    drop(alg);
+
+    // Drop joins every worker: a bare pool makes the count observable,
+    // and on Linux the OS thread count must return to its baseline.
+    let base_os_threads = os_threads();
+    let pool = WorkerPool::new(4);
+    assert_eq!(pool.participants(), 4);
+    assert_eq!(pool.live_workers(), 3);
+    assert_eq!(total_threads_spawned(), after_build + 3);
+    drop(pool); // joins — every worker has fully terminated on return
+    if base_os_threads > 0 {
+        // /proc bookkeeping can lag thread exit by a beat; poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while os_threads() > base_os_threads && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            os_threads(),
+            base_os_threads,
+            "dropped pool left OS threads behind"
+        );
+    }
+}
+
+/// Threads of this process per procfs, or 0 where /proc is unavailable.
+fn os_threads() -> usize {
+    std::fs::read_dir("/proc/self/task").map_or(0, Iterator::count)
+}

@@ -38,7 +38,7 @@ fn check_problem(problem: &Problem, shared: &mut IterationWorkspace) -> TestCase
     let config = *alg.config();
 
     let mut state = FlowState::zeros(ext);
-    compute_flows_into(ext, alg.routing(), &mut state, shared, 1);
+    compute_flows_into(ext, alg.routing(), &mut state, shared, None);
     prop_assert_eq!(
         &state,
         alg.flows(),
@@ -46,7 +46,7 @@ fn check_problem(problem: &Problem, shared: &mut IterationWorkspace) -> TestCase
     );
 
     let mut marginals = Marginals::zeros(ext);
-    compute_marginals_into(ext, cost, alg.routing(), &state, &mut marginals, 1);
+    compute_marginals_into(ext, cost, alg.routing(), &state, &mut marginals, None);
     prop_assert_eq!(&marginals, alg.marginals(), "marginals differ");
 
     let tags = compute_tags(
@@ -71,7 +71,7 @@ fn check_problem(problem: &Problem, shared: &mut IterationWorkspace) -> TestCase
         config.opening_fraction,
         config.shift_cap,
         shared,
-        1,
+        None,
     );
     let mut rt_fresh = alg.routing().clone();
     let mut fresh = IterationWorkspace::new(ext);
@@ -87,7 +87,7 @@ fn check_problem(problem: &Problem, shared: &mut IterationWorkspace) -> TestCase
         config.opening_fraction,
         config.shift_cap,
         &mut fresh,
-        1,
+        None,
     );
     prop_assert_eq!(
         rt_shared,

@@ -1,8 +1,12 @@
 //! The steady-state `GradientAlgorithm::step()` performs **zero heap
-//! allocation** at `threads = 1`: every buffer the iteration touches is
+//! allocation** — on the serial path (`threads = 1`) *and* on the
+//! pooled path (`threads = 2`): every buffer the iteration touches is
 //! owned by the algorithm (flow state, marginals, tags) or its
-//! [`IterationWorkspace`] and only resized, never rebuilt. Verified
-//! here with a counting global allocator.
+//! [`IterationWorkspace`] and only resized, never rebuilt, and a pooled
+//! step is one epoch bump on the persistent worker pool (no spawns, no
+//! allocation). Verified here with a counting global allocator; the
+//! counter is process-global, so worker-thread allocations would be
+//! caught too.
 //!
 //! This file deliberately contains a single test: the counter is
 //! process-global, and concurrent tests would alias into the measured
@@ -72,4 +76,29 @@ fn steady_state_step_is_allocation_free() {
 
     // the run still makes progress (the instrumented loop is the real one)
     assert!(alg.report().utility > 0.0);
+
+    // The pooled path: the persistent pool is built (and its workers
+    // spawned) at construction, outside the measured window; a warm
+    // fused dispatch must not allocate either — on the caller or on any
+    // worker (the counter is process-global).
+    let pooled_cfg = GradientConfig {
+        threads: 2,
+        ..GradientConfig::default()
+    };
+    let mut pooled = GradientAlgorithm::new(&problem, pooled_cfg).unwrap();
+    for _ in 0..10 {
+        pooled.step();
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..50 {
+        pooled.step();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state pooled step() allocated {} times over 50 iterations",
+        after - before
+    );
+    assert!(pooled.report().utility > 0.0);
 }
