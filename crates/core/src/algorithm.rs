@@ -20,9 +20,11 @@
 //! crate and produces bit-identical routing tables (tested there).
 
 use crate::blocked::{compute_tags_into, BlockedTags};
+use crate::checkpoint::Checkpoint;
 use crate::cost::CostModel;
 use crate::flows::{compute_flows_into, FlowState};
 use crate::gamma::{apply_gamma_ws, GammaStats};
+use crate::health::CoreError;
 use crate::marginals::{compute_marginals_into, Marginals};
 use crate::pool::WorkerPool;
 use crate::routing::RoutingTable;
@@ -455,6 +457,114 @@ impl GradientAlgorithm {
         max_iterations
     }
 
+    /// Current total utility `Σ_j U_j(a_j)` — the scalar the watchdog
+    /// tracks every step. Allocation-free, unlike the full
+    /// [`report`](GradientAlgorithm::report).
+    #[must_use]
+    pub fn utility(&self) -> f64 {
+        self.ext
+            .commodity_ids()
+            .map(|j| {
+                self.ext
+                    .commodity(j)
+                    .utility
+                    .value(self.state.admitted(&self.ext, j))
+            })
+            .sum()
+    }
+
+    /// Snapshots the full trajectory-determining state — routing `φ`,
+    /// flows, marginals, iteration counter, and the runtime-drifting
+    /// tunables (annealed ε, watchdog-adjusted η) — into a fresh
+    /// [`Checkpoint`]. Prefer
+    /// [`checkpoint_into`](GradientAlgorithm::checkpoint_into) in loops:
+    /// it reuses the buffers and is allocation-free after the first
+    /// capture.
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint {
+        let mut ck = Checkpoint::new();
+        self.checkpoint_into(&mut ck);
+        ck
+    }
+
+    /// Refreshes `into` with the current state. Buffers are refilled in
+    /// place (`clear` + `extend_from_slice`), so once `into` has seen a
+    /// capture of this shape the call performs no heap allocation —
+    /// pinned by the zero-alloc suite.
+    pub fn checkpoint_into(&self, into: &mut Checkpoint) {
+        Checkpoint::refill(&mut into.phi, self.routing.flat());
+        Checkpoint::refill(&mut into.t, &self.state.t);
+        Checkpoint::refill(&mut into.x, &self.state.x);
+        Checkpoint::refill(&mut into.f_edge, &self.state.f_edge);
+        Checkpoint::refill(&mut into.f_node, &self.state.f_node);
+        Checkpoint::refill(&mut into.d, &self.marginals.d);
+        into.iterations = self.iterations;
+        into.epsilon = self.cost.epsilon;
+        into.eta = self.config.eta;
+        into.captured = true;
+    }
+
+    /// Rolls the algorithm back to `ck`, bit-for-bit: straight buffer
+    /// copies, no recomputation — stepping from the restored state
+    /// replays the original trajectory exactly. The environment (the
+    /// extended network's capacities and demands) is *not* part of the
+    /// checkpoint: rolling back past a failure does not un-fail the
+    /// node, which is exactly what recovery experiments need.
+    /// Allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyCheckpoint`] if `ck` never captured state;
+    /// [`CoreError::ShapeMismatch`] if it was captured from a
+    /// differently-shaped instance. The algorithm is unchanged on error.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), CoreError> {
+        if !ck.captured {
+            return Err(CoreError::EmptyCheckpoint);
+        }
+        let check = |what: &'static str, expected: usize, got: usize| {
+            if expected == got {
+                Ok(())
+            } else {
+                Err(CoreError::ShapeMismatch {
+                    what,
+                    expected,
+                    got,
+                })
+            }
+        };
+        check("phi", self.routing.flat().len(), ck.phi.len())?;
+        check("t", self.state.t.len(), ck.t.len())?;
+        check("x", self.state.x.len(), ck.x.len())?;
+        check("f_edge", self.state.f_edge.len(), ck.f_edge.len())?;
+        check("f_node", self.state.f_node.len(), ck.f_node.len())?;
+        check("d", self.marginals.d.len(), ck.d.len())?;
+        self.routing.flat_mut().copy_from_slice(&ck.phi);
+        self.state.t.copy_from_slice(&ck.t);
+        self.state.x.copy_from_slice(&ck.x);
+        self.state.f_edge.copy_from_slice(&ck.f_edge);
+        self.state.f_node.copy_from_slice(&ck.f_node);
+        self.marginals.d.copy_from_slice(&ck.d);
+        self.iterations = ck.iterations;
+        self.cost.epsilon = ck.epsilon;
+        self.config.eta = ck.eta;
+        Ok(())
+    }
+
+    /// Overrides the step size `η` mid-run — the watchdog's backoff
+    /// hook (and its slow recovery after an incident clears).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `eta` is finite and positive (the same contract
+    /// [`GradientAlgorithm::new`] validates).
+    pub fn set_eta(&mut self, eta: f64) {
+        assert!(
+            eta.is_finite() && eta > 0.0,
+            "eta must be finite and positive, got {eta}"
+        );
+        self.config.eta = eta;
+    }
+
     /// Current solution snapshot in problem terms.
     #[must_use]
     pub fn report(&self) -> Report {
@@ -515,6 +625,14 @@ impl GradientAlgorithm {
     #[must_use]
     pub fn flows(&self) -> &FlowState {
         &self.state
+    }
+
+    /// Mutable flow state — a corruption hook for fault-injection tests
+    /// (pair with [`FlowState::traffic_mut`]). Not part of the stable
+    /// API.
+    #[doc(hidden)]
+    pub fn flows_mut(&mut self) -> &mut FlowState {
+        &mut self.state
     }
 
     /// The current marginal costs.

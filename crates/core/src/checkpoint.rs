@@ -1,0 +1,239 @@
+//! Bit-identical snapshots of [`GradientAlgorithm`] state for
+//! rollback recovery.
+//!
+//! A [`Checkpoint`] captures everything that determines the trajectory:
+//! the routing table `φ` (which *is* the algorithm's decision variable,
+//! admission control included), the flow state and marginals derived
+//! from it, the iteration counter, and the two tunables that drift at
+//! runtime (the ε-annealing schedule moves `cost.epsilon`; the
+//! watchdog's backoff moves `η`). Workspace scratch and blocking tags
+//! are deliberately excluded — every pass fully rewrites them before
+//! reading, so they carry no state across steps.
+//!
+//! [`GradientAlgorithm::restore`] copies the buffers straight back:
+//! no recomputation, no rounding — stepping from a restored checkpoint
+//! is bit-for-bit the same as stepping from the original state (pinned
+//! by tests here and in the chaos suite). [`Checkpoint`] buffers are
+//! reused across captures (`clear` + `extend_from_slice`), so a
+//! checkpoint taken every K iterations is allocation-free after the
+//! first capture — cheap enough to leave on inside a chaos soak.
+//!
+//! [`GradientAlgorithm`]: crate::GradientAlgorithm
+//! [`GradientAlgorithm::restore`]: crate::GradientAlgorithm::restore
+
+/// A reusable snapshot of [`GradientAlgorithm`](crate::GradientAlgorithm)
+/// state. Create one with [`Checkpoint::new`] (or
+/// [`checkpoint`](crate::GradientAlgorithm::checkpoint)), refresh it
+/// with [`checkpoint_into`](crate::GradientAlgorithm::checkpoint_into),
+/// and roll back with [`restore`](crate::GradientAlgorithm::restore).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Checkpoint {
+    /// Routing fractions, flat row-major (`[j·L + l]`).
+    pub(crate) phi: Vec<f64>,
+    /// Node traffic rates, flat row-major (`[j·V + v]`).
+    pub(crate) t: Vec<f64>,
+    /// Per-edge commodity flows, flat row-major (`[j·L + l]`).
+    pub(crate) x: Vec<f64>,
+    /// Cross-commodity edge usage totals.
+    pub(crate) f_edge: Vec<f64>,
+    /// Cross-commodity node usage totals.
+    pub(crate) f_node: Vec<f64>,
+    /// Marginal costs, flat row-major (`[j·V + v]`).
+    pub(crate) d: Vec<f64>,
+    /// Iteration counter at capture time.
+    pub(crate) iterations: usize,
+    /// `cost.epsilon` at capture time (the annealing schedule mutates
+    /// the live value).
+    pub(crate) epsilon: f64,
+    /// `config.eta` at capture time (watchdog backoff mutates the live
+    /// value).
+    pub(crate) eta: f64,
+    /// Whether a capture has been taken (restoring a default-constructed
+    /// checkpoint is an error, not a silent zero-fill).
+    pub(crate) captured: bool,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint; fill it with
+    /// [`checkpoint_into`](crate::GradientAlgorithm::checkpoint_into).
+    #[must_use]
+    pub fn new() -> Self {
+        Checkpoint::default()
+    }
+
+    /// `true` once the checkpoint holds a capture.
+    #[must_use]
+    pub fn is_captured(&self) -> bool {
+        self.captured
+    }
+
+    /// Iteration counter at capture time.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Clears the captured flag without releasing buffers (the next
+    /// capture reuses them).
+    pub fn invalidate(&mut self) {
+        self.captured = false;
+    }
+
+    /// Copies `src` over `dst` without changing `dst`'s capacity once
+    /// warm: `clear` keeps the allocation, `extend_from_slice` refills.
+    pub(crate) fn refill(dst: &mut Vec<f64>, src: &[f64]) {
+        dst.clear();
+        dst.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::CoreError;
+    use crate::{GradientAlgorithm, GradientConfig};
+    use spn_model::random::RandomInstance;
+
+    fn algorithm(threads: usize) -> GradientAlgorithm {
+        let instance = RandomInstance::builder()
+            .nodes(15)
+            .commodities(3)
+            .seed(11)
+            .build()
+            .unwrap();
+        GradientAlgorithm::new(
+            &instance.problem,
+            GradientConfig {
+                eta: 0.2,
+                threads,
+                ..GradientConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let mut alg = algorithm(1);
+        alg.run(120);
+        let ck = alg.checkpoint();
+        assert!(ck.is_captured());
+        assert_eq!(ck.iterations(), 120);
+        // Reference trajectory from the checkpoint...
+        let mut reference = Vec::new();
+        for _ in 0..40 {
+            alg.step();
+            reference.push(alg.utility().to_bits());
+        }
+        // ...must replay exactly after a restore.
+        alg.restore(&ck).unwrap();
+        assert_eq!(alg.iterations(), 120);
+        for bits in reference {
+            alg.step();
+            assert_eq!(alg.utility().to_bits(), bits, "replay diverged");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical_pooled() {
+        let mut alg = algorithm(3);
+        alg.run(80);
+        let ck = alg.checkpoint();
+        let mut reference = Vec::new();
+        for _ in 0..25 {
+            alg.step();
+            reference.push((alg.utility().to_bits(), alg.routing().clone()));
+        }
+        alg.restore(&ck).unwrap();
+        for (bits, routing) in reference {
+            alg.step();
+            assert_eq!(alg.utility().to_bits(), bits);
+            assert_eq!(alg.routing(), &routing);
+        }
+    }
+
+    #[test]
+    fn restore_recovers_eta_and_epsilon() {
+        let mut alg = algorithm(1);
+        alg.run(30);
+        let ck = alg.checkpoint();
+        let eta0 = alg.config().eta;
+        alg.set_eta(eta0 * 0.125);
+        alg.restore(&ck).unwrap();
+        assert_eq!(alg.config().eta.to_bits(), eta0.to_bits());
+        assert_eq!(alg.cost_model().epsilon.to_bits(), ck.epsilon.to_bits());
+    }
+
+    #[test]
+    fn checkpoint_into_reuses_buffers() {
+        let mut alg = algorithm(1);
+        alg.run(20);
+        let mut ck = Checkpoint::new();
+        assert!(!ck.is_captured());
+        alg.checkpoint_into(&mut ck);
+        let caps = (
+            ck.phi.capacity(),
+            ck.t.capacity(),
+            ck.x.capacity(),
+            ck.d.capacity(),
+        );
+        let ptrs = (ck.phi.as_ptr(), ck.t.as_ptr());
+        alg.run(20);
+        alg.checkpoint_into(&mut ck);
+        assert_eq!(
+            caps,
+            (
+                ck.phi.capacity(),
+                ck.t.capacity(),
+                ck.x.capacity(),
+                ck.d.capacity()
+            ),
+            "re-capture changed buffer capacities"
+        );
+        assert_eq!(
+            ptrs,
+            (ck.phi.as_ptr(), ck.t.as_ptr()),
+            "re-capture reallocated"
+        );
+        assert_eq!(ck.iterations(), 40);
+    }
+
+    #[test]
+    fn restoring_an_empty_checkpoint_errors() {
+        let mut alg = algorithm(1);
+        let ck = Checkpoint::new();
+        assert_eq!(alg.restore(&ck), Err(CoreError::EmptyCheckpoint));
+    }
+
+    #[test]
+    fn restoring_a_foreign_shape_errors() {
+        let mut alg = algorithm(1);
+        alg.run(5);
+        let other = RandomInstance::builder()
+            .nodes(8)
+            .commodities(1)
+            .seed(2)
+            .build()
+            .unwrap();
+        let mut small = GradientAlgorithm::new(&other.problem, GradientConfig::default()).unwrap();
+        small.run(5);
+        let ck = small.checkpoint();
+        assert!(matches!(
+            alg.restore(&ck),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalidate_keeps_buffers_but_blocks_restore() {
+        let mut alg = algorithm(1);
+        alg.run(10);
+        let mut ck = alg.checkpoint();
+        ck.invalidate();
+        assert!(!ck.is_captured());
+        assert_eq!(alg.restore(&ck), Err(CoreError::EmptyCheckpoint));
+        // refilling re-arms it
+        alg.checkpoint_into(&mut ck);
+        assert!(alg.restore(&ck).is_ok());
+    }
+}

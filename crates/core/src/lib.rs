@@ -41,9 +41,11 @@
 
 pub mod algorithm;
 pub mod blocked;
+pub mod checkpoint;
 pub mod cost;
 pub mod flows;
 pub mod gamma;
+pub mod health;
 pub mod marginals;
 pub mod metrics;
 pub mod newton;
@@ -53,8 +55,12 @@ mod step;
 pub mod workspace;
 
 pub use algorithm::{ConfigError, GradientAlgorithm, GradientConfig, Report, StepStats};
+pub use checkpoint::Checkpoint;
 pub use cost::CostModel;
 pub use flows::FlowState;
+pub use health::{
+    Action, CoreError, HealthReport, Incident, StateDomain, Watchdog, WatchdogConfig,
+};
 pub use marginals::Marginals;
 pub use newton::NewtonGradient;
 pub use pool::WorkerPool;

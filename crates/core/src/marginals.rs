@@ -79,6 +79,15 @@ impl Marginals {
         self.d[j.index() * self.v_count + v.index()]
     }
 
+    /// Overwrites one marginal entry. Simulators use this to assemble
+    /// the *received* view of the marginal broadcast — under message
+    /// loss or staleness the value a node acts on is not the value its
+    /// neighbor computed — and fault-injection tests use it to plant
+    /// corruption the watchdog must flag.
+    pub fn set_node(&mut self, j: CommodityId, v: NodeId, value: f64) {
+        self.d[j.index() * self.v_count + v.index()] = value;
+    }
+
     /// Commodity-`j` marginal row, indexed by extended node.
     pub(crate) fn row(&self, j: CommodityId) -> &[f64] {
         &self.d[j.index() * self.v_count..(j.index() + 1) * self.v_count]

@@ -71,11 +71,32 @@ struct JobPtr(*const (dyn Fn(usize) + Sync));
 // keeps the closure alive.
 unsafe impl Send for JobPtr {}
 
+/// Who poisoned the pool and with what: the participant index and the
+/// stringified payload of the *first* panicked task, re-emitted in
+/// every subsequent poison panic so a failure buried in a chaos soak
+/// stays diagnosable from the message alone.
+#[derive(Clone, Debug)]
+struct PoisonInfo {
+    worker: usize,
+    payload: String,
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// literal yields `&str`, with a format string `String`; anything else
+/// is opaque).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
 struct PoolState {
     job: Option<JobPtr>,
     epoch: u64,
     remaining: usize,
-    poisoned: bool,
+    poisoned: Option<PoisonInfo>,
     shutdown: bool,
 }
 
@@ -189,8 +210,15 @@ fn worker_loop(shared: &Shared, worker: usize) {
         let task = unsafe { &*job.0 };
         let result = catch_unwind(AssertUnwindSafe(|| task(worker)));
         let mut st = lock(&shared.state);
-        if result.is_err() {
-            st.poisoned = true;
+        if let Err(payload) = &result {
+            // Keep the first panic's provenance; later ones are usually
+            // collateral (barrier-poison unwinds).
+            if st.poisoned.is_none() {
+                st.poisoned = Some(PoisonInfo {
+                    worker,
+                    payload: payload_message(payload.as_ref()),
+                });
+            }
             // Wake anyone parked at a phase barrier inside the task so
             // the dispatch unwinds instead of deadlocking.
             shared.barrier.poison();
@@ -233,7 +261,7 @@ impl WorkerPool {
                 job: None,
                 epoch: 0,
                 remaining: 0,
-                poisoned: false,
+                poisoned: None,
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -292,10 +320,13 @@ impl WorkerPool {
         }
         {
             let mut st = lock(&self.shared.state);
-            assert!(
-                !st.poisoned,
-                "worker pool poisoned by an earlier panicked task"
-            );
+            if let Some(info) = &st.poisoned {
+                panic!(
+                    "worker pool poisoned by an earlier panicked task \
+                     (participant {}: {})",
+                    info.worker, info.payload
+                );
+            }
             debug_assert!(st.job.is_none() && st.remaining == 0);
             // SAFETY: lifetime erasure only — we wait for
             // `remaining == 0` below, so no worker dereferences the
@@ -326,17 +357,28 @@ impl WorkerPool {
                 .unwrap_or_else(PoisonError::into_inner);
         }
         st.job = None;
-        if caller.is_err() {
-            st.poisoned = true;
+        if let Err(payload) = &caller {
+            if st.poisoned.is_none() {
+                st.poisoned = Some(PoisonInfo {
+                    worker: 0,
+                    payload: payload_message(payload.as_ref()),
+                });
+            }
         }
-        let poisoned = st.poisoned;
+        let poisoned = st.poisoned.clone();
         drop(st);
         match caller {
+            // The caller's own panic unwinds with its original payload.
             Err(payload) => resume_unwind(payload),
-            Ok(()) => assert!(
-                !poisoned,
-                "a worker-pool task panicked; the pool is poisoned"
-            ),
+            Ok(()) => {
+                if let Some(info) = poisoned {
+                    panic!(
+                        "a worker-pool task panicked; the pool is poisoned \
+                         (participant {}: {})",
+                        info.worker, info.payload
+                    );
+                }
+            }
         }
     }
 
@@ -674,6 +716,36 @@ mod tests {
         );
         // Drop must still join cleanly.
         drop(pool);
+    }
+
+    #[test]
+    fn poison_panic_carries_payload_and_participant() {
+        let pool = WorkerPool::new(4);
+        let first = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_participants(&|w| {
+                assert!(w != 2, "chaos-injected fault #42 on participant 2");
+            });
+        }));
+        let payload = first.expect_err("worker panic was swallowed");
+        let message = payload_message(payload.as_ref());
+        // The dispatching side re-raises with the original payload and
+        // the participant index embedded, so a failure inside a long
+        // chaos soak is diagnosable from the message alone.
+        assert!(
+            message.contains("chaos-injected fault #42") && message.contains("participant 2"),
+            "poison panic lost provenance: {message:?}"
+        );
+        // ...and the next dispatch re-emits the same provenance.
+        let second = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_tasks(1, |_t, _w| {});
+        }));
+        let message = payload_message(second.expect_err("poisoned pool accepted work").as_ref());
+        assert!(
+            message.contains("poisoned")
+                && message.contains("chaos-injected fault #42")
+                && message.contains("participant 2"),
+            "stale poison panic lost provenance: {message:?}"
+        );
     }
 
     #[test]

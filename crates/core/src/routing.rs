@@ -120,6 +120,12 @@ impl RoutingTable {
         &mut self.phi[j.index() * self.l_count..(j.index() + 1) * self.l_count]
     }
 
+    /// The whole flat row-major buffer, read-only — checkpointing and
+    /// health scans walk it without the per-edge lookup.
+    pub(crate) fn flat(&self) -> &[f64] {
+        &self.phi
+    }
+
     /// The whole flat row-major buffer, for the pooled paths' disjoint
     /// row/element views.
     pub(crate) fn flat_mut(&mut self) -> &mut [f64] {

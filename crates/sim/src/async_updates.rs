@@ -40,8 +40,10 @@ pub enum Schedule {
     },
 }
 
-/// A deterministic splitmix-style hash → `[0, 1)` float.
-fn unit_hash(seed: u64, iteration: usize, j: usize, v: usize) -> f64 {
+/// A deterministic splitmix-style hash → `[0, 1)` float. Shared with
+/// the chaos runtime (`crate::chaos`), whose seeded fault plan draws
+/// per-(step, commodity, node) coins from the same generator.
+pub(crate) fn unit_hash(seed: u64, iteration: usize, j: usize, v: usize) -> f64 {
     let mut x = seed
         ^ (iteration as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)

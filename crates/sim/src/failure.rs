@@ -8,55 +8,118 @@
 //! flow from it, and the running algorithm reroutes with no structural
 //! change — recovery time is how many iterations the utility needs to
 //! climb back.
+//!
+//! Injection targets are validated structurally: failing something that
+//! cannot fail (a dummy node, a non-physical edge) or restoring to a
+//! nonsensical capacity is a [`CoreError`], not a panic — the chaos
+//! runtime ([`crate::chaos`]) fires these from scheduled plans and must
+//! be able to surface bad schedules as values.
 
 use crate::gradient_sim::GradientSim;
+use spn_core::health::CoreError;
 use spn_graph::{EdgeId, NodeId};
 use spn_model::Capacity;
-use spn_transform::NodeKind;
+use spn_transform::{ExtendedNetwork, NodeKind};
 
 /// Capacity assigned to failed resources (must stay positive: the
 /// barrier needs a finite budget to be defined).
 pub const FAILED_CAPACITY: f64 = 1e-3;
 
+/// Collapses a physical node's computing capacity on the extended
+/// network directly (the [`crate::chaos`] runtime owns its network and
+/// cannot go through a [`GradientSim`]).
+///
+/// # Errors
+///
+/// [`CoreError::NotProcessingNode`] if `node` is not a physical
+/// processing node.
+pub fn fail_node_ext(ext: &mut ExtendedNetwork, node: NodeId) -> Result<(), CoreError> {
+    if !matches!(ext.node_kind(node), NodeKind::Processing(_)) {
+        return Err(CoreError::NotProcessingNode { node });
+    }
+    ext.set_capacity(node, Capacity::finite(FAILED_CAPACITY).expect("positive"));
+    Ok(())
+}
+
+/// Collapses a physical link's bandwidth (its bandwidth node's budget)
+/// on the extended network directly; returns the bandwidth node that
+/// was collapsed.
+///
+/// # Errors
+///
+/// [`CoreError::NoBandwidthNode`] if `edge` is not a physical edge of
+/// the network.
+pub fn fail_link_ext(ext: &mut ExtendedNetwork, edge: EdgeId) -> Result<NodeId, CoreError> {
+    let bw = bandwidth_node(ext, edge)?;
+    ext.set_capacity(bw, Capacity::finite(FAILED_CAPACITY).expect("positive"));
+    Ok(bw)
+}
+
+/// Restores a previously failed node to the given capacity on the
+/// extended network directly.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidCapacity`] if `capacity` is not strictly
+/// positive and finite.
+pub fn restore_node_ext(
+    ext: &mut ExtendedNetwork,
+    node: NodeId,
+    capacity: f64,
+) -> Result<(), CoreError> {
+    let cap = Capacity::finite(capacity).ok_or(CoreError::InvalidCapacity { value: capacity })?;
+    ext.set_capacity(node, cap);
+    Ok(())
+}
+
+/// The bandwidth node carrying a physical edge's budget in the extended
+/// graph.
+///
+/// # Errors
+///
+/// [`CoreError::NoBandwidthNode`] if `edge` has no bandwidth node (it
+/// is not a physical edge).
+pub fn bandwidth_node(ext: &ExtendedNetwork, edge: EdgeId) -> Result<NodeId, CoreError> {
+    ext.graph()
+        .nodes()
+        .find(|&v| matches!(ext.node_kind(v), NodeKind::Bandwidth(e) if e == edge))
+        .ok_or(CoreError::NoBandwidthNode { edge })
+}
+
 /// Collapses a physical node's computing capacity.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `node` does not identify a physical processing node of the
-/// simulated network.
-pub fn fail_node(sim: &mut GradientSim, node: NodeId) {
-    assert!(
-        matches!(sim.extended().node_kind(node), NodeKind::Processing(_)),
-        "fail_node expects a physical processing node"
-    );
-    sim.extended_mut()
-        .set_capacity(node, Capacity::finite(FAILED_CAPACITY).expect("positive"));
+/// [`CoreError::NotProcessingNode`] if `node` does not identify a
+/// physical processing node of the simulated network.
+pub fn fail_node(sim: &mut GradientSim, node: NodeId) -> Result<(), CoreError> {
+    fail_node_ext(sim.extended_mut(), node)
 }
 
 /// Collapses a physical link's bandwidth (its bandwidth node's budget).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `edge` is not a physical edge of the simulated network.
-pub fn fail_link(sim: &mut GradientSim, edge: EdgeId) {
-    let bw = bandwidth_node(sim, edge);
-    sim.extended_mut()
-        .set_capacity(bw, Capacity::finite(FAILED_CAPACITY).expect("positive"));
+/// [`CoreError::NoBandwidthNode`] if `edge` is not a physical edge of
+/// the simulated network.
+pub fn fail_link(sim: &mut GradientSim, edge: EdgeId) -> Result<NodeId, CoreError> {
+    fail_link_ext(sim.extended_mut(), edge)
 }
 
 /// Restores a previously failed node to the given capacity.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `capacity` is not positive and finite.
-pub fn restore_node(sim: &mut GradientSim, node: NodeId, capacity: f64) {
-    sim.extended_mut()
-        .set_capacity(node, Capacity::finite(capacity).expect("valid capacity"));
+/// [`CoreError::InvalidCapacity`] if `capacity` is not strictly
+/// positive and finite.
+pub fn restore_node(sim: &mut GradientSim, node: NodeId, capacity: f64) -> Result<(), CoreError> {
+    restore_node_ext(sim.extended_mut(), node, capacity)
 }
 
 /// Runs the simulation until utility recovers to `fraction` of
 /// `reference_utility` or `max_iterations` elapse; returns the number of
-/// iterations used, or `None` if recovery was not reached.
+/// iterations used (`Some(0)` when the target is already met), or
+/// `None` if recovery was not reached.
 pub fn measure_recovery(
     sim: &mut GradientSim,
     reference_utility: f64,
@@ -64,6 +127,9 @@ pub fn measure_recovery(
     max_iterations: usize,
 ) -> Option<usize> {
     let target = reference_utility * fraction;
+    if sim.utility() >= target {
+        return Some(0);
+    }
     for i in 0..max_iterations {
         sim.step();
         if sim.utility() >= target {
@@ -71,14 +137,6 @@ pub fn measure_recovery(
         }
     }
     None
-}
-
-fn bandwidth_node(sim: &GradientSim, edge: EdgeId) -> NodeId {
-    let ext = sim.extended();
-    ext.graph()
-        .nodes()
-        .find(|&v| matches!(ext.node_kind(v), NodeKind::Bandwidth(e) if e == edge))
-        .expect("edge has a bandwidth node")
 }
 
 #[cfg(test)]
@@ -120,8 +178,8 @@ mod tests {
         }
         let before = sim.utility();
         assert!(before > 10.0, "pre-failure utility {before}");
-        fail_node(&mut sim, spn_graph::NodeId::from_index(1)); // x
-                                                               // give the barrier time to repel the flow off the dead node
+        fail_node(&mut sim, spn_graph::NodeId::from_index(1)).unwrap(); // x
+                                                                        // give the barrier time to repel the flow off the dead node
         for _ in 0..3000 {
             sim.step();
         }
@@ -153,12 +211,12 @@ mod tests {
             sim.step();
         }
         let before = sim.utility();
-        fail_link(&mut sim, spn_graph::EdgeId::from_index(0)); // s→x
+        let bw = fail_link(&mut sim, spn_graph::EdgeId::from_index(0)).unwrap(); // s→x
+        assert_eq!(bw, spn_graph::NodeId::from_index(4)); // first bandwidth node
         for _ in 0..3000 {
             sim.step();
         }
         // the bandwidth node of the failed link carries only a trickle
-        let bw = spn_graph::NodeId::from_index(4); // first bandwidth node
         assert!(
             sim.flows().node_usage(bw) < 0.1,
             "failed link carries {}",
@@ -175,8 +233,8 @@ mod tests {
             ..GradientConfig::default()
         };
         let mut sim = GradientSim::new(&p, cfg).unwrap();
-        fail_node(&mut sim, spn_graph::NodeId::from_index(1));
-        restore_node(&mut sim, spn_graph::NodeId::from_index(1), 50.0);
+        fail_node(&mut sim, spn_graph::NodeId::from_index(1)).unwrap();
+        restore_node(&mut sim, spn_graph::NodeId::from_index(1), 50.0).unwrap();
         assert_eq!(
             sim.extended()
                 .capacity(spn_graph::NodeId::from_index(1))
@@ -186,13 +244,94 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "physical processing node")]
-    fn failing_a_dummy_panics() {
+    fn failing_a_dummy_is_a_structured_error() {
         let p = diamond();
         let mut sim = GradientSim::new(&p, GradientConfig::default()).unwrap();
         let dummy = sim
             .extended()
             .dummy_source(spn_model::CommodityId::from_index(0));
-        fail_node(&mut sim, dummy);
+        let err = fail_node(&mut sim, dummy).expect_err("dummy accepted a failure");
+        assert_eq!(err, CoreError::NotProcessingNode { node: dummy });
+        // the network is untouched: the dummy's budget stays infinite
+        assert!(sim.extended().capacity(dummy).is_infinite());
+    }
+
+    #[test]
+    fn failing_a_nonphysical_edge_is_a_structured_error() {
+        let p = diamond();
+        let mut sim = GradientSim::new(&p, GradientConfig::default()).unwrap();
+        // extended edges beyond the physical 4 (split/dummy edges) have
+        // no bandwidth node; so does any out-of-range id
+        let bogus = spn_graph::EdgeId::from_index(999);
+        let err = fail_link(&mut sim, bogus).expect_err("bogus edge accepted a failure");
+        assert_eq!(err, CoreError::NoBandwidthNode { edge: bogus });
+    }
+
+    #[test]
+    fn restore_rejects_invalid_capacities() {
+        let p = diamond();
+        let mut sim = GradientSim::new(&p, GradientConfig::default()).unwrap();
+        let x = spn_graph::NodeId::from_index(1);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = restore_node(&mut sim, x, bad).expect_err("invalid capacity accepted");
+            assert!(matches!(err, CoreError::InvalidCapacity { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn every_physical_edge_has_a_bandwidth_node_and_can_fail() {
+        let p = diamond();
+        let physical_edges = p.graph().edge_count();
+        let mut sim = GradientSim::new(&p, GradientConfig::default()).unwrap();
+        for e in 0..physical_edges {
+            let edge = spn_graph::EdgeId::from_index(e);
+            let bw = fail_link(&mut sim, edge).unwrap();
+            assert_eq!(sim.extended().capacity(bw).value(), FAILED_CAPACITY);
+        }
+    }
+
+    #[test]
+    fn recovery_already_met_is_zero_iterations() {
+        let p = diamond();
+        let cfg = GradientConfig {
+            eta: 0.3,
+            ..GradientConfig::default()
+        };
+        let mut sim = GradientSim::new(&p, cfg).unwrap();
+        for _ in 0..500 {
+            sim.step();
+        }
+        let reference = sim.utility();
+        let iters_before = sim.iterations();
+        // nothing failed: the target is already met, and the sim must
+        // not be stepped at all
+        assert_eq!(measure_recovery(&mut sim, reference, 0.95, 100), Some(0));
+        assert_eq!(sim.iterations(), iters_before);
+    }
+
+    #[test]
+    fn unreachable_recovery_is_none() {
+        let p = diamond();
+        let cfg = GradientConfig {
+            eta: 0.3,
+            ..GradientConfig::default()
+        };
+        let mut sim = GradientSim::new(&p, cfg).unwrap();
+        for _ in 0..500 {
+            sim.step();
+        }
+        let reference = sim.utility();
+        // both relays dead: the demand cannot be carried, recovery to
+        // 95% of the healthy utility never happens
+        fail_node(&mut sim, spn_graph::NodeId::from_index(1)).unwrap();
+        fail_node(&mut sim, spn_graph::NodeId::from_index(2)).unwrap();
+        // let the barrier repel the flow so utility actually collapses
+        // (capacity edits take effect on the next iteration)
+        for _ in 0..100 {
+            sim.step();
+        }
+        assert!(sim.utility() < 0.95 * reference);
+        assert_eq!(measure_recovery(&mut sim, reference, 0.95, 300), None);
+        assert_eq!(sim.iterations(), 500 + 100 + 300); // budget fully spent
     }
 }

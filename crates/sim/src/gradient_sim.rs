@@ -166,6 +166,12 @@ impl GradientSim {
         &self.state
     }
 
+    /// The marginal costs of the last completed wave (eq. (9)).
+    #[must_use]
+    pub fn marginals(&self) -> &Marginals {
+        &self.marginals
+    }
+
     /// The extended network (mutable, for failure injection between
     /// iterations).
     #[must_use]

@@ -14,6 +14,10 @@
 //!   fixed-message-count accounting;
 //! * [`failure`] — capacity-collapse failure injection and recovery
 //!   measurement (experiment E8);
+//! * [`chaos`] — the adversarial composition of all of the above:
+//!   seeded message loss, bounded staleness, duplicated updates,
+//!   scheduled transient failures, and capacity jitter, guarded by
+//!   `spn_core`'s watchdog and checkpoint/rollback recovery;
 //! * [`async_updates`] — partial-participation schedules modelling
 //!   asynchronous deployments (experiment E10);
 //! * [`packet`] — discrete-time queued execution of a converged fluid
@@ -26,6 +30,7 @@
 
 pub mod async_updates;
 pub mod bp_sim;
+pub mod chaos;
 pub mod failure;
 pub mod gradient_sim;
 pub mod packet;
@@ -33,6 +38,9 @@ pub mod waves;
 
 pub use async_updates::{AsyncGradient, Schedule};
 pub use bp_sim::BackPressureSim;
+pub use chaos::{
+    ChaosConfig, ChaosGradient, ChaosIncident, ChaosStep, FaultPlan, FaultTarget, ScheduledFault,
+};
 pub use gradient_sim::{GradientSim, IterationStats};
 pub use packet::{PacketConfig, PacketSim};
 pub use waves::WaveOutcome;

@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
-# The full local gate: formatting, lints as errors, every test, and a
-# bench smoke run (catches pooled-path throughput regressions: on a
-# multi-core host, threads=2 more than 10% below serial fails).
+# The full local gate: formatting, lints as errors, every test, and two
+# smoke runs:
+#  * bench_core --smoke catches pooled-path throughput regressions (on a
+#    multi-core host, threads=2 more than 10% below serial fails);
+#  * chaos_recovery --smoke is the seed-fixed chaos soak — a short run
+#    under message loss + staleness + two transient node failures that
+#    fails if any NaN escapes into iteration state, if an injected fault
+#    is not reported through the incident log, or if utility does not
+#    recover to >=95% of the noise-only equilibrium.
 # Run from anywhere; always operates on the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Dev profile = debug-assertions on: this pass exercises the watchdog /
+# checkpoint / chaos invariant checks (including the debug-only internal
+# asserts) across the whole workspace.
 cargo test --workspace -q
 cargo run --release -q -p spn-bench --bin bench_core -- --smoke
+cargo run --release -q -p spn-bench --bin chaos_recovery -- --smoke

@@ -101,4 +101,25 @@ fn steady_state_step_is_allocation_free() {
         after - before
     );
     assert!(pooled.report().utility > 0.0);
+
+    // Checkpoint/rollback: the first capture sizes the checkpoint's
+    // buffers; warm `checkpoint_into` refills and `restore` copies back
+    // into existing storage, so a checkpoint-step-rollback cycle is
+    // allocation-free too.
+    let mut ck = spn::core::Checkpoint::new();
+    alg.checkpoint_into(&mut ck); // cold capture allocates, outside the window
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..20 {
+        alg.checkpoint_into(&mut ck);
+        alg.step();
+        alg.restore(&ck).expect("shapes match");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "warm checkpoint/restore allocated {} times over 20 cycles",
+        after - before
+    );
+    assert!(alg.report().utility > 0.0);
 }
