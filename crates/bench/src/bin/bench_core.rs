@@ -1,19 +1,30 @@
 //! Core iteration-throughput baseline: measures steady-state
 //! `GradientAlgorithm::step()` rates (iterations/second) on the paper
 //! instance and scaled instances across a thread sweep
-//! (`threads ∈ {1, 2, 4, auto}`), and writes the results (with the
-//! pre-refactor serial baseline embedded for the speedup column) to
-//! `BENCH_core.json` in the current directory.
+//! (`threads ∈ {1, 2, 4, auto}`), plus a *converged-regime* suite
+//! (demand scaled to 0.2, long warmup) comparing the dense engine to
+//! the sparsity-aware active-set engine (`GradientConfig::sparsity`),
+//! and writes the results (with the pre-refactor serial baseline
+//! embedded for the speedup column) to `BENCH_core.json` in the current
+//! directory.
+//!
+//! Every measurement also records the p50/p95 per-iteration time spread
+//! (from per-batch samples across all measurement windows) so the JSON
+//! captures jitter, not just the best-window average.
 //!
 //! On a host where `available_parallelism() == 1` the parallel columns
 //! measure pool overhead, not speedup; the run warns to stderr and tags
-//! the JSON with `"degraded": true` so the perf trajectory isn't
-//! polluted by single-core CI hosts.
+//! the JSON with `"degraded": true` plus a top-level `"warning"` line
+//! so the perf trajectory isn't polluted by single-core CI hosts. The
+//! dense-vs-sparse comparison stays valid on one core — the active-set
+//! engine wins by *doing less work*, not by parallelism.
 //!
 //! `bench_core --smoke` runs a fast subset (short measurement windows,
 //! no JSON write) and exits non-zero if the `threads = 2` pooled path
-//! falls more than 10% below serial on a multi-core host — the CI guard
-//! against reintroducing per-step thread churn.
+//! falls more than 10% below serial on a multi-core host, or if the
+//! active-set engine falls below the dense engine on the converged
+//! 160-node case — the CI guards against per-step thread churn and
+//! against regressing the sparse hot path.
 //!
 //! Run via `scripts/bench.sh` (release build) from the repository root.
 
@@ -35,6 +46,17 @@ const CASES: &[(usize, usize, f64)] = &[
 /// Explicit thread counts swept per case; `auto` (`threads = 0`) is
 /// measured separately because its resolution is case-dependent.
 const THREAD_SWEEP: &[usize] = &[1, 2, 4];
+
+/// Demand scale of the converged-regime suite: at ×0.2 every commodity
+/// is fully admitted and the routing settles, which is the regime the
+/// active-set engine targets (quiescent chains, shrunken live-arc
+/// lists).
+const CONVERGED_SCALE: f64 = 0.2;
+
+/// Iterations stepped before measuring a converged-regime case — enough
+/// for the routing to settle on these instances (the trajectory is
+/// deterministic, so this is a property of the case, not the host).
+const CONVERGED_WARMUP: usize = 1500;
 
 struct Timing {
     warmup_iters: usize,
@@ -59,7 +81,49 @@ const SMOKE: Timing = Timing {
 
 const BATCH: usize = 16;
 
-fn iterations_per_sec(nodes: usize, commodities: usize, threads: usize, timing: &Timing) -> f64 {
+/// One measured configuration: best-window throughput plus the p50/p95
+/// per-iteration time spread over all per-batch samples.
+struct Measurement {
+    iters_per_sec: f64,
+    p50_iter_us: f64,
+    p95_iter_us: f64,
+}
+
+/// Steps a warmed algorithm through `timing.repeats` measurement
+/// windows, timing every `BATCH`-iteration block.
+fn measure_warm(alg: &mut GradientAlgorithm, timing: &Timing) -> Measurement {
+    let mut best = 0.0f64;
+    let mut batch_secs: Vec<f64> = Vec::new();
+    for _ in 0..timing.repeats {
+        let start = Instant::now();
+        let mut iters = 0usize;
+        let rate = loop {
+            let batch_start = Instant::now();
+            for _ in 0..BATCH {
+                alg.step();
+            }
+            batch_secs.push(batch_start.elapsed().as_secs_f64());
+            iters += BATCH;
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= timing.min_measure_secs {
+                break iters as f64 / elapsed;
+            }
+        };
+        best = best.max(rate);
+    }
+    batch_secs.sort_by(f64::total_cmp);
+    let pct = |p: f64| {
+        let idx = ((batch_secs.len() - 1) as f64 * p).round() as usize;
+        batch_secs[idx] / BATCH as f64 * 1e6
+    };
+    Measurement {
+        iters_per_sec: best,
+        p50_iter_us: pct(0.50),
+        p95_iter_us: pct(0.95),
+    }
+}
+
+fn measure_case(nodes: usize, commodities: usize, threads: usize, timing: &Timing) -> Measurement {
     let problem = small_instance(1, nodes, commodities);
     let cfg = GradientConfig {
         threads,
@@ -69,23 +133,29 @@ fn iterations_per_sec(nodes: usize, commodities: usize, threads: usize, timing: 
     for _ in 0..timing.warmup_iters {
         alg.step();
     }
-    let mut best = 0.0f64;
-    for _ in 0..timing.repeats {
-        let start = Instant::now();
-        let mut iters = 0usize;
-        let rate = loop {
-            for _ in 0..BATCH {
-                alg.step();
-            }
-            iters += BATCH;
-            let elapsed = start.elapsed().as_secs_f64();
-            if elapsed >= timing.min_measure_secs {
-                break iters as f64 / elapsed;
-            }
-        };
-        best = best.max(rate);
+    measure_warm(&mut alg, timing)
+}
+
+/// Converged-regime measurement: low demand, long warmup, dense or
+/// active-set engine. Serial (`threads = 1`) so the comparison isolates
+/// work reduction from parallelism.
+fn measure_converged(
+    nodes: usize,
+    commodities: usize,
+    sparsity: bool,
+    timing: &Timing,
+) -> Measurement {
+    let problem = small_instance(1, nodes, commodities).scale_demand(CONVERGED_SCALE);
+    let cfg = GradientConfig {
+        threads: 1,
+        sparsity,
+        ..GradientConfig::default()
+    };
+    let mut alg = GradientAlgorithm::new(&problem, cfg).expect("valid config");
+    for _ in 0..CONVERGED_WARMUP {
+        alg.step();
     }
-    best
+    measure_warm(&mut alg, timing)
 }
 
 /// What `threads = 0` resolves to for a given case (capped at the
@@ -110,8 +180,8 @@ fn smoke(parallelism: usize) {
     // so pool-overhead regressions show up loudest.
     println!("# smoke\tnodes\tcommodities\tt1\tt2\tt2/t1");
     for &(nodes, commodities, _) in &CASES[..2] {
-        let t1 = iterations_per_sec(nodes, commodities, 1, &SMOKE);
-        let t2 = iterations_per_sec(nodes, commodities, 2, &SMOKE);
+        let t1 = measure_case(nodes, commodities, 1, &SMOKE).iters_per_sec;
+        let t2 = measure_case(nodes, commodities, 2, &SMOKE).iters_per_sec;
         let ratio = t2 / t1;
         println!("smoke\t{nodes}\t{commodities}\t{t1:.1}\t{t2:.1}\t{ratio:.2}");
         if !degraded && ratio < 0.9 {
@@ -122,6 +192,23 @@ fn smoke(parallelism: usize) {
             );
             failed = true;
         }
+    }
+    // Converged-regime gate: on the 160-node case the active-set engine
+    // must at least match the dense engine. Valid on any core count —
+    // the sparse engine wins by skipping work, not by parallelism.
+    let (nodes, commodities) = (160, 16);
+    let dense = measure_converged(nodes, commodities, false, &SMOKE).iters_per_sec;
+    let sparse = measure_converged(nodes, commodities, true, &SMOKE).iters_per_sec;
+    let ratio = sparse / dense;
+    println!("# smoke-converged\tnodes\tcommodities\tdense\tsparse\tsparse/dense");
+    println!("smoke-converged\t{nodes}\t{commodities}\t{dense:.1}\t{sparse:.1}\t{ratio:.2}");
+    if ratio < 1.0 {
+        eprintln!(
+            "FAIL: active-set engine is {:.0}% of dense on the converged \
+             {nodes}-node case (floor is 100%)",
+            ratio * 100.0
+        );
+        failed = true;
     }
     if failed {
         std::process::exit(1);
@@ -137,12 +224,10 @@ fn main() {
     }
 
     let degraded = parallelism <= 1;
+    let warning = "available_parallelism is 1 — the t2/t4/auto columns measure \
+                   pool overhead on a single core, not parallel speedup";
     if degraded {
-        eprintln!(
-            "warning: available_parallelism is 1 — the t2/t4/auto columns \
-             measure pool overhead on a single core, not parallel speedup; \
-             BENCH_core.json will carry \"degraded\": true"
-        );
+        eprintln!("warning: {warning}; BENCH_core.json will carry \"degraded\": true");
     }
 
     let mut json = String::new();
@@ -150,6 +235,11 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"core_iteration_throughput\",");
     let _ = writeln!(json, "  \"available_parallelism\": {parallelism},");
     let _ = writeln!(json, "  \"degraded\": {degraded},");
+    if degraded {
+        // Carry the degradation into a human-readable top-level line so
+        // downstream readers of the JSON can't miss it.
+        let _ = writeln!(json, "  \"warning\": \"{warning}\",");
+    }
     let _ = writeln!(json, "  \"warmup_iterations\": {},", FULL.warmup_iters);
     let _ = writeln!(
         json,
@@ -159,47 +249,141 @@ fn main() {
     let _ = writeln!(json, "  \"repeats_best_of\": {},", FULL.repeats);
     json.push_str("  \"cases\": [\n");
 
-    println!("# nodes\tcommodities\tthreads\titers_per_sec\tseed_serial\tspeedup_vs_seed");
+    println!(
+        "# nodes\tcommodities\tthreads\titers_per_sec\tp50_us\tp95_us\tseed_serial\tspeedup_vs_seed"
+    );
+    if degraded {
+        println!("# warning: {warning}");
+    }
     for (ci, &(nodes, commodities, seed_rate)) in CASES.iter().enumerate() {
         let auto = auto_threads(nodes, commodities);
         let mut thread_results = Vec::new();
         for &threads in THREAD_SWEEP {
-            let rate = iterations_per_sec(nodes, commodities, threads, &FULL);
+            let m = measure_case(nodes, commodities, threads, &FULL);
             println!(
-                "{nodes}\t{commodities}\t{threads}\t{rate:.1}\t{seed_rate:.1}\t{:.2}",
-                rate / seed_rate
+                "{nodes}\t{commodities}\t{threads}\t{:.1}\t{:.2}\t{:.2}\t{seed_rate:.1}\t{:.2}",
+                m.iters_per_sec,
+                m.p50_iter_us,
+                m.p95_iter_us,
+                m.iters_per_sec / seed_rate
             );
-            thread_results.push((threads, rate));
+            thread_results.push((threads, m));
         }
         // auto (`threads = 0`): reuse the sweep measurement when it
         // resolved to a swept count, otherwise measure it.
-        let auto_rate = thread_results
+        let auto_m = thread_results
             .iter()
-            .find(|&&(t, _)| t == auto)
+            .position(|&(t, _)| t == auto)
             .map_or_else(
-                || iterations_per_sec(nodes, commodities, 0, &FULL),
-                |&(_, r)| r,
+                || measure_case(nodes, commodities, 0, &FULL),
+                |i| Measurement {
+                    iters_per_sec: thread_results[i].1.iters_per_sec,
+                    p50_iter_us: thread_results[i].1.p50_iter_us,
+                    p95_iter_us: thread_results[i].1.p95_iter_us,
+                },
             );
         println!(
-            "{nodes}\t{commodities}\tauto({auto})\t{auto_rate:.1}\t{seed_rate:.1}\t{:.2}",
-            auto_rate / seed_rate
+            "{nodes}\t{commodities}\tauto({auto})\t{:.1}\t{:.2}\t{:.2}\t{seed_rate:.1}\t{:.2}",
+            auto_m.iters_per_sec,
+            auto_m.p50_iter_us,
+            auto_m.p95_iter_us,
+            auto_m.iters_per_sec / seed_rate
         );
 
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"nodes\": {nodes},");
         let _ = writeln!(json, "      \"commodities\": {commodities},");
         let _ = writeln!(json, "      \"seed_serial_iters_per_sec\": {seed_rate:.1},");
-        for &(threads, rate) in &thread_results {
-            let _ = writeln!(json, "      \"iters_per_sec_t{threads}\": {rate:.1},");
+        for (threads, m) in &thread_results {
+            let _ = writeln!(
+                json,
+                "      \"iters_per_sec_t{threads}\": {:.1},",
+                m.iters_per_sec
+            );
+            let _ = writeln!(
+                json,
+                "      \"p50_iter_us_t{threads}\": {:.2},",
+                m.p50_iter_us
+            );
+            let _ = writeln!(
+                json,
+                "      \"p95_iter_us_t{threads}\": {:.2},",
+                m.p95_iter_us
+            );
         }
-        let _ = writeln!(json, "      \"iters_per_sec_auto\": {auto_rate:.1},");
+        let _ = writeln!(
+            json,
+            "      \"iters_per_sec_auto\": {:.1},",
+            auto_m.iters_per_sec
+        );
         let _ = writeln!(json, "      \"auto_threads\": {auto},");
-        let serial_rate = thread_results[0].1;
+        let serial_rate = thread_results[0].1.iters_per_sec;
         let _ = writeln!(
             json,
             "      \"speedup_vs_seed\": {:.3}",
             serial_rate / seed_rate
         );
+        let comma = if ci + 1 < CASES.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    json.push_str("  ],\n");
+
+    // Converged-regime suite: dense vs active-set engine, serial, after
+    // a long settling run at low demand.
+    let _ = writeln!(json, "  \"converged_demand_scale\": {CONVERGED_SCALE},");
+    let _ = writeln!(
+        json,
+        "  \"converged_warmup_iterations\": {CONVERGED_WARMUP},"
+    );
+    json.push_str("  \"converged_cases\": [\n");
+    println!("# converged (demand x{CONVERGED_SCALE}, warmup {CONVERGED_WARMUP}, threads=1)");
+    println!("# nodes\tcommodities\tengine\titers_per_sec\tp50_us\tp95_us\tsparse/dense");
+    for (ci, &(nodes, commodities, _)) in CASES.iter().enumerate() {
+        let dense = measure_converged(nodes, commodities, false, &FULL);
+        let sparse = measure_converged(nodes, commodities, true, &FULL);
+        let ratio = sparse.iters_per_sec / dense.iters_per_sec;
+        println!(
+            "{nodes}\t{commodities}\tdense\t{:.1}\t{:.2}\t{:.2}\t-",
+            dense.iters_per_sec, dense.p50_iter_us, dense.p95_iter_us
+        );
+        println!(
+            "{nodes}\t{commodities}\tsparse\t{:.1}\t{:.2}\t{:.2}\t{ratio:.2}",
+            sparse.iters_per_sec, sparse.p50_iter_us, sparse.p95_iter_us
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"nodes\": {nodes},");
+        let _ = writeln!(json, "      \"commodities\": {commodities},");
+        let _ = writeln!(
+            json,
+            "      \"dense_iters_per_sec\": {:.1},",
+            dense.iters_per_sec
+        );
+        let _ = writeln!(
+            json,
+            "      \"dense_p50_iter_us\": {:.2},",
+            dense.p50_iter_us
+        );
+        let _ = writeln!(
+            json,
+            "      \"dense_p95_iter_us\": {:.2},",
+            dense.p95_iter_us
+        );
+        let _ = writeln!(
+            json,
+            "      \"sparse_iters_per_sec\": {:.1},",
+            sparse.iters_per_sec
+        );
+        let _ = writeln!(
+            json,
+            "      \"sparse_p50_iter_us\": {:.2},",
+            sparse.p50_iter_us
+        );
+        let _ = writeln!(
+            json,
+            "      \"sparse_p95_iter_us\": {:.2},",
+            sparse.p95_iter_us
+        );
+        let _ = writeln!(json, "      \"sparse_speedup\": {ratio:.3}");
         let comma = if ci + 1 < CASES.len() { "," } else { "" };
         let _ = writeln!(json, "    }}{comma}");
     }

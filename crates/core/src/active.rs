@@ -1,0 +1,270 @@
+//! Active-set bookkeeping for the sparsity-aware iteration engine
+//! (`GradientConfig::sparsity`).
+//!
+//! Near convergence most routing rows stop moving: Γ reproduces the
+//! same fractions bit-for-bit and the usage totals it would feed back
+//! are unchanged. The structures here track exactly that — which
+//! commodities must re-run their tag/Γ/flow chain this iteration, which
+//! must re-run their marginal sweep, and the per-commodity *live arc*
+//! sub-lists (arcs with nonzero fraction) that the sparse sweeps iterate
+//! instead of the full topological order.
+//!
+//! Soundness of every skip reduces to one induction: a pass may be
+//! skipped only when re-running it would reproduce its outputs
+//! bit-for-bit, which holds when all of its inputs are bitwise-unchanged
+//! *and* its previous run made no change (Γ is a `φ → φ'` map, so "no
+//! change" is part of the input-unchanged condition). Anything that
+//! mutates algorithm state behind the tracker's back — checkpoints
+//! restored, capacities edited, η/thread changes — calls
+//! [`ActiveSet::invalidate`], which forces one fully dense iteration.
+//!
+//! All buffers are sized once in [`ActiveSet::ensure`]; maintenance
+//! afterwards is allocation-free (ARCHITECTURE invariant 15).
+
+use crate::workspace::GAMMA_CHUNK;
+use spn_graph::EdgeId;
+use spn_model::CommodityId;
+use spn_transform::ExtendedNetwork;
+
+/// Scratch slot written by participant 0 between the fused barriers:
+/// number of entries of `marg_list` that phase B must run.
+pub(crate) const SCRATCH_MARG_LEN: usize = 0;
+/// Scratch slot: 1 when this iteration's usage totals changed (or were
+/// force-invalidated), i.e. every commodity's chain is dirty next
+/// iteration.
+pub(crate) const SCRATCH_TOTALS_EFFECTIVE: usize = 1;
+pub(crate) const SCRATCH_SLOTS: usize = 2;
+
+/// Per-commodity live-arc sub-lists in CSR form over
+/// [`ExtendedNetwork::commodity_routers_topo`].
+///
+/// Rows use uniform strides (`router_stride`, `arc_stride` — the maxima
+/// over commodities) so the fused step can hand concurrent tasks
+/// disjoint per-commodity rows through the same unsafe row-table views
+/// it already uses for flows and marginals.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ActiveArcs {
+    pub(crate) router_stride: usize,
+    pub(crate) arc_stride: usize,
+    /// `arc_len[ji * router_stride + r]` — live out-degree of the
+    /// `r`-th topo router of commodity `ji`.
+    pub(crate) arc_len: Vec<u32>,
+    /// `arcs[ji * arc_stride ..]` — the live arcs, grouped by router in
+    /// topo order, CSR sub-order within a router.
+    pub(crate) arcs: Vec<EdgeId>,
+    /// Total live arcs per commodity (the filled prefix of its row).
+    pub(crate) live: Vec<usize>,
+    /// Row must be rebuilt before its next use (set by invalidation;
+    /// support changes rebuild eagerly instead).
+    pub(crate) stale: Vec<bool>,
+}
+
+impl ActiveArcs {
+    /// The live-arc row of commodity `ji`: `(arc_len row, arcs row,
+    /// live total)`.
+    pub(crate) fn row(&self, ji: usize) -> (&[u32], &[EdgeId], usize) {
+        let lens = &self.arc_len[ji * self.router_stride..(ji + 1) * self.router_stride];
+        let arcs = &self.arcs[ji * self.arc_stride..(ji + 1) * self.arc_stride];
+        (lens, arcs, self.live[ji])
+    }
+
+    /// Rebuilds commodity `j`'s live-arc row from its fraction row.
+    pub(crate) fn rebuild(&mut self, ext: &ExtendedNetwork, j: CommodityId, phi: &[f64]) {
+        let ji = j.index();
+        let lens = &mut self.arc_len[ji * self.router_stride..(ji + 1) * self.router_stride];
+        let arcs = &mut self.arcs[ji * self.arc_stride..(ji + 1) * self.arc_stride];
+        self.live[ji] = rebuild_active_row(ext, j, phi, lens, arcs);
+        self.stale[ji] = false;
+    }
+}
+
+/// Fills one commodity's live-arc row (`phi != 0` arcs of each topo
+/// router, CSR sub-order) and returns the live total. Row-slice form so
+/// the fused step can run rebuilds for different commodities
+/// concurrently over disjoint row views.
+pub(crate) fn rebuild_active_row(
+    ext: &ExtendedNetwork,
+    j: CommodityId,
+    phi: &[f64],
+    arc_len: &mut [u32],
+    arcs: &mut [EdgeId],
+) -> usize {
+    let mut idx = 0usize;
+    for (r, &v) in ext.commodity_routers_topo(j).iter().enumerate() {
+        let start = idx;
+        for &l in ext.commodity_out_slice(j, v) {
+            if phi[l.index()] != 0.0 {
+                arcs[idx] = l;
+                idx += 1;
+            }
+        }
+        arc_len[r] = (idx - start) as u32;
+    }
+    idx
+}
+
+/// The activity tracker: dirty flags carried across iterations, change
+/// flags produced within one, the previous usage totals for the exact
+/// bitwise changed-totals test, the live-arc sub-lists, and the
+/// preallocated work lists the fused step's claiming loops iterate.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ActiveSet {
+    /// Commodity must run tags + Γ this iteration (its φ moved last
+    /// run, the shared totals moved, or an invalidation forced it).
+    pub(crate) chain_dirty: Vec<bool>,
+    /// Commodity must run its flow pass even if Γ reproduces φ
+    /// bit-for-bit — set by invalidation, when the persistent workspace
+    /// partial rows or `FlowState` rows can no longer be trusted.
+    pub(crate) flow_dirty: Vec<bool>,
+    /// Output of this iteration's Γ: any fraction bit changed.
+    pub(crate) phi_changed: Vec<bool>,
+    /// This iteration ran the commodity's flow pass.
+    pub(crate) flow_ran: Vec<bool>,
+    /// Per-Γ-chunk `(value_changed, support_changed)`, laid out like the
+    /// workspace's chunked Γ stats.
+    pub(crate) chunk_flags: Vec<(bool, bool)>,
+    /// Usage totals of the previous iteration, for the bitwise
+    /// changed-totals test.
+    pub(crate) prev_f_edge: Vec<f64>,
+    pub(crate) prev_f_node: Vec<f64>,
+    /// Treat totals as changed this iteration regardless of the
+    /// comparison (set by invalidation).
+    pub(crate) force_totals: bool,
+    /// Commodities whose chain runs this iteration (compacted from
+    /// `chain_dirty` — the claiming loops split *this*, not `0..J`).
+    pub(crate) dirty_list: Vec<u32>,
+    /// Global Γ-chunk ids of the dirty commodities (split-mode fan-out).
+    pub(crate) chunk_list: Vec<u32>,
+    /// Commodities whose marginal sweep runs (filled by participant 0
+    /// between the fused barriers; length in `scratch`).
+    pub(crate) marg_list: Vec<u32>,
+    /// Cross-barrier scalars (see `SCRATCH_*`), written via a slot view.
+    pub(crate) scratch: Vec<u64>,
+    pub(crate) arcs: ActiveArcs,
+    sized_for: Option<(usize, usize, usize)>,
+}
+
+impl ActiveSet {
+    /// Sizes every buffer for `ext`'s shape; re-entry with the same
+    /// shape is a cheap no-op that preserves all tracking state. Any
+    /// resize invalidates (the first iteration after construction or a
+    /// shape change is fully dense).
+    pub(crate) fn ensure(&mut self, ext: &ExtendedNetwork) {
+        let j_count = ext.num_commodities();
+        let v_count = ext.graph().node_count();
+        let l_count = ext.graph().edge_count();
+        let shape = (j_count, v_count, l_count);
+        if self.sized_for == Some(shape) {
+            return;
+        }
+        let router_stride = ext
+            .commodity_ids()
+            .map(|j| ext.commodity_routers_topo(j).len())
+            .max()
+            .unwrap_or(0);
+        let arc_stride = ext
+            .commodity_ids()
+            .map(|j| ext.commodity_router_arc_total(j))
+            .max()
+            .unwrap_or(0);
+        let total_chunks: usize = ext
+            .commodity_ids()
+            .map(|j| ext.commodity_routers(j).len().div_ceil(GAMMA_CHUNK))
+            .sum();
+        self.chain_dirty.resize(j_count, false);
+        self.flow_dirty.resize(j_count, false);
+        self.phi_changed.resize(j_count, false);
+        self.flow_ran.resize(j_count, false);
+        self.chunk_flags.resize(total_chunks, (false, false));
+        self.prev_f_edge.resize(l_count, 0.0);
+        self.prev_f_node.resize(v_count, 0.0);
+        self.dirty_list.clear();
+        self.dirty_list.reserve(j_count);
+        self.chunk_list.clear();
+        self.chunk_list.reserve(total_chunks);
+        self.marg_list.resize(j_count, 0);
+        self.scratch.resize(SCRATCH_SLOTS, 0);
+        self.arcs.router_stride = router_stride;
+        self.arcs.arc_stride = arc_stride;
+        self.arcs.arc_len.resize(j_count * router_stride, 0);
+        self.arcs
+            .arcs
+            .resize(j_count * arc_stride, EdgeId::from_index(0));
+        self.arcs.live.resize(j_count, 0);
+        self.arcs.stale.resize(j_count, true);
+        self.sized_for = Some(shape);
+        self.invalidate();
+    }
+
+    /// Forces the next iteration to run fully dense: every chain and
+    /// flow pass dirty, every live-arc row stale, totals treated as
+    /// changed. Called whenever algorithm state is mutated outside the
+    /// step loop (restore, capacity edits, η/thread changes, raw state
+    /// access).
+    pub(crate) fn invalidate(&mut self) {
+        self.chain_dirty.iter_mut().for_each(|d| *d = true);
+        self.flow_dirty.iter_mut().for_each(|d| *d = true);
+        self.arcs.stale.iter_mut().for_each(|s| *s = true);
+        self.force_totals = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_model::builder::ProblemBuilder;
+    use spn_model::UtilityFn;
+
+    fn ext() -> ExtendedNetwork {
+        let mut b = ProblemBuilder::new();
+        let s = b.server(10.0);
+        let x = b.server(10.0);
+        let t = b.server(10.0);
+        let e1 = b.link(s, x, 5.0);
+        let e2 = b.link(x, t, 5.0);
+        let j = b.commodity(s, t, 2.0, UtilityFn::throughput());
+        b.uses(j, e1, 1.0, 1.0).uses(j, e2, 1.0, 1.0);
+        ExtendedNetwork::build(&b.build().unwrap())
+    }
+
+    #[test]
+    fn ensure_sizes_and_invalidates_once() {
+        let ext = ext();
+        let mut active = ActiveSet::default();
+        active.ensure(&ext);
+        let j_count = ext.num_commodities();
+        assert_eq!(active.chain_dirty, vec![true; j_count]);
+        assert!(active.force_totals);
+        // Same shape: state must be preserved, not re-invalidated.
+        active.chain_dirty[0] = false;
+        active.force_totals = false;
+        active.ensure(&ext);
+        assert!(!active.chain_dirty[0]);
+        assert!(!active.force_totals);
+    }
+
+    #[test]
+    fn rebuild_collects_exactly_the_nonzero_arcs() {
+        let ext = ext();
+        let mut active = ActiveSet::default();
+        active.ensure(&ext);
+        let j = CommodityId::from_index(0);
+        let routing = crate::routing::RoutingTable::initial(&ext);
+        active.arcs.rebuild(&ext, j, routing.row(j));
+        let (lens, arcs, live) = active.arcs.row(j.index());
+        let mut idx = 0usize;
+        for (r, &v) in ext.commodity_routers_topo(j).iter().enumerate() {
+            let expect: Vec<_> = ext
+                .commodity_out_slice(j, v)
+                .iter()
+                .copied()
+                .filter(|&l| routing.fraction(j, l) != 0.0)
+                .collect();
+            assert_eq!(lens[r] as usize, expect.len(), "router {v}");
+            assert_eq!(&arcs[idx..idx + expect.len()], &expect[..]);
+            idx += expect.len();
+        }
+        assert_eq!(live, idx);
+        assert!(!active.arcs.stale[0]);
+    }
+}

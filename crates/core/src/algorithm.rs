@@ -19,6 +19,7 @@
 //! explicit messages with per-hop latency — lives in the `spn-sim`
 //! crate and produces bit-identical routing tables (tested there).
 
+use crate::active::ActiveSet;
 use crate::blocked::{compute_tags_into, BlockedTags};
 use crate::checkpoint::Checkpoint;
 use crate::cost::CostModel;
@@ -28,7 +29,7 @@ use crate::health::CoreError;
 use crate::marginals::{compute_marginals_into, Marginals};
 use crate::pool::WorkerPool;
 use crate::routing::RoutingTable;
-use crate::step::fused_step;
+use crate::step::{fused_step, fused_step_sparse, sparse_step_serial};
 use crate::workspace::IterationWorkspace;
 use spn_graph::NodeId;
 use spn_model::{Penalty, Problem};
@@ -96,6 +97,16 @@ pub struct GradientConfig {
     /// every value (ARCHITECTURE invariant 9): each commodity owns its
     /// rows and all cross-commodity reductions run in fixed order.
     pub threads: usize,
+    /// Selects the sparsity-aware active-set iteration engine. The
+    /// engine skips the tag/Γ/flow chain of commodities whose inputs are
+    /// bitwise-unchanged since their last run, restricts every sweep to
+    /// the per-commodity *live arcs* (nonzero routing fraction) in
+    /// topological router order, and re-runs marginal sweeps only when
+    /// a commodity's φ row or the shared usage totals moved. Results are
+    /// bit-identical to the dense engine for every thread count
+    /// (ARCHITECTURE invariant 14); `false` keeps the dense reference
+    /// path.
+    pub sparsity: bool,
 }
 
 impl Default for GradientConfig {
@@ -123,6 +134,7 @@ impl Default for GradientConfig {
             epsilon_interval: 1500,
             epsilon_min: 2e-5,
             threads: 0,
+            sparsity: false,
         }
     }
 }
@@ -249,6 +261,10 @@ pub struct GradientAlgorithm {
     workspace: IterationWorkspace,
     /// Reusable blocking-tag buffer (eq. (18)).
     tags: BlockedTags,
+    /// Activity tracker + live-arc sub-lists for the sparsity-aware
+    /// engine ([`GradientConfig::sparsity`]); dormant (never sized)
+    /// while the dense engine runs.
+    active: ActiveSet,
     /// Persistent worker pool (`Some` iff the resolved thread count is
     /// above 1): spawned once, parked between steps, joined on drop.
     pool: Option<WorkerPool>,
@@ -269,6 +285,7 @@ impl Clone for GradientAlgorithm {
             threads: self.threads,
             workspace: self.workspace.clone(),
             tags: self.tags.clone(),
+            active: self.active.clone(),
             pool: self
                 .pool
                 .as_ref()
@@ -343,6 +360,7 @@ impl GradientAlgorithm {
             threads,
             workspace,
             tags,
+            active: ActiveSet::default(),
             pool,
         })
     }
@@ -367,16 +385,45 @@ impl GradientAlgorithm {
         let anneal_to = will_anneal
             .then(|| (self.cost.epsilon * self.config.epsilon_factor).max(self.config.epsilon_min));
         let gamma = if let Some(pool) = &self.pool {
-            fused_step(
+            if self.config.sparsity {
+                fused_step_sparse(
+                    &self.ext,
+                    &mut self.cost,
+                    &self.config,
+                    pool,
+                    &mut self.routing,
+                    &mut self.state,
+                    &mut self.marginals,
+                    &mut self.tags,
+                    &mut self.workspace,
+                    &mut self.active,
+                    anneal_to,
+                )
+            } else {
+                fused_step(
+                    &self.ext,
+                    &mut self.cost,
+                    &self.config,
+                    pool,
+                    &mut self.routing,
+                    &mut self.state,
+                    &mut self.marginals,
+                    &mut self.tags,
+                    &mut self.workspace,
+                    anneal_to,
+                )
+            }
+        } else if self.config.sparsity {
+            sparse_step_serial(
                 &self.ext,
                 &mut self.cost,
                 &self.config,
-                pool,
                 &mut self.routing,
                 &mut self.state,
                 &mut self.marginals,
                 &mut self.tags,
                 &mut self.workspace,
+                &mut self.active,
                 anneal_to,
             )
         } else {
@@ -547,6 +594,9 @@ impl GradientAlgorithm {
         self.iterations = ck.iterations;
         self.cost.epsilon = ck.epsilon;
         self.config.eta = ck.eta;
+        // The restored state has nothing to do with what the active-set
+        // tracker observed last step; force one dense iteration.
+        self.active.invalidate();
         Ok(())
     }
 
@@ -563,6 +613,8 @@ impl GradientAlgorithm {
             "eta must be finite and positive, got {eta}"
         );
         self.config.eta = eta;
+        // η scales every Γ shift: quiescent commodities may move again.
+        self.active.invalidate();
     }
 
     /// Current solution snapshot in problem terms.
@@ -612,6 +664,9 @@ impl GradientAlgorithm {
     /// failure experiments (`set_max_rate`, `set_capacity`). Flows and
     /// marginals refresh on the next [`GradientAlgorithm::step`].
     pub fn extended_mut(&mut self) -> &mut ExtendedNetwork {
+        // Capacity/demand edits change every pass's inputs behind the
+        // tracker's back; force one dense iteration.
+        self.active.invalidate();
         &mut self.ext
     }
 
@@ -632,6 +687,7 @@ impl GradientAlgorithm {
     /// API.
     #[doc(hidden)]
     pub fn flows_mut(&mut self) -> &mut FlowState {
+        self.active.invalidate();
         &mut self.state
     }
 
@@ -695,6 +751,7 @@ impl GradientAlgorithm {
             .validate(&self.ext)
             .expect("installed routing must be valid");
         self.routing = routing;
+        self.active.invalidate();
         compute_flows_into(
             &self.ext,
             &self.routing,

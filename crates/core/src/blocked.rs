@@ -31,7 +31,7 @@ use crate::flows::{FlowState, UsageView};
 use crate::marginals::Marginals;
 use crate::pool::{RowTable, WorkerPool};
 use crate::routing::RoutingTable;
-use spn_graph::NodeId;
+use spn_graph::{EdgeId, NodeId};
 use spn_model::CommodityId;
 use spn_transform::ExtendedNetwork;
 
@@ -155,6 +155,64 @@ pub(crate) fn tag_sweep(
         }
         tagged[v.index()] = tag;
     }
+}
+
+/// [`tag_sweep`] over a commodity's live-arc sub-list (the active-set
+/// engine's tag pass). The caller pre-fills the row with `false`; only
+/// router entries are recomputed — the dense sweep writes `false` for
+/// every node without positive-fraction out-edges, so the result is
+/// identical. Live arcs have `phi > 0` by construction, which is
+/// exactly the dense sweep's per-arc filter; the early-`break` visits
+/// the same arcs in the same order.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
+pub(crate) fn tag_sweep_active(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    phi: &[f64],
+    t_row: &[f64],
+    usage: UsageView<'_>,
+    d_row: &[f64],
+    eta: f64,
+    traffic_floor: f64,
+    j: CommodityId,
+    tagged: &mut [bool],
+    arc_len: &[u32],
+    arcs: &[EdgeId],
+    live: usize,
+) {
+    let routers = ext.commodity_routers_topo(j);
+    let mut idx = live;
+    for r in (0..routers.len()).rev() {
+        let v = routers[r];
+        let n = arc_len[r] as usize;
+        idx -= n;
+        let row = &arcs[idx..idx + n];
+        let mut tag = false;
+        let t_v = t_row[v.index()];
+        let dv = d_row[v.index()];
+        for &l in row {
+            let phi = phi[l.index()];
+            debug_assert!(phi > 0.0, "live arc {l} with non-positive fraction");
+            let head = ext.graph().target(l);
+            // inherited tag travels every positive-fraction link
+            if tagged[head.index()] {
+                tag = true;
+                break;
+            }
+            // improper link: routes toward non-decreasing marginal
+            let dm = d_row[head.index()];
+            if dv <= dm && t_v > traffic_floor {
+                // sticky (eq. (18)): this iteration cannot close it
+                let excess = cost.edge_marginal_view(ext, usage, j, l, dm) - dv;
+                if phi >= eta * excess / t_v {
+                    tag = true;
+                    break;
+                }
+            }
+        }
+        tagged[v.index()] = tag;
+    }
+    debug_assert_eq!(idx, 0, "live-arc prefix mismatch for {j}");
 }
 
 /// Computes the blocking tags for every commodity into a caller-owned

@@ -2,7 +2,7 @@
 //! w.r.t. edge resource usage (eq. (8) and eq. (11)).
 
 use crate::flows::{FlowState, UsageView};
-use spn_graph::EdgeId;
+use spn_graph::{EdgeId, NodeId};
 use spn_model::{CommodityId, Penalty};
 use spn_transform::{EdgeKind, ExtendedNetwork};
 
@@ -153,6 +153,23 @@ impl CostModel {
                 self.epsilon * self.penalty.derivative(cap, load) + self.wall_derivative(cap, load)
             }
         }
+    }
+
+    /// The non-dummy-difference branch of [`CostModel::edge_partial_view`]
+    /// keyed on the tail node `v` directly: `ε·D'_v(f_v)` plus the wall
+    /// term. Every out-edge of a router other than the dummy source takes
+    /// this branch with the same tail, so sparse sweeps hoist it out of
+    /// the per-edge loop — the hoisted product/sum below must stay the
+    /// exact expression of the per-edge path for bit-identity.
+    pub(crate) fn node_partial_view(
+        &self,
+        ext: &ExtendedNetwork,
+        usage: UsageView<'_>,
+        v: NodeId,
+    ) -> f64 {
+        let cap = ext.capacity(v);
+        let load = usage.f_node[v.index()];
+        self.epsilon * self.penalty.derivative(cap, load) + self.wall_derivative(cap, load)
     }
 
     /// Marginal cost of pushing one more unit of commodity-`j` input

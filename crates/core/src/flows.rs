@@ -249,6 +249,49 @@ pub(crate) fn flow_sweep(
     }
 }
 
+/// [`flow_sweep`] over a commodity's live-arc sub-list (the active-set
+/// engine's flow pass). `arc_len`/`arcs` are the commodity's row of
+/// [`crate::active::ActiveArcs`]: per topo-router live out-degrees and
+/// the live arcs themselves, grouped by router in topological order
+/// with CSR sub-order. Since the dense sweep skips zero-traffic tails
+/// and zero-fraction arcs, walking exactly the nonzero-fraction arcs in
+/// the same order performs the identical sequence of float operations —
+/// bit-identical rows, a fraction of the memory traffic.
+#[allow(clippy::too_many_arguments)] // a commodity's full sweep context
+pub(crate) fn flow_sweep_active(
+    ext: &ExtendedNetwork,
+    phi: &[f64],
+    j: CommodityId,
+    t: &mut [f64],
+    x: &mut [f64],
+    f_edge: &mut [f64],
+    f_node: &mut [f64],
+    arc_len: &[u32],
+    arcs: &[EdgeId],
+) {
+    t[ext.dummy_source(j).index()] = ext.commodity(j).max_rate;
+    let mut idx = 0usize;
+    for (r, &v) in ext.commodity_routers_topo(j).iter().enumerate() {
+        let n = arc_len[r] as usize;
+        let live = &arcs[idx..idx + n];
+        idx += n;
+        let tv = t[v.index()];
+        if tv == 0.0 {
+            continue;
+        }
+        for &l in live {
+            let phi = phi[l.index()];
+            debug_assert!(phi != 0.0, "live arc {l} with zero fraction");
+            let flow = tv * phi;
+            x[l.index()] = flow;
+            let usage = flow * ext.cost(j, l);
+            f_edge[l.index()] += usage;
+            f_node[v.index()] += usage;
+            t[ext.graph().target(l).index()] += flow * ext.beta(j, l);
+        }
+    }
+}
+
 /// Evaluates eqs. (3)–(5) into caller-owned buffers.
 ///
 /// `pool: None` runs the per-commodity sweeps serially; `Some` fans

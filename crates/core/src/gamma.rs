@@ -41,7 +41,7 @@ use crate::cost::CostModel;
 use crate::flows::{FlowState, UsageView};
 use crate::marginals::Marginals;
 use crate::pool::{PhiRow, PhiTable, SlotTable, WorkerPool};
-use crate::routing::{apply_row, RoutingTable};
+use crate::routing::{apply_row, apply_row_tracked, RoutingTable};
 use crate::workspace::{GammaLane, IterationWorkspace, GAMMA_CHUNK};
 use spn_graph::{EdgeId, NodeId};
 use spn_model::CommodityId;
@@ -94,18 +94,40 @@ fn gamma_row_into(ctx: &GammaCtx<'_>, i: NodeId, lane: &mut GammaLane) -> (f64, 
 
     lane.m.clear();
     lane.blocked.clear();
-    for &l in edges {
-        let head = ctx.ext.graph().target(l);
-        lane.m.push(ctx.cost.edge_marginal_view(
-            ctx.ext,
-            ctx.usage,
-            ctx.j,
-            l,
-            ctx.d_row[head.index()],
-        ));
-        // eq. (14): blocked ⇔ φ = 0 and the head's broadcast was tagged
-        lane.blocked
-            .push(ctx.phi.get(l.index()) == 0.0 && ctx.tag_row[head.index()]);
+    if i == ctx.ext.dummy_source(ctx.j) {
+        // Dummy-source rows mix DummyInput and DummyDifference edges —
+        // the latter's partial is the utility derivative, so no common
+        // tail term can be hoisted.
+        for &l in edges {
+            let head = ctx.ext.graph().target(l);
+            lane.m.push(ctx.cost.edge_marginal_view(
+                ctx.ext,
+                ctx.usage,
+                ctx.j,
+                l,
+                ctx.d_row[head.index()],
+            ));
+            // eq. (14): blocked ⇔ φ = 0 and the head's broadcast was
+            // tagged
+            lane.blocked
+                .push(ctx.phi.get(l.index()) == 0.0 && ctx.tag_row[head.index()]);
+        }
+    } else {
+        // Every out-edge of an ordinary router shares the tail node's
+        // resource partial — hoist it so the per-edge body is a single
+        // mul + mul-add over contiguous lanes. The expression must stay
+        // exactly `partial * cost + beta * d` (no mul_add) to remain
+        // bit-identical to `edge_marginal_view`.
+        let tail_partial = ctx.cost.node_partial_view(ctx.ext, ctx.usage, i);
+        for &l in edges {
+            let head = ctx.ext.graph().target(l);
+            lane.m.push(
+                tail_partial * ctx.ext.cost(ctx.j, l)
+                    + ctx.ext.beta(ctx.j, l) * ctx.d_row[head.index()],
+            );
+            lane.blocked
+                .push(ctx.phi.get(l.index()) == 0.0 && ctx.tag_row[head.index()]);
+        }
     }
 
     // Best (minimum-marginal) unblocked link; k(i, j) in the paper.
@@ -180,6 +202,31 @@ pub(crate) fn gamma_chunk(
     for &i in routers {
         let (max_shift, total) = gamma_row_into(ctx, i, lane);
         apply_row(ctx.phi, ctx.ext, ctx.j, i, &lane.row);
+        stat.0 = stat.0.max(max_shift);
+        stat.1 += total;
+        stat.2 += 1;
+    }
+}
+
+/// [`gamma_chunk`] with change tracking for the active-set engine: rows
+/// are applied through [`apply_row_tracked`], and `flag` (cleared here)
+/// accumulates `(any value changed, any support changed)` over the
+/// chunk. Numerically identical to `gamma_chunk` — both funnel through
+/// [`gamma_row_into`] and write the same final fractions.
+pub(crate) fn gamma_chunk_tracked(
+    ctx: &GammaCtx<'_>,
+    routers: &[NodeId],
+    lane: &mut GammaLane,
+    stat: &mut (f64, f64, usize),
+    flag: &mut (bool, bool),
+) {
+    *stat = (0.0, 0.0, 0);
+    *flag = (false, false);
+    for &i in routers {
+        let (max_shift, total) = gamma_row_into(ctx, i, lane);
+        let (value, support) = apply_row_tracked(ctx.phi, ctx.ext, ctx.j, i, &lane.row);
+        flag.0 |= value;
+        flag.1 |= support;
         stat.0 = stat.0.max(max_shift);
         stat.1 += total;
         stat.2 += 1;
@@ -398,15 +445,25 @@ where
             shift_cap,
             j,
         };
-        for &i in ext.commodity_routers(j) {
-            if !participates(j, i) {
-                continue;
+        // Accumulate per GAMMA_CHUNK-sized router chunk and fold chunk
+        // totals ascending — the same association as the workspace path
+        // (`reduce_gamma_stats`), so full participation reproduces the
+        // pooled/serial ws stats bit-for-bit.
+        for chunk in ext.commodity_routers(j).chunks(GAMMA_CHUNK) {
+            let mut local = (0.0f64, 0.0f64, 0usize);
+            for &i in chunk {
+                if !participates(j, i) {
+                    continue;
+                }
+                let (max_shift, total) = gamma_row_into(&ctx, i, &mut lane);
+                apply_row(ctx.phi, ext, j, i, &lane.row);
+                local.0 = local.0.max(max_shift);
+                local.1 += total;
+                local.2 += 1;
             }
-            let (max_shift, total) = gamma_row_into(&ctx, i, &mut lane);
-            apply_row(ctx.phi, ext, j, i, &lane.row);
-            stats.max_shift = stats.max_shift.max(max_shift);
-            stats.total_shift += total;
-            stats.rows += 1;
+            stats.max_shift = stats.max_shift.max(local.0);
+            stats.total_shift += local.1;
+            stats.rows += local.2;
         }
     }
     stats
@@ -591,7 +648,7 @@ mod tests {
         let m = compute_marginals(&ext, &cm(), &fs_rt, &fs);
         let tags = BlockedTags::none(&ext);
         let mut reference = fs_rt.clone();
-        apply_gamma(
+        let ref_stats = apply_gamma(
             &ext,
             &cm(),
             &mut reference,
@@ -607,7 +664,7 @@ mod tests {
         let pool = WorkerPool::new(4);
         for pool in [None, Some(&pool)] {
             let mut rt = fs_rt.clone();
-            apply_gamma_ws(
+            let stats = apply_gamma_ws(
                 &ext,
                 &cm(),
                 &mut rt,
@@ -627,6 +684,95 @@ mod tests {
                 "ws path diverged (pooled: {})",
                 pool.is_some()
             );
+            // Both paths fold stats per router chunk ascending, so the
+            // full-participation selective stats must match bit-for-bit.
+            assert_eq!(stats.max_shift.to_bits(), ref_stats.max_shift.to_bits());
+            assert_eq!(stats.total_shift.to_bits(), ref_stats.total_shift.to_bits());
+            assert_eq!(stats.rows, ref_stats.rows);
         }
+    }
+
+    /// Filtered-update semantics of [`apply_gamma_selective`]: rejected
+    /// `(commodity, router)` pairs keep their previous rows bit-for-bit,
+    /// accepted pairs land on exactly the rows a full update would give
+    /// them (rows are independent given fixed flows/marginals), and the
+    /// statistics count only the accepted rows.
+    #[test]
+    fn selective_updates_only_participating_rows() {
+        let ext = lopsided();
+        let j = CommodityId::from_index(0);
+        let before = mid_admission(&ext);
+        let fs = compute_flows(&ext, &before);
+        let m = compute_marginals(&ext, &cm(), &before, &fs);
+        let tags = BlockedTags::none(&ext);
+        let mut full = before.clone();
+        apply_gamma(&ext, &cm(), &mut full, &fs, &m, &tags, 0.5, 1e-12, 0.0, 1.0);
+
+        // Accept exactly one router: the commodity's dummy source (its
+        // admission row always shifts from a mid-admission start).
+        let chosen = ext.dummy_source(j);
+        let mut seen = 0usize;
+        let mut rt = before.clone();
+        let stats = apply_gamma_selective(
+            &ext,
+            &cm(),
+            &mut rt,
+            &fs,
+            &m,
+            &tags,
+            0.5,
+            1e-12,
+            0.0,
+            1.0,
+            |_, i| {
+                seen += 1;
+                i == chosen
+            },
+        );
+        assert_eq!(
+            seen,
+            ext.commodity_routers(j).len(),
+            "predicate must be consulted for every router"
+        );
+        rt.validate(&ext).unwrap();
+        for &i in ext.commodity_routers(j) {
+            let want = if i == chosen { &full } else { &before };
+            for &l in ext.commodity_out_slice(j, i) {
+                assert_eq!(
+                    rt.fraction(j, l).to_bits(),
+                    want.fraction(j, l).to_bits(),
+                    "row of router {i} {}",
+                    if i == chosen {
+                        "missed its update"
+                    } else {
+                        "moved without participating"
+                    }
+                );
+            }
+        }
+        assert_eq!(stats.rows, 1, "stats must count only participating rows");
+        assert!(stats.total_shift > 0.0);
+        // The single row's shift is bounded by the full pass's totals.
+        assert!(stats.max_shift <= stats.total_shift + 1e-15);
+
+        // Empty participation: nothing moves, stats are zero.
+        let mut rt = before.clone();
+        let stats = apply_gamma_selective(
+            &ext,
+            &cm(),
+            &mut rt,
+            &fs,
+            &m,
+            &tags,
+            0.5,
+            1e-12,
+            0.0,
+            1.0,
+            |_, _| false,
+        );
+        assert_eq!(rt, before, "non-participating pass mutated routing");
+        assert_eq!(stats.rows, 0);
+        assert_eq!(stats.total_shift, 0.0);
+        assert_eq!(stats.max_shift, 0.0);
     }
 }

@@ -39,6 +39,7 @@
 //! # }
 //! ```
 
+mod active;
 pub mod algorithm;
 pub mod blocked;
 pub mod checkpoint;

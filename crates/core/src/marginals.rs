@@ -142,6 +142,55 @@ pub(crate) fn marginal_sweep(
     }
 }
 
+/// [`marginal_sweep`] over a commodity's live-arc sub-list (the
+/// active-set engine's marginal pass). Walks the topo router list in
+/// reverse, accumulating each router's marginal from its live arcs only
+/// — the dense sweep skips zero-fraction arcs, so the addition chain is
+/// identical. Non-router `d` entries are *not* rewritten: they are
+/// invariantly zero (the dense sweep always writes an empty sum there,
+/// nothing else ever writes them), so skipping the row fill is
+/// bit-identical too. For routers other than the dummy source every
+/// out-edge shares the tail's resource partial, which is hoisted out of
+/// the arc loop as in Γ (`partial * cost + beta * d`, never fused).
+#[allow(clippy::too_many_arguments)] // a commodity's full sweep context
+pub(crate) fn marginal_sweep_active(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    phi: &[f64],
+    usage: UsageView<'_>,
+    j: CommodityId,
+    d: &mut [f64],
+    arc_len: &[u32],
+    arcs: &[EdgeId],
+    live: usize,
+) {
+    let routers = ext.commodity_routers_topo(j);
+    let dummy = ext.dummy_source(j);
+    let mut idx = live;
+    for r in (0..routers.len()).rev() {
+        let v = routers[r];
+        let n = arc_len[r] as usize;
+        idx -= n;
+        let row = &arcs[idx..idx + n];
+        let mut acc = 0.0;
+        if v == dummy {
+            for &l in row {
+                let head = ext.graph().target(l);
+                acc += phi[l.index()] * cost.edge_marginal_view(ext, usage, j, l, d[head.index()]);
+            }
+        } else {
+            let tail_partial = cost.node_partial_view(ext, usage, v);
+            for &l in row {
+                let head = ext.graph().target(l);
+                acc += phi[l.index()]
+                    * (tail_partial * ext.cost(j, l) + ext.beta(j, l) * d[head.index()]);
+            }
+        }
+        d[v.index()] = acc;
+    }
+    debug_assert_eq!(idx, 0, "live-arc prefix mismatch for {j}");
+}
+
 /// Runs the marginal-cost wave for every commodity into a caller-owned
 /// buffer. `pool: None` is the serial path; `Some` fans the
 /// per-commodity sweeps out over the persistent worker pool (rows are

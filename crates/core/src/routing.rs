@@ -226,6 +226,56 @@ pub(crate) fn apply_row(
     }
 }
 
+/// Change-tracking variant of [`apply_row`] for the active-set engine.
+/// Requires `row` to cover every out-edge of `v` (all Γ row producers
+/// do), so no zero-fill pass is needed: each entry is compared bitwise
+/// against the stored fraction and written only when it differs.
+///
+/// Returns `(value_changed, support_changed)` — whether any fraction's
+/// bits changed, and whether any fraction crossed zero (the live-arc
+/// sub-list must be rebuilt).
+///
+/// # Panics
+///
+/// Panics if the total mass is not positive.
+pub(crate) fn apply_row_tracked(
+    phi: PhiRow<'_>,
+    ext: &ExtendedNetwork,
+    j: CommodityId,
+    v: NodeId,
+    row: &[(EdgeId, f64)],
+) -> (bool, bool) {
+    let mut total = 0.0;
+    for &(_, f) in row {
+        debug_assert!(
+            f > -FRACTION_TOLERANCE,
+            "fraction {f} significantly negative"
+        );
+        total += f.max(0.0);
+    }
+    assert!(
+        total > 0.0,
+        "router {v} for {j} must keep positive total mass"
+    );
+    debug_assert_eq!(
+        row.len(),
+        ext.commodity_out_slice(j, v).len(),
+        "tracked rows must cover every out-edge of {v} for {j}"
+    );
+    let mut value_changed = false;
+    let mut support_changed = false;
+    for &(l, f) in row {
+        let new = f.max(0.0) / total;
+        let old = phi.get(l.index());
+        if old.to_bits() != new.to_bits() {
+            value_changed = true;
+            support_changed |= (old != 0.0) != (new != 0.0);
+            phi.set(l.index(), new);
+        }
+    }
+    (value_changed, support_changed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

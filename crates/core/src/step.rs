@@ -49,15 +49,17 @@
 
 #![allow(unsafe_code)] // phase-protocol row ownership; contracts documented inline
 
-use crate::blocked::{tag_sweep, BlockedTags};
+use crate::active::{rebuild_active_row, ActiveSet, SCRATCH_MARG_LEN, SCRATCH_TOTALS_EFFECTIVE};
+use crate::blocked::{tag_sweep, tag_sweep_active, BlockedTags};
 use crate::cost::CostModel;
-use crate::flows::{flow_sweep, FlowState, UsageView};
-use crate::gamma::{gamma_chunk, reduce_gamma_stats, GammaCtx, GammaStats};
-use crate::marginals::{marginal_sweep, Marginals};
-use crate::pool::{PhiTable, RowTable, SlotTable, WorkerPool};
+use crate::flows::{flow_sweep, flow_sweep_active, FlowState, UsageView};
+use crate::gamma::{gamma_chunk, gamma_chunk_tracked, reduce_gamma_stats, GammaCtx, GammaStats};
+use crate::marginals::{marginal_sweep, marginal_sweep_active, Marginals};
+use crate::pool::{PhiRow, PhiTable, RowTable, SlotTable, WorkerPool};
 use crate::routing::RoutingTable;
 use crate::workspace::{GammaLane, IterationWorkspace, GAMMA_CHUNK};
 use crate::GradientConfig;
+use spn_graph::EdgeId;
 use spn_model::CommodityId;
 use spn_transform::ExtendedNetwork;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -440,4 +442,676 @@ pub(crate) fn fused_step(
         pool.run_participants(&|_w| views.phase_b());
     });
     stats
+}
+
+/// `true` when two equal-length float slices differ in any bit.
+fn bits_differ(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())
+}
+
+/// Active-set views layered over [`FusedViews`] for a sparse dispatch.
+/// The work lists are read-only (built by the caller before dispatch);
+/// the flag tables and live-arc rows are written through the same
+/// slot/row ownership discipline as the dense tables: each `(commodity,
+/// chunk)` slot has exactly one writer per phase, and participant 0
+/// alone writes `marg_list`/`scratch` between the reduction barriers.
+struct SparseCtl<'a> {
+    /// Commodities whose tag → Γ → flow chain runs this iteration.
+    dirty_list: &'a [u32],
+    /// Global Γ-chunk ids of the dirty commodities (split mode).
+    chunk_list: &'a [u32],
+    /// Commodities whose flow pass must run even if Γ is a no-op.
+    flow_dirty: &'a [bool],
+    phi_changed: SlotTable<'a, bool>,
+    flow_ran: SlotTable<'a, bool>,
+    chunk_flags: SlotTable<'a, (bool, bool)>,
+    marg_list: SlotTable<'a, u32>,
+    scratch: SlotTable<'a, u64>,
+    prev_fe: RowTable<'a, f64>,
+    prev_fn: RowTable<'a, f64>,
+    arc_len: RowTable<'a, u32>,
+    arcs: RowTable<'a, EdgeId>,
+    live: SlotTable<'a, usize>,
+    force_totals: bool,
+}
+
+impl FusedViews<'_> {
+    /// Sparse phase-A tag task: clear the row, then recompute router
+    /// entries from the live-arc sub-list.
+    fn sparse_tag_task(&self, sp: &SparseCtl<'_>, ji: usize) {
+        let j = CommodityId::from_index(ji);
+        // SAFETY: this task is row `ji`'s sole writer in this phase.
+        let row = unsafe { self.tags.row_mut(ji) };
+        row.fill(false);
+        if !self.use_blocked_sets {
+            return;
+        }
+        // SAFETY: commodity `ji`'s fraction/traffic/marginal rows and
+        // live-arc rows are not written during this phase (Γ, rebuild,
+        // and flows for `ji` run strictly after its tag task).
+        unsafe {
+            tag_sweep_active(
+                self.ext,
+                self.cost,
+                self.phi.row_slice(ji),
+                self.t.row(ji),
+                self.usage(),
+                self.d.row(ji),
+                self.eta,
+                self.traffic_floor,
+                j,
+                row,
+                sp.arc_len.row(ji),
+                sp.arcs.row(ji),
+                *sp.live.slot_mut(ji),
+            );
+        }
+    }
+
+    /// Sparse Γ over all of commodity `ji` (chain mode): tracked chunks,
+    /// returning the folded `(value_changed, support_changed)`.
+    fn sparse_gamma_commodity(&self, sp: &SparseCtl<'_>, ji: usize, worker: usize) -> (bool, bool) {
+        let ctx = self.gamma_ctx(ji);
+        // SAFETY: lane `worker` is exclusive to this participant; the
+        // stat/flag slots of commodity `ji` are exclusive to this task.
+        let lane = unsafe { self.lanes.slot_mut(worker) };
+        let routers = self.ext.commodity_routers(ctx.j);
+        let mut folded = (false, false);
+        for (c, chunk) in routers.chunks(GAMMA_CHUNK).enumerate() {
+            let stat = unsafe { self.stats.slot_mut(self.chunk_base[ji] + c) };
+            let flag = unsafe { sp.chunk_flags.slot_mut(self.chunk_base[ji] + c) };
+            gamma_chunk_tracked(&ctx, chunk, lane, stat, flag);
+            folded.0 |= flag.0;
+            folded.1 |= flag.1;
+        }
+        folded
+    }
+
+    /// Sparse Γ task for one global router chunk (split mode).
+    fn sparse_gamma_chunk_task(&self, sp: &SparseCtl<'_>, ci: usize, worker: usize) {
+        let ji = self.chunk_base.partition_point(|&b| b <= ci) - 1;
+        let local = ci - self.chunk_base[ji];
+        let ctx = self.gamma_ctx(ji);
+        let routers = self.ext.commodity_routers(ctx.j);
+        let lo = local * GAMMA_CHUNK;
+        let hi = routers.len().min(lo + GAMMA_CHUNK);
+        // SAFETY: lane `worker` is exclusive to this participant; stat
+        // and flag slot `ci` are exclusive to this task.
+        let lane = unsafe { self.lanes.slot_mut(worker) };
+        let stat = unsafe { self.stats.slot_mut(ci) };
+        let flag = unsafe { sp.chunk_flags.slot_mut(ci) };
+        gamma_chunk_tracked(&ctx, &routers[lo..hi], lane, stat, flag);
+    }
+
+    /// Sparse flow pass for commodity `ji` over its live arcs.
+    fn sparse_flow_task(&self, sp: &SparseCtl<'_>, ji: usize) {
+        let j = CommodityId::from_index(ji);
+        // SAFETY: this task is the sole accessor of row `ji` of each
+        // table in this phase; Γ and the live-arc rebuild for `ji` have
+        // already finished (chain order or the preceding barrier).
+        unsafe {
+            let t = self.t.row_mut(ji);
+            let x = self.x.row_mut(ji);
+            let fe = self.fe_part.row_mut(ji);
+            let fnode = self.fn_part.row_mut(ji);
+            t.fill(0.0);
+            x.fill(0.0);
+            fe.fill(0.0);
+            fnode.fill(0.0);
+            flow_sweep_active(
+                self.ext,
+                self.phi.row_slice(ji),
+                j,
+                t,
+                x,
+                fe,
+                fnode,
+                sp.arc_len.row(ji),
+                sp.arcs.row(ji),
+            );
+        }
+    }
+
+    /// Post-Γ bookkeeping for one dirty commodity: record whether its
+    /// fractions moved, rebuild its live arcs if the support changed,
+    /// and run the flow pass when anything (or an invalidation) demands
+    /// it. Skipping the flow pass is sound because the commodity's
+    /// traffic/edge-flow rows and usage-partial rows all persist and Γ
+    /// reproduced the exact fraction row that produced them.
+    fn sparse_finish_commodity(&self, sp: &SparseCtl<'_>, ji: usize, value: bool, support: bool) {
+        // SAFETY: per-commodity slots/rows `ji` are exclusive to this
+        // task in this phase; the fraction row is read-only after Γ.
+        unsafe {
+            *sp.phi_changed.slot_mut(ji) = value;
+            if support {
+                let live = rebuild_active_row(
+                    self.ext,
+                    CommodityId::from_index(ji),
+                    self.phi.row_slice(ji),
+                    sp.arc_len.row_mut(ji),
+                    sp.arcs.row_mut(ji),
+                );
+                *sp.live.slot_mut(ji) = live;
+            }
+            if value || sp.flow_dirty[ji] {
+                self.sparse_flow_task(sp, ji);
+                *sp.flow_ran.slot_mut(ji) = true;
+            }
+        }
+    }
+
+    /// Sparse phase A for participant `w`: the same structure as the
+    /// dense [`FusedViews::phase_a`], but every claiming loop splits the
+    /// compacted dirty work lists instead of `0..J` — quiescent
+    /// commodities cost nothing.
+    fn sparse_phase_a(&self, sp: &SparseCtl<'_>, w: usize, pool: &WorkerPool) {
+        if self.split {
+            claim(&self.c_a, sp.dirty_list.len(), |di| {
+                self.sparse_tag_task(sp, sp.dirty_list[di] as usize);
+            });
+            pool.phase_wait();
+            claim(&self.c_gamma, sp.chunk_list.len(), |ci| {
+                self.sparse_gamma_chunk_task(sp, sp.chunk_list[ci] as usize, w);
+            });
+            pool.phase_wait();
+            claim(&self.c_flows, sp.dirty_list.len(), |di| {
+                let ji = sp.dirty_list[di] as usize;
+                // Fold this commodity's chunk flags — read-only now,
+                // every Γ chunk finished at the preceding barrier.
+                let mut value = false;
+                let mut support = false;
+                for ci in self.chunk_base[ji]..self.chunk_base[ji + 1] {
+                    // SAFETY: read-only after the Γ barrier.
+                    let flag = unsafe { &*sp.chunk_flags.slot_mut(ci) };
+                    value |= flag.0;
+                    support |= flag.1;
+                }
+                self.sparse_finish_commodity(sp, ji, value, support);
+            });
+        } else {
+            claim(&self.c_a, sp.dirty_list.len(), |di| {
+                let ji = sp.dirty_list[di] as usize;
+                self.sparse_tag_task(sp, ji);
+                let (value, support) = self.sparse_gamma_commodity(sp, ji, w);
+                self.sparse_finish_commodity(sp, ji, value, support);
+            });
+        }
+    }
+
+    /// Participant 0's sparse critical section (between the barriers):
+    /// reduce the usage totals only if any flow pass ran, decide whether
+    /// they changed (exact bitwise comparison against the previous
+    /// totals), and publish the marginal work list for phase B.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee exclusive access to totals, partials, and
+    /// the sparse control tables (between phase barriers only).
+    unsafe fn sparse_reduce(&self, sp: &SparseCtl<'_>) {
+        // SAFETY: exclusive access per the caller contract.
+        unsafe {
+            let mut any_flows = false;
+            for &ji in sp.dirty_list {
+                any_flows |= *sp.flow_ran.slot_mut(ji as usize);
+            }
+            let mut totals_changed = false;
+            if any_flows {
+                let l_count = self.fe_tot.row_len();
+                let v_count = self.fn_tot.row_len();
+                sp.prev_fe.row_mut(0).copy_from_slice(self.fe_tot.row(0));
+                sp.prev_fn.row_mut(0).copy_from_slice(self.fn_tot.row(0));
+                reduce_usage_totals(
+                    self.fe_tot.row_mut(0),
+                    self.fn_tot.row_mut(0),
+                    self.fe_part.as_slice(),
+                    self.fn_part.as_slice(),
+                    l_count,
+                    v_count,
+                    self.j_count,
+                );
+                totals_changed = bits_differ(sp.prev_fe.row(0), self.fe_tot.row(0))
+                    || bits_differ(sp.prev_fn.row(0), self.fn_tot.row(0));
+            }
+            let effective = totals_changed || sp.force_totals;
+            let mut n = 0usize;
+            for ji in 0..self.j_count {
+                if effective || *sp.phi_changed.slot_mut(ji) {
+                    *sp.marg_list.slot_mut(n) = ji as u32;
+                    n += 1;
+                }
+            }
+            *sp.scratch.slot_mut(SCRATCH_MARG_LEN) = n as u64;
+            *sp.scratch.slot_mut(SCRATCH_TOTALS_EFFECTIVE) = u64::from(effective);
+        }
+    }
+
+    /// Sparse phase B: marginal sweeps for the published work list only.
+    /// No row zero-fill — non-router `d` entries are invariantly zero
+    /// (see [`marginal_sweep_active`]).
+    fn sparse_phase_b(&self, sp: &SparseCtl<'_>) {
+        // SAFETY: written by participant 0 before the last barrier.
+        let n = unsafe { *sp.scratch.slot_mut(SCRATCH_MARG_LEN) } as usize;
+        claim(&self.c_marg, n, |mi| {
+            // SAFETY: marg_list/live/arc rows are read-only in this
+            // phase; this task is `d` row `ji`'s sole writer.
+            unsafe {
+                let ji = *sp.marg_list.slot_mut(mi) as usize;
+                let j = CommodityId::from_index(ji);
+                marginal_sweep_active(
+                    self.ext,
+                    self.cost,
+                    self.phi.row_slice(ji),
+                    self.usage(),
+                    j,
+                    self.d.row_mut(ji),
+                    sp.arc_len.row(ji),
+                    sp.arcs.row(ji),
+                    *sp.live.slot_mut(ji),
+                );
+            }
+        });
+    }
+}
+
+/// Builds the iteration's compacted work lists from the carried dirty
+/// flags and rebuilds any live-arc row an invalidation marked stale
+/// (cheap: only ever needed right after an invalidation). The dirty
+/// lists are what the pool's claiming loops split — the active-set
+/// weighted work splitting.
+fn sparse_prepare(
+    active: &mut ActiveSet,
+    ext: &ExtendedNetwork,
+    routing: &RoutingTable,
+    chunk_base: &[usize],
+    split: bool,
+) {
+    active.phi_changed.iter_mut().for_each(|x| *x = false);
+    active.flow_ran.iter_mut().for_each(|x| *x = false);
+    active.dirty_list.clear();
+    active.chunk_list.clear();
+    for ji in 0..active.chain_dirty.len() {
+        if !active.chain_dirty[ji] {
+            continue;
+        }
+        let j = CommodityId::from_index(ji);
+        active.dirty_list.push(ji as u32);
+        if active.arcs.stale[ji] {
+            active.arcs.rebuild(ext, j, routing.row(j));
+        }
+        if split {
+            for ci in chunk_base[ji]..chunk_base[ji + 1] {
+                active.chunk_list.push(ci as u32);
+            }
+        }
+    }
+}
+
+/// Applies the iteration's outcomes to the flags the next iteration
+/// reads: a commodity's chain is dirty when its own fractions moved,
+/// when the shared totals moved (every Γ input changed), or when ε was
+/// annealed (the cost model changed under everyone).
+fn sparse_carry_forward(active: &mut ActiveSet, effective_totals: bool, annealed: bool) {
+    for ji in 0..active.chain_dirty.len() {
+        active.chain_dirty[ji] = annealed || effective_totals || active.phi_changed[ji];
+    }
+    active.flow_dirty.iter_mut().for_each(|x| *x = false);
+    active.force_totals = false;
+}
+
+/// The active-set engine's pooled step (`GradientConfig::sparsity` with
+/// a worker pool): the dense fused protocol with every phase claiming
+/// over compacted dirty lists and every sweep walking live-arc
+/// sub-lists. Bit-identical to [`fused_step`] — each skipped pass is
+/// one whose re-run would reproduce its outputs bit-for-bit, and each
+/// sparse kernel performs the dense kernel's float operations in the
+/// dense order.
+#[allow(clippy::too_many_arguments)] // mirrors the algorithm's state fields
+pub(crate) fn fused_step_sparse(
+    ext: &ExtendedNetwork,
+    cost: &mut CostModel,
+    config: &GradientConfig,
+    pool: &WorkerPool,
+    routing: &mut RoutingTable,
+    state: &mut FlowState,
+    marginals: &mut Marginals,
+    tags: &mut BlockedTags,
+    ws: &mut IterationWorkspace,
+    active: &mut ActiveSet,
+    anneal_to: Option<f64>,
+) -> GammaStats {
+    let v_count = ext.graph().node_count();
+    let l_count = ext.graph().edge_count();
+    let j_count = ext.num_commodities();
+    if state.t.len() != j_count * v_count || state.x.len() != j_count * l_count {
+        state.reset(ext);
+    }
+    if marginals.d.len() != j_count * v_count {
+        marginals.reset(ext);
+    }
+    if tags.tagged.len() != j_count * v_count {
+        tags.reset(ext);
+    }
+    // A worker-count change re-zeroes the persistent usage partials, so
+    // the workspace shape key must be checked *before* trusting them.
+    if !ws.sized_for_workers(ext, pool.participants()) {
+        active.invalidate();
+    }
+    ws.ensure_workers(ext, pool.participants());
+    active.ensure(ext);
+    let split = j_count < pool.participants();
+    sparse_prepare(active, ext, routing, &ws.chunk_base, split);
+
+    let force_totals = active.force_totals;
+    let annealed = anneal_to.is_some();
+
+    let build_and_run = |routing: &mut RoutingTable,
+                         state: &mut FlowState,
+                         marginals: &mut Marginals,
+                         tags: &mut BlockedTags,
+                         ws: &mut IterationWorkspace,
+                         active: &mut ActiveSet,
+                         cost: &CostModel,
+                         body: &dyn Fn(&FusedViews<'_>, &SparseCtl<'_>)| {
+        let parts = ws.parts();
+        let views = FusedViews {
+            ext,
+            cost,
+            phi: PhiTable::new(routing.flat_mut(), l_count.max(1)),
+            t: RowTable::new(&mut state.t, v_count.max(1)),
+            x: RowTable::new(&mut state.x, l_count.max(1)),
+            fe_part: RowTable::new(parts.f_edge_part, l_count.max(1)),
+            fn_part: RowTable::new(parts.f_node_part, v_count.max(1)),
+            fe_tot: RowTable::new(&mut state.f_edge, l_count.max(1)),
+            fn_tot: RowTable::new(&mut state.f_node, v_count.max(1)),
+            d: RowTable::new(&mut marginals.d, v_count.max(1)),
+            tags: RowTable::new(&mut tags.tagged, v_count.max(1)),
+            lanes: SlotTable::new(parts.lanes),
+            stats: SlotTable::new(parts.stats),
+            chunk_base: parts.chunk_base,
+            j_count,
+            eta: config.eta,
+            traffic_floor: config.traffic_floor,
+            opening_fraction: config.opening_fraction,
+            shift_cap: config.shift_cap,
+            use_blocked_sets: config.use_blocked_sets,
+            split,
+            c_a: AtomicUsize::new(0),
+            c_gamma: AtomicUsize::new(0),
+            c_flows: AtomicUsize::new(0),
+            c_marg: AtomicUsize::new(0),
+        };
+        let ctl = SparseCtl {
+            dirty_list: &active.dirty_list,
+            chunk_list: &active.chunk_list,
+            flow_dirty: &active.flow_dirty,
+            phi_changed: SlotTable::new(&mut active.phi_changed),
+            flow_ran: SlotTable::new(&mut active.flow_ran),
+            chunk_flags: SlotTable::new(&mut active.chunk_flags),
+            marg_list: SlotTable::new(&mut active.marg_list),
+            scratch: SlotTable::new(&mut active.scratch),
+            prev_fe: RowTable::new(&mut active.prev_f_edge, l_count.max(1)),
+            prev_fn: RowTable::new(&mut active.prev_f_node, v_count.max(1)),
+            arc_len: RowTable::new(&mut active.arcs.arc_len, active.arcs.router_stride.max(1)),
+            arcs: RowTable::new(&mut active.arcs.arcs, active.arcs.arc_stride.max(1)),
+            live: SlotTable::new(&mut active.arcs.live),
+            force_totals,
+        };
+        body(&views, &ctl);
+    };
+
+    if !annealed {
+        build_and_run(
+            routing,
+            state,
+            marginals,
+            tags,
+            ws,
+            active,
+            cost,
+            &|views, ctl| {
+                pool.run_participants(&|w| {
+                    views.sparse_phase_a(ctl, w, pool);
+                    pool.phase_wait();
+                    if w == 0 {
+                        // SAFETY: between barriers; all other
+                        // participants are parked on the next
+                        // phase_wait.
+                        unsafe { views.sparse_reduce(ctl) }
+                    }
+                    pool.phase_wait();
+                    views.sparse_phase_b(ctl);
+                });
+            },
+        );
+        let effective = active.scratch[SCRATCH_TOTALS_EFFECTIVE] != 0;
+        sparse_carry_forward(active, effective, false);
+        return reduce_gamma_stats(ws, j_count);
+    }
+
+    // ε-annealing iteration: the epsilon mutation must land between
+    // flows and marginals — two dispatches, with the reduction and the
+    // work-list publication done by the caller in between. Every
+    // marginal sweep re-runs (the cost model changed), and every chain
+    // is dirty next iteration.
+    build_and_run(
+        routing,
+        state,
+        marginals,
+        tags,
+        ws,
+        active,
+        cost,
+        &|views, ctl| {
+            pool.run_participants(&|w| views.sparse_phase_a(ctl, w, pool));
+        },
+    );
+    let any_flows = active
+        .dirty_list
+        .iter()
+        .any(|&ji| active.flow_ran[ji as usize]);
+    let mut totals_changed = false;
+    if any_flows {
+        active.prev_f_edge.copy_from_slice(&state.f_edge);
+        active.prev_f_node.copy_from_slice(&state.f_node);
+        reduce_usage_totals(
+            &mut state.f_edge,
+            &mut state.f_node,
+            &ws.f_edge_part,
+            &ws.f_node_part,
+            l_count,
+            v_count,
+            j_count,
+        );
+        totals_changed = bits_differ(&active.prev_f_edge, &state.f_edge)
+            || bits_differ(&active.prev_f_node, &state.f_node);
+    }
+    let effective = totals_changed || force_totals;
+    let stats = reduce_gamma_stats(ws, j_count);
+    if let Some(eps) = anneal_to {
+        cost.epsilon = eps;
+    }
+    for ji in 0..j_count {
+        active.marg_list[ji] = ji as u32;
+    }
+    active.scratch[SCRATCH_MARG_LEN] = j_count as u64;
+    active.scratch[SCRATCH_TOTALS_EFFECTIVE] = u64::from(effective);
+    build_and_run(
+        routing,
+        state,
+        marginals,
+        tags,
+        ws,
+        active,
+        cost,
+        &|views, ctl| {
+            pool.run_participants(&|_w| views.sparse_phase_b(ctl));
+        },
+    );
+    sparse_carry_forward(active, effective, true);
+    stats
+}
+
+/// The active-set engine's serial step (`GradientConfig::sparsity`
+/// without a pool): the same skip algebra as [`fused_step_sparse`] run
+/// single-threaded, with the per-commodity usage partials persisting in
+/// the workspace across iterations so a skipped flow pass contributes
+/// its unchanged rows to the ascending-order totals reduction.
+#[allow(clippy::too_many_arguments)] // mirrors the algorithm's state fields
+pub(crate) fn sparse_step_serial(
+    ext: &ExtendedNetwork,
+    cost: &mut CostModel,
+    config: &GradientConfig,
+    routing: &mut RoutingTable,
+    state: &mut FlowState,
+    marginals: &mut Marginals,
+    tags: &mut BlockedTags,
+    ws: &mut IterationWorkspace,
+    active: &mut ActiveSet,
+    anneal_to: Option<f64>,
+) -> GammaStats {
+    let v_count = ext.graph().node_count();
+    let l_count = ext.graph().edge_count();
+    let j_count = ext.num_commodities();
+    if state.t.len() != j_count * v_count || state.x.len() != j_count * l_count {
+        state.reset(ext);
+    }
+    if marginals.d.len() != j_count * v_count {
+        marginals.reset(ext);
+    }
+    if tags.tagged.len() != j_count * v_count {
+        tags.reset(ext);
+    }
+    if !ws.sized_for_workers(ext, 1) {
+        active.invalidate();
+    }
+    ws.ensure_workers(ext, 1);
+    active.ensure(ext);
+    sparse_prepare(active, ext, routing, &ws.chunk_base, false);
+
+    // Phase A: tag → Γ → flow chains for the dirty commodities only.
+    for di in 0..active.dirty_list.len() {
+        let ji = active.dirty_list[di] as usize;
+        let j = CommodityId::from_index(ji);
+        let tag_row = &mut tags.tagged[ji * v_count..(ji + 1) * v_count];
+        tag_row.fill(false);
+        if config.use_blocked_sets {
+            let (lens, arcs, live) = active.arcs.row(ji);
+            tag_sweep_active(
+                ext,
+                cost,
+                routing.row(j),
+                state.t_row(j),
+                state.usage_view(),
+                marginals.row(j),
+                config.eta,
+                config.traffic_floor,
+                j,
+                tag_row,
+                lens,
+                arcs,
+                live,
+            );
+        }
+        let mut value = false;
+        let mut support = false;
+        {
+            let ctx = GammaCtx {
+                ext,
+                cost,
+                phi: PhiRow::from_mut(routing.row_mut(j)),
+                t_row: state.t_row(j),
+                usage: state.usage_view(),
+                d_row: marginals.row(j),
+                tag_row: tags.row(j),
+                eta: config.eta,
+                traffic_floor: config.traffic_floor,
+                opening_floor: config.opening_fraction * ext.commodity(j).max_rate,
+                shift_cap: config.shift_cap,
+                j,
+            };
+            let routers = ext.commodity_routers(j);
+            for (c, chunk) in routers.chunks(GAMMA_CHUNK).enumerate() {
+                let slot = ws.chunk_base[ji] + c;
+                gamma_chunk_tracked(
+                    &ctx,
+                    chunk,
+                    &mut ws.lanes[0],
+                    &mut ws.stats[slot],
+                    &mut active.chunk_flags[slot],
+                );
+                value |= active.chunk_flags[slot].0;
+                support |= active.chunk_flags[slot].1;
+            }
+        }
+        active.phi_changed[ji] = value;
+        if support {
+            active.arcs.rebuild(ext, j, routing.row(j));
+        }
+        if value || active.flow_dirty[ji] {
+            let t = &mut state.t[ji * v_count..(ji + 1) * v_count];
+            let x = &mut state.x[ji * l_count..(ji + 1) * l_count];
+            let fe = &mut ws.f_edge_part[ji * l_count..(ji + 1) * l_count];
+            let fnode = &mut ws.f_node_part[ji * v_count..(ji + 1) * v_count];
+            t.fill(0.0);
+            x.fill(0.0);
+            fe.fill(0.0);
+            fnode.fill(0.0);
+            let (lens, arcs, _live) = active.arcs.row(ji);
+            flow_sweep_active(ext, routing.row(j), j, t, x, fe, fnode, lens, arcs);
+            active.flow_ran[ji] = true;
+        }
+    }
+
+    // Totals: reduce (and bitwise-compare) only if any flow pass ran.
+    let any_flows = active
+        .dirty_list
+        .iter()
+        .any(|&ji| active.flow_ran[ji as usize]);
+    let mut totals_changed = false;
+    if any_flows {
+        active.prev_f_edge.copy_from_slice(&state.f_edge);
+        active.prev_f_node.copy_from_slice(&state.f_node);
+        reduce_usage_totals(
+            &mut state.f_edge,
+            &mut state.f_node,
+            &ws.f_edge_part,
+            &ws.f_node_part,
+            l_count,
+            v_count,
+            j_count,
+        );
+        totals_changed = bits_differ(&active.prev_f_edge, &state.f_edge)
+            || bits_differ(&active.prev_f_node, &state.f_node);
+    }
+    let effective = totals_changed || active.force_totals;
+    let annealed = anneal_to.is_some();
+    if let Some(eps) = anneal_to {
+        cost.epsilon = eps;
+    }
+
+    // Phase B: marginal sweeps for moved commodities — everyone when the
+    // shared totals (or ε) changed.
+    for ji in 0..j_count {
+        if !(annealed || effective || active.phi_changed[ji]) {
+            continue;
+        }
+        let j = CommodityId::from_index(ji);
+        let d = &mut marginals.d[ji * v_count..(ji + 1) * v_count];
+        let (lens, arcs, live) = active.arcs.row(ji);
+        marginal_sweep_active(
+            ext,
+            cost,
+            routing.row(j),
+            state.usage_view(),
+            j,
+            d,
+            lens,
+            arcs,
+            live,
+        );
+    }
+
+    sparse_carry_forward(active, effective, annealed);
+    reduce_gamma_stats(ws, j_count)
 }

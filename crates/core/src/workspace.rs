@@ -122,6 +122,27 @@ impl IterationWorkspace {
         self.ensure_workers(ext, self.workers.max(1));
     }
 
+    /// Whether the buffers are already sized for `ext` with `workers`
+    /// participants — i.e. whether [`ensure_workers`] would take its
+    /// fast path and leave the persistent usage partials untouched. The
+    /// active-set engine checks this before a step: a miss (first use,
+    /// network resize, worker-count change) re-zeroes the partial rows,
+    /// so every skip that relies on them must be invalidated.
+    ///
+    /// [`ensure_workers`]: IterationWorkspace::ensure_workers
+    pub(crate) fn sized_for_workers(&self, ext: &ExtendedNetwork, workers: usize) -> bool {
+        let v_count = ext.graph().node_count();
+        let l_count = ext.graph().edge_count();
+        let j_count = ext.num_commodities();
+        let workers = workers.max(1);
+        let max_degree = ext
+            .commodity_ids()
+            .map(|j| ext.max_out_degree(j))
+            .max()
+            .unwrap_or(0);
+        self.sized_for == Some((j_count, v_count, l_count, max_degree, workers))
+    }
+
     /// As [`ensure`](IterationWorkspace::ensure), but also sizes the Γ
     /// lanes for `workers` pool participants.
     pub(crate) fn ensure_workers(&mut self, ext: &ExtendedNetwork, workers: usize) {

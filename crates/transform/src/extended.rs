@@ -48,10 +48,18 @@ struct CommodityAdjacency {
     in_start: Vec<u32>,
     /// Non-sink nodes with at least one commodity out-edge, ascending.
     routers: Vec<NodeId>,
+    /// The same router set in the commodity's topological order — the
+    /// iteration core's sparse sweeps walk this list (forward for flows,
+    /// reverse for marginals/tags) instead of scanning the full
+    /// `topo_order`, which is mostly nodes with no commodity out-edges.
+    routers_topo: Vec<NodeId>,
+    /// Total commodity out-degree over all routers (the arc capacity a
+    /// live-arc sub-list needs).
+    router_arc_total: usize,
 }
 
 impl CommodityAdjacency {
-    fn build(graph: &DiGraph, in_commodity: &[bool], sink: NodeId) -> Self {
+    fn build(graph: &DiGraph, in_commodity: &[bool], sink: NodeId, topo: &[NodeId]) -> Self {
         let v_count = graph.node_count();
         let mut out_edges = Vec::new();
         let mut out_start = Vec::with_capacity(v_count + 1);
@@ -81,12 +89,22 @@ impl CommodityAdjacency {
         }
         out_start.push(out_edges.len() as u32);
         in_start.push(in_edges.len() as u32);
+        let degree = |v: NodeId| (out_start[v.index() + 1] - out_start[v.index()]) as usize;
+        let routers_topo: Vec<NodeId> = topo
+            .iter()
+            .copied()
+            .filter(|&v| v != sink && degree(v) > 0)
+            .collect();
+        debug_assert_eq!(routers_topo.len(), routers.len());
+        let router_arc_total = routers_topo.iter().map(|&v| degree(v)).sum();
         CommodityAdjacency {
             out_edges,
             out_start,
             in_edges,
             in_start,
             routers,
+            routers_topo,
+            router_arc_total,
         }
     }
 }
@@ -215,7 +233,7 @@ impl ExtendedNetwork {
 
         // Per-commodity topological orders (dummy source first, then
         // the commodity DAG threaded through bandwidth nodes).
-        let topo = (0..j_count)
+        let topo: Vec<Vec<NodeId>> = (0..j_count)
             .map(|ji| {
                 topological_order_filtered(&graph, |l| in_commodity[ji][l.index()])
                     .expect("commodity extended subgraph is a DAG for validated problems")
@@ -229,6 +247,7 @@ impl ExtendedNetwork {
                     &graph,
                     &in_commodity[j.index()],
                     problem.commodity(j).sink(),
+                    &topo[j.index()],
                 )
             })
             .collect();
@@ -360,6 +379,22 @@ impl ExtendedNetwork {
     #[must_use]
     pub fn commodity_routers(&self, j: CommodityId) -> &[NodeId] {
         &self.adjacency[j.index()].routers
+    }
+
+    /// The commodity-`j` routers in the commodity's topological order —
+    /// the same set as [`Self::commodity_routers`], ordered so a single
+    /// forward (resp. reverse) walk visits tails before (resp. after)
+    /// heads. Sparse sweeps iterate this instead of `topo_order`.
+    #[must_use]
+    pub fn commodity_routers_topo(&self, j: CommodityId) -> &[NodeId] {
+        &self.adjacency[j.index()].routers_topo
+    }
+
+    /// Total commodity-`j` out-degree summed over all routers — the arc
+    /// capacity an active-arc sub-list needs for commodity `j`.
+    #[must_use]
+    pub fn commodity_router_arc_total(&self, j: CommodityId) -> usize {
+        self.adjacency[j.index()].router_arc_total
     }
 
     /// Largest commodity-`j` out-degree over all nodes (sizing hint for
@@ -628,6 +663,37 @@ mod tests {
                 .max()
                 .unwrap();
             assert_eq!(ext.max_out_degree(j), max_deg);
+        }
+    }
+
+    #[test]
+    fn routers_topo_is_routers_in_topological_order() {
+        let inst = RandomInstance::builder()
+            .seed(11)
+            .commodities(4)
+            .build()
+            .unwrap();
+        let ext = ExtendedNetwork::build(&inst.problem);
+        for j in ext.commodity_ids() {
+            let topo = ext.commodity_routers_topo(j);
+            let mut sorted: Vec<NodeId> = topo.to_vec();
+            sorted.sort_by_key(|v| v.index());
+            assert_eq!(
+                &sorted[..],
+                ext.commodity_routers(j),
+                "routers_topo must be the router set for {j}"
+            );
+            // Order must agree with the commodity topological order.
+            let order = ext.topo_order(j);
+            let pos = |v: NodeId| order.iter().position(|&x| x == v).unwrap();
+            for w in topo.windows(2) {
+                assert!(pos(w[0]) < pos(w[1]), "routers_topo out of order for {j}");
+            }
+            let arcs: usize = topo
+                .iter()
+                .map(|&v| ext.commodity_out_slice(j, v).len())
+                .sum();
+            assert_eq!(ext.commodity_router_arc_total(j), arcs);
         }
     }
 

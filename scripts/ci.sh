@@ -2,7 +2,11 @@
 # The full local gate: formatting, lints as errors, every test, and two
 # smoke runs:
 #  * bench_core --smoke catches pooled-path throughput regressions (on a
-#    multi-core host, threads=2 more than 10% below serial fails);
+#    multi-core host, threads=2 more than 10% below serial fails) and
+#    gates the active-set engine: on the converged-regime 160-node case
+#    (demand x0.2, long warmup) sparsity=true must at least match the
+#    dense engine's iterations/sec — valid on any core count, since the
+#    sparse engine wins by skipping work, not by parallelism;
 #  * chaos_recovery --smoke is the seed-fixed chaos soak — a short run
 #    under message loss + staleness + two transient node failures that
 #    fails if any NaN escapes into iteration state, if an injected fault

@@ -1,0 +1,330 @@
+//! ARCHITECTURE invariant 14: the sparsity-aware active-set engine
+//! (`GradientConfig::sparsity`) must produce **bit-identical** results
+//! to the dense reference engine — same routing tables, same flow
+//! state, same marginals, down to the last ulp, for every thread count
+//! and through every mid-run mutation (thread reconfiguration,
+//! checkpoints restored, η backoff, capacity/demand edits).
+//!
+//! The engine earns its speedup by *skipping* work (quiescent
+//! commodity chains, zero-fraction arcs, unchanged marginal sweeps),
+//! and every skip is justified by an exact bitwise-unchanged-inputs
+//! argument — so any divergence at all, in any lane, is a soundness bug
+//! rather than a tolerance question. That is why these tests compare
+//! with `assert_eq!` on full state rather than norms.
+
+use spn::core::{GradientAlgorithm, GradientConfig};
+use spn::model::random::RandomInstance;
+use spn::model::CommodityId;
+use spn::transform::ExtendedNetwork;
+
+/// Asserts complete bitwise state agreement between two algorithms.
+fn assert_identical(dense: &GradientAlgorithm, sparse: &GradientAlgorithm, what: &str) {
+    assert_eq!(
+        dense.routing(),
+        sparse.routing(),
+        "routing diverged: {what}"
+    );
+    assert_eq!(dense.flows(), sparse.flows(), "flow state diverged: {what}");
+    assert_eq!(
+        dense.marginals(),
+        sparse.marginals(),
+        "marginals diverged: {what}"
+    );
+    let (rd, rs) = (dense.report(), sparse.report());
+    assert_eq!(
+        rd.utility.to_bits(),
+        rs.utility.to_bits(),
+        "utility not bit-identical: {what}"
+    );
+    for (j, (x, y)) in rd.admitted.iter().zip(&rs.admitted).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "admitted rate of commodity {j} differs: {what}"
+        );
+    }
+}
+
+/// The core property over a grid of random instances: ≥ 20 distinct
+/// (problem, seed, thread count) combinations, each stepped in lock
+/// step with full-state comparison at every iteration.
+#[test]
+fn sparse_is_bit_identical_to_dense_across_instances() {
+    let grid = [
+        // (nodes, commodities, seed, threads, demand scale)
+        (20usize, 2usize, 1u64, 1usize, 1.0f64),
+        (20, 2, 2, 2, 3.0),
+        (20, 3, 3, 3, 0.2),
+        (30, 3, 4, 1, 1.0),
+        (30, 4, 5, 4, 0.5),
+        (30, 5, 6, 2, 2.0),
+        (40, 4, 7, 1, 0.2),
+        (40, 5, 8, 3, 1.0),
+        (40, 6, 9, 4, 3.0),
+        (50, 5, 10, 2, 1.0),
+        (50, 6, 11, 1, 0.5),
+        (50, 8, 12, 4, 1.0),
+        (60, 6, 13, 3, 0.2),
+        (60, 8, 14, 2, 1.0),
+        (80, 8, 15, 4, 1.0),
+        (80, 8, 16, 1, 2.0),
+        (30, 5, 17, 5, 1.0),
+        (40, 6, 18, 7, 0.2),
+        (20, 2, 19, 2, 1.0),
+        (50, 8, 20, 3, 3.0),
+    ];
+    for &(nodes, commodities, seed, threads, scale) in &grid {
+        let problem = RandomInstance::builder()
+            .nodes(nodes)
+            .commodities(commodities)
+            .seed(seed)
+            .build()
+            .unwrap()
+            .problem
+            .scale_demand(scale);
+        let dense_cfg = GradientConfig {
+            threads,
+            sparsity: false,
+            ..GradientConfig::default()
+        };
+        let sparse_cfg = GradientConfig {
+            threads,
+            sparsity: true,
+            ..GradientConfig::default()
+        };
+        let mut dense = GradientAlgorithm::new(&problem, dense_cfg).unwrap();
+        let mut sparse = GradientAlgorithm::new(&problem, sparse_cfg).unwrap();
+        for it in 0..120 {
+            let sd = dense.step();
+            let ss = sparse.step();
+            let ctx = format!(
+                "at iteration {it} (nodes={nodes} commodities={commodities} \
+                 seed={seed} threads={threads} scale={scale})"
+            );
+            assert_eq!(dense.routing(), sparse.routing(), "routing diverged {ctx}");
+            // Step statistics feed `run_until_stable`; cached chunk
+            // stats of skipped commodities must reproduce the dense
+            // accumulation bit-for-bit too.
+            assert_eq!(
+                sd.gamma.max_shift.to_bits(),
+                ss.gamma.max_shift.to_bits(),
+                "gamma max_shift diverged {ctx}"
+            );
+            assert_eq!(
+                sd.gamma.total_shift.to_bits(),
+                ss.gamma.total_shift.to_bits(),
+                "gamma total_shift diverged {ctx}"
+            );
+            assert_eq!(sd.gamma.rows, ss.gamma.rows, "gamma rows diverged {ctx}");
+        }
+        assert_identical(
+            &dense,
+            &sparse,
+            &format!("nodes={nodes} commodities={commodities} seed={seed} threads={threads}"),
+        );
+    }
+}
+
+/// ε-annealing mutates the cost model *inside* a step (marginals are
+/// swept at the new ε while flows were forecast before it); the sparse
+/// engine's split anneal dispatch must land on the same bits.
+#[test]
+fn sparse_matches_dense_through_annealing() {
+    let problem = RandomInstance::builder()
+        .nodes(30)
+        .commodities(4)
+        .seed(21)
+        .build()
+        .unwrap()
+        .problem;
+    let anneal = |sparsity| GradientConfig {
+        threads: 3,
+        sparsity,
+        epsilon_factor: 0.5,
+        epsilon_interval: 25,
+        ..GradientConfig::default()
+    };
+    let mut dense = GradientAlgorithm::new(&problem, anneal(false)).unwrap();
+    let mut sparse = GradientAlgorithm::new(&problem, anneal(true)).unwrap();
+    for it in 0..150 {
+        dense.step();
+        sparse.step();
+        assert_eq!(
+            dense.routing(),
+            sparse.routing(),
+            "routing diverged at iteration {it} across an anneal boundary"
+        );
+    }
+    assert_identical(&dense, &sparse, "annealed run");
+}
+
+/// Mid-run mutations: thread reconfiguration (which re-zeroes the
+/// persistent workspace partials), checkpoint/restore, η backoff, and
+/// capacity/demand jitter through `extended_mut`. Each one invalidates
+/// the active set; the sparse trajectory must stay glued to the dense
+/// one through all of them.
+#[test]
+fn sparse_survives_midrun_mutations() {
+    let problem = RandomInstance::builder()
+        .nodes(40)
+        .commodities(5)
+        .seed(22)
+        .build()
+        .unwrap()
+        .problem;
+    let cfg = |sparsity, threads| GradientConfig {
+        threads,
+        sparsity,
+        ..GradientConfig::default()
+    };
+    let mut dense = GradientAlgorithm::new(&problem, cfg(false, 2)).unwrap();
+    let mut sparse = GradientAlgorithm::new(&problem, cfg(true, 2)).unwrap();
+
+    let run = |d: &mut GradientAlgorithm, s: &mut GradientAlgorithm, n: usize| {
+        for _ in 0..n {
+            d.step();
+            s.step();
+        }
+    };
+
+    // Settle, then capture a checkpoint of each trajectory.
+    run(&mut dense, &mut sparse, 60);
+    let (ck_d, ck_s) = (dense.checkpoint(), sparse.checkpoint());
+    assert_identical(&dense, &sparse, "before mutations");
+
+    // Thread reconfiguration (sparse only — the dense engine is
+    // invariant to it by construction, so reconfiguring just the sparse
+    // side is the sharper test of the workspace-rezero hazard).
+    sparse.set_threads(4);
+    run(&mut dense, &mut sparse, 30);
+    assert_identical(&dense, &sparse, "after set_threads(4)");
+    sparse.set_threads(1);
+    run(&mut dense, &mut sparse, 30);
+    assert_identical(&dense, &sparse, "after set_threads(1)");
+    sparse.set_threads(2);
+
+    // η backoff and recovery, as the watchdog would apply it.
+    dense.set_eta(0.01);
+    sparse.set_eta(0.01);
+    run(&mut dense, &mut sparse, 25);
+    dense.set_eta(0.04);
+    sparse.set_eta(0.04);
+    run(&mut dense, &mut sparse, 25);
+    assert_identical(&dense, &sparse, "after eta backoff/recovery");
+
+    // Demand jitter mid-run (dynamic-demand experiments).
+    let j0 = CommodityId::from_index(0);
+    let rate = dense.extended().commodity(j0).max_rate;
+    dense.extended_mut().set_max_rate(j0, rate * 1.5);
+    sparse.extended_mut().set_max_rate(j0, rate * 1.5);
+    run(&mut dense, &mut sparse, 40);
+    assert_identical(&dense, &sparse, "after demand jitter");
+
+    // Roll both back to their checkpoints: trajectories replay in lock
+    // step even though the sparse tracker's history is now meaningless.
+    dense.restore(&ck_d).unwrap();
+    sparse.restore(&ck_s).unwrap();
+    run(&mut dense, &mut sparse, 50);
+    assert_identical(&dense, &sparse, "after checkpoint restore");
+}
+
+/// The converged regime is where the active-set engine actually skips
+/// work (quiescent chains, unchanged totals) — a long run at low demand
+/// must stay bit-identical precisely where the skip logic is hottest.
+#[test]
+fn sparse_matches_dense_in_converged_regime() {
+    let problem = RandomInstance::builder()
+        .nodes(40)
+        .commodities(6)
+        .seed(23)
+        .build()
+        .unwrap()
+        .problem
+        .scale_demand(0.2);
+    for threads in [1usize, 4] {
+        let dense_cfg = GradientConfig {
+            threads,
+            sparsity: false,
+            ..GradientConfig::default()
+        };
+        let sparse_cfg = GradientConfig {
+            threads,
+            sparsity: true,
+            ..GradientConfig::default()
+        };
+        let mut dense = GradientAlgorithm::new(&problem, dense_cfg).unwrap();
+        let mut sparse = GradientAlgorithm::new(&problem, sparse_cfg).unwrap();
+        // Settle deep into convergence, comparing periodically, then
+        // check every lane at the end.
+        for block in 0..40 {
+            for _ in 0..50 {
+                dense.step();
+                sparse.step();
+            }
+            assert_eq!(
+                dense.routing(),
+                sparse.routing(),
+                "routing diverged by iteration {} (threads={threads})",
+                (block + 1) * 50
+            );
+        }
+        assert_identical(&dense, &sparse, &format!("converged, threads={threads}"));
+    }
+}
+
+/// Clones must carry the activity tracker: a clone of a warm sparse
+/// algorithm continues the trajectory bit-for-bit.
+#[test]
+fn cloned_sparse_algorithm_continues_identically() {
+    let problem = RandomInstance::builder()
+        .nodes(30)
+        .commodities(4)
+        .seed(24)
+        .build()
+        .unwrap()
+        .problem;
+    let cfg = GradientConfig {
+        threads: 2,
+        sparsity: true,
+        ..GradientConfig::default()
+    };
+    let mut a = GradientAlgorithm::new(&problem, cfg).unwrap();
+    a.run(200);
+    let mut b = a.clone();
+    for it in 0..100 {
+        a.step();
+        b.step();
+        assert_eq!(a.routing(), b.routing(), "clone diverged at iteration {it}");
+    }
+    assert_eq!(a.flows(), b.flows());
+    assert_eq!(a.marginals(), b.marginals());
+}
+
+/// A sparse algorithm whose extended network is rebuilt from the same
+/// problem as a dense one must agree even when the sparse side is
+/// driven through `ExtendedNetwork::build` + `from_extended` (the
+/// simulator's construction path).
+#[test]
+fn from_extended_construction_matches() {
+    let problem = RandomInstance::builder()
+        .nodes(30)
+        .commodities(4)
+        .seed(25)
+        .build()
+        .unwrap()
+        .problem;
+    let cfg = GradientConfig {
+        threads: 2,
+        sparsity: true,
+        ..GradientConfig::default()
+    };
+    let mut via_new = GradientAlgorithm::new(&problem, cfg).unwrap();
+    let mut via_ext =
+        GradientAlgorithm::from_extended(ExtendedNetwork::build(&problem), cfg).unwrap();
+    for _ in 0..150 {
+        via_new.step();
+        via_ext.step();
+    }
+    assert_eq!(via_new.routing(), via_ext.routing());
+    assert_eq!(via_new.flows(), via_ext.flows());
+}

@@ -122,4 +122,51 @@ fn steady_state_step_is_allocation_free() {
         after - before
     );
     assert!(alg.report().utility > 0.0);
+
+    // The active-set engine (ARCHITECTURE invariant 15): once its
+    // buffers are sized by the first sparse step, all active-set
+    // maintenance — dirty-list compaction, live-arc row rebuilds after
+    // support changes, the bitwise totals comparison, marginal work
+    // lists — reuses preallocated storage. Measured on both the serial
+    // and the pooled sparse path, including a restore (which
+    // invalidates the tracker and forces dense-rebuild iterations —
+    // those must be allocation-free too).
+    for threads in [1usize, 2] {
+        let sparse_cfg = GradientConfig {
+            threads,
+            sparsity: true,
+            ..GradientConfig::default()
+        };
+        let mut sparse = GradientAlgorithm::new(&problem, sparse_cfg).unwrap();
+        for _ in 0..10 {
+            sparse.step();
+        }
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..50 {
+            sparse.step();
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state sparse step() (threads={threads}) allocated {} times over 50 iterations",
+            after - before
+        );
+        let mut ck = spn::core::Checkpoint::new();
+        sparse.checkpoint_into(&mut ck);
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..10 {
+            sparse.restore(&ck).expect("shapes match");
+            sparse.step(); // post-invalidation dense rebuild iteration
+            sparse.step(); // warm sparse iteration
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "sparse restore/invalidate cycle (threads={threads}) allocated {} times",
+            after - before
+        );
+        assert!(sparse.report().utility > 0.0);
+    }
 }
