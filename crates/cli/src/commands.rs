@@ -104,8 +104,9 @@ pub fn help_text() -> &'static str {
      \x20     validate and summarize an instance\n\
      \x20 solve <manifest.json> [--segments 40]\n\
      \x20     centralized optimum (LP for linear utilities, sandwich bounds otherwise)\n\
-     \x20 gradient <manifest.json> [--iters 5000] [--eta 0.04] [--epsilon 0.0005]\n\
-     \x20     run the distributed gradient algorithm\n\
+     \x20 gradient <manifest.json> [--iters 5000] [--eta 0.04] [--epsilon 0.0005] [--tol TOL]\n\
+     \x20     run the distributed gradient algorithm; with --tol, stop as soon\n\
+     \x20     as the per-step routing shift drops below TOL (prints converged)\n\
      \x20 backpressure <manifest.json> [--rounds 50000] [--v 50000] [--gain 0.01]\n\
      \x20     run the back-pressure baseline\n\
      \x20 dot <manifest.json> [--extended]\n\
@@ -239,13 +240,20 @@ fn solve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 fn gradient(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let problem = load(args)?;
     let iters = args.opt("iters", 5000usize)?;
+    let tol = args.opt("tol", 0.0f64)?;
     let config = GradientConfig {
         eta: args.opt("eta", GradientConfig::default().eta)?,
         epsilon: args.opt("epsilon", GradientConfig::default().epsilon)?,
         ..GradientConfig::default()
     };
     let mut alg = GradientAlgorithm::new(&problem, config)?;
-    let report = alg.run(iters);
+    let report = if tol > 0.0 {
+        let outcome = alg.run_until_stable(tol, iters);
+        writeln!(out, "converged\t{}", outcome.converged)?;
+        alg.report()
+    } else {
+        alg.run(iters)
+    };
     writeln!(out, "iterations\t{}", report.iterations)?;
     writeln!(out, "utility\t{:.6}", report.utility)?;
     writeln!(out, "max_utilization\t{:.4}", report.max_utilization)?;
@@ -487,6 +495,48 @@ mod tests {
         .unwrap();
         assert!(out.contains("iterations\t200"));
         assert!(out.contains("utility\t"));
+        // Without --tol there is no convergence report.
+        assert!(!out.contains("converged"));
+    }
+
+    #[test]
+    fn gradient_with_tol_stops_early_and_reports_convergence() {
+        let path = temp_manifest(14, 7);
+        let out = run_tokens(&[
+            "gradient",
+            path.to_str().unwrap(),
+            "--iters",
+            "20000",
+            "--eta",
+            "0.3",
+            "--tol",
+            "1e-10",
+        ])
+        .unwrap();
+        assert!(out.contains("converged\ttrue"), "output: {out}");
+        let iters: usize = out
+            .lines()
+            .find_map(|l| l.strip_prefix("iterations\t"))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(iters < 20_000, "tolerance never met: {iters}");
+    }
+
+    #[test]
+    fn gradient_with_unreachable_tol_reports_cap_exhaustion() {
+        let path = temp_manifest(14, 7);
+        let out = run_tokens(&[
+            "gradient",
+            path.to_str().unwrap(),
+            "--iters",
+            "25",
+            "--tol",
+            "1e-300",
+        ])
+        .unwrap();
+        assert!(out.contains("converged\tfalse"), "output: {out}");
+        assert!(out.contains("iterations\t25"));
     }
 
     #[test]

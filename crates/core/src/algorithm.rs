@@ -32,9 +32,9 @@ use crate::routing::RoutingTable;
 use crate::step::{fused_step, fused_step_sparse, sparse_step_serial};
 use crate::workspace::IterationWorkspace;
 use spn_graph::NodeId;
-use spn_model::{Penalty, Problem};
+use spn_model::{CommodityId, Penalty, Problem};
 use spn_transform::view::{physical_loads, PhysicalLoads};
-use spn_transform::ExtendedNetwork;
+use spn_transform::{CommodityDef, ExtendedNetwork};
 use std::fmt;
 
 /// Tunables of the gradient algorithm.
@@ -180,6 +180,19 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Outcome of [`GradientAlgorithm::run_until_stable`]: how many
+/// iterations the call performed and whether it actually met the shift
+/// tolerance (previously "converged on the last allowed step" and "hit
+/// the iteration cap" were indistinguishable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StableOutcome {
+    /// Iterations performed by this call.
+    pub iterations: usize,
+    /// `true` if the per-step total routing shift dropped below the
+    /// tolerance; `false` if the iteration cap stopped the run first.
+    pub converged: bool,
+}
+
 /// Statistics of one iteration.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct StepStats {
@@ -268,6 +281,12 @@ pub struct GradientAlgorithm {
     /// Persistent worker pool (`Some` iff the resolved thread count is
     /// above 1): spawned once, parked between steps, joined on drop.
     pool: Option<WorkerPool>,
+    /// Commodity-set epoch: bumped by every
+    /// [`admit_commodity`](GradientAlgorithm::admit_commodity) /
+    /// [`evict_commodity`](GradientAlgorithm::evict_commodity) reshape
+    /// so checkpoints taken against a different commodity set are
+    /// rejected structurally on restore.
+    epoch: u64,
 }
 
 impl Clone for GradientAlgorithm {
@@ -290,6 +309,7 @@ impl Clone for GradientAlgorithm {
                 .pool
                 .as_ref()
                 .map(|p| WorkerPool::new(p.participants())),
+            epoch: self.epoch,
         }
     }
 }
@@ -362,6 +382,7 @@ impl GradientAlgorithm {
             tags,
             active: ActiveSet::default(),
             pool,
+            epoch: 0,
         })
     }
 
@@ -492,16 +513,29 @@ impl GradientAlgorithm {
     }
 
     /// Runs until the per-step total routing shift drops below
-    /// `shift_tolerance` or `max_iterations` is hit; returns the number
-    /// of iterations performed by this call.
-    pub fn run_until_stable(&mut self, shift_tolerance: f64, max_iterations: usize) -> usize {
+    /// `shift_tolerance` or `max_iterations` is hit. The returned
+    /// [`StableOutcome`] says how many iterations this call performed
+    /// *and* whether the tolerance was actually met — previously the
+    /// bare count made "converged on the final allowed step" and "gave
+    /// up at the cap" indistinguishable.
+    pub fn run_until_stable(
+        &mut self,
+        shift_tolerance: f64,
+        max_iterations: usize,
+    ) -> StableOutcome {
         for done in 0..max_iterations {
             let stats = self.step();
             if stats.gamma.total_shift < shift_tolerance {
-                return done + 1;
+                return StableOutcome {
+                    iterations: done + 1,
+                    converged: true,
+                };
             }
         }
-        max_iterations
+        StableOutcome {
+            iterations: max_iterations,
+            converged: false,
+        }
     }
 
     /// Current total utility `Σ_j U_j(a_j)` — the scalar the watchdog
@@ -548,6 +582,7 @@ impl GradientAlgorithm {
         into.iterations = self.iterations;
         into.epsilon = self.cost.epsilon;
         into.eta = self.config.eta;
+        into.epoch = self.epoch;
         into.captured = true;
     }
 
@@ -562,11 +597,20 @@ impl GradientAlgorithm {
     /// # Errors
     ///
     /// [`CoreError::EmptyCheckpoint`] if `ck` never captured state;
+    /// [`CoreError::EpochMismatch`] if the commodity set was reshaped
+    /// (admit/evict) since the capture — even when the buffer sizes
+    /// happen to agree, the row layouts describe different commodities;
     /// [`CoreError::ShapeMismatch`] if it was captured from a
     /// differently-shaped instance. The algorithm is unchanged on error.
     pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), CoreError> {
         if !ck.captured {
             return Err(CoreError::EmptyCheckpoint);
+        }
+        if ck.epoch != self.epoch {
+            return Err(CoreError::EpochMismatch {
+                expected: self.epoch,
+                got: ck.epoch,
+            });
         }
         let check = |what: &'static str, expected: usize, got: usize| {
             if expected == got {
@@ -768,6 +812,104 @@ impl GradientAlgorithm {
             self.pool.as_ref(),
         );
     }
+
+    /// The commodity-set epoch: starts at 0 and is bumped by every
+    /// [`admit_commodity`](GradientAlgorithm::admit_commodity) /
+    /// [`evict_commodity`](GradientAlgorithm::evict_commodity) reshape.
+    /// Checkpoints record the epoch at capture, and
+    /// [`restore`](GradientAlgorithm::restore) rejects a capture from a
+    /// different epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Admits a new commodity online: extends the shared extended
+    /// network in place ([`ExtendedNetwork::add_commodity`]) and
+    /// restrides every state buffer, without rebuilding the physical or
+    /// bandwidth layers. Survivors keep their routing fractions, flows,
+    /// and marginals bit-for-bit (pinned by tests): the newcomer starts
+    /// fully rejecting, and its only load — its own dummy node and
+    /// difference edge — lies outside every survivor's subgraph, so
+    /// recomputation reproduces the survivors' values exactly. Bumps
+    /// the commodity-set epoch, invalidating earlier checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `def` is invalid (see
+    /// [`ExtendedNetwork::add_commodity`]).
+    pub fn admit_commodity(&mut self, def: CommodityDef) -> CommodityId {
+        let j = self.ext.add_commodity(def);
+        self.routing.admit(&self.ext, j);
+        self.reshape_state();
+        // The newcomer needs a consistent marginal view before its
+        // first step; survivors' marginals recompute bit-identically
+        // (their flows and the shared usage totals they see are
+        // unchanged — the newcomer's load sits on its private dummy
+        // node and difference edge).
+        compute_marginals_into(
+            &self.ext,
+            &self.cost,
+            &self.routing,
+            &self.state,
+            &mut self.marginals,
+            self.pool.as_ref(),
+        );
+        j
+    }
+
+    /// Evicts a live commodity online: removes its dummy source, input
+    /// and difference edges, and per-commodity rows from the shared
+    /// extended network ([`ExtendedNetwork::remove_commodity`]) and
+    /// restrides every state buffer. Survivors keep their routing
+    /// fractions and marginals bit-for-bit (pinned by tests); flows are
+    /// recomputed because the departed commodity's contribution leaves
+    /// the shared usage totals. Later commodities shift down one id,
+    /// mirroring the extended network's renumbering. Bumps the
+    /// commodity-set epoch, invalidating earlier checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range or is the last remaining commodity
+    /// (an empty commodity set has no meaningful iteration).
+    pub fn evict_commodity(&mut self, j: CommodityId) {
+        let j_count = self.ext.num_commodities();
+        assert!(j.index() < j_count, "commodity {j} is not in the network");
+        assert!(j_count > 1, "cannot evict the last commodity");
+        let jr = j.index();
+        let d = self.ext.dummy_source(j).index();
+        let er0 = self.ext.input_edge(j).index();
+        self.ext.remove_commodity(j);
+        self.routing.evict(jr, er0);
+        self.marginals.evict(jr, d);
+        self.reshape_state();
+    }
+
+    /// Shared tail of a commodity-set reshape: re-resolves the worker
+    /// count (auto mode caps at the commodity count), resizes the
+    /// workspace, recomputes flows for the new commodity set (survivor
+    /// rows reproduce bit-for-bit; the totals reduce in ascending
+    /// commodity order as always), clears blocking tags, forces one
+    /// dense iteration, and bumps the epoch.
+    fn reshape_state(&mut self) {
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let resolved = resolve_threads(self.config.threads, available, self.ext.num_commodities());
+        if resolved != self.threads {
+            self.threads = resolved;
+            self.pool = (resolved > 1).then(|| WorkerPool::new(resolved));
+        }
+        self.workspace.ensure_workers(&self.ext, self.threads);
+        compute_flows_into(
+            &self.ext,
+            &self.routing,
+            &mut self.state,
+            &mut self.workspace,
+            self.pool.as_ref(),
+        );
+        self.tags.reset(&self.ext);
+        self.active.invalidate();
+        self.epoch += 1;
+    }
 }
 
 #[cfg(test)]
@@ -902,10 +1044,27 @@ mod tests {
             ..GradientConfig::default()
         };
         let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
-        let used = alg.run_until_stable(1e-10, 20_000);
-        assert!(used < 20_000, "did not stabilize");
+        let outcome = alg.run_until_stable(1e-10, 20_000);
+        assert!(outcome.converged, "did not stabilize");
+        assert!(outcome.iterations < 20_000);
+        assert_eq!(alg.iterations(), outcome.iterations);
         let r = alg.report();
         assert!(r.admitted[0] > 3.0);
+    }
+
+    #[test]
+    fn run_until_stable_reports_cap_exhaustion() {
+        let p = bottleneck_problem();
+        let mut alg = GradientAlgorithm::new(&p, GradientConfig::default()).unwrap();
+        // A tolerance of zero can never be met (shifts are >= 0).
+        let outcome = alg.run_until_stable(0.0, 7);
+        assert_eq!(
+            outcome,
+            StableOutcome {
+                iterations: 7,
+                converged: false
+            }
+        );
     }
 
     #[test]
@@ -1018,5 +1177,175 @@ mod tests {
         alg.install_routing(fresh);
         let r = alg.report();
         assert_eq!(r.admitted, vec![0.0]);
+    }
+
+    fn random_three() -> Problem {
+        spn_model::random::RandomInstance::builder()
+            .nodes(15)
+            .commodities(3)
+            .seed(11)
+            .build()
+            .unwrap()
+            .problem
+    }
+
+    /// Routing fraction bits for commodity `j` over the first `l_count`
+    /// edge ids.
+    fn phi_bits(alg: &GradientAlgorithm, j: usize, l_count: usize) -> Vec<u64> {
+        let j = CommodityId::from_index(j);
+        (0..l_count)
+            .map(|l| {
+                alg.routing()
+                    .fraction(j, spn_graph::EdgeId::from_index(l))
+                    .to_bits()
+            })
+            .collect()
+    }
+
+    /// (traffic, marginal) bits for commodity `j` over the first
+    /// `v_count` node ids.
+    fn node_bits(alg: &GradientAlgorithm, j: usize, v_count: usize) -> Vec<(u64, u64)> {
+        let j = CommodityId::from_index(j);
+        (0..v_count)
+            .map(|v| {
+                let v = NodeId::from_index(v);
+                (
+                    alg.flows().traffic(j, v).to_bits(),
+                    alg.marginals().node(j, v).to_bits(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn admit_preserves_survivors_bitwise() {
+        let p = random_three();
+        let cfg = GradientConfig {
+            eta: 0.2,
+            ..GradientConfig::default()
+        };
+        let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
+        alg.run(150);
+        let old_l = alg.extended().graph().edge_count();
+        let old_v = alg.extended().graph().node_count();
+        let phi_before: Vec<_> = (0..3).map(|j| phi_bits(&alg, j, old_l)).collect();
+        let nodes_before: Vec<_> = (0..3).map(|j| node_bits(&alg, j, old_v)).collect();
+        // Admit a twin of commodity 0 (same endpoints, rate, subgraph).
+        let def = alg.extended().commodity_def(CommodityId::from_index(0));
+        let j_new = alg.admit_commodity(def);
+        assert_eq!(j_new.index(), 3);
+        assert_eq!(alg.epoch(), 1);
+        assert_eq!(alg.extended().num_commodities(), 4);
+        for j in 0..3 {
+            assert_eq!(phi_bits(&alg, j, old_l), phi_before[j], "phi moved for {j}");
+            assert_eq!(
+                node_bits(&alg, j, old_v),
+                nodes_before[j],
+                "flows/marginals moved for {j}"
+            );
+        }
+        // The newcomer starts fully rejecting, like a fresh build would.
+        assert_eq!(alg.flows().admitted(alg.extended(), j_new), 0.0);
+        // And iteration proceeds from the reshaped state.
+        alg.step();
+        assert!(alg.utility().is_finite());
+    }
+
+    #[test]
+    fn evict_preserves_survivors_bitwise() {
+        let p = random_three();
+        let cfg = GradientConfig {
+            eta: 0.2,
+            ..GradientConfig::default()
+        };
+        let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
+        alg.run(150);
+        let old_l = alg.extended().graph().edge_count();
+        let old_v = alg.extended().graph().node_count();
+        let victim = CommodityId::from_index(1);
+        let d = alg.extended().dummy_source(victim).index();
+        let er0 = alg.extended().input_edge(victim).index();
+        let phi_before: Vec<_> = [0, 2].map(|j| phi_bits(&alg, j, old_l)).into();
+        let nodes_before: Vec<_> = [0, 2].map(|j| node_bits(&alg, j, old_v)).into();
+        alg.evict_commodity(victim);
+        assert_eq!(alg.epoch(), 1);
+        assert_eq!(alg.extended().num_commodities(), 2);
+        for (new_j, old_row) in phi_before.iter().enumerate() {
+            let after = phi_bits(&alg, new_j, old_l - 2);
+            for (old_e, &bits) in old_row.iter().enumerate() {
+                if old_e == er0 || old_e == er0 + 1 {
+                    continue; // the victim's dummy links are gone
+                }
+                let new_e = if old_e > er0 + 1 { old_e - 2 } else { old_e };
+                assert_eq!(after[new_e], bits, "phi moved at edge {old_e}");
+            }
+        }
+        for (new_j, old_row) in nodes_before.iter().enumerate() {
+            let after = node_bits(&alg, new_j, old_v - 1);
+            for (old_v_id, &(_, marg)) in old_row.iter().enumerate() {
+                if old_v_id == d {
+                    continue; // the victim's dummy source is gone
+                }
+                let new_v = if old_v_id > d { old_v_id - 1 } else { old_v_id };
+                // Marginals are preserved verbatim (not recomputed);
+                // traffic rows recompute bit-identically but the test
+                // pins only the preserved quantity here — flows are
+                // covered by the integration suite.
+                assert_eq!(after[new_v].1, marg, "marginal moved at node {old_v_id}");
+                assert_eq!(
+                    after[new_v].0, old_row[old_v_id].0,
+                    "traffic moved at node {old_v_id}"
+                );
+            }
+        }
+        alg.step();
+        assert!(alg.utility().is_finite());
+    }
+
+    #[test]
+    fn evicting_the_last_commodity_panics() {
+        let p = bottleneck_problem();
+        let mut alg = GradientAlgorithm::new(&p, GradientConfig::default()).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            alg.evict_commodity(CommodityId::from_index(0));
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| err.downcast_ref::<String>().map(String::as_str))
+            .unwrap();
+        assert!(msg.contains("last commodity"), "unexpected panic: {msg}");
+    }
+
+    #[test]
+    fn restore_across_reshape_is_rejected() {
+        let p = random_three();
+        let mut alg = GradientAlgorithm::new(&p, GradientConfig::default()).unwrap();
+        alg.run(40);
+        let ck = alg.checkpoint();
+        let def = alg.extended().commodity_def(CommodityId::from_index(2));
+        alg.evict_commodity(CommodityId::from_index(2));
+        assert_eq!(
+            alg.restore(&ck),
+            Err(CoreError::EpochMismatch {
+                expected: 1,
+                got: 0
+            })
+        );
+        // Re-admitting the same commodity does not resurrect the epoch:
+        // the buffer sizes match again, but the capture is still stale.
+        alg.admit_commodity(def);
+        assert!(matches!(
+            alg.restore(&ck),
+            Err(CoreError::EpochMismatch {
+                expected: 2,
+                got: 0
+            })
+        ));
+        // A capture at the current epoch round-trips as usual.
+        let ck2 = alg.checkpoint();
+        alg.step();
+        assert!(alg.restore(&ck2).is_ok());
     }
 }

@@ -48,6 +48,11 @@ pub struct Checkpoint {
     /// `config.eta` at capture time (watchdog backoff mutates the live
     /// value).
     pub(crate) eta: f64,
+    /// Commodity-set epoch at capture time. Online admission/eviction
+    /// bumps the algorithm's epoch, so a restore across a reshape is
+    /// rejected structurally instead of silently mixing row layouts
+    /// that happen to share a byte size.
+    pub(crate) epoch: u64,
     /// Whether a capture has been taken (restoring a default-constructed
     /// checkpoint is an error, not a silent zero-fill).
     pub(crate) captured: bool,

@@ -125,6 +125,15 @@ pub enum CoreError {
     /// [`restore`](crate::GradientAlgorithm::restore) was called with a
     /// checkpoint that never captured state.
     EmptyCheckpoint,
+    /// A checkpoint was captured under a different commodity set: an
+    /// online admission or eviction reshaped the state since (or
+    /// before) the capture, so the snapshot cannot be replayed.
+    EpochMismatch {
+        /// The algorithm's current commodity-set epoch.
+        expected: u64,
+        /// The epoch the checkpoint was captured under.
+        got: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -168,6 +177,10 @@ impl fmt::Display for CoreError {
                 "checkpoint shape mismatch in {what}: expected {expected} entries, got {got}"
             ),
             CoreError::EmptyCheckpoint => f.write_str("checkpoint holds no captured state"),
+            CoreError::EpochMismatch { expected, got } => write!(
+                f,
+                "checkpoint epoch mismatch: algorithm at commodity-set epoch {expected}, capture at {got}"
+            ),
         }
     }
 }

@@ -55,7 +55,9 @@ pub mod routing;
 mod step;
 pub mod workspace;
 
-pub use algorithm::{ConfigError, GradientAlgorithm, GradientConfig, Report, StepStats};
+pub use algorithm::{
+    ConfigError, GradientAlgorithm, GradientConfig, Report, StableOutcome, StepStats,
+};
 pub use checkpoint::Checkpoint;
 pub use cost::CostModel;
 pub use flows::FlowState;
@@ -66,4 +68,5 @@ pub use marginals::Marginals;
 pub use newton::NewtonGradient;
 pub use pool::WorkerPool;
 pub use routing::RoutingTable;
+pub use spn_transform::CommodityDef;
 pub use workspace::IterationWorkspace;

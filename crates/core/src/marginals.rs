@@ -73,6 +73,40 @@ impl Marginals {
         self.d.resize(ext.num_commodities() * self.v_count, 0.0);
     }
 
+    /// Restrides after commodity row `jr` and its dummy source (node
+    /// column `d`) left the network: drops that row and column while
+    /// preserving every survivor's values bit-for-bit. Survivors are
+    /// deliberately *not* recomputed — an eviction changes the shared
+    /// usage totals, and the next iteration refreshes marginals from
+    /// the new flows anyway; until then the pre-reshape values remain
+    /// visible unchanged. The dropped column holds zeros for survivors
+    /// (a foreign dummy is outside their subgraphs).
+    pub(crate) fn evict(&mut self, jr: usize, d: usize) {
+        let old_v = self.v_count;
+        let old_rows = self.d.len() / old_v;
+        debug_assert!(jr < old_rows && d < old_v);
+        let mut w = 0;
+        for ji in 0..old_rows {
+            if ji == jr {
+                continue;
+            }
+            for vi in 0..old_v {
+                if vi == d {
+                    debug_assert_eq!(
+                        self.d[ji * old_v + vi],
+                        0.0,
+                        "survivor marginal nonzero at a foreign dummy"
+                    );
+                    continue;
+                }
+                self.d[w] = self.d[ji * old_v + vi];
+                w += 1;
+            }
+        }
+        self.d.truncate(w);
+        self.v_count = old_v - 1;
+    }
+
     /// `∂A/∂r_v(j)`.
     #[must_use]
     pub fn node(&self, j: CommodityId, v: NodeId) -> f64 {

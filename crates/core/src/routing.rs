@@ -45,27 +45,64 @@ impl RoutingTable {
         let l_count = ext.graph().edge_count();
         let mut phi = vec![0.0; ext.num_commodities() * l_count];
         for j in ext.commodity_ids() {
-            let row = &mut phi[j.index() * l_count..(j.index() + 1) * l_count];
-            let sink = ext.commodity(j).sink();
-            let hops = hops_to(ext.graph(), sink, |l| ext.in_commodity(j, l));
-            for v in ext.graph().nodes() {
-                if v == sink {
-                    continue;
-                }
-                if v == ext.dummy_source(j) {
-                    row[ext.difference_edge(j).index()] = 1.0;
-                    continue;
-                }
-                // Route everything along the hop-shortest out-edge.
-                let best = ext
-                    .commodity_out_edges(j, v)
-                    .min_by_key(|&l| hops[ext.graph().target(l).index()].unwrap_or(usize::MAX));
-                if let Some(l) = best {
-                    row[l.index()] = 1.0;
-                }
-            }
+            seed_initial_row(
+                &mut phi[j.index() * l_count..(j.index() + 1) * l_count],
+                ext,
+                j,
+            );
         }
         RoutingTable { phi, l_count }
+    }
+
+    /// Restrides the table for a commodity just appended to `ext`:
+    /// survivors' rows are copied bit-for-bit into the wider stride
+    /// (their fractions on the new dummy links stay zero — foreign
+    /// edges), and the newcomer's row is seeded exactly as
+    /// [`RoutingTable::initial`] would seed it on a fresh build.
+    pub(crate) fn admit(&mut self, ext: &ExtendedNetwork, j: CommodityId) {
+        let new_l = ext.graph().edge_count();
+        let old_l = self.l_count;
+        let survivors = j.index();
+        debug_assert_eq!(ext.num_commodities(), survivors + 1);
+        debug_assert_eq!(self.phi.len(), survivors * old_l);
+        let mut phi = vec![0.0; (survivors + 1) * new_l];
+        for ji in 0..survivors {
+            phi[ji * new_l..ji * new_l + old_l]
+                .copy_from_slice(&self.phi[ji * old_l..(ji + 1) * old_l]);
+        }
+        seed_initial_row(&mut phi[survivors * new_l..], ext, j);
+        self.phi = phi;
+        self.l_count = new_l;
+    }
+
+    /// Restrides the table after commodity row `jr` was removed and the
+    /// two dummy-link columns at `er0`/`er0 + 1` excised. Survivors'
+    /// fractions are preserved bit-for-bit (the excised columns are
+    /// foreign to them and hold zeros); rows after `jr` shift down one.
+    pub(crate) fn evict(&mut self, jr: usize, er0: usize) {
+        let old_l = self.l_count;
+        let old_rows = self.phi.len() / old_l;
+        debug_assert!(jr < old_rows && er0 + 1 < old_l);
+        let mut w = 0;
+        for ji in 0..old_rows {
+            if ji == jr {
+                continue;
+            }
+            for li in 0..old_l {
+                if li == er0 || li == er0 + 1 {
+                    debug_assert_eq!(
+                        self.phi[ji * old_l + li],
+                        0.0,
+                        "survivor held mass on a departed dummy link"
+                    );
+                    continue;
+                }
+                self.phi[w] = self.phi[ji * old_l + li];
+                w += 1;
+            }
+        }
+        self.phi.truncate(w);
+        self.l_count = old_l - 2;
     }
 
     /// The fraction `φ_ik(j)` on extended edge `l`.
@@ -184,6 +221,32 @@ impl RoutingTable {
     #[must_use]
     pub fn admitted_fraction(&self, ext: &ExtendedNetwork, j: CommodityId) -> f64 {
         self.fraction(j, ext.input_edge(j))
+    }
+}
+
+/// Seeds one commodity's initial decision (fully rejecting, interior
+/// nodes pre-routed along shortest-hop paths) into a zeroed `row` —
+/// the per-commodity body of [`RoutingTable::initial`], shared with the
+/// online-admission restride so a newcomer starts bit-identically to a
+/// fresh build.
+fn seed_initial_row(row: &mut [f64], ext: &ExtendedNetwork, j: CommodityId) {
+    let sink = ext.commodity(j).sink();
+    let hops = hops_to(ext.graph(), sink, |l| ext.in_commodity(j, l));
+    for v in ext.graph().nodes() {
+        if v == sink {
+            continue;
+        }
+        if v == ext.dummy_source(j) {
+            row[ext.difference_edge(j).index()] = 1.0;
+            continue;
+        }
+        // Route everything along the hop-shortest out-edge.
+        let best = ext
+            .commodity_out_edges(j, v)
+            .min_by_key(|&l| hops[ext.graph().target(l).index()].unwrap_or(usize::MAX));
+        if let Some(l) = best {
+            row[l.index()] = 1.0;
+        }
     }
 }
 

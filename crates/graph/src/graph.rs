@@ -83,11 +83,12 @@ impl fmt::Display for EdgeId {
 
 /// A directed multigraph with dense node and edge ids.
 ///
-/// Nodes and edges can only be added, never removed; "removal" in the
+/// Nodes and edges are added at the tail and can only be removed from
+/// the tail (see [`DiGraph::truncate`]); interior "removal" in the
 /// higher layers is expressed by filtering predicates (see
-/// [`crate::topo::topological_order_filtered`]) so that ids stay stable —
-/// a property the distributed protocols rely on when exchanging node
-/// references in messages.
+/// [`crate::topo::topological_order_filtered`]) so that surviving ids
+/// stay stable — a property the distributed protocols rely on when
+/// exchanging node references in messages.
 ///
 /// Parallel edges between the same node pair are allowed (the extended
 /// graph of the paper never produces them, but per-commodity overlays
@@ -149,6 +150,50 @@ impl DiGraph {
         self.out_adj[src.index()].push(id);
         self.in_adj[dst.index()].push(id);
         id
+    }
+
+    /// Shrinks the graph to its first `node_count` nodes and first
+    /// `edge_count` edges, as if the later additions had never happened.
+    ///
+    /// Truncated edges are removed from the adjacency lists of any
+    /// surviving endpoints, so interleaving `truncate` with fresh
+    /// `add_node`/`add_edge` calls reproduces exactly the graph a
+    /// from-scratch build of the same sequence would produce. Surviving
+    /// ids are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count exceeds the current size, or if a
+    /// surviving edge references a truncated node.
+    pub fn truncate(&mut self, node_count: usize, edge_count: usize) {
+        assert!(
+            node_count <= self.node_count(),
+            "cannot truncate {} nodes up to {node_count}",
+            self.node_count()
+        );
+        assert!(
+            edge_count <= self.edge_count(),
+            "cannot truncate {} edges up to {edge_count}",
+            self.edge_count()
+        );
+        for (s, t) in &self.edges[..edge_count] {
+            assert!(
+                s.index() < node_count && t.index() < node_count,
+                "surviving edge ({s}, {t}) references a truncated node"
+            );
+        }
+        for id in edge_count..self.edges.len() {
+            let (s, t) = self.edges[id];
+            if s.index() < node_count {
+                self.out_adj[s.index()].retain(|&e| e.index() != id);
+            }
+            if t.index() < node_count {
+                self.in_adj[t.index()].retain(|&e| e.index() != id);
+            }
+        }
+        self.edges.truncate(edge_count);
+        self.out_adj.truncate(node_count);
+        self.in_adj.truncate(node_count);
     }
 
     /// Number of nodes.
@@ -382,6 +427,55 @@ mod tests {
         assert!(!format!("{g:?}").is_empty());
         assert_eq!(format!("{}", NodeId::from_index(3)), "n3");
         assert_eq!(format!("{:?}", EdgeId::from_index(5)), "e5");
+    }
+
+    #[test]
+    fn truncate_drops_tail_and_cleans_adjacency() {
+        let (mut g, n) = diamond();
+        // dummy-source-style tail: a new node wired into survivors
+        let d = g.add_node();
+        g.add_edge(d, n[0]);
+        g.add_edge(d, n[3]);
+        assert_eq!(g.in_degree(n[0]), 1);
+        assert_eq!(g.in_degree(n[3]), 3);
+        g.truncate(4, 4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.in_degree(n[0]), 0);
+        assert_eq!(g.in_degree(n[3]), 2);
+        for e in g.edges() {
+            let (s, t) = g.endpoints(e);
+            assert!(g.out_edges(s).contains(&e));
+            assert!(g.in_edges(t).contains(&e));
+        }
+    }
+
+    #[test]
+    fn truncate_then_readd_matches_fresh_ids() {
+        let (mut g, n) = diamond();
+        let d1 = g.add_node();
+        g.add_edge(d1, n[0]);
+        g.truncate(4, 4);
+        let d2 = g.add_node();
+        assert_eq!(d2, d1);
+        let e = g.add_edge(d2, n[1]);
+        assert_eq!(e.index(), 4);
+        assert_eq!(g.predecessors(n[1]).collect::<Vec<_>>(), vec![n[0], d2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references a truncated node")]
+    fn truncate_rejects_dangling_survivor() {
+        let (mut g, _) = diamond();
+        // edge 3 is n2 -> n3; keeping it while dropping n3 must panic
+        g.truncate(3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn truncate_rejects_growth() {
+        let (mut g, _) = diamond();
+        g.truncate(9, 4);
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct ProblemBuilder {
     gain_entries: Vec<GainEntry>,
 }
 
+/// Shared rejection text for construction-time budgets, so the
+/// panicking and `try_` constructors fail with identical wording.
+fn budget_message(what: &str, value: f64) -> String {
+    format!("{what} must be positive and finite: {value}")
+}
+
 impl ProblemBuilder {
     /// Creates an empty builder.
     #[must_use]
@@ -60,13 +66,31 @@ impl ProblemBuilder {
     ///
     /// Panics if `capacity` is not finite and positive; budgets are
     /// construction-time constants, so failing fast beats threading a
-    /// `Result` through every call site.
+    /// `Result` through every call site. Programmatic construction (a
+    /// parser, a fuzzer) that would rather report than abort should use
+    /// [`ProblemBuilder::try_server`].
     pub fn server(&mut self, capacity: f64) -> NodeId {
-        let c = Capacity::finite(capacity)
-            .unwrap_or_else(|| panic!("server capacity must be positive and finite: {capacity}"));
+        self.try_server(capacity)
+            .unwrap_or_else(|_| panic!("{}", budget_message("server capacity", capacity)))
+    }
+
+    /// Fallible form of [`ProblemBuilder::server`]: rejects a non-finite
+    /// or non-positive budget with an error instead of a panic, leaving
+    /// the builder untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::BadNodeCapacity`] naming the id the server would
+    /// have received.
+    pub fn try_server(&mut self, capacity: f64) -> Result<NodeId, ModelError> {
+        let Some(c) = Capacity::finite(capacity) else {
+            return Err(ModelError::BadNodeCapacity {
+                node: NodeId::from_index(self.graph.node_count()),
+            });
+        };
         let id = self.graph.add_node();
         self.node_capacity.push(c);
-        id
+        Ok(id)
     }
 
     /// Adds a directed link with the given bandwidth.
@@ -74,13 +98,42 @@ impl ProblemBuilder {
     /// # Panics
     ///
     /// Panics if `bandwidth` is not finite and positive, or if the
-    /// endpoints are invalid (see [`DiGraph::add_edge`]).
+    /// endpoints are invalid (see [`DiGraph::add_edge`]). For an
+    /// error-returning bandwidth check, use
+    /// [`ProblemBuilder::try_link`].
     pub fn link(&mut self, src: NodeId, dst: NodeId, bandwidth: f64) -> EdgeId {
-        let b = Capacity::finite(bandwidth)
-            .unwrap_or_else(|| panic!("link bandwidth must be positive and finite: {bandwidth}"));
+        self.try_link(src, dst, bandwidth)
+            .unwrap_or_else(|_| panic!("{}", budget_message("link bandwidth", bandwidth)))
+    }
+
+    /// Fallible form of [`ProblemBuilder::link`]: rejects a non-finite
+    /// or non-positive bandwidth with an error instead of a panic,
+    /// leaving the builder untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::BadBandwidth`] naming the id the link would have
+    /// received.
+    ///
+    /// # Panics
+    ///
+    /// Invalid endpoints still panic (see [`DiGraph::add_edge`]) — node
+    /// ids come from this builder, so a bad one is a caller bug, not
+    /// input data.
+    pub fn try_link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bandwidth: f64,
+    ) -> Result<EdgeId, ModelError> {
+        let Some(b) = Capacity::finite(bandwidth) else {
+            return Err(ModelError::BadBandwidth {
+                edge: EdgeId::from_index(self.graph.edge_count()),
+            });
+        };
         let id = self.graph.add_edge(src, dst);
         self.edge_bandwidth.push(b);
-        id
+        Ok(id)
     }
 
     /// Declares a commodity entering at `source`, consumed at `sink`,
@@ -239,6 +292,33 @@ mod tests {
         let s = b.server(1.0);
         let t = b.server(1.0);
         b.link(s, t, f64::NAN);
+    }
+
+    #[test]
+    fn try_constructors_report_instead_of_panicking() {
+        let mut b = ProblemBuilder::new();
+        let s = b.try_server(4.0).unwrap();
+        assert_eq!(
+            b.try_server(f64::INFINITY),
+            Err(ModelError::BadNodeCapacity {
+                node: NodeId::from_index(1)
+            })
+        );
+        // The rejected server left no trace.
+        assert_eq!(b.node_count(), 1);
+        let t = b.try_server(4.0).unwrap();
+        assert_eq!(t, NodeId::from_index(1));
+        assert_eq!(
+            b.try_link(s, t, -2.0),
+            Err(ModelError::BadBandwidth {
+                edge: EdgeId::from_index(0)
+            })
+        );
+        assert_eq!(b.edge_count(), 0);
+        let e = b.try_link(s, t, 2.0).unwrap();
+        let j = b.commodity(s, t, 1.0, UtilityFn::throughput());
+        b.uses(j, e, 1.0, 1.0);
+        assert!(b.build().is_ok());
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!   `spn_core`'s watchdog and checkpoint/rollback recovery;
 //! * [`async_updates`] — partial-participation schedules modelling
 //!   asynchronous deployments (experiment E10);
+//! * [`churn`] — seeded online commodity arrival/departure driving
+//!   `spn_core`'s incremental admit/evict reshapes mid-run;
 //! * [`packet`] — discrete-time queued execution of a converged fluid
 //!   solution under bursty arrivals (experiment E14: the fluid model is
 //!   implementable, and penalty headroom buys bounded queues).
@@ -31,6 +33,7 @@
 pub mod async_updates;
 pub mod bp_sim;
 pub mod chaos;
+pub mod churn;
 pub mod failure;
 pub mod gradient_sim;
 pub mod packet;
@@ -41,6 +44,7 @@ pub use bp_sim::BackPressureSim;
 pub use chaos::{
     ChaosConfig, ChaosGradient, ChaosIncident, ChaosStep, FaultPlan, FaultTarget, ScheduledFault,
 };
+pub use churn::{ChurnConfig, ChurnEvent, ChurnProcess, ChurnReport};
 pub use gradient_sim::{GradientSim, IterationStats};
 pub use packet::{PacketConfig, PacketSim};
 pub use waves::WaveOutcome;

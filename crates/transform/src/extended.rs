@@ -2,7 +2,49 @@
 
 use spn_graph::topo::topological_order_filtered;
 use spn_graph::{DiGraph, EdgeId, NodeId};
-use spn_model::{Capacity, Commodity, CommodityId, Problem};
+use spn_model::{Capacity, Commodity, CommodityId, Problem, UtilityFn};
+
+/// Everything needed to admit one commodity into an existing
+/// [`ExtendedNetwork`]: the physical endpoints, offered load, utility,
+/// and the overlay of usable physical edges with their parameters.
+///
+/// Obtained from a validated [`Problem`] via
+/// [`CommodityDef::from_problem`], or recovered from a live network via
+/// [`ExtendedNetwork::commodity_def`] (e.g. to park a departing
+/// commodity and re-admit it later).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommodityDef {
+    /// Physical source node `s_j` where the stream enters.
+    pub source: NodeId,
+    /// Physical sink node consuming the processed stream.
+    pub sink: NodeId,
+    /// Offered load `λ_j`.
+    pub max_rate: f64,
+    /// Concave increasing admission utility `U_j`.
+    pub utility: UtilityFn,
+    /// Usable physical edges as `(edge, cost c^j, shrinkage β^j)`.
+    pub edges: Vec<(EdgeId, f64, f64)>,
+}
+
+impl CommodityDef {
+    /// Extracts commodity `j`'s definition from a validated problem.
+    #[must_use]
+    pub fn from_problem(problem: &Problem, j: CommodityId) -> Self {
+        let c = problem.commodity(j);
+        let edges = problem
+            .graph()
+            .edges()
+            .filter_map(|e| problem.params(j, e).map(|p| (e, p.cost, p.beta)))
+            .collect();
+        CommodityDef {
+            source: c.source(),
+            sink: c.sink(),
+            max_rate: c.max_rate,
+            utility: c.utility,
+            edges,
+        }
+    }
+}
 
 /// What an extended-graph node represents.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -475,13 +517,288 @@ impl ExtendedNetwork {
     /// # Panics
     ///
     /// Panics if `v` is a dummy source (their capacity is structurally
-    /// infinite) or not a node of this network.
+    /// infinite), not a node of this network, or `capacity` is not
+    /// finite and positive (an injected NaN/zero budget would poison
+    /// the barrier term and be misread as divergence downstream).
     pub fn set_capacity(&mut self, v: NodeId, capacity: Capacity) {
+        assert!(
+            v.index() < self.node_kind.len(),
+            "node {v} is not a node of this network"
+        );
+        let value = capacity.value();
+        assert!(
+            value.is_finite() && value > 0.0,
+            "capacity must be finite and positive, got {value}"
+        );
         assert!(
             !matches!(self.node_kind(v), NodeKind::DummySource(_)),
             "dummy sources are unconstrained by construction"
         );
         self.capacity[v.index()] = capacity;
+    }
+
+    /// Recovers the standalone definition of commodity `j` — enough to
+    /// re-admit it later via [`Self::add_commodity`] after a
+    /// [`Self::remove_commodity`].
+    #[must_use]
+    pub fn commodity_def(&self, j: CommodityId) -> CommodityDef {
+        let c = self.commodity(j);
+        let ji = j.index();
+        let edges = (0..self.physical_edges)
+            .filter(|&e| self.in_commodity[ji][2 * e])
+            .map(|e| {
+                (
+                    EdgeId::from_index(e),
+                    self.cost[ji][2 * e],
+                    self.beta[ji][2 * e],
+                )
+            })
+            .collect();
+        CommodityDef {
+            source: c.source(),
+            sink: c.sink(),
+            max_rate: c.max_rate,
+            utility: c.utility,
+            edges,
+        }
+    }
+
+    /// Admits a new commodity online, without rebuilding the shared
+    /// physical/bandwidth layers: appends the dummy source, the dummy
+    /// input/difference links, the per-commodity parameter rows, the
+    /// commodity's topological order and CSR adjacency, and splices the
+    /// new (isolated) dummy node into every existing commodity's
+    /// structures exactly where a from-scratch [`Self::build`] of the
+    /// enlarged commodity set would place it. All existing ids are
+    /// unchanged; the result is indistinguishable from a fresh build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints are not distinct physical nodes, the
+    /// rate or any edge parameter is not finite and positive, an
+    /// overlay edge is not physical, or the commodity's extended
+    /// subgraph would contain a cycle.
+    pub fn add_commodity(&mut self, def: CommodityDef) -> CommodityId {
+        let n = self.physical_nodes;
+        let m = self.physical_edges;
+        assert!(
+            def.source.index() < n,
+            "source {} is not a physical node",
+            def.source
+        );
+        assert!(
+            def.sink.index() < n,
+            "sink {} is not a physical node",
+            def.sink
+        );
+        assert_ne!(def.source, def.sink, "source and sink must differ");
+        assert!(
+            def.max_rate.is_finite() && def.max_rate > 0.0,
+            "max rate must be finite and positive, got {}",
+            def.max_rate
+        );
+
+        let j = CommodityId::from_index(self.commodities.len());
+
+        // Splice the incoming dummy node into the existing commodities'
+        // structures first. In their filtered subgraphs it is an
+        // isolated zero-in-degree node, so Kahn's queue would seed it
+        // last among the initial zero-in-degree nodes (it gets the
+        // highest id) and pop it right after them — i.e. at the index
+        // equal to the count of existing zero-in-degree nodes. The CSR
+        // offsets gain one empty trailing segment.
+        let new_node = NodeId::from_index(self.graph.node_count());
+        for (i, adj) in self.adjacency.iter_mut().enumerate() {
+            let zero_in = adj.in_start.windows(2).filter(|w| w[0] == w[1]).count();
+            self.topo[i].insert(zero_in, new_node);
+            let out_last = *adj.out_start.last().expect("offsets are non-empty");
+            adj.out_start.push(out_last);
+            let in_last = *adj.in_start.last().expect("offsets are non-empty");
+            adj.in_start.push(in_last);
+        }
+
+        let dummy = self.graph.add_node();
+        debug_assert_eq!(dummy, new_node);
+        self.node_kind.push(NodeKind::DummySource(j));
+        self.capacity.push(Capacity::INFINITE);
+        self.dummy_source.push(dummy);
+
+        let input = self.graph.add_edge(dummy, def.source);
+        self.edge_kind.push(EdgeKind::DummyInput(j));
+        self.input_edge.push(input);
+        let diff = self.graph.add_edge(dummy, def.sink);
+        self.edge_kind.push(EdgeKind::DummyDifference(j));
+        self.difference_edge.push(diff);
+
+        let l_count = self.graph.edge_count();
+        for row in &mut self.in_commodity {
+            row.resize(l_count, false);
+        }
+        for row in &mut self.cost {
+            row.resize(l_count, 1.0);
+        }
+        for row in &mut self.beta {
+            row.resize(l_count, 1.0);
+        }
+
+        let mut in_c = vec![false; l_count];
+        let mut cost = vec![1.0; l_count];
+        let mut beta = vec![1.0; l_count];
+        for &(e, c, b) in &def.edges {
+            assert!(e.index() < m, "edge {e} is not a physical edge");
+            assert!(
+                c.is_finite() && c > 0.0,
+                "edge cost must be finite and positive, got {c}"
+            );
+            assert!(
+                b.is_finite() && b > 0.0,
+                "edge beta must be finite and positive, got {b}"
+            );
+            let ingress = 2 * e.index();
+            in_c[ingress] = true;
+            cost[ingress] = c;
+            beta[ingress] = b;
+            in_c[ingress + 1] = true;
+        }
+        in_c[input.index()] = true;
+        in_c[diff.index()] = true;
+
+        let topo = topological_order_filtered(&self.graph, |l| in_c[l.index()])
+            .expect("admitted commodity's extended subgraph must be a DAG");
+        let adj = CommodityAdjacency::build(&self.graph, &in_c, def.sink, &topo);
+        self.in_commodity.push(in_c);
+        self.cost.push(cost);
+        self.beta.push(beta);
+        self.topo.push(topo);
+        self.adjacency.push(adj);
+        self.commodities.push(Commodity::new(
+            def.source,
+            def.sink,
+            def.max_rate,
+            def.utility,
+        ));
+        j
+    }
+
+    /// Removes a commodity online. Later commodities are renumbered
+    /// down by one (ids are dense); their dummy nodes shift down one
+    /// node id and their dummy links down two edge ids, exactly
+    /// matching what a from-scratch [`Self::build`] of the surviving
+    /// commodity set would assign. Physical and bandwidth layers are
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not a commodity of this network.
+    pub fn remove_commodity(&mut self, j: CommodityId) {
+        let jr = j.index();
+        assert!(
+            jr < self.commodities.len(),
+            "{j} is not a commodity of this network"
+        );
+        let n = self.physical_nodes;
+        let m = self.physical_edges;
+        let d = self.dummy_source[jr];
+        let er0 = self.input_edge[jr];
+        let er1 = self.difference_edge[jr];
+        debug_assert_eq!(d.index(), n + m + jr);
+        debug_assert_eq!(er0.index(), 2 * m + 2 * jr);
+        debug_assert_eq!(er1.index(), er0.index() + 1);
+
+        // Drop the graph tail from the departing dummy onward, then
+        // re-append the later commodities' dummies in order — node and
+        // edge additions land on the same ids, and the dummy in-edges
+        // of shared physical sources/sinks arrive in the same commodity
+        // order, as a fresh build of the surviving set.
+        self.graph.truncate(n + m + jr, 2 * m + 2 * jr);
+        self.node_kind.truncate(n + m + jr);
+        self.capacity.truncate(n + m + jr);
+        self.edge_kind.truncate(2 * m + 2 * jr);
+        self.dummy_source.truncate(jr);
+        self.input_edge.truncate(jr);
+        self.difference_edge.truncate(jr);
+        self.commodities.remove(jr);
+
+        for (i, c) in self.commodities.iter().enumerate().skip(jr) {
+            let id = CommodityId::from_index(i);
+            let dummy = self.graph.add_node();
+            self.node_kind.push(NodeKind::DummySource(id));
+            self.capacity.push(Capacity::INFINITE);
+            self.dummy_source.push(dummy);
+            let input = self.graph.add_edge(dummy, c.source());
+            self.edge_kind.push(EdgeKind::DummyInput(id));
+            self.input_edge.push(input);
+            let diff = self.graph.add_edge(dummy, c.sink());
+            self.edge_kind.push(EdgeKind::DummyDifference(id));
+            self.difference_edge.push(diff);
+        }
+
+        // Per-commodity parameter rows: drop row `jr`, then excise the
+        // departed dummy links' two columns (foreign rows hold only
+        // defaults there) so later edge ids shift down in lockstep.
+        self.in_commodity.remove(jr);
+        self.cost.remove(jr);
+        self.beta.remove(jr);
+        let e0 = er0.index();
+        for row in &mut self.in_commodity {
+            debug_assert!(
+                !row[e0] && !row[e0 + 1],
+                "dummy links leaked across commodities"
+            );
+            row.drain(e0..e0 + 2);
+        }
+        for row in &mut self.cost {
+            row.drain(e0..e0 + 2);
+        }
+        for row in &mut self.beta {
+            row.drain(e0..e0 + 2);
+        }
+
+        // Topological orders: the departed dummy was an isolated
+        // zero-in-degree node in every surviving subgraph, so deleting
+        // it and renumbering monotonically reproduces a fresh Kahn run.
+        self.topo.remove(jr);
+        for order in &mut self.topo {
+            order.retain(|&v| v != d);
+            for v in order.iter_mut() {
+                if v.index() > d.index() {
+                    *v = NodeId::from_index(v.index() - 1);
+                }
+            }
+        }
+
+        // CSR adjacency: remove the departed dummy's (empty) offset
+        // slot and renumber surviving node/edge ids.
+        self.adjacency.remove(jr);
+        for adj in &mut self.adjacency {
+            debug_assert_eq!(
+                adj.out_start[d.index()],
+                adj.out_start[d.index() + 1],
+                "departed dummy had foreign out-edges"
+            );
+            adj.out_start.remove(d.index());
+            debug_assert_eq!(
+                adj.in_start[d.index()],
+                adj.in_start[d.index() + 1],
+                "departed dummy had foreign in-edges"
+            );
+            adj.in_start.remove(d.index());
+            for l in adj.out_edges.iter_mut().chain(adj.in_edges.iter_mut()) {
+                debug_assert!(
+                    *l != er0 && *l != er1,
+                    "dummy links leaked across commodities"
+                );
+                if l.index() > er1.index() {
+                    *l = EdgeId::from_index(l.index() - 2);
+                }
+            }
+            for v in adj.routers.iter_mut().chain(adj.routers_topo.iter_mut()) {
+                debug_assert_ne!(*v, d, "departed dummy routed a foreign commodity");
+                if v.index() > d.index() {
+                    *v = NodeId::from_index(v.index() - 1);
+                }
+            }
+        }
     }
 }
 
@@ -707,6 +1024,145 @@ mod tests {
         let pos = |v: NodeId| order.iter().position(|&x| x == v).unwrap();
         assert!(pos(ext.dummy_source(j)) < pos(ext.commodity(j).source()));
         assert!(pos(ext.commodity(j).source()) < pos(ext.commodity(j).sink()));
+    }
+
+    /// Field-by-field equality of two extended networks, including the
+    /// private CSR/topo caches — "indistinguishable from a fresh build".
+    fn assert_same_network(a: &ExtendedNetwork, b: &ExtendedNetwork) {
+        assert_eq!(a.graph.node_count(), b.graph.node_count(), "node count");
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count(), "edge count");
+        for e in a.graph.edges() {
+            assert_eq!(
+                a.graph.endpoints(e),
+                b.graph.endpoints(e),
+                "endpoints of {e}"
+            );
+        }
+        for v in a.graph.nodes() {
+            assert_eq!(
+                a.graph.out_edges(v),
+                b.graph.out_edges(v),
+                "out adjacency of {v}"
+            );
+            assert_eq!(
+                a.graph.in_edges(v),
+                b.graph.in_edges(v),
+                "in adjacency of {v}"
+            );
+        }
+        assert_eq!(a.node_kind, b.node_kind, "node kinds");
+        assert_eq!(a.edge_kind, b.edge_kind, "edge kinds");
+        assert_eq!(a.capacity, b.capacity, "capacities");
+        assert_eq!(a.in_commodity, b.in_commodity, "membership rows");
+        assert_eq!(a.cost, b.cost, "cost rows");
+        assert_eq!(a.beta, b.beta, "beta rows");
+        assert_eq!(a.dummy_source, b.dummy_source, "dummy sources");
+        assert_eq!(a.input_edge, b.input_edge, "input edges");
+        assert_eq!(a.difference_edge, b.difference_edge, "difference edges");
+        assert_eq!(a.commodities, b.commodities, "commodities");
+        assert_eq!(a.topo, b.topo, "topological orders");
+        assert_eq!(a.adjacency.len(), b.adjacency.len(), "adjacency rows");
+        for (ji, (x, y)) in a.adjacency.iter().zip(&b.adjacency).enumerate() {
+            assert_eq!(x.out_edges, y.out_edges, "out_edges of j{ji}");
+            assert_eq!(x.out_start, y.out_start, "out_start of j{ji}");
+            assert_eq!(x.in_edges, y.in_edges, "in_edges of j{ji}");
+            assert_eq!(x.in_start, y.in_start, "in_start of j{ji}");
+            assert_eq!(x.routers, y.routers, "routers of j{ji}");
+            assert_eq!(x.routers_topo, y.routers_topo, "routers_topo of j{ji}");
+            assert_eq!(x.router_arc_total, y.router_arc_total, "arc total of j{ji}");
+        }
+        assert_eq!(a.physical_nodes, b.physical_nodes);
+        assert_eq!(a.physical_edges, b.physical_edges);
+    }
+
+    fn subset_problem(full: &Problem, keep: &[usize]) -> Problem {
+        let mut spec = spn_model::spec::ProblemSpec::from(full);
+        spec.commodities = keep.iter().map(|&i| spec.commodities[i].clone()).collect();
+        spec.into_problem().unwrap()
+    }
+
+    fn four_commodity_problem() -> Problem {
+        RandomInstance::builder()
+            .seed(23)
+            .commodities(4)
+            .build()
+            .unwrap()
+            .problem
+    }
+
+    #[test]
+    fn incremental_add_matches_fresh_build() {
+        let full = four_commodity_problem();
+        // grow 1 → 4 commodities one admission at a time
+        let mut ext = ExtendedNetwork::build(&subset_problem(&full, &[0]));
+        for i in 1..4 {
+            let j = ext.add_commodity(CommodityDef::from_problem(
+                &full,
+                CommodityId::from_index(i),
+            ));
+            assert_eq!(j.index(), i);
+            let keep: Vec<usize> = (0..=i).collect();
+            let fresh = ExtendedNetwork::build(&subset_problem(&full, &keep));
+            assert_same_network(&ext, &fresh);
+        }
+        assert_same_network(&ext, &ExtendedNetwork::build(&full));
+    }
+
+    #[test]
+    fn incremental_remove_matches_fresh_build() {
+        let full = four_commodity_problem();
+        // remove an interior commodity: later ones renumber down
+        let mut ext = ExtendedNetwork::build(&full);
+        ext.remove_commodity(CommodityId::from_index(1));
+        let fresh = ExtendedNetwork::build(&subset_problem(&full, &[0, 2, 3]));
+        assert_same_network(&ext, &fresh);
+        // and the tail commodity
+        ext.remove_commodity(CommodityId::from_index(2));
+        let fresh = ExtendedNetwork::build(&subset_problem(&full, &[0, 2]));
+        assert_same_network(&ext, &fresh);
+    }
+
+    #[test]
+    fn readmitting_a_parked_commodity_round_trips() {
+        let full = four_commodity_problem();
+        let mut ext = ExtendedNetwork::build(&full);
+        let victim = CommodityId::from_index(1);
+        let parked = ext.commodity_def(victim);
+        assert_eq!(
+            parked,
+            CommodityDef::from_problem(&full, victim),
+            "recovered def must match the problem's"
+        );
+        ext.remove_commodity(victim);
+        ext.add_commodity(parked);
+        // fresh build with the parked commodity re-admitted last
+        let fresh = ExtendedNetwork::build(&subset_problem(&full, &[0, 2, 3, 1]));
+        assert_same_network(&ext, &fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be finite and positive")]
+    fn set_capacity_rejects_non_finite_budget() {
+        let p = chain();
+        let mut ext = ExtendedNetwork::build(&p);
+        ext.set_capacity(NodeId::from_index(0), Capacity::INFINITE);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a node of this network")]
+    fn set_capacity_rejects_unknown_node() {
+        let p = chain();
+        let mut ext = ExtendedNetwork::build(&p);
+        ext.set_capacity(NodeId::from_index(999), Capacity::finite(1.0).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "dummy sources are unconstrained")]
+    fn set_capacity_rejects_dummy_source() {
+        let p = chain();
+        let mut ext = ExtendedNetwork::build(&p);
+        let dummy = ext.dummy_source(CommodityId::from_index(0));
+        ext.set_capacity(dummy, Capacity::finite(1.0).unwrap());
     }
 
     #[test]

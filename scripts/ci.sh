@@ -11,7 +11,15 @@
 #    under message loss + staleness + two transient node failures that
 #    fails if any NaN escapes into iteration state, if an injected fault
 #    is not reported through the incident log, or if utility does not
-#    recover to >=95% of the noise-only equilibrium.
+#    recover to >=95% of the noise-only equilibrium;
+#  * churn_soak --smoke is the seed-fixed admission-churn soak — 500
+#    iterations with commodity arrivals/departures reshaping the live
+#    run every 10 iterations, dense and sparse engines in lockstep;
+#    fails if utility goes non-finite, the engines' event logs diverge,
+#    or any checkpoint-period utility / final routing table differs in
+#    a single bit. bench_core --smoke additionally gates the admission
+#    path: incremental admit at 400 nodes must reach 99% of settled
+#    utility at least 1.2x faster than a from-scratch rebuild.
 # Run from anywhere; always operates on the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,3 +31,4 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
 cargo run --release -q -p spn-bench --bin bench_core -- --smoke
 cargo run --release -q -p spn-bench --bin chaos_recovery -- --smoke
+cargo run --release -q -p spn-bench --bin churn_soak -- --smoke

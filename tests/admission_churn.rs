@@ -1,0 +1,388 @@
+//! ARCHITECTURE invariant 16: online commodity admission and eviction
+//! reshape a live [`GradientAlgorithm`] **incrementally** — the shared
+//! physical and bandwidth layers are never rebuilt — and the reshape is
+//! exact:
+//!
+//! * a zero-step incremental admit (resp. evict) is **bit-identical**
+//!   to a fresh build of the enlarged (resp. reduced) problem, and the
+//!   two trajectories stay glued through subsequent iteration;
+//! * a warm reshape preserves every survivor's routing fractions,
+//!   traffic, and marginals down to the last ulp;
+//! * checkpoints are epoch-fenced: a capture taken before a reshape can
+//!   never be restored after one, even when a later reshape makes the
+//!   shapes line up again ([`CoreError::EpochMismatch`]);
+//! * the dense and sparse engines agree bitwise through arbitrary
+//!   seeded churn (arrivals and departures interleaved with steps).
+
+use spn::core::{CommodityDef, CoreError, GradientAlgorithm, GradientConfig};
+use spn::model::random::RandomInstance;
+use spn::model::spec::ProblemSpec;
+use spn::model::{CommodityId, Problem};
+use spn::sim::{ChurnConfig, ChurnProcess};
+use spn::transform::ExtendedNetwork;
+
+/// A 30-node, 5-commodity instance shared by the equivalence tests.
+fn five_commodity_problem() -> Problem {
+    RandomInstance::builder()
+        .nodes(30)
+        .commodities(5)
+        .seed(31)
+        .build()
+        .unwrap()
+        .problem
+}
+
+/// The same problem restricted to a subset of its commodities.
+fn subset(problem: &Problem, keep: &[usize]) -> Problem {
+    let mut spec = ProblemSpec::from(problem);
+    spec.commodities = keep.iter().map(|&i| spec.commodities[i].clone()).collect();
+    spec.into_problem().unwrap()
+}
+
+fn config(sparsity: bool, threads: usize) -> GradientConfig {
+    GradientConfig {
+        threads,
+        sparsity,
+        ..GradientConfig::default()
+    }
+}
+
+/// Asserts complete bitwise state agreement between two algorithms.
+fn assert_identical(a: &GradientAlgorithm, b: &GradientAlgorithm, what: &str) {
+    assert_eq!(a.routing(), b.routing(), "routing diverged: {what}");
+    assert_eq!(a.flows(), b.flows(), "flow state diverged: {what}");
+    assert_eq!(a.marginals(), b.marginals(), "marginals diverged: {what}");
+    let (ra, rb) = (a.report(), b.report());
+    assert_eq!(
+        ra.utility.to_bits(),
+        rb.utility.to_bits(),
+        "utility not bit-identical: {what}"
+    );
+    assert_eq!(
+        ra.admitted.len(),
+        rb.admitted.len(),
+        "width differs: {what}"
+    );
+    for (j, (x, y)) in ra.admitted.iter().zip(&rb.admitted).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "admitted rate of commodity {j} differs: {what}"
+        );
+    }
+}
+
+/// Incrementally admitting the one missing commodity into a running
+/// algorithm lands on the exact state a fresh build of the full problem
+/// starts from, and the two stay bit-identical through iteration.
+#[test]
+fn zero_step_admit_matches_a_fresh_build() {
+    let full = five_commodity_problem();
+    let minus = subset(&full, &[0, 1, 2, 3]);
+    let def = CommodityDef::from_problem(&full, CommodityId::from_index(4));
+    for (sparsity, threads) in [(false, 1), (false, 2), (true, 1), (true, 3)] {
+        let ctx = format!("sparsity={sparsity} threads={threads}");
+        let mut incremental = GradientAlgorithm::new(&minus, config(sparsity, threads)).unwrap();
+        let id = incremental.admit_commodity(def.clone());
+        assert_eq!(id, CommodityId::from_index(4), "newcomer id: {ctx}");
+        let mut fresh = GradientAlgorithm::new(&full, config(sparsity, threads)).unwrap();
+        assert_identical(&incremental, &fresh, &format!("right after admit, {ctx}"));
+        for it in 0..120 {
+            incremental.step();
+            fresh.step();
+            assert_eq!(
+                incremental.routing(),
+                fresh.routing(),
+                "routing diverged at iteration {it}: {ctx}"
+            );
+        }
+        assert_identical(&incremental, &fresh, &format!("after 120 steps, {ctx}"));
+    }
+}
+
+/// Incrementally evicting a middle commodity compacts ids and state
+/// onto exactly what a fresh build of the reduced problem produces.
+#[test]
+fn zero_step_evict_matches_a_fresh_subset_build() {
+    let full = five_commodity_problem();
+    let reduced = subset(&full, &[0, 1, 3, 4]);
+    for (sparsity, threads) in [(false, 1), (true, 2)] {
+        let ctx = format!("sparsity={sparsity} threads={threads}");
+        let mut incremental = GradientAlgorithm::new(&full, config(sparsity, threads)).unwrap();
+        incremental.evict_commodity(CommodityId::from_index(2));
+        let mut fresh = GradientAlgorithm::new(&reduced, config(sparsity, threads)).unwrap();
+        assert_identical(&incremental, &fresh, &format!("right after evict, {ctx}"));
+        for it in 0..120 {
+            incremental.step();
+            fresh.step();
+            assert_eq!(
+                incremental.routing(),
+                fresh.routing(),
+                "routing diverged at iteration {it}: {ctx}"
+            );
+        }
+        assert_identical(&incremental, &fresh, &format!("after 120 steps, {ctx}"));
+    }
+}
+
+/// Evicting the last-id commodity and immediately re-admitting its
+/// parked definition restores the original layout exactly: the round
+/// trip is bit-identical to never having churned at all (every other
+/// commodity is untouched and the returnee restarts fully rejecting,
+/// which is also its cold-start state).
+#[test]
+fn zero_step_evict_readmit_round_trip_is_identity() {
+    let full = five_commodity_problem();
+    let last = CommodityId::from_index(4);
+    let mut churned = GradientAlgorithm::new(&full, config(true, 2)).unwrap();
+    let parked = churned.extended().commodity_def(last);
+    churned.evict_commodity(last);
+    assert_eq!(churned.admit_commodity(parked), last);
+    let mut plain = GradientAlgorithm::new(&full, config(true, 2)).unwrap();
+    assert_identical(&churned, &plain, "after evict + re-admit round trip");
+    for _ in 0..100 {
+        churned.step();
+        plain.step();
+    }
+    assert_identical(&churned, &plain, "100 steps after the round trip");
+}
+
+/// A warm admit must not move a single bit of any survivor: routing
+/// fractions, traffic, and marginals are compared over the old ids
+/// before and after the newcomer joins.
+#[test]
+fn warm_admit_preserves_survivors_bitwise() {
+    let full = five_commodity_problem();
+    let minus = subset(&full, &[0, 1, 2, 3]);
+    let def = CommodityDef::from_problem(&full, CommodityId::from_index(4));
+    let mut alg = GradientAlgorithm::new(&minus, config(false, 2)).unwrap();
+    alg.run(150);
+
+    // Fix the per-survivor node/edge index sets *before* the admit
+    // (`topo_order` spans all nodes, so after the reshape it also lists
+    // the newcomer's dummy node — ids of pre-existing nodes and edges
+    // are stable, which is what makes this comparison meaningful).
+    let lanes: Vec<(CommodityId, Vec<_>, Vec<_>)> = {
+        let ext = alg.extended();
+        ext.commodity_ids()
+            .map(|j| {
+                let edges = ext
+                    .commodity_routers(j)
+                    .iter()
+                    .flat_map(|&v| ext.commodity_out_slice(j, v).iter().copied())
+                    .collect();
+                (j, ext.topo_order(j).to_vec(), edges)
+            })
+            .collect()
+    };
+    let snapshot = |alg: &GradientAlgorithm| -> Vec<Vec<u64>> {
+        lanes
+            .iter()
+            .map(|(j, nodes, edges)| {
+                let mut bits = Vec::new();
+                for &l in edges {
+                    bits.push(alg.routing().fraction(*j, l).to_bits());
+                }
+                for &v in nodes {
+                    bits.push(alg.flows().traffic(*j, v).to_bits());
+                    bits.push(alg.marginals().node(*j, v).to_bits());
+                }
+                bits
+            })
+            .collect()
+    };
+    let before = snapshot(&alg);
+
+    let id = alg.admit_commodity(def);
+    let after = snapshot(&alg);
+    for (j, old) in before.iter().enumerate() {
+        assert_eq!(
+            old, &after[j],
+            "survivor commodity {j} state moved across the admit"
+        );
+    }
+    // The newcomer starts fully rejecting: nothing admitted yet.
+    assert_eq!(
+        alg.flows().admitted(alg.extended(), id).to_bits(),
+        0.0f64.to_bits()
+    );
+    assert!(alg.utility().is_finite());
+}
+
+/// The incrementally-maintained extended network is indistinguishable —
+/// through every public accessor — from one built from scratch over the
+/// same commodity set, after an add and again after a remove.
+#[test]
+fn incremental_extended_network_matches_a_fresh_build() {
+    let full = five_commodity_problem();
+    let minus = subset(&full, &[0, 1, 2, 3]);
+
+    let assert_networks_match = |a: &ExtendedNetwork, b: &ExtendedNetwork, what: &str| {
+        assert_eq!(a.physical_nodes(), b.physical_nodes(), "N differs: {what}");
+        assert_eq!(a.physical_edges(), b.physical_edges(), "M differs: {what}");
+        assert_eq!(a.graph().node_count(), b.graph().node_count(), "{what}");
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count(), "{what}");
+        for l in a.graph().edges() {
+            assert_eq!(
+                a.graph().endpoints(l),
+                b.graph().endpoints(l),
+                "edge {l} endpoints differ: {what}"
+            );
+            assert_eq!(a.edge_kind(l), b.edge_kind(l), "edge {l} kind: {what}");
+        }
+        for v in a.graph().nodes() {
+            assert_eq!(a.node_kind(v), b.node_kind(v), "node {v} kind: {what}");
+            assert_eq!(
+                a.capacity(v).value().to_bits(),
+                b.capacity(v).value().to_bits(),
+                "node {v} capacity: {what}"
+            );
+        }
+        assert_eq!(a.num_commodities(), b.num_commodities(), "{what}");
+        for j in a.commodity_ids() {
+            assert_eq!(a.dummy_source(j), b.dummy_source(j), "{what}");
+            assert_eq!(a.input_edge(j), b.input_edge(j), "{what}");
+            assert_eq!(a.difference_edge(j), b.difference_edge(j), "{what}");
+            assert_eq!(
+                a.commodity(j).max_rate.to_bits(),
+                b.commodity(j).max_rate.to_bits(),
+                "{what}"
+            );
+            assert_eq!(a.commodity_routers(j), b.commodity_routers(j), "{what}");
+            assert_eq!(
+                a.commodity_routers_topo(j),
+                b.commodity_routers_topo(j),
+                "{what}"
+            );
+            assert_eq!(
+                a.commodity_router_arc_total(j),
+                b.commodity_router_arc_total(j),
+                "{what}"
+            );
+            assert_eq!(a.max_out_degree(j), b.max_out_degree(j), "{what}");
+            assert_eq!(a.topo_order(j), b.topo_order(j), "{what}");
+            for l in a.graph().edges() {
+                assert_eq!(a.in_commodity(j, l), b.in_commodity(j, l), "{what}");
+                if a.in_commodity(j, l) {
+                    assert_eq!(a.cost(j, l).to_bits(), b.cost(j, l).to_bits(), "{what}");
+                    assert_eq!(a.beta(j, l).to_bits(), b.beta(j, l).to_bits(), "{what}");
+                }
+            }
+            for v in a.graph().nodes() {
+                assert_eq!(
+                    a.commodity_out_slice(j, v),
+                    b.commodity_out_slice(j, v),
+                    "out slice of {v} for commodity {j}: {what}"
+                );
+                assert_eq!(
+                    a.commodity_in_slice(j, v),
+                    b.commodity_in_slice(j, v),
+                    "in slice of {v} for commodity {j}: {what}"
+                );
+            }
+        }
+    };
+
+    let mut incremental = ExtendedNetwork::build(&minus);
+    let id = incremental.add_commodity(CommodityDef::from_problem(
+        &full,
+        CommodityId::from_index(4),
+    ));
+    assert_eq!(id, CommodityId::from_index(4));
+    assert_networks_match(&incremental, &ExtendedNetwork::build(&full), "after add");
+
+    incremental.remove_commodity(CommodityId::from_index(1));
+    assert_networks_match(
+        &incremental,
+        &ExtendedNetwork::build(&subset(&full, &[0, 2, 3, 4])),
+        "after remove",
+    );
+}
+
+/// Checkpoints captured before a reshape are rejected after one — even
+/// when a later reshape restores the original shapes, the epoch fence
+/// still holds, so a stale snapshot can never silently replay.
+#[test]
+fn restore_across_a_reshape_is_rejected() {
+    let full = five_commodity_problem();
+    let mut alg = GradientAlgorithm::new(&full, config(false, 1)).unwrap();
+    alg.run(60);
+    let stale = alg.checkpoint();
+
+    let last = CommodityId::from_index(4);
+    let parked = alg.extended().commodity_def(last);
+    alg.evict_commodity(last);
+    match alg.restore(&stale) {
+        Err(CoreError::EpochMismatch {
+            expected: 1,
+            got: 0,
+        }) => {}
+        other => panic!("expected epoch mismatch 1 != 0, got {other:?}"),
+    }
+
+    // Re-admitting restores the exact shapes the capture was taken
+    // under — the epoch fence must still refuse it.
+    alg.admit_commodity(parked);
+    match alg.restore(&stale) {
+        Err(CoreError::EpochMismatch {
+            expected: 2,
+            got: 0,
+        }) => {}
+        other => panic!("expected epoch mismatch 2 != 0, got {other:?}"),
+    }
+
+    // A capture taken at the current epoch round-trips fine.
+    alg.run(40);
+    let current = alg.checkpoint();
+    alg.run(25);
+    alg.restore(&current).unwrap();
+}
+
+/// The dense and sparse engines replay the same seeded churn sequence
+/// and stay bit-identical through every interleaved admit and evict.
+#[test]
+fn dense_and_sparse_stay_glued_under_churn() {
+    let full = five_commodity_problem();
+    let churn = ChurnConfig {
+        seed: 0xBEEF,
+        arrival_probability: 0.35,
+        departure_probability: 0.35,
+        period: 15,
+    };
+    let process = |sparsity| {
+        ChurnProcess::new(
+            GradientAlgorithm::new(&full, config(sparsity, 2)).unwrap(),
+            churn,
+        )
+    };
+    let mut dense = process(false);
+    let mut sparse = process(true);
+    let (mut arrivals, mut departures) = (0, 0);
+    for block in 0..10 {
+        let rd = dense.run(60);
+        let rs = sparse.run(60);
+        arrivals += rd.arrivals;
+        departures += rd.departures;
+        assert_eq!(
+            dense.events(),
+            sparse.events(),
+            "churn decisions diverged by block {block}"
+        );
+        assert_eq!(
+            rd.utility.to_bits(),
+            rs.utility.to_bits(),
+            "utility diverged by block {block}"
+        );
+    }
+    assert!(
+        arrivals > 0 && departures > 0,
+        "soak exercised no churn (arrivals {arrivals}, departures {departures})"
+    );
+    assert_identical(
+        dense.algorithm(),
+        sparse.algorithm(),
+        "after 600 churned iterations",
+    );
+    assert_eq!(dense.algorithm().epoch(), sparse.algorithm().epoch());
+    assert!(dense.algorithm().epoch() > 0, "no reshapes happened");
+}
