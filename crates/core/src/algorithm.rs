@@ -104,8 +104,10 @@ pub struct GradientConfig {
     /// topological router order, and re-runs marginal sweeps only when
     /// a commodity's φ row or the shared usage totals moved. Results are
     /// bit-identical to the dense engine for every thread count
-    /// (ARCHITECTURE invariant 14); `false` keeps the dense reference
-    /// path.
+    /// (ARCHITECTURE invariant 14). Defaults to `true` — the active-set
+    /// engine *is* the engine; `false` selects the dense reference path
+    /// (the explicit escape hatch, and the baseline the equivalence
+    /// tests pin the engine against).
     pub sparsity: bool,
 }
 
@@ -113,7 +115,9 @@ impl Default for GradientConfig {
     /// The paper's `η = 0.04` with the stabilized penalty stack this
     /// crate recommends: the capacity-normalized barrier
     /// (`D(z) = Cz/(C−z)`, knee 0.98) at `ε = 0.002`, the soft capacity
-    /// wall, a 0.1 shift cap and rate-limited path opening. The paper's
+    /// wall, a 0.1 shift cap and rate-limited path opening — running on
+    /// the sparsity-aware active-set engine (bit-identical to dense,
+    /// ARCHITECTURE invariant 14). The paper's
     /// literal setup (`ε = 0.2`, `D(z) = 1/(C−z)`, no wall, no caps) is
     /// reproducible by overriding `epsilon`, `penalty`, `wall_strength`,
     /// `shift_cap` and `opening_fraction`; the E2 experiment measures
@@ -134,7 +138,7 @@ impl Default for GradientConfig {
             epsilon_interval: 1500,
             epsilon_min: 2e-5,
             threads: 0,
-            sparsity: false,
+            sparsity: true,
         }
     }
 }
@@ -530,6 +534,69 @@ impl GradientAlgorithm {
                     iterations: done + 1,
                     converged: true,
                 };
+            }
+        }
+        StableOutcome {
+            iterations: max_iterations,
+            converged: false,
+        }
+    }
+
+    /// Like [`run_until_stable`](GradientAlgorithm::run_until_stable),
+    /// but also stops when the run enters a **limit cycle**: at a fixed
+    /// step rate the routing can orbit the optimum forever, so the
+    /// per-step total shift plateaus above any useful tolerance and the
+    /// plain loop burns the whole iteration cap learning nothing.
+    ///
+    /// The detector tracks the minimum total shift seen so far; if no
+    /// *meaningfully* lower minimum appears for `window` consecutive
+    /// steps, the shift norm has stopped improving and the call returns
+    /// early. "Meaningful" is a relative margin (0.1%): a genuinely
+    /// converging run descends geometrically and clears it easily,
+    /// while the slow float-noise drift of a limit cycle's envelope
+    /// does not get to postpone the stop forever.
+    ///
+    /// The returned [`StableOutcome`] keeps its contract: `converged`
+    /// is `true` only when the shift tolerance was actually met. An
+    /// oscillation stop reports `converged: false` with
+    /// `iterations < max_iterations`, distinguishing it from cap
+    /// exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero (every step would look like a
+    /// plateau).
+    pub fn run_until_stable_windowed(
+        &mut self,
+        shift_tolerance: f64,
+        window: usize,
+        max_iterations: usize,
+    ) -> StableOutcome {
+        assert!(window > 0, "window must be at least 1");
+        /// A new minimum must undercut the previous best by this
+        /// relative margin to count as progress.
+        const MIN_RELATIVE_IMPROVEMENT: f64 = 1e-3;
+        let mut best_shift = f64::INFINITY;
+        let mut steps_since_improvement = 0usize;
+        for done in 0..max_iterations {
+            let stats = self.step();
+            if stats.gamma.total_shift < shift_tolerance {
+                return StableOutcome {
+                    iterations: done + 1,
+                    converged: true,
+                };
+            }
+            if stats.gamma.total_shift < best_shift * (1.0 - MIN_RELATIVE_IMPROVEMENT) {
+                best_shift = stats.gamma.total_shift;
+                steps_since_improvement = 0;
+            } else {
+                steps_since_improvement += 1;
+                if steps_since_improvement >= window {
+                    return StableOutcome {
+                        iterations: done + 1,
+                        converged: false,
+                    };
+                }
             }
         }
         StableOutcome {
@@ -1065,6 +1132,43 @@ mod tests {
                 converged: false
             }
         );
+    }
+
+    #[test]
+    fn windowed_stop_converges_like_plain_when_descending() {
+        let p = bottleneck_problem();
+        let cfg = GradientConfig {
+            eta: 0.3,
+            epsilon: 0.002,
+            ..GradientConfig::default()
+        };
+        let mut alg = GradientAlgorithm::new(&p, cfg).unwrap();
+        let outcome = alg.run_until_stable_windowed(1e-10, 200, 20_000);
+        assert!(outcome.converged, "descending run should meet tolerance");
+        assert!(outcome.iterations < 20_000);
+        let r = alg.report();
+        assert!(r.admitted[0] > 3.0);
+    }
+
+    #[test]
+    fn windowed_stop_detects_limit_cycle() {
+        // The default (large) step rate on the bottleneck problem
+        // orbits the optimum: the total shift plateaus above any
+        // useful tolerance, so the plain loop would burn the whole
+        // cap. The window-min rule must cut the run short.
+        let p = bottleneck_problem();
+        let mut alg = GradientAlgorithm::new(&p, GradientConfig::default()).unwrap();
+        let cap = 50_000;
+        let outcome = alg.run_until_stable_windowed(0.0, 50, cap);
+        assert!(!outcome.converged, "tolerance of zero can never be met");
+        assert!(
+            outcome.iterations < cap,
+            "oscillation was not detected: ran all {} iterations",
+            outcome.iterations
+        );
+        // The stop must still leave a sensible solution behind.
+        let r = alg.report();
+        assert!(r.admitted[0] > 3.0);
     }
 
     #[test]

@@ -81,7 +81,7 @@ fn claim(counter: &AtomicUsize, n: usize, mut f: impl FnMut(usize)) {
 /// commodity order (edge partial then node partial per commodity) —
 /// the one float-addition order every path shares, so totals are
 /// bit-identical however the partials were produced.
-fn reduce_usage_totals(
+pub(crate) fn reduce_usage_totals(
     fe_tot: &mut [f64],
     fn_tot: &mut [f64],
     fe_part: &[f64],
@@ -101,6 +101,78 @@ fn reduce_usage_totals(
         for (acc, &p) in fn_tot.iter_mut().zip(fnode) {
             *acc += p;
         }
+    }
+}
+
+/// [`reduce_usage_totals`] restricted to each commodity's member edge
+/// and router lists — `O(Σ_j members_j)` instead of `O(J·(V + L))`,
+/// the sparse paths' totals reduction. Bit-identical to the dense
+/// reduction: the skipped partial entries are exactly `+0.0` (zeroed
+/// at reset and never written by any sweep), adding `+0.0` leaves an
+/// accumulator's bits unchanged unless it is `-0.0`, and no
+/// accumulator here can be `-0.0` (every partial is a product/sum of
+/// non-negative values). Within one commodity every member edge and
+/// router appears exactly once and targets a distinct accumulator, so
+/// only the cross-commodity order — ascending, as in the dense
+/// reduction — affects the float-addition order.
+#[allow(clippy::too_many_arguments)] // a commodity's full sweep context
+pub(crate) fn reduce_usage_totals_scoped(
+    ext: &ExtendedNetwork,
+    fe_tot: &mut [f64],
+    fn_tot: &mut [f64],
+    fe_part: &[f64],
+    fn_part: &[f64],
+    l_count: usize,
+    v_count: usize,
+    j_count: usize,
+) {
+    fe_tot.fill(0.0);
+    fn_tot.fill(0.0);
+    for ji in 0..j_count {
+        let j = CommodityId::from_index(ji);
+        let fe = &fe_part[ji * l_count..(ji + 1) * l_count];
+        for &l in ext.commodity_edges(j) {
+            fe_tot[l.index()] += fe[l.index()];
+        }
+        let fnode = &fn_part[ji * v_count..(ji + 1) * v_count];
+        for &v in ext.commodity_routers(j) {
+            fn_tot[v.index()] += fnode[v.index()];
+        }
+    }
+}
+
+/// Zeroes one commodity's traffic/edge-flow rows and usage partials
+/// over its member sets only — `O(members)` instead of `O(V + L)` per
+/// dirty commodity. Sound because entries outside the member sets are
+/// never written by any sweep (dense or sparse): they are `+0.0` from
+/// [`FlowState::reset`] / the workspace fills and stay that way, so
+/// re-zeroing them is a no-op the sparse paths can skip.
+pub(crate) fn zero_flow_rows_scoped(
+    ext: &ExtendedNetwork,
+    j: CommodityId,
+    t: &mut [f64],
+    x: &mut [f64],
+    fe: &mut [f64],
+    fnode: &mut [f64],
+) {
+    for &v in ext.commodity_member_nodes(j) {
+        t[v.index()] = 0.0;
+    }
+    for &l in ext.commodity_edges(j) {
+        x[l.index()] = 0.0;
+        fe[l.index()] = 0.0;
+    }
+    for &v in ext.commodity_routers(j) {
+        fnode[v.index()] = 0.0;
+    }
+}
+
+/// Clears one commodity's blocked-tag row over its router set only —
+/// the only entries a tag sweep (dense or active) ever writes, so
+/// non-router entries are invariantly `false`.
+pub(crate) fn clear_tags_scoped(ext: &ExtendedNetwork, j: CommodityId, tag_row: &mut [bool]) {
+    for &v in ext.commodity_routers(j) {
+        tag_row[v.index()] = false;
     }
 }
 
@@ -445,7 +517,7 @@ pub(crate) fn fused_step(
 }
 
 /// `true` when two equal-length float slices differ in any bit.
-fn bits_differ(a: &[f64], b: &[f64]) -> bool {
+pub(crate) fn bits_differ(a: &[f64], b: &[f64]) -> bool {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())
 }
@@ -483,7 +555,7 @@ impl FusedViews<'_> {
         let j = CommodityId::from_index(ji);
         // SAFETY: this task is row `ji`'s sole writer in this phase.
         let row = unsafe { self.tags.row_mut(ji) };
-        row.fill(false);
+        clear_tags_scoped(self.ext, j, row);
         if !self.use_blocked_sets {
             return;
         }
@@ -555,10 +627,7 @@ impl FusedViews<'_> {
             let x = self.x.row_mut(ji);
             let fe = self.fe_part.row_mut(ji);
             let fnode = self.fn_part.row_mut(ji);
-            t.fill(0.0);
-            x.fill(0.0);
-            fe.fill(0.0);
-            fnode.fill(0.0);
+            zero_flow_rows_scoped(self.ext, j, t, x, fe, fnode);
             flow_sweep_active(
                 self.ext,
                 self.phi.row_slice(ji),
@@ -661,7 +730,8 @@ impl FusedViews<'_> {
                 let v_count = self.fn_tot.row_len();
                 sp.prev_fe.row_mut(0).copy_from_slice(self.fe_tot.row(0));
                 sp.prev_fn.row_mut(0).copy_from_slice(self.fn_tot.row(0));
-                reduce_usage_totals(
+                reduce_usage_totals_scoped(
+                    self.ext,
                     self.fe_tot.row_mut(0),
                     self.fn_tot.row_mut(0),
                     self.fe_part.as_slice(),
@@ -719,7 +789,7 @@ impl FusedViews<'_> {
 /// (cheap: only ever needed right after an invalidation). The dirty
 /// lists are what the pool's claiming loops split — the active-set
 /// weighted work splitting.
-fn sparse_prepare(
+pub(crate) fn sparse_prepare(
     active: &mut ActiveSet,
     ext: &ExtendedNetwork,
     routing: &RoutingTable,
@@ -751,7 +821,7 @@ fn sparse_prepare(
 /// reads: a commodity's chain is dirty when its own fractions moved,
 /// when the shared totals moved (every Γ input changed), or when ε was
 /// annealed (the cost model changed under everyone).
-fn sparse_carry_forward(active: &mut ActiveSet, effective_totals: bool, annealed: bool) {
+pub(crate) fn sparse_carry_forward(active: &mut ActiveSet, effective_totals: bool, annealed: bool) {
     for ji in 0..active.chain_dirty.len() {
         active.chain_dirty[ji] = annealed || effective_totals || active.phi_changed[ji];
     }
@@ -914,7 +984,8 @@ pub(crate) fn fused_step_sparse(
     if any_flows {
         active.prev_f_edge.copy_from_slice(&state.f_edge);
         active.prev_f_node.copy_from_slice(&state.f_node);
-        reduce_usage_totals(
+        reduce_usage_totals_scoped(
+            ext,
             &mut state.f_edge,
             &mut state.f_node,
             &ws.f_edge_part,
@@ -994,7 +1065,7 @@ pub(crate) fn sparse_step_serial(
         let ji = active.dirty_list[di] as usize;
         let j = CommodityId::from_index(ji);
         let tag_row = &mut tags.tagged[ji * v_count..(ji + 1) * v_count];
-        tag_row.fill(false);
+        clear_tags_scoped(ext, j, tag_row);
         if config.use_blocked_sets {
             let (lens, arcs, live) = active.arcs.row(ji);
             tag_sweep_active(
@@ -1053,10 +1124,7 @@ pub(crate) fn sparse_step_serial(
             let x = &mut state.x[ji * l_count..(ji + 1) * l_count];
             let fe = &mut ws.f_edge_part[ji * l_count..(ji + 1) * l_count];
             let fnode = &mut ws.f_node_part[ji * v_count..(ji + 1) * v_count];
-            t.fill(0.0);
-            x.fill(0.0);
-            fe.fill(0.0);
-            fnode.fill(0.0);
+            zero_flow_rows_scoped(ext, j, t, x, fe, fnode);
             let (lens, arcs, _live) = active.arcs.row(ji);
             flow_sweep_active(ext, routing.row(j), j, t, x, fe, fnode, lens, arcs);
             active.flow_ran[ji] = true;
@@ -1072,7 +1140,8 @@ pub(crate) fn sparse_step_serial(
     if any_flows {
         active.prev_f_edge.copy_from_slice(&state.f_edge);
         active.prev_f_node.copy_from_slice(&state.f_node);
-        reduce_usage_totals(
+        reduce_usage_totals_scoped(
+            ext,
             &mut state.f_edge,
             &mut state.f_node,
             &ws.f_edge_part,

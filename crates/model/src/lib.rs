@@ -18,8 +18,10 @@
 //!   barrier-relaxed objective `A = Y + ε·D`.
 //!
 //! [`random`] generates seeded instances with exactly the distributions
-//! of the paper's evaluation (§6), and [`spec`] provides a serde-friendly
-//! exchange format so experiment manifests are reproducible byte-for-byte.
+//! of the paper's evaluation (§6), [`hierarchy`] synthesizes
+//! region × rack × server topologies for the 1k–100k-node scale tier,
+//! and [`spec`] provides a serde-friendly exchange format so experiment
+//! manifests are reproducible byte-for-byte.
 
 pub mod builder;
 pub mod capacity;
@@ -27,6 +29,7 @@ pub mod commodity;
 pub mod error;
 pub mod figures;
 pub mod gains;
+pub mod hierarchy;
 pub mod penalty;
 pub mod problem;
 pub mod random;

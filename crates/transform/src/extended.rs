@@ -73,9 +73,10 @@ pub enum EdgeKind {
     DummyDifference(CommodityId),
 }
 
-/// Per-commodity adjacency in compressed sparse row form, built once at
-/// construction so the hot iteration loops read contiguous edge slices
-/// instead of filtering the full adjacency through the membership row.
+/// One commodity's adjacency in compressed sparse row form — the
+/// build-time artifact that gets packed into the shared
+/// [`AdjacencyArena`]. Building per commodity keeps the construction
+/// logic simple; the arena keeps the steady-state *reads* contiguous.
 #[derive(Clone, Debug)]
 struct CommodityAdjacency {
     /// Commodity out-edges of every node, concatenated in ascending
@@ -95,6 +96,10 @@ struct CommodityAdjacency {
     /// reverse for marginals/tags) instead of scanning the full
     /// `topo_order`, which is mostly nodes with no commodity out-edges.
     routers_topo: Vec<NodeId>,
+    /// Nodes with at least one commodity in- or out-edge, ascending —
+    /// exactly the nodes whose per-commodity flow-state entries can be
+    /// nonzero (the scope of the iteration core's zeroing passes).
+    member_nodes: Vec<NodeId>,
     /// Total commodity out-degree over all routers (the arc capacity a
     /// live-arc sub-list needs).
     router_arc_total: usize,
@@ -108,6 +113,7 @@ impl CommodityAdjacency {
         let mut in_edges = Vec::new();
         let mut in_start = Vec::with_capacity(v_count + 1);
         let mut routers = Vec::new();
+        let mut member_nodes = Vec::new();
         for v in graph.nodes() {
             out_start.push(out_edges.len() as u32);
             out_edges.extend(
@@ -128,6 +134,11 @@ impl CommodityAdjacency {
                     .copied()
                     .filter(|l| in_commodity[l.index()]),
             );
+            if out_edges.len() as u32 > *out_start.last().expect("pushed above")
+                || in_edges.len() as u32 > *in_start.last().expect("pushed above")
+            {
+                member_nodes.push(v);
+            }
         }
         out_start.push(out_edges.len() as u32);
         in_start.push(in_edges.len() as u32);
@@ -146,8 +157,82 @@ impl CommodityAdjacency {
             in_start,
             routers,
             routers_topo,
+            member_nodes,
             router_arc_total,
         }
+    }
+}
+
+/// All commodities' CSR adjacency packed into shared contiguous slabs
+/// (the 100k-node scale tier's memory layout): one allocation per kind
+/// of data instead of six small vectors per commodity, so the iteration
+/// core's dirty-chain walks stream through a handful of arenas instead
+/// of pointer-chasing `J` scattered heap blocks. Offset (`*_start`)
+/// rows use the uniform stride `V + 1` and are *relative* to the
+/// commodity's extent, so a commodity's view is two loads: its base and
+/// its offset row.
+///
+/// With region-major node numbering (see `spn_model::hierarchy`), a
+/// commodity whose pipeline stays inside one region occupies a narrow
+/// contiguous band of each slab — the per-region partitioning that
+/// keeps near-converged dirty-chain walks cache-resident.
+#[derive(Clone, Debug, Default)]
+struct AdjacencyArena {
+    /// `out_start[j·(V+1) + v]` — start of node `v`'s out segment,
+    /// relative to commodity `j`'s `out_base` extent.
+    out_start: Vec<u32>,
+    /// Offsets into `in_edges`, same layout as `out_start`.
+    in_start: Vec<u32>,
+    /// All commodities' out-edge lists, concatenated.
+    out_edges: Vec<EdgeId>,
+    /// All commodities' in-edge lists, concatenated.
+    in_edges: Vec<EdgeId>,
+    /// Extent of commodity `j` in `out_edges`:
+    /// `out_base[j]..out_base[j + 1]`. Since every member edge has
+    /// exactly one tail, that extent lists each of the commodity's
+    /// edges exactly once.
+    out_base: Vec<u32>,
+    /// Extent of commodity `j` in `in_edges`.
+    in_base: Vec<u32>,
+    /// All commodities' router lists (ascending node order).
+    routers: Vec<NodeId>,
+    /// All commodities' router lists in commodity-topological order;
+    /// shares `router_base` with `routers` (same per-commodity length).
+    routers_topo: Vec<NodeId>,
+    /// All commodities' member-node lists (ascending node order).
+    member_nodes: Vec<NodeId>,
+    /// Extent of commodity `j` in `routers`/`routers_topo`.
+    router_base: Vec<u32>,
+    /// Extent of commodity `j` in `member_nodes`.
+    member_base: Vec<u32>,
+    /// Per-commodity total router out-degree.
+    router_arc_total: Vec<u32>,
+}
+
+impl AdjacencyArena {
+    /// Appends one commodity's adjacency to the arenas. The caller
+    /// guarantees `adj` was built against the current graph shape (its
+    /// offset rows have length `V + 1`).
+    fn push(&mut self, adj: CommodityAdjacency) {
+        if self.out_base.is_empty() {
+            self.out_base.push(0);
+            self.in_base.push(0);
+            self.router_base.push(0);
+            self.member_base.push(0);
+        }
+        self.out_start.extend_from_slice(&adj.out_start);
+        self.in_start.extend_from_slice(&adj.in_start);
+        self.out_edges.extend_from_slice(&adj.out_edges);
+        self.out_base.push(self.out_edges.len() as u32);
+        self.in_edges.extend_from_slice(&adj.in_edges);
+        self.in_base.push(self.in_edges.len() as u32);
+        debug_assert_eq!(adj.routers.len(), adj.routers_topo.len());
+        self.routers.extend_from_slice(&adj.routers);
+        self.routers_topo.extend_from_slice(&adj.routers_topo);
+        self.router_base.push(self.routers.len() as u32);
+        self.member_nodes.extend_from_slice(&adj.member_nodes);
+        self.member_base.push(self.member_nodes.len() as u32);
+        self.router_arc_total.push(adj.router_arc_total as u32);
     }
 }
 
@@ -169,21 +254,25 @@ pub struct ExtendedNetwork {
     node_kind: Vec<NodeKind>,
     edge_kind: Vec<EdgeKind>,
     capacity: Vec<Capacity>,
-    /// `in_commodity[j][l]` — extended edge `l` usable by commodity `j`.
-    in_commodity: Vec<Vec<bool>>,
-    /// `cost[j][l]` — resource consumed at the edge's tail per unit of
-    /// commodity-`j` flow (1.0 outside the commodity; never read there).
-    cost: Vec<Vec<f64>>,
-    /// `beta[j][l]` — output per input unit across the edge.
-    beta: Vec<Vec<f64>>,
+    /// `in_commodity[j·L + l]` — extended edge `l` usable by commodity
+    /// `j`. Flat row-major slab (stride `L`), like every per-commodity
+    /// per-edge table here: one contiguous allocation, not `J` rows.
+    in_commodity: Vec<bool>,
+    /// `cost[j·L + l]` — resource consumed at the edge's tail per unit
+    /// of commodity-`j` flow (1.0 outside the commodity; never read
+    /// there).
+    cost: Vec<f64>,
+    /// `beta[j·L + l]` — output per input unit across the edge.
+    beta: Vec<f64>,
     dummy_source: Vec<NodeId>,
     input_edge: Vec<EdgeId>,
     difference_edge: Vec<EdgeId>,
     commodities: Vec<Commodity>,
-    /// Per-commodity topological order of the *extended* subgraph.
-    topo: Vec<Vec<NodeId>>,
-    /// Per-commodity CSR adjacency (see [`CommodityAdjacency`]).
-    adjacency: Vec<CommodityAdjacency>,
+    /// `topo[j·V ..]` — per-commodity topological order of the
+    /// *extended* subgraph, flat row-major (stride `V`).
+    topo: Vec<NodeId>,
+    /// Arena-packed per-commodity CSR adjacency.
+    adjacency: AdjacencyArena,
     physical_nodes: usize,
     physical_edges: usize,
 }
@@ -250,49 +339,54 @@ impl ExtendedNetwork {
             difference_edge.push(diff);
         }
 
-        // Per-commodity parameters on extended edges.
+        // Per-commodity parameters on extended edges (flat row-major).
         let l_count = graph.edge_count();
-        let mut in_commodity = vec![vec![false; l_count]; j_count];
-        let mut cost = vec![vec![1.0; l_count]; j_count];
-        let mut beta = vec![vec![1.0; l_count]; j_count];
+        let v_count = graph.node_count();
+        let mut in_commodity = vec![false; j_count * l_count];
+        let mut cost = vec![1.0; j_count * l_count];
+        let mut beta = vec![1.0; j_count * l_count];
         for j in problem.commodity_ids() {
             let ji = j.index();
+            let in_row = &mut in_commodity[ji * l_count..(ji + 1) * l_count];
+            let cost_row = &mut cost[ji * l_count..(ji + 1) * l_count];
+            let beta_row = &mut beta[ji * l_count..(ji + 1) * l_count];
             for e in pg.edges() {
                 if let Some(p) = problem.params(j, e) {
                     let ingress = 2 * e.index();
                     let egress = 2 * e.index() + 1;
-                    in_commodity[ji][ingress] = true;
-                    cost[ji][ingress] = p.cost;
-                    beta[ji][ingress] = p.beta;
-                    in_commodity[ji][egress] = true;
+                    in_row[ingress] = true;
+                    cost_row[ingress] = p.cost;
+                    beta_row[ingress] = p.beta;
+                    in_row[egress] = true;
                     // egress: one unit of bandwidth per unit of flow,
                     // flow conserved.
                 }
             }
-            in_commodity[ji][input_edge[ji].index()] = true;
-            in_commodity[ji][difference_edge[ji].index()] = true;
+            in_row[input_edge[ji].index()] = true;
+            in_row[difference_edge[ji].index()] = true;
         }
 
         // Per-commodity topological orders (dummy source first, then
         // the commodity DAG threaded through bandwidth nodes).
-        let topo: Vec<Vec<NodeId>> = (0..j_count)
-            .map(|ji| {
-                topological_order_filtered(&graph, |l| in_commodity[ji][l.index()])
-                    .expect("commodity extended subgraph is a DAG for validated problems")
-            })
-            .collect();
+        let mut topo = Vec::with_capacity(j_count * v_count);
+        for ji in 0..j_count {
+            let in_row = &in_commodity[ji * l_count..(ji + 1) * l_count];
+            topo.extend(
+                topological_order_filtered(&graph, |l| in_row[l.index()])
+                    .expect("commodity extended subgraph is a DAG for validated problems"),
+            );
+        }
 
-        let adjacency = problem
-            .commodity_ids()
-            .map(|j| {
-                CommodityAdjacency::build(
-                    &graph,
-                    &in_commodity[j.index()],
-                    problem.commodity(j).sink(),
-                    &topo[j.index()],
-                )
-            })
-            .collect();
+        let mut adjacency = AdjacencyArena::default();
+        for j in problem.commodity_ids() {
+            let ji = j.index();
+            adjacency.push(CommodityAdjacency::build(
+                &graph,
+                &in_commodity[ji * l_count..(ji + 1) * l_count],
+                problem.commodity(j).sink(),
+                &topo[ji * v_count..(ji + 1) * v_count],
+            ));
+        }
 
         ExtendedNetwork {
             graph,
@@ -383,44 +477,75 @@ impl ExtendedNetwork {
     /// `true` if commodity `j` may route over extended edge `l`.
     #[must_use]
     pub fn in_commodity(&self, j: CommodityId, l: EdgeId) -> bool {
-        self.in_commodity[j.index()][l.index()]
+        self.in_commodity[j.index() * self.graph.edge_count() + l.index()]
     }
 
     /// Resource consumed at the tail node per unit of commodity-`j` flow
     /// over `l`. Meaningful only when [`Self::in_commodity`] holds.
     #[must_use]
     pub fn cost(&self, j: CommodityId, l: EdgeId) -> f64 {
-        self.cost[j.index()][l.index()]
+        self.cost[j.index() * self.graph.edge_count() + l.index()]
     }
 
     /// Output per input unit for commodity `j` across `l`. Meaningful
     /// only when [`Self::in_commodity`] holds.
     #[must_use]
     pub fn beta(&self, j: CommodityId, l: EdgeId) -> f64 {
-        self.beta[j.index()][l.index()]
+        self.beta[j.index() * self.graph.edge_count() + l.index()]
+    }
+
+    /// Stride of the arena offset rows: one slot per node plus the
+    /// terminating total.
+    fn start_stride(&self) -> usize {
+        self.graph.node_count() + 1
     }
 
     /// Outgoing extended edges of `v` usable by commodity `j`, as a
     /// contiguous precomputed slice (same order as the graph adjacency).
     #[must_use]
     pub fn commodity_out_slice(&self, j: CommodityId, v: NodeId) -> &[EdgeId] {
-        let adj = &self.adjacency[j.index()];
-        &adj.out_edges[adj.out_start[v.index()] as usize..adj.out_start[v.index() + 1] as usize]
+        let a = &self.adjacency;
+        let row = &a.out_start[j.index() * self.start_stride()..];
+        let base = a.out_base[j.index()] as usize;
+        &a.out_edges[base + row[v.index()] as usize..base + row[v.index() + 1] as usize]
     }
 
     /// Incoming extended edges of `v` usable by commodity `j`, as a
     /// contiguous precomputed slice.
     #[must_use]
     pub fn commodity_in_slice(&self, j: CommodityId, v: NodeId) -> &[EdgeId] {
-        let adj = &self.adjacency[j.index()];
-        &adj.in_edges[adj.in_start[v.index()] as usize..adj.in_start[v.index() + 1] as usize]
+        let a = &self.adjacency;
+        let row = &a.in_start[j.index() * self.start_stride()..];
+        let base = a.in_base[j.index()] as usize;
+        &a.in_edges[base + row[v.index()] as usize..base + row[v.index() + 1] as usize]
+    }
+
+    /// Every extended edge usable by commodity `j`, each exactly once
+    /// (a member edge has exactly one tail, so the commodity's packed
+    /// out-edge extent is its edge set). The iteration core's scoped
+    /// zeroing and totals reduction walk this instead of scanning all
+    /// `L` edges per commodity.
+    #[must_use]
+    pub fn commodity_edges(&self, j: CommodityId) -> &[EdgeId] {
+        let a = &self.adjacency;
+        &a.out_edges[a.out_base[j.index()] as usize..a.out_base[j.index() + 1] as usize]
+    }
+
+    /// Nodes with at least one commodity-`j` in- or out-edge, ascending
+    /// — exactly the nodes whose commodity-`j` flow-state entries can
+    /// ever be nonzero.
+    #[must_use]
+    pub fn commodity_member_nodes(&self, j: CommodityId) -> &[NodeId] {
+        let a = &self.adjacency;
+        &a.member_nodes[a.member_base[j.index()] as usize..a.member_base[j.index() + 1] as usize]
     }
 
     /// Non-sink nodes with at least one commodity-`j` out-edge (the
     /// nodes that must carry a full unit of routing mass), ascending.
     #[must_use]
     pub fn commodity_routers(&self, j: CommodityId) -> &[NodeId] {
-        &self.adjacency[j.index()].routers
+        let a = &self.adjacency;
+        &a.routers[a.router_base[j.index()] as usize..a.router_base[j.index() + 1] as usize]
     }
 
     /// The commodity-`j` routers in the commodity's topological order —
@@ -429,22 +554,23 @@ impl ExtendedNetwork {
     /// heads. Sparse sweeps iterate this instead of `topo_order`.
     #[must_use]
     pub fn commodity_routers_topo(&self, j: CommodityId) -> &[NodeId] {
-        &self.adjacency[j.index()].routers_topo
+        let a = &self.adjacency;
+        &a.routers_topo[a.router_base[j.index()] as usize..a.router_base[j.index() + 1] as usize]
     }
 
     /// Total commodity-`j` out-degree summed over all routers — the arc
     /// capacity an active-arc sub-list needs for commodity `j`.
     #[must_use]
     pub fn commodity_router_arc_total(&self, j: CommodityId) -> usize {
-        self.adjacency[j.index()].router_arc_total
+        self.adjacency.router_arc_total[j.index()] as usize
     }
 
     /// Largest commodity-`j` out-degree over all nodes (sizing hint for
     /// per-row scratch buffers).
     #[must_use]
     pub fn max_out_degree(&self, j: CommodityId) -> usize {
-        let adj = &self.adjacency[j.index()];
-        adj.out_start
+        let s = self.start_stride();
+        self.adjacency.out_start[j.index() * s..(j.index() + 1) * s]
             .windows(2)
             .map(|w| (w[1] - w[0]) as usize)
             .max()
@@ -473,7 +599,8 @@ impl ExtendedNetwork {
     /// `j`'s edges (all nodes appear; foreign nodes are order-free).
     #[must_use]
     pub fn topo_order(&self, j: CommodityId) -> &[NodeId] {
-        &self.topo[j.index()]
+        let v_count = self.graph.node_count();
+        &self.topo[j.index() * v_count..(j.index() + 1) * v_count]
     }
 
     /// Number of physical nodes `N` (extended ids `< N` are physical).
@@ -543,14 +670,14 @@ impl ExtendedNetwork {
     #[must_use]
     pub fn commodity_def(&self, j: CommodityId) -> CommodityDef {
         let c = self.commodity(j);
-        let ji = j.index();
+        let row = j.index() * self.graph.edge_count();
         let edges = (0..self.physical_edges)
-            .filter(|&e| self.in_commodity[ji][2 * e])
+            .filter(|&e| self.in_commodity[row + 2 * e])
             .map(|e| {
                 (
                     EdgeId::from_index(e),
-                    self.cost[ji][2 * e],
-                    self.beta[ji][2 * e],
+                    self.cost[row + 2 * e],
+                    self.beta[row + 2 * e],
                 )
             })
             .collect();
@@ -599,6 +726,9 @@ impl ExtendedNetwork {
         );
 
         let j = CommodityId::from_index(self.commodities.len());
+        let j_old = self.commodities.len();
+        let v_old = self.graph.node_count();
+        let s_old = v_old + 1;
 
         // Splice the incoming dummy node into the existing commodities'
         // structures first. In their filtered subgraphs it is an
@@ -606,15 +736,30 @@ impl ExtendedNetwork {
         // last among the initial zero-in-degree nodes (it gets the
         // highest id) and pop it right after them — i.e. at the index
         // equal to the count of existing zero-in-degree nodes. The CSR
-        // offsets gain one empty trailing segment.
-        let new_node = NodeId::from_index(self.graph.node_count());
-        for (i, adj) in self.adjacency.iter_mut().enumerate() {
-            let zero_in = adj.in_start.windows(2).filter(|w| w[0] == w[1]).count();
-            self.topo[i].insert(zero_in, new_node);
-            let out_last = *adj.out_start.last().expect("offsets are non-empty");
-            adj.out_start.push(out_last);
-            let in_last = *adj.in_start.last().expect("offsets are non-empty");
-            adj.in_start.push(in_last);
+        // offset rows gain one empty trailing segment, restriding the
+        // slabs from `V + 1` to `V + 2`.
+        let new_node = NodeId::from_index(v_old);
+        {
+            let a = &mut self.adjacency;
+            let mut topo = Vec::with_capacity(j_old * (v_old + 1));
+            let mut out_start = Vec::with_capacity(j_old * (s_old + 1));
+            let mut in_start = Vec::with_capacity(j_old * (s_old + 1));
+            for i in 0..j_old {
+                let in_row = &a.in_start[i * s_old..(i + 1) * s_old];
+                let zero_in = in_row.windows(2).filter(|w| w[0] == w[1]).count();
+                let old_topo = &self.topo[i * v_old..(i + 1) * v_old];
+                topo.extend_from_slice(&old_topo[..zero_in]);
+                topo.push(new_node);
+                topo.extend_from_slice(&old_topo[zero_in..]);
+                let out_row = &a.out_start[i * s_old..(i + 1) * s_old];
+                out_start.extend_from_slice(out_row);
+                out_start.push(*out_row.last().expect("offsets are non-empty"));
+                in_start.extend_from_slice(in_row);
+                in_start.push(*in_row.last().expect("offsets are non-empty"));
+            }
+            self.topo = topo;
+            a.out_start = out_start;
+            a.in_start = in_start;
         }
 
         let dummy = self.graph.add_node();
@@ -630,15 +775,25 @@ impl ExtendedNetwork {
         self.edge_kind.push(EdgeKind::DummyDifference(j));
         self.difference_edge.push(diff);
 
+        // Per-commodity parameter slabs restride from `L` to `L + 2`,
+        // gaining default entries for the new dummy links.
         let l_count = self.graph.edge_count();
-        for row in &mut self.in_commodity {
-            row.resize(l_count, false);
-        }
-        for row in &mut self.cost {
-            row.resize(l_count, 1.0);
-        }
-        for row in &mut self.beta {
-            row.resize(l_count, 1.0);
+        let l_old = l_count - 2;
+        {
+            let mut in_commodity = Vec::with_capacity((j_old + 1) * l_count);
+            let mut cost = Vec::with_capacity((j_old + 1) * l_count);
+            let mut beta = Vec::with_capacity((j_old + 1) * l_count);
+            for i in 0..j_old {
+                in_commodity.extend_from_slice(&self.in_commodity[i * l_old..(i + 1) * l_old]);
+                in_commodity.extend_from_slice(&[false, false]);
+                cost.extend_from_slice(&self.cost[i * l_old..(i + 1) * l_old]);
+                cost.extend_from_slice(&[1.0, 1.0]);
+                beta.extend_from_slice(&self.beta[i * l_old..(i + 1) * l_old]);
+                beta.extend_from_slice(&[1.0, 1.0]);
+            }
+            self.in_commodity = in_commodity;
+            self.cost = cost;
+            self.beta = beta;
         }
 
         let mut in_c = vec![false; l_count];
@@ -666,10 +821,10 @@ impl ExtendedNetwork {
         let topo = topological_order_filtered(&self.graph, |l| in_c[l.index()])
             .expect("admitted commodity's extended subgraph must be a DAG");
         let adj = CommodityAdjacency::build(&self.graph, &in_c, def.sink, &topo);
-        self.in_commodity.push(in_c);
-        self.cost.push(cost);
-        self.beta.push(beta);
-        self.topo.push(topo);
+        self.in_commodity.extend_from_slice(&in_c);
+        self.cost.extend_from_slice(&cost);
+        self.beta.extend_from_slice(&beta);
+        self.topo.extend_from_slice(&topo);
         self.adjacency.push(adj);
         self.commodities.push(Commodity::new(
             def.source,
@@ -698,6 +853,9 @@ impl ExtendedNetwork {
         );
         let n = self.physical_nodes;
         let m = self.physical_edges;
+        let j_old = self.commodities.len();
+        let v_old = self.graph.node_count();
+        let l_old = self.graph.edge_count();
         let d = self.dummy_source[jr];
         let er0 = self.input_edge[jr];
         let er1 = self.difference_edge[jr];
@@ -733,57 +891,88 @@ impl ExtendedNetwork {
             self.difference_edge.push(diff);
         }
 
-        // Per-commodity parameter rows: drop row `jr`, then excise the
+        // Per-commodity parameter slabs: drop row `jr`, then excise the
         // departed dummy links' two columns (foreign rows hold only
-        // defaults there) so later edge ids shift down in lockstep.
-        self.in_commodity.remove(jr);
-        self.cost.remove(jr);
-        self.beta.remove(jr);
+        // defaults there) so later edge ids shift down in lockstep —
+        // restriding from `L` to `L − 2`.
         let e0 = er0.index();
-        for row in &mut self.in_commodity {
-            debug_assert!(
-                !row[e0] && !row[e0 + 1],
-                "dummy links leaked across commodities"
-            );
-            row.drain(e0..e0 + 2);
-        }
-        for row in &mut self.cost {
-            row.drain(e0..e0 + 2);
-        }
-        for row in &mut self.beta {
-            row.drain(e0..e0 + 2);
+        let l_new = l_old - 2;
+        {
+            let mut in_commodity = Vec::with_capacity((j_old - 1) * l_new);
+            let mut cost = Vec::with_capacity((j_old - 1) * l_new);
+            let mut beta = Vec::with_capacity((j_old - 1) * l_new);
+            for i in (0..j_old).filter(|&i| i != jr) {
+                let row = &self.in_commodity[i * l_old..(i + 1) * l_old];
+                debug_assert!(
+                    !row[e0] && !row[e0 + 1],
+                    "dummy links leaked across commodities"
+                );
+                in_commodity.extend_from_slice(&row[..e0]);
+                in_commodity.extend_from_slice(&row[e0 + 2..]);
+                let row = &self.cost[i * l_old..(i + 1) * l_old];
+                cost.extend_from_slice(&row[..e0]);
+                cost.extend_from_slice(&row[e0 + 2..]);
+                let row = &self.beta[i * l_old..(i + 1) * l_old];
+                beta.extend_from_slice(&row[..e0]);
+                beta.extend_from_slice(&row[e0 + 2..]);
+            }
+            self.in_commodity = in_commodity;
+            self.cost = cost;
+            self.beta = beta;
         }
 
         // Topological orders: the departed dummy was an isolated
         // zero-in-degree node in every surviving subgraph, so deleting
         // it and renumbering monotonically reproduces a fresh Kahn run.
-        self.topo.remove(jr);
-        for order in &mut self.topo {
-            order.retain(|&v| v != d);
-            for v in order.iter_mut() {
-                if v.index() > d.index() {
-                    *v = NodeId::from_index(v.index() - 1);
+        let di = d.index();
+        {
+            let mut topo = Vec::with_capacity((j_old - 1) * (v_old - 1));
+            for i in (0..j_old).filter(|&i| i != jr) {
+                for &v in &self.topo[i * v_old..(i + 1) * v_old] {
+                    if v == d {
+                        continue;
+                    }
+                    topo.push(if v.index() > di {
+                        NodeId::from_index(v.index() - 1)
+                    } else {
+                        v
+                    });
                 }
             }
+            self.topo = topo;
         }
 
-        // CSR adjacency: remove the departed dummy's (empty) offset
-        // slot and renumber surviving node/edge ids.
-        self.adjacency.remove(jr);
-        for adj in &mut self.adjacency {
-            debug_assert_eq!(
-                adj.out_start[d.index()],
-                adj.out_start[d.index() + 1],
-                "departed dummy had foreign out-edges"
-            );
-            adj.out_start.remove(d.index());
-            debug_assert_eq!(
-                adj.in_start[d.index()],
-                adj.in_start[d.index() + 1],
-                "departed dummy had foreign in-edges"
-            );
-            adj.in_start.remove(d.index());
-            for l in adj.out_edges.iter_mut().chain(adj.in_edges.iter_mut()) {
+        // Arena adjacency: drop commodity `jr`'s row/extent from every
+        // slab, remove the departed dummy's (empty) offset slot, and
+        // renumber surviving node/edge ids.
+        let a = &mut self.adjacency;
+        let s_old = v_old + 1;
+        {
+            let mut out_start = Vec::with_capacity((j_old - 1) * (s_old - 1));
+            let mut in_start = Vec::with_capacity((j_old - 1) * (s_old - 1));
+            for i in (0..j_old).filter(|&i| i != jr) {
+                let row = &a.out_start[i * s_old..(i + 1) * s_old];
+                debug_assert_eq!(row[di], row[di + 1], "departed dummy had foreign out-edges");
+                out_start.extend_from_slice(&row[..di]);
+                out_start.extend_from_slice(&row[di + 1..]);
+                let row = &a.in_start[i * s_old..(i + 1) * s_old];
+                debug_assert_eq!(row[di], row[di + 1], "departed dummy had foreign in-edges");
+                in_start.extend_from_slice(&row[..di]);
+                in_start.extend_from_slice(&row[di + 1..]);
+            }
+            a.out_start = out_start;
+            a.in_start = in_start;
+        }
+        // Edge slabs: drop extent `jr`, shift later edge ids down by the
+        // two departed dummy links, and re-anchor the base offsets.
+        for (edges, base) in [
+            (&mut a.out_edges, &mut a.out_base),
+            (&mut a.in_edges, &mut a.in_base),
+        ] {
+            let start = base[jr] as usize;
+            let end = base[jr + 1] as usize;
+            edges.drain(start..end);
+            for l in edges.iter_mut() {
                 debug_assert!(
                     *l != er0 && *l != er1,
                     "dummy links leaked across commodities"
@@ -792,13 +981,47 @@ impl ExtendedNetwork {
                     *l = EdgeId::from_index(l.index() - 2);
                 }
             }
-            for v in adj.routers.iter_mut().chain(adj.routers_topo.iter_mut()) {
+            let len = (end - start) as u32;
+            base.remove(jr + 1);
+            for b in &mut base[jr + 1..] {
+                *b -= len;
+            }
+        }
+        // Router lists share one base; member nodes have their own.
+        {
+            let start = a.router_base[jr] as usize;
+            let end = a.router_base[jr + 1] as usize;
+            a.routers.drain(start..end);
+            a.routers_topo.drain(start..end);
+            for v in a.routers.iter_mut().chain(a.routers_topo.iter_mut()) {
                 debug_assert_ne!(*v, d, "departed dummy routed a foreign commodity");
-                if v.index() > d.index() {
+                if v.index() > di {
                     *v = NodeId::from_index(v.index() - 1);
                 }
             }
+            let len = (end - start) as u32;
+            a.router_base.remove(jr + 1);
+            for b in &mut a.router_base[jr + 1..] {
+                *b -= len;
+            }
         }
+        {
+            let start = a.member_base[jr] as usize;
+            let end = a.member_base[jr + 1] as usize;
+            a.member_nodes.drain(start..end);
+            for v in a.member_nodes.iter_mut() {
+                debug_assert_ne!(*v, d, "departed dummy was a foreign member node");
+                if v.index() > di {
+                    *v = NodeId::from_index(v.index() - 1);
+                }
+            }
+            let len = (end - start) as u32;
+            a.member_base.remove(jr + 1);
+            for b in &mut a.member_base[jr + 1..] {
+                *b -= len;
+            }
+        }
+        a.router_arc_total.remove(jr);
     }
 }
 
@@ -1061,16 +1284,19 @@ mod tests {
         assert_eq!(a.difference_edge, b.difference_edge, "difference edges");
         assert_eq!(a.commodities, b.commodities, "commodities");
         assert_eq!(a.topo, b.topo, "topological orders");
-        assert_eq!(a.adjacency.len(), b.adjacency.len(), "adjacency rows");
-        for (ji, (x, y)) in a.adjacency.iter().zip(&b.adjacency).enumerate() {
-            assert_eq!(x.out_edges, y.out_edges, "out_edges of j{ji}");
-            assert_eq!(x.out_start, y.out_start, "out_start of j{ji}");
-            assert_eq!(x.in_edges, y.in_edges, "in_edges of j{ji}");
-            assert_eq!(x.in_start, y.in_start, "in_start of j{ji}");
-            assert_eq!(x.routers, y.routers, "routers of j{ji}");
-            assert_eq!(x.routers_topo, y.routers_topo, "routers_topo of j{ji}");
-            assert_eq!(x.router_arc_total, y.router_arc_total, "arc total of j{ji}");
-        }
+        let (x, y) = (&a.adjacency, &b.adjacency);
+        assert_eq!(x.out_start, y.out_start, "out_start slab");
+        assert_eq!(x.in_start, y.in_start, "in_start slab");
+        assert_eq!(x.out_edges, y.out_edges, "out_edges slab");
+        assert_eq!(x.in_edges, y.in_edges, "in_edges slab");
+        assert_eq!(x.out_base, y.out_base, "out_base");
+        assert_eq!(x.in_base, y.in_base, "in_base");
+        assert_eq!(x.routers, y.routers, "routers slab");
+        assert_eq!(x.routers_topo, y.routers_topo, "routers_topo slab");
+        assert_eq!(x.member_nodes, y.member_nodes, "member_nodes slab");
+        assert_eq!(x.router_base, y.router_base, "router_base");
+        assert_eq!(x.member_base, y.member_base, "member_base");
+        assert_eq!(x.router_arc_total, y.router_arc_total, "router arc totals");
         assert_eq!(a.physical_nodes, b.physical_nodes);
         assert_eq!(a.physical_edges, b.physical_edges);
     }

@@ -19,7 +19,13 @@
 #    or any checkpoint-period utility / final routing table differs in
 #    a single bit. bench_core --smoke additionally gates the admission
 #    path: incremental admit at 400 nodes must reach 99% of settled
-#    utility at least 1.2x faster than a from-scratch rebuild.
+#    utility at least 1.2x faster than a from-scratch rebuild;
+#  * scale_smoke --smoke is the scale-tier gate — the sparse-by-default
+#    engine on a seeded 10,000-node hierarchical instance must keep the
+#    steady-state p50 per-iteration time under an explicit ceiling and
+#    perform zero heap allocations per steady-state iteration (counting
+#    allocator), catching re-densified sweeps and per-step allocation
+#    storms.
 # Run from anywhere; always operates on the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,3 +38,4 @@ cargo test --workspace -q
 cargo run --release -q -p spn-bench --bin bench_core -- --smoke
 cargo run --release -q -p spn-bench --bin chaos_recovery -- --smoke
 cargo run --release -q -p spn-bench --bin churn_soak -- --smoke
+cargo run --release -q -p spn-bench --bin scale_smoke -- --smoke

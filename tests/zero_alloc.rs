@@ -51,8 +51,11 @@ fn steady_state_step_is_allocation_free() {
         .unwrap()
         .problem
         .scale_demand(3.0);
+    // Dense reference path first (sparsity now defaults on, so the
+    // dense engine must be requested explicitly to stay covered here).
     let cfg = GradientConfig {
         threads: 1,
+        sparsity: false,
         ..GradientConfig::default()
     };
     let mut alg = GradientAlgorithm::new(&problem, cfg).unwrap();
@@ -83,6 +86,7 @@ fn steady_state_step_is_allocation_free() {
     // worker (the counter is process-global).
     let pooled_cfg = GradientConfig {
         threads: 2,
+        sparsity: false,
         ..GradientConfig::default()
     };
     let mut pooled = GradientAlgorithm::new(&problem, pooled_cfg).unwrap();
