@@ -18,11 +18,22 @@
 //! captures jitter, not just the best-window average.
 //!
 //! On a host where `available_parallelism() == 1` the parallel columns
-//! measure pool overhead, not speedup; the run warns to stderr and tags
-//! the JSON with `"degraded": true` plus a top-level `"warning"` line
-//! so the perf trajectory isn't polluted by single-core CI hosts. The
-//! dense-vs-sparse comparison stays valid on one core — the active-set
-//! engine wins by *doing less work*, not by parallelism.
+//! would measure pool overhead, not speedup; the run warns to stderr,
+//! tags the JSON with `"degraded": true` (top-level and per suite, via
+//! `"suite_degraded"`) plus a top-level `"warning"` line, and *refuses
+//! to emit the t2/t4/auto columns at all* — a misleading number is
+//! worse than a missing one. The dense-vs-sparse comparison stays valid
+//! on one core — the active-set engine wins by *doing less work*, not
+//! by parallelism — so the converged, scale, and admission suites run
+//! in full either way.
+//!
+//! When built with `--features simd` the scale curve grows a third
+//! engine column (`simd_*`: the active-set engine under
+//! `SimdPolicy::Auto`) and the JSON gains a `"kernels"` section from
+//! `spn_core::simd::kernel_bench` — per-kernel scalar vs vector timings
+//! with the two-tier equivalence check (tag/flow/reduce bit-identical,
+//! marginal/Γ-fill within ulps) run on this host's detected backend.
+//! The top-level `"simd_backend"` key records that backend either way.
 //!
 //! The online-admission suite times the two ways of reaching the
 //! converged 32-commodity solution on the 400-node case when a
@@ -44,7 +55,7 @@
 //! Run via `scripts/bench.sh` (release build) from the repository root.
 
 use spn_bench::small_instance;
-use spn_core::{CommodityDef, GradientAlgorithm, GradientConfig};
+use spn_core::{CommodityDef, GradientAlgorithm, GradientConfig, SimdPolicy};
 use spn_model::hierarchy::HierarchicalInstance;
 use spn_model::spec::ProblemSpec;
 use spn_model::{CommodityId, Problem};
@@ -161,12 +172,14 @@ fn measure_converged(
     nodes: usize,
     commodities: usize,
     sparsity: bool,
+    simd: SimdPolicy,
     timing: &Timing,
 ) -> Measurement {
     let problem = small_instance(1, nodes, commodities).scale_demand(CONVERGED_SCALE);
     let cfg = GradientConfig {
         threads: 1,
         sparsity,
+        simd,
         ..GradientConfig::default()
     };
     let mut alg = GradientAlgorithm::new(&problem, cfg).expect("valid config");
@@ -241,6 +254,7 @@ impl InstanceShape {
 fn measure_scale(
     case: (usize, usize, usize, usize),
     sparsity: bool,
+    simd: SimdPolicy,
     timing: &Timing,
 ) -> (InstanceShape, Measurement) {
     let (regions, racks, servers, commodities) = case;
@@ -257,6 +271,7 @@ fn measure_scale(
     let cfg = GradientConfig {
         threads: 1,
         sparsity,
+        simd,
         ..GradientConfig::default()
     };
     let mut alg = GradientAlgorithm::new(&problem, cfg).expect("valid config");
@@ -368,6 +383,56 @@ fn measure_admission(prep_iters: usize, cap: usize, repeats: usize) -> Admission
     }
 }
 
+/// Kernel micro-bench section for the JSON (feature builds only):
+/// per-kernel scalar vs vector timings on the converged 160-node case,
+/// with the two-tier equivalence check run inline — tag/flow/reduce
+/// must come back bit-identical, marginal/Γ-fill within ulps.
+#[cfg(feature = "simd")]
+fn kernel_section() -> String {
+    use spn_core::simd::kernel_bench;
+    let (nodes, commodities) = (160, 16);
+    let problem = small_instance(1, nodes, commodities).scale_demand(CONVERGED_SCALE);
+    let cfg = GradientConfig {
+        threads: 1,
+        sparsity: true,
+        simd: SimdPolicy::Auto,
+        ..GradientConfig::default()
+    };
+    let mut alg = GradientAlgorithm::new(&problem, cfg).expect("valid config");
+    alg.run(CONVERGED_WARMUP);
+    let reports = kernel_bench::run(&alg, 5, 8);
+    let backend = kernel_bench::backend_name();
+    println!("# kernels ({nodes} nodes / {commodities} commodities, converged, backend {backend})");
+    println!("# kernel\tscalar_ns\tsimd_ns\tspeedup\tbit_identical\tmax_rel_dev");
+    let mut out = String::new();
+    let _ = writeln!(out, "  \"kernel_backend\": \"{backend}\",");
+    out.push_str("  \"kernels\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        println!(
+            "kernel_{}\t{:.0}\t{:.0}\t{:.2}\t{}\t{:.3e}",
+            r.kernel, r.scalar_ns, r.simd_ns, r.speedup, r.bit_identical, r.max_rel_dev
+        );
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"kernel\": \"{}\",", r.kernel);
+        let _ = writeln!(out, "      \"scalar_ns\": {:.1},", r.scalar_ns);
+        let _ = writeln!(out, "      \"simd_ns\": {:.1},", r.simd_ns);
+        let _ = writeln!(out, "      \"speedup\": {:.3},", r.speedup);
+        let _ = writeln!(out, "      \"bit_identical\": {},", r.bit_identical);
+        let _ = writeln!(out, "      \"max_rel_dev\": {:e}", r.max_rel_dev);
+        let comma = if i + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ],\n");
+    out
+}
+
+/// Without the `simd` feature there is nothing to report — the section
+/// is absent rather than filled with scalar-vs-scalar noise.
+#[cfg(not(feature = "simd"))]
+fn kernel_section() -> String {
+    String::new()
+}
+
 /// What `threads = 0` resolves to for a given case (capped at the
 /// commodity count, floor 1).
 fn auto_threads(nodes: usize, commodities: usize) -> usize {
@@ -381,20 +446,25 @@ fn smoke(parallelism: usize) {
     let degraded = parallelism <= 1;
     if degraded {
         eprintln!(
-            "bench_core --smoke: available_parallelism is 1; \
-             reporting rates but skipping the t2-vs-t1 assertion"
+            "bench_core --smoke: SKIP t2-vs-t1 gate — available_parallelism is 1, \
+             a t2 column would measure pool overhead, not speedup"
         );
     }
     let mut failed = false;
     // The two smallest cases: the per-iteration work is tiniest there,
-    // so pool-overhead regressions show up loudest.
+    // so pool-overhead regressions show up loudest. On a single-core
+    // host the t2 column is refused outright rather than reported.
     println!("# smoke\tnodes\tcommodities\tt1\tt2\tt2/t1");
     for &(nodes, commodities, _) in &CASES[..2] {
         let t1 = measure_case(nodes, commodities, 1, &SMOKE).iters_per_sec;
+        if degraded {
+            println!("smoke\t{nodes}\t{commodities}\t{t1:.1}\t-\t- (skipped: 1 core)");
+            continue;
+        }
         let t2 = measure_case(nodes, commodities, 2, &SMOKE).iters_per_sec;
         let ratio = t2 / t1;
         println!("smoke\t{nodes}\t{commodities}\t{t1:.1}\t{t2:.1}\t{ratio:.2}");
-        if !degraded && ratio < 0.9 {
+        if ratio < 0.9 {
             eprintln!(
                 "FAIL: threads=2 is {:.0}% of serial at {nodes} nodes / \
                  {commodities} commodities (floor is 90%)",
@@ -407,8 +477,10 @@ fn smoke(parallelism: usize) {
     // must at least match the dense engine. Valid on any core count —
     // the sparse engine wins by skipping work, not by parallelism.
     let (nodes, commodities) = (160, 16);
-    let dense = measure_converged(nodes, commodities, false, &SMOKE).iters_per_sec;
-    let sparse = measure_converged(nodes, commodities, true, &SMOKE).iters_per_sec;
+    let dense =
+        measure_converged(nodes, commodities, false, SimdPolicy::Scalar, &SMOKE).iters_per_sec;
+    let sparse =
+        measure_converged(nodes, commodities, true, SimdPolicy::Scalar, &SMOKE).iters_per_sec;
     let ratio = sparse / dense;
     println!("# smoke-converged\tnodes\tcommodities\tdense\tsparse\tsparse/dense");
     println!("smoke-converged\t{nodes}\t{commodities}\t{dense:.1}\t{sparse:.1}\t{ratio:.2}");
@@ -419,6 +491,35 @@ fn smoke(parallelism: usize) {
             ratio * 100.0
         );
         failed = true;
+    }
+    // SIMD gate (feature builds only): on the same converged case the
+    // vector lanes must not fall below the scalar sparse engine. On a
+    // single-core host the timing is too noisy to gate on — skip
+    // loudly rather than flake.
+    if cfg!(feature = "simd") {
+        if degraded {
+            eprintln!(
+                "bench_core --smoke: SKIP simd-vs-scalar gate — single-core host \
+                 (degraded); rates would gate on scheduler noise"
+            );
+        } else {
+            let simd =
+                measure_converged(nodes, commodities, true, SimdPolicy::Auto, &SMOKE).iters_per_sec;
+            let ratio = simd / sparse;
+            println!("# smoke-simd\tnodes\tcommodities\tscalar\tsimd\tsimd/scalar\tbackend");
+            println!(
+                "smoke-simd\t{nodes}\t{commodities}\t{sparse:.1}\t{simd:.1}\t{ratio:.2}\t{}",
+                spn_core::simd::detected_kernel()
+            );
+            if ratio < 1.0 {
+                eprintln!(
+                    "FAIL: simd engine is {:.0}% of the scalar sparse engine on the \
+                     converged {nodes}-node case (floor is 100%)",
+                    ratio * 100.0
+                );
+                failed = true;
+            }
+        }
     }
     // Online-admission gate: admitting the 32nd commodity into a
     // converged 400-node run must beat rebuilding the extended network
@@ -462,8 +563,8 @@ fn main() {
     }
 
     let degraded = parallelism <= 1;
-    let warning = "available_parallelism is 1 — the t2/t4/auto columns measure \
-                   pool overhead on a single core, not parallel speedup";
+    let warning = "available_parallelism is 1 — the t2/t4/auto columns would measure \
+                   pool overhead on a single core, not parallel speedup, and are omitted";
     if degraded {
         eprintln!("warning: {warning}; BENCH_core.json will carry \"degraded\": true");
     }
@@ -473,6 +574,20 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"core_iteration_throughput\",");
     let _ = writeln!(json, "  \"available_parallelism\": {parallelism},");
     let _ = writeln!(json, "  \"degraded\": {degraded},");
+    // Which suites the single-core degradation actually taints: only
+    // the thread sweep. The converged, scale, and admission suites are
+    // serial by design and stay valid on any core count.
+    let _ = writeln!(
+        json,
+        "  \"suite_degraded\": {{ \"cases\": {degraded}, \"converged_cases\": false, \
+         \"scale_curve\": false, \"admission\": false }},"
+    );
+    let _ = writeln!(json, "  \"simd_feature\": {},", cfg!(feature = "simd"));
+    let _ = writeln!(
+        json,
+        "  \"simd_backend\": \"{}\",",
+        spn_core::simd::detected_kernel()
+    );
     if degraded {
         // Carry the degradation into a human-readable top-level line so
         // downstream readers of the JSON can't miss it.
@@ -493,10 +608,17 @@ fn main() {
     if degraded {
         println!("# warning: {warning}");
     }
+    // On a degraded host only the serial column is measured — the
+    // parallel columns are refused, not estimated.
+    let sweep: &[usize] = if degraded {
+        &THREAD_SWEEP[..1]
+    } else {
+        THREAD_SWEEP
+    };
     for (ci, &(nodes, commodities, seed_rate)) in CASES.iter().enumerate() {
         let auto = auto_threads(nodes, commodities);
         let mut thread_results = Vec::new();
-        for &threads in THREAD_SWEEP {
+        for &threads in sweep {
             let m = measure_case(nodes, commodities, threads, &FULL);
             println!(
                 "{nodes}\t{commodities}\t{threads}\t{:.1}\t{:.2}\t{:.2}\t{seed_rate:.1}\t{:.2}",
@@ -531,6 +653,7 @@ fn main() {
         let shape = InstanceShape::of(&small_instance(1, nodes, commodities), 1);
         let _ = writeln!(json, "    {{");
         shape.write_json(&mut json, "      ");
+        let _ = writeln!(json, "      \"degraded\": {degraded},");
         let _ = writeln!(json, "      \"seed_serial_iters_per_sec\": {seed_rate:.1},");
         for (threads, m) in &thread_results {
             let _ = writeln!(
@@ -577,8 +700,8 @@ fn main() {
     println!("# converged (demand x{CONVERGED_SCALE}, warmup {CONVERGED_WARMUP}, threads=1)");
     println!("# nodes\tcommodities\tengine\titers_per_sec\tp50_us\tp95_us\tsparse/dense");
     for (ci, &(nodes, commodities, _)) in CASES.iter().enumerate() {
-        let dense = measure_converged(nodes, commodities, false, &FULL);
-        let sparse = measure_converged(nodes, commodities, true, &FULL);
+        let dense = measure_converged(nodes, commodities, false, SimdPolicy::Scalar, &FULL);
+        let sparse = measure_converged(nodes, commodities, true, SimdPolicy::Scalar, &FULL);
         let ratio = sparse.iters_per_sec / dense.iters_per_sec;
         println!(
             "{nodes}\t{commodities}\tdense\t{:.1}\t{:.2}\t{:.2}\t-",
@@ -643,8 +766,15 @@ fn main() {
     );
     println!("# nodes\tcommodities\tengine\titers_per_sec\tp50_us\tp95_us\tsparse/dense_p50");
     for (ci, &case) in SCALE_CASES.iter().enumerate() {
-        let (shape, dense) = measure_scale(case, false, &FULL);
-        let (_, sparse) = measure_scale(case, true, &FULL);
+        let (shape, dense) = measure_scale(case, false, SimdPolicy::Scalar, &FULL);
+        let (_, sparse) = measure_scale(case, true, SimdPolicy::Scalar, &FULL);
+        // Feature builds add a third engine: the active-set engine with
+        // the vector kernels opted in. Same instance, same warmup.
+        let simd_m = if cfg!(feature = "simd") {
+            Some(measure_scale(case, true, SimdPolicy::Auto, &FULL).1)
+        } else {
+            None
+        };
         // Per-iteration p50 ratio: < 1.0 means sparse iterations are
         // faster. (Throughput ratios are reported too, but p50 is the
         // curve the scale tier is judged on.)
@@ -665,6 +795,17 @@ fn main() {
             sparse.p50_iter_us,
             sparse.p95_iter_us
         );
+        if let Some(simd) = &simd_m {
+            println!(
+                "{}\t{}\tsimd\t{:.1}\t{:.2}\t{:.2}\t{:.3}",
+                shape.nodes,
+                shape.commodities,
+                simd.iters_per_sec,
+                simd.p50_iter_us,
+                simd.p95_iter_us,
+                simd.p50_iter_us / sparse.p50_iter_us
+            );
+        }
         let _ = writeln!(json, "    {{");
         shape.write_json(&mut json, "      ");
         let _ = writeln!(
@@ -698,6 +839,27 @@ fn main() {
             sparse.p95_iter_us
         );
         let _ = writeln!(json, "      \"sparse_over_dense_p50\": {p50_ratio:.4},");
+        if let Some(simd) = &simd_m {
+            let _ = writeln!(
+                json,
+                "      \"simd_iters_per_sec\": {:.1},",
+                simd.iters_per_sec
+            );
+            let _ = writeln!(json, "      \"simd_p50_iter_us\": {:.2},", simd.p50_iter_us);
+            let _ = writeln!(json, "      \"simd_p95_iter_us\": {:.2},", simd.p95_iter_us);
+            // < 1.0 means the vector kernels beat the scalar sparse
+            // engine on per-iteration p50 — the acceptance curve.
+            let _ = writeln!(
+                json,
+                "      \"simd_over_scalar_p50\": {:.4},",
+                simd.p50_iter_us / sparse.p50_iter_us
+            );
+            let _ = writeln!(
+                json,
+                "      \"simd_speedup\": {:.3},",
+                simd.iters_per_sec / sparse.iters_per_sec
+            );
+        }
         let _ = writeln!(
             json,
             "      \"sparse_speedup\": {:.3}",
@@ -707,6 +869,7 @@ fn main() {
         let _ = writeln!(json, "    }}{comma}");
     }
     json.push_str("  ],\n");
+    json.push_str(&kernel_section());
 
     // Online-admission suite: one commodity admitted into a converged
     // run vs a full rebuild, both timed to 99% of the settled full-set

@@ -1,0 +1,78 @@
+//! Standalone SIMD kernel micro-benchmark (`--features simd` only).
+//!
+//! Times each vectorized sweep kernel against its scalar reference on a
+//! warmed, converged instance and verifies the two-tier equivalence
+//! contract inline: the bit-exact tier (tag, flow, reduce) must come
+//! back bit-identical on this host's detected backend, and the
+//! tolerance tier (marginal, Γ-fill) must deviate by at most a few
+//! ulps per sweep. Exits non-zero on any contract violation, so the
+//! bin doubles as a quick host-level sanity check.
+//!
+//! Usage: `simd_kernels [nodes commodities [repeats inner]]`
+//! (defaults: 160 16 5 8).
+
+use spn_bench::small_instance;
+use spn_core::simd::kernel_bench;
+use spn_core::{GradientAlgorithm, GradientConfig, SimdPolicy};
+
+/// Demand scale + warmup matching bench_core's converged-regime suite.
+const CONVERGED_SCALE: f64 = 0.2;
+const CONVERGED_WARMUP: usize = 1500;
+
+/// Single-sweep deviation ceiling for the tolerance-tier kernels.
+const KERNEL_RTOL: f64 = 1e-10;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let nodes = args.first().copied().unwrap_or(160);
+    let commodities = args.get(1).copied().unwrap_or(16);
+    let repeats = args.get(2).copied().unwrap_or(5);
+    let inner = args.get(3).copied().unwrap_or(8);
+
+    let problem = small_instance(1, nodes, commodities).scale_demand(CONVERGED_SCALE);
+    let cfg = GradientConfig {
+        threads: 1,
+        sparsity: true,
+        simd: SimdPolicy::Auto,
+        ..GradientConfig::default()
+    };
+    let mut alg = GradientAlgorithm::new(&problem, cfg).expect("valid config");
+    alg.run(CONVERGED_WARMUP);
+
+    let backend = kernel_bench::backend_name();
+    println!(
+        "# simd_kernels ({nodes} nodes / {commodities} commodities, converged, \
+         backend {backend}, best of {repeats} x {inner})"
+    );
+    println!("# kernel\tscalar_ns\tsimd_ns\tspeedup\tbit_identical\tmax_rel_dev");
+    let mut failed = false;
+    for r in kernel_bench::run(&alg, repeats, inner) {
+        println!(
+            "{}\t{:.0}\t{:.0}\t{:.2}\t{}\t{:.3e}",
+            r.kernel, r.scalar_ns, r.simd_ns, r.speedup, r.bit_identical, r.max_rel_dev
+        );
+        let exact_tier = matches!(r.kernel, "tag" | "flow" | "reduce");
+        if exact_tier && !r.bit_identical {
+            eprintln!(
+                "FAIL: bit-exact tier kernel '{}' diverged on backend {backend} \
+                 (max_rel_dev {:.3e})",
+                r.kernel, r.max_rel_dev
+            );
+            failed = true;
+        }
+        if !exact_tier && r.max_rel_dev > KERNEL_RTOL {
+            eprintln!(
+                "FAIL: tolerance tier kernel '{}' deviates by {:.3e} (ceiling {KERNEL_RTOL:.0e})",
+                r.kernel, r.max_rel_dev
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("simd_kernels: two-tier contract holds on backend {backend}");
+}

@@ -140,6 +140,11 @@ pub(crate) struct ActiveSet {
     pub(crate) marg_list: Vec<u32>,
     /// Cross-barrier scalars (see `SCRATCH_*`), written via a slot view.
     pub(crate) scratch: Vec<u64>,
+    /// `heads[l]` — edge `l`'s target-node index, the gather-index form
+    /// the vectorized sweeps ([`crate::simd`]) load head marginals
+    /// through. Always maintained (it is shape-derived and rebuilt with
+    /// the buffers here), read only by non-scalar backends.
+    pub(crate) heads: Vec<u32>,
     pub(crate) arcs: ActiveArcs,
     sized_for: Option<(usize, usize, usize)>,
 }
@@ -184,6 +189,10 @@ impl ActiveSet {
         self.chunk_list.reserve(total_chunks);
         self.marg_list.resize(j_count, 0);
         self.scratch.resize(SCRATCH_SLOTS, 0);
+        self.heads.clear();
+        self.heads.reserve(l_count);
+        self.heads
+            .extend((0..l_count).map(|l| ext.graph().target(EdgeId::from_index(l)).index() as u32));
         self.arcs.router_stride = router_stride;
         self.arcs.arc_stride = arc_stride;
         self.arcs.arc_len.resize(j_count * router_stride, 0);

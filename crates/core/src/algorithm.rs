@@ -22,13 +22,14 @@
 use crate::active::ActiveSet;
 use crate::blocked::{compute_tags_into, BlockedTags};
 use crate::checkpoint::Checkpoint;
-use crate::cost::CostModel;
+use crate::cost::{CostModel, TotalCostCache};
 use crate::flows::{compute_flows_into, FlowState};
 use crate::gamma::{apply_gamma_ws, GammaStats};
 use crate::health::CoreError;
 use crate::marginals::{compute_marginals_into, Marginals};
 use crate::pool::WorkerPool;
 use crate::routing::RoutingTable;
+use crate::simd::SimdPolicy;
 use crate::step::{fused_step, fused_step_sparse, sparse_step_serial};
 use crate::workspace::IterationWorkspace;
 use spn_graph::NodeId;
@@ -109,6 +110,18 @@ pub struct GradientConfig {
     /// (the explicit escape hatch, and the baseline the equivalence
     /// tests pin the engine against).
     pub sparsity: bool,
+    /// Kernel policy for the sparse-engine sweeps (see [`crate::simd`]).
+    /// The default, [`SimdPolicy::Scalar`], always runs the bit-exact
+    /// scalar reference kernels — even when the crate is built with
+    /// `--features simd` — so reproducibility is opt-out per run, never
+    /// silently lost at build time. [`SimdPolicy::Auto`] selects the
+    /// fastest vectorized kernels the CPU supports (a no-op without the
+    /// `simd` feature); the tag/flow/totals kernels stay bit-identical
+    /// under it, while the marginal and Γ-fill kernels agree with the
+    /// scalar reference only within tolerance (ARCHITECTURE invariant
+    /// 18). Forcing `Scalar` on a simd build is the supported A/B
+    /// lever and is pinned bit-identical to the default build.
+    pub simd: SimdPolicy,
 }
 
 impl Default for GradientConfig {
@@ -139,6 +152,7 @@ impl Default for GradientConfig {
             epsilon_min: 2e-5,
             threads: 0,
             sparsity: true,
+            simd: SimdPolicy::Scalar,
         }
     }
 }
@@ -291,6 +305,9 @@ pub struct GradientAlgorithm {
     /// so checkpoints taken against a different commodity set are
     /// rejected structurally on restore.
     epoch: u64,
+    /// Incremental per-node penalty/wall values for the `cost_before`
+    /// probe (bit-identical to the naive scan; see [`TotalCostCache`]).
+    cost_cache: TotalCostCache,
 }
 
 impl Clone for GradientAlgorithm {
@@ -314,6 +331,7 @@ impl Clone for GradientAlgorithm {
                 .as_ref()
                 .map(|p| WorkerPool::new(p.participants())),
             epoch: self.epoch,
+            cost_cache: self.cost_cache.clone(),
         }
     }
 }
@@ -387,6 +405,7 @@ impl GradientAlgorithm {
             active: ActiveSet::default(),
             pool,
             epoch: 0,
+            cost_cache: TotalCostCache::default(),
         })
     }
 
@@ -400,7 +419,14 @@ impl GradientAlgorithm {
     /// usage totals in fixed commodity order, and sweeps the marginals
     /// (both properties are pinned by tests).
     pub fn step(&mut self) -> StepStats {
-        let cost_before = self.cost.total_cost(&self.ext, &self.state);
+        let backend = crate::simd::resolve(self.config.simd);
+        let cost_before = self.cost.total_cost_cached(
+            &self.ext,
+            &self.state,
+            &mut self.cost_cache,
+            |usages, bits, changed| crate::simd::scan_changed(backend, usages, bits, changed),
+            |xs| crate::simd::sum_row(backend, xs),
+        );
         // ε-annealing schedule (no-op when epsilon_factor == 1.0),
         // decided up front so the fused path can split its dispatch
         // around the epsilon mutation.

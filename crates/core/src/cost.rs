@@ -121,6 +121,71 @@ impl CostModel {
             + self.wall_cost(ext, state)
     }
 
+    /// [`CostModel::total_cost`] through a [`TotalCostCache`]:
+    /// recomputes the per-node penalty and wall values only where a
+    /// node's usage bits changed since the previous call, then folds
+    /// the cached value arrays with `sum`.
+    ///
+    /// `scan` appends the indices whose usage bits differ from the
+    /// cached bits, in index order — a pure comparison, so any
+    /// implementation produces the identical index set. Passing the
+    /// in-order fold `xs.iter().sum()` as `sum` makes the result
+    /// **bit-identical** to the naive scan (see [`TotalCostCache`]);
+    /// the simd `Auto` policy substitutes a reassociated vector sum
+    /// (tolerance tier). The association of the three terms matches
+    /// [`CostModel::total_cost`] exactly, including the wall's early
+    /// zero when `wall_strength == 0`.
+    pub fn total_cost_cached(
+        &self,
+        ext: &ExtendedNetwork,
+        state: &FlowState,
+        cache: &mut TotalCostCache,
+        scan: impl Fn(&[f64], &[u64], &mut Vec<u32>),
+        sum: impl Fn(&[f64]) -> f64,
+    ) -> f64 {
+        let usages = state.node_usages();
+        let v_count = usages.len();
+        let key = (
+            self.penalty,
+            self.wall_threshold,
+            self.wall_strength,
+            ext.capacity_version(),
+        );
+        if cache.key != Some(key) || cache.usage_bits.len() != v_count {
+            cache.usage_bits.clear();
+            cache.usage_bits.reserve(v_count);
+            cache.penalty_vals.clear();
+            cache.penalty_vals.reserve(v_count);
+            cache.wall_vals.clear();
+            cache.wall_vals.reserve(v_count);
+            for (v, &z) in usages.iter().enumerate() {
+                let c = ext.capacity(NodeId::from_index(v));
+                cache.usage_bits.push(z.to_bits());
+                cache.penalty_vals.push(self.penalty.value(c, z));
+                cache.wall_vals.push(self.wall_value(c, z));
+            }
+            cache.key = Some(key);
+        } else {
+            cache.changed.clear();
+            scan(usages, &cache.usage_bits, &mut cache.changed);
+            for &v in &cache.changed {
+                let v = v as usize;
+                let z = usages[v];
+                let c = ext.capacity(NodeId::from_index(v));
+                cache.usage_bits[v] = z.to_bits();
+                cache.penalty_vals[v] = self.penalty.value(c, z);
+                cache.wall_vals[v] = self.wall_value(c, z);
+            }
+        }
+        let penalty_sum = sum(&cache.penalty_vals);
+        let wall_sum = if self.wall_strength == 0.0 {
+            0.0
+        } else {
+            sum(&cache.wall_vals)
+        };
+        self.utility_loss(ext, state) + self.epsilon * penalty_sum + wall_sum
+    }
+
     /// `∂A_i/∂f_ik` for extended edge `l = (i, k)` (eq. (11)):
     /// `U'_j(λ_j − f_l)` on commodity `j`'s dummy difference link,
     /// `ε·D'_i(f_i)` everywhere else (zero at dummy sources, whose
@@ -201,6 +266,42 @@ impl CostModel {
         self.edge_partial_view(ext, usage, l) * ext.cost(j, l)
             + ext.beta(j, l) * downstream_marginal
     }
+}
+
+/// Incremental evaluator state for [`CostModel::total_cost_cached`],
+/// keyed on the raw bits of every node's usage total.
+///
+/// `total_cost` is the per-step convergence probe (`cost_before` in
+/// [`crate::StepStats`]), and the naive form re-evaluates the penalty
+/// and the wall at every node — `O(v)` branchy work that dominates
+/// large sparse instances where one step rewrites only a handful of
+/// usage totals. The cache keeps each node's last-seen usage bits
+/// plus the penalty/wall values computed from them, recomputes only
+/// nodes whose bits changed, and re-sums the cached value arrays in
+/// node order. Because [`Penalty::value`] and
+/// [`CostModel::wall_value`] are pure functions of `(capacity,
+/// usage)` and the in-order re-sum performs the identical
+/// left-to-right IEEE fold over identical element values, the cached
+/// total is **bit-identical** to the naive scan — valid under the
+/// default scalar policy, not just the simd tolerance tier.
+///
+/// Parameter or topology drift (penalty family, wall shape, a
+/// [`ExtendedNetwork::set_capacity`] call, admission churn resizing
+/// the node table) is caught by a snapshot key and triggers a full
+/// rebuild.
+#[derive(Clone, Debug, Default)]
+pub struct TotalCostCache {
+    /// `f64::to_bits` of each node's usage at the last evaluation.
+    usage_bits: Vec<u64>,
+    /// `penalty.value(capacity(v), usage(v))` per node.
+    penalty_vals: Vec<f64>,
+    /// `wall_value(capacity(v), usage(v))` per node.
+    wall_vals: Vec<f64>,
+    /// `(penalty, wall_threshold, wall_strength, capacity_version)`
+    /// snapshot the cached values were computed under.
+    key: Option<(Penalty, f64, f64, u64)>,
+    /// Scratch for the changed-index scan (reused across calls).
+    changed: Vec<u32>,
 }
 
 #[cfg(test)]

@@ -52,6 +52,7 @@ pub mod metrics;
 pub mod newton;
 pub mod pool;
 pub mod routing;
+pub mod simd;
 mod step;
 pub mod workspace;
 
@@ -59,7 +60,7 @@ pub use algorithm::{
     ConfigError, GradientAlgorithm, GradientConfig, Report, StableOutcome, StepStats,
 };
 pub use checkpoint::Checkpoint;
-pub use cost::CostModel;
+pub use cost::{CostModel, TotalCostCache};
 pub use flows::FlowState;
 pub use health::{
     Action, CoreError, HealthReport, Incident, StateDomain, Watchdog, WatchdogConfig,
@@ -68,5 +69,6 @@ pub use marginals::Marginals;
 pub use newton::NewtonGradient;
 pub use pool::WorkerPool;
 pub use routing::RoutingTable;
+pub use simd::SimdPolicy;
 pub use spn_transform::CommodityDef;
 pub use workspace::IterationWorkspace;

@@ -50,13 +50,14 @@
 #![allow(unsafe_code)] // phase-protocol row ownership; contracts documented inline
 
 use crate::active::{rebuild_active_row, ActiveSet, SCRATCH_MARG_LEN, SCRATCH_TOTALS_EFFECTIVE};
-use crate::blocked::{tag_sweep, tag_sweep_active, BlockedTags};
+use crate::blocked::{tag_sweep, BlockedTags};
 use crate::cost::CostModel;
-use crate::flows::{flow_sweep, flow_sweep_active, FlowState, UsageView};
+use crate::flows::{flow_sweep, FlowState, UsageView};
 use crate::gamma::{gamma_chunk, gamma_chunk_tracked, reduce_gamma_stats, GammaCtx, GammaStats};
-use crate::marginals::{marginal_sweep, marginal_sweep_active, Marginals};
+use crate::marginals::{marginal_sweep, Marginals};
 use crate::pool::{PhiRow, PhiTable, RowTable, SlotTable, WorkerPool};
 use crate::routing::RoutingTable;
+use crate::simd::{self, SimdBackend};
 use crate::workspace::{GammaLane, IterationWorkspace, GAMMA_CHUNK};
 use crate::GradientConfig;
 use spn_graph::EdgeId;
@@ -202,6 +203,12 @@ struct FusedViews<'a> {
     opening_fraction: f64,
     shift_cap: f64,
     use_blocked_sets: bool,
+    /// Kernel set the sparse sweeps run with ([`crate::simd`]); always
+    /// `Scalar` on the dense paths, which are the bit-exact reference.
+    backend: SimdBackend,
+    /// Per-edge head (target-node) gather indices for the vectorized
+    /// sweeps; empty (and never read) under the scalar backend.
+    heads: &'a [u32],
     /// Split phase A into tag / Γ-chunk / flow sub-phases (used when
     /// commodities alone cannot occupy every participant).
     split: bool,
@@ -275,6 +282,8 @@ impl FusedViews<'_> {
                 opening_floor: self.opening_fraction * self.ext.commodity(j).max_rate,
                 shift_cap: self.shift_cap,
                 j,
+                backend: self.backend,
+                heads: self.heads,
             }
         }
     }
@@ -464,6 +473,8 @@ pub(crate) fn fused_step(
             opening_fraction: config.opening_fraction,
             shift_cap: config.shift_cap,
             use_blocked_sets: config.use_blocked_sets,
+            backend: SimdBackend::Scalar,
+            heads: &[],
             split,
             c_a: AtomicUsize::new(0),
             c_gamma: AtomicUsize::new(0),
@@ -563,7 +574,8 @@ impl FusedViews<'_> {
         // live-arc rows are not written during this phase (Γ, rebuild,
         // and flows for `ji` run strictly after its tag task).
         unsafe {
-            tag_sweep_active(
+            simd::tag_sweep_active(
+                self.backend,
                 self.ext,
                 self.cost,
                 self.phi.row_slice(ji),
@@ -577,6 +589,7 @@ impl FusedViews<'_> {
                 sp.arc_len.row(ji),
                 sp.arcs.row(ji),
                 *sp.live.slot_mut(ji),
+                self.heads,
             );
         }
     }
@@ -628,7 +641,8 @@ impl FusedViews<'_> {
             let fe = self.fe_part.row_mut(ji);
             let fnode = self.fn_part.row_mut(ji);
             zero_flow_rows_scoped(self.ext, j, t, x, fe, fnode);
-            flow_sweep_active(
+            simd::flow_sweep_active(
+                self.backend,
                 self.ext,
                 self.phi.row_slice(ji),
                 j,
@@ -638,6 +652,7 @@ impl FusedViews<'_> {
                 fnode,
                 sp.arc_len.row(ji),
                 sp.arcs.row(ji),
+                self.heads,
             );
         }
     }
@@ -730,7 +745,8 @@ impl FusedViews<'_> {
                 let v_count = self.fn_tot.row_len();
                 sp.prev_fe.row_mut(0).copy_from_slice(self.fe_tot.row(0));
                 sp.prev_fn.row_mut(0).copy_from_slice(self.fn_tot.row(0));
-                reduce_usage_totals_scoped(
+                simd::reduce_usage_totals_scoped(
+                    self.backend,
                     self.ext,
                     self.fe_tot.row_mut(0),
                     self.fn_tot.row_mut(0),
@@ -758,7 +774,7 @@ impl FusedViews<'_> {
 
     /// Sparse phase B: marginal sweeps for the published work list only.
     /// No row zero-fill — non-router `d` entries are invariantly zero
-    /// (see [`marginal_sweep_active`]).
+    /// (see [`crate::marginals::marginal_sweep_active`]).
     fn sparse_phase_b(&self, sp: &SparseCtl<'_>) {
         // SAFETY: written by participant 0 before the last barrier.
         let n = unsafe { *sp.scratch.slot_mut(SCRATCH_MARG_LEN) } as usize;
@@ -768,7 +784,8 @@ impl FusedViews<'_> {
             unsafe {
                 let ji = *sp.marg_list.slot_mut(mi) as usize;
                 let j = CommodityId::from_index(ji);
-                marginal_sweep_active(
+                simd::marginal_sweep_active(
+                    self.backend,
                     self.ext,
                     self.cost,
                     self.phi.row_slice(ji),
@@ -778,6 +795,7 @@ impl FusedViews<'_> {
                     sp.arc_len.row(ji),
                     sp.arcs.row(ji),
                     *sp.live.slot_mut(ji),
+                    self.heads,
                 );
             }
         });
@@ -872,6 +890,7 @@ pub(crate) fn fused_step_sparse(
     let split = j_count < pool.participants();
     sparse_prepare(active, ext, routing, &ws.chunk_base, split);
 
+    let backend = simd::resolve(config.simd);
     let force_totals = active.force_totals;
     let annealed = anneal_to.is_some();
 
@@ -905,6 +924,8 @@ pub(crate) fn fused_step_sparse(
             opening_fraction: config.opening_fraction,
             shift_cap: config.shift_cap,
             use_blocked_sets: config.use_blocked_sets,
+            backend,
+            heads: &active.heads,
             split,
             c_a: AtomicUsize::new(0),
             c_gamma: AtomicUsize::new(0),
@@ -984,7 +1005,8 @@ pub(crate) fn fused_step_sparse(
     if any_flows {
         active.prev_f_edge.copy_from_slice(&state.f_edge);
         active.prev_f_node.copy_from_slice(&state.f_node);
-        reduce_usage_totals_scoped(
+        simd::reduce_usage_totals_scoped(
+            backend,
             ext,
             &mut state.f_edge,
             &mut state.f_node,
@@ -1059,6 +1081,7 @@ pub(crate) fn sparse_step_serial(
     ws.ensure_workers(ext, 1);
     active.ensure(ext);
     sparse_prepare(active, ext, routing, &ws.chunk_base, false);
+    let backend = simd::resolve(config.simd);
 
     // Phase A: tag → Γ → flow chains for the dirty commodities only.
     for di in 0..active.dirty_list.len() {
@@ -1068,7 +1091,8 @@ pub(crate) fn sparse_step_serial(
         clear_tags_scoped(ext, j, tag_row);
         if config.use_blocked_sets {
             let (lens, arcs, live) = active.arcs.row(ji);
-            tag_sweep_active(
+            simd::tag_sweep_active(
+                backend,
                 ext,
                 cost,
                 routing.row(j),
@@ -1082,6 +1106,7 @@ pub(crate) fn sparse_step_serial(
                 lens,
                 arcs,
                 live,
+                &active.heads,
             );
         }
         let mut value = false;
@@ -1100,6 +1125,8 @@ pub(crate) fn sparse_step_serial(
                 opening_floor: config.opening_fraction * ext.commodity(j).max_rate,
                 shift_cap: config.shift_cap,
                 j,
+                backend,
+                heads: &active.heads,
             };
             let routers = ext.commodity_routers(j);
             for (c, chunk) in routers.chunks(GAMMA_CHUNK).enumerate() {
@@ -1126,7 +1153,19 @@ pub(crate) fn sparse_step_serial(
             let fnode = &mut ws.f_node_part[ji * v_count..(ji + 1) * v_count];
             zero_flow_rows_scoped(ext, j, t, x, fe, fnode);
             let (lens, arcs, _live) = active.arcs.row(ji);
-            flow_sweep_active(ext, routing.row(j), j, t, x, fe, fnode, lens, arcs);
+            simd::flow_sweep_active(
+                backend,
+                ext,
+                routing.row(j),
+                j,
+                t,
+                x,
+                fe,
+                fnode,
+                lens,
+                arcs,
+                &active.heads,
+            );
             active.flow_ran[ji] = true;
         }
     }
@@ -1140,7 +1179,8 @@ pub(crate) fn sparse_step_serial(
     if any_flows {
         active.prev_f_edge.copy_from_slice(&state.f_edge);
         active.prev_f_node.copy_from_slice(&state.f_node);
-        reduce_usage_totals_scoped(
+        simd::reduce_usage_totals_scoped(
+            backend,
             ext,
             &mut state.f_edge,
             &mut state.f_node,
@@ -1168,7 +1208,8 @@ pub(crate) fn sparse_step_serial(
         let j = CommodityId::from_index(ji);
         let d = &mut marginals.d[ji * v_count..(ji + 1) * v_count];
         let (lens, arcs, live) = active.arcs.row(ji);
-        marginal_sweep_active(
+        simd::marginal_sweep_active(
+            backend,
             ext,
             cost,
             routing.row(j),
@@ -1178,6 +1219,7 @@ pub(crate) fn sparse_step_serial(
             lens,
             arcs,
             live,
+            &active.heads,
         );
     }
 

@@ -103,6 +103,9 @@ struct CommodityAdjacency {
     /// Total commodity out-degree over all routers (the arc capacity a
     /// live-arc sub-list needs).
     router_arc_total: usize,
+    /// Largest per-node out-degree (scratch-row sizing hint). Cached at
+    /// build time so per-step shape checks don't rescan the offset rows.
+    max_out_degree: usize,
 }
 
 impl CommodityAdjacency {
@@ -150,6 +153,7 @@ impl CommodityAdjacency {
             .collect();
         debug_assert_eq!(routers_topo.len(), routers.len());
         let router_arc_total = routers_topo.iter().map(|&v| degree(v)).sum();
+        let max_out_degree = routers_topo.iter().map(|&v| degree(v)).max().unwrap_or(0);
         CommodityAdjacency {
             out_edges,
             out_start,
@@ -159,6 +163,7 @@ impl CommodityAdjacency {
             routers_topo,
             member_nodes,
             router_arc_total,
+            max_out_degree,
         }
     }
 }
@@ -207,6 +212,9 @@ struct AdjacencyArena {
     member_base: Vec<u32>,
     /// Per-commodity total router out-degree.
     router_arc_total: Vec<u32>,
+    /// Per-commodity largest node out-degree, cached so the per-step
+    /// workspace shape check is O(1) instead of an offset-row rescan.
+    max_out_deg: Vec<u32>,
 }
 
 impl AdjacencyArena {
@@ -233,6 +241,7 @@ impl AdjacencyArena {
         self.member_nodes.extend_from_slice(&adj.member_nodes);
         self.member_base.push(self.member_nodes.len() as u32);
         self.router_arc_total.push(adj.router_arc_total as u32);
+        self.max_out_deg.push(adj.max_out_degree as u32);
     }
 }
 
@@ -275,6 +284,10 @@ pub struct ExtendedNetwork {
     adjacency: AdjacencyArena,
     physical_nodes: usize,
     physical_edges: usize,
+    /// Bumped by every [`Self::set_capacity`]; lets downstream caches
+    /// keyed on per-node capacities detect mutation in O(1) instead of
+    /// re-reading the capacity table.
+    capacity_version: u64,
 }
 
 impl ExtendedNetwork {
@@ -404,6 +417,7 @@ impl ExtendedNetwork {
             adjacency,
             physical_nodes: n,
             physical_edges: m,
+            capacity_version: 0,
         }
     }
 
@@ -494,6 +508,23 @@ impl ExtendedNetwork {
         self.beta[j.index() * self.graph.edge_count() + l.index()]
     }
 
+    /// Commodity `j`'s full per-edge cost row (`cost_row[l] ==
+    /// cost(j, l)`), as one contiguous slice — the form the vectorized
+    /// sweeps gather from by raw edge index.
+    #[must_use]
+    pub fn cost_row(&self, j: CommodityId) -> &[f64] {
+        let l_count = self.graph.edge_count();
+        &self.cost[j.index() * l_count..(j.index() + 1) * l_count]
+    }
+
+    /// Commodity `j`'s full per-edge transfer-rate row (`beta_row[l] ==
+    /// beta(j, l)`), as one contiguous slice (see [`Self::cost_row`]).
+    #[must_use]
+    pub fn beta_row(&self, j: CommodityId) -> &[f64] {
+        let l_count = self.graph.edge_count();
+        &self.beta[j.index() * l_count..(j.index() + 1) * l_count]
+    }
+
     /// Stride of the arena offset rows: one slot per node plus the
     /// terminating total.
     fn start_stride(&self) -> usize {
@@ -569,12 +600,7 @@ impl ExtendedNetwork {
     /// per-row scratch buffers).
     #[must_use]
     pub fn max_out_degree(&self, j: CommodityId) -> usize {
-        let s = self.start_stride();
-        self.adjacency.out_start[j.index() * s..(j.index() + 1) * s]
-            .windows(2)
-            .map(|w| (w[1] - w[0]) as usize)
-            .max()
-            .unwrap_or(0)
+        self.adjacency.max_out_deg[j.index()] as usize
     }
 
     /// Outgoing extended edges of `v` usable by commodity `j`.
@@ -662,6 +688,14 @@ impl ExtendedNetwork {
             "dummy sources are unconstrained by construction"
         );
         self.capacity[v.index()] = capacity;
+        self.capacity_version += 1;
+    }
+
+    /// Monotone counter bumped by every [`Self::set_capacity`] — an
+    /// O(1) staleness key for caches derived from the capacity table.
+    #[must_use]
+    pub fn capacity_version(&self) -> u64 {
+        self.capacity_version
     }
 
     /// Recovers the standalone definition of commodity `j` — enough to
@@ -1022,6 +1056,7 @@ impl ExtendedNetwork {
             }
         }
         a.router_arc_total.remove(jr);
+        a.max_out_deg.remove(jr);
     }
 }
 
@@ -1297,6 +1332,7 @@ mod tests {
         assert_eq!(x.router_base, y.router_base, "router_base");
         assert_eq!(x.member_base, y.member_base, "member_base");
         assert_eq!(x.router_arc_total, y.router_arc_total, "router arc totals");
+        assert_eq!(x.max_out_deg, y.max_out_deg, "max out-degrees");
         assert_eq!(a.physical_nodes, b.physical_nodes);
         assert_eq!(a.physical_edges, b.physical_edges);
     }

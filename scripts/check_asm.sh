@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Proves the `simd` feature actually emits vector code instead of
+# silently compiling the scalar fallbacks: builds spn-core with
+# --emit=asm and greps the generated assembly for the instructions the
+# AVX2+FMA kernels are written around — packed FMA (vfmadd*pd) from the
+# marginal/Γ-fill lanes and packed multiplies (vmulpd) from the
+# flow/tag lanes. Fails loudly if either is missing, which would mean
+# the #[target_feature] kernels were dropped, gated out, or scalarized.
+#
+# This is a *compile-time* check: it does not require the host to
+# support AVX2 (codegen for `#[target_feature]` functions is
+# unconditional), so it is valid on any x86-64 builder.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+target_dir="target/asm-check"
+echo "check_asm: compiling spn-core with --emit=asm (features: simd)..."
+CARGO_TARGET_DIR="$target_dir" RUSTFLAGS="--emit=asm" \
+    cargo build --release -p spn-core --features simd --quiet
+
+asm_files=$(find "$target_dir/release/deps" -name 'spn_core-*.s' -newer "$target_dir/CACHEDIR.TAG" 2>/dev/null || true)
+if [ -z "$asm_files" ]; then
+    asm_files=$(find "$target_dir/release/deps" -name 'spn_core-*.s')
+fi
+if [ -z "$asm_files" ]; then
+    echo "check_asm: FAIL — no spn_core assembly emitted under $target_dir" >&2
+    exit 1
+fi
+
+fail=0
+for insn in vfmadd vmulpd; do
+    if grep -lq "$insn" $asm_files; then
+        count=$(cat $asm_files | grep -c "$insn" || true)
+        echo "check_asm: ok — '$insn' present ($count occurrences)"
+    else
+        echo "check_asm: FAIL — no '$insn' instruction in the simd build's assembly" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "check_asm: the simd feature compiled but produced no vector code" >&2
+    exit 1
+fi
+echo "check_asm: simd kernels emit vector instructions"

@@ -26,6 +26,13 @@
 #    perform zero heap allocations per steady-state iteration (counting
 #    allocator), catching re-densified sweeps and per-step allocation
 #    storms.
+# The simd feature gets its own leg: clippy as errors, the simd test
+# suites (the forced-scalar bitwise grid + the trajectory-tolerance
+# grid + kernel self-checks), check_asm.sh proving the build emits
+# vector instructions, and bench_core --smoke rebuilt with the feature
+# so its simd-vs-scalar gate runs (Auto must not lose to Scalar on the
+# converged 160/16 case; on a single-core host that gate prints a
+# visible SKIP line instead of a misleading measurement).
 # Run from anywhere; always operates on the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -39,3 +46,8 @@ cargo run --release -q -p spn-bench --bin bench_core -- --smoke
 cargo run --release -q -p spn-bench --bin chaos_recovery -- --smoke
 cargo run --release -q -p spn-bench --bin churn_soak -- --smoke
 cargo run --release -q -p spn-bench --bin scale_smoke -- --smoke
+# --- simd feature leg ---
+cargo clippy --workspace --all-targets --features simd -- -D warnings
+cargo test -q -p spn -p spn-core --features simd
+scripts/check_asm.sh
+cargo run --release -q -p spn-bench --features simd --bin bench_core -- --smoke
