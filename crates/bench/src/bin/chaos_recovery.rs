@@ -31,10 +31,25 @@ fn main() {
         args.next();
     }
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    // On a single-core host the three trajectories (clean reference,
+    // noise-only comparator, chaos run) serialize, so the smoke leg
+    // halves its iteration budget to keep the combined soak legs under
+    // the CI smoke budget. The recovery gate holds at the shorter
+    // horizon — the faults land in the first quarter either way.
+    let degraded = std::thread::available_parallelism().map_or(1, |n| n.get()) <= 1;
+    let smoke_iters = if smoke && degraded {
+        eprintln!(
+            "chaos_recovery --smoke: SKIP full 4000-iteration budget — single-core \
+             host (degraded); capping the three trajectories at 2000 iterations each"
+        );
+        2_000
+    } else {
+        4_000
+    };
     let iters: usize = args
         .next()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(if smoke { 4_000 } else { 12_000 });
+        .unwrap_or(if smoke { smoke_iters } else { 12_000 });
 
     let problem = paper_instance(seed).scale_demand(2.0);
     let cfg = GradientConfig {

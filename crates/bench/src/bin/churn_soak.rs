@@ -105,14 +105,26 @@ fn main() {
     }
     // With churn stopped, the run should settle like any static
     // instance — reported (not gated) so a drifting post-churn
-    // equilibrium is visible in CI logs.
-    let outcome = dense
-        .into_algorithm()
-        .run_until_stable(1e-9, if smoke { 2_000 } else { 10_000 });
-    println!(
-        "post_churn_settle\tconverged {}\titerations {}",
-        outcome.converged, outcome.iterations
-    );
+    // equilibrium is visible in CI logs. On a single-core smoke host
+    // the leg is skipped outright: it gates nothing, and burning its
+    // full iteration cap there pushes the combined soak legs past the
+    // CI smoke budget.
+    let degraded = std::thread::available_parallelism().map_or(1, |n| n.get()) <= 1;
+    if smoke && degraded {
+        eprintln!(
+            "churn_soak --smoke: SKIP post-churn settle leg — single-core host \
+             (degraded); the leg is reported, not gated, and its iteration cap \
+             dominates the smoke budget"
+        );
+    } else {
+        let outcome = dense
+            .into_algorithm()
+            .run_until_stable(1e-9, if smoke { 2_000 } else { 10_000 });
+        println!(
+            "post_churn_settle\tconverged {}\titerations {}",
+            outcome.converged, outcome.iterations
+        );
+    }
     eprintln!(
         "churn_soak: ok ({iterations} iterations, {arrivals} arrivals, \
          {departures} departures, epoch {})",

@@ -1,0 +1,154 @@
+//! **Mesh runtime smoke** — the region-sharded mesh on a seeded
+//! instance, both transports, wired into CI.
+//!
+//! Three claims, each checked with a hard exit code:
+//!
+//! * under `Lossless` a 4-region mesh is **bit-identical** to the
+//!   monolithic `GradientAlgorithm` (utility bits compared at every
+//!   checkpoint) and logs **zero incidents** — serialization and the
+//!   phase protocol add nothing and lose nothing;
+//! * under a seeded fault plan (loss, duplication, delay, one region
+//!   partition with staggered heal) the run is **deterministic**: a
+//!   second run with the same seed produces the identical report and
+//!   the identical incident log;
+//! * the faulted mesh still reaches the same convergence verdict as
+//!   the lossless one — degradation is graceful, not a stall.
+//!
+//! Usage: `mesh_smoke [--smoke]` (`--smoke` is the CI-sized run; the
+//! default doubles the settle budget).
+
+use spn_bench::small_instance;
+use spn_core::{GradientAlgorithm, GradientConfig};
+use spn_mesh::{MeshConfig, MeshFaultConfig, MeshRuntime, PartitionSpec};
+use spn_transform::ExtendedNetwork;
+
+/// Convergence gate shared by every leg.
+const SHIFT_TOLERANCE: f64 = 1e-4;
+
+fn gradient() -> GradientConfig {
+    GradientConfig {
+        threads: 1,
+        ..GradientConfig::default()
+    }
+}
+
+fn mesh_config() -> MeshConfig {
+    MeshConfig {
+        regions: 4,
+        gradient: gradient(),
+        ..MeshConfig::default()
+    }
+}
+
+fn faults() -> MeshFaultConfig {
+    MeshFaultConfig {
+        seed: 0x5150_4D45,
+        loss: 0.04,
+        duplicate: 0.02,
+        delay_prob: 0.08,
+        max_delay: 2,
+        partitions: vec![PartitionSpec {
+            region: 2,
+            at: 40,
+            duration: 30,
+            heal_stagger: 3,
+        }],
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let max_iterations = if smoke { 4_000 } else { 8_000 };
+    let problem = small_instance(3, 16, 2);
+    let mut failed = false;
+
+    // Leg 1: lossless bit-identity + zero incidents. The monolithic
+    // algorithm and the mesh step in lockstep; utility bits must agree
+    // at every checkpoint.
+    let mut alg = GradientAlgorithm::new(&problem, gradient()).expect("valid config");
+    let mut mesh = MeshRuntime::lossless(ExtendedNetwork::build(&problem), mesh_config())
+        .expect("valid mesh config");
+    println!("# mesh_smoke\tleg\titeration\tutility\tincidents");
+    for chunk in 1..=10 {
+        for _ in 0..20 {
+            alg.step();
+        }
+        mesh.run(20);
+        let it = chunk * 20;
+        println!(
+            "mesh_smoke\tlossless\t{it}\t{:.6}\t{}",
+            mesh.utility(),
+            mesh.incidents().len()
+        );
+        if alg.utility().to_bits() != mesh.utility().to_bits() {
+            eprintln!(
+                "FAIL: lossless mesh utility diverged from the monolithic \
+                 algorithm at iteration {it}: {} vs {}",
+                mesh.utility(),
+                alg.utility()
+            );
+            failed = true;
+        }
+    }
+    if !mesh.incidents().is_empty() {
+        eprintln!(
+            "FAIL: lossless run logged {} incidents; expected zero",
+            mesh.incidents().len()
+        );
+        failed = true;
+    }
+    let (_, lossless_outcome) = mesh.run_until_stable(SHIFT_TOLERANCE, max_iterations);
+    if !lossless_outcome.converged {
+        eprintln!("FAIL: lossless mesh did not converge within {max_iterations} iterations");
+        failed = true;
+    }
+
+    // Leg 2: seeded chaos is deterministic and still converges.
+    let chaotic_run = || {
+        let mut m =
+            MeshRuntime::chaotic(ExtendedNetwork::build(&problem), mesh_config(), &faults())
+                .expect("valid mesh config");
+        let (report, outcome) = m.run_until_stable(SHIFT_TOLERANCE, max_iterations);
+        (report, outcome, m.incidents().to_vec())
+    };
+    let (report_a, outcome_a, log_a) = chaotic_run();
+    let (report_b, _, log_b) = chaotic_run();
+    println!(
+        "mesh_smoke\tchaotic\t{}\t{:.6}\t{}",
+        outcome_a.iterations,
+        report_a.utility,
+        log_a.len()
+    );
+    if report_a != report_b || log_a != log_b {
+        eprintln!(
+            "FAIL: same-seed chaotic runs diverged \
+             (reports equal: {}, logs equal: {})",
+            report_a == report_b,
+            log_a == log_b
+        );
+        failed = true;
+    }
+    if log_a.is_empty() {
+        eprintln!("FAIL: the fault plan injected no incidents — the smoke tested nothing");
+        failed = true;
+    }
+    if outcome_a.converged != lossless_outcome.converged {
+        eprintln!(
+            "FAIL: chaotic verdict (converged {}) diverged from lossless \
+             (converged {})",
+            outcome_a.converged, lossless_outcome.converged
+        );
+        failed = true;
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "# mesh_smoke: OK (4 regions, lossless converged in {} iterations \
+         with 0 incidents, chaotic in {} with {} incidents)",
+        lossless_outcome.iterations,
+        outcome_a.iterations,
+        log_a.len()
+    );
+}

@@ -90,6 +90,186 @@ impl Checkpoint {
         dst.clear();
         dst.extend_from_slice(src);
     }
+
+    // --- external-runtime surface ------------------------------------
+    //
+    // `GradientAlgorithm` captures and restores through its own methods;
+    // runtimes that hold the state buffers directly (the `spn-mesh`
+    // region workers mirror a `RoutingTable`/`FlowState`/`Marginals`
+    // triple per worker) reuse the same snapshot type — and the same
+    // epoch fence — through the methods below, so "restore is
+    // bit-for-bit" is one contract with one implementation, not two.
+
+    /// Captures raw engine state (the mirror triple an external runtime
+    /// steps directly) into this checkpoint, reusing buffers like
+    /// [`checkpoint_into`](crate::GradientAlgorithm::checkpoint_into).
+    #[allow(clippy::too_many_arguments)]
+    pub fn capture_state(
+        &mut self,
+        routing: &crate::RoutingTable,
+        state: &crate::FlowState,
+        marginals: &crate::Marginals,
+        iterations: usize,
+        epsilon: f64,
+        eta: f64,
+        epoch: u64,
+    ) {
+        Checkpoint::refill(&mut self.phi, routing.flat());
+        Checkpoint::refill(&mut self.t, &state.t);
+        Checkpoint::refill(&mut self.x, &state.x);
+        Checkpoint::refill(&mut self.f_edge, &state.f_edge);
+        Checkpoint::refill(&mut self.f_node, &state.f_node);
+        Checkpoint::refill(&mut self.d, &marginals.d);
+        self.iterations = iterations;
+        self.epsilon = epsilon;
+        self.eta = eta;
+        self.epoch = epoch;
+        self.captured = true;
+    }
+
+    /// Applies a capture back onto an external runtime's state triple:
+    /// the exact inverse of [`Checkpoint::capture_state`], a straight
+    /// buffer copy (no recomputation, no rounding — bit-for-bit).
+    /// Validates in the same order as
+    /// [`restore`](crate::GradientAlgorithm::restore): captured flag,
+    /// then the `epoch` fence, then buffer shapes. Returns
+    /// `(iterations, epsilon, eta)` at capture time for the caller to
+    /// reinstall.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyCheckpoint`] for a never-captured checkpoint,
+    /// [`CoreError::EpochMismatch`] when the capture's commodity-set
+    /// epoch differs from `epoch`, and [`CoreError::ShapeMismatch`]
+    /// when any buffer length disagrees with the targets.
+    pub fn apply_state(
+        &self,
+        routing: &mut crate::RoutingTable,
+        state: &mut crate::FlowState,
+        marginals: &mut crate::Marginals,
+        epoch: u64,
+    ) -> Result<(usize, f64, f64), crate::health::CoreError> {
+        use crate::health::CoreError;
+        if !self.captured {
+            return Err(CoreError::EmptyCheckpoint);
+        }
+        if self.epoch != epoch {
+            return Err(CoreError::EpochMismatch {
+                expected: epoch,
+                got: self.epoch,
+            });
+        }
+        let shapes: [(&'static str, usize, usize); 6] = [
+            ("phi", routing.flat().len(), self.phi.len()),
+            ("t", state.t.len(), self.t.len()),
+            ("x", state.x.len(), self.x.len()),
+            ("f_edge", state.f_edge.len(), self.f_edge.len()),
+            ("f_node", state.f_node.len(), self.f_node.len()),
+            ("d", marginals.d.len(), self.d.len()),
+        ];
+        for (what, expected, got) in shapes {
+            if expected != got {
+                return Err(CoreError::ShapeMismatch {
+                    what,
+                    expected,
+                    got,
+                });
+            }
+        }
+        routing.flat_mut().copy_from_slice(&self.phi);
+        state.t.copy_from_slice(&self.t);
+        state.x.copy_from_slice(&self.x);
+        state.f_edge.copy_from_slice(&self.f_edge);
+        state.f_node.copy_from_slice(&self.f_node);
+        marginals.d.copy_from_slice(&self.d);
+        Ok((self.iterations, self.epsilon, self.eta))
+    }
+
+    /// Rebuilds a checkpoint from raw buffers (a deserialized recovery
+    /// frame). The result is captured; shape validation happens at
+    /// [`Checkpoint::apply_state`] time against the actual targets.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw(
+        phi: Vec<f64>,
+        t: Vec<f64>,
+        x: Vec<f64>,
+        f_edge: Vec<f64>,
+        f_node: Vec<f64>,
+        d: Vec<f64>,
+        iterations: usize,
+        epsilon: f64,
+        eta: f64,
+        epoch: u64,
+    ) -> Self {
+        Checkpoint {
+            phi,
+            t,
+            x,
+            f_edge,
+            f_node,
+            d,
+            iterations,
+            epsilon,
+            eta,
+            epoch,
+            captured: true,
+        }
+    }
+
+    /// Commodity-set epoch at capture time (the restore fence).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `cost.epsilon` at capture time.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// `η` at capture time.
+    #[must_use]
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// Routing fractions, flat row-major (`[j·L + l]`).
+    #[must_use]
+    pub fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// Node traffic rates, flat row-major (`[j·V + v]`).
+    #[must_use]
+    pub fn t(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// Per-edge commodity flows, flat row-major (`[j·L + l]`).
+    #[must_use]
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Cross-commodity edge usage totals.
+    #[must_use]
+    pub fn f_edge(&self) -> &[f64] {
+        &self.f_edge
+    }
+
+    /// Cross-commodity node usage totals.
+    #[must_use]
+    pub fn f_node(&self) -> &[f64] {
+        &self.f_node
+    }
+
+    /// Marginal costs, flat row-major (`[j·V + v]`).
+    #[must_use]
+    pub fn d(&self) -> &[f64] {
+        &self.d
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +381,82 @@ mod tests {
             "re-capture reallocated"
         );
         assert_eq!(ck.iterations(), 40);
+    }
+
+    #[test]
+    fn external_surface_round_trips_bit_for_bit() {
+        let mut alg = algorithm(1);
+        alg.run(60);
+        // Capture through the external-runtime surface...
+        let mut ck = Checkpoint::new();
+        ck.capture_state(
+            alg.routing(),
+            alg.flows(),
+            alg.marginals(),
+            alg.iterations(),
+            alg.cost_model().epsilon,
+            alg.config().eta,
+            alg.epoch(),
+        );
+        // ...and it must be indistinguishable from the algorithm's own
+        // capture: restore replays the identical trajectory.
+        let native = alg.checkpoint();
+        assert_eq!(ck, native);
+        let mut routing = alg.routing().clone();
+        let mut state = alg.flows().clone();
+        let mut marg = alg.marginals().clone();
+        alg.run(20);
+        let (iters, eps, eta) = ck
+            .apply_state(&mut routing, &mut state, &mut marg, alg.epoch())
+            .unwrap();
+        assert_eq!(iters, 60);
+        assert_eq!(eps.to_bits(), alg.cost_model().epsilon.to_bits());
+        assert_eq!(eta.to_bits(), alg.config().eta.to_bits());
+        alg.restore(&native).unwrap();
+        assert_eq!(&routing, alg.routing());
+        assert_eq!(&state, alg.flows());
+        assert_eq!(&marg, alg.marginals());
+    }
+
+    #[test]
+    fn external_surface_enforces_the_epoch_fence() {
+        let mut alg = algorithm(1);
+        alg.run(10);
+        let mut ck = Checkpoint::new();
+        ck.capture_state(
+            alg.routing(),
+            alg.flows(),
+            alg.marginals(),
+            alg.iterations(),
+            alg.cost_model().epsilon,
+            alg.config().eta,
+            7,
+        );
+        assert_eq!(ck.epoch(), 7);
+        let mut routing = alg.routing().clone();
+        let mut state = alg.flows().clone();
+        let mut marg = alg.marginals().clone();
+        assert_eq!(
+            ck.apply_state(&mut routing, &mut state, &mut marg, 8),
+            Err(CoreError::EpochMismatch {
+                expected: 8,
+                got: 7
+            })
+        );
+        // from_raw round-trips the buffers for the wire path
+        let rebuilt = Checkpoint::from_raw(
+            ck.phi().to_vec(),
+            ck.t().to_vec(),
+            ck.x().to_vec(),
+            ck.f_edge().to_vec(),
+            ck.f_node().to_vec(),
+            ck.d().to_vec(),
+            ck.iterations(),
+            ck.epsilon(),
+            ck.eta(),
+            ck.epoch(),
+        );
+        assert_eq!(rebuilt, ck);
     }
 
     #[test]

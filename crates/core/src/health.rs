@@ -576,6 +576,143 @@ impl GradientAlgorithm {
     }
 }
 
+// --- serde (incident logs) -------------------------------------------
+//
+// Incident types serialize so fault-injection runtimes (`spn-sim`'s
+// chaos log, `spn-mesh`'s incident log) can be rendered to JSON and
+// diffed across CI runs. The impls are manual: the graph crate is
+// deliberately serde-free, so node/edge ids appear as their indices,
+// and every variant renders as a map with a `"kind"` discriminant
+// first — insertion order is preserved by the `Value` tree, so the
+// rendering is deterministic.
+
+fn tagged(kind: &str, fields: Vec<(String, serde::Value)>) -> serde::Value {
+    let mut entries = vec![("kind".to_owned(), serde::Value::Str(kind.to_owned()))];
+    entries.extend(fields);
+    serde::Value::Map(entries)
+}
+
+fn field(name: &str, value: impl serde::Serialize) -> (String, serde::Value) {
+    (name.to_owned(), value.to_value())
+}
+
+impl serde::Serialize for StateDomain {
+    fn to_value(&self) -> serde::Value {
+        let name = match self {
+            StateDomain::Traffic => "Traffic",
+            StateDomain::EdgeFlows => "EdgeFlows",
+            StateDomain::UsageTotals => "UsageTotals",
+            StateDomain::Marginals => "Marginals",
+            StateDomain::Routing => "Routing",
+            StateDomain::Utility => "Utility",
+        };
+        serde::Value::Str(name.to_owned())
+    }
+}
+
+impl serde::Serialize for CoreError {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            CoreError::NonFinite {
+                domain,
+                index,
+                iteration,
+            } => tagged(
+                "NonFinite",
+                vec![
+                    field("domain", domain),
+                    field("index", index),
+                    field("iteration", iteration),
+                ],
+            ),
+            CoreError::Diverged {
+                utility,
+                peak,
+                iteration,
+            } => tagged(
+                "Diverged",
+                vec![
+                    field("utility", utility),
+                    field("peak", peak),
+                    field("iteration", iteration),
+                ],
+            ),
+            CoreError::Oscillating { flips, iteration } => tagged(
+                "Oscillating",
+                vec![field("flips", flips), field("iteration", iteration)],
+            ),
+            CoreError::NotProcessingNode { node } => {
+                tagged("NotProcessingNode", vec![field("node", node.index())])
+            }
+            CoreError::NoBandwidthNode { edge } => {
+                tagged("NoBandwidthNode", vec![field("edge", edge.index())])
+            }
+            CoreError::InvalidCapacity { value } => {
+                tagged("InvalidCapacity", vec![field("value", value)])
+            }
+            CoreError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => tagged(
+                "ShapeMismatch",
+                vec![
+                    ("what".to_owned(), serde::Value::Str((*what).to_owned())),
+                    field("expected", expected),
+                    field("got", got),
+                ],
+            ),
+            CoreError::EmptyCheckpoint => tagged("EmptyCheckpoint", Vec::new()),
+            CoreError::EpochMismatch { expected, got } => tagged(
+                "EpochMismatch",
+                vec![field("expected", expected), field("got", got)],
+            ),
+        }
+    }
+}
+
+impl serde::Serialize for Incident {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Incident::NonFinite { domain, index } => tagged(
+                "NonFinite",
+                vec![field("domain", domain), field("index", index)],
+            ),
+            Incident::Diverged { utility, peak } => tagged(
+                "Diverged",
+                vec![field("utility", utility), field("peak", peak)],
+            ),
+            Incident::Oscillating { flips, amplitude } => tagged(
+                "Oscillating",
+                vec![field("flips", flips), field("amplitude", amplitude)],
+            ),
+        }
+    }
+}
+
+impl serde::Serialize for Action {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Action::None => tagged("None", Vec::new()),
+            Action::BackoffRecommended => tagged("BackoffRecommended", Vec::new()),
+            Action::BackedOff { from, to } => {
+                tagged("BackedOff", vec![field("from", from), field("to", to)])
+            }
+            Action::RollbackRecommended => tagged("RollbackRecommended", Vec::new()),
+        }
+    }
+}
+
+impl serde::Serialize for HealthReport {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            field("iteration", self.iteration),
+            field("incidents", &self.incidents),
+            field("action", self.action),
+        ])
+    }
+}
+
 /// First non-finite entry across the observable state buffers, scanned
 /// in a fixed order (traffic, edge flows, usage totals, marginals,
 /// routing) so reports are deterministic.

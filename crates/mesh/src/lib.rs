@@ -1,0 +1,45 @@
+//! Region-sharded mesh runtime for the gradient algorithm.
+//!
+//! Splits a hierarchical instance's nodes across region workers that
+//! run local sweeps and exchange **serialized** marginal / Γ /
+//! flow-forecast messages over an in-process transport. Two transports
+//! back the two oracles:
+//!
+//! * [`Lossless`] — synchronous barriers; the mesh trajectory is
+//!   **bit-identical** to `spn_core::GradientAlgorithm`.
+//! * [`Chaotic`] — seeded per-link loss, duplication, bounded delay,
+//!   and region partitions with staggered heal; the run emits a
+//!   deterministic, serializable [`MeshIncident`] log and still reaches
+//!   the same convergence verdict within tier-2 tolerance.
+//!
+//! Robustness machinery: per-message sequence numbers with
+//! retry-under-capped-exponential-backoff for reliable frames,
+//! per-region heartbeat timeouts that degrade silent peers to suspect
+//! (iteration continues on last-known Γ), and epoch-fenced
+//! checkpoint/recovery so a rejoining region restores survivor state
+//! bit-for-bit.
+//!
+//! Module map:
+//!
+//! * [`wire`] — versioned binary frame format with validating decode.
+//! * [`transport`] — the [`Transport`] trait, [`Lossless`], [`Chaotic`].
+//! * [`fault`] — seeded fault plan ([`MeshFaultConfig`]).
+//! * [`incident`] — the [`MeshIncident`] log entries.
+//! * [`worker`] — one region's mirrors, reliability state, and phases.
+//! * [`recovery`] — state digests and snapshot encode/apply.
+//! * [`runtime`] — [`MeshRuntime`]: configuration, tick loop, report.
+
+pub mod fault;
+pub mod incident;
+pub mod recovery;
+pub mod runtime;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use fault::{MeshFaultConfig, MeshFaultPlan, PartitionSpec};
+pub use incident::MeshIncident;
+pub use runtime::{MeshConfig, MeshError, MeshReport, MeshRuntime};
+pub use transport::{Chaotic, Lossless, Transport};
+pub use wire::{Frame, FrameKind, Payload, WireError, WIRE_VERSION};
+pub use worker::RegionWorker;

@@ -1,0 +1,328 @@
+//! The in-process mesh: how encoded frames travel between regions.
+//!
+//! A [`Transport`] carries opaque byte frames (already encoded in the
+//! [`crate::wire`] format) from sender to destination inbox. Frames
+//! sent at tick `T` become deliverable at tick `T + 1` — a synchronous
+//! barrier per sub-round — and are handed out in deterministic order:
+//! send order, which the runtime fixes by driving workers in region
+//! order. Two implementations:
+//!
+//! * [`Lossless`] — every frame arrives exactly once, next tick, in
+//!   order. Under this transport the mesh trajectory is bit-identical
+//!   to `GradientAlgorithm` (the tentpole oracle).
+//! * [`Chaotic`] — consults a seeded [`MeshFaultPlan`] per frame:
+//!   loss, duplication, bounded delay, and region partitions with
+//!   staggered heal. Every injected fault is logged as a
+//!   [`MeshIncident`], and two runs from the same seed inject — and
+//!   log — exactly the same faults.
+
+use crate::fault::MeshFaultPlan;
+use crate::incident::MeshIncident;
+use crate::wire::Frame;
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// A frame conduit between region workers. All methods take the
+/// current transport tick; implementations must be deterministic
+/// functions of (construction arguments, call sequence).
+pub trait Transport {
+    /// Called once per tick before any send or deliver, so the
+    /// transport can log scheduled events (partition cuts and heals).
+    fn begin_tick(&mut self, tick: u64, log: &mut Vec<MeshIncident>);
+
+    /// Queues an encoded frame from `from` to `to`.
+    fn send(
+        &mut self,
+        tick: u64,
+        from: usize,
+        to: usize,
+        bytes: Vec<u8>,
+        log: &mut Vec<MeshIncident>,
+    );
+
+    /// Drains every frame deliverable to `to` at `tick` (frames sent
+    /// strictly earlier, plus any delayed frames now due), in
+    /// deterministic order.
+    fn deliver(&mut self, tick: u64, to: usize, log: &mut Vec<MeshIncident>) -> Vec<Vec<u8>>;
+}
+
+/// Synchronous-barrier delivery: every frame arrives exactly once at
+/// the tick after it was sent, in send order. Built on `mpsc` channels
+/// (one per destination region) with a small reorder buffer that holds
+/// frames back until their barrier tick.
+pub struct Lossless {
+    lanes: Vec<Lane>,
+}
+
+struct Lane {
+    tx: Sender<(u64, usize, Vec<u8>)>,
+    rx: Receiver<(u64, usize, Vec<u8>)>,
+    /// Frames drained from the channel but not yet past their barrier.
+    held: VecDeque<(u64, usize, Vec<u8>)>,
+}
+
+impl Lossless {
+    /// A lossless mesh between `regions` workers.
+    #[must_use]
+    pub fn new(regions: usize) -> Self {
+        let lanes = (0..regions)
+            .map(|_| {
+                let (tx, rx) = channel();
+                Lane {
+                    tx,
+                    rx,
+                    held: VecDeque::new(),
+                }
+            })
+            .collect();
+        Lossless { lanes }
+    }
+}
+
+impl Transport for Lossless {
+    fn begin_tick(&mut self, _tick: u64, _log: &mut Vec<MeshIncident>) {}
+
+    fn send(
+        &mut self,
+        tick: u64,
+        from: usize,
+        to: usize,
+        bytes: Vec<u8>,
+        _log: &mut Vec<MeshIncident>,
+    ) {
+        // an in-process send on a live receiver cannot fail
+        let _ = self.lanes[to].tx.send((tick, from, bytes));
+    }
+
+    fn deliver(&mut self, tick: u64, to: usize, _log: &mut Vec<MeshIncident>) -> Vec<Vec<u8>> {
+        let lane = &mut self.lanes[to];
+        while let Ok(item) = lane.rx.try_recv() {
+            lane.held.push_back(item);
+        }
+        let mut out = Vec::new();
+        // barrier: only frames sent strictly before this tick
+        while matches!(lane.held.front(), Some(&(sent, _, _)) if sent < tick) {
+            let (_, _, bytes) = lane.held.pop_front().expect("front checked");
+            out.push(bytes);
+        }
+        out
+    }
+}
+
+/// Fault-injecting delivery driven by a seeded [`MeshFaultPlan`]:
+/// per-frame loss, duplication, and bounded delay draws plus region
+/// partitions with staggered heal. Deterministic: the same plan and the
+/// same call sequence inject the same faults and log the same
+/// incidents.
+pub struct Chaotic {
+    plan: MeshFaultPlan,
+    /// Pending frames per destination: `(deliver_tick, order, bytes)`,
+    /// kept sorted by `(deliver_tick, order)`.
+    pending: Vec<Vec<(u64, u64, Vec<u8>)>>,
+    /// Monotone insertion counter — the deterministic tiebreak.
+    order: u64,
+}
+
+impl Chaotic {
+    /// A chaotic mesh between `regions` workers under `plan`.
+    #[must_use]
+    pub fn new(plan: MeshFaultPlan, regions: usize) -> Self {
+        Chaotic {
+            plan,
+            pending: (0..regions).map(|_| Vec::new()).collect(),
+            order: 0,
+        }
+    }
+
+    fn enqueue(&mut self, to: usize, deliver_tick: u64, bytes: Vec<u8>) {
+        let order = self.order;
+        self.order += 1;
+        let queue = &mut self.pending[to];
+        let at = queue.partition_point(|&(dt, o, _)| (dt, o) <= (deliver_tick, order));
+        queue.insert(at, (deliver_tick, order, bytes));
+    }
+
+    fn frame_kind(bytes: &[u8]) -> crate::wire::FrameKind {
+        // frames come from our own workers; peeking cannot fail
+        Frame::peek_kind(bytes).expect("well-formed frame")
+    }
+}
+
+impl Transport for Chaotic {
+    fn begin_tick(&mut self, tick: u64, log: &mut Vec<MeshIncident>) {
+        for p in self.plan.partitions() {
+            if p.at == tick {
+                log.push(MeshIncident::PartitionStarted {
+                    tick,
+                    region: p.region,
+                });
+            }
+            for (peer, &heal) in p.heal.iter().enumerate() {
+                if peer != p.region && heal == tick {
+                    log.push(MeshIncident::LinkHealed {
+                        tick,
+                        region: p.region,
+                        peer,
+                    });
+                }
+            }
+            if p.healed_at == tick && p.at < tick {
+                log.push(MeshIncident::PartitionHealed {
+                    tick,
+                    region: p.region,
+                });
+            }
+        }
+    }
+
+    fn send(
+        &mut self,
+        tick: u64,
+        from: usize,
+        to: usize,
+        bytes: Vec<u8>,
+        log: &mut Vec<MeshIncident>,
+    ) {
+        let kind = Self::frame_kind(&bytes);
+        if self.plan.link_blocked(tick, from, to) || self.plan.drops_frame(tick, from, to) {
+            log.push(MeshIncident::FrameLost {
+                tick,
+                from,
+                to,
+                kind,
+            });
+            return;
+        }
+        let delay = self.plan.delay_ticks(tick, from, to);
+        let deliver_tick = tick + 1 + delay;
+        if delay > 0 {
+            log.push(MeshIncident::FrameDelayed {
+                tick,
+                from,
+                to,
+                kind,
+                until: deliver_tick,
+            });
+        }
+        if self.plan.duplicates_frame(tick, from, to) {
+            log.push(MeshIncident::FrameDuplicated {
+                tick,
+                from,
+                to,
+                kind,
+            });
+            self.enqueue(to, deliver_tick, bytes.clone());
+        }
+        self.enqueue(to, deliver_tick, bytes);
+    }
+
+    fn deliver(&mut self, tick: u64, to: usize, _log: &mut Vec<MeshIncident>) -> Vec<Vec<u8>> {
+        let queue = &mut self.pending[to];
+        let due = queue.partition_point(|&(dt, _, _)| dt <= tick);
+        queue.drain(..due).map(|(_, _, bytes)| bytes).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{MeshFaultConfig, PartitionSpec};
+    use crate::wire::Payload;
+
+    fn hb(from: u16, to: u16, round: u64) -> Vec<u8> {
+        Frame {
+            from,
+            to,
+            seq: 0,
+            round,
+            payload: Payload::Heartbeat,
+        }
+        .encode()
+    }
+
+    #[test]
+    fn lossless_delivers_next_tick_in_order() {
+        let mut t = Lossless::new(2);
+        let mut log = Vec::new();
+        t.send(5, 0, 1, hb(0, 1, 1), &mut log);
+        t.send(5, 0, 1, hb(0, 1, 2), &mut log);
+        // same tick: barrier holds them back
+        assert!(t.deliver(5, 1, &mut log).is_empty());
+        let got = t.deliver(6, 1, &mut log);
+        assert_eq!(got.len(), 2);
+        assert_eq!(Frame::decode(&got[0]).unwrap().round, 1);
+        assert_eq!(Frame::decode(&got[1]).unwrap().round, 2);
+        // drained: nothing left
+        assert!(t.deliver(7, 1, &mut log).is_empty());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn chaotic_same_seed_same_incidents() {
+        let cfg = MeshFaultConfig {
+            seed: 5,
+            loss: 0.3,
+            duplicate: 0.2,
+            delay_prob: 0.3,
+            max_delay: 2,
+            partitions: vec![PartitionSpec {
+                region: 1,
+                at: 4,
+                duration: 3,
+                heal_stagger: 2,
+            }],
+        };
+        let run = || {
+            let mut t = Chaotic::new(MeshFaultPlan::compile(&cfg, 3), 3);
+            let mut log = Vec::new();
+            let mut delivered = Vec::new();
+            for tick in 0..20u64 {
+                t.begin_tick(tick, &mut log);
+                for from in 0..3u16 {
+                    for to in 0..3u16 {
+                        if from != to {
+                            t.send(
+                                tick,
+                                from as usize,
+                                to as usize,
+                                hb(from, to, tick),
+                                &mut log,
+                            );
+                        }
+                    }
+                }
+                for to in 0..3usize {
+                    delivered.push((tick, to, t.deliver(tick, to, &mut log).len()));
+                }
+            }
+            (log, delivered)
+        };
+        let (log_a, del_a) = run();
+        let (log_b, del_b) = run();
+        assert_eq!(log_a, log_b);
+        assert_eq!(del_a, del_b);
+        assert!(log_a
+            .iter()
+            .any(|i| matches!(i, MeshIncident::PartitionStarted { .. })));
+        assert!(log_a
+            .iter()
+            .any(|i| matches!(i, MeshIncident::FrameLost { .. })));
+    }
+
+    #[test]
+    fn chaotic_with_plan_off_matches_lossless() {
+        let mut chaotic = Chaotic::new(MeshFaultPlan::compile(&MeshFaultConfig::off(), 2), 2);
+        let mut lossless = Lossless::new(2);
+        let mut log = Vec::new();
+        for tick in 0..10u64 {
+            chaotic.begin_tick(tick, &mut log);
+            lossless.begin_tick(tick, &mut log);
+            chaotic.send(tick, 0, 1, hb(0, 1, tick), &mut log);
+            lossless.send(tick, 0, 1, hb(0, 1, tick), &mut log);
+            let a = chaotic.deliver(tick, 1, &mut log);
+            let b = lossless.deliver(tick, 1, &mut log);
+            assert_eq!(a, b);
+        }
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,753 @@
+//! The versioned wire format of the mesh.
+//!
+//! Region workers never share references — every marginal, Γ row, flow
+//! forecast, and recovery snapshot crosses the transport as a
+//! length-delimited byte frame in the format defined here, so the mesh
+//! exercises real serialization boundaries even though the transport is
+//! in-process. The format is explicit and versioned:
+//!
+//! ```text
+//! magic   [u8; 2] = b"SM"
+//! version u16     = WIRE_VERSION          (little-endian, like all ints)
+//! kind    u8                              (FrameKind discriminant)
+//! from    u16                             (sender region)
+//! to      u16                             (destination region)
+//! seq     u64                             (reliable-stream sequence; 0
+//!                                          for unreliable kinds)
+//! round   u64                             (iteration the frame belongs to)
+//! len     u32                             (payload byte length)
+//! payload [u8; len]                       (kind-specific, see Payload)
+//! ```
+//!
+//! Floats travel as their IEEE-754 bit patterns (`f64::to_bits`,
+//! little-endian) — encode→decode is *bit-identical*, which is what
+//! lets the `Lossless` transport carry the bit-identity oracle. Decoding
+//! validates everything it reads: magic, version skew (a structured
+//! [`WireError::UnsupportedVersion`], never a panic), unknown kinds,
+//! truncation, trailing bytes, and **non-finite floats** — a NaN or
+//! ±Inf anywhere in a payload is refused at the boundary
+//! ([`WireError::NonFinite`]) so corruption cannot enter a worker's
+//! mirrors through the mesh.
+
+use std::fmt;
+
+/// The wire protocol version this build speaks. Decoders refuse frames
+/// from any other version with [`WireError::UnsupportedVersion`].
+pub const WIRE_VERSION: u16 = 1;
+
+/// Frame magic: the first two bytes of every valid frame.
+pub const MAGIC: [u8; 2] = *b"SM";
+
+/// Frame kinds. The discriminant is the on-wire `kind` byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Liveness beacon (empty payload, unreliable).
+    Heartbeat = 0,
+    /// Marginal-cost broadcast for the sender's owned nodes
+    /// (unreliable: listeners keep the last value heard).
+    Marginals = 1,
+    /// Changed Γ routing rows for the sender's owned routers (reliable:
+    /// retransmitted until acknowledged).
+    GammaRows = 2,
+    /// Per-commodity admission/utility forecast from the commodity's
+    /// owner region (unreliable).
+    FlowForecast = 3,
+    /// Cumulative acknowledgement of the reliable stream (unreliable —
+    /// a lost ack just means one more retransmit).
+    Ack = 4,
+    /// A rejoining region asks a survivor for its state (reliable).
+    RecoveryRequest = 5,
+    /// A survivor's epoch-fenced state snapshot (reliable).
+    RecoveryState = 6,
+}
+
+impl FrameKind {
+    /// Whether frames of this kind ride the reliable (sequenced,
+    /// retransmitted) stream.
+    #[must_use]
+    pub fn is_reliable(self) -> bool {
+        matches!(
+            self,
+            FrameKind::GammaRows | FrameKind::RecoveryRequest | FrameKind::RecoveryState
+        )
+    }
+
+    fn from_byte(byte: u8) -> Option<Self> {
+        Some(match byte {
+            0 => FrameKind::Heartbeat,
+            1 => FrameKind::Marginals,
+            2 => FrameKind::GammaRows,
+            3 => FrameKind::FlowForecast,
+            4 => FrameKind::Ack,
+            5 => FrameKind::RecoveryRequest,
+            6 => FrameKind::RecoveryState,
+            _ => return None,
+        })
+    }
+
+    /// Short name for traces and incident logs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameKind::Heartbeat => "heartbeat",
+            FrameKind::Marginals => "marginals",
+            FrameKind::GammaRows => "gamma-rows",
+            FrameKind::FlowForecast => "flow-forecast",
+            FrameKind::Ack => "ack",
+            FrameKind::RecoveryRequest => "recovery-request",
+            FrameKind::RecoveryState => "recovery-state",
+        }
+    }
+}
+
+impl fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One marginal-cost entry: node `v`'s commodity-`j` marginal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MarginalEntry {
+    /// Commodity index.
+    pub j: u32,
+    /// Extended-node index.
+    pub v: u32,
+    /// The marginal cost `∂A/∂r_v(j)`.
+    pub d: f64,
+}
+
+/// One Γ routing row: router `(j, v)`'s outgoing fractions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GammaRow {
+    /// Commodity index.
+    pub j: u32,
+    /// Router (extended-node) index.
+    pub v: u32,
+    /// `(edge index, fraction)` pairs covering the router's out-edges.
+    pub edges: Vec<(u32, f64)>,
+}
+
+/// One per-commodity forecast from the commodity's owner region.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ForecastEntry {
+    /// Commodity index.
+    pub j: u32,
+    /// Admitted rate `a_j` under the owner's current mirror.
+    pub admitted: f64,
+    /// Utility `U_j(a_j)`.
+    pub utility: f64,
+}
+
+/// A recovery snapshot: the survivor's full mirror state, epoch-fenced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryStatePayload {
+    /// The request token this snapshot answers.
+    pub token: u64,
+    /// Commodity-set epoch at capture (the restore fence).
+    pub epoch: u64,
+    /// Iteration counter at capture.
+    pub iterations: u64,
+    /// `cost.epsilon` at capture.
+    pub epsilon: f64,
+    /// `η` at capture.
+    pub eta: f64,
+    /// Routing fractions, flat row-major.
+    pub phi: Vec<f64>,
+    /// Node traffic rates, flat row-major.
+    pub t: Vec<f64>,
+    /// Per-edge commodity flows, flat row-major.
+    pub x: Vec<f64>,
+    /// Cross-commodity edge usage totals.
+    pub f_edge: Vec<f64>,
+    /// Cross-commodity node usage totals.
+    pub f_node: Vec<f64>,
+    /// Marginal costs, flat row-major.
+    pub d: Vec<f64>,
+}
+
+/// A frame's kind-specific payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// Empty liveness beacon.
+    Heartbeat,
+    /// Marginal broadcast entries.
+    Marginals(Vec<MarginalEntry>),
+    /// Changed Γ rows.
+    GammaRows(Vec<GammaRow>),
+    /// Owner forecasts.
+    FlowForecast(Vec<ForecastEntry>),
+    /// Cumulative ack: every reliable seq `<= cum` has been received.
+    Ack {
+        /// Highest contiguously-received reliable sequence number.
+        cum: u64,
+    },
+    /// Recovery request with its fencing token.
+    RecoveryRequest {
+        /// Token echoed by the matching [`Payload::RecoveryState`].
+        token: u64,
+    },
+    /// Recovery snapshot.
+    RecoveryState(Box<RecoveryStatePayload>),
+}
+
+impl Payload {
+    /// The wire kind this payload encodes as.
+    #[must_use]
+    pub fn kind(&self) -> FrameKind {
+        match self {
+            Payload::Heartbeat => FrameKind::Heartbeat,
+            Payload::Marginals(_) => FrameKind::Marginals,
+            Payload::GammaRows(_) => FrameKind::GammaRows,
+            Payload::FlowForecast(_) => FrameKind::FlowForecast,
+            Payload::Ack { .. } => FrameKind::Ack,
+            Payload::RecoveryRequest { .. } => FrameKind::RecoveryRequest,
+            Payload::RecoveryState(_) => FrameKind::RecoveryState,
+        }
+    }
+}
+
+/// One mesh frame: header plus payload. [`Frame::encode`] and
+/// [`Frame::decode`] are exact inverses for every valid frame (pinned
+/// by round-trip proptests).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Sender region.
+    pub from: u16,
+    /// Destination region.
+    pub to: u16,
+    /// Reliable-stream sequence number (0 for unreliable kinds).
+    pub seq: u64,
+    /// Iteration the frame belongs to (the staleness watermark key).
+    pub round: u64,
+    /// Kind-specific payload.
+    pub payload: Payload,
+}
+
+/// Structured decode errors. Every malformed input is refused with one
+/// of these — decoding never panics on untrusted bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// Fewer bytes than the field being read required.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes remaining.
+        got: usize,
+    },
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic {
+        /// The bytes found.
+        got: [u8; 2],
+    },
+    /// The frame's protocol version is not spoken by this build.
+    UnsupportedVersion {
+        /// Version on the wire.
+        got: u16,
+        /// Version this build supports.
+        supported: u16,
+    },
+    /// The kind byte maps to no known [`FrameKind`].
+    UnknownKind {
+        /// The byte found.
+        got: u8,
+    },
+    /// A float field decoded to NaN or ±Inf.
+    NonFinite {
+        /// Which payload field family.
+        what: &'static str,
+        /// Index of the offending float within that family.
+        index: usize,
+    },
+    /// Bytes remained after the declared payload length was consumed.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// The payload's declared length disagrees with its contents.
+    BadLength {
+        /// What was being decoded.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, {got} remain")
+            }
+            WireError::BadMagic { got } => write!(f, "bad magic {got:?}"),
+            WireError::UnsupportedVersion { got, supported } => {
+                write!(
+                    f,
+                    "unsupported wire version {got} (this build speaks {supported})"
+                )
+            }
+            WireError::UnknownKind { got } => write!(f, "unknown frame kind {got}"),
+            WireError::NonFinite { what, index } => {
+                write!(f, "non-finite float in {what} at index {index}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after payload")
+            }
+            WireError::BadLength { what } => write!(f, "inconsistent length in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// --- encoding ---------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_f64_slice(out: &mut Vec<u8>, vs: &[f64]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+
+impl Frame {
+    /// Encodes the frame into its on-wire byte representation.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match &self.payload {
+            Payload::Heartbeat => {}
+            Payload::Marginals(entries) => {
+                put_u32(&mut payload, entries.len() as u32);
+                for e in entries {
+                    put_u32(&mut payload, e.j);
+                    put_u32(&mut payload, e.v);
+                    put_f64(&mut payload, e.d);
+                }
+            }
+            Payload::GammaRows(rows) => {
+                put_u32(&mut payload, rows.len() as u32);
+                for row in rows {
+                    put_u32(&mut payload, row.j);
+                    put_u32(&mut payload, row.v);
+                    put_u32(&mut payload, row.edges.len() as u32);
+                    for &(l, phi) in &row.edges {
+                        put_u32(&mut payload, l);
+                        put_f64(&mut payload, phi);
+                    }
+                }
+            }
+            Payload::FlowForecast(entries) => {
+                put_u32(&mut payload, entries.len() as u32);
+                for e in entries {
+                    put_u32(&mut payload, e.j);
+                    put_f64(&mut payload, e.admitted);
+                    put_f64(&mut payload, e.utility);
+                }
+            }
+            Payload::Ack { cum } => put_u64(&mut payload, *cum),
+            Payload::RecoveryRequest { token } => put_u64(&mut payload, *token),
+            Payload::RecoveryState(s) => {
+                put_u64(&mut payload, s.token);
+                put_u64(&mut payload, s.epoch);
+                put_u64(&mut payload, s.iterations);
+                put_f64(&mut payload, s.epsilon);
+                put_f64(&mut payload, s.eta);
+                put_f64_slice(&mut payload, &s.phi);
+                put_f64_slice(&mut payload, &s.t);
+                put_f64_slice(&mut payload, &s.x);
+                put_f64_slice(&mut payload, &s.f_edge);
+                put_f64_slice(&mut payload, &s.f_node);
+                put_f64_slice(&mut payload, &s.d);
+            }
+        }
+        let mut out = Vec::with_capacity(27 + payload.len());
+        out.extend_from_slice(&MAGIC);
+        put_u16(&mut out, WIRE_VERSION);
+        out.push(self.payload.kind() as u8);
+        put_u16(&mut out, self.from);
+        put_u16(&mut out, self.to);
+        put_u64(&mut out, self.seq);
+        put_u64(&mut out, self.round);
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes a frame, validating magic, version, kind, lengths, and
+    /// float finiteness.
+    ///
+    /// # Errors
+    ///
+    /// A [`WireError`] describing the first problem found; malformed
+    /// bytes never panic.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader { buf: bytes, at: 0 };
+        let magic = [r.u8()?, r.u8()?];
+        if magic != MAGIC {
+            return Err(WireError::BadMagic { got: magic });
+        }
+        let version = r.u16()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion {
+                got: version,
+                supported: WIRE_VERSION,
+            });
+        }
+        let kind_byte = r.u8()?;
+        let kind =
+            FrameKind::from_byte(kind_byte).ok_or(WireError::UnknownKind { got: kind_byte })?;
+        let from = r.u16()?;
+        let to = r.u16()?;
+        let seq = r.u64()?;
+        let round = r.u64()?;
+        let len = r.u32()? as usize;
+        if r.remaining() < len {
+            return Err(WireError::Truncated {
+                needed: len,
+                got: r.remaining(),
+            });
+        }
+        let payload_end = r.at + len;
+        let payload = match kind {
+            FrameKind::Heartbeat => Payload::Heartbeat,
+            FrameKind::Marginals => {
+                let n = r.u32()? as usize;
+                let mut entries = Vec::with_capacity(n.min(r.remaining() / 16));
+                for i in 0..n {
+                    entries.push(MarginalEntry {
+                        j: r.u32()?,
+                        v: r.u32()?,
+                        d: r.finite_f64("marginals", i)?,
+                    });
+                }
+                Payload::Marginals(entries)
+            }
+            FrameKind::GammaRows => {
+                let n = r.u32()? as usize;
+                let mut rows = Vec::with_capacity(n.min(r.remaining() / 12));
+                let mut floats = 0usize;
+                for _ in 0..n {
+                    let j = r.u32()?;
+                    let v = r.u32()?;
+                    let e = r.u32()? as usize;
+                    let mut edges = Vec::with_capacity(e.min(r.remaining() / 12));
+                    for _ in 0..e {
+                        let l = r.u32()?;
+                        let phi = r.finite_f64("gamma-rows", floats)?;
+                        floats += 1;
+                        edges.push((l, phi));
+                    }
+                    rows.push(GammaRow { j, v, edges });
+                }
+                Payload::GammaRows(rows)
+            }
+            FrameKind::FlowForecast => {
+                let n = r.u32()? as usize;
+                let mut entries = Vec::with_capacity(n.min(r.remaining() / 20));
+                for i in 0..n {
+                    entries.push(ForecastEntry {
+                        j: r.u32()?,
+                        admitted: r.finite_f64("forecast", 2 * i)?,
+                        utility: r.finite_f64("forecast", 2 * i + 1)?,
+                    });
+                }
+                Payload::FlowForecast(entries)
+            }
+            FrameKind::Ack => Payload::Ack { cum: r.u64()? },
+            FrameKind::RecoveryRequest => Payload::RecoveryRequest { token: r.u64()? },
+            FrameKind::RecoveryState => {
+                let token = r.u64()?;
+                let epoch = r.u64()?;
+                let iterations = r.u64()?;
+                let epsilon = r.finite_f64("recovery-epsilon", 0)?;
+                let eta = r.finite_f64("recovery-eta", 0)?;
+                let phi = r.finite_f64_vec("recovery-phi")?;
+                let t = r.finite_f64_vec("recovery-t")?;
+                let x = r.finite_f64_vec("recovery-x")?;
+                let f_edge = r.finite_f64_vec("recovery-f-edge")?;
+                let f_node = r.finite_f64_vec("recovery-f-node")?;
+                let d = r.finite_f64_vec("recovery-d")?;
+                Payload::RecoveryState(Box::new(RecoveryStatePayload {
+                    token,
+                    epoch,
+                    iterations,
+                    epsilon,
+                    eta,
+                    phi,
+                    t,
+                    x,
+                    f_edge,
+                    f_node,
+                    d,
+                }))
+            }
+        };
+        if r.at != payload_end {
+            return Err(WireError::BadLength { what: kind.name() });
+        }
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        Ok(Frame {
+            from,
+            to,
+            seq,
+            round,
+            payload,
+        })
+    }
+
+    /// Reads just the kind byte of an encoded frame (transports use it
+    /// to label fault incidents without a full decode).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] or [`WireError::UnknownKind`].
+    pub fn peek_kind(bytes: &[u8]) -> Result<FrameKind, WireError> {
+        let byte = *bytes.get(4).ok_or(WireError::Truncated {
+            needed: 5,
+            got: bytes.len(),
+        })?;
+        FrameKind::from_byte(byte).ok_or(WireError::UnknownKind { got: byte })
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                got: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn finite_f64(&mut self, what: &'static str, index: usize) -> Result<f64, WireError> {
+        let v = f64::from_bits(self.u64()?);
+        if !v.is_finite() {
+            return Err(WireError::NonFinite { what, index });
+        }
+        Ok(v)
+    }
+
+    fn finite_f64_vec(&mut self, what: &'static str) -> Result<Vec<f64>, WireError> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(self.remaining() / 8));
+        for i in 0..n {
+            out.push(self.finite_f64(what, i)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame {
+                from: 0,
+                to: 1,
+                seq: 0,
+                round: 3,
+                payload: Payload::Heartbeat,
+            },
+            Frame {
+                from: 2,
+                to: 0,
+                seq: 0,
+                round: 7,
+                payload: Payload::Marginals(vec![
+                    MarginalEntry {
+                        j: 0,
+                        v: 4,
+                        d: 1.25,
+                    },
+                    MarginalEntry {
+                        j: 1,
+                        v: 9,
+                        d: -3.5e-9,
+                    },
+                ]),
+            },
+            Frame {
+                from: 1,
+                to: 3,
+                seq: 42,
+                round: 7,
+                payload: Payload::GammaRows(vec![GammaRow {
+                    j: 2,
+                    v: 11,
+                    edges: vec![(5, 0.25), (9, 0.75)],
+                }]),
+            },
+            Frame {
+                from: 3,
+                to: 2,
+                seq: 0,
+                round: 8,
+                payload: Payload::FlowForecast(vec![ForecastEntry {
+                    j: 1,
+                    admitted: 4.5,
+                    utility: 9.0,
+                }]),
+            },
+            Frame {
+                from: 0,
+                to: 2,
+                seq: 0,
+                round: 8,
+                payload: Payload::Ack { cum: 41 },
+            },
+            Frame {
+                from: 1,
+                to: 0,
+                seq: 43,
+                round: 9,
+                payload: Payload::RecoveryRequest { token: 77 },
+            },
+            Frame {
+                from: 0,
+                to: 1,
+                seq: 17,
+                round: 9,
+                payload: Payload::RecoveryState(Box::new(RecoveryStatePayload {
+                    token: 77,
+                    epoch: 2,
+                    iterations: 120,
+                    epsilon: 5e-4,
+                    eta: 0.04,
+                    phi: vec![0.0, 0.5, 0.5],
+                    t: vec![1.0, 2.0],
+                    x: vec![0.25; 3],
+                    f_edge: vec![3.5],
+                    f_node: vec![0.75, 1.5],
+                    d: vec![0.1, 0.2],
+                })),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_kind() {
+        for frame in sample_frames() {
+            let bytes = frame.encode();
+            assert_eq!(Frame::peek_kind(&bytes).unwrap(), frame.payload.kind());
+            let back = Frame::decode(&bytes).unwrap();
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_kind() {
+        let mut bytes = sample_frames()[0].encode();
+        let orig = bytes.clone();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::BadMagic { .. })
+        ));
+        bytes = orig.clone();
+        bytes[2] = 0xFF; // version low byte
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(WireError::UnsupportedVersion {
+                got: u16::from_le_bytes([0xFF, 0]),
+                supported: WIRE_VERSION
+            })
+        );
+        bytes = orig;
+        bytes[4] = 0x7F; // kind
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(WireError::UnknownKind { got: 0x7F })
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_floats() {
+        let frame = Frame {
+            from: 0,
+            to: 1,
+            seq: 0,
+            round: 0,
+            payload: Payload::Marginals(vec![MarginalEntry { j: 0, v: 0, d: 1.0 }]),
+        };
+        let mut bytes = frame.encode();
+        let float_at = bytes.len() - 8;
+        bytes[float_at..].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(WireError::NonFinite {
+                what: "marginals",
+                index: 0
+            })
+        );
+        bytes[float_at..].copy_from_slice(&f64::INFINITY.to_bits().to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_bytes() {
+        let bytes = sample_frames()[2].encode();
+        for cut in 1..bytes.len() {
+            assert!(
+                Frame::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        let mut extended = bytes;
+        extended.push(0);
+        assert!(Frame::decode(&extended).is_err());
+    }
+}

@@ -1,0 +1,830 @@
+//! One region's share of the mesh: a full state mirror, the sweep
+//! phases over it, and the reliability machinery that keeps the mirror
+//! honest under a faulty transport.
+//!
+//! Every worker mirrors the complete `(routing, flows, marginals)`
+//! state but *owns* only its node range: Γ updates for owned routers
+//! are computed locally and broadcast as serialized rows; peer rows
+//! arrive over the wire and are merged in. Under a lossless transport
+//! each worker's redundant full-mirror sweeps are bit-identical to
+//! every peer's, so the merged trajectory is bit-identical to the
+//! monolithic `GradientAlgorithm` (ARCHITECTURE invariant 19).
+//!
+//! Reliability, per peer link:
+//!
+//! * **Reliable stream** (Γ rows, recovery frames): sequence numbers
+//!   starting at 1, cumulative acks, in-order delivery with an
+//!   ahead-buffer, and retransmit under capped exponential backoff.
+//! * **Watermarked broadcasts** (marginals, forecasts): a per-kind
+//!   round watermark accepts only strictly newer rounds; duplicates
+//!   and stale frames are logged and discarded, never applied twice.
+//! * **Per-row round guards**: a Γ row is applied only if its round is
+//!   newer than the row's last applied round, so late retransmits
+//!   flushed after a recovery cannot regress restored state.
+//! * **Heartbeats & suspicion**: a peer silent for longer than the
+//!   suspect window is degraded to suspect — its rows simply stop
+//!   updating (last-known Γ) and iteration continues. When *all*
+//!   peers are suspect the worker is isolated; the first peer heard
+//!   from again triggers the epoch-fenced recovery handshake.
+
+use crate::incident::MeshIncident;
+use crate::recovery::{payload_to_snapshot, snapshot_to_payload, state_digest};
+use crate::wire::{ForecastEntry, Frame, FrameKind, GammaRow, MarginalEntry, Payload};
+use spn_core::blocked::{compute_tags_into, BlockedTags};
+use spn_core::flows::compute_flows_into;
+use spn_core::gamma::{apply_gamma_selective, GammaStats};
+use spn_core::marginals::compute_marginals_into;
+use spn_core::{
+    Checkpoint, CostModel, FlowState, GradientConfig, IterationWorkspace, Marginals, RoutingTable,
+};
+use spn_graph::EdgeId;
+use spn_model::CommodityId;
+use spn_transform::ExtendedNetwork;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Which region owns extended node `v` of `v_count`, splitting the node
+/// index space into `regions` contiguous ranges.
+#[must_use]
+pub fn owner_of(v_index: usize, v_count: usize, regions: usize) -> usize {
+    debug_assert!(regions >= 1 && v_index < v_count);
+    (v_index * regions / v_count).min(regions - 1)
+}
+
+/// Ticks after a send before the first retransmit check may fire: the
+/// ack round trip is two ticks, plus slack so a lossless mesh never
+/// retransmits.
+const RETRY_GRACE: u64 = 4;
+
+/// An unacked reliable frame awaiting retransmission.
+struct Flight {
+    seq: u64,
+    bytes: Vec<u8>,
+    /// Retransmit attempts so far (0 = never retransmitted).
+    attempts: u32,
+    /// Tick at which the next retransmit check fires.
+    due: u64,
+}
+
+/// Per-peer link state: the reliable stream in both directions plus the
+/// broadcast watermarks.
+struct Link {
+    /// Next sequence number to assign (reliable sends; starts at 1).
+    next_seq: u64,
+    /// Sent-but-unacked reliable frames, in seq order.
+    in_flight: VecDeque<Flight>,
+    /// Next reliable seq expected from the peer.
+    recv_next: u64,
+    /// Out-of-order reliable frames buffered until the gap fills.
+    ahead: BTreeMap<u64, Frame>,
+    /// Round watermark per broadcast kind: next acceptable round.
+    wm_marginals: u64,
+    wm_forecast: u64,
+}
+
+impl Link {
+    fn new() -> Self {
+        Link {
+            next_seq: 1,
+            in_flight: VecDeque::new(),
+            recv_next: 1,
+            ahead: BTreeMap::new(),
+            wm_marginals: 0,
+            wm_forecast: 0,
+        }
+    }
+}
+
+/// One region worker: full mirror, owned node range, link states.
+pub struct RegionWorker {
+    region: usize,
+    regions: usize,
+    v_count: usize,
+    /// Mirror of the full trajectory state.
+    routing: RoutingTable,
+    state: FlowState,
+    marginals: Marginals,
+    workspace: IterationWorkspace,
+    tags: BlockedTags,
+    /// Iteration counter (advances after the flow phase).
+    round: u64,
+    /// Commodity-set epoch (the checkpoint fence; constant here — the
+    /// mesh does not reshape commodities mid-run).
+    epoch: u64,
+    /// `ε` and `η` as constructed (the mesh never anneals, so these are
+    /// the values every snapshot carries).
+    epsilon: f64,
+    eta: f64,
+    /// Γ statistics of the worker's own rows, last iteration.
+    last_gamma: GammaStats,
+    /// Per-peer link state (`links[region]` is unused).
+    links: Vec<Link>,
+    /// Per-(commodity, node) round guard: next acceptable row round.
+    row_round: Vec<u64>,
+    /// Last tick any frame arrived from each peer.
+    last_heard: Vec<u64>,
+    suspect: Vec<bool>,
+    /// Outstanding recovery token, if this worker is rejoining.
+    recovering: Option<u64>,
+    /// Latest per-commodity forecasts heard (own entries included).
+    admitted_view: Vec<f64>,
+    utility_view: Vec<f64>,
+    /// Snapshot scratch, reused across captures.
+    scratch: Checkpoint,
+}
+
+impl RegionWorker {
+    /// Builds worker `region` of `regions` with the same initial mirror
+    /// as `GradientAlgorithm::from_extended`: fully-rejecting routing,
+    /// its flows, and its marginals.
+    #[must_use]
+    pub fn new(
+        ext: &ExtendedNetwork,
+        cost: &CostModel,
+        gradient: &GradientConfig,
+        region: usize,
+        regions: usize,
+    ) -> Self {
+        let v_count = ext.graph().node_count();
+        let j_count = ext.num_commodities();
+        let routing = RoutingTable::initial(ext);
+        let mut workspace = IterationWorkspace::new(ext);
+        let mut state = FlowState::zeros(ext);
+        compute_flows_into(ext, &routing, &mut state, &mut workspace, None);
+        let mut marginals = Marginals::zeros(ext);
+        compute_marginals_into(ext, cost, &routing, &state, &mut marginals, None);
+        let tags = BlockedTags::none(ext);
+        RegionWorker {
+            region,
+            regions,
+            v_count,
+            routing,
+            state,
+            marginals,
+            workspace,
+            tags,
+            round: 0,
+            epoch: 0,
+            epsilon: cost.epsilon,
+            eta: gradient.eta,
+            last_gamma: GammaStats::default(),
+            links: (0..regions).map(|_| Link::new()).collect(),
+            row_round: vec![0; j_count * v_count],
+            last_heard: vec![0; regions],
+            suspect: vec![false; regions],
+            recovering: None,
+            admitted_view: vec![0.0; j_count],
+            utility_view: vec![0.0; j_count],
+            scratch: Checkpoint::new(),
+        }
+    }
+
+    /// This worker's region index.
+    #[must_use]
+    pub fn region(&self) -> usize {
+        self.region
+    }
+
+    /// Does this worker own extended node `v_index`?
+    #[must_use]
+    pub fn owns_node(&self, v_index: usize) -> bool {
+        owner_of(v_index, self.v_count, self.regions) == self.region
+    }
+
+    /// Does this worker own commodity `j` (i.e. its dummy source)?
+    #[must_use]
+    pub fn owns_commodity(&self, ext: &ExtendedNetwork, j: CommodityId) -> bool {
+        self.owns_node(ext.dummy_source(j).index())
+    }
+
+    /// The mirror's routing table.
+    #[must_use]
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// The mirror's flow state.
+    #[must_use]
+    pub fn flows(&self) -> &FlowState {
+        &self.state
+    }
+
+    /// The mirror's marginal costs.
+    #[must_use]
+    pub fn marginals(&self) -> &Marginals {
+        &self.marginals
+    }
+
+    /// Γ statistics of this worker's own rows, last iteration.
+    #[must_use]
+    pub fn gamma_stats(&self) -> GammaStats {
+        self.last_gamma
+    }
+
+    /// Admitted rate of commodity `j` under this worker's mirror.
+    #[must_use]
+    pub fn admitted(&self, ext: &ExtendedNetwork, j: CommodityId) -> f64 {
+        self.state.admitted(ext, j)
+    }
+
+    /// Latest per-commodity `(admitted, utility)` forecasts heard over
+    /// the wire (the worker's own entries included).
+    #[must_use]
+    pub fn forecast_view(&self) -> (&[f64], &[f64]) {
+        (&self.admitted_view, &self.utility_view)
+    }
+
+    /// Is `peer` currently degraded to suspect?
+    #[must_use]
+    pub fn is_suspect(&self, peer: usize) -> bool {
+        self.suspect[peer]
+    }
+
+    /// Are *all* peers suspect (the recovery-trigger condition)?
+    #[must_use]
+    pub fn is_isolated(&self) -> bool {
+        self.regions > 1
+            && (0..self.regions)
+                .filter(|&p| p != self.region)
+                .all(|p| self.suspect[p])
+    }
+
+    /// Digest of the mirror's routing fractions (test/oracle hook).
+    #[must_use]
+    pub fn routing_digest(&mut self) -> u64 {
+        self.capture_scratch();
+        state_digest(self.scratch.phi())
+    }
+
+    fn capture_scratch(&mut self) {
+        self.scratch.capture_state(
+            &self.routing,
+            &self.state,
+            &self.marginals,
+            self.round as usize,
+            self.epsilon,
+            self.eta,
+            self.epoch,
+        );
+    }
+
+    fn peers(&self) -> impl Iterator<Item = usize> + '_ {
+        let me = self.region;
+        (0..self.regions).filter(move |&p| p != me)
+    }
+
+    fn send_unreliable(&self, to: usize, payload: Payload, out: &mut Vec<(usize, Vec<u8>)>) {
+        let frame = Frame {
+            from: self.region as u16,
+            to: to as u16,
+            seq: 0,
+            round: self.round,
+            payload,
+        };
+        out.push((to, frame.encode()));
+    }
+
+    fn send_reliable(
+        &mut self,
+        tick: u64,
+        to: usize,
+        payload: Payload,
+        out: &mut Vec<(usize, Vec<u8>)>,
+    ) {
+        let seq = self.links[to].next_seq;
+        self.links[to].next_seq += 1;
+        let frame = Frame {
+            from: self.region as u16,
+            to: to as u16,
+            seq,
+            round: self.round,
+            payload,
+        };
+        let bytes = frame.encode();
+        self.links[to].in_flight.push_back(Flight {
+            seq,
+            bytes: bytes.clone(),
+            attempts: 0,
+            due: tick + RETRY_GRACE,
+        });
+        out.push((to, bytes));
+    }
+
+    /// Drives one transport tick: drains the inbox, runs the sub-round
+    /// the tick's phase selects, and (on the flow phase) performs the
+    /// end-of-iteration housekeeping — retransmits, suspicion checks,
+    /// and the round advance.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_phase(
+        &mut self,
+        ext: &ExtendedNetwork,
+        cost: &CostModel,
+        gradient: &GradientConfig,
+        suspect_after: u64,
+        backoff_cap: u64,
+        tick: u64,
+        inbox: Vec<Vec<u8>>,
+        out: &mut Vec<(usize, Vec<u8>)>,
+        log: &mut Vec<MeshIncident>,
+    ) {
+        self.process_inbox(tick, inbox, out, log);
+        match tick % 3 {
+            0 => self.phase_marginals(ext, cost, out),
+            1 => self.phase_gamma(ext, cost, gradient, tick, out, log),
+            _ => {
+                self.phase_flows(ext, out);
+                self.retransmit(tick, backoff_cap, out, log);
+                self.check_suspects(tick, suspect_after, log);
+                self.round += 1;
+            }
+        }
+    }
+
+    /// Phase 0: refresh the full-mirror marginal sweep and broadcast
+    /// the owned nodes' entries.
+    fn phase_marginals(
+        &mut self,
+        ext: &ExtendedNetwork,
+        cost: &CostModel,
+        out: &mut Vec<(usize, Vec<u8>)>,
+    ) {
+        compute_marginals_into(
+            ext,
+            cost,
+            &self.routing,
+            &self.state,
+            &mut self.marginals,
+            None,
+        );
+        if self.regions == 1 {
+            return;
+        }
+        let mut entries = Vec::new();
+        for j in ext.commodity_ids() {
+            for v in 0..self.v_count {
+                if self.owns_node(v) {
+                    entries.push(MarginalEntry {
+                        j: j.index() as u32,
+                        v: v as u32,
+                        d: self.marginals.node(j, spn_graph::NodeId::from_index(v)),
+                    });
+                }
+            }
+        }
+        for peer in 0..self.regions {
+            if peer != self.region {
+                self.send_unreliable(peer, Payload::Marginals(entries.clone()), out);
+            }
+        }
+    }
+
+    /// Phase 1: blocking tags plus the Γ update restricted to owned
+    /// routers; broadcast the owned rows on the reliable stream.
+    fn phase_gamma(
+        &mut self,
+        ext: &ExtendedNetwork,
+        cost: &CostModel,
+        gradient: &GradientConfig,
+        tick: u64,
+        out: &mut Vec<(usize, Vec<u8>)>,
+        _log: &mut Vec<MeshIncident>,
+    ) {
+        if gradient.use_blocked_sets {
+            compute_tags_into(
+                ext,
+                cost,
+                &self.routing,
+                &self.state,
+                &self.marginals,
+                gradient.eta,
+                gradient.traffic_floor,
+                &mut self.tags,
+                None,
+            );
+        } else {
+            self.tags.reset(ext);
+        }
+        let (region, v_count, regions) = (self.region, self.v_count, self.regions);
+        self.last_gamma = apply_gamma_selective(
+            ext,
+            cost,
+            &mut self.routing,
+            &self.state,
+            &self.marginals,
+            &self.tags,
+            gradient.eta,
+            gradient.traffic_floor,
+            gradient.opening_fraction,
+            gradient.shift_cap,
+            |_, v| owner_of(v.index(), v_count, regions) == region,
+        );
+        // own rows advance their round guard locally
+        let mut rows = Vec::new();
+        for j in ext.commodity_ids() {
+            for &v in ext.commodity_routers(j) {
+                if !self.owns_node(v.index()) {
+                    continue;
+                }
+                self.row_round[j.index() * self.v_count + v.index()] = self.round + 1;
+                let edges: Vec<(u32, f64)> = ext
+                    .commodity_out_slice(j, v)
+                    .iter()
+                    .map(|&l| (l.index() as u32, self.routing.fraction(j, l)))
+                    .collect();
+                rows.push(GammaRow {
+                    j: j.index() as u32,
+                    v: v.index() as u32,
+                    edges,
+                });
+            }
+        }
+        for peer in self.peers().collect::<Vec<_>>() {
+            self.send_reliable(tick, peer, Payload::GammaRows(rows.clone()), out);
+        }
+    }
+
+    /// Phase 2: forecast flows for the merged routing decision; owners
+    /// broadcast their commodities' forecasts; everyone heartbeats.
+    fn phase_flows(&mut self, ext: &ExtendedNetwork, out: &mut Vec<(usize, Vec<u8>)>) {
+        compute_flows_into(
+            ext,
+            &self.routing,
+            &mut self.state,
+            &mut self.workspace,
+            None,
+        );
+        let mut entries = Vec::new();
+        for j in ext.commodity_ids() {
+            if self.owns_commodity(ext, j) {
+                let admitted = self.state.admitted(ext, j);
+                let utility = ext.commodity(j).utility.value(admitted);
+                self.admitted_view[j.index()] = admitted;
+                self.utility_view[j.index()] = utility;
+                entries.push(ForecastEntry {
+                    j: j.index() as u32,
+                    admitted,
+                    utility,
+                });
+            }
+        }
+        for peer in 0..self.regions {
+            if peer == self.region {
+                continue;
+            }
+            if !entries.is_empty() {
+                self.send_unreliable(peer, Payload::FlowForecast(entries.clone()), out);
+            }
+            self.send_unreliable(peer, Payload::Heartbeat, out);
+        }
+    }
+
+    fn process_inbox(
+        &mut self,
+        tick: u64,
+        inbox: Vec<Vec<u8>>,
+        out: &mut Vec<(usize, Vec<u8>)>,
+        log: &mut Vec<MeshIncident>,
+    ) {
+        for bytes in inbox {
+            // frames originate from sibling workers; decode errors are a
+            // bug in this crate, not an input condition
+            let frame = Frame::decode(&bytes).expect("well-formed mesh frame");
+            let from = frame.from as usize;
+            self.note_heard(tick, from, out, log);
+            if frame.payload.kind().is_reliable() {
+                self.receive_reliable(tick, frame, out, log);
+            } else {
+                self.receive_unreliable(tick, frame, log);
+            }
+        }
+    }
+
+    /// Any frame from a peer proves liveness; hearing from the first
+    /// peer after total isolation starts the recovery handshake.
+    fn note_heard(
+        &mut self,
+        tick: u64,
+        from: usize,
+        out: &mut Vec<(usize, Vec<u8>)>,
+        log: &mut Vec<MeshIncident>,
+    ) {
+        self.last_heard[from] = tick;
+        if !self.suspect[from] {
+            return;
+        }
+        let was_isolated = self.is_isolated();
+        self.suspect[from] = false;
+        log.push(MeshIncident::PeerRecovered {
+            tick,
+            region: self.region,
+            peer: from,
+        });
+        if was_isolated && self.recovering.is_none() {
+            let token = tick * self.regions as u64 + self.region as u64;
+            self.recovering = Some(token);
+            log.push(MeshIncident::RecoveryRequested {
+                tick,
+                region: self.region,
+                survivor: from,
+                token,
+            });
+            self.send_reliable(tick, from, Payload::RecoveryRequest { token }, out);
+        }
+    }
+
+    fn receive_reliable(
+        &mut self,
+        tick: u64,
+        frame: Frame,
+        out: &mut Vec<(usize, Vec<u8>)>,
+        log: &mut Vec<MeshIncident>,
+    ) {
+        let from = frame.from as usize;
+        let kind = frame.payload.kind();
+        if frame.seq < self.links[from].recv_next {
+            log.push(MeshIncident::DuplicateFrameDiscarded {
+                tick,
+                region: self.region,
+                from,
+                kind,
+            });
+        } else if frame.seq == self.links[from].recv_next {
+            self.links[from].recv_next += 1;
+            self.apply_reliable(tick, frame, out, log);
+            while let Some(next) = {
+                let link = &mut self.links[from];
+                link.ahead.remove(&link.recv_next)
+            } {
+                self.links[from].recv_next += 1;
+                self.apply_reliable(tick, next, out, log);
+            }
+        } else if self.links[from].ahead.insert(frame.seq, frame).is_some() {
+            log.push(MeshIncident::DuplicateFrameDiscarded {
+                tick,
+                region: self.region,
+                from,
+                kind,
+            });
+        }
+        let cum = self.links[from].recv_next - 1;
+        self.send_unreliable(from, Payload::Ack { cum }, out);
+    }
+
+    fn apply_reliable(
+        &mut self,
+        tick: u64,
+        frame: Frame,
+        out: &mut Vec<(usize, Vec<u8>)>,
+        log: &mut Vec<MeshIncident>,
+    ) {
+        let from = frame.from as usize;
+        match frame.payload {
+            Payload::GammaRows(rows) => {
+                for row in rows {
+                    let idx = row.j as usize * self.v_count + row.v as usize;
+                    // per-row guard: only strictly newer rounds apply
+                    if frame.round + 1 > self.row_round[idx] {
+                        self.row_round[idx] = frame.round + 1;
+                        let j = CommodityId::from_index(row.j as usize);
+                        for (edge, fraction) in row.edges {
+                            self.routing.set_fraction(
+                                j,
+                                EdgeId::from_index(edge as usize),
+                                fraction,
+                            );
+                        }
+                    } else {
+                        log.push(MeshIncident::StaleFrameDiscarded {
+                            tick,
+                            region: self.region,
+                            from,
+                            kind: FrameKind::GammaRows,
+                            round: frame.round,
+                        });
+                    }
+                }
+            }
+            Payload::RecoveryRequest { token } => {
+                self.capture_scratch();
+                let digest = state_digest(self.scratch.phi());
+                let payload = snapshot_to_payload(&self.scratch, token);
+                log.push(MeshIncident::RecoveryServed {
+                    tick,
+                    region: self.region,
+                    peer: from,
+                    token,
+                    digest,
+                });
+                self.send_reliable(tick, from, Payload::RecoveryState(Box::new(payload)), out);
+            }
+            Payload::RecoveryState(payload) => {
+                if self.recovering != Some(payload.token) {
+                    log.push(MeshIncident::StaleFrameDiscarded {
+                        tick,
+                        region: self.region,
+                        from,
+                        kind: FrameKind::RecoveryState,
+                        round: frame.round,
+                    });
+                    return;
+                }
+                let snapshot = payload_to_snapshot(&payload);
+                match snapshot.apply_state(
+                    &mut self.routing,
+                    &mut self.state,
+                    &mut self.marginals,
+                    self.epoch,
+                ) {
+                    Ok(_) => {
+                        // fence out every in-flight row at or before the
+                        // snapshot round; strictly newer rounds re-apply
+                        self.row_round.fill(frame.round + 1);
+                        self.recovering = None;
+                        self.capture_scratch();
+                        let digest = state_digest(self.scratch.phi());
+                        log.push(MeshIncident::RecoveryCompleted {
+                            tick,
+                            region: self.region,
+                            epoch: snapshot.epoch(),
+                            digest,
+                        });
+                    }
+                    Err(_) => log.push(MeshIncident::StaleFrameDiscarded {
+                        tick,
+                        region: self.region,
+                        from,
+                        kind: FrameKind::RecoveryState,
+                        round: frame.round,
+                    }),
+                }
+            }
+            _ => unreachable!("unreliable payload on the reliable path"),
+        }
+    }
+
+    fn receive_unreliable(&mut self, tick: u64, frame: Frame, log: &mut Vec<MeshIncident>) {
+        let from = frame.from as usize;
+        match frame.payload {
+            Payload::Heartbeat => {}
+            Payload::Ack { cum } => {
+                let link = &mut self.links[from];
+                while matches!(link.in_flight.front(), Some(f) if f.seq <= cum) {
+                    link.in_flight.pop_front();
+                }
+            }
+            Payload::Marginals(entries) => {
+                let wm = self.links[from].wm_marginals;
+                if frame.round >= wm {
+                    self.links[from].wm_marginals = frame.round + 1;
+                    for e in entries {
+                        self.marginals.set_node(
+                            CommodityId::from_index(e.j as usize),
+                            spn_graph::NodeId::from_index(e.v as usize),
+                            e.d,
+                        );
+                    }
+                } else {
+                    log.push(Self::discard_incident(
+                        tick,
+                        self.region,
+                        from,
+                        FrameKind::Marginals,
+                        frame.round,
+                        wm,
+                    ));
+                }
+            }
+            Payload::FlowForecast(entries) => {
+                let wm = self.links[from].wm_forecast;
+                if frame.round >= wm {
+                    self.links[from].wm_forecast = frame.round + 1;
+                    for e in entries {
+                        self.admitted_view[e.j as usize] = e.admitted;
+                        self.utility_view[e.j as usize] = e.utility;
+                    }
+                } else {
+                    log.push(Self::discard_incident(
+                        tick,
+                        self.region,
+                        from,
+                        FrameKind::FlowForecast,
+                        frame.round,
+                        wm,
+                    ));
+                }
+            }
+            _ => unreachable!("reliable payload on the unreliable path"),
+        }
+    }
+
+    /// A below-watermark broadcast is a *duplicate* if it is exactly the
+    /// last accepted round and *stale* if older still.
+    fn discard_incident(
+        tick: u64,
+        region: usize,
+        from: usize,
+        kind: FrameKind,
+        round: u64,
+        wm: u64,
+    ) -> MeshIncident {
+        if round + 1 == wm {
+            MeshIncident::DuplicateFrameDiscarded {
+                tick,
+                region,
+                from,
+                kind,
+            }
+        } else {
+            MeshIncident::StaleFrameDiscarded {
+                tick,
+                region,
+                from,
+                kind,
+                round,
+            }
+        }
+    }
+
+    /// Retransmits overdue unacked reliable frames under capped
+    /// exponential backoff.
+    fn retransmit(
+        &mut self,
+        tick: u64,
+        backoff_cap: u64,
+        out: &mut Vec<(usize, Vec<u8>)>,
+        log: &mut Vec<MeshIncident>,
+    ) {
+        for peer in 0..self.regions {
+            if peer == self.region {
+                continue;
+            }
+            let link = &mut self.links[peer];
+            for flight in &mut link.in_flight {
+                if flight.due > tick {
+                    continue;
+                }
+                flight.attempts += 1;
+                let backoff = 1u64
+                    .checked_shl(flight.attempts)
+                    .unwrap_or(backoff_cap)
+                    .min(backoff_cap);
+                flight.due = tick + RETRY_GRACE + backoff;
+                log.push(MeshIncident::Retransmitted {
+                    tick,
+                    from: self.region,
+                    to: peer,
+                    seq: flight.seq,
+                    attempt: flight.attempts,
+                });
+                out.push((peer, flight.bytes.clone()));
+            }
+        }
+    }
+
+    /// Degrades peers silent beyond the suspect window; iteration
+    /// continues on their last-known Γ rows rather than stalling.
+    fn check_suspects(&mut self, tick: u64, suspect_after: u64, log: &mut Vec<MeshIncident>) {
+        for peer in 0..self.regions {
+            if peer == self.region || self.suspect[peer] {
+                continue;
+            }
+            if tick.saturating_sub(self.last_heard[peer]) > suspect_after {
+                self.suspect[peer] = true;
+                log.push(MeshIncident::PeerSuspect {
+                    tick,
+                    region: self.region,
+                    peer,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_ranges_are_contiguous_and_cover() {
+        for regions in 1..=5 {
+            for v_count in [1usize, 2, 7, 16, 33] {
+                if regions > v_count {
+                    continue;
+                }
+                let owners: Vec<usize> = (0..v_count)
+                    .map(|v| owner_of(v, v_count, regions))
+                    .collect();
+                assert_eq!(owners[0], 0);
+                assert_eq!(owners[v_count - 1], regions - 1);
+                for w in owners.windows(2) {
+                    assert!(
+                        w[1] == w[0] || w[1] == w[0] + 1,
+                        "non-contiguous: {owners:?}"
+                    );
+                }
+                for r in 0..regions {
+                    assert!(owners.contains(&r), "region {r} owns nothing: {owners:?}");
+                }
+            }
+        }
+    }
+}

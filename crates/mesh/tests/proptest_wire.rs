@@ -1,0 +1,135 @@
+//! Property tests for the mesh wire format: encode → decode is the
+//! identity on every valid frame, and every malformed input — NaN
+//! payloads, version skew, truncation, trailing garbage — is refused
+//! with a structured [`WireError`], never a panic.
+
+use proptest::prelude::*;
+use spn_mesh::wire::{
+    ForecastEntry, Frame, GammaRow, MarginalEntry, Payload, RecoveryStatePayload, WireError,
+    WIRE_VERSION,
+};
+use spn_sim::draws::unit_hash;
+
+/// A deterministic finite f64 in (-500, 500) drawn from the shared
+/// seeded generator.
+fn num(seed: u64, clock: usize, a: usize, b: usize) -> f64 {
+    1000.0 * (unit_hash(seed, clock, a, b) - 0.5)
+}
+
+/// Builds one frame of the kind selected by `kind`, with seed-derived
+/// content of seed-derived size.
+fn build_frame(kind: u8, seed: u64, len: usize) -> Frame {
+    let payload = match kind {
+        0 => Payload::Heartbeat,
+        1 => Payload::Marginals(
+            (0..len)
+                .map(|i| MarginalEntry {
+                    j: (seed % 7) as u32,
+                    v: i as u32,
+                    d: num(seed, 1, i, 0),
+                })
+                .collect(),
+        ),
+        2 => Payload::GammaRows(
+            (0..len)
+                .map(|i| GammaRow {
+                    j: i as u32,
+                    v: (seed % 31) as u32,
+                    edges: (0..(1 + (seed as usize + i) % 4))
+                        .map(|e| (e as u32, unit_hash(seed, 2, i, e)))
+                        .collect(),
+                })
+                .collect(),
+        ),
+        3 => Payload::FlowForecast(
+            (0..len)
+                .map(|i| ForecastEntry {
+                    j: i as u32,
+                    admitted: unit_hash(seed, 3, i, 0),
+                    utility: num(seed, 4, i, 0),
+                })
+                .collect(),
+        ),
+        4 => Payload::Ack { cum: seed },
+        5 => Payload::RecoveryRequest {
+            token: seed ^ 0xABCD,
+        },
+        _ => Payload::RecoveryState(Box::new(RecoveryStatePayload {
+            token: seed,
+            epoch: seed % 5,
+            iterations: seed % 1000,
+            epsilon: 0.2,
+            eta: 0.05,
+            phi: (0..len).map(|i| unit_hash(seed, 5, i, 0)).collect(),
+            t: (0..len).map(|i| num(seed, 6, i, 0)).collect(),
+            x: (0..len).map(|i| num(seed, 7, i, 0)).collect(),
+            f_edge: (0..len).map(|i| num(seed, 8, i, 0)).collect(),
+            f_node: (0..len).map(|i| num(seed, 9, i, 0)).collect(),
+            d: (0..len).map(|i| num(seed, 10, i, 0)).collect(),
+        })),
+    };
+    Frame {
+        from: (seed % 5) as u16,
+        to: (seed % 3) as u16,
+        seq: seed.rotate_left(7),
+        round: seed % 10_000,
+        payload,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode is the identity for every kind, content, and
+    /// size, including empty payload vectors and exact f64 bits.
+    #[test]
+    fn encode_decode_round_trips(kind in 0u8..7, seed in 0u64..10_000, len in 0usize..12) {
+        let frame = build_frame(kind, seed, len);
+        let bytes = frame.encode();
+        let back = Frame::decode(&bytes);
+        prop_assert_eq!(back, Ok(frame));
+    }
+
+    /// Every float lane rejects NaN at decode with a structured error.
+    #[test]
+    fn non_finite_floats_are_refused(kind_pick in 0u8..3, seed in 0u64..1000, len in 1usize..8) {
+        // only the float-bearing kinds: marginals, rows, forecasts
+        let kind = [1u8, 2, 3][kind_pick as usize];
+        let mut frame = build_frame(kind, seed, len);
+        match &mut frame.payload {
+            Payload::Marginals(entries) => entries[len / 2].d = f64::NAN,
+            Payload::GammaRows(rows) => rows[len / 2].edges[0].1 = f64::INFINITY,
+            Payload::FlowForecast(entries) => entries[len / 2].utility = f64::NEG_INFINITY,
+            _ => unreachable!(),
+        }
+        let bytes = frame.encode();
+        prop_assert!(matches!(Frame::decode(&bytes), Err(WireError::NonFinite { .. })));
+    }
+
+    /// A frame from a future (or past-incompatible) wire version is
+    /// refused with `UnsupportedVersion` carrying both versions — a
+    /// structured error, not a panic and not a garbled decode.
+    #[test]
+    fn version_skew_is_refused_structurally(kind in 0u8..7, seed in 0u64..1000, bump in 1u16..5) {
+        let mut bytes = build_frame(kind, seed, 3).encode();
+        let skewed = WIRE_VERSION + bump;
+        bytes[2..4].copy_from_slice(&skewed.to_le_bytes());
+        prop_assert_eq!(
+            Frame::decode(&bytes),
+            Err(WireError::UnsupportedVersion { got: skewed, supported: WIRE_VERSION })
+        );
+    }
+
+    /// Every strict prefix of a valid encoding is refused without
+    /// panicking, and appending garbage is refused as trailing bytes.
+    #[test]
+    fn truncation_and_trailing_bytes_are_refused(kind in 0u8..7, seed in 0u64..1000, len in 0usize..6) {
+        let bytes = build_frame(kind, seed, len).encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(Frame::decode(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0xAA);
+        prop_assert_eq!(Frame::decode(&extended), Err(WireError::TrailingBytes { extra: 1 }));
+    }
+}

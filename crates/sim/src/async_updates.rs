@@ -10,6 +10,7 @@
 //! participation rate (roughly linearly in *total updates applied*),
 //! which is the property that makes the scheme deployable.
 
+use crate::draws::unit_hash;
 use spn_core::blocked::{compute_tags, BlockedTags};
 use spn_core::flows::compute_flows;
 use spn_core::gamma::apply_gamma_selective;
@@ -38,22 +39,6 @@ pub enum Schedule {
         /// Cycle length; `1` is synchronous.
         period: usize,
     },
-}
-
-/// A deterministic splitmix-style hash → `[0, 1)` float. Shared with
-/// the chaos runtime (`crate::chaos`), whose seeded fault plan draws
-/// per-(step, commodity, node) coins from the same generator.
-pub(crate) fn unit_hash(seed: u64, iteration: usize, j: usize, v: usize) -> f64 {
-    let mut x = seed
-        ^ (iteration as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
-        ^ (v as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^= x >> 31;
-    (x >> 11) as f64 / (1u64 << 53) as f64
 }
 
 impl Schedule {

@@ -36,12 +36,14 @@
 //! schedule — pinned by this module's tests, so the determinism suite
 //! keeps meaning what it says.
 //!
-//! All randomness comes from salted [`unit_hash`] draws keyed on the
-//! **wall clock** (total `step` calls), which never rolls back — a
-//! rollback therefore does not replay the same fault draws, so recovery
-//! cannot loop forever on a deterministic fault.
+//! All randomness comes from salted [`crate::draws::unit_hash`] draws
+//! keyed on the **wall clock** (total `step` calls), which never rolls
+//! back — a rollback therefore does not replay the same fault draws, so
+//! recovery cannot loop forever on a deterministic fault. The draw
+//! primitives live in [`crate::draws`], shared with the `spn-mesh`
+//! transport so both fault injectors consume one implementation.
 
-use crate::async_updates::unit_hash;
+use crate::draws::{bounded_age, coin, jitter_factor, salts};
 use crate::failure::{bandwidth_node, FAILED_CAPACITY};
 use spn_core::blocked::{compute_tags, BlockedTags};
 use spn_core::flows::compute_flows;
@@ -52,13 +54,6 @@ use spn_core::{ConfigError, CostModel, FlowState, GradientConfig, Marginals, Rou
 use spn_graph::{EdgeId, NodeId};
 use spn_model::{Capacity, Problem};
 use spn_transform::{ExtendedNetwork, NodeKind};
-
-/// Hash salts separating the independent coin families.
-const SALT_LOSS: u64 = 0x6C6F_7373_6C6F_7373; // "loss"
-const SALT_STALE: u64 = 0x7374_616C_6573_7373;
-const SALT_AGE: u64 = 0x6167_6500_6167_6500;
-const SALT_DUP: u64 = 0x6475_7065_6475_7065;
-const SALT_JITTER: u64 = 0x6A69_7474_6A69_7474;
 
 /// What a [`ScheduledFault`] hits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -175,29 +170,29 @@ impl FaultPlan {
     /// Is node `v`'s commodity-`j` marginal broadcast dropped at `clock`?
     #[must_use]
     pub fn drops_broadcast(&self, clock: usize, j: usize, v: usize) -> bool {
-        self.message_loss > 0.0 && unit_hash(self.seed ^ SALT_LOSS, clock, j, v) < self.message_loss
+        coin(self.seed, salts::SALT_LOSS, self.message_loss, clock, j, v)
     }
 
     /// Age of the delivered broadcast at `clock` (`0` = fresh,
     /// `1..=max_staleness` = stale by that many iterations).
     #[must_use]
     pub fn stale_age(&self, clock: usize, j: usize, v: usize) -> usize {
-        if self.max_staleness == 0
-            || self.stale_prob <= 0.0
-            || unit_hash(self.seed ^ SALT_STALE, clock, j, v) >= self.stale_prob
-        {
-            return 0;
-        }
-        let draw = unit_hash(self.seed ^ SALT_AGE, clock, j, v);
-        // uniform over 1..=max_staleness
-        1 + ((draw * self.max_staleness as f64) as usize).min(self.max_staleness - 1)
+        bounded_age(
+            self.seed,
+            salts::SALT_STALE,
+            salts::SALT_AGE,
+            self.stale_prob,
+            self.max_staleness,
+            clock,
+            j,
+            v,
+        )
     }
 
     /// Does router `(j, v)` apply its Γ update twice at `clock`?
     #[must_use]
     pub fn duplicates_update(&self, clock: usize, j: usize, v: usize) -> bool {
-        self.duplicate_prob > 0.0
-            && unit_hash(self.seed ^ SALT_DUP, clock, j, v) < self.duplicate_prob
+        coin(self.seed, salts::SALT_DUP, self.duplicate_prob, clock, j, v)
     }
 
     /// Multiplicative capacity factor for node `v` at `clock`, in
@@ -205,11 +200,14 @@ impl FaultPlan {
     /// never fake a full failure).
     #[must_use]
     pub fn capacity_factor(&self, clock: usize, v: usize) -> f64 {
-        if self.capacity_jitter == 0.0 {
-            return 1.0;
-        }
-        let draw = unit_hash(self.seed ^ SALT_JITTER, clock, 0, v);
-        (1.0 + self.capacity_jitter * (2.0 * draw - 1.0)).max(0.1)
+        jitter_factor(
+            self.seed,
+            salts::SALT_JITTER,
+            self.capacity_jitter,
+            0.1,
+            clock,
+            v,
+        )
     }
 
     /// The scheduled faults, sorted by activation step.
@@ -276,6 +274,59 @@ pub enum ChaosIncident {
         /// Logical iteration the state returned to.
         to_iteration: usize,
     },
+}
+
+impl serde::Serialize for ChaosIncident {
+    fn to_value(&self) -> serde::Value {
+        fn tagged(kind: &str, clock: usize, rest: Vec<(String, serde::Value)>) -> serde::Value {
+            let mut entries = vec![
+                ("kind".to_owned(), serde::Value::Str(kind.to_owned())),
+                ("clock".to_owned(), clock.to_value()),
+            ];
+            entries.extend(rest);
+            serde::Value::Map(entries)
+        }
+        match self {
+            ChaosIncident::NodeFailed { clock, node } => tagged(
+                "NodeFailed",
+                *clock,
+                vec![("node".to_owned(), node.index().to_value())],
+            ),
+            ChaosIncident::NodeRestored { clock, node } => tagged(
+                "NodeRestored",
+                *clock,
+                vec![("node".to_owned(), node.index().to_value())],
+            ),
+            ChaosIncident::LinkFailed { clock, edge } => tagged(
+                "LinkFailed",
+                *clock,
+                vec![("edge".to_owned(), edge.index().to_value())],
+            ),
+            ChaosIncident::LinkRestored { clock, edge } => tagged(
+                "LinkRestored",
+                *clock,
+                vec![("edge".to_owned(), edge.index().to_value())],
+            ),
+            ChaosIncident::Health { clock, report } => tagged(
+                "Health",
+                *clock,
+                vec![("report".to_owned(), report.to_value())],
+            ),
+            ChaosIncident::Corruption { clock, error } => tagged(
+                "Corruption",
+                *clock,
+                vec![("error".to_owned(), error.to_value())],
+            ),
+            ChaosIncident::RolledBack {
+                clock,
+                to_iteration,
+            } => tagged(
+                "RolledBack",
+                *clock,
+                vec![("to_iteration".to_owned(), to_iteration.to_value())],
+            ),
+        }
+    }
 }
 
 /// Outcome of one [`ChaosGradient::step`].
@@ -697,7 +748,17 @@ impl ChaosGradient {
     }
 
     /// The incident log: every fired/restored fault and every watchdog
-    /// report, in wall-clock order.
+    /// report.
+    ///
+    /// **Stable ordering guarantee.** The log is append-only and its
+    /// order is deterministic: incidents appear in non-decreasing
+    /// wall-clock order, and within one step in the fixed injection
+    /// sequence (scheduled fault firings in schedule order, then
+    /// restorations in extended-node-index order, then the preflight
+    /// corruption/rollback pair, then the watchdog report). Two runs
+    /// from the same seed and fault plan therefore produce *identical*
+    /// logs — and because [`ChaosIncident`] is serde-serializable, the
+    /// rendered logs can be diffed byte-for-byte across CI runs.
     #[must_use]
     pub fn incidents(&self) -> &[ChaosIncident] {
         &self.incidents

@@ -8,7 +8,7 @@
 //! *parked* and may re-arrive later, so the long-run commodity set
 //! keeps cycling without ever rebuilding the shared physical and
 //! bandwidth layers. Determinism comes from the same splitmix-style
-//! hash the chaos runtime uses (`crate::async_updates::unit_hash`):
+//! hash the chaos runtime uses (`crate::draws::unit_hash`):
 //! a `(seed, decision index)` pair fully determines every coin, so two
 //! processes with equal seeds replay the same event sequence.
 //!
@@ -16,7 +16,7 @@
 //! commodity set has no meaningful iteration, and keeping one stream
 //! alive mirrors how the soak experiments are run.
 
-use crate::async_updates::unit_hash;
+use crate::draws::unit_hash;
 use spn_core::{CommodityDef, GradientAlgorithm};
 use spn_model::CommodityId;
 

@@ -18,6 +18,9 @@
 //!   seeded message loss, bounded staleness, duplicated updates,
 //!   scheduled transient failures, and capacity jitter, guarded by
 //!   `spn_core`'s watchdog and checkpoint/rollback recovery;
+//! * [`draws`] — the seeded fault-draw primitives (`unit_hash` and the
+//!   salted coin families) shared by [`chaos`] and the `spn-mesh`
+//!   transport, so every fault injector replays from one generator;
 //! * [`async_updates`] — partial-participation schedules modelling
 //!   asynchronous deployments (experiment E10);
 //! * [`churn`] — seeded online commodity arrival/departure driving
@@ -34,6 +37,7 @@ pub mod async_updates;
 pub mod bp_sim;
 pub mod chaos;
 pub mod churn;
+pub mod draws;
 pub mod failure;
 pub mod gradient_sim;
 pub mod packet;

@@ -3,13 +3,78 @@
 //! and the forecast wave travel back down — with the per-round message
 //! accounting a real deployment would pay.
 //!
+//! The second half re-runs the same instance on the region-sharded mesh
+//! runtime and taps the wire: every serialized frame of the first two
+//! iterations is printed (tick, phase, link, kind, size), followed by
+//! the per-link frame totals for the full run — the mesh's concrete
+//! answer to the message accounting the first half estimates.
+//!
 //! Run with: `cargo run --release --example protocol_trace`
 
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
 use spn::core::GradientConfig;
+use spn::mesh::{Frame, Lossless, MeshConfig, MeshIncident, MeshRuntime, Transport};
 use spn::model::builder::ProblemBuilder;
 use spn::model::{CommodityId, UtilityFn};
 use spn::sim::GradientSim;
 use spn::transform::view::{edge_label, node_label};
+use spn::transform::ExtendedNetwork;
+
+/// Per-link accounting collected by the wire tap.
+struct Tap {
+    /// Frames of the first ticks are printed verbatim up to this tick.
+    print_until_tick: u64,
+    /// (from, to, kind) → frame count over the whole run.
+    counts: BTreeMap<(usize, usize, &'static str), usize>,
+    /// Serialized bytes sent, per region.
+    bytes: Vec<usize>,
+}
+
+/// Lossless delivery with a wire tap: every frame is decoded as it
+/// crosses the transport and tallied per link and kind, so the trace
+/// shows exactly what a deployment would put on the network.
+struct Traced {
+    inner: Lossless,
+    tap: Rc<RefCell<Tap>>,
+}
+
+impl Transport for Traced {
+    fn begin_tick(&mut self, tick: u64, log: &mut Vec<MeshIncident>) {
+        self.inner.begin_tick(tick, log);
+    }
+
+    fn send(
+        &mut self,
+        tick: u64,
+        from: usize,
+        to: usize,
+        bytes: Vec<u8>,
+        log: &mut Vec<MeshIncident>,
+    ) {
+        let frame = Frame::decode(&bytes).expect("mesh frames decode");
+        let kind = frame.payload.kind().name();
+        let mut tap = self.tap.borrow_mut();
+        if tick < tap.print_until_tick {
+            println!(
+                "  tick {tick} phase {}:  region {from} -> {to}  {kind:<13} \
+                 round {:<3} {} bytes",
+                tick % 3,
+                frame.round,
+                bytes.len()
+            );
+        }
+        *tap.counts.entry((from, to, kind)).or_insert(0) += 1;
+        tap.bytes[from] += bytes.len();
+        self.inner.send(tick, from, to, bytes, log);
+    }
+
+    fn deliver(&mut self, tick: u64, to: usize, log: &mut Vec<MeshIncident>) -> Vec<Vec<u8>> {
+        self.inner.deliver(tick, to, log)
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A diamond: the source can reach the sink through a cheap relay or
@@ -92,5 +157,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nEach iteration pays two O(L) waves (marginal costs upstream,");
     println!("forecasts downstream); the admitted rate is nothing more than the");
     println!("dummy source's routing fraction on its 'admit' link times λ.");
+
+    // --- the same instance on the region-sharded mesh runtime ---
+    // Two workers split the extended node range; the protocol's waves
+    // become serialized frames on a wire. The tap prints the first two
+    // iterations frame by frame — phase 0 ships marginals, phase 1 the
+    // Γ rows each owner updated, phase 2 forecasts and heartbeats.
+    const REGIONS: usize = 2;
+    let tap = Rc::new(RefCell::new(Tap {
+        print_until_tick: 6,
+        counts: BTreeMap::new(),
+        bytes: vec![0; REGIONS],
+    }));
+    let transport = Traced {
+        inner: Lossless::new(REGIONS),
+        tap: Rc::clone(&tap),
+    };
+    let mut mesh = MeshRuntime::with_transport(
+        ExtendedNetwork::build(&problem),
+        MeshConfig {
+            regions: REGIONS,
+            gradient: GradientConfig {
+                eta: 0.3,
+                ..Default::default()
+            },
+            ..MeshConfig::default()
+        },
+        transport,
+    )?;
+    println!("\nmesh runtime, {REGIONS} regions — first two iterations on the wire:");
+    mesh.run(2);
+    mesh.run(3998);
+    let report = mesh.run(0);
+
+    let tap = tap.borrow();
+    println!("\nper-link frame totals after 4000 mesh iterations:");
+    println!("  from  to  kind           frames");
+    for (&(from, to, kind), &n) in &tap.counts {
+        println!("  {from:>4}  {to:>2}  {kind:<13}  {n:>6}");
+    }
+    for (region, bytes) in tap.bytes.iter().enumerate() {
+        println!(
+            "  region {region} serialized {bytes} bytes total \
+             ({:.1} bytes/iteration)",
+            *bytes as f64 / 4000.0
+        );
+    }
+    println!(
+        "\nthe mesh admits {:.3} of 10 offered — the same equilibrium the\n\
+         monolithic simulation reached above, with every exchanged value\n\
+         having crossed an encode → decode round trip; incidents: {}",
+        report.admitted[0],
+        mesh.incidents().len()
+    );
     Ok(())
 }

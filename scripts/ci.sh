@@ -25,7 +25,15 @@
 #    steady-state p50 per-iteration time under an explicit ceiling and
 #    perform zero heap allocations per steady-state iteration (counting
 #    allocator), catching re-densified sweeps and per-step allocation
-#    storms.
+#    storms;
+#  * mesh_smoke --smoke is the region-sharded mesh gate — a 4-region
+#    mesh over the in-process transport must stay bit-identical to the
+#    monolithic algorithm with zero incidents under Lossless, produce
+#    identical incident logs and reports across same-seed Chaotic runs,
+#    and reach the lossless convergence verdict under the fault plan.
+# On a single-core host the soak bins trim themselves to fit the smoke
+# budget (chaos_recovery halves its iteration budget, churn_soak skips
+# the ungated post-churn settle leg) and print visible SKIP lines.
 # The simd feature gets its own leg: clippy as errors, the simd test
 # suites (the forced-scalar bitwise grid + the trajectory-tolerance
 # grid + kernel self-checks), check_asm.sh proving the build emits
@@ -46,6 +54,7 @@ cargo run --release -q -p spn-bench --bin bench_core -- --smoke
 cargo run --release -q -p spn-bench --bin chaos_recovery -- --smoke
 cargo run --release -q -p spn-bench --bin churn_soak -- --smoke
 cargo run --release -q -p spn-bench --bin scale_smoke -- --smoke
+cargo run --release -q -p spn-bench --bin mesh_smoke -- --smoke
 # --- simd feature leg ---
 cargo clippy --workspace --all-targets --features simd -- -D warnings
 cargo test -q -p spn -p spn-core --features simd

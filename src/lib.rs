@@ -27,6 +27,10 @@
 //! * [`sim`] — a round-based message-passing simulator that runs the
 //!   distributed protocols as explicit messages, counts them, and injects
 //!   failures.
+//! * [`mesh`] — the region-sharded mesh runtime: workers own disjoint
+//!   node ranges, exchange serialized frames over a fault-injectable
+//!   transport, and recover through retries, heartbeats, and
+//!   epoch-fenced checkpoints.
 //!
 //! # Quickstart
 //!
@@ -56,6 +60,7 @@
 pub use spn_baseline as baseline;
 pub use spn_core as core;
 pub use spn_graph as graph;
+pub use spn_mesh as mesh;
 pub use spn_model as model;
 pub use spn_sim as sim;
 pub use spn_solver as solver;

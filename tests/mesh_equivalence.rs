@@ -1,0 +1,363 @@
+//! ARCHITECTURE invariant 19 — the mesh runtime's three oracles.
+//!
+//! (a) **Lossless ⇒ bit-identical.** A mesh of 1, 2, or 4 region
+//!     workers over the synchronous lossless transport reproduces the
+//!     monolithic `GradientAlgorithm` trajectory — routing tables, flow
+//!     state, utility bits, admitted-rate bits — exactly, at every
+//!     iteration, with an empty incident log. Messages really cross the
+//!     wire (encode → decode), so this also pins the wire format's
+//!     exactness for `f64` payloads.
+//!
+//! (b) **Chaos ⇒ deterministic.** Two runs under the same seeded fault
+//!     plan produce *identical* incident logs (value- and
+//!     JSON-rendered-equal) and identical reports, and the faulted mesh
+//!     still reaches the same convergence verdict as the monolithic
+//!     algorithm, with utility inside the tier-2 tolerance.
+//!
+//! (c) **Partition → heal → bit-for-bit rejoin.** A region cut off long
+//!     enough to be suspected by everyone (and to suspect everyone)
+//!     rejoins through the epoch-fenced recovery handshake: the digest
+//!     the survivor logs at capture equals the digest the rejoiner logs
+//!     after restore, and all mirrors re-converge to bitwise equality.
+
+use spn::core::{GradientAlgorithm, GradientConfig};
+use spn::mesh::{
+    Lossless, MeshConfig, MeshError, MeshFaultConfig, MeshIncident, MeshRuntime, PartitionSpec,
+};
+use spn::model::random::RandomInstance;
+use spn::transform::ExtendedNetwork;
+
+fn problem(nodes: usize, commodities: usize, seed: u64) -> spn::model::Problem {
+    RandomInstance::builder()
+        .nodes(nodes)
+        .commodities(commodities)
+        .seed(seed)
+        .build()
+        .unwrap()
+        .problem
+}
+
+/// The monolithic reference: serial dense engine (every mesh worker
+/// runs the same free-function sweeps serially).
+fn reference_config() -> GradientConfig {
+    GradientConfig {
+        threads: 1,
+        ..GradientConfig::default()
+    }
+}
+
+fn mesh_config(regions: usize) -> MeshConfig {
+    MeshConfig {
+        regions,
+        gradient: reference_config(),
+        ..MeshConfig::default()
+    }
+}
+
+/// Oracle (a): the lossless mesh trajectory is bit-identical to the
+/// monolithic algorithm for 1, 2, and 4 regions over a seeded grid.
+#[test]
+fn lossless_mesh_is_bit_identical_to_the_monolithic_algorithm() {
+    let grid = [
+        // (nodes, commodities, seed)
+        (16usize, 2usize, 4u64),
+        (24, 3, 7),
+        (30, 4, 11),
+    ];
+    for &(nodes, commodities, seed) in &grid {
+        for regions in [1usize, 2, 4] {
+            let p = problem(nodes, commodities, seed);
+            let ext = ExtendedNetwork::build(&p);
+            let mut alg = GradientAlgorithm::new(&p, reference_config()).unwrap();
+            let mut mesh = MeshRuntime::lossless(ext, mesh_config(regions)).unwrap();
+            for it in 0..80 {
+                alg.step();
+                mesh.step();
+                let ctx = format!(
+                    "iteration {it} (nodes={nodes} commodities={commodities} \
+                     seed={seed} regions={regions})"
+                );
+                for r in 0..regions {
+                    assert_eq!(
+                        alg.routing(),
+                        mesh.worker(r).routing(),
+                        "region {r} routing diverged at {ctx}"
+                    );
+                    assert_eq!(
+                        alg.flows(),
+                        mesh.worker(r).flows(),
+                        "region {r} flows diverged at {ctx}"
+                    );
+                }
+                assert_eq!(
+                    alg.utility().to_bits(),
+                    mesh.utility().to_bits(),
+                    "utility not bit-identical at {ctx}"
+                );
+            }
+            let report = alg.report();
+            let mesh_report = mesh.run(0);
+            assert_eq!(report.iterations, mesh_report.iterations);
+            for (j, (a, m)) in report
+                .admitted
+                .iter()
+                .zip(&mesh_report.admitted)
+                .enumerate()
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    m.to_bits(),
+                    "admitted rate of commodity {j} differs \
+                     (seed={seed} regions={regions})"
+                );
+            }
+            assert!(
+                mesh.incidents().is_empty(),
+                "lossless run logged incidents (seed={seed} regions={regions}): {:?}",
+                mesh.incidents()
+            );
+        }
+    }
+}
+
+fn noisy_faults() -> MeshFaultConfig {
+    MeshFaultConfig {
+        seed: 0x4D45_5348,
+        loss: 0.04,
+        duplicate: 0.03,
+        delay_prob: 0.08,
+        max_delay: 2,
+        partitions: vec![PartitionSpec {
+            region: 2,
+            at: 60,
+            duration: 40,
+            heal_stagger: 5,
+        }],
+    }
+}
+
+/// Oracle (b), determinism half: same seed ⇒ identical incident logs
+/// and identical reports, including the rendered JSON byte stream.
+#[test]
+fn same_seed_chaotic_runs_are_identical() {
+    let run = || {
+        let p = problem(20, 3, 9);
+        let ext = ExtendedNetwork::build(&p);
+        let mut mesh = MeshRuntime::chaotic(ext, mesh_config(4), &noisy_faults()).unwrap();
+        let report = mesh.run(100);
+        (report, mesh.incidents().to_vec())
+    };
+    let (report_a, log_a) = run();
+    let (report_b, log_b) = run();
+    assert_eq!(report_a, report_b, "same-seed reports diverged");
+    assert_eq!(log_a, log_b, "same-seed incident logs diverged");
+    let json_a = serde_json::to_string(&log_a).unwrap();
+    let json_b = serde_json::to_string(&log_b).unwrap();
+    assert_eq!(json_a, json_b, "rendered incident logs diverged");
+    // the plan injected real faults and the protocol reacted
+    assert!(log_a
+        .iter()
+        .any(|i| matches!(i, MeshIncident::FrameLost { .. })));
+    assert!(log_a
+        .iter()
+        .any(|i| matches!(i, MeshIncident::PartitionStarted { .. })));
+    assert!(log_a
+        .iter()
+        .any(|i| matches!(i, MeshIncident::Retransmitted { .. })));
+}
+
+/// Oracle (b), verdict half: under message noise (no partition) the
+/// mesh reaches the same convergence verdict as the monolithic
+/// algorithm, and its utility lands within the tier-2 tolerance.
+#[test]
+fn chaotic_mesh_reaches_the_reference_convergence_verdict() {
+    const SHIFT_TOLERANCE: f64 = 1e-4;
+    const MAX_ITERATIONS: usize = 600;
+    /// Tier-2 trajectory tolerance (invariant 18 style): faulted runs
+    /// may wander, but must land on the same equilibrium.
+    const UTILITY_RTOL: f64 = 1e-2;
+
+    let p = problem(16, 2, 4);
+    let mut alg = GradientAlgorithm::new(&p, reference_config()).unwrap();
+    let reference = alg.run_until_stable(SHIFT_TOLERANCE, MAX_ITERATIONS);
+
+    let faults = MeshFaultConfig {
+        seed: 0xFEED,
+        loss: 0.05,
+        duplicate: 0.02,
+        delay_prob: 0.1,
+        max_delay: 2,
+        partitions: Vec::new(),
+    };
+    let ext = ExtendedNetwork::build(&p);
+    let mut mesh = MeshRuntime::chaotic(ext, mesh_config(2), &faults).unwrap();
+    let (mesh_report, mesh_outcome) = mesh.run_until_stable(SHIFT_TOLERANCE, MAX_ITERATIONS);
+
+    assert_eq!(
+        reference.converged, mesh_outcome.converged,
+        "convergence verdicts diverged: reference {reference:?} vs mesh {mesh_outcome:?}"
+    );
+    let ref_utility = alg.utility();
+    let tol = UTILITY_RTOL * ref_utility.abs().max(1.0);
+    assert!(
+        (mesh_report.utility - ref_utility).abs() <= tol,
+        "utility outside tier-2 tolerance: mesh {} vs reference {ref_utility}",
+        mesh_report.utility
+    );
+}
+
+/// Oracle (c): a partitioned region is suspected, heals staggered,
+/// requests recovery from the first survivor heard, and restores
+/// survivor state **bit-for-bit** — the digest logged at capture equals
+/// the digest logged after restore — after which every mirror
+/// re-converges to bitwise equality.
+#[test]
+fn partitioned_region_rejoins_bit_for_bit() {
+    const REGIONS: usize = 3;
+    let p = problem(20, 3, 9);
+    let ext = ExtendedNetwork::build(&p);
+    // a pure partition: no message noise, so the only incidents are the
+    // partition itself and the protocol's reaction to it
+    let faults = MeshFaultConfig {
+        seed: 77,
+        partitions: vec![PartitionSpec {
+            region: 1,
+            at: 30,
+            duration: 45,
+            heal_stagger: 4,
+        }],
+        ..MeshFaultConfig::off()
+    };
+    let mut mesh = MeshRuntime::chaotic(ext, mesh_config(REGIONS), &faults).unwrap();
+    mesh.run(60); // 180 ticks: partition at 30, healed by ~80
+
+    let log = mesh.incidents();
+    // the cut region suspected every peer (isolation) and each survivor
+    // suspected the cut region
+    for peer in [0usize, 2] {
+        assert!(
+            log.iter().any(
+                |i| matches!(i, MeshIncident::PeerSuspect { region: 1, peer: p, .. } if *p == peer)
+            ),
+            "region 1 never suspected peer {peer}: {log:?}"
+        );
+        assert!(
+            log.iter().any(
+                |i| matches!(i, MeshIncident::PeerSuspect { region: r, peer: 1, .. } if *r == peer)
+            ),
+            "survivor {peer} never suspected region 1"
+        );
+    }
+    // the handshake ran: request → serve → complete, digests equal
+    let request = log
+        .iter()
+        .find_map(|i| match i {
+            MeshIncident::RecoveryRequested {
+                region: 1,
+                survivor,
+                token,
+                ..
+            } => Some((*survivor, *token)),
+            _ => None,
+        })
+        .expect("region 1 requested recovery");
+    let served = log
+        .iter()
+        .find_map(|i| match i {
+            MeshIncident::RecoveryServed {
+                region,
+                peer: 1,
+                token,
+                digest,
+                ..
+            } if *token == request.1 => Some((*region, *digest)),
+            _ => None,
+        })
+        .expect("a survivor served the snapshot");
+    assert_eq!(
+        served.0, request.0,
+        "a different survivor served the request"
+    );
+    let completed = log
+        .iter()
+        .find_map(|i| match i {
+            MeshIncident::RecoveryCompleted {
+                region: 1,
+                epoch,
+                digest,
+                ..
+            } => Some((*epoch, *digest)),
+            _ => None,
+        })
+        .expect("region 1 completed recovery");
+    assert_eq!(
+        served.1, completed.1,
+        "restored state is not bit-for-bit the survivor's (digest mismatch)"
+    );
+    assert_eq!(completed.0, 0, "epoch drifted through the recovery fence");
+
+    // post-heal, every round rebroadcasts every row: mirrors must have
+    // re-converged to bitwise equality
+    let reference = mesh.worker(0).routing().clone();
+    for r in 1..REGIONS {
+        assert_eq!(
+            &reference,
+            mesh.worker(r).routing(),
+            "region {r} mirror still diverged after recovery"
+        );
+    }
+    // and the healed mesh keeps iterating cleanly
+    let before = mesh.incidents().len();
+    mesh.run(10);
+    let tail = &mesh.incidents()[before..];
+    assert!(
+        tail.iter().all(|i| !matches!(
+            i,
+            MeshIncident::PeerSuspect { .. } | MeshIncident::FrameLost { .. }
+        )),
+        "healed mesh still degrading: {tail:?}"
+    );
+}
+
+/// Config validation: annealing is refused (it would silently diverge
+/// from the monolithic trajectory), as are impossible region counts.
+#[test]
+fn mesh_rejects_unsupported_configs() {
+    let p = problem(16, 2, 4);
+    let ext = ExtendedNetwork::build(&p);
+    let annealing = MeshConfig {
+        regions: 2,
+        gradient: GradientConfig {
+            epsilon_factor: 0.5,
+            ..reference_config()
+        },
+        ..MeshConfig::default()
+    };
+    assert!(matches!(
+        MeshRuntime::<Lossless>::with_transport(ext.clone(), annealing, Lossless::new(2)),
+        Err(MeshError::AnnealingUnsupported { .. })
+    ));
+    assert!(matches!(
+        MeshRuntime::<Lossless>::with_transport(
+            ext.clone(),
+            MeshConfig {
+                regions: 0,
+                ..MeshConfig::default()
+            },
+            Lossless::new(0)
+        ),
+        Err(MeshError::NoRegions)
+    ));
+    let nodes = ext.graph().node_count();
+    assert!(matches!(
+        MeshRuntime::<Lossless>::with_transport(
+            ext,
+            MeshConfig {
+                regions: nodes + 1,
+                ..MeshConfig::default()
+            },
+            Lossless::new(nodes + 1)
+        ),
+        Err(MeshError::TooManyRegions { .. })
+    ));
+}

@@ -10,7 +10,14 @@
 //!
 //! This file deliberately contains a single test: the counter is
 //! process-global, and concurrent tests would alias into the measured
-//! window.
+//! window. One non-algorithm thread still shares the process — the
+//! libtest runner's main thread, which parks on its results channel
+//! while the test runs and lazily allocates that thread's blocking
+//! context the *first* time it parks. On a single-core host the
+//! scheduler can deliver that one-shot init in the middle of any
+//! window, so each window retries once before failing: a real
+//! steady-state allocation reproduces on every attempt and still
+//! fails, while the harness's one-shot init is absorbed (and logged).
 #![allow(unsafe_code)] // a counting GlobalAlloc requires unsafe impls
 
 use spn::core::{GradientAlgorithm, GradientConfig};
@@ -41,6 +48,30 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
+/// Counts the global allocations `body` performs, retrying once if the
+/// first attempt saw any (see the module doc: the retry absorbs the
+/// harness main thread's one-shot lazy park context, nothing else — a
+/// regression that allocates per iteration fires on both attempts).
+fn allocations_in(label: &str, mut body: impl FnMut()) -> u64 {
+    let mut last = 0;
+    for attempt in 0..2 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        body();
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        last = after - before;
+        if last == 0 {
+            return 0;
+        }
+        if attempt == 0 {
+            eprintln!(
+                "{label}: {last} allocation(s) in the first window — retrying \
+                 once in case the harness thread's lazy init landed in it"
+            );
+        }
+    }
+    last
+}
+
 #[test]
 fn steady_state_step_is_allocation_free() {
     // The paper instance at ×3 overload — the same workload the golden
@@ -60,21 +91,22 @@ fn steady_state_step_is_allocation_free() {
     };
     let mut alg = GradientAlgorithm::new(&problem, cfg).unwrap();
 
-    // Warm-up: first steps may still grow workspace capacities.
+    // Warm-up: first steps may still grow workspace capacities. The
+    // sleep hands the single core to the harness's main thread so its
+    // park-context init (see module doc) lands here, not in a window.
+    std::thread::sleep(std::time::Duration::from_millis(10));
     for _ in 0..10 {
         alg.step();
     }
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for _ in 0..50 {
-        alg.step();
-    }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let stray = allocations_in("dense serial", || {
+        for _ in 0..50 {
+            alg.step();
+        }
+    });
     assert_eq!(
-        after - before,
-        0,
-        "steady-state step() allocated {} times over 50 iterations",
-        after - before
+        stray, 0,
+        "steady-state step() allocated {stray} times over 50 iterations"
     );
 
     // the run still makes progress (the instrumented loop is the real one)
@@ -93,16 +125,14 @@ fn steady_state_step_is_allocation_free() {
     for _ in 0..10 {
         pooled.step();
     }
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for _ in 0..50 {
-        pooled.step();
-    }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let stray = allocations_in("pooled", || {
+        for _ in 0..50 {
+            pooled.step();
+        }
+    });
     assert_eq!(
-        after - before,
-        0,
-        "steady-state pooled step() allocated {} times over 50 iterations",
-        after - before
+        stray, 0,
+        "steady-state pooled step() allocated {stray} times over 50 iterations"
     );
     assert!(pooled.report().utility > 0.0);
 
@@ -112,18 +142,16 @@ fn steady_state_step_is_allocation_free() {
     // allocation-free too.
     let mut ck = spn::core::Checkpoint::new();
     alg.checkpoint_into(&mut ck); // cold capture allocates, outside the window
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for _ in 0..20 {
-        alg.checkpoint_into(&mut ck);
-        alg.step();
-        alg.restore(&ck).expect("shapes match");
-    }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let stray = allocations_in("checkpoint cycle", || {
+        for _ in 0..20 {
+            alg.checkpoint_into(&mut ck);
+            alg.step();
+            alg.restore(&ck).expect("shapes match");
+        }
+    });
     assert_eq!(
-        after - before,
-        0,
-        "warm checkpoint/restore allocated {} times over 20 cycles",
-        after - before
+        stray, 0,
+        "warm checkpoint/restore allocated {stray} times over 20 cycles"
     );
     assert!(alg.report().utility > 0.0);
 
@@ -145,31 +173,27 @@ fn steady_state_step_is_allocation_free() {
         for _ in 0..10 {
             sparse.step();
         }
-        let before = ALLOCATIONS.load(Ordering::SeqCst);
-        for _ in 0..50 {
-            sparse.step();
-        }
-        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        let stray = allocations_in("sparse steps", || {
+            for _ in 0..50 {
+                sparse.step();
+            }
+        });
         assert_eq!(
-            after - before,
-            0,
-            "steady-state sparse step() (threads={threads}) allocated {} times over 50 iterations",
-            after - before
+            stray, 0,
+            "steady-state sparse step() (threads={threads}) allocated {stray} times over 50 iterations"
         );
         let mut ck = spn::core::Checkpoint::new();
         sparse.checkpoint_into(&mut ck);
-        let before = ALLOCATIONS.load(Ordering::SeqCst);
-        for _ in 0..10 {
-            sparse.restore(&ck).expect("shapes match");
-            sparse.step(); // post-invalidation dense rebuild iteration
-            sparse.step(); // warm sparse iteration
-        }
-        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        let stray = allocations_in("sparse restore cycle", || {
+            for _ in 0..10 {
+                sparse.restore(&ck).expect("shapes match");
+                sparse.step(); // post-invalidation dense rebuild iteration
+                sparse.step(); // warm sparse iteration
+            }
+        });
         assert_eq!(
-            after - before,
-            0,
-            "sparse restore/invalidate cycle (threads={threads}) allocated {} times",
-            after - before
+            stray, 0,
+            "sparse restore/invalidate cycle (threads={threads}) allocated {stray} times"
         );
         assert!(sparse.report().utility > 0.0);
     }
