@@ -35,6 +35,14 @@
 //! marginal/Γ-fill within ulps) run on this host's detected backend.
 //! The top-level `"simd_backend"` key records that backend either way.
 //!
+//! The mesh-wire suite measures bytes on the wire per mesh iteration —
+//! the delta-encoded coalesced wire (`refresh_every = 16`) against the
+//! full-broadcast baseline (`refresh_every = 1`, the pre-delta wire) —
+//! at 2 and 4 regions, in the warm regime (first 100 iterations) and
+//! the converged regime (past the instance's bitwise routing fixed
+//! point). Byte counts are deterministic, so this suite is valid on
+//! any host and never tagged degraded.
+//!
 //! The online-admission suite times the two ways of reaching the
 //! converged 32-commodity solution on the 400-node case when a
 //! converged 31-commodity run is already live: admit the held-back
@@ -56,9 +64,11 @@
 
 use spn_bench::small_instance;
 use spn_core::{CommodityDef, GradientAlgorithm, GradientConfig, SimdPolicy};
+use spn_mesh::{MeshConfig, MeshRuntime};
 use spn_model::hierarchy::HierarchicalInstance;
 use spn_model::spec::ProblemSpec;
 use spn_model::{CommodityId, Problem};
+use spn_transform::ExtendedNetwork;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -284,6 +294,75 @@ fn measure_scale(
         alg.step();
     }
     (shape, measure_warm(&mut alg, timing))
+}
+
+/// Mesh-wire suite: `(nodes, commodities)` of the instance every
+/// region-count case runs on. The seed-1 16-node instance reaches a
+/// *bitwise* routing fixed point near iteration 5500, which is the
+/// converged regime the delta wire targets: past it, non-refresh
+/// rounds carry heartbeat-only batches.
+const MESH_WIRE_CASE: (usize, usize) = (16, 2);
+
+/// Region counts swept by the mesh-wire suite.
+const MESH_WIRE_REGIONS: &[usize] = &[2, 4];
+
+/// Iterations before the converged-regime window (past the bitwise
+/// fixed point; deterministic, a property of the instance).
+const MESH_WIRE_SETTLE: usize = 6000;
+
+/// Converged-regime measurement window — four full refresh cycles at
+/// the default `refresh_every = 16`.
+const MESH_WIRE_WINDOW: usize = 64;
+
+/// Warm-regime window: the first iterations after round 0, where most
+/// rows genuinely change every round and the delta layer wins least.
+const MESH_WIRE_WARM: usize = 100;
+
+/// One mesh wire measurement: bytes/frames per iteration in the warm
+/// and converged regimes, plus the converged row suppression split.
+struct WireMeasurement {
+    warm_bytes_per_iter: f64,
+    converged_bytes_per_iter: f64,
+    converged_frames_per_iter: f64,
+    converged_rows_sent: u64,
+    converged_rows_suppressed: u64,
+}
+
+/// Runs the lossless mesh at the given region count and refresh cadence
+/// and reads its wire telemetry. `refresh_every = 1` re-sends every
+/// owned row every round — the pre-delta full-broadcast wire, measured
+/// as the baseline rather than assumed.
+fn measure_mesh_wire(regions: usize, refresh_every: u64) -> WireMeasurement {
+    let (nodes, commodities) = MESH_WIRE_CASE;
+    let problem = small_instance(1, nodes, commodities);
+    let config = MeshConfig {
+        regions,
+        gradient: GradientConfig {
+            threads: 1,
+            ..GradientConfig::default()
+        },
+        refresh_every,
+        ..MeshConfig::default()
+    };
+    let mut mesh =
+        MeshRuntime::lossless(ExtendedNetwork::build(&problem), config).expect("valid mesh config");
+    mesh.run(MESH_WIRE_WARM);
+    let warm = mesh.wire_stats();
+    mesh.run(MESH_WIRE_SETTLE - MESH_WIRE_WARM);
+    let settled = mesh.wire_stats();
+    mesh.run(MESH_WIRE_WINDOW);
+    let quiet = mesh.wire_stats();
+    assert!(
+        mesh.incidents().is_empty(),
+        "lossless mesh-wire run logged incidents"
+    );
+    WireMeasurement {
+        warm_bytes_per_iter: warm.bytes as f64 / MESH_WIRE_WARM as f64,
+        converged_bytes_per_iter: (quiet.bytes - settled.bytes) as f64 / MESH_WIRE_WINDOW as f64,
+        converged_frames_per_iter: (quiet.frames - settled.frames) as f64 / MESH_WIRE_WINDOW as f64,
+        converged_rows_sent: quiet.rows_sent - settled.rows_sent,
+        converged_rows_suppressed: quiet.rows_suppressed - settled.rows_suppressed,
+    }
 }
 
 /// Online-admission case: the largest sweep case, with one commodity
@@ -580,7 +659,7 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"suite_degraded\": {{ \"cases\": {degraded}, \"converged_cases\": false, \
-         \"scale_curve\": false, \"admission\": false }},"
+         \"scale_curve\": false, \"mesh_wire\": false, \"admission\": false }},"
     );
     let _ = writeln!(json, "  \"simd_feature\": {},", cfg!(feature = "simd"));
     let _ = writeln!(
@@ -870,6 +949,93 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&kernel_section());
+
+    // Mesh-wire suite: bytes on the wire per iteration, delta wire
+    // (refresh_every = 16) vs the full-broadcast baseline
+    // (refresh_every = 1), warm vs converged regime. Byte counts are
+    // deterministic — this suite is never degraded by core count.
+    let (mw_nodes, mw_commodities) = MESH_WIRE_CASE;
+    let _ = writeln!(
+        json,
+        "  \"mesh_wire_settle_iterations\": {MESH_WIRE_SETTLE},"
+    );
+    let _ = writeln!(json, "  \"mesh_wire_window\": {MESH_WIRE_WINDOW},");
+    json.push_str("  \"mesh_wire\": [\n");
+    println!(
+        "# mesh wire ({mw_nodes} nodes / {mw_commodities} commodities, seed 1, lossless, \
+         settle {MESH_WIRE_SETTLE}, window {MESH_WIRE_WINDOW})"
+    );
+    println!(
+        "# regions\twire\twarm_B_per_iter\tconverged_B_per_iter\tframes_per_iter\trows_sent\trows_suppressed\treduction"
+    );
+    for (ri, &regions) in MESH_WIRE_REGIONS.iter().enumerate() {
+        let full = measure_mesh_wire(regions, 1);
+        let delta = measure_mesh_wire(regions, 16);
+        let reduction = full.converged_bytes_per_iter / delta.converged_bytes_per_iter;
+        println!(
+            "{regions}\tfull\t{:.1}\t{:.1}\t{:.2}\t{}\t{}\t-",
+            full.warm_bytes_per_iter,
+            full.converged_bytes_per_iter,
+            full.converged_frames_per_iter,
+            full.converged_rows_sent,
+            full.converged_rows_suppressed
+        );
+        println!(
+            "{regions}\tdelta\t{:.1}\t{:.1}\t{:.2}\t{}\t{}\t{reduction:.1}x",
+            delta.warm_bytes_per_iter,
+            delta.converged_bytes_per_iter,
+            delta.converged_frames_per_iter,
+            delta.converged_rows_sent,
+            delta.converged_rows_suppressed
+        );
+        let shape = InstanceShape::of(&small_instance(1, mw_nodes, mw_commodities), 1);
+        let _ = writeln!(json, "    {{");
+        shape.write_json(&mut json, "      ");
+        let _ = writeln!(json, "      \"regions\": {regions},");
+        let _ = writeln!(
+            json,
+            "      \"full_warm_bytes_per_iter\": {:.1},",
+            full.warm_bytes_per_iter
+        );
+        let _ = writeln!(
+            json,
+            "      \"full_converged_bytes_per_iter\": {:.1},",
+            full.converged_bytes_per_iter
+        );
+        let _ = writeln!(
+            json,
+            "      \"delta_warm_bytes_per_iter\": {:.1},",
+            delta.warm_bytes_per_iter
+        );
+        let _ = writeln!(
+            json,
+            "      \"delta_converged_bytes_per_iter\": {:.1},",
+            delta.converged_bytes_per_iter
+        );
+        let _ = writeln!(
+            json,
+            "      \"delta_converged_frames_per_iter\": {:.2},",
+            delta.converged_frames_per_iter
+        );
+        let _ = writeln!(
+            json,
+            "      \"delta_converged_rows_sent\": {},",
+            delta.converged_rows_sent
+        );
+        let _ = writeln!(
+            json,
+            "      \"delta_converged_rows_suppressed\": {},",
+            delta.converged_rows_suppressed
+        );
+        let _ = writeln!(json, "      \"converged_reduction\": {reduction:.2}");
+        let comma = if ri + 1 < MESH_WIRE_REGIONS.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    json.push_str("  ],\n");
 
     // Online-admission suite: one commodity admitted into a converged
     // run vs a full rebuild, both timed to 99% of the settled full-set

@@ -1,7 +1,7 @@
 //! **Mesh runtime smoke** — the region-sharded mesh on a seeded
 //! instance, both transports, wired into CI.
 //!
-//! Three claims, each checked with a hard exit code:
+//! Five claims, each checked with a hard exit code:
 //!
 //! * under `Lossless` a 4-region mesh is **bit-identical** to the
 //!   monolithic `GradientAlgorithm` (utility bits compared at every
@@ -12,15 +12,75 @@
 //!   second run with the same seed produces the identical report and
 //!   the identical incident log;
 //! * the faulted mesh still reaches the same convergence verdict as
-//!   the lossless one — degradation is graceful, not a stall.
+//!   the lossless one — degradation is graceful, not a stall;
+//! * the **delta wire goes quiet**: once the seed-1 instance reaches
+//!   its bitwise routing fixed point, converged-regime bytes per
+//!   iteration must be ≤ 0.5× the full-broadcast baseline
+//!   (`refresh_every = 1`, which re-sends every owned row every round
+//!   exactly as the pre-delta wire did) — in practice the margin is
+//!   an order of magnitude (ARCHITECTURE invariant 20);
+//! * the converged send/receive path is **allocation-free**: stepping
+//!   the warm mesh through full refresh cycles performs zero heap
+//!   allocations under a counting global allocator (the
+//!   `tests/zero_alloc.rs` pattern).
 //!
 //! Usage: `mesh_smoke [--smoke]` (`--smoke` is the CI-sized run; the
 //! default doubles the settle budget).
+#![allow(unsafe_code)] // a counting GlobalAlloc requires unsafe impls
 
 use spn_bench::small_instance;
 use spn_core::{GradientAlgorithm, GradientConfig};
 use spn_mesh::{MeshConfig, MeshFaultConfig, MeshRuntime, PartitionSpec};
 use spn_transform::ExtendedNetwork;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Counts the global allocations `body` performs, retrying once if the
+/// first attempt saw any: the process's other threads (if any) may
+/// lazily initialize state inside the first window, but a real
+/// per-iteration allocation reproduces on both attempts.
+fn allocations_in(label: &str, mut body: impl FnMut()) -> u64 {
+    let mut last = 0;
+    for attempt in 0..2 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        body();
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        last = after - before;
+        if last == 0 {
+            return 0;
+        }
+        if attempt == 0 {
+            eprintln!(
+                "{label}: {last} allocation(s) in the first window — retrying \
+                 once in case a lazy one-shot init landed in it"
+            );
+        }
+    }
+    last
+}
 
 /// Convergence gate shared by every leg.
 const SHIFT_TOLERANCE: f64 = 1e-4;
@@ -141,14 +201,85 @@ fn main() {
         failed = true;
     }
 
+    // Leg 3: the delta wire goes quiet in the converged regime. The
+    // seed-1 instance reaches a bitwise routing fixed point near
+    // iteration 5500; past it, non-refresh rounds carry heartbeat-only
+    // batches. The baseline is the same mesh at `refresh_every = 1` —
+    // every owned row re-sent every round, i.e. the pre-delta wire.
+    let quiet_problem = small_instance(1, 16, 2);
+    let mut full = MeshRuntime::lossless(
+        ExtendedNetwork::build(&quiet_problem),
+        MeshConfig {
+            refresh_every: 1,
+            ..mesh_config()
+        },
+    )
+    .expect("valid mesh config");
+    full.run(16);
+    let a = full.wire_stats();
+    full.run(16);
+    let b = full.wire_stats();
+    let full_rate = (b.bytes - a.bytes) as f64 / 16.0;
+
+    let mut quiet = MeshRuntime::lossless(ExtendedNetwork::build(&quiet_problem), mesh_config())
+        .expect("valid mesh config");
+    quiet.run(6000);
+    let settled = quiet.wire_stats();
+    quiet.run(64); // four full refresh cycles
+    let converged = quiet.wire_stats();
+    let quiet_rate = (converged.bytes - settled.bytes) as f64 / 64.0;
+    println!(
+        "mesh_smoke\twire\t6064\t{quiet_rate:.1}\t{} (full-broadcast {full_rate:.1} B/it)",
+        quiet.incidents().len()
+    );
+    if quiet_rate > 0.5 * full_rate {
+        eprintln!(
+            "FAIL: converged delta wire ships {quiet_rate:.1} bytes/iteration — more \
+             than 0.5x the full-broadcast baseline ({full_rate:.1})"
+        );
+        failed = true;
+    }
+    if converged.rows_suppressed == settled.rows_suppressed {
+        eprintln!("FAIL: delta suppression never engaged in the converged regime");
+        failed = true;
+    }
+    if !quiet.incidents().is_empty() {
+        eprintln!(
+            "FAIL: converged lossless run logged {} incidents; expected zero",
+            quiet.incidents().len()
+        );
+        failed = true;
+    }
+
+    // Leg 4: the warm send/receive path is allocation-free. The mesh is
+    // converged and its pools are sized; stepping through three more
+    // refresh cycles (full-row sweeps included) must not allocate.
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    quiet.step();
+    let stray = allocations_in("mesh steady state", || {
+        for _ in 0..48 {
+            quiet.step();
+        }
+    });
+    println!("mesh_smoke\tzero-alloc\t48\t{stray}\t-");
+    if stray > 0 {
+        eprintln!(
+            "FAIL: converged mesh step() allocated {stray} times over 48 iterations; \
+             the steady-state wire path must be allocation-free"
+        );
+        failed = true;
+    }
+
     if failed {
         std::process::exit(1);
     }
     println!(
         "# mesh_smoke: OK (4 regions, lossless converged in {} iterations \
-         with 0 incidents, chaotic in {} with {} incidents)",
+         with 0 incidents, chaotic in {} with {} incidents, converged wire \
+         at {:.1}% of full broadcast, 0 steady-state allocations)",
         lossless_outcome.iterations,
         outcome_a.iterations,
-        log_a.len()
+        log_a.len(),
+        100.0 * quiet_rate / full_rate
     );
 }

@@ -438,6 +438,10 @@ pub fn apply_gamma(
 /// round reaches only part of the network (nodes busy, messages
 /// delayed). The `spn-sim` crate builds its partial-participation
 /// schedules on top of this.
+///
+/// Allocates a fresh row-staging scratch per call; steady-state callers
+/// (the mesh runtime's per-tick Γ phase) should hold a [`GammaScratch`]
+/// and use [`apply_gamma_selective_scratch`] instead.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
 pub fn apply_gamma_selective<F>(
     ext: &ExtendedNetwork,
@@ -450,13 +454,60 @@ pub fn apply_gamma_selective<F>(
     traffic_floor: f64,
     opening_fraction: f64,
     shift_cap: f64,
+    participates: F,
+) -> GammaStats
+where
+    F: FnMut(CommodityId, NodeId) -> bool,
+{
+    let mut scratch = GammaScratch::default();
+    apply_gamma_selective_scratch(
+        ext,
+        cost,
+        routing,
+        state,
+        marginals,
+        tags,
+        eta,
+        traffic_floor,
+        opening_fraction,
+        shift_cap,
+        participates,
+        &mut scratch,
+    )
+}
+
+/// Reusable row-staging buffers for [`apply_gamma_selective_scratch`]:
+/// after the first call has sized them to the instance's maximum router
+/// out-degree, subsequent calls are allocation-free. Opaque — there is
+/// nothing to configure; `default()` is the only constructor.
+#[derive(Clone, Debug, Default)]
+pub struct GammaScratch {
+    lane: GammaLane,
+}
+
+/// [`apply_gamma_selective`] with a caller-owned [`GammaScratch`]: the
+/// steady-state (warm-scratch) path performs no heap allocation, which
+/// the mesh runtime's zero-alloc gate (`mesh_smoke`) pins.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's inputs
+pub fn apply_gamma_selective_scratch<F>(
+    ext: &ExtendedNetwork,
+    cost: &CostModel,
+    routing: &mut RoutingTable,
+    state: &FlowState,
+    marginals: &Marginals,
+    tags: &BlockedTags,
+    eta: f64,
+    traffic_floor: f64,
+    opening_fraction: f64,
+    shift_cap: f64,
     mut participates: F,
+    scratch: &mut GammaScratch,
 ) -> GammaStats
 where
     F: FnMut(CommodityId, NodeId) -> bool,
 {
     let mut stats = GammaStats::default();
-    let mut lane = GammaLane::default();
+    let lane = &mut scratch.lane;
     for j in ext.commodity_ids() {
         let ctx = GammaCtx {
             ext,
@@ -484,7 +535,7 @@ where
                 if !participates(j, i) {
                     continue;
                 }
-                let (max_shift, total) = gamma_row_into(&ctx, i, &mut lane);
+                let (max_shift, total) = gamma_row_into(&ctx, i, lane);
                 apply_row(ctx.phi, ext, j, i, &lane.row);
                 local.0 = local.0.max(max_shift);
                 local.1 += total;

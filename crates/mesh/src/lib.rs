@@ -19,6 +19,17 @@
 //! checkpoint/recovery so a rejoining region restores survivor state
 //! bit-for-bit.
 //!
+//! The wire path (format v2) is **delta-encoded, coalesced, and
+//! pooled**: each worker fingerprints the exact bits last shipped per
+//! link and sends only changed rows, inside one batched frame per
+//! (link, tick), with every buffer reused across ticks — the
+//! converged lossless steady state ships a heartbeat-sized batch per
+//! link per iteration and allocates nothing. A periodic full refresh
+//! plus a receiver-driven resync request ([`Payload::Resend`])
+//! re-anchor any delta chain a lossy link breaks (ARCHITECTURE
+//! invariant 20: suppression never changes received values, only
+//! whether the bytes travel).
+//!
 //! Module map:
 //!
 //! * [`wire`] — versioned binary frame format with validating decode.
@@ -40,6 +51,8 @@ pub mod worker;
 pub use fault::{MeshFaultConfig, MeshFaultPlan, PartitionSpec};
 pub use incident::MeshIncident;
 pub use runtime::{MeshConfig, MeshError, MeshReport, MeshRuntime};
-pub use transport::{Chaotic, Lossless, Transport};
-pub use wire::{Frame, FrameKind, Payload, WireError, WIRE_VERSION};
-pub use worker::RegionWorker;
+pub use transport::{Chaotic, Inbox, Lossless, Transport};
+pub use wire::{
+    BatchReader, Frame, FrameBuf, FrameKind, Payload, SubFrame, SubView, WireError, WIRE_VERSION,
+};
+pub use worker::{LinkWireStats, MeshWireStats, RegionWorker};

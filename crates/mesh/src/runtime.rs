@@ -7,11 +7,15 @@
 //! trajectory is bit-identical to `spn_core::GradientAlgorithm`; under
 //! [`Chaotic`] the run additionally produces a deterministic
 //! [`MeshIncident`] log (see [`MeshRuntime::incidents`]).
+//!
+//! The tick loop is allocation-free once warm: deliveries land in one
+//! reusable [`Inbox`] arena, each worker writes its per-link batch
+//! into a reusable buffer, and the transport borrows those bytes.
 
 use crate::fault::{MeshFaultConfig, MeshFaultPlan};
 use crate::incident::MeshIncident;
-use crate::transport::{Chaotic, Lossless, Transport};
-use crate::worker::{owner_of, RegionWorker};
+use crate::transport::{Chaotic, Inbox, Lossless, Transport};
+use crate::worker::{owner_of, MeshWireStats, RegionWorker};
 use spn_core::gamma::GammaStats;
 use spn_core::{ConfigError, CostModel, GradientAlgorithm, GradientConfig, StableOutcome};
 use spn_transform::ExtendedNetwork;
@@ -36,6 +40,12 @@ pub struct MeshConfig {
     pub suspect_after: u64,
     /// Cap on the exponential retransmit backoff, in ticks.
     pub retry_backoff_cap: u64,
+    /// Rounds between full-frame refreshes of the delta wire
+    /// (ARCHITECTURE invariant 20): every `refresh_every`-th round each
+    /// worker ships all owned rows instead of only changed ones,
+    /// re-anchoring every delta chain. `1` degenerates to the v1
+    /// full-broadcast wire (the bench baseline); must be ≥ 1.
+    pub refresh_every: u64,
 }
 
 impl Default for MeshConfig {
@@ -45,6 +55,7 @@ impl Default for MeshConfig {
             gradient: GradientConfig::default(),
             suspect_after: 9,
             retry_backoff_cap: 32,
+            refresh_every: 16,
         }
     }
 }
@@ -71,6 +82,10 @@ pub enum MeshError {
         /// The offending factor.
         epsilon_factor: f64,
     },
+    /// `refresh_every` must be at least 1: a zero cadence would never
+    /// re-anchor a delta chain, so a receiver that missed one delta
+    /// could stay stale forever.
+    ZeroRefreshCadence,
     /// The underlying gradient config is invalid.
     Config(ConfigError),
 }
@@ -88,6 +103,9 @@ impl std::fmt::Display for MeshError {
                 f,
                 "mesh does not support ε-annealing (epsilon_factor = {epsilon_factor}); set it to 1.0"
             ),
+            MeshError::ZeroRefreshCadence => {
+                write!(f, "refresh_every must be at least 1 (1 = full broadcast every round)")
+            }
             MeshError::Config(e) => write!(f, "gradient config: {e}"),
         }
     }
@@ -114,6 +132,10 @@ pub struct MeshReport {
     pub admitted: Vec<f64>,
     /// Summed per-region total routing shift of the final iteration.
     pub total_shift: f64,
+    /// Wire telemetry summed over all workers' links (send side plus
+    /// resync requests). Deterministic, so it participates in the
+    /// same-seed report-equality oracle.
+    pub wire: MeshWireStats,
 }
 
 /// The region-sharded mesh: workers, transport, incident log.
@@ -125,6 +147,8 @@ pub struct MeshRuntime<T: Transport> {
     transport: T,
     tick: u64,
     incidents: Vec<MeshIncident>,
+    /// Reusable delivery arena (one region's frames at a time).
+    inbox: Inbox,
 }
 
 impl MeshRuntime<Lossless> {
@@ -161,9 +185,10 @@ impl MeshRuntime<Chaotic> {
 
 impl<T: Transport> MeshRuntime<T> {
     /// Builds the mesh: validates the config (rejecting region counts
-    /// the node space or the wire cannot carry, ε-annealing, and any
-    /// gradient tunable `GradientAlgorithm` itself would refuse) and
-    /// initializes every worker with the same fully-rejecting mirror.
+    /// the node space or the wire cannot carry, ε-annealing, a zero
+    /// refresh cadence, and any gradient tunable `GradientAlgorithm`
+    /// itself would refuse) and initializes every worker with the same
+    /// fully-rejecting mirror.
     ///
     /// # Errors
     ///
@@ -188,6 +213,9 @@ impl<T: Transport> MeshRuntime<T> {
                 epsilon_factor: config.gradient.epsilon_factor,
             });
         }
+        if config.refresh_every == 0 {
+            return Err(MeshError::ZeroRefreshCadence);
+        }
         // reuse the algorithm's own tunable validation (serial probe;
         // no worker pool spawned)
         let mut probe = config.gradient;
@@ -200,7 +228,16 @@ impl<T: Transport> MeshRuntime<T> {
             wall_strength: config.gradient.wall_strength,
         };
         let workers = (0..config.regions)
-            .map(|r| RegionWorker::new(&ext, &cost, &config.gradient, r, config.regions))
+            .map(|r| {
+                RegionWorker::new(
+                    &ext,
+                    &cost,
+                    &config.gradient,
+                    r,
+                    config.regions,
+                    config.refresh_every,
+                )
+            })
             .collect();
         Ok(MeshRuntime {
             ext,
@@ -210,6 +247,7 @@ impl<T: Transport> MeshRuntime<T> {
             transport,
             tick: 0,
             incidents: Vec::new(),
+            inbox: Inbox::new(),
         })
     }
 
@@ -221,10 +259,9 @@ impl<T: Transport> MeshRuntime<T> {
         for _ in 0..3 {
             let tick = self.tick;
             self.transport.begin_tick(tick, &mut self.incidents);
-            let mut out = Vec::new();
             for r in 0..self.config.regions {
-                let inbox = self.transport.deliver(tick, r, &mut self.incidents);
-                out.clear();
+                self.transport
+                    .deliver_into(tick, r, &mut self.inbox, &mut self.incidents);
                 self.workers[r].run_phase(
                     &self.ext,
                     &self.cost,
@@ -232,12 +269,17 @@ impl<T: Transport> MeshRuntime<T> {
                     self.config.suspect_after,
                     self.config.retry_backoff_cap,
                     tick,
-                    inbox,
-                    &mut out,
+                    &self.inbox,
                     &mut self.incidents,
                 );
-                for (to, bytes) in out.drain(..) {
-                    self.transport.send(tick, r, to, bytes, &mut self.incidents);
+                let worker = &self.workers[r];
+                for to in 0..self.config.regions {
+                    if to == r {
+                        continue;
+                    }
+                    if let Some(bytes) = worker.outgoing(to) {
+                        self.transport.send(tick, r, to, bytes, &mut self.incidents);
+                    }
                 }
             }
             self.tick += 1;
@@ -303,6 +345,7 @@ impl<T: Transport> MeshRuntime<T> {
             utility: self.utility(),
             admitted,
             total_shift: last.total_shift,
+            wire: self.wire_stats(),
         }
     }
 
@@ -321,6 +364,17 @@ impl<T: Transport> MeshRuntime<T> {
                     .value(w.admitted(&self.ext, j))
             })
             .sum()
+    }
+
+    /// Wire telemetry summed over all workers' links so far (send side
+    /// plus resync requests).
+    #[must_use]
+    pub fn wire_stats(&self) -> MeshWireStats {
+        let mut total = MeshWireStats::default();
+        for w in &self.workers {
+            total.absorb(w.wire_stats());
+        }
+        total
     }
 
     fn owner_worker(&self, j: spn_model::CommodityId) -> &RegionWorker {

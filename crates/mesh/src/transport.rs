@@ -15,12 +15,67 @@
 //!   staggered heal. Every injected fault is logged as a
 //!   [`MeshIncident`], and two runs from the same seed inject — and
 //!   log — exactly the same faults.
+//!
+//! Since the wire v2 coalescing layer, a worker ships **one batch
+//! frame per (link, tick)**, so each fault draw applies to the whole
+//! batch (`kind = "batch"` in incidents) — exactly one draw per link
+//! per tick, same as the v1 per-payload schedule at one frame per
+//! link. Senders pass borrowed bytes and receivers drain into a
+//! caller-owned [`Inbox`] arena; both transports recycle their
+//! internal frame buffers through spare pools, so the steady-state
+//! transport path allocates nothing.
 
 use crate::fault::MeshFaultPlan;
 use crate::incident::MeshIncident;
 use crate::wire::Frame;
 use std::collections::VecDeque;
-use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// A flat arena of received frames: one contiguous byte buffer plus
+/// frame spans, reused across ticks so delivery never allocates once
+/// warm.
+#[derive(Debug, Default)]
+pub struct Inbox {
+    bytes: Vec<u8>,
+    spans: Vec<(usize, usize)>,
+}
+
+impl Inbox {
+    /// An empty inbox.
+    #[must_use]
+    pub fn new() -> Self {
+        Inbox::default()
+    }
+
+    /// Forgets all frames, keeping capacity.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.spans.clear();
+    }
+
+    /// Appends one frame.
+    pub fn push(&mut self, frame: &[u8]) {
+        let start = self.bytes.len();
+        self.bytes.extend_from_slice(frame);
+        self.spans.push((start, self.bytes.len()));
+    }
+
+    /// The frames, in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.spans.iter().map(move |&(s, e)| &self.bytes[s..e])
+    }
+
+    /// Number of frames held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Is the inbox empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
 
 /// A frame conduit between region workers. All methods take the
 /// current transport tick; implementations must be deterministic
@@ -30,52 +85,55 @@ pub trait Transport {
     /// transport can log scheduled events (partition cuts and heals).
     fn begin_tick(&mut self, tick: u64, log: &mut Vec<MeshIncident>);
 
-    /// Queues an encoded frame from `from` to `to`.
+    /// Queues an encoded frame from `from` to `to`. The transport
+    /// copies the bytes it keeps; the caller retains the buffer.
     fn send(
         &mut self,
         tick: u64,
         from: usize,
         to: usize,
-        bytes: Vec<u8>,
+        bytes: &[u8],
         log: &mut Vec<MeshIncident>,
     );
 
     /// Drains every frame deliverable to `to` at `tick` (frames sent
-    /// strictly earlier, plus any delayed frames now due), in
-    /// deterministic order.
-    fn deliver(&mut self, tick: u64, to: usize, log: &mut Vec<MeshIncident>) -> Vec<Vec<u8>>;
+    /// strictly earlier, plus any delayed frames now due) into
+    /// `inbox`, in deterministic order. Clears the inbox first.
+    fn deliver_into(
+        &mut self,
+        tick: u64,
+        to: usize,
+        inbox: &mut Inbox,
+        log: &mut Vec<MeshIncident>,
+    );
 }
 
 /// Synchronous-barrier delivery: every frame arrives exactly once at
-/// the tick after it was sent, in send order. Built on `mpsc` channels
-/// (one per destination region) with a small reorder buffer that holds
-/// frames back until their barrier tick.
+/// the tick after it was sent, in send order. Per-destination queues
+/// hold frames back until their barrier tick; drained frame buffers
+/// are recycled through a spare pool.
 pub struct Lossless {
-    lanes: Vec<Lane>,
-}
-
-struct Lane {
-    tx: Sender<(u64, usize, Vec<u8>)>,
-    rx: Receiver<(u64, usize, Vec<u8>)>,
-    /// Frames drained from the channel but not yet past their barrier.
-    held: VecDeque<(u64, usize, Vec<u8>)>,
+    /// Per destination: `(sent_tick, bytes)` in send order.
+    lanes: Vec<VecDeque<(u64, Vec<u8>)>>,
+    /// Recycled frame buffers.
+    spare: Vec<Vec<u8>>,
 }
 
 impl Lossless {
     /// A lossless mesh between `regions` workers.
     #[must_use]
     pub fn new(regions: usize) -> Self {
-        let lanes = (0..regions)
-            .map(|_| {
-                let (tx, rx) = channel();
-                Lane {
-                    tx,
-                    rx,
-                    held: VecDeque::new(),
-                }
-            })
-            .collect();
-        Lossless { lanes }
+        Lossless {
+            lanes: (0..regions).map(|_| VecDeque::new()).collect(),
+            spare: Vec::new(),
+        }
+    }
+
+    fn buffer(&mut self, bytes: &[u8]) -> Vec<u8> {
+        let mut buf = self.spare.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(bytes);
+        buf
     }
 }
 
@@ -85,27 +143,30 @@ impl Transport for Lossless {
     fn send(
         &mut self,
         tick: u64,
-        from: usize,
+        _from: usize,
         to: usize,
-        bytes: Vec<u8>,
+        bytes: &[u8],
         _log: &mut Vec<MeshIncident>,
     ) {
-        // an in-process send on a live receiver cannot fail
-        let _ = self.lanes[to].tx.send((tick, from, bytes));
+        let buf = self.buffer(bytes);
+        self.lanes[to].push_back((tick, buf));
     }
 
-    fn deliver(&mut self, tick: u64, to: usize, _log: &mut Vec<MeshIncident>) -> Vec<Vec<u8>> {
+    fn deliver_into(
+        &mut self,
+        tick: u64,
+        to: usize,
+        inbox: &mut Inbox,
+        _log: &mut Vec<MeshIncident>,
+    ) {
+        inbox.clear();
         let lane = &mut self.lanes[to];
-        while let Ok(item) = lane.rx.try_recv() {
-            lane.held.push_back(item);
-        }
-        let mut out = Vec::new();
         // barrier: only frames sent strictly before this tick
-        while matches!(lane.held.front(), Some(&(sent, _, _)) if sent < tick) {
-            let (_, _, bytes) = lane.held.pop_front().expect("front checked");
-            out.push(bytes);
+        while matches!(lane.front(), Some(&(sent, _)) if sent < tick) {
+            let (_, bytes) = lane.pop_front().expect("front checked");
+            inbox.push(&bytes);
+            self.spare.push(bytes);
         }
-        out
     }
 }
 
@@ -121,6 +182,8 @@ pub struct Chaotic {
     pending: Vec<Vec<(u64, u64, Vec<u8>)>>,
     /// Monotone insertion counter — the deterministic tiebreak.
     order: u64,
+    /// Recycled frame buffers.
+    spare: Vec<Vec<u8>>,
 }
 
 impl Chaotic {
@@ -131,15 +194,19 @@ impl Chaotic {
             plan,
             pending: (0..regions).map(|_| Vec::new()).collect(),
             order: 0,
+            spare: Vec::new(),
         }
     }
 
-    fn enqueue(&mut self, to: usize, deliver_tick: u64, bytes: Vec<u8>) {
+    fn enqueue(&mut self, to: usize, deliver_tick: u64, bytes: &[u8]) {
+        let mut buf = self.spare.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(bytes);
         let order = self.order;
         self.order += 1;
         let queue = &mut self.pending[to];
         let at = queue.partition_point(|&(dt, o, _)| (dt, o) <= (deliver_tick, order));
-        queue.insert(at, (deliver_tick, order, bytes));
+        queue.insert(at, (deliver_tick, order, buf));
     }
 
     fn frame_kind(bytes: &[u8]) -> crate::wire::FrameKind {
@@ -180,10 +247,10 @@ impl Transport for Chaotic {
         tick: u64,
         from: usize,
         to: usize,
-        bytes: Vec<u8>,
+        bytes: &[u8],
         log: &mut Vec<MeshIncident>,
     ) {
-        let kind = Self::frame_kind(&bytes);
+        let kind = Self::frame_kind(bytes);
         if self.plan.link_blocked(tick, from, to) || self.plan.drops_frame(tick, from, to) {
             log.push(MeshIncident::FrameLost {
                 tick,
@@ -211,15 +278,25 @@ impl Transport for Chaotic {
                 to,
                 kind,
             });
-            self.enqueue(to, deliver_tick, bytes.clone());
+            self.enqueue(to, deliver_tick, bytes);
         }
         self.enqueue(to, deliver_tick, bytes);
     }
 
-    fn deliver(&mut self, tick: u64, to: usize, _log: &mut Vec<MeshIncident>) -> Vec<Vec<u8>> {
+    fn deliver_into(
+        &mut self,
+        tick: u64,
+        to: usize,
+        inbox: &mut Inbox,
+        _log: &mut Vec<MeshIncident>,
+    ) {
+        inbox.clear();
         let queue = &mut self.pending[to];
         let due = queue.partition_point(|&(dt, _, _)| dt <= tick);
-        queue.drain(..due).map(|(_, _, bytes)| bytes).collect()
+        for (_, _, bytes) in queue.drain(..due) {
+            inbox.push(&bytes);
+            self.spare.push(bytes);
+        }
     }
 }
 
@@ -240,21 +317,46 @@ mod tests {
         .encode()
     }
 
+    fn drain(
+        t: &mut impl Transport,
+        tick: u64,
+        to: usize,
+        log: &mut Vec<MeshIncident>,
+    ) -> Vec<Vec<u8>> {
+        let mut inbox = Inbox::new();
+        t.deliver_into(tick, to, &mut inbox, log);
+        inbox.iter().map(<[u8]>::to_vec).collect()
+    }
+
     #[test]
     fn lossless_delivers_next_tick_in_order() {
         let mut t = Lossless::new(2);
         let mut log = Vec::new();
-        t.send(5, 0, 1, hb(0, 1, 1), &mut log);
-        t.send(5, 0, 1, hb(0, 1, 2), &mut log);
+        t.send(5, 0, 1, &hb(0, 1, 1), &mut log);
+        t.send(5, 0, 1, &hb(0, 1, 2), &mut log);
         // same tick: barrier holds them back
-        assert!(t.deliver(5, 1, &mut log).is_empty());
-        let got = t.deliver(6, 1, &mut log);
+        assert!(drain(&mut t, 5, 1, &mut log).is_empty());
+        let got = drain(&mut t, 6, 1, &mut log);
         assert_eq!(got.len(), 2);
         assert_eq!(Frame::decode(&got[0]).unwrap().round, 1);
         assert_eq!(Frame::decode(&got[1]).unwrap().round, 2);
         // drained: nothing left
-        assert!(t.deliver(7, 1, &mut log).is_empty());
+        assert!(drain(&mut t, 7, 1, &mut log).is_empty());
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn inbox_reuse_does_not_leak_frames() {
+        let mut t = Lossless::new(2);
+        let mut log = Vec::new();
+        let mut inbox = Inbox::new();
+        t.send(0, 0, 1, &hb(0, 1, 7), &mut log);
+        t.deliver_into(1, 1, &mut inbox, &mut log);
+        assert_eq!(inbox.len(), 1);
+        // next delivery with nothing pending clears the previous content
+        t.deliver_into(2, 1, &mut inbox, &mut log);
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.iter().count(), 0);
     }
 
     #[test]
@@ -285,14 +387,14 @@ mod tests {
                                 tick,
                                 from as usize,
                                 to as usize,
-                                hb(from, to, tick),
+                                &hb(from, to, tick),
                                 &mut log,
                             );
                         }
                     }
                 }
                 for to in 0..3usize {
-                    delivered.push((tick, to, t.deliver(tick, to, &mut log).len()));
+                    delivered.push((tick, to, drain(&mut t, tick, to, &mut log).len()));
                 }
             }
             (log, delivered)
@@ -317,10 +419,10 @@ mod tests {
         for tick in 0..10u64 {
             chaotic.begin_tick(tick, &mut log);
             lossless.begin_tick(tick, &mut log);
-            chaotic.send(tick, 0, 1, hb(0, 1, tick), &mut log);
-            lossless.send(tick, 0, 1, hb(0, 1, tick), &mut log);
-            let a = chaotic.deliver(tick, 1, &mut log);
-            let b = lossless.deliver(tick, 1, &mut log);
+            chaotic.send(tick, 0, 1, &hb(0, 1, tick), &mut log);
+            lossless.send(tick, 0, 1, &hb(0, 1, tick), &mut log);
+            let a = drain(&mut chaotic, tick, 1, &mut log);
+            let b = drain(&mut lossless, tick, 1, &mut log);
             assert_eq!(a, b);
         }
         assert!(log.is_empty());

@@ -10,14 +10,30 @@
 //! every peer's, so the merged trajectory is bit-identical to the
 //! monolithic `GradientAlgorithm` (ARCHITECTURE invariant 19).
 //!
+//! The send path is **delta-encoded, coalesced, and pooled**
+//! (ARCHITECTURE invariant 20): per link, the worker fingerprints the
+//! exact bit pattern of every row it last shipped and sends only rows
+//! whose bits changed, inside exactly one [`FrameBuf`] batch per
+//! (link, tick), with every buffer (batches, flights, scratch) owned
+//! by the worker and reused across ticks — the converged steady state
+//! sends a heartbeat-only batch per iteration and allocates nothing.
+//! A periodic full refresh (`refresh_every` rounds) re-anchors every
+//! delta chain, and a receiver that detects a broadcast round gap asks
+//! the sender for full frames ([`Payload::Resend`]). Suppression never
+//! changes what a receiver ends up holding — only whether the bytes
+//! travel: a suppressed row is bitwise what the receiver already has.
+//!
 //! Reliability, per peer link:
 //!
 //! * **Reliable stream** (Γ rows, recovery frames): sequence numbers
-//!   starting at 1, cumulative acks, in-order delivery with an
-//!   ahead-buffer, and retransmit under capped exponential backoff.
+//!   starting at 1, cumulative acks (one per link per tick), in-order
+//!   delivery with an ahead-buffer, and retransmit under capped
+//!   exponential backoff.
 //! * **Watermarked broadcasts** (marginals, forecasts): a per-kind
 //!   round watermark accepts only strictly newer rounds; duplicates
 //!   and stale frames are logged and discarded, never applied twice.
+//!   Each broadcast names its predecessor's round (`base`), so a
+//!   receiver spots link-local loss and requests a resync.
 //! * **Per-row round guards**: a Γ row is applied only if its round is
 //!   newer than the row's last applied round, so late retransmits
 //!   flushed after a recovery cannot regress restored state.
@@ -29,15 +45,20 @@
 
 use crate::incident::MeshIncident;
 use crate::recovery::{payload_to_snapshot, snapshot_to_payload, state_digest};
-use crate::wire::{ForecastEntry, Frame, FrameKind, GammaRow, MarginalEntry, Payload};
+use crate::transport::Inbox;
+use crate::wire::{
+    parse_ack, parse_recovery_request, parse_recovery_state, parse_resend, walk_forecast,
+    walk_gamma_rows, walk_marginals, BatchReader, FrameBuf, FrameKind, Payload, SubView,
+    RESEND_FORECAST, RESEND_MARGINALS,
+};
 use spn_core::blocked::{compute_tags_into, BlockedTags};
 use spn_core::flows::compute_flows_into;
-use spn_core::gamma::{apply_gamma_selective, GammaStats};
+use spn_core::gamma::{apply_gamma_selective_scratch, GammaScratch, GammaStats};
 use spn_core::marginals::compute_marginals_into;
 use spn_core::{
     Checkpoint, CostModel, FlowState, GradientConfig, IterationWorkspace, Marginals, RoutingTable,
 };
-use spn_graph::EdgeId;
+use spn_graph::{EdgeId, NodeId};
 use spn_model::CommodityId;
 use spn_transform::ExtendedNetwork;
 use std::collections::{BTreeMap, VecDeque};
@@ -55,9 +76,71 @@ pub fn owner_of(v_index: usize, v_count: usize, regions: usize) -> usize {
 /// retransmits.
 const RETRY_GRACE: u64 = 4;
 
-/// An unacked reliable frame awaiting retransmission.
+/// Fingerprint sentinel meaning "never shipped": `u64::MAX` is a NaN
+/// bit pattern, which no finite row value can equal.
+const NEVER_SENT: u64 = u64::MAX;
+
+/// Per-link wire telemetry, counted at the sender's batch finish and
+/// the receiver's inbox drain. Deterministic: two same-seed runs count
+/// identical values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkWireStats {
+    /// Batch frames shipped on this link.
+    pub frames_sent: u64,
+    /// Total frame bytes shipped (headers included).
+    pub bytes_sent: u64,
+    /// Sub-frames shipped inside those batches.
+    pub subs_sent: u64,
+    /// Marginal entries + Γ rows + forecast entries shipped.
+    pub rows_sent: u64,
+    /// Rows whose bits matched the link fingerprint and were *not*
+    /// shipped (the delta win).
+    pub rows_suppressed: u64,
+    /// Batch frames received from this peer.
+    pub frames_received: u64,
+    /// Frame bytes received from this peer.
+    pub bytes_received: u64,
+    /// Broadcast round gaps detected on this link (resend requests
+    /// issued to the peer).
+    pub resyncs_requested: u64,
+}
+
+/// Wire telemetry aggregated over links (see
+/// [`RegionWorker::wire_stats`]) or over a whole mesh
+/// (`MeshReport::wire`). Send-side counters plus the resync count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MeshWireStats {
+    /// Batch frames shipped.
+    pub frames: u64,
+    /// Total frame bytes shipped.
+    pub bytes: u64,
+    /// Sub-frames shipped.
+    pub subs: u64,
+    /// Rows shipped.
+    pub rows_sent: u64,
+    /// Rows suppressed by delta fingerprints.
+    pub rows_suppressed: u64,
+    /// Broadcast round gaps detected (resend requests issued).
+    pub resyncs: u64,
+}
+
+impl MeshWireStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: MeshWireStats) {
+        self.frames += other.frames;
+        self.bytes += other.bytes;
+        self.subs += other.subs;
+        self.rows_sent += other.rows_sent;
+        self.rows_suppressed += other.rows_suppressed;
+        self.resyncs += other.resyncs;
+    }
+}
+
+/// An unacked reliable sub-frame awaiting retransmission. Its byte
+/// buffer is recycled through the link's spare pool on ack.
 struct Flight {
     seq: u64,
+    /// Encoded sub-frame bytes (sub header + payload).
     bytes: Vec<u8>,
     /// Retransmit attempts so far (0 = never retransmitted).
     attempts: u32,
@@ -65,31 +148,77 @@ struct Flight {
     due: u64,
 }
 
-/// Per-peer link state: the reliable stream in both directions plus the
-/// broadcast watermarks.
+/// An out-of-order reliable sub-frame buffered until its gap fills
+/// (chaos-only; the copy is the one allocating receive path).
+struct AheadSub {
+    kind: FrameKind,
+    round: u64,
+    payload: Vec<u8>,
+}
+
+/// Per-peer link state: the reliable stream in both directions, the
+/// broadcast watermarks, and the delta fingerprints of everything last
+/// shipped to that peer.
 struct Link {
     /// Next sequence number to assign (reliable sends; starts at 1).
     next_seq: u64,
-    /// Sent-but-unacked reliable frames, in seq order.
+    /// Sent-but-unacked reliable sub-frames, in seq order.
     in_flight: VecDeque<Flight>,
+    /// Recycled flight buffers (capacity retained).
+    spare: Vec<Vec<u8>>,
     /// Next reliable seq expected from the peer.
     recv_next: u64,
-    /// Out-of-order reliable frames buffered until the gap fills.
-    ahead: BTreeMap<u64, Frame>,
+    /// Out-of-order reliable sub-frames buffered until the gap fills.
+    ahead: BTreeMap<u64, AheadSub>,
     /// Round watermark per broadcast kind: next acceptable round.
     wm_marginals: u64,
     wm_forecast: u64,
+    /// Bit fingerprint of the last marginal shipped per (j, v) slot
+    /// (only owned slots are used).
+    marg_sent: Vec<u64>,
+    /// Round of the last marginals frame shipped (the next delta's
+    /// `base`).
+    marg_round: u64,
+    /// Bit fingerprint of the last Γ fraction shipped per (j, edge).
+    gamma_sent: Vec<u64>,
+    /// Round of the last Γ frame shipped.
+    gamma_round: u64,
+    /// Bit fingerprints of the last forecast shipped per commodity.
+    fc_sent: Vec<(u64, u64)>,
+    /// Round of the last forecast frame shipped.
+    fc_round: u64,
+    /// Peer requested full frames (a received [`Payload::Resend`]).
+    force_marginals: bool,
+    force_forecast: bool,
+    /// Resend bits to ship to this peer this tick (gaps detected while
+    /// draining the inbox).
+    want_resend: u8,
+    /// A reliable sub arrived this tick; emit one cumulative ack.
+    ack_pending: bool,
+    stats: LinkWireStats,
 }
 
 impl Link {
-    fn new() -> Self {
+    fn new(j_count: usize, v_count: usize, edge_count: usize) -> Self {
         Link {
             next_seq: 1,
             in_flight: VecDeque::new(),
+            spare: Vec::new(),
             recv_next: 1,
             ahead: BTreeMap::new(),
             wm_marginals: 0,
             wm_forecast: 0,
+            marg_sent: vec![NEVER_SENT; j_count * v_count],
+            marg_round: 0,
+            gamma_sent: vec![NEVER_SENT; j_count * edge_count],
+            gamma_round: 0,
+            fc_sent: vec![(NEVER_SENT, NEVER_SENT); j_count],
+            fc_round: 0,
+            force_marginals: false,
+            force_forecast: false,
+            want_resend: 0,
+            ack_pending: false,
+            stats: LinkWireStats::default(),
         }
     }
 }
@@ -99,6 +228,13 @@ pub struct RegionWorker {
     region: usize,
     regions: usize,
     v_count: usize,
+    edge_count: usize,
+    /// Owned node range `[owned_lo, owned_hi)` (ownership is
+    /// contiguous by construction of [`owner_of`]).
+    owned_lo: usize,
+    owned_hi: usize,
+    /// Full-refresh cadence in rounds (re-anchors every delta chain).
+    refresh_every: u64,
     /// Mirror of the full trajectory state.
     routing: RoutingTable,
     state: FlowState,
@@ -118,6 +254,9 @@ pub struct RegionWorker {
     last_gamma: GammaStats,
     /// Per-peer link state (`links[region]` is unused).
     links: Vec<Link>,
+    /// One batch writer per peer, reused across ticks
+    /// (`outbox[region]` is unused).
+    outbox: Vec<FrameBuf>,
     /// Per-(commodity, node) round guard: next acceptable row round.
     row_round: Vec<u64>,
     /// Last tick any frame arrived from each peer.
@@ -128,6 +267,11 @@ pub struct RegionWorker {
     /// Latest per-commodity forecasts heard (own entries included).
     admitted_view: Vec<f64>,
     utility_view: Vec<f64>,
+    /// Owned forecast entries of the current flow phase, reused.
+    fc_scratch: Vec<(u32, f64, f64)>,
+    /// Γ row-staging buffers, reused across ticks (the per-tick Γ phase
+    /// must not allocate once warm).
+    gamma_scratch: GammaScratch,
     /// Snapshot scratch, reused across captures.
     scratch: Checkpoint,
 }
@@ -143,8 +287,10 @@ impl RegionWorker {
         gradient: &GradientConfig,
         region: usize,
         regions: usize,
+        refresh_every: u64,
     ) -> Self {
         let v_count = ext.graph().node_count();
+        let edge_count = ext.graph().edge_count();
         let j_count = ext.num_commodities();
         let routing = RoutingTable::initial(ext);
         let mut workspace = IterationWorkspace::new(ext);
@@ -153,10 +299,22 @@ impl RegionWorker {
         let mut marginals = Marginals::zeros(ext);
         compute_marginals_into(ext, cost, &routing, &state, &mut marginals, None);
         let tags = BlockedTags::none(ext);
+        let owned_lo = (0..v_count)
+            .find(|&v| owner_of(v, v_count, regions) == region)
+            .expect("every region owns at least one node");
+        let owned_hi = (owned_lo..v_count)
+            .take_while(|&v| owner_of(v, v_count, regions) == region)
+            .last()
+            .expect("range starts owned")
+            + 1;
         RegionWorker {
             region,
             regions,
             v_count,
+            edge_count,
+            owned_lo,
+            owned_hi,
+            refresh_every: refresh_every.max(1),
             routing,
             state,
             marginals,
@@ -167,13 +325,18 @@ impl RegionWorker {
             epsilon: cost.epsilon,
             eta: gradient.eta,
             last_gamma: GammaStats::default(),
-            links: (0..regions).map(|_| Link::new()).collect(),
+            links: (0..regions)
+                .map(|_| Link::new(j_count, v_count, edge_count))
+                .collect(),
+            outbox: (0..regions).map(|_| FrameBuf::new()).collect(),
             row_round: vec![0; j_count * v_count],
             last_heard: vec![0; regions],
             suspect: vec![false; regions],
             recovering: None,
             admitted_view: vec![0.0; j_count],
             utility_view: vec![0.0; j_count],
+            fc_scratch: Vec::new(),
+            gamma_scratch: GammaScratch::default(),
             scratch: Checkpoint::new(),
         }
     }
@@ -187,7 +350,7 @@ impl RegionWorker {
     /// Does this worker own extended node `v_index`?
     #[must_use]
     pub fn owns_node(&self, v_index: usize) -> bool {
-        owner_of(v_index, self.v_count, self.regions) == self.region
+        (self.owned_lo..self.owned_hi).contains(&v_index)
     }
 
     /// Does this worker own commodity `j` (i.e. its dummy source)?
@@ -248,6 +411,37 @@ impl RegionWorker {
                 .all(|p| self.suspect[p])
     }
 
+    /// Wire telemetry for the link to `peer` (zeros for `peer ==
+    /// region()`).
+    #[must_use]
+    pub fn link_wire_stats(&self, peer: usize) -> LinkWireStats {
+        self.links[peer].stats
+    }
+
+    /// Send-side wire telemetry summed over this worker's links.
+    #[must_use]
+    pub fn wire_stats(&self) -> MeshWireStats {
+        let mut total = MeshWireStats::default();
+        for link in &self.links {
+            total.absorb(MeshWireStats {
+                frames: link.stats.frames_sent,
+                bytes: link.stats.bytes_sent,
+                subs: link.stats.subs_sent,
+                rows_sent: link.stats.rows_sent,
+                rows_suppressed: link.stats.rows_suppressed,
+                resyncs: link.stats.resyncs_requested,
+            });
+        }
+        total
+    }
+
+    /// The batch this tick produced for `peer`, if non-empty. Valid
+    /// after [`RegionWorker::run_phase`] until the next call.
+    #[must_use]
+    pub fn outgoing(&self, peer: usize) -> Option<&[u8]> {
+        self.outbox[peer].bytes()
+    }
+
     /// Digest of the mirror's routing fractions (test/oracle hook).
     #[must_use]
     pub fn routing_digest(&mut self) -> u64 {
@@ -267,52 +461,34 @@ impl RegionWorker {
         );
     }
 
-    fn peers(&self) -> impl Iterator<Item = usize> + '_ {
-        let me = self.region;
-        (0..self.regions).filter(move |&p| p != me)
-    }
-
-    fn send_unreliable(&self, to: usize, payload: Payload, out: &mut Vec<(usize, Vec<u8>)>) {
-        let frame = Frame {
-            from: self.region as u16,
-            to: to as u16,
-            seq: 0,
-            round: self.round,
-            payload,
-        };
-        out.push((to, frame.encode()));
-    }
-
-    fn send_reliable(
-        &mut self,
-        tick: u64,
-        to: usize,
-        payload: Payload,
-        out: &mut Vec<(usize, Vec<u8>)>,
-    ) {
-        let seq = self.links[to].next_seq;
-        self.links[to].next_seq += 1;
-        let frame = Frame {
-            from: self.region as u16,
-            to: to as u16,
+    /// Appends a reliable control sub-frame (recovery handshake) to
+    /// `to`'s batch and enrolls it in the retransmit stream.
+    fn send_reliable_control(&mut self, tick: u64, to: usize, payload: &Payload) {
+        let round = self.round;
+        let link = &mut self.links[to];
+        let batch = &mut self.outbox[to];
+        let seq = link.next_seq;
+        link.next_seq += 1;
+        batch.begin_sub(payload.kind(), seq, round);
+        batch.put_payload(payload);
+        batch.end_sub();
+        let mut bytes = link.spare.pop().unwrap_or_default();
+        bytes.clear();
+        bytes.extend_from_slice(batch.last_sub());
+        link.in_flight.push_back(Flight {
             seq,
-            round: self.round,
-            payload,
-        };
-        let bytes = frame.encode();
-        self.links[to].in_flight.push_back(Flight {
-            seq,
-            bytes: bytes.clone(),
+            bytes,
             attempts: 0,
             due: tick + RETRY_GRACE,
         });
-        out.push((to, bytes));
     }
 
-    /// Drives one transport tick: drains the inbox, runs the sub-round
-    /// the tick's phase selects, and (on the flow phase) performs the
-    /// end-of-iteration housekeeping — retransmits, suspicion checks,
-    /// and the round advance.
+    /// Drives one transport tick: opens this tick's per-link batches,
+    /// drains the inbox, runs the sub-round the tick's phase selects,
+    /// and (on the flow phase) performs the end-of-iteration
+    /// housekeeping — retransmits, suspicion checks, and the round
+    /// advance. The runtime then ships each non-empty batch via
+    /// [`RegionWorker::outgoing`].
     #[allow(clippy::too_many_arguments)]
     pub fn run_phase(
         &mut self,
@@ -322,31 +498,69 @@ impl RegionWorker {
         suspect_after: u64,
         backoff_cap: u64,
         tick: u64,
-        inbox: Vec<Vec<u8>>,
-        out: &mut Vec<(usize, Vec<u8>)>,
+        inbox: &Inbox,
         log: &mut Vec<MeshIncident>,
     ) {
-        self.process_inbox(tick, inbox, out, log);
+        let (region, round) = (self.region as u16, self.round);
+        for peer in 0..self.regions {
+            if peer != self.region {
+                self.outbox[peer].begin(region, peer as u16, round);
+            }
+        }
+        self.process_inbox(tick, inbox, log);
+        self.flush_control();
         match tick % 3 {
-            0 => self.phase_marginals(ext, cost, out),
-            1 => self.phase_gamma(ext, cost, gradient, tick, out, log),
+            0 => self.phase_marginals(ext, cost),
+            1 => self.phase_gamma(ext, cost, gradient, tick),
             _ => {
-                self.phase_flows(ext, out);
-                self.retransmit(tick, backoff_cap, out, log);
+                self.phase_flows(ext);
+                self.retransmit(tick, backoff_cap, log);
                 self.check_suspects(tick, suspect_after, log);
                 self.round += 1;
             }
         }
+        for peer in 0..self.regions {
+            if peer == self.region {
+                continue;
+            }
+            if self.outbox[peer].finish() {
+                let s = &mut self.links[peer].stats;
+                s.frames_sent += 1;
+                s.bytes_sent += self.outbox[peer].frame_len() as u64;
+                s.subs_sent += u64::from(self.outbox[peer].sub_count());
+            }
+        }
     }
 
-    /// Phase 0: refresh the full-mirror marginal sweep and broadcast
-    /// the owned nodes' entries.
-    fn phase_marginals(
-        &mut self,
-        ext: &ExtendedNetwork,
-        cost: &CostModel,
-        out: &mut Vec<(usize, Vec<u8>)>,
-    ) {
+    /// One cumulative ack and/or resend request per link, from flags
+    /// the inbox drain raised.
+    fn flush_control(&mut self) {
+        let round = self.round;
+        for peer in 0..self.regions {
+            if peer == self.region {
+                continue;
+            }
+            let link = &mut self.links[peer];
+            let batch = &mut self.outbox[peer];
+            if link.ack_pending {
+                link.ack_pending = false;
+                batch.begin_sub(FrameKind::Ack, 0, round);
+                batch.put_u64(link.recv_next - 1);
+                batch.end_sub();
+            }
+            if link.want_resend != 0 {
+                batch.begin_sub(FrameKind::Resend, 0, round);
+                batch.put_u8(link.want_resend);
+                batch.end_sub();
+                link.want_resend = 0;
+            }
+        }
+    }
+
+    /// Phase 0: refresh the full-mirror marginal sweep and ship each
+    /// peer the owned entries whose bits changed since last shipped on
+    /// that link (all owned entries on a refresh or forced-full round).
+    fn phase_marginals(&mut self, ext: &ExtendedNetwork, cost: &CostModel) {
         compute_marginals_into(
             ext,
             cost,
@@ -358,35 +572,62 @@ impl RegionWorker {
         if self.regions == 1 {
             return;
         }
-        let mut entries = Vec::new();
-        for j in ext.commodity_ids() {
-            for v in 0..self.v_count {
-                if self.owns_node(v) {
-                    entries.push(MarginalEntry {
-                        j: j.index() as u32,
-                        v: v as u32,
-                        d: self.marginals.node(j, spn_graph::NodeId::from_index(v)),
-                    });
+        let refresh = self.round.is_multiple_of(self.refresh_every);
+        let (lo, hi, v_count, round) = (self.owned_lo, self.owned_hi, self.v_count, self.round);
+        for peer in 0..self.regions {
+            if peer == self.region {
+                continue;
+            }
+            let link = &mut self.links[peer];
+            let batch = &mut self.outbox[peer];
+            let full = refresh || link.force_marginals;
+            let mut opened = false;
+            let mut count_at = 0usize;
+            let mut n = 0u32;
+            let mut suppressed = 0u64;
+            for j in ext.commodity_ids() {
+                for v in lo..hi {
+                    let d = self.marginals.node(j, NodeId::from_index(v));
+                    let bits = d.to_bits();
+                    let idx = j.index() * v_count + v;
+                    if full || link.marg_sent[idx] != bits {
+                        link.marg_sent[idx] = bits;
+                        if !opened {
+                            batch.begin_sub(FrameKind::Marginals, 0, round);
+                            batch.put_u64(if full { round } else { link.marg_round });
+                            count_at = batch.mark_u32();
+                            opened = true;
+                        }
+                        batch.put_u32(j.index() as u32);
+                        batch.put_u32(v as u32);
+                        batch.put_f64(d);
+                        n += 1;
+                    } else {
+                        suppressed += 1;
+                    }
                 }
             }
-        }
-        for peer in 0..self.regions {
-            if peer != self.region {
-                self.send_unreliable(peer, Payload::Marginals(entries.clone()), out);
+            if opened {
+                batch.patch_u32(count_at, n);
+                batch.end_sub();
+                link.marg_round = round;
+                link.force_marginals = false;
+                link.stats.rows_sent += u64::from(n);
             }
+            link.stats.rows_suppressed += suppressed;
         }
     }
 
     /// Phase 1: blocking tags plus the Γ update restricted to owned
-    /// routers; broadcast the owned rows on the reliable stream.
+    /// routers; ship each peer the owned rows whose fraction bits
+    /// changed, on the reliable stream (all owned rows on a refresh
+    /// round — the backstop that bounds post-recovery divergence).
     fn phase_gamma(
         &mut self,
         ext: &ExtendedNetwork,
         cost: &CostModel,
         gradient: &GradientConfig,
         tick: u64,
-        out: &mut Vec<(usize, Vec<u8>)>,
-        _log: &mut Vec<MeshIncident>,
     ) {
         if gradient.use_blocked_sets {
             compute_tags_into(
@@ -404,7 +645,7 @@ impl RegionWorker {
             self.tags.reset(ext);
         }
         let (region, v_count, regions) = (self.region, self.v_count, self.regions);
-        self.last_gamma = apply_gamma_selective(
+        self.last_gamma = apply_gamma_selective_scratch(
             ext,
             cost,
             &mut self.routing,
@@ -416,35 +657,93 @@ impl RegionWorker {
             gradient.opening_fraction,
             gradient.shift_cap,
             |_, v| owner_of(v.index(), v_count, regions) == region,
+            &mut self.gamma_scratch,
         );
+        let (lo, hi, edge_count, round) =
+            (self.owned_lo, self.owned_hi, self.edge_count, self.round);
         // own rows advance their round guard locally
-        let mut rows = Vec::new();
         for j in ext.commodity_ids() {
             for &v in ext.commodity_routers(j) {
-                if !self.owns_node(v.index()) {
-                    continue;
+                if (lo..hi).contains(&v.index()) {
+                    self.row_round[j.index() * v_count + v.index()] = round + 1;
                 }
-                self.row_round[j.index() * self.v_count + v.index()] = self.round + 1;
-                let edges: Vec<(u32, f64)> = ext
-                    .commodity_out_slice(j, v)
-                    .iter()
-                    .map(|&l| (l.index() as u32, self.routing.fraction(j, l)))
-                    .collect();
-                rows.push(GammaRow {
-                    j: j.index() as u32,
-                    v: v.index() as u32,
-                    edges,
-                });
             }
         }
-        for peer in self.peers().collect::<Vec<_>>() {
-            self.send_reliable(tick, peer, Payload::GammaRows(rows.clone()), out);
+        if self.regions == 1 {
+            return;
+        }
+        let refresh = round % self.refresh_every == 0;
+        for peer in 0..self.regions {
+            if peer == self.region {
+                continue;
+            }
+            let link = &mut self.links[peer];
+            let batch = &mut self.outbox[peer];
+            let mut opened = false;
+            let mut count_at = 0usize;
+            let mut n = 0u32;
+            let mut suppressed = 0u64;
+            let mut seq = 0u64;
+            for j in ext.commodity_ids() {
+                for &v in ext.commodity_routers(j) {
+                    if !(lo..hi).contains(&v.index()) {
+                        continue;
+                    }
+                    let out = ext.commodity_out_slice(j, v);
+                    let changed = refresh
+                        || out.iter().any(|&l| {
+                            link.gamma_sent[j.index() * edge_count + l.index()]
+                                != self.routing.fraction(j, l).to_bits()
+                        });
+                    if !changed {
+                        suppressed += 1;
+                        continue;
+                    }
+                    if !opened {
+                        seq = link.next_seq;
+                        link.next_seq += 1;
+                        batch.begin_sub(FrameKind::GammaRows, seq, round);
+                        batch.put_u64(if refresh { round } else { link.gamma_round });
+                        count_at = batch.mark_u32();
+                        opened = true;
+                    }
+                    batch.put_u32(j.index() as u32);
+                    batch.put_u32(v.index() as u32);
+                    batch.put_u32(out.len() as u32);
+                    for &l in out {
+                        let phi = self.routing.fraction(j, l);
+                        link.gamma_sent[j.index() * edge_count + l.index()] = phi.to_bits();
+                        batch.put_u32(l.index() as u32);
+                        batch.put_f64(phi);
+                    }
+                    n += 1;
+                }
+            }
+            if opened {
+                batch.patch_u32(count_at, n);
+                batch.end_sub();
+                link.gamma_round = round;
+                link.stats.rows_sent += u64::from(n);
+                // pooled flight copy for the retransmit stream
+                let mut bytes = link.spare.pop().unwrap_or_default();
+                bytes.clear();
+                bytes.extend_from_slice(batch.last_sub());
+                link.in_flight.push_back(Flight {
+                    seq,
+                    bytes,
+                    attempts: 0,
+                    due: tick + RETRY_GRACE,
+                });
+            }
+            link.stats.rows_suppressed += suppressed;
         }
     }
 
     /// Phase 2: forecast flows for the merged routing decision; owners
-    /// broadcast their commodities' forecasts; everyone heartbeats.
-    fn phase_flows(&mut self, ext: &ExtendedNetwork, out: &mut Vec<(usize, Vec<u8>)>) {
+    /// ship their commodities' changed forecasts; everyone heartbeats
+    /// (the heartbeat keeps every phase-2 batch non-empty, so liveness
+    /// never depends on data changing).
+    fn phase_flows(&mut self, ext: &ExtendedNetwork) {
         compute_flows_into(
             ext,
             &self.routing,
@@ -452,61 +751,89 @@ impl RegionWorker {
             &mut self.workspace,
             None,
         );
-        let mut entries = Vec::new();
+        self.fc_scratch.clear();
         for j in ext.commodity_ids() {
             if self.owns_commodity(ext, j) {
                 let admitted = self.state.admitted(ext, j);
                 let utility = ext.commodity(j).utility.value(admitted);
                 self.admitted_view[j.index()] = admitted;
                 self.utility_view[j.index()] = utility;
-                entries.push(ForecastEntry {
-                    j: j.index() as u32,
-                    admitted,
-                    utility,
-                });
+                self.fc_scratch.push((j.index() as u32, admitted, utility));
             }
         }
+        if self.regions == 1 {
+            return;
+        }
+        let refresh = self.round.is_multiple_of(self.refresh_every);
+        let round = self.round;
         for peer in 0..self.regions {
             if peer == self.region {
                 continue;
             }
-            if !entries.is_empty() {
-                self.send_unreliable(peer, Payload::FlowForecast(entries.clone()), out);
+            let link = &mut self.links[peer];
+            let batch = &mut self.outbox[peer];
+            let full = refresh || link.force_forecast;
+            let mut opened = false;
+            let mut count_at = 0usize;
+            let mut n = 0u32;
+            let mut suppressed = 0u64;
+            for &(j, admitted, utility) in &self.fc_scratch {
+                let bits = (admitted.to_bits(), utility.to_bits());
+                if full || link.fc_sent[j as usize] != bits {
+                    link.fc_sent[j as usize] = bits;
+                    if !opened {
+                        batch.begin_sub(FrameKind::FlowForecast, 0, round);
+                        batch.put_u64(if full { round } else { link.fc_round });
+                        count_at = batch.mark_u32();
+                        opened = true;
+                    }
+                    batch.put_u32(j);
+                    batch.put_f64(admitted);
+                    batch.put_f64(utility);
+                    n += 1;
+                } else {
+                    suppressed += 1;
+                }
             }
-            self.send_unreliable(peer, Payload::Heartbeat, out);
+            if opened {
+                batch.patch_u32(count_at, n);
+                batch.end_sub();
+                link.fc_round = round;
+                link.force_forecast = false;
+                link.stats.rows_sent += u64::from(n);
+            }
+            link.stats.rows_suppressed += suppressed;
+            batch.begin_sub(FrameKind::Heartbeat, 0, round);
+            batch.end_sub();
         }
     }
 
-    fn process_inbox(
-        &mut self,
-        tick: u64,
-        inbox: Vec<Vec<u8>>,
-        out: &mut Vec<(usize, Vec<u8>)>,
-        log: &mut Vec<MeshIncident>,
-    ) {
-        for bytes in inbox {
+    fn process_inbox(&mut self, tick: u64, inbox: &Inbox, log: &mut Vec<MeshIncident>) {
+        for bytes in inbox.iter() {
             // frames originate from sibling workers; decode errors are a
             // bug in this crate, not an input condition
-            let frame = Frame::decode(&bytes).expect("well-formed mesh frame");
-            let from = frame.from as usize;
-            self.note_heard(tick, from, out, log);
-            if frame.payload.kind().is_reliable() {
-                self.receive_reliable(tick, frame, out, log);
-            } else {
-                self.receive_unreliable(tick, frame, log);
+            let mut reader = BatchReader::parse(bytes).expect("well-formed mesh batch");
+            let from = reader.from() as usize;
+            {
+                let s = &mut self.links[from].stats;
+                s.frames_received += 1;
+                s.bytes_received += bytes.len() as u64;
+            }
+            self.note_heard(tick, from, log);
+            while let Some(sub) = reader.next_sub() {
+                let sub = sub.expect("well-formed mesh sub-frame");
+                if sub.kind.is_reliable() {
+                    self.receive_reliable(tick, from, &sub, log);
+                } else {
+                    self.receive_unreliable(tick, from, &sub, log);
+                }
             }
         }
     }
 
     /// Any frame from a peer proves liveness; hearing from the first
     /// peer after total isolation starts the recovery handshake.
-    fn note_heard(
-        &mut self,
-        tick: u64,
-        from: usize,
-        out: &mut Vec<(usize, Vec<u8>)>,
-        log: &mut Vec<MeshIncident>,
-    ) {
+    fn note_heard(&mut self, tick: u64, from: usize, log: &mut Vec<MeshIncident>) {
         self.last_heard[from] = tick;
         if !self.suspect[from] {
             return;
@@ -527,86 +854,111 @@ impl RegionWorker {
                 survivor: from,
                 token,
             });
-            self.send_reliable(tick, from, Payload::RecoveryRequest { token }, out);
+            self.send_reliable_control(tick, from, &Payload::RecoveryRequest { token });
         }
     }
 
     fn receive_reliable(
         &mut self,
         tick: u64,
-        frame: Frame,
-        out: &mut Vec<(usize, Vec<u8>)>,
+        from: usize,
+        sub: &SubView<'_>,
         log: &mut Vec<MeshIncident>,
     ) {
-        let from = frame.from as usize;
-        let kind = frame.payload.kind();
-        if frame.seq < self.links[from].recv_next {
+        let link = &mut self.links[from];
+        link.ack_pending = true;
+        if sub.seq < link.recv_next {
             log.push(MeshIncident::DuplicateFrameDiscarded {
                 tick,
                 region: self.region,
                 from,
-                kind,
+                kind: sub.kind,
             });
-        } else if frame.seq == self.links[from].recv_next {
-            self.links[from].recv_next += 1;
-            self.apply_reliable(tick, frame, out, log);
-            while let Some(next) = {
+        } else if sub.seq == link.recv_next {
+            link.recv_next += 1;
+            self.apply_reliable(tick, from, sub.kind, sub.round, sub.payload, log);
+            loop {
                 let link = &mut self.links[from];
-                link.ahead.remove(&link.recv_next)
-            } {
-                self.links[from].recv_next += 1;
-                self.apply_reliable(tick, next, out, log);
+                let next_seq = link.recv_next;
+                let Some(next) = link.ahead.remove(&next_seq) else {
+                    break;
+                };
+                link.recv_next += 1;
+                self.apply_reliable(tick, from, next.kind, next.round, &next.payload, log);
             }
-        } else if self.links[from].ahead.insert(frame.seq, frame).is_some() {
+        } else if link
+            .ahead
+            .insert(
+                sub.seq,
+                AheadSub {
+                    kind: sub.kind,
+                    round: sub.round,
+                    payload: sub.payload.to_vec(),
+                },
+            )
+            .is_some()
+        {
             log.push(MeshIncident::DuplicateFrameDiscarded {
                 tick,
                 region: self.region,
                 from,
-                kind,
+                kind: sub.kind,
             });
         }
-        let cum = self.links[from].recv_next - 1;
-        self.send_unreliable(from, Payload::Ack { cum }, out);
     }
 
     fn apply_reliable(
         &mut self,
         tick: u64,
-        frame: Frame,
-        out: &mut Vec<(usize, Vec<u8>)>,
+        from: usize,
+        kind: FrameKind,
+        round: u64,
+        payload: &[u8],
         log: &mut Vec<MeshIncident>,
     ) {
-        let from = frame.from as usize;
-        match frame.payload {
-            Payload::GammaRows(rows) => {
-                for row in rows {
-                    let idx = row.j as usize * self.v_count + row.v as usize;
-                    // per-row guard: only strictly newer rounds apply
-                    if frame.round + 1 > self.row_round[idx] {
-                        self.row_round[idx] = frame.round + 1;
-                        let j = CommodityId::from_index(row.j as usize);
-                        for (edge, fraction) in row.edges {
-                            self.routing.set_fraction(
-                                j,
-                                EdgeId::from_index(edge as usize),
-                                fraction,
-                            );
+        match kind {
+            FrameKind::GammaRows => {
+                let v_count = self.v_count;
+                let row_round = &mut self.row_round;
+                let routing = &mut self.routing;
+                let mut stale = 0u64;
+                walk_gamma_rows(
+                    payload,
+                    |j, v| {
+                        let idx = j as usize * v_count + v as usize;
+                        // per-row guard: only strictly newer rounds apply
+                        if round + 1 > row_round[idx] {
+                            row_round[idx] = round + 1;
+                            true
+                        } else {
+                            stale += 1;
+                            false
                         }
-                    } else {
-                        log.push(MeshIncident::StaleFrameDiscarded {
-                            tick,
-                            region: self.region,
-                            from,
-                            kind: FrameKind::GammaRows,
-                            round: frame.round,
-                        });
-                    }
+                    },
+                    |j, _v, l, phi| {
+                        routing.set_fraction(
+                            CommodityId::from_index(j as usize),
+                            EdgeId::from_index(l as usize),
+                            phi,
+                        );
+                    },
+                )
+                .expect("well-formed gamma payload");
+                for _ in 0..stale {
+                    log.push(MeshIncident::StaleFrameDiscarded {
+                        tick,
+                        region: self.region,
+                        from,
+                        kind: FrameKind::GammaRows,
+                        round,
+                    });
                 }
             }
-            Payload::RecoveryRequest { token } => {
+            FrameKind::RecoveryRequest => {
+                let token = parse_recovery_request(payload).expect("well-formed recovery request");
                 self.capture_scratch();
                 let digest = state_digest(self.scratch.phi());
-                let payload = snapshot_to_payload(&self.scratch, token);
+                let snapshot = snapshot_to_payload(&self.scratch, token);
                 log.push(MeshIncident::RecoveryServed {
                     tick,
                     region: self.region,
@@ -614,16 +966,17 @@ impl RegionWorker {
                     token,
                     digest,
                 });
-                self.send_reliable(tick, from, Payload::RecoveryState(Box::new(payload)), out);
+                self.send_reliable_control(tick, from, &Payload::RecoveryState(Box::new(snapshot)));
             }
-            Payload::RecoveryState(payload) => {
+            FrameKind::RecoveryState => {
+                let payload = parse_recovery_state(payload).expect("well-formed recovery state");
                 if self.recovering != Some(payload.token) {
                     log.push(MeshIncident::StaleFrameDiscarded {
                         tick,
                         region: self.region,
                         from,
                         kind: FrameKind::RecoveryState,
-                        round: frame.round,
+                        round,
                     });
                     return;
                 }
@@ -637,8 +990,16 @@ impl RegionWorker {
                     Ok(_) => {
                         // fence out every in-flight row at or before the
                         // snapshot round; strictly newer rounds re-apply
-                        self.row_round.fill(frame.round + 1);
+                        self.row_round.fill(round + 1);
                         self.recovering = None;
+                        // the restored mirror invalidates every delta
+                        // chain this worker maintains as a *sender*:
+                        // ship full frames next time on every link
+                        for link in &mut self.links {
+                            link.force_marginals = true;
+                            link.force_forecast = true;
+                            link.gamma_sent.fill(NEVER_SENT);
+                        }
                         self.capture_scratch();
                         let digest = state_digest(self.scratch.phi());
                         log.push(MeshIncident::RecoveryCompleted {
@@ -653,7 +1014,7 @@ impl RegionWorker {
                         region: self.region,
                         from,
                         kind: FrameKind::RecoveryState,
-                        round: frame.round,
+                        round,
                     }),
                 }
             }
@@ -661,26 +1022,58 @@ impl RegionWorker {
         }
     }
 
-    fn receive_unreliable(&mut self, tick: u64, frame: Frame, log: &mut Vec<MeshIncident>) {
-        let from = frame.from as usize;
-        match frame.payload {
-            Payload::Heartbeat => {}
-            Payload::Ack { cum } => {
+    fn receive_unreliable(
+        &mut self,
+        tick: u64,
+        from: usize,
+        sub: &SubView<'_>,
+        log: &mut Vec<MeshIncident>,
+    ) {
+        match sub.kind {
+            FrameKind::Heartbeat => {}
+            FrameKind::Ack => {
+                let cum = parse_ack(sub.payload).expect("well-formed ack");
                 let link = &mut self.links[from];
                 while matches!(link.in_flight.front(), Some(f) if f.seq <= cum) {
-                    link.in_flight.pop_front();
+                    let flight = link.in_flight.pop_front().expect("front checked");
+                    link.spare.push(flight.bytes);
                 }
             }
-            Payload::Marginals(entries) => {
+            FrameKind::Resend => {
+                let kinds = parse_resend(sub.payload).expect("well-formed resend");
+                let link = &mut self.links[from];
+                if kinds & RESEND_MARGINALS != 0 {
+                    link.force_marginals = true;
+                }
+                if kinds & RESEND_FORECAST != 0 {
+                    link.force_forecast = true;
+                }
+            }
+            FrameKind::Marginals => {
                 let wm = self.links[from].wm_marginals;
-                if frame.round >= wm {
-                    self.links[from].wm_marginals = frame.round + 1;
-                    for e in entries {
-                        self.marginals.set_node(
+                if sub.round >= wm {
+                    let marginals = &mut self.marginals;
+                    let base = walk_marginals(sub.payload, |e| {
+                        marginals.set_node(
                             CommodityId::from_index(e.j as usize),
-                            spn_graph::NodeId::from_index(e.v as usize),
+                            NodeId::from_index(e.v as usize),
                             e.d,
                         );
+                    })
+                    .expect("well-formed marginals payload");
+                    let link = &mut self.links[from];
+                    link.wm_marginals = sub.round + 1;
+                    if base != sub.round && base + 1 != wm {
+                        // a delta whose predecessor never arrived —
+                        // link-local loss; ask the sender for a full frame
+                        link.want_resend |= RESEND_MARGINALS;
+                        link.stats.resyncs_requested += 1;
+                        log.push(MeshIncident::ResyncRequested {
+                            tick,
+                            region: self.region,
+                            peer: from,
+                            kind: FrameKind::Marginals,
+                        });
                     }
                 } else {
                     log.push(Self::discard_incident(
@@ -688,18 +1081,32 @@ impl RegionWorker {
                         self.region,
                         from,
                         FrameKind::Marginals,
-                        frame.round,
+                        sub.round,
                         wm,
                     ));
                 }
             }
-            Payload::FlowForecast(entries) => {
+            FrameKind::FlowForecast => {
                 let wm = self.links[from].wm_forecast;
-                if frame.round >= wm {
-                    self.links[from].wm_forecast = frame.round + 1;
-                    for e in entries {
-                        self.admitted_view[e.j as usize] = e.admitted;
-                        self.utility_view[e.j as usize] = e.utility;
+                if sub.round >= wm {
+                    let admitted_view = &mut self.admitted_view;
+                    let utility_view = &mut self.utility_view;
+                    let base = walk_forecast(sub.payload, |e| {
+                        admitted_view[e.j as usize] = e.admitted;
+                        utility_view[e.j as usize] = e.utility;
+                    })
+                    .expect("well-formed forecast payload");
+                    let link = &mut self.links[from];
+                    link.wm_forecast = sub.round + 1;
+                    if base != sub.round && base + 1 != wm {
+                        link.want_resend |= RESEND_FORECAST;
+                        link.stats.resyncs_requested += 1;
+                        log.push(MeshIncident::ResyncRequested {
+                            tick,
+                            region: self.region,
+                            peer: from,
+                            kind: FrameKind::FlowForecast,
+                        });
                     }
                 } else {
                     log.push(Self::discard_incident(
@@ -707,12 +1114,12 @@ impl RegionWorker {
                         self.region,
                         from,
                         FrameKind::FlowForecast,
-                        frame.round,
+                        sub.round,
                         wm,
                     ));
                 }
             }
-            _ => unreachable!("reliable payload on the unreliable path"),
+            _ => unreachable!("reliable sub on the unreliable path"),
         }
     }
 
@@ -744,20 +1151,15 @@ impl RegionWorker {
         }
     }
 
-    /// Retransmits overdue unacked reliable frames under capped
-    /// exponential backoff.
-    fn retransmit(
-        &mut self,
-        tick: u64,
-        backoff_cap: u64,
-        out: &mut Vec<(usize, Vec<u8>)>,
-        log: &mut Vec<MeshIncident>,
-    ) {
+    /// Retransmits overdue unacked reliable sub-frames under capped
+    /// exponential backoff, into this tick's batches.
+    fn retransmit(&mut self, tick: u64, backoff_cap: u64, log: &mut Vec<MeshIncident>) {
         for peer in 0..self.regions {
             if peer == self.region {
                 continue;
             }
             let link = &mut self.links[peer];
+            let batch = &mut self.outbox[peer];
             for flight in &mut link.in_flight {
                 if flight.due > tick {
                     continue;
@@ -775,7 +1177,7 @@ impl RegionWorker {
                     seq: flight.seq,
                     attempt: flight.attempts,
                 });
-                out.push((peer, flight.bytes.clone()));
+                batch.push_raw_sub(&flight.bytes);
             }
         }
     }

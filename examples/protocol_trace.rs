@@ -4,41 +4,34 @@
 //! accounting a real deployment would pay.
 //!
 //! The second half re-runs the same instance on the region-sharded mesh
-//! runtime and taps the wire: every serialized frame of the first two
-//! iterations is printed (tick, phase, link, kind, size), followed by
-//! the per-link frame totals for the full run — the mesh's concrete
-//! answer to the message accounting the first half estimates.
+//! runtime and taps the wire: every batch frame of the first two
+//! iterations is printed sub-frame by sub-frame (tick, phase, link,
+//! kind, size), followed by the runtime's own per-link wire telemetry
+//! for the full run — frames, bytes, and the rows the delta layer
+//! suppressed (ARCHITECTURE invariant 20) — the mesh's concrete answer
+//! to the message accounting the first half estimates.
 //!
 //! Run with: `cargo run --release --example protocol_trace`
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use spn::core::GradientConfig;
-use spn::mesh::{Frame, Lossless, MeshConfig, MeshIncident, MeshRuntime, Transport};
+use spn::mesh::{BatchReader, Inbox, Lossless, MeshConfig, MeshIncident, MeshRuntime, Transport};
 use spn::model::builder::ProblemBuilder;
 use spn::model::{CommodityId, UtilityFn};
 use spn::sim::GradientSim;
 use spn::transform::view::{edge_label, node_label};
 use spn::transform::ExtendedNetwork;
 
-/// Per-link accounting collected by the wire tap.
-struct Tap {
-    /// Frames of the first ticks are printed verbatim up to this tick.
-    print_until_tick: u64,
-    /// (from, to, kind) → frame count over the whole run.
-    counts: BTreeMap<(usize, usize, &'static str), usize>,
-    /// Serialized bytes sent, per region.
-    bytes: Vec<usize>,
-}
-
-/// Lossless delivery with a wire tap: every frame is decoded as it
-/// crosses the transport and tallied per link and kind, so the trace
-/// shows exactly what a deployment would put on the network.
+/// Lossless delivery with a wire tap: the first ticks' batch frames are
+/// decoded as they cross the transport and printed sub-frame by
+/// sub-frame, so the trace shows exactly what a deployment would put on
+/// the network. Totals come from the runtime's own telemetry, not the
+/// tap.
 struct Traced {
     inner: Lossless,
-    tap: Rc<RefCell<Tap>>,
+    print_until_tick: Rc<RefCell<u64>>,
 }
 
 impl Transport for Traced {
@@ -51,28 +44,38 @@ impl Transport for Traced {
         tick: u64,
         from: usize,
         to: usize,
-        bytes: Vec<u8>,
+        bytes: &[u8],
         log: &mut Vec<MeshIncident>,
     ) {
-        let frame = Frame::decode(&bytes).expect("mesh frames decode");
-        let kind = frame.payload.kind().name();
-        let mut tap = self.tap.borrow_mut();
-        if tick < tap.print_until_tick {
+        if tick < *self.print_until_tick.borrow() {
+            let mut reader = BatchReader::parse(bytes).expect("mesh frames decode");
             println!(
-                "  tick {tick} phase {}:  region {from} -> {to}  {kind:<13} \
-                 round {:<3} {} bytes",
+                "  tick {tick} phase {}:  region {from} -> {to}  batch round {:<3} {} bytes",
                 tick % 3,
-                frame.round,
+                reader.round(),
                 bytes.len()
             );
+            while let Some(sub) = reader.next_sub() {
+                let sub = sub.expect("mesh sub-frames decode");
+                println!(
+                    "      {:<13} round {:<3} {} payload bytes",
+                    sub.kind.name(),
+                    sub.round,
+                    sub.payload.len()
+                );
+            }
         }
-        *tap.counts.entry((from, to, kind)).or_insert(0) += 1;
-        tap.bytes[from] += bytes.len();
         self.inner.send(tick, from, to, bytes, log);
     }
 
-    fn deliver(&mut self, tick: u64, to: usize, log: &mut Vec<MeshIncident>) -> Vec<Vec<u8>> {
-        self.inner.deliver(tick, to, log)
+    fn deliver_into(
+        &mut self,
+        tick: u64,
+        to: usize,
+        inbox: &mut Inbox,
+        log: &mut Vec<MeshIncident>,
+    ) {
+        self.inner.deliver_into(tick, to, inbox, log);
     }
 }
 
@@ -160,18 +163,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- the same instance on the region-sharded mesh runtime ---
     // Two workers split the extended node range; the protocol's waves
-    // become serialized frames on a wire. The tap prints the first two
-    // iterations frame by frame — phase 0 ships marginals, phase 1 the
-    // Γ rows each owner updated, phase 2 forecasts and heartbeats.
+    // become one delta-encoded batch frame per link per tick. The tap
+    // prints the first two iterations frame by frame — phase 0 ships
+    // changed marginals, phase 1 the Γ rows each owner moved, phase 2
+    // changed forecasts and heartbeats.
     const REGIONS: usize = 2;
-    let tap = Rc::new(RefCell::new(Tap {
-        print_until_tick: 6,
-        counts: BTreeMap::new(),
-        bytes: vec![0; REGIONS],
-    }));
+    let print_until_tick = Rc::new(RefCell::new(6u64));
     let transport = Traced {
         inner: Lossless::new(REGIONS),
-        tap: Rc::clone(&tap),
+        print_until_tick: Rc::clone(&print_until_tick),
     };
     let mut mesh = MeshRuntime::with_transport(
         ExtendedNetwork::build(&problem),
@@ -190,19 +190,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mesh.run(3998);
     let report = mesh.run(0);
 
-    let tap = tap.borrow();
-    println!("\nper-link frame totals after 4000 mesh iterations:");
-    println!("  from  to  kind           frames");
-    for (&(from, to, kind), &n) in &tap.counts {
-        println!("  {from:>4}  {to:>2}  {kind:<13}  {n:>6}");
+    println!("\nper-link wire telemetry after 4000 mesh iterations:");
+    println!("  from  to  frames      bytes  rows sent  rows suppressed");
+    for from in 0..REGIONS {
+        for to in 0..REGIONS {
+            if from == to {
+                continue;
+            }
+            let s = mesh.worker(from).link_wire_stats(to);
+            println!(
+                "  {from:>4}  {to:>2}  {:>6}  {:>9}  {:>9}  {:>15}",
+                s.frames_sent, s.bytes_sent, s.rows_sent, s.rows_suppressed
+            );
+        }
     }
-    for (region, bytes) in tap.bytes.iter().enumerate() {
-        println!(
-            "  region {region} serialized {bytes} bytes total \
-             ({:.1} bytes/iteration)",
-            *bytes as f64 / 4000.0
-        );
-    }
+    let wire = report.wire;
+    println!(
+        "  mesh total: {} frames, {} bytes ({:.1} bytes/iteration); delta \
+         suppression skipped {} of {} rows",
+        wire.frames,
+        wire.bytes,
+        wire.bytes as f64 / 4000.0,
+        wire.rows_suppressed,
+        wire.rows_sent + wire.rows_suppressed,
+    );
     println!(
         "\nthe mesh admits {:.3} of 10 offered — the same equilibrium the\n\
          monolithic simulation reached above, with every exchanged value\n\

@@ -30,7 +30,10 @@
 #    mesh over the in-process transport must stay bit-identical to the
 #    monolithic algorithm with zero incidents under Lossless, produce
 #    identical incident logs and reports across same-seed Chaotic runs,
-#    and reach the lossless convergence verdict under the fault plan.
+#    reach the lossless convergence verdict under the fault plan, ship
+#    ≤0.5× the full-broadcast bytes/iteration once past the bitwise
+#    fixed point (delta wire gate), and perform zero allocations per
+#    converged steady-state step (counting-allocator gate).
 # On a single-core host the soak bins trim themselves to fit the smoke
 # budget (chaos_recovery halves its iteration budget, churn_soak skips
 # the ungated post-churn settle leg) and print visible SKIP lines.

@@ -29,6 +29,29 @@ fn core_types_are_send_sync_debug() {
 }
 
 #[test]
+fn mesh_wire_types_are_send_sync_debug() {
+    assert_send_sync::<spn::mesh::MeshRuntime<spn::mesh::Lossless>>();
+    assert_send_sync::<spn::mesh::MeshRuntime<spn::mesh::Chaotic>>();
+    assert_send_sync::<spn::mesh::RegionWorker>();
+    assert_send_sync::<spn::mesh::FrameBuf>();
+    assert_send_sync::<spn::mesh::Inbox>();
+    assert_send_sync::<spn::mesh::LinkWireStats>();
+    assert_send_sync::<spn::mesh::MeshWireStats>();
+    assert_send_sync::<spn::core::gamma::GammaScratch>();
+
+    assert_debug::<spn::mesh::MeshReport>();
+    assert_debug::<spn::mesh::MeshIncident>();
+    assert_debug::<spn::mesh::FrameBuf>();
+    assert_debug::<spn::mesh::Inbox>();
+    assert_debug::<spn::mesh::LinkWireStats>();
+    assert_debug::<spn::mesh::MeshWireStats>();
+    assert_debug::<spn::core::gamma::GammaScratch>();
+
+    assert_error::<spn::mesh::WireError>();
+    assert_send_sync::<spn::mesh::WireError>();
+}
+
+#[test]
 fn error_types_implement_error() {
     assert_error::<spn::model::ModelError>();
     assert_error::<spn::core::ConfigError>();
