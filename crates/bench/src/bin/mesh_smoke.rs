@@ -24,16 +24,27 @@
 //!   allocations under a counting global allocator (the
 //!   `tests/zero_alloc.rs` pattern).
 //!
-//! Usage: `mesh_smoke [--smoke]` (`--smoke` is the CI-sized run; the
-//! default doubles the settle budget).
+//! With `--socket` the binary instead smokes the **real-socket
+//! transport** (ARCHITECTURE invariant 21): a loopback Unix-domain
+//! mesh must be report-identical to `Lossless`, a same-seed
+//! fault-injected socket mesh must be report- and incident-identical
+//! to `Chaotic`, and a B9 micro-bench reports bytes/iteration and p50
+//! tick latency for in-process vs UDS vs TCP (latency is SKIPped on
+//! degraded single-core hosts, where wall-clock numbers are noise).
+//!
+//! Usage: `mesh_smoke [--smoke] [--socket]` (`--smoke` is the CI-sized
+//! run; the default doubles the settle budget).
 #![allow(unsafe_code)] // a counting GlobalAlloc requires unsafe impls
 
 use spn_bench::small_instance;
 use spn_core::{GradientAlgorithm, GradientConfig};
-use spn_mesh::{MeshConfig, MeshFaultConfig, MeshRuntime, PartitionSpec};
+use spn_mesh::{
+    MeshConfig, MeshFaultConfig, MeshRuntime, PartitionSpec, SocketKind, SocketOptions, Transport,
+};
 use spn_transform::ExtendedNetwork;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
@@ -58,28 +69,28 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-/// Counts the global allocations `body` performs, retrying once if the
-/// first attempt saw any: the process's other threads (if any) may
-/// lazily initialize state inside the first window, but a real
-/// per-iteration allocation reproduces on both attempts.
-fn allocations_in(label: &str, mut body: impl FnMut()) -> u64 {
-    let mut last = 0;
-    for attempt in 0..2 {
+/// Idles until one full sleep window records zero foreign allocations —
+/// after that, any lazy one-shot init elsewhere in the process has
+/// provably already happened, so the subsequent measurement counts the
+/// measured body alone.
+fn quiesce(label: &str) {
+    for _ in 0..50 {
         let before = ALLOCATIONS.load(Ordering::SeqCst);
-        body();
-        let after = ALLOCATIONS.load(Ordering::SeqCst);
-        last = after - before;
-        if last == 0 {
-            return 0;
-        }
-        if attempt == 0 {
-            eprintln!(
-                "{label}: {last} allocation(s) in the first window — retrying \
-                 once in case a lazy one-shot init landed in it"
-            );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        if ALLOCATIONS.load(Ordering::SeqCst) == before {
+            return;
         }
     }
-    last
+    eprintln!("{label}: process never quiesced; measuring anyway");
+}
+
+/// Counts the global allocations `body` performs in a single quiesced
+/// window. No retries: a nonzero count is a real regression.
+fn allocations_in(label: &str, mut body: impl FnMut()) -> u64 {
+    quiesce(label);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    body();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
 }
 
 /// Convergence gate shared by every leg.
@@ -116,8 +127,181 @@ fn faults() -> MeshFaultConfig {
     }
 }
 
+/// Whether wall-clock latency numbers mean anything on this host.
+/// `MESH_SMOKE_FORCE_LATENCY=1` overrides the check for local runs
+/// that want indicative numbers anyway.
+fn degraded_host() -> bool {
+    if std::env::var_os("MESH_SMOKE_FORCE_LATENCY").is_some() {
+        return false;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get()) <= 1
+}
+
+/// B9 probe: steps a warm mesh `iters` more iterations and reports
+/// `(bytes per iteration, p50 tick latency in µs)` — the tick latency
+/// is the median per-step wall time over thirds (3 ticks per step).
+fn bench_transport<T: Transport>(mesh: &mut MeshRuntime<T>, iters: usize) -> (f64, f64) {
+    let before = mesh.wire_stats().bytes;
+    let mut step_us: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        mesh.step();
+        step_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let bytes_per_iter = (mesh.wire_stats().bytes - before) as f64 / iters as f64;
+    step_us.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let p50_tick = step_us[iters / 2] / 3.0;
+    (bytes_per_iter, p50_tick)
+}
+
+/// `--socket` mode: the invariant-21 legs plus the B9 transport bench.
+/// Returns whether any leg failed.
+fn socket_smoke(smoke: bool) -> bool {
+    let iterations = if smoke { 120 } else { 400 };
+    let problem = small_instance(3, 16, 2);
+    let ext = ExtendedNetwork::build(&problem);
+    let config = MeshConfig {
+        regions: 2,
+        gradient: gradient(),
+        ..MeshConfig::default()
+    };
+    let mut failed = false;
+    println!("# mesh_smoke --socket\tleg\tdetail\tvalue\tincidents");
+
+    // Leg 1: loopback UDS ≡ Lossless, report-for-report, zero incidents.
+    let uds = SocketOptions {
+        kind: SocketKind::Unix,
+        ..SocketOptions::default()
+    };
+    let mut socket = MeshRuntime::socket(ext.clone(), config.clone(), &uds).expect("socket mesh");
+    let mut lossless =
+        MeshRuntime::lossless(ext.clone(), config.clone()).expect("valid mesh config");
+    let socket_report = socket.run(iterations);
+    let lossless_report = lossless.run(iterations);
+    println!(
+        "mesh_smoke\tsocket-lossless\tuds\t{:.6}\t{}",
+        socket_report.utility,
+        socket.incidents().len()
+    );
+    if socket_report != lossless_report {
+        eprintln!(
+            "FAIL: UDS socket mesh diverged from Lossless: {socket_report:?} \
+             vs {lossless_report:?}"
+        );
+        failed = true;
+    }
+    if !socket.incidents().is_empty() {
+        eprintln!(
+            "FAIL: healthy loopback socket run logged {} incidents; expected zero",
+            socket.incidents().len()
+        );
+        failed = true;
+    }
+
+    // Leg 2: seeded FaultyStream ≡ Chaotic, incident-for-incident, and
+    // deterministic across same-seed runs (reads chopped into seeded
+    // 1..=31-byte chunks to keep the reframer honest).
+    let faulty_run = || {
+        let options = SocketOptions {
+            kind: SocketKind::Unix,
+            faults: Some(faults()),
+            split_seed: Some(13),
+        };
+        let mut m = MeshRuntime::socket(ext.clone(), mesh_config(), &options).expect("socket mesh");
+        let report = m.run(iterations);
+        (report, m.incidents().to_vec())
+    };
+    let (report_a, log_a) = faulty_run();
+    let (report_b, log_b) = faulty_run();
+    let mut chaotic =
+        MeshRuntime::chaotic(ext.clone(), mesh_config(), &faults()).expect("valid mesh config");
+    let chaotic_report = chaotic.run(iterations);
+    println!(
+        "mesh_smoke\tsocket-faulty\tuds\t{:.6}\t{}",
+        report_a.utility,
+        log_a.len()
+    );
+    if report_a != report_b || log_a != log_b {
+        eprintln!(
+            "FAIL: same-seed faulty socket runs diverged (reports equal: {}, \
+             logs equal: {})",
+            report_a == report_b,
+            log_a == log_b
+        );
+        failed = true;
+    }
+    if report_a != chaotic_report || log_a != chaotic.incidents() {
+        eprintln!(
+            "FAIL: faulty socket run diverged from Chaotic under the same seed \
+             (reports equal: {}, logs equal: {})",
+            report_a == chaotic_report,
+            log_a == chaotic.incidents()
+        );
+        failed = true;
+    }
+    if log_a.is_empty() {
+        eprintln!("FAIL: the fault plan injected no incidents over the socket");
+        failed = true;
+    }
+
+    // Leg 3 (B9): bytes/iteration and p50 tick latency per transport.
+    // Bytes are deterministic and always printed; latency is wall
+    // clock, so a degraded single-core host reports SKIP instead of
+    // noise.
+    let bench_iters = if smoke { 60 } else { 200 };
+    let warmup = 20;
+    let mut in_process = MeshRuntime::lossless(ext.clone(), config.clone()).expect("mesh");
+    in_process.run(warmup);
+    let (ip_bytes, ip_p50) = bench_transport(&mut in_process, bench_iters);
+    let mut uds_mesh = MeshRuntime::socket(ext.clone(), config.clone(), &uds).expect("mesh");
+    uds_mesh.run(warmup);
+    let (uds_bytes, uds_p50) = bench_transport(&mut uds_mesh, bench_iters);
+    let tcp = SocketOptions {
+        kind: SocketKind::Tcp,
+        ..SocketOptions::default()
+    };
+    let mut tcp_mesh = MeshRuntime::socket(ext, config, &tcp).expect("mesh");
+    tcp_mesh.run(warmup);
+    let (tcp_bytes, tcp_p50) = bench_transport(&mut tcp_mesh, bench_iters);
+    for (label, bytes, p50) in [
+        ("in-process", ip_bytes, ip_p50),
+        ("uds", uds_bytes, uds_p50),
+        ("tcp", tcp_bytes, tcp_p50),
+    ] {
+        if degraded_host() {
+            println!("mesh_smoke\tsocket-bench\t{label}\t{bytes:.1} B/it\tp50 SKIP (1-core host)");
+        } else {
+            println!("mesh_smoke\tsocket-bench\t{label}\t{bytes:.1} B/it\tp50 {p50:.1} us/tick");
+        }
+    }
+    // the wire ships the same bytes whatever carries them
+    if (uds_bytes - ip_bytes).abs() > 1e-9 || (tcp_bytes - ip_bytes).abs() > 1e-9 {
+        eprintln!(
+            "FAIL: bytes/iteration differs across transports \
+             (in-process {ip_bytes:.1}, uds {uds_bytes:.1}, tcp {tcp_bytes:.1})"
+        );
+        failed = true;
+    }
+
+    if !failed {
+        println!(
+            "# mesh_smoke --socket: OK (uds ≡ lossless over {iterations} iterations, \
+             faulty uds ≡ chaotic with {} incidents, wire at {ip_bytes:.1} B/it on \
+             all transports)",
+            log_a.len()
+        );
+    }
+    failed
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    if std::env::args().any(|a| a == "--socket") {
+        if socket_smoke(smoke) {
+            std::process::exit(1);
+        }
+        return;
+    }
     let max_iterations = if smoke { 4_000 } else { 8_000 };
     let problem = small_instance(3, 16, 2);
     let mut failed = false;
@@ -254,7 +438,6 @@ fn main() {
     // Leg 4: the warm send/receive path is allocation-free. The mesh is
     // converged and its pools are sized; stepping through three more
     // refresh cycles (full-row sweeps included) must not allocate.
-    std::thread::sleep(std::time::Duration::from_millis(10));
     quiet.step();
     let stray = allocations_in("mesh steady state", || {
         for _ in 0..48 {

@@ -187,6 +187,43 @@ pub enum MeshIncident {
         /// Bit-digest of the routing state after the restore.
         digest: u64,
     },
+    /// A destination's per-tick inbox byte budget was exhausted and a
+    /// frame was refused instead of growing the arena past its
+    /// high-water mark (duplicate-flood backpressure; the refusal path
+    /// itself allocates nothing).
+    InboxOverflow {
+        /// Wall-clock tick.
+        tick: u64,
+        /// The destination whose inbox refused the frame.
+        region: usize,
+        /// The refused frame's sender.
+        from: usize,
+        /// The refused frame's byte length.
+        dropped: u64,
+    },
+    /// A region's phase deadline expired before every peer's traffic
+    /// for the tick was known complete; the region advanced with what
+    /// had arrived, degrading to last-known peer state instead of
+    /// stalling (socket transport only — in-process transports are
+    /// always ready behind their synchronous barrier).
+    PhaseDeadlineExpired {
+        /// Wall-clock tick.
+        tick: u64,
+        /// The region that stopped waiting.
+        region: usize,
+    },
+    /// A receiver discarded an undecodable batch instead of panicking.
+    /// In-process transports never hand a worker corrupt bytes; a
+    /// desynced byte stream could, and the protocol treats it like a
+    /// lost frame (retransmission and the periodic refresh re-anchor).
+    MalformedFrameDiscarded {
+        /// Wall-clock tick.
+        tick: u64,
+        /// The discarding region.
+        region: usize,
+        /// The decoder's structured reason, rendered.
+        error: String,
+    },
 }
 
 impl Serialize for MeshIncident {
@@ -408,6 +445,38 @@ impl Serialize for MeshIncident {
                         "digest".to_owned(),
                         serde::Value::Str(format!("{digest:016x}")),
                     ));
+                }
+                v
+            }
+            MeshIncident::InboxOverflow {
+                tick,
+                region,
+                from,
+                dropped,
+            } => tag(
+                "InboxOverflow",
+                &[
+                    ("tick", tick),
+                    ("region", region as u64),
+                    ("from", from as u64),
+                    ("dropped", dropped),
+                ],
+            ),
+            MeshIncident::PhaseDeadlineExpired { tick, region } => tag(
+                "PhaseDeadlineExpired",
+                &[("tick", tick), ("region", region as u64)],
+            ),
+            MeshIncident::MalformedFrameDiscarded {
+                tick,
+                region,
+                ref error,
+            } => {
+                let mut v = tag(
+                    "MalformedFrameDiscarded",
+                    &[("tick", tick), ("region", region as u64)],
+                );
+                if let serde::Value::Map(map) = &mut v {
+                    map.push(("error".to_owned(), serde::Value::Str(error.clone())));
                 }
                 v
             }

@@ -12,6 +12,14 @@
 //! capture, the rejoiner after restore. Equal digests pin the headline
 //! guarantee: the rejoined region's state is **bit-for-bit** the
 //! survivor's, not merely close.
+//!
+//! The handshake is transport-agnostic: it rides the reliable frame
+//! stream (sequence numbers plus retry-under-backoff), so the same
+//! request → snapshot → apply → digest dance runs unchanged over
+//! [`crate::transport::Chaotic`]'s simulated faults and over
+//! [`crate::socket::SocketTransport`]'s real kernel streams — the
+//! faulty-socket equivalence oracle exercises a partition-and-rejoin
+//! over actual sockets and pins the identical incident sequence.
 
 use crate::wire::RecoveryStatePayload;
 use spn_core::Checkpoint;

@@ -11,14 +11,27 @@
 //! The tick loop is allocation-free once warm: deliveries land in one
 //! reusable [`Inbox`] arena, each worker writes its per-link batch
 //! into a reusable buffer, and the transport borrows those bytes.
+//!
+//! **Phase advancement is deadline-driven, not barrier-driven.** Before
+//! delivering a region's tick, the runtime polls
+//! [`Transport::ready`]; in-process transports answer `true`
+//! immediately (the old strict barrier, at zero cost), while the socket
+//! transport answers once every live peer's tick markers are in hand.
+//! If readiness does not arrive within [`MeshConfig::phase_deadline`],
+//! the runtime logs [`MeshIncident::PhaseDeadlineExpired`] and advances
+//! anyway — the worker iterates on last-known peer state (exactly the
+//! suspect-degradation path), so one stalled peer bounds tick latency
+//! instead of freezing the mesh.
 
 use crate::fault::{MeshFaultConfig, MeshFaultPlan};
 use crate::incident::MeshIncident;
+use crate::socket::{SocketOptions, SocketTransport};
 use crate::transport::{Chaotic, Inbox, Lossless, Transport};
 use crate::worker::{owner_of, MeshWireStats, RegionWorker};
 use spn_core::gamma::GammaStats;
 use spn_core::{ConfigError, CostModel, GradientAlgorithm, GradientConfig, StableOutcome};
 use spn_transform::ExtendedNetwork;
+use std::time::{Duration, Instant};
 
 /// Mesh tunables on top of the gradient config.
 ///
@@ -46,6 +59,18 @@ pub struct MeshConfig {
     /// re-anchoring every delta chain. `1` degenerates to the v1
     /// full-broadcast wire (the bench baseline); must be ≥ 1.
     pub refresh_every: u64,
+    /// Wall-clock budget for a region's phase to become ready (all
+    /// live peers' frames in hand per [`Transport::ready`]). On expiry
+    /// the runtime logs [`MeshIncident::PhaseDeadlineExpired`] and
+    /// advances on last-known peer state. In-process transports are
+    /// always ready, so the deadline only ever fires over sockets.
+    pub phase_deadline: Duration,
+    /// Byte budget of the per-tick delivery [`Inbox`]: deliveries past
+    /// the cap are refused without allocating and logged as
+    /// [`MeshIncident::InboxOverflow`], bounding memory against a
+    /// flooding or runaway peer. Must be at least 1024 bytes (a budget
+    /// below one frame would silently drop *all* traffic).
+    pub inbox_budget: usize,
 }
 
 impl Default for MeshConfig {
@@ -56,6 +81,8 @@ impl Default for MeshConfig {
             suspect_after: 9,
             retry_backoff_cap: 32,
             refresh_every: 16,
+            phase_deadline: Duration::from_secs(5),
+            inbox_budget: 64 << 20,
         }
     }
 }
@@ -86,6 +113,15 @@ pub enum MeshError {
     /// re-anchor a delta chain, so a receiver that missed one delta
     /// could stay stale forever.
     ZeroRefreshCadence,
+    /// `inbox_budget` must be at least 1024 bytes — smaller than one
+    /// frame means every delivery is refused and the mesh runs deaf.
+    InboxBudgetTooSmall {
+        /// The offending budget.
+        budget: usize,
+    },
+    /// The socket layer failed while building the mesh (`socketpair`,
+    /// `bind`, `connect`, `accept`, or socket-option setting).
+    Socket(String),
     /// The underlying gradient config is invalid.
     Config(ConfigError),
 }
@@ -106,6 +142,12 @@ impl std::fmt::Display for MeshError {
             MeshError::ZeroRefreshCadence => {
                 write!(f, "refresh_every must be at least 1 (1 = full broadcast every round)")
             }
+            MeshError::InboxBudgetTooSmall { budget } => write!(
+                f,
+                "inbox_budget of {budget} bytes is below the 1024-byte floor (one frame would \
+                 not fit; every delivery would be refused)"
+            ),
+            MeshError::Socket(e) => write!(f, "mesh socket setup: {e}"),
             MeshError::Config(e) => write!(f, "gradient config: {e}"),
         }
     }
@@ -183,6 +225,27 @@ impl MeshRuntime<Chaotic> {
     }
 }
 
+impl MeshRuntime<SocketTransport> {
+    /// A mesh over real kernel streams — one loopback duplex socket per
+    /// region pair, TCP or Unix-domain per [`SocketOptions::kind`],
+    /// optionally fault-injected by the same seeded plan `chaotic` uses
+    /// (applied netem-style in each link's `FaultyStream`).
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::Socket`] if building the socket mesh fails at the
+    /// kernel; otherwise see [`MeshRuntime::with_transport`].
+    pub fn socket(
+        ext: ExtendedNetwork,
+        config: MeshConfig,
+        options: &SocketOptions,
+    ) -> Result<Self, MeshError> {
+        let transport = SocketTransport::connect(config.regions, options)
+            .map_err(|e| MeshError::Socket(e.to_string()))?;
+        MeshRuntime::with_transport(ext, config, transport)
+    }
+}
+
 impl<T: Transport> MeshRuntime<T> {
     /// Builds the mesh: validates the config (rejecting region counts
     /// the node space or the wire cannot carry, ε-annealing, a zero
@@ -216,6 +279,11 @@ impl<T: Transport> MeshRuntime<T> {
         if config.refresh_every == 0 {
             return Err(MeshError::ZeroRefreshCadence);
         }
+        if config.inbox_budget < 1024 {
+            return Err(MeshError::InboxBudgetTooSmall {
+                budget: config.inbox_budget,
+            });
+        }
         // reuse the algorithm's own tunable validation (serial probe;
         // no worker pool spawned)
         let mut probe = config.gradient;
@@ -239,6 +307,7 @@ impl<T: Transport> MeshRuntime<T> {
                 )
             })
             .collect();
+        let inbox = Inbox::with_budget(config.inbox_budget);
         Ok(MeshRuntime {
             ext,
             cost,
@@ -247,8 +316,30 @@ impl<T: Transport> MeshRuntime<T> {
             transport,
             tick: 0,
             incidents: Vec::new(),
-            inbox: Inbox::new(),
+            inbox,
         })
+    }
+
+    /// Blocks until `region`'s tick is ready to deliver or the phase
+    /// deadline expires (logging the incident and advancing anyway).
+    /// In-process transports answer ready on the first poll, so the
+    /// fast path reads no clock and allocates nothing.
+    fn await_phase(&mut self, tick: u64, region: usize) {
+        if self.transport.ready(tick, region) {
+            return;
+        }
+        let deadline = Instant::now() + self.config.phase_deadline;
+        loop {
+            std::thread::sleep(Duration::from_micros(200));
+            if self.transport.ready(tick, region) {
+                return;
+            }
+            if Instant::now() >= deadline {
+                self.incidents
+                    .push(MeshIncident::PhaseDeadlineExpired { tick, region });
+                return;
+            }
+        }
     }
 
     /// Performs one protocol iteration — three transport ticks, every
@@ -260,6 +351,7 @@ impl<T: Transport> MeshRuntime<T> {
             let tick = self.tick;
             self.transport.begin_tick(tick, &mut self.incidents);
             for r in 0..self.config.regions {
+                self.await_phase(tick, r);
                 self.transport
                     .deliver_into(tick, r, &mut self.inbox, &mut self.incidents);
                 self.workers[r].run_phase(

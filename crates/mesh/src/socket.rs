@@ -1,0 +1,704 @@
+//! Real-socket transport: wire-v2 frames over TCP or Unix-domain
+//! streams, with marker-based readiness instead of a tick barrier.
+//!
+//! [`SocketTransport`] is the third [`Transport`]: every frame a worker
+//! sends crosses a real kernel byte stream — one duplex connection per
+//! unordered region pair ([`SocketKind::Unix`] via `socketpair(2)`,
+//! [`SocketKind::Tcp`] via a loopback listener with `TCP_NODELAY`) —
+//! so the protocol pays partial reads, arbitrary chunk boundaries, and
+//! wall-clock skew. The stream carries two record types:
+//!
+//! ```text
+//! frame record: tag 0u8, deliver_tick u64, order u64, wire-v2 frame
+//! tick marker:  tag 1u8, tick u64
+//! ```
+//!
+//! The wire frame is **self-delimiting** (its header carries the
+//! payload length), so the receive side reframes with
+//! [`crate::wire::frame_len`] — the same incremental length-prefix
+//! logic [`crate::wire::FrameAssembler`] pins down at every split
+//! offset — and never needs a redundant length field.
+//!
+//! **Why the envelope.** The in-process transports deliver in a
+//! deterministic order (the driver's region order, refined by
+//! `Chaotic`'s `(deliver_tick, order)` sort). The sender stamps each
+//! record with exactly that key, and every receiver merges its peers'
+//! streams by it — so a loopback socket run replays the *identical*
+//! frame sequence the in-process transport would deliver, and the
+//! `Lossless` bit-identity oracle (ARCHITECTURE invariant 21) survives
+//! the kernel. A distributed deployment would stamp
+//! `(deliver_tick, sender, per-sender seq)` instead; the merge logic is
+//! unchanged.
+//!
+//! **Readiness without a barrier.** A batch is only sent when a worker
+//! has something to say, so "nothing arrived from peer `p`" is
+//! ambiguous — not sent, or not *yet* arrived? Each `begin_tick(T)`
+//! therefore writes a marker meaning "everything I will ever send at
+//! ticks ≤ T − 1 is already in this stream". Once a receiver holds
+//! marker `T − 1` from a peer, every record from that peer with
+//! `deliver_tick ≤ T` is provably in hand (records are written at send
+//! time and streams are FIFO). [`Transport::ready`] reports exactly
+//! that condition; the runtime's deadline driver polls it and advances
+//! anyway — degrading to last-known peer state — when the phase
+//! deadline expires.
+//!
+//! **Never-blocking sends.** Every socket is nonblocking; bytes the
+//! kernel will not take sit in a per-link userland backlog that is
+//! flushed on every pump. The single-threaded loopback driver can
+//! therefore never deadlock on a full socket buffer: delivering for any
+//! region first flushes *every* link's backlog, which frees the very
+//! buffer a write was waiting for.
+//!
+//! [`FaultyStream`] is the netem-style shim: each directed link applies
+//! the same seeded [`MeshFaultPlan`] draws `Chaotic` uses — loss,
+//! duplication, bounded delay, partitions with staggered heal — *before
+//! bytes reach the kernel*, and logs the same [`MeshIncident`]s keyed
+//! on the same `(tick, from, to)`, so existing `MeshFaultConfig`
+//! scripts, chaos soaks, and incident-log oracles transfer to the
+//! socket layer unchanged: a same-seed faulty socket run is
+//! record-for-record and incident-for-incident equal to `Chaotic`.
+//! Markers are never faulted — the clock always advances, exactly as
+//! `Chaotic::begin_tick` always runs. A seeded read-chunking knob
+//! ([`SocketOptions::split_seed`]) additionally caps every read at a
+//! drawn 1..=31 bytes, forcing the reframer through mid-header and
+//! mid-payload states on real traffic.
+
+use crate::fault::{MeshFaultConfig, MeshFaultPlan};
+use crate::incident::MeshIncident;
+use crate::transport::{push_or_log, Inbox, Transport};
+use crate::wire::{frame_len, Frame};
+use spn_sim::draws::{salts, unit_hash};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::UnixStream;
+
+/// Frame-record tag byte.
+const REC_FRAME: u8 = 0;
+/// Tick-marker tag byte.
+const REC_MARKER: u8 = 1;
+/// Frame-record envelope: tag + deliver_tick + order.
+const FRAME_ENVELOPE: usize = 1 + 8 + 8;
+/// Marker record length: tag + tick.
+const MARKER_LEN: usize = 1 + 8;
+/// Read size per `read(2)` when seeded chunking is off.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Which kernel stream family carries the mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SocketKind {
+    /// Unix-domain stream sockets (`socketpair(2)` — no filesystem
+    /// paths to manage).
+    Unix,
+    /// Loopback TCP (`127.0.0.1`, ephemeral ports, `TCP_NODELAY`).
+    Tcp,
+}
+
+/// Socket transport tunables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SocketOptions {
+    /// Stream family.
+    pub kind: SocketKind,
+    /// Sender-side netem-style fault plan applied by every link's
+    /// [`FaultyStream`] (`None` = faithful delivery, the `Lossless`
+    /// analogue).
+    pub faults: Option<MeshFaultConfig>,
+    /// When set, every `read(2)` is capped at a seeded 1..=31 bytes
+    /// (drawn through [`spn_sim::draws`] under `SALT_SPLIT`), forcing
+    /// the receive-side reframer through split headers and split
+    /// payloads on real traffic. Parsing is split-invariant, so this
+    /// changes nothing observable — which is exactly what the
+    /// equivalence oracles pin.
+    pub split_seed: Option<u64>,
+}
+
+impl Default for SocketOptions {
+    fn default() -> Self {
+        SocketOptions {
+            kind: SocketKind::Unix,
+            faults: None,
+            split_seed: None,
+        }
+    }
+}
+
+/// One nonblocking duplex kernel stream.
+#[derive(Debug)]
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+}
+
+/// A netem-style shim around one **directed** link's stream: applies
+/// the shared seeded [`MeshFaultPlan`] to every frame record before its
+/// bytes reach the kernel (loss, duplication, bounded delay, partition
+/// windows — the same draws, salts, and incident schema as `Chaotic`),
+/// keeps a userland send backlog so writes never block, and caps reads
+/// at seeded chunk sizes when split exercising is on.
+///
+/// Tick markers pass through unfaulted: the clock always advances.
+#[derive(Debug)]
+pub struct FaultyStream {
+    io: Stream,
+    plan: Option<MeshFaultPlan>,
+    split_seed: Option<u64>,
+    /// Userland send backlog: bytes the kernel has not yet taken.
+    tx: Vec<u8>,
+    tx_at: usize,
+    /// Monotone read-call counter keying the seeded chunk-cap draws.
+    reads: u64,
+}
+
+impl FaultyStream {
+    fn new(io: Stream, plan: Option<MeshFaultPlan>, split_seed: Option<u64>) -> Self {
+        FaultyStream {
+            io,
+            plan,
+            split_seed,
+            tx: Vec::new(),
+            tx_at: 0,
+            reads: 0,
+        }
+    }
+
+    /// Applies the plan's draws for `(tick, from, to)` and writes the
+    /// surviving record(s). `order` is the transport's shared monotone
+    /// insertion counter; a duplicate consumes its slot *before* the
+    /// original, exactly like `Chaotic::send`, so same-seed delivery
+    /// order is identical.
+    fn send_frame(
+        &mut self,
+        tick: u64,
+        from: usize,
+        to: usize,
+        frame: &[u8],
+        order: &mut u64,
+        log: &mut Vec<MeshIncident>,
+    ) {
+        let mut deliver_tick = tick + 1;
+        if let Some(plan) = &self.plan {
+            // frames come from our own workers; peeking cannot fail
+            let kind = Frame::peek_kind(frame).expect("well-formed frame");
+            if plan.link_blocked(tick, from, to) || plan.drops_frame(tick, from, to) {
+                log.push(MeshIncident::FrameLost {
+                    tick,
+                    from,
+                    to,
+                    kind,
+                });
+                return;
+            }
+            let delay = plan.delay_ticks(tick, from, to);
+            deliver_tick += delay;
+            if delay > 0 {
+                log.push(MeshIncident::FrameDelayed {
+                    tick,
+                    from,
+                    to,
+                    kind,
+                    until: deliver_tick,
+                });
+            }
+            if plan.duplicates_frame(tick, from, to) {
+                log.push(MeshIncident::FrameDuplicated {
+                    tick,
+                    from,
+                    to,
+                    kind,
+                });
+                self.push_record(deliver_tick, *order, frame);
+                *order += 1;
+            }
+        }
+        self.push_record(deliver_tick, *order, frame);
+        *order += 1;
+        self.flush();
+    }
+
+    /// Appends one frame record to the send backlog.
+    fn push_record(&mut self, deliver_tick: u64, order: u64, frame: &[u8]) {
+        self.tx.push(REC_FRAME);
+        self.tx.extend_from_slice(&deliver_tick.to_le_bytes());
+        self.tx.extend_from_slice(&order.to_le_bytes());
+        self.tx.extend_from_slice(frame);
+    }
+
+    /// Appends a tick marker ("all my sends through `tick` are in this
+    /// stream") and pushes bytes toward the kernel.
+    fn push_marker(&mut self, tick: u64) {
+        self.tx.push(REC_MARKER);
+        self.tx.extend_from_slice(&tick.to_le_bytes());
+        self.flush();
+    }
+
+    /// Writes as much backlog as the kernel will take right now.
+    /// Never blocks; leftover bytes stay queued for the next pump.
+    fn flush(&mut self) {
+        while self.tx_at < self.tx.len() {
+            match self.io.write(&self.tx[self.tx_at..]) {
+                Ok(0) => panic!("mesh socket peer closed mid-write"),
+                Ok(n) => self.tx_at += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => panic!("mesh socket write failed: {e}"),
+            }
+        }
+        if self.tx_at == self.tx.len() {
+            self.tx.clear();
+            self.tx_at = 0;
+        }
+    }
+
+    /// Reads one chunk into the end of `rx`. Returns `false` once the
+    /// stream has nothing more right now (or has closed).
+    fn read_chunk(&mut self, rx: &mut Vec<u8>, owner: usize, peer: usize) -> bool {
+        let cap = match self.split_seed {
+            // seeded tiny reads: force the reframer through every
+            // mid-record state on real traffic
+            Some(seed) => {
+                1 + (unit_hash(seed ^ salts::SALT_SPLIT, self.reads as usize, owner, peer) * 31.0)
+                    as usize
+            }
+            None => READ_CHUNK,
+        };
+        self.reads += 1;
+        let start = rx.len();
+        rx.resize(start + cap, 0);
+        match self.io.read(&mut rx[start..]) {
+            Ok(0) => {
+                rx.truncate(start);
+                false
+            }
+            Ok(n) => {
+                rx.truncate(start + n);
+                true
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                rx.truncate(start);
+                false
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                rx.truncate(start);
+                true
+            }
+            Err(e) => panic!("mesh socket read failed: {e}"),
+        }
+    }
+}
+
+/// One region's end of one pair's duplex stream: the owning region
+/// writes its frames to the peer here and reads the peer's records
+/// back out of it.
+#[derive(Debug)]
+struct Endpoint {
+    link: FaultyStream,
+    owner: usize,
+    peer: usize,
+    /// Inbound bytes not yet parsed into records.
+    rx: Vec<u8>,
+    rx_at: usize,
+    /// Highest "sends complete through tick" marker received.
+    marker: Option<u64>,
+}
+
+impl Endpoint {
+    fn new(link: FaultyStream, owner: usize, peer: usize) -> Self {
+        Endpoint {
+            link,
+            owner,
+            peer,
+            rx: Vec::new(),
+            rx_at: 0,
+            marker: None,
+        }
+    }
+
+    /// Flushes the send backlog, drains the kernel receive buffer, and
+    /// parses complete records: markers update the watermark, frame
+    /// records land in `pending` sorted by `(deliver_tick, order)` —
+    /// the same order `Chaotic` enqueues in.
+    fn pump(&mut self, pending: &mut Vec<(u64, u64, Vec<u8>)>, spare: &mut Vec<Vec<u8>>) {
+        self.link.flush();
+        while self.link.read_chunk(&mut self.rx, self.owner, self.peer) {}
+        loop {
+            let buf = &self.rx[self.rx_at..];
+            if buf.is_empty() {
+                break;
+            }
+            match buf[0] {
+                REC_MARKER => {
+                    if buf.len() < MARKER_LEN {
+                        break;
+                    }
+                    let tick = u64::from_le_bytes(buf[1..MARKER_LEN].try_into().expect("8 bytes"));
+                    self.marker = Some(self.marker.map_or(tick, |m| m.max(tick)));
+                    self.rx_at += MARKER_LEN;
+                }
+                REC_FRAME => {
+                    if buf.len() < FRAME_ENVELOPE {
+                        break;
+                    }
+                    let total = match frame_len(&buf[FRAME_ENVELOPE..]) {
+                        Ok(Some(len)) => len,
+                        Ok(None) => break,
+                        // the peer is our own worker over a connected
+                        // stream; garbage here is a protocol bug
+                        Err(e) => panic!("desynced mesh socket stream: {e}"),
+                    };
+                    if buf.len() < FRAME_ENVELOPE + total {
+                        break;
+                    }
+                    let deliver = u64::from_le_bytes(buf[1..9].try_into().expect("8 bytes"));
+                    let order = u64::from_le_bytes(buf[9..17].try_into().expect("8 bytes"));
+                    let mut owned = spare.pop().unwrap_or_default();
+                    owned.clear();
+                    owned.extend_from_slice(&buf[FRAME_ENVELOPE..FRAME_ENVELOPE + total]);
+                    let at = pending.partition_point(|&(dt, o, _)| (dt, o) <= (deliver, order));
+                    pending.insert(at, (deliver, order, owned));
+                    self.rx_at += FRAME_ENVELOPE + total;
+                }
+                other => panic!("desynced mesh socket stream: unknown record tag {other}"),
+            }
+        }
+        if self.rx_at == self.rx.len() {
+            self.rx.clear();
+            self.rx_at = 0;
+        }
+    }
+}
+
+/// The real-socket [`Transport`]: one duplex stream per unordered
+/// region pair, frame records merged back into the in-process delivery
+/// order by their `(deliver_tick, order)` envelope, readiness tracked
+/// through per-peer tick markers. See the module docs for the protocol
+/// and the equivalence argument.
+#[derive(Debug)]
+pub struct SocketTransport {
+    regions: usize,
+    /// `endpoints[owner * regions + peer]`; `None` on the diagonal.
+    endpoints: Vec<Option<Endpoint>>,
+    /// Per destination: `(deliver_tick, order, frame)`, sorted.
+    pending: Vec<Vec<(u64, u64, Vec<u8>)>>,
+    /// Shared monotone insertion counter (the deterministic tiebreak).
+    order: u64,
+    /// Recycled frame buffers.
+    spare: Vec<Vec<u8>>,
+    /// The compiled fault plan, kept for `begin_tick`'s partition
+    /// schedule incidents (each link's [`FaultyStream`] holds its own
+    /// clone for the per-frame draws — draws are pure, so clones answer
+    /// identically).
+    plan: Option<MeshFaultPlan>,
+}
+
+impl SocketTransport {
+    /// Builds the full mesh of streams for `regions` workers: one
+    /// connected nonblocking duplex stream per unordered pair.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-layer failure (`socketpair`, `bind`, `connect`,
+    /// `accept`, or option setting) is returned as the raw
+    /// [`io::Error`].
+    pub fn connect(regions: usize, options: &SocketOptions) -> io::Result<Self> {
+        let plan = options
+            .faults
+            .as_ref()
+            .map(|f| MeshFaultPlan::compile(f, regions));
+        let mut endpoints: Vec<Option<Endpoint>> = (0..regions * regions).map(|_| None).collect();
+        for a in 0..regions {
+            for b in (a + 1)..regions {
+                let (end_a, end_b) = match options.kind {
+                    SocketKind::Unix => {
+                        let (x, y) = UnixStream::pair()?;
+                        x.set_nonblocking(true)?;
+                        y.set_nonblocking(true)?;
+                        (Stream::Unix(x), Stream::Unix(y))
+                    }
+                    SocketKind::Tcp => {
+                        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+                        let addr = listener.local_addr()?;
+                        let client = TcpStream::connect(addr)?;
+                        let (server, _) = listener.accept()?;
+                        for s in [&client, &server] {
+                            s.set_nodelay(true)?;
+                            s.set_nonblocking(true)?;
+                        }
+                        (Stream::Tcp(client), Stream::Tcp(server))
+                    }
+                };
+                endpoints[a * regions + b] = Some(Endpoint::new(
+                    FaultyStream::new(end_a, plan.clone(), options.split_seed),
+                    a,
+                    b,
+                ));
+                endpoints[b * regions + a] = Some(Endpoint::new(
+                    FaultyStream::new(end_b, plan.clone(), options.split_seed),
+                    b,
+                    a,
+                ));
+            }
+        }
+        Ok(SocketTransport {
+            regions,
+            endpoints,
+            pending: (0..regions).map(|_| Vec::new()).collect(),
+            order: 0,
+            spare: Vec::new(),
+            plan,
+        })
+    }
+
+    /// Flushes every link's backlog and parses everything the kernel
+    /// has. Loopback holds both ends in this one object, so pumping
+    /// everywhere is also what makes never-blocking sends deadlock-free.
+    fn pump_all(&mut self) {
+        for owner in 0..self.regions {
+            for peer in 0..self.regions {
+                if let Some(ep) = self.endpoints[owner * self.regions + peer].as_mut() {
+                    ep.pump(&mut self.pending[owner], &mut self.spare);
+                }
+            }
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn begin_tick(&mut self, tick: u64, log: &mut Vec<MeshIncident>) {
+        // the same partition schedule incidents Chaotic logs
+        if let Some(plan) = &self.plan {
+            for p in plan.partitions() {
+                if p.at == tick {
+                    log.push(MeshIncident::PartitionStarted {
+                        tick,
+                        region: p.region,
+                    });
+                }
+                for (peer, &heal) in p.heal.iter().enumerate() {
+                    if peer != p.region && heal == tick {
+                        log.push(MeshIncident::LinkHealed {
+                            tick,
+                            region: p.region,
+                            peer,
+                        });
+                    }
+                }
+                if p.healed_at == tick && p.at < tick {
+                    log.push(MeshIncident::PartitionHealed {
+                        tick,
+                        region: p.region,
+                    });
+                }
+            }
+        }
+        // entering tick T, every send of T-1 has been issued: publish
+        // the watermark on every directed link (markers are never
+        // faulted — the clock always advances)
+        if tick > 0 {
+            for ep in self.endpoints.iter_mut().flatten() {
+                ep.link.push_marker(tick - 1);
+            }
+        }
+        self.pump_all();
+    }
+
+    fn ready(&mut self, tick: u64, to: usize) -> bool {
+        self.pump_all();
+        if tick == 0 {
+            return true;
+        }
+        (0..self.regions).filter(|&p| p != to).all(|p| {
+            self.endpoints[to * self.regions + p]
+                .as_ref()
+                .is_some_and(|ep| ep.marker.is_some_and(|m| m >= tick - 1))
+        })
+    }
+
+    fn send(
+        &mut self,
+        tick: u64,
+        from: usize,
+        to: usize,
+        bytes: &[u8],
+        log: &mut Vec<MeshIncident>,
+    ) {
+        let ep = self.endpoints[from * self.regions + to]
+            .as_mut()
+            .expect("send to self");
+        ep.link
+            .send_frame(tick, from, to, bytes, &mut self.order, log);
+    }
+
+    fn deliver_into(
+        &mut self,
+        tick: u64,
+        to: usize,
+        inbox: &mut Inbox,
+        log: &mut Vec<MeshIncident>,
+    ) {
+        inbox.clear();
+        self.pump_all();
+        let queue = &mut self.pending[to];
+        let due = queue.partition_point(|&(dt, _, _)| dt <= tick);
+        for (_, _, bytes) in queue.drain(..due) {
+            push_or_log(inbox, tick, to, &bytes, log);
+            self.spare.push(bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::PartitionSpec;
+    use crate::transport::{Chaotic, Lossless};
+    use crate::wire::Payload;
+
+    fn hb(from: u16, to: u16, round: u64) -> Vec<u8> {
+        Frame {
+            from,
+            to,
+            seq: 0,
+            round,
+            payload: Payload::Heartbeat,
+        }
+        .encode()
+    }
+
+    /// A delivered heartbeat: `(tick, to, from, round)`.
+    type Delivery = (u64, usize, u16, u64);
+
+    /// Drives `ticks` of an all-pairs heartbeat schedule and returns
+    /// `(incidents, deliveries)` in delivery order.
+    fn drive(
+        t: &mut impl Transport,
+        regions: usize,
+        ticks: u64,
+    ) -> (Vec<MeshIncident>, Vec<Delivery>) {
+        let mut log = Vec::new();
+        let mut seen = Vec::new();
+        let mut inbox = Inbox::new();
+        for tick in 0..ticks {
+            t.begin_tick(tick, &mut log);
+            for to in 0..regions {
+                // TCP loopback delivery is not synchronous with write;
+                // spin briefly instead of asserting instant readiness
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+                while !t.ready(tick, to) {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "tick {tick} region {to} never became ready"
+                    );
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                t.deliver_into(tick, to, &mut inbox, &mut log);
+                for bytes in inbox.iter() {
+                    let f = Frame::decode(bytes).expect("well-formed");
+                    seen.push((tick, to, f.from, f.round));
+                }
+                for peer in 0..regions {
+                    if peer != to {
+                        t.send(tick, to, peer, &hb(to as u16, peer as u16, tick), &mut log);
+                    }
+                }
+            }
+        }
+        (log, seen)
+    }
+
+    #[test]
+    fn loopback_sockets_match_lossless_delivery() {
+        for kind in [SocketKind::Unix, SocketKind::Tcp] {
+            let options = SocketOptions {
+                kind,
+                ..SocketOptions::default()
+            };
+            let mut socket = SocketTransport::connect(3, &options).expect("sockets");
+            let mut lossless = Lossless::new(3);
+            let (log_s, seen_s) = drive(&mut socket, 3, 12);
+            let (log_l, seen_l) = drive(&mut lossless, 3, 12);
+            assert_eq!(seen_s, seen_l, "{kind:?} delivery diverged");
+            assert!(log_s.is_empty());
+            assert!(log_l.is_empty());
+        }
+    }
+
+    #[test]
+    fn faulty_stream_matches_chaotic_exactly() {
+        let faults = MeshFaultConfig {
+            seed: 77,
+            loss: 0.25,
+            duplicate: 0.15,
+            delay_prob: 0.25,
+            max_delay: 3,
+            partitions: vec![PartitionSpec {
+                region: 1,
+                at: 6,
+                duration: 5,
+                heal_stagger: 2,
+            }],
+        };
+        let options = SocketOptions {
+            kind: SocketKind::Unix,
+            faults: Some(faults.clone()),
+            split_seed: Some(9),
+        };
+        let mut socket = SocketTransport::connect(3, &options).expect("sockets");
+        let mut chaotic = Chaotic::new(MeshFaultPlan::compile(&faults, 3), 3);
+        let (log_s, seen_s) = drive(&mut socket, 3, 24);
+        let (log_c, seen_c) = drive(&mut chaotic, 3, 24);
+        assert_eq!(
+            seen_s, seen_c,
+            "faulty socket delivery diverged from Chaotic"
+        );
+        assert_eq!(
+            log_s, log_c,
+            "faulty socket incidents diverged from Chaotic"
+        );
+        assert!(log_s
+            .iter()
+            .any(|i| matches!(i, MeshIncident::FrameLost { .. })));
+    }
+
+    #[test]
+    fn seeded_read_chunking_changes_nothing_observable() {
+        let options = |seed| SocketOptions {
+            kind: SocketKind::Unix,
+            faults: None,
+            split_seed: seed,
+        };
+        let mut plain = SocketTransport::connect(2, &options(None)).expect("sockets");
+        let mut split = SocketTransport::connect(2, &options(Some(4))).expect("sockets");
+        let a = drive(&mut plain, 2, 10);
+        let b = drive(&mut split, 2, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_region_mesh_is_trivially_ready() {
+        let mut t = SocketTransport::connect(1, &SocketOptions::default()).expect("sockets");
+        let mut log = Vec::new();
+        let mut inbox = Inbox::new();
+        for tick in 0..5 {
+            t.begin_tick(tick, &mut log);
+            assert!(t.ready(tick, 0));
+            t.deliver_into(tick, 0, &mut inbox, &mut log);
+            assert!(inbox.is_empty());
+        }
+        assert!(log.is_empty());
+    }
+}

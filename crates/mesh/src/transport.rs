@@ -33,17 +33,59 @@ use std::collections::VecDeque;
 /// A flat arena of received frames: one contiguous byte buffer plus
 /// frame spans, reused across ticks so delivery never allocates once
 /// warm.
-#[derive(Debug, Default)]
+///
+/// Growth is **budgeted**: the arena is cleared at every delivery, so
+/// [`Inbox::budget`] caps how many bytes one (tick, region) delivery
+/// may hold. A peer flooding duplicates used to grow `bytes` without
+/// bound within a tick; now [`Inbox::push`] refuses the frame once the
+/// budget is reached (the transport logs a
+/// [`MeshIncident::InboxOverflow`]) and the arena never allocates past
+/// its high-water mark. The refusal path performs no allocation, so
+/// the warm-path zero-alloc gates are preserved.
+#[derive(Debug)]
 pub struct Inbox {
     bytes: Vec<u8>,
     spans: Vec<(usize, usize)>,
+    budget: usize,
+}
+
+impl Default for Inbox {
+    fn default() -> Self {
+        Inbox {
+            bytes: Vec::new(),
+            spans: Vec::new(),
+            budget: usize::MAX,
+        }
+    }
 }
 
 impl Inbox {
-    /// An empty inbox.
+    /// An empty inbox with an unlimited budget.
     #[must_use]
     pub fn new() -> Self {
         Inbox::default()
+    }
+
+    /// An empty inbox refusing frames past `budget` held bytes.
+    #[must_use]
+    pub fn with_budget(budget: usize) -> Self {
+        Inbox {
+            budget,
+            ..Inbox::default()
+        }
+    }
+
+    /// Sets the per-delivery byte budget (the cap on `bytes` held at
+    /// once; the arena is cleared per delivery, so this bounds per-tick
+    /// growth).
+    pub fn set_budget(&mut self, budget: usize) {
+        self.budget = budget;
+    }
+
+    /// The per-delivery byte budget.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.budget
     }
 
     /// Forgets all frames, keeping capacity.
@@ -52,11 +94,17 @@ impl Inbox {
         self.spans.clear();
     }
 
-    /// Appends one frame.
-    pub fn push(&mut self, frame: &[u8]) {
+    /// Appends one frame. Returns `false` — refusing the frame without
+    /// allocating — if holding it would exceed the byte budget.
+    #[must_use]
+    pub fn push(&mut self, frame: &[u8]) -> bool {
         let start = self.bytes.len();
+        if start + frame.len() > self.budget {
+            return false;
+        }
         self.bytes.extend_from_slice(frame);
         self.spans.push((start, self.bytes.len()));
+        true
     }
 
     /// The frames, in arrival order.
@@ -77,6 +125,33 @@ impl Inbox {
     }
 }
 
+/// Sender region of a trusted, well-formed frame (header bytes 5..7).
+fn frame_from(bytes: &[u8]) -> usize {
+    usize::from(u16::from_le_bytes([bytes[5], bytes[6]]))
+}
+
+/// Pushes `bytes` into `inbox`, logging a
+/// [`MeshIncident::InboxOverflow`] if the budget refuses the frame.
+/// Returns whether the frame was accepted.
+pub(crate) fn push_or_log(
+    inbox: &mut Inbox,
+    tick: u64,
+    to: usize,
+    bytes: &[u8],
+    log: &mut Vec<MeshIncident>,
+) -> bool {
+    if inbox.push(bytes) {
+        return true;
+    }
+    log.push(MeshIncident::InboxOverflow {
+        tick,
+        region: to,
+        from: frame_from(bytes),
+        dropped: bytes.len() as u64,
+    });
+    false
+}
+
 /// A frame conduit between region workers. All methods take the
 /// current transport tick; implementations must be deterministic
 /// functions of (construction arguments, call sequence).
@@ -84,6 +159,19 @@ pub trait Transport {
     /// Called once per tick before any send or deliver, so the
     /// transport can log scheduled events (partition cuts and heals).
     fn begin_tick(&mut self, tick: u64, log: &mut Vec<MeshIncident>);
+
+    /// Pumps the transport and reports whether everything deliverable
+    /// to `to` at `tick` is known to have arrived. In-process
+    /// transports hold frames behind a synchronous barrier, so they are
+    /// always ready; the socket transport tracks per-peer tick markers
+    /// and reports readiness only once every live peer's sends through
+    /// `tick - 1` are in hand. The runtime's deadline driver polls this
+    /// and advances the phase anyway once the phase deadline expires
+    /// (logging [`MeshIncident::PhaseDeadlineExpired`]).
+    fn ready(&mut self, tick: u64, to: usize) -> bool {
+        let _ = (tick, to);
+        true
+    }
 
     /// Queues an encoded frame from `from` to `to`. The transport
     /// copies the bytes it keeps; the caller retains the buffer.
@@ -157,14 +245,14 @@ impl Transport for Lossless {
         tick: u64,
         to: usize,
         inbox: &mut Inbox,
-        _log: &mut Vec<MeshIncident>,
+        log: &mut Vec<MeshIncident>,
     ) {
         inbox.clear();
         let lane = &mut self.lanes[to];
         // barrier: only frames sent strictly before this tick
         while matches!(lane.front(), Some(&(sent, _)) if sent < tick) {
             let (_, bytes) = lane.pop_front().expect("front checked");
-            inbox.push(&bytes);
+            push_or_log(inbox, tick, to, &bytes, log);
             self.spare.push(bytes);
         }
     }
@@ -288,13 +376,13 @@ impl Transport for Chaotic {
         tick: u64,
         to: usize,
         inbox: &mut Inbox,
-        _log: &mut Vec<MeshIncident>,
+        log: &mut Vec<MeshIncident>,
     ) {
         inbox.clear();
         let queue = &mut self.pending[to];
         let due = queue.partition_point(|&(dt, _, _)| dt <= tick);
         for (_, _, bytes) in queue.drain(..due) {
-            inbox.push(&bytes);
+            push_or_log(inbox, tick, to, &bytes, log);
             self.spare.push(bytes);
         }
     }
@@ -357,6 +445,36 @@ mod tests {
         t.deliver_into(2, 1, &mut inbox, &mut log);
         assert!(inbox.is_empty());
         assert_eq!(inbox.iter().count(), 0);
+    }
+
+    #[test]
+    fn inbox_budget_refuses_floods_and_logs() {
+        let frame = hb(0, 1, 1);
+        let mut inbox = Inbox::with_budget(frame.len() + 1);
+        assert!(inbox.push(&frame));
+        assert!(!inbox.push(&frame));
+        assert_eq!(inbox.len(), 1);
+        inbox.clear();
+        // the budget caps bytes held at once — per delivery, not forever
+        assert!(inbox.push(&frame));
+
+        // a transport logs each refusal as an incident and keeps going
+        let mut t = Lossless::new(2);
+        let mut log = Vec::new();
+        t.send(0, 0, 1, &frame, &mut log);
+        t.send(0, 0, 1, &frame, &mut log);
+        let mut small = Inbox::with_budget(frame.len());
+        t.deliver_into(1, 1, &mut small, &mut log);
+        assert_eq!(small.len(), 1);
+        assert_eq!(
+            log,
+            vec![MeshIncident::InboxOverflow {
+                tick: 1,
+                region: 1,
+                from: 0,
+                dropped: frame.len() as u64,
+            }]
+        );
     }
 
     #[test]

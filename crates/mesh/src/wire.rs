@@ -59,6 +59,13 @@
 //! which parse payload bytes in place with zero allocation. Both sides
 //! share the same field order, so `Frame::encode` and `FrameBuf`
 //! produce byte-identical frames (pinned by unit tests).
+//!
+//! **Byte streams** (the socket transport) deliver arbitrary chunk
+//! boundaries, so frames must be *reassembled* before any of the above
+//! decoders see them: [`frame_len`] classifies a partial header
+//! (valid-so-far vs. provably garbage vs. complete, with the total
+//! frame length) and [`FrameAssembler`] turns any split schedule —
+//! pinned down to one byte at a time — back into whole frames.
 
 use std::fmt;
 
@@ -621,6 +628,137 @@ fn decode_header(r: &mut Reader<'_>) -> Result<(FrameKind, u16, u16, u64, u64, u
         });
     }
     Ok((kind, from, to, seq, round, len))
+}
+
+// --- stream reframing -------------------------------------------------
+
+/// Validates as much of a frame header as `prefix` contains and, once
+/// the 29-byte header is complete, returns the **total** frame length
+/// (header plus declared payload). `Ok(None)` means the prefix is valid
+/// so far but the header is still incomplete — feed more bytes.
+///
+/// This is the primitive byte-stream transports reframe with: unlike
+/// [`Frame::decode`], which assumes it was handed exactly one complete
+/// frame and classifies a short buffer as a malformed frame
+/// ([`WireError::Truncated`]), `frame_len` distinguishes "not yet
+/// arrived" from "provably garbage" — magic, version, and kind are
+/// checked as soon as their bytes exist, so a desynced stream is
+/// refused at the first wrong byte instead of being misread as a
+/// length.
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`], [`WireError::UnsupportedVersion`], or
+/// [`WireError::UnknownKind`] as soon as the offending bytes are
+/// present. Never panics, never errors on a mere shortage of bytes.
+pub fn frame_len(prefix: &[u8]) -> Result<Option<usize>, WireError> {
+    if prefix.len() < 2 {
+        return Ok(None);
+    }
+    let magic = [prefix[0], prefix[1]];
+    if magic != MAGIC {
+        return Err(WireError::BadMagic { got: magic });
+    }
+    if prefix.len() < 4 {
+        return Ok(None);
+    }
+    let version = u16::from_le_bytes([prefix[2], prefix[3]]);
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion {
+            got: version,
+            supported: WIRE_VERSION,
+        });
+    }
+    if prefix.len() < 5 {
+        return Ok(None);
+    }
+    if FrameKind::from_byte(prefix[4]).is_none() {
+        return Err(WireError::UnknownKind { got: prefix[4] });
+    }
+    if prefix.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([
+        prefix[HEADER_LEN - 4],
+        prefix[HEADER_LEN - 3],
+        prefix[HEADER_LEN - 2],
+        prefix[HEADER_LEN - 1],
+    ]) as usize;
+    Ok(Some(HEADER_LEN + len))
+}
+
+/// Incremental reframer for wire frames arriving over a byte stream.
+///
+/// Sockets deliver arbitrary chunk boundaries: a read may end in the
+/// middle of a header, a length field, or a payload. Feed whatever
+/// bytes arrive with [`FrameAssembler::extend`] and pull complete
+/// frames out with [`FrameAssembler::next_frame`] — each returned slice
+/// is exactly one wire frame (header plus payload), suitable for
+/// [`Frame::decode`] or `BatchReader::parse`. Reassembly is pure
+/// length-prefix reframing via [`frame_len`]: header fields are
+/// validated as soon as their bytes exist, so garbage is refused at the
+/// earliest provable byte and a split header is simply *waited out*,
+/// never misclassified (the pre-socket decoders assumed one complete
+/// frame per buffer and reported a split header as a truncated frame).
+///
+/// The internal buffer is reused: consumed bytes are reclaimed whenever
+/// the buffer fully drains (the steady state — ticks drain every
+/// completed frame), so a warm assembler stops allocating once it has
+/// seen its largest frame.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (frames already handed out).
+    at: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameAssembler::default()
+    }
+
+    /// Appends a chunk of stream bytes (any length, including zero).
+    pub fn extend(&mut self, chunk: &[u8]) {
+        if self.at == self.buf.len() {
+            // fully drained: reclaim the space before growing
+            self.buf.clear();
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Returns the next complete frame, `Ok(None)` if more bytes are
+    /// needed, or the first structural error the stream contains.
+    ///
+    /// # Errors
+    ///
+    /// The [`WireError`] from [`frame_len`] — the stream is desynced or
+    /// speaks a different protocol; no further frame can be trusted.
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
+        let pending = &self.buf[self.at..];
+        match frame_len(pending)? {
+            Some(total) if pending.len() >= total => {
+                let start = self.at;
+                self.at += total;
+                Ok(Some(&self.buf[start..start + total]))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Bytes buffered but not yet handed out as frames.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Drops all buffered bytes (capacity kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.at = 0;
+    }
 }
 
 /// Decodes one payload of `kind` from `r`, consuming up to
@@ -1542,6 +1680,79 @@ mod tests {
             extended.push(0);
             assert!(Frame::decode(&extended).is_err());
         }
+    }
+
+    #[test]
+    fn frame_len_classifies_prefixes() {
+        let bytes = sample_frames()[2].encode();
+        // every strict header prefix: valid-so-far, never an error
+        for cut in 0..HEADER_LEN {
+            assert_eq!(frame_len(&bytes[..cut]), Ok(None), "prefix {cut}");
+        }
+        // complete header (and anything longer): the exact total length
+        for cut in HEADER_LEN..=bytes.len() {
+            assert_eq!(frame_len(&bytes[..cut]), Ok(Some(bytes.len())));
+        }
+        // garbage is refused at the earliest provable byte
+        assert!(matches!(
+            frame_len(b"XY"),
+            Err(WireError::BadMagic { got: [b'X', b'Y'] })
+        ));
+        let mut skew = bytes.clone();
+        skew[2..4].copy_from_slice(&9u16.to_le_bytes());
+        assert!(matches!(
+            frame_len(&skew[..4]),
+            Err(WireError::UnsupportedVersion { got: 9, .. })
+        ));
+        let mut bad_kind = bytes;
+        bad_kind[4] = 0x7F;
+        assert!(matches!(
+            frame_len(&bad_kind[..5]),
+            Err(WireError::UnknownKind { got: 0x7F })
+        ));
+    }
+
+    #[test]
+    fn assembler_reframes_arbitrary_chunks() {
+        let frames = sample_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        // feed the concatenated stream one byte at a time — the
+        // harshest split schedule — and expect every frame back intact
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            asm.extend(&[b]);
+            while let Some(frame) = asm.next_frame().expect("valid stream") {
+                got.push(Frame::decode(frame).expect("whole frame"));
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(asm.pending(), 0);
+    }
+
+    #[test]
+    fn assembler_refuses_desynced_streams() {
+        // a valid frame followed by garbage at the next frame boundary:
+        // the frame is handed out intact, then the desync is refused as
+        // soon as two bytes of wrong magic exist — never handed out as
+        // a frame, never panicked on
+        let frame = sample_frames()[0].clone();
+        let mut asm = FrameAssembler::new();
+        asm.extend(&frame.encode());
+        asm.extend(b"garbage");
+        {
+            let first = asm.next_frame().expect("valid frame").expect("complete");
+            assert_eq!(Frame::decode(first), Ok(frame));
+        }
+        assert!(matches!(
+            asm.next_frame(),
+            Err(WireError::BadMagic { got: [b'g', b'a'] })
+        ));
+        asm.clear();
+        assert_eq!(asm.pending(), 0);
     }
 
     #[test]

@@ -810,9 +810,22 @@ impl RegionWorker {
 
     fn process_inbox(&mut self, tick: u64, inbox: &Inbox, log: &mut Vec<MeshIncident>) {
         for bytes in inbox.iter() {
-            // frames originate from sibling workers; decode errors are a
-            // bug in this crate, not an input condition
-            let mut reader = BatchReader::parse(bytes).expect("well-formed mesh batch");
+            // frames normally originate from sibling workers, but over a
+            // real socket a desync or corruption must not take the node
+            // down: discard the frame, log the incident, keep iterating
+            // (the reliable layer retransmits, deltas re-anchor via the
+            // periodic refresh / resync request)
+            let mut reader = match BatchReader::parse(bytes) {
+                Ok(reader) => reader,
+                Err(e) => {
+                    log.push(MeshIncident::MalformedFrameDiscarded {
+                        tick,
+                        region: self.region,
+                        error: e.to_string(),
+                    });
+                    continue;
+                }
+            };
             let from = reader.from() as usize;
             {
                 let s = &mut self.links[from].stats;
@@ -821,7 +834,17 @@ impl RegionWorker {
             }
             self.note_heard(tick, from, log);
             while let Some(sub) = reader.next_sub() {
-                let sub = sub.expect("well-formed mesh sub-frame");
+                let sub = match sub {
+                    Ok(sub) => sub,
+                    Err(e) => {
+                        log.push(MeshIncident::MalformedFrameDiscarded {
+                            tick,
+                            region: self.region,
+                            error: e.to_string(),
+                        });
+                        break;
+                    }
+                };
                 if sub.kind.is_reliable() {
                     self.receive_reliable(tick, from, &sub, log);
                 } else {

@@ -8,8 +8,8 @@
 
 use proptest::prelude::*;
 use spn_mesh::wire::{
-    ForecastEntry, Frame, GammaRow, MarginalEntry, Payload, RecoveryStatePayload, SubFrame,
-    WireError, WIRE_VERSION,
+    frame_len, ForecastEntry, Frame, FrameAssembler, GammaRow, MarginalEntry, Payload,
+    RecoveryStatePayload, SubFrame, WireError, WIRE_VERSION,
 };
 use spn_sim::draws::unit_hash;
 
@@ -171,6 +171,83 @@ proptest! {
         let mut extended = bytes.clone();
         extended.push(0xAA);
         prop_assert_eq!(Frame::decode(&extended), Err(WireError::TrailingBytes { extra: 1 }));
+    }
+
+    /// Stream reassembly at **every** split offset: a frame cut into
+    /// two chunks at each possible byte boundary — header splits,
+    /// length-field splits, payload splits — reassembles to the
+    /// identical frame through [`FrameAssembler`], with zero decode
+    /// panics and no byte offset misclassified as a wire error (the
+    /// pre-socket decoders reported a header split across reads as a
+    /// truncated frame).
+    #[test]
+    fn reassembly_survives_every_split_offset(kind in 0u8..9, seed in 0u64..10_000, len in 0usize..6) {
+        let frame = build_frame(kind, seed, len);
+        let bytes = frame.encode();
+        for cut in 0..=bytes.len() {
+            let mut asm = FrameAssembler::new();
+            asm.extend(&bytes[..cut]);
+            // a strict prefix must never yield a frame or an error
+            if cut < bytes.len() {
+                prop_assert_eq!(
+                    asm.next_frame().map(|f| f.map(<[u8]>::to_vec)),
+                    Ok(None),
+                    "prefix of {} misclassified at split {}", bytes.len(), cut
+                );
+            }
+            asm.extend(&bytes[cut..]);
+            let out = asm.next_frame().map(|f| f.map(<[u8]>::to_vec));
+            prop_assert_eq!(out, Ok(Some(bytes.clone())), "split {} lost the frame", cut);
+            prop_assert_eq!(Frame::decode(&bytes), Ok(frame.clone()));
+            prop_assert_eq!(asm.pending(), 0);
+        }
+    }
+
+    /// [`frame_len`] never errors on a strict prefix of a valid frame
+    /// (every cut is "valid so far"), and reports the exact total
+    /// length from the complete header onward.
+    #[test]
+    fn frame_len_is_monotone_on_valid_prefixes(kind in 0u8..9, seed in 0u64..10_000, len in 0usize..6) {
+        let bytes = build_frame(kind, seed, len).encode();
+        let header = 29usize;
+        for cut in 0..bytes.len() {
+            let got = frame_len(&bytes[..cut]);
+            if cut < header {
+                prop_assert_eq!(got, Ok(None), "header prefix {} misclassified", cut);
+            } else {
+                prop_assert_eq!(got, Ok(Some(bytes.len())));
+            }
+        }
+    }
+
+    /// A concatenated stream of frames, re-chunked at seeded arbitrary
+    /// boundaries, reassembles to exactly the original frame sequence.
+    #[test]
+    fn reassembly_survives_seeded_chunking(seed in 0u64..10_000, count in 1usize..5) {
+        let frames: Vec<Frame> = (0..count)
+            .map(|i| build_frame(((seed as usize + i) % 9) as u8, seed ^ (i as u64), 1 + i % 4))
+            .collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        let mut at = 0usize;
+        let mut step = 0usize;
+        while at < stream.len() {
+            // seeded chunk sizes in 1..=31 bytes
+            let chunk = 1 + (unit_hash(seed, step, at, 0) * 31.0) as usize;
+            let end = (at + chunk).min(stream.len());
+            asm.extend(&stream[at..end]);
+            while let Some(frame) = asm.next_frame().expect("valid stream") {
+                got.push(Frame::decode(frame).expect("whole frame"));
+            }
+            at = end;
+            step += 1;
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(asm.pending(), 0);
     }
 
     /// Splicing `Batch` into any sub-frame's kind byte is refused as

@@ -37,6 +37,10 @@ pub mod salts {
     pub const SALT_JITTER: u64 = 0x6A69_7474_6A69_7474;
     /// Frame-delay gate and age draws (mesh transport).
     pub const SALT_DELAY: u64 = 0x6465_6C61_6465_6C61;
+    /// Stream read-chunk caps (mesh socket transport): how many bytes
+    /// each `read` call may return, so the receive-side reframer is
+    /// exercised at seeded mid-header / mid-payload boundaries.
+    pub const SALT_SPLIT: u64 = 0x7370_6C69_7473_706C; // "split"
 }
 
 /// A deterministic splitmix-style hash → `[0, 1)` float, keyed on a

@@ -33,7 +33,16 @@
 #    reach the lossless convergence verdict under the fault plan, ship
 #    ≤0.5× the full-broadcast bytes/iteration once past the bitwise
 #    fixed point (delta wire gate), and perform zero allocations per
-#    converged steady-state step (counting-allocator gate).
+#    converged steady-state step (counting-allocator gate);
+#  * mesh_smoke --socket --smoke is the real-socket gate (ARCHITECTURE
+#    invariant 21) — a 2-region loopback Unix-domain mesh must be
+#    report-identical to Lossless with zero incidents, a same-seed
+#    fault-injected socket mesh must be report- and incident-identical
+#    to Chaotic (reads chopped into seeded 1..=31-byte chunks), and the
+#    B9 bench must ship identical bytes/iteration on in-process, UDS,
+#    and TCP; wall-clock p50 tick latency prints SKIP on a degraded
+#    single-core host instead of a misleading number. Bounded: the
+#    smoke run is a few hundred fixed iterations, no settle loops.
 # On a single-core host the soak bins trim themselves to fit the smoke
 # budget (chaos_recovery halves its iteration budget, churn_soak skips
 # the ungated post-churn settle leg) and print visible SKIP lines.
@@ -58,6 +67,7 @@ cargo run --release -q -p spn-bench --bin chaos_recovery -- --smoke
 cargo run --release -q -p spn-bench --bin churn_soak -- --smoke
 cargo run --release -q -p spn-bench --bin scale_smoke -- --smoke
 cargo run --release -q -p spn-bench --bin mesh_smoke -- --smoke
+cargo run --release -q -p spn-bench --bin mesh_smoke -- --socket --smoke
 # --- simd feature leg ---
 cargo clippy --workspace --all-targets --features simd -- -D warnings
 cargo test -q -p spn -p spn-core --features simd

@@ -19,10 +19,19 @@
 //!     rejoins through the epoch-fenced recovery handshake: the digest
 //!     the survivor logs at capture equals the digest the rejoiner logs
 //!     after restore, and all mirrors re-converge to bitwise equality.
+//!
+//! Plus ARCHITECTURE invariant 21 — the same oracles transfer across
+//! **real kernel sockets**: a loopback Unix-domain socket mesh is
+//! bit-identical to the lossless mesh (hence to the monolithic
+//! algorithm), and a fault-injected socket mesh is report- and
+//! incident-identical to `Chaotic` under the same seed — partition,
+//! recovery handshake, and all — even with reads chopped into seeded
+//! 1..=31-byte chunks.
 
 use spn::core::{GradientAlgorithm, GradientConfig};
 use spn::mesh::{
     Lossless, MeshConfig, MeshError, MeshFaultConfig, MeshIncident, MeshRuntime, PartitionSpec,
+    SocketKind, SocketOptions,
 };
 use spn::model::random::RandomInstance;
 use spn::transform::ExtendedNetwork;
@@ -319,6 +328,111 @@ fn partitioned_region_rejoins_bit_for_bit() {
     );
 }
 
+/// Invariant 21, lossless half: a mesh whose frames cross real
+/// Unix-domain sockets — kernel buffers, partial reads, marker-based
+/// readiness instead of the barrier — reproduces the in-process
+/// lossless trajectory bit-for-bit at 1, 2, and 4 regions, with an
+/// empty incident log (no deadline ever fires on a healthy loopback).
+#[test]
+fn loopback_socket_mesh_is_bit_identical_to_lossless() {
+    let p = problem(20, 3, 9);
+    let ext = ExtendedNetwork::build(&p);
+    for regions in [1usize, 2, 4] {
+        let options = SocketOptions {
+            kind: SocketKind::Unix,
+            ..SocketOptions::default()
+        };
+        let mut socket = MeshRuntime::socket(ext.clone(), mesh_config(regions), &options).unwrap();
+        let mut lossless = MeshRuntime::lossless(ext.clone(), mesh_config(regions)).unwrap();
+        for it in 0..80 {
+            socket.step();
+            lossless.step();
+            for r in 0..regions {
+                assert_eq!(
+                    lossless.worker(r).routing(),
+                    socket.worker(r).routing(),
+                    "region {r} routing diverged from lossless at iteration {it} \
+                     (regions={regions})"
+                );
+            }
+        }
+        assert_eq!(
+            lossless.utility().to_bits(),
+            socket.utility().to_bits(),
+            "socket utility not bit-identical (regions={regions})"
+        );
+        assert_eq!(
+            lossless.run(0),
+            socket.run(0),
+            "socket report diverged from lossless (regions={regions})"
+        );
+        assert!(
+            socket.incidents().is_empty(),
+            "healthy loopback socket run logged incidents (regions={regions}): {:?}",
+            socket.incidents()
+        );
+    }
+}
+
+/// Invariant 21, faulty half: the netem-style `FaultyStream` shim makes
+/// a socket mesh *exactly* `Chaotic` — same seed ⇒ identical report and
+/// identical incident log (partition, suspects, the epoch-fenced
+/// recovery handshake over real sockets, heals), and two same-seed
+/// socket runs are identical to each other. Reads are chopped into
+/// seeded 1..=31-byte chunks, so the stream reframer is exercised at
+/// mid-header and mid-payload boundaries throughout.
+#[test]
+fn faulty_socket_mesh_matches_chaotic_incident_for_incident() {
+    let p = problem(20, 3, 9);
+    let ext = ExtendedNetwork::build(&p);
+    let faults = MeshFaultConfig {
+        seed: 0x534F_434B,
+        loss: 0.04,
+        duplicate: 0.03,
+        delay_prob: 0.08,
+        max_delay: 2,
+        partitions: vec![PartitionSpec {
+            region: 1,
+            at: 30,
+            duration: 45,
+            heal_stagger: 4,
+        }],
+    };
+    let socket_run = || {
+        let options = SocketOptions {
+            kind: SocketKind::Unix,
+            faults: Some(faults.clone()),
+            split_seed: Some(21),
+        };
+        let mut mesh = MeshRuntime::socket(ext.clone(), mesh_config(3), &options).unwrap();
+        let report = mesh.run(60);
+        (report, mesh.incidents().to_vec())
+    };
+    let (report_a, log_a) = socket_run();
+    let (report_b, log_b) = socket_run();
+    assert_eq!(report_a, report_b, "same-seed socket reports diverged");
+    assert_eq!(log_a, log_b, "same-seed socket incident logs diverged");
+
+    let mut chaotic = MeshRuntime::chaotic(ext.clone(), mesh_config(3), &faults).unwrap();
+    let chaotic_report = chaotic.run(60);
+    assert_eq!(
+        chaotic_report, report_a,
+        "socket report diverged from Chaotic under the same seed"
+    );
+    assert_eq!(
+        chaotic.incidents(),
+        &log_a[..],
+        "socket incident log diverged from Chaotic under the same seed"
+    );
+    // the run exercised the full gauntlet over real sockets
+    assert!(log_a
+        .iter()
+        .any(|i| matches!(i, MeshIncident::PartitionStarted { .. })));
+    assert!(log_a
+        .iter()
+        .any(|i| matches!(i, MeshIncident::RecoveryCompleted { .. })));
+}
+
 /// Config validation: annealing is refused (it would silently diverge
 /// from the monolithic trajectory), as are impossible region counts.
 #[test]
@@ -351,7 +465,7 @@ fn mesh_rejects_unsupported_configs() {
     let nodes = ext.graph().node_count();
     assert!(matches!(
         MeshRuntime::<Lossless>::with_transport(
-            ext,
+            ext.clone(),
             MeshConfig {
                 regions: nodes + 1,
                 ..MeshConfig::default()
@@ -359,5 +473,17 @@ fn mesh_rejects_unsupported_configs() {
             Lossless::new(nodes + 1)
         ),
         Err(MeshError::TooManyRegions { .. })
+    ));
+    // an inbox budget below one frame would drop all traffic silently
+    assert!(matches!(
+        MeshRuntime::<Lossless>::with_transport(
+            ext,
+            MeshConfig {
+                inbox_budget: 512,
+                ..MeshConfig::default()
+            },
+            Lossless::new(2)
+        ),
+        Err(MeshError::InboxBudgetTooSmall { budget: 512 })
     ));
 }

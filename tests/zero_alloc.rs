@@ -14,10 +14,12 @@
 //! libtest runner's main thread, which parks on its results channel
 //! while the test runs and lazily allocates that thread's blocking
 //! context the *first* time it parks. On a single-core host the
-//! scheduler can deliver that one-shot init in the middle of any
-//! window, so each window retries once before failing: a real
-//! steady-state allocation reproduces on every attempt and still
-//! fails, while the harness's one-shot init is absorbed (and logged).
+//! scheduler can deliver that one-shot init at an arbitrary point, so
+//! every window first **quiesces**: it idles in short sleeps until one
+//! full idle window records zero foreign allocations — proof the
+//! harness's one-shot init has already landed — and only then takes
+//! the single real measurement. No retry, no second chance: an
+//! allocation inside the measured window is a real regression.
 #![allow(unsafe_code)] // a counting GlobalAlloc requires unsafe impls
 
 use spn::core::{GradientAlgorithm, GradientConfig};
@@ -48,28 +50,29 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-/// Counts the global allocations `body` performs, retrying once if the
-/// first attempt saw any (see the module doc: the retry absorbs the
-/// harness main thread's one-shot lazy park context, nothing else — a
-/// regression that allocates per iteration fires on both attempts).
-fn allocations_in(label: &str, mut body: impl FnMut()) -> u64 {
-    let mut last = 0;
-    for attempt in 0..2 {
+/// Idles until one full sleep window records zero foreign allocations —
+/// at that point every other thread's lazy one-shot init (the harness
+/// main thread's park context, notably) has provably already happened,
+/// so whatever the subsequent measurement counts came from the measured
+/// body alone.
+fn quiesce(label: &str) {
+    for _ in 0..50 {
         let before = ALLOCATIONS.load(Ordering::SeqCst);
-        body();
-        let after = ALLOCATIONS.load(Ordering::SeqCst);
-        last = after - before;
-        if last == 0 {
-            return 0;
-        }
-        if attempt == 0 {
-            eprintln!(
-                "{label}: {last} allocation(s) in the first window — retrying \
-                 once in case the harness thread's lazy init landed in it"
-            );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        if ALLOCATIONS.load(Ordering::SeqCst) == before {
+            return;
         }
     }
-    last
+    eprintln!("{label}: process never quiesced; measuring anyway");
+}
+
+/// Counts the global allocations `body` performs in a single
+/// quiesced window. No retries: a nonzero count is a real regression.
+fn allocations_in(label: &str, mut body: impl FnMut()) -> u64 {
+    quiesce(label);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    body();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
 }
 
 #[test]
@@ -91,10 +94,8 @@ fn steady_state_step_is_allocation_free() {
     };
     let mut alg = GradientAlgorithm::new(&problem, cfg).unwrap();
 
-    // Warm-up: first steps may still grow workspace capacities. The
-    // sleep hands the single core to the harness's main thread so its
-    // park-context init (see module doc) lands here, not in a window.
-    std::thread::sleep(std::time::Duration::from_millis(10));
+    // Warm-up: first steps may still grow workspace capacities (the
+    // measured windows below each quiesce before counting).
     for _ in 0..10 {
         alg.step();
     }
